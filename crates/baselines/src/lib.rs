@@ -1,0 +1,32 @@
+//! Comparator system simulations for the paper's evaluation (§8.2).
+//!
+//! The paper benchmarks HyPer against MATLAB (single-threaded tool),
+//! MADlib on Greenplum (UDFs over an RDBMS, layer 2) and Apache Spark
+//! MLlib (dedicated parallel dataflow engine). Those systems aren't
+//! rebuildable here, so this crate implements engines that reproduce
+//! their *structural* performance characters — no artificial sleeps,
+//! only the real costs of each architecture:
+//!
+//! * [`single_thread`] — faithful single-threaded, row-oriented
+//!   implementations (the MATLAB stand-in: correct, no parallelism);
+//! * [`udf`] — algorithms executed through a black-box per-row UDF
+//!   interface over the storage engine: per-tuple [`Value`]
+//!   materialization and dynamic dispatch, with every iteration's
+//!   intermediate state written back to a storage table and re-read
+//!   (the MADlib stand-in: the engine cannot see inside the UDF);
+//! * [`dataflow`] — a partitioned, multi-threaded dataflow engine with
+//!   an explicit load/ETL copy and full materialization of every stage's
+//!   output partitions behind boxed task closures (the Spark stand-in:
+//!   parallel and fast, but paying copy + scheduling + materialization
+//!   per stage).
+//!
+//! All engines implement the same three algorithms with the same
+//! semantics as `hylite-analytics` (Lloyd k-Means, Gaussian Naive Bayes
+//! with the paper's smoothed prior, PageRank with uniform dangling
+//! redistribution), so cross-engine result equality is testable.
+//!
+//! [`Value`]: hylite_common::Value
+
+pub mod dataflow;
+pub mod single_thread;
+pub mod udf;

@@ -1,0 +1,203 @@
+//! Single-threaded, row-oriented reference implementations — the
+//! stand-in for MATLAB-class tools (§8.2: "MATLAB does not contain
+//! parallel versions of the chosen algorithms").
+
+use std::collections::HashMap;
+
+/// Lloyd k-Means over row-major data; returns (centers, sizes, iters).
+pub fn kmeans(
+    data: &[Vec<f64>],
+    initial_centers: &[Vec<f64>],
+    max_iterations: usize,
+) -> (Vec<Vec<f64>>, Vec<u64>, usize) {
+    let k = initial_centers.len();
+    let d = initial_centers.first().map_or(0, Vec::len);
+    let mut centers: Vec<Vec<f64>> = initial_centers.to_vec();
+    let mut sizes = vec![0u64; k];
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        iterations += 1;
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0u64; k];
+        for row in data {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let mut dist = 0.0;
+                for (x, m) in row.iter().zip(center) {
+                    let diff = x - m;
+                    dist += diff * diff;
+                }
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            counts[best] += 1;
+            for (s, x) in sums[best].iter_mut().zip(row) {
+                *s += x;
+            }
+        }
+        let mut moved = false;
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue;
+            }
+            for dim in 0..d {
+                let new = sums[c][dim] / counts[c] as f64;
+                if new != centers[c][dim] {
+                    moved = true;
+                    centers[c][dim] = new;
+                }
+            }
+        }
+        sizes = counts;
+        if !moved {
+            break;
+        }
+    }
+    (centers, sizes, iterations)
+}
+
+/// PageRank over an edge list using generic hash-map adjacency (a
+/// dedicated tool without a CSR index); returns ranks by original id.
+pub fn pagerank(
+    src: &[i64],
+    dest: &[i64],
+    damping: f64,
+    epsilon: f64,
+    max_iterations: usize,
+) -> HashMap<i64, f64> {
+    let mut out_edges: HashMap<i64, Vec<i64>> = HashMap::new();
+    let mut vertices: Vec<i64> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (&s, &d) in src.iter().zip(dest) {
+        out_edges.entry(s).or_default().push(d);
+        for v in [s, d] {
+            if seen.insert(v) {
+                vertices.push(v);
+            }
+        }
+    }
+    let n = vertices.len();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    let mut ranks: HashMap<i64, f64> = vertices.iter().map(|&v| (v, inv_n)).collect();
+    for _ in 0..max_iterations {
+        let dangling: f64 = vertices
+            .iter()
+            .filter(|v| !out_edges.contains_key(v))
+            .map(|v| ranks[v])
+            .sum();
+        let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+        let mut next: HashMap<i64, f64> = vertices.iter().map(|&v| (v, base)).collect();
+        for (v, targets) in &out_edges {
+            let share = damping * ranks[v] / targets.len() as f64;
+            for t in targets {
+                *next.get_mut(t).expect("vertex interned") += share;
+            }
+        }
+        let diff: f64 = vertices.iter().map(|v| (next[v] - ranks[v]).abs()).sum();
+        ranks = next;
+        if epsilon > 0.0 && diff <= epsilon {
+            break;
+        }
+    }
+    ranks
+}
+
+/// One class of a Gaussian NB model: (label, prior, per-dim mean/stddev).
+pub type NbClass = (i64, f64, Vec<(f64, f64)>);
+
+/// Gaussian Naive Bayes training over row-major data with integer labels.
+/// Prior uses the paper's smoothing: `(|c|+1)/(|D|+|C|)`.
+pub fn naive_bayes_train(data: &[Vec<f64>], labels: &[i64]) -> Vec<NbClass> {
+    assert_eq!(data.len(), labels.len());
+    let d = data.first().map_or(0, Vec::len);
+    let mut per_class: HashMap<i64, (u64, Vec<f64>, Vec<f64>)> = HashMap::new();
+    for (row, &label) in data.iter().zip(labels) {
+        let entry = per_class
+            .entry(label)
+            .or_insert_with(|| (0, vec![0.0; d], vec![0.0; d]));
+        entry.0 += 1;
+        for (i, &x) in row.iter().enumerate() {
+            entry.1[i] += x;
+            entry.2[i] += x * x;
+        }
+    }
+    let total: u64 = per_class.values().map(|(n, _, _)| n).sum();
+    let num_classes = per_class.len() as f64;
+    let mut labels_sorted: Vec<i64> = per_class.keys().copied().collect();
+    labels_sorted.sort_unstable();
+    labels_sorted
+        .into_iter()
+        .map(|label| {
+            let (n, sums, sum_sqs) = &per_class[&label];
+            let prior = (*n as f64 + 1.0) / (total as f64 + num_classes);
+            let nf = *n as f64;
+            let gaussians = (0..d)
+                .map(|i| {
+                    let mean = sums[i] / nf;
+                    let var = if *n < 2 {
+                        0.0
+                    } else {
+                        ((sum_sqs[i] - sums[i] * sums[i] / nf) / (nf - 1.0)).max(0.0)
+                    };
+                    (mean, var.sqrt().max(1e-9))
+                })
+                .collect();
+            (label, prior, gaussians)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_two_blobs() {
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![9.0, 9.0],
+            vec![9.2, 9.1],
+        ];
+        let (centers, sizes, _) =
+            kmeans(&data, &[vec![1.0, 1.0], vec![8.0, 8.0]], 100);
+        assert_eq!(sizes, vec![2, 2]);
+        assert!((centers[0][0] - 0.1).abs() < 1e-9);
+        assert!((centers[1][0] - 9.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_cycle_uniform() {
+        let src = vec![0, 1, 2, 3];
+        let dest = vec![1, 2, 3, 0];
+        let ranks = pagerank(&src, &dest, 0.85, 1e-10, 200);
+        for v in 0..4 {
+            assert!((ranks[&v] - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling() {
+        let ranks = pagerank(&[0, 1], &[1, 2], 0.85, 0.0, 50);
+        let total: f64 = ranks.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nb_priors_smoothed() {
+        let data = vec![vec![0.0], vec![0.5], vec![5.0], vec![5.5]];
+        let labels = vec![0, 0, 1, 1];
+        let model = naive_bayes_train(&data, &labels);
+        assert_eq!(model.len(), 2);
+        for (_, prior, _) in &model {
+            assert!((prior - 0.5).abs() < 1e-12);
+        }
+        assert!((model[0].2[0].0 - 0.25).abs() < 1e-12, "class 0 mean");
+    }
+}

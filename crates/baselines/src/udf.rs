@@ -1,0 +1,401 @@
+//! The UDF-layer stand-in (MADlib-style, layer 2 of Figure 1).
+//!
+//! Algorithms run *over* the database but as black boxes: the engine
+//! hands the UDF one materialized [`Row`] of boxed [`Value`]s at a time
+//! through a dynamically dispatched callback (no vectorization, no
+//! cross-optimization), and every iteration's intermediate state is
+//! written back to a catalog table and re-read — the relational
+//! round-trips §4.1 describes ("executing these queries potentially
+//! requires costly communication with the database").
+
+use std::sync::Arc;
+
+use hylite_common::{DataType, Field, HyError, Result, Row, Schema, Value};
+use hylite_storage::Catalog;
+
+/// The black-box per-row UDF interface: the engine drives the scan, the
+/// UDF sees one row at a time. `dyn FnMut` models the opaque call.
+pub type RowUdf<'a> = dyn FnMut(&Row) -> Result<()> + 'a;
+
+/// Scan a table row-at-a-time through the UDF interface.
+pub fn scan_with_udf(catalog: &Catalog, table: &str, udf: &mut RowUdf<'_>) -> Result<usize> {
+    let t = catalog.get_table(table)?;
+    let snapshot = t.read().committed_snapshot();
+    let mut rows = 0usize;
+    for chunk in snapshot.live_chunks() {
+        for i in 0..chunk.len() {
+            // Per-tuple materialization into boxed values — the cost of a
+            // black box the engine cannot fuse with the scan.
+            let row = chunk.row(i);
+            udf(&row)?;
+            rows += 1;
+        }
+    }
+    Ok(rows)
+}
+
+fn replace_table(catalog: &Catalog, name: &str, schema: Schema, rows: &[Vec<Value>]) -> Result<()> {
+    catalog.drop_table(name, true)?;
+    let t = catalog.create_table(name, schema)?;
+    let mut guard = t.write();
+    guard.insert_rows(rows)?;
+    guard.commit();
+    Ok(())
+}
+
+fn read_table_rows(catalog: &Catalog, name: &str) -> Result<Vec<Row>> {
+    let t = catalog.get_table(name)?;
+    let snapshot = t.read().committed_snapshot();
+    Ok(snapshot.live_chunks().flat_map(|c| c.rows()).collect())
+}
+
+/// k-Means as a UDF package: per-iteration, an assignment UDF scans the
+/// data and accumulates per-cluster sums; the new centers are then
+/// INSERTed into a scratch table (`__udf_centers`) which the next
+/// iteration reads back — one relational round-trip per iteration.
+pub fn kmeans(
+    catalog: &Catalog,
+    data_table: &str,
+    feature_offset: usize,
+    initial_centers: &[Vec<f64>],
+    max_iterations: usize,
+) -> Result<(Vec<Vec<f64>>, Vec<u64>, usize)> {
+    let k = initial_centers.len();
+    let d = initial_centers.first().map_or(0, Vec::len);
+    if k == 0 || d == 0 {
+        return Err(HyError::Analytics("empty centers in UDF k-Means".into()));
+    }
+    let centers_schema = || {
+        Schema::new(
+            (0..d)
+                .map(|i| Field::new(format!("c{i}"), DataType::Float64))
+                .collect(),
+        )
+    };
+    // Materialize the initial model relation.
+    let center_rows: Vec<Vec<Value>> = initial_centers
+        .iter()
+        .map(|c| c.iter().map(|&v| Value::Float(v)).collect())
+        .collect();
+    replace_table(catalog, "__udf_centers", centers_schema(), &center_rows)?;
+
+    let mut sizes = vec![0u64; k];
+    let mut iterations = 0usize;
+    while iterations < max_iterations {
+        iterations += 1;
+        // Round-trip 1: read the model relation back from the database.
+        let centers: Vec<Vec<f64>> = read_table_rows(catalog, "__udf_centers")?
+            .iter()
+            .map(|r| (0..d).map(|i| r.float(i)).collect::<Result<Vec<f64>>>())
+            .collect::<Result<_>>()?;
+        // The black-box assignment UDF.
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0u64; k];
+        {
+            let mut udf = |row: &Row| -> Result<()> {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, center) in centers.iter().enumerate() {
+                    let mut dist = 0.0;
+                    for (i, m) in center.iter().enumerate() {
+                        let diff = row.float(feature_offset + i)? - m;
+                        dist += diff * diff;
+                    }
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                counts[best] += 1;
+                for (i, s) in sums[best].iter_mut().enumerate() {
+                    *s += row.float(feature_offset + i)?;
+                }
+                Ok(())
+            };
+            scan_with_udf(catalog, data_table, &mut udf)?;
+        }
+        // Round-trip 2: write the updated model back to the database.
+        let mut moved = false;
+        let new_centers: Vec<Vec<f64>> = (0..k)
+            .map(|c| {
+                if counts[c] == 0 {
+                    centers[c].clone()
+                } else {
+                    let row: Vec<f64> =
+                        sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                    if row != centers[c] {
+                        moved = true;
+                    }
+                    row
+                }
+            })
+            .collect();
+        let rows: Vec<Vec<Value>> = new_centers
+            .iter()
+            .map(|c| c.iter().map(|&v| Value::Float(v)).collect())
+            .collect();
+        replace_table(catalog, "__udf_centers", centers_schema(), &rows)?;
+        sizes = counts;
+        if !moved {
+            break;
+        }
+    }
+    let centers: Vec<Vec<f64>> = read_table_rows(catalog, "__udf_centers")?
+        .iter()
+        .map(|r| (0..d).map(|i| r.float(i)).collect::<Result<Vec<f64>>>())
+        .collect::<Result<_>>()?;
+    catalog.drop_table("__udf_centers", true)?;
+    Ok((centers, sizes, iterations))
+}
+
+/// PageRank as a UDF package: ranks live in a scratch table that every
+/// iteration reads, updates via a per-edge UDF scan, and rewrites.
+pub fn pagerank(
+    catalog: &Catalog,
+    edges_table: &str,
+    damping: f64,
+    max_iterations: usize,
+) -> Result<std::collections::HashMap<i64, f64>> {
+    use std::collections::HashMap;
+    // Pass 1 (UDF): discover vertices and out-degrees.
+    let mut out_degree: HashMap<i64, u64> = HashMap::new();
+    let mut vertices: Vec<i64> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        let mut udf = |row: &Row| -> Result<()> {
+            let s = row.int(0)?;
+            let d = row.int(1)?;
+            *out_degree.entry(s).or_insert(0) += 1;
+            for v in [s, d] {
+                if seen.insert(v) {
+                    vertices.push(v);
+                }
+            }
+            Ok(())
+        };
+        scan_with_udf(catalog, edges_table, &mut udf)?;
+    }
+    let n = vertices.len();
+    if n == 0 {
+        return Ok(HashMap::new());
+    }
+    let inv_n = 1.0 / n as f64;
+    let rank_schema = || {
+        Schema::new(vec![
+            Field::new("vertex", DataType::Int64),
+            Field::new("rank", DataType::Float64),
+        ])
+    };
+    let init: Vec<Vec<Value>> = vertices
+        .iter()
+        .map(|&v| vec![Value::Int(v), Value::Float(inv_n)])
+        .collect();
+    replace_table(catalog, "__udf_ranks", rank_schema(), &init)?;
+
+    for _ in 0..max_iterations {
+        // Round-trip: load the rank relation.
+        let ranks: HashMap<i64, f64> = read_table_rows(catalog, "__udf_ranks")?
+            .iter()
+            .map(|r| Ok((r.int(0)?, r.float(1)?)))
+            .collect::<Result<_>>()?;
+        let dangling: f64 = vertices
+            .iter()
+            .filter(|v| !out_degree.contains_key(v))
+            .map(|v| ranks[v])
+            .sum();
+        let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+        let mut next: HashMap<i64, f64> = vertices.iter().map(|&v| (v, base)).collect();
+        {
+            // Per-edge UDF scan.
+            let mut udf = |row: &Row| -> Result<()> {
+                let s = row.int(0)?;
+                let d = row.int(1)?;
+                let share = damping * ranks[&s] / out_degree[&s] as f64;
+                *next.get_mut(&d).expect("vertex interned") += share;
+                Ok(())
+            };
+            scan_with_udf(catalog, edges_table, &mut udf)?;
+        }
+        // Round-trip: write the new ranks back.
+        let rows: Vec<Vec<Value>> = vertices
+            .iter()
+            .map(|&v| vec![Value::Int(v), Value::Float(next[&v])])
+            .collect();
+        replace_table(catalog, "__udf_ranks", rank_schema(), &rows)?;
+    }
+    let final_ranks = read_table_rows(catalog, "__udf_ranks")?
+        .iter()
+        .map(|r| Ok((r.int(0)?, r.float(1)?)))
+        .collect::<Result<_>>();
+    catalog.drop_table("__udf_ranks", true)?;
+    final_ranks
+}
+
+/// Naive Bayes training as a UDF: a single black-box scan accumulating
+/// per-class moments, model emitted as rows. The label is the last
+/// column of `data_table`.
+pub fn naive_bayes_train(
+    catalog: &Catalog,
+    data_table: &str,
+) -> Result<Vec<crate::single_thread::NbClass>> {
+    use std::collections::HashMap;
+    let t = catalog.get_table(data_table)?;
+    let schema = Arc::clone(t.read().schema());
+    let d = schema.len() - 1;
+    let mut per_class: HashMap<i64, (u64, Vec<f64>, Vec<f64>)> = HashMap::new();
+    {
+        let mut udf = |row: &Row| -> Result<()> {
+            let label = row.int(d)?;
+            let entry = per_class
+                .entry(label)
+                .or_insert_with(|| (0, vec![0.0; d], vec![0.0; d]));
+            entry.0 += 1;
+            for i in 0..d {
+                let x = row.float(i)?;
+                entry.1[i] += x;
+                entry.2[i] += x * x;
+            }
+            Ok(())
+        };
+        scan_with_udf(catalog, data_table, &mut udf)?;
+    }
+    let total: u64 = per_class.values().map(|(n, _, _)| n).sum();
+    let num_classes = per_class.len() as f64;
+    let mut labels: Vec<i64> = per_class.keys().copied().collect();
+    labels.sort_unstable();
+    Ok(labels
+        .into_iter()
+        .map(|label| {
+            let (n, sums, sum_sqs) = &per_class[&label];
+            let prior = (*n as f64 + 1.0) / (total as f64 + num_classes);
+            let nf = *n as f64;
+            let gaussians = (0..d)
+                .map(|i| {
+                    let mean = sums[i] / nf;
+                    let var = if *n < 2 {
+                        0.0
+                    } else {
+                        ((sum_sqs[i] - sums[i] * sums[i] / nf) / (nf - 1.0)).max(0.0)
+                    };
+                    (mean, var.sqrt().max(1e-9))
+                })
+                .collect();
+            (label, prior, gaussians)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog_with_points() -> Catalog {
+        let catalog = Catalog::new();
+        let t = catalog
+            .create_table(
+                "pts",
+                Schema::new(vec![
+                    Field::new("x", DataType::Float64),
+                    Field::new("y", DataType::Float64),
+                ]),
+            )
+            .unwrap();
+        let rows: Vec<Vec<Value>> = [
+            (0.0, 0.0),
+            (0.2, 0.1),
+            (9.0, 9.0),
+            (9.2, 9.1),
+        ]
+        .iter()
+        .map(|&(x, y)| vec![Value::Float(x), Value::Float(y)])
+        .collect();
+        t.write().insert_rows(&rows).unwrap();
+        t.write().commit();
+        catalog
+    }
+
+    #[test]
+    fn udf_kmeans_matches_reference() {
+        let catalog = catalog_with_points();
+        let (centers, sizes, _) = kmeans(
+            &catalog,
+            "pts",
+            0,
+            &[vec![1.0, 1.0], vec![8.0, 8.0]],
+            100,
+        )
+        .unwrap();
+        assert_eq!(sizes, vec![2, 2]);
+        assert!((centers[0][0] - 0.1).abs() < 1e-9);
+        assert!(!catalog.has_table("__udf_centers"), "scratch table dropped");
+    }
+
+    #[test]
+    fn udf_pagerank_cycle() {
+        let catalog = Catalog::new();
+        let t = catalog
+            .create_table(
+                "edges",
+                Schema::new(vec![
+                    Field::new("src", DataType::Int64),
+                    Field::new("dest", DataType::Int64),
+                ]),
+            )
+            .unwrap();
+        let rows: Vec<Vec<Value>> = [(0, 1), (1, 2), (2, 0)]
+            .iter()
+            .map(|&(s, d)| vec![Value::Int(s), Value::Int(d)])
+            .collect();
+        t.write().insert_rows(&rows).unwrap();
+        t.write().commit();
+        let ranks = pagerank(&catalog, "edges", 0.85, 50).unwrap();
+        for v in 0..3 {
+            assert!((ranks[&v] - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn udf_nb_matches_single_thread() {
+        let catalog = Catalog::new();
+        let t = catalog
+            .create_table(
+                "train",
+                Schema::new(vec![
+                    Field::new("f", DataType::Float64),
+                    Field::new("label", DataType::Int64),
+                ]),
+            )
+            .unwrap();
+        let data = [(0.0, 0), (0.5, 0), (5.0, 1), (5.5, 1)];
+        let rows: Vec<Vec<Value>> = data
+            .iter()
+            .map(|&(f, l)| vec![Value::Float(f), Value::Int(l)])
+            .collect();
+        t.write().insert_rows(&rows).unwrap();
+        t.write().commit();
+        let udf_model = naive_bayes_train(&catalog, "train").unwrap();
+        let st_model = crate::single_thread::naive_bayes_train(
+            &data.iter().map(|&(f, _)| vec![f]).collect::<Vec<_>>(),
+            &data.iter().map(|&(_, l)| l).collect::<Vec<_>>(),
+        );
+        assert_eq!(udf_model.len(), st_model.len());
+        for (a, b) in udf_model.iter().zip(&st_model) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-12);
+            assert!((a.2[0].0 - b.2[0].0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scan_udf_counts_rows() {
+        let catalog = catalog_with_points();
+        let mut count = 0usize;
+        let mut udf = |_: &Row| -> Result<()> {
+            count += 1;
+            Ok(())
+        };
+        let n = scan_with_udf(&catalog, "pts", &mut udf).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(count, 4);
+    }
+}

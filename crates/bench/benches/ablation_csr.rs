@@ -1,0 +1,52 @@
+//! Ablation (§6.3/§8.4.2): the CSR index benefit for PageRank.
+//!
+//! The operator's cost splits into building the query-local CSR (with
+//! dense re-labeling) and the iterations over it; the relational
+//! alternative replaces neighbor traversal with hash joins. This bench
+//! separates those costs: operator end-to-end, CSR build alone,
+//! iterations alone, and the join-based ITERATE SQL formulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hylite_analytics::{pagerank, PageRankConfig};
+use hylite_bench::queries;
+use hylite_bench::workloads::setup_pagerank;
+use hylite_graph::{CsrGraph, LdbcConfig};
+
+fn csr_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_csr_pagerank");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let config = LdbcConfig {
+        vertices: 5_000,
+        edges: 40_000,
+        triangle_fraction: 0.3,
+        seed: 42,
+    };
+    let ctx = setup_pagerank(&config).expect("setup");
+    let pr_config = PageRankConfig {
+        damping: 0.85,
+        epsilon: 0.0,
+        max_iterations: 45,
+    };
+
+    group.bench_function("operator_end_to_end", |b| {
+        let sql = queries::pagerank_operator(0.85, 45);
+        b.iter(|| ctx.db.execute(&sql).expect("run"));
+    });
+    group.bench_function("csr_build_only", |b| {
+        b.iter(|| CsrGraph::from_edges(&ctx.src, &ctx.dest).expect("build"));
+    });
+    let graph = CsrGraph::from_edges(&ctx.src, &ctx.dest).expect("build");
+    group.bench_function("iterations_only_on_csr", |b| {
+        b.iter(|| pagerank(&graph, &pr_config));
+    });
+    group.bench_function("iterate_sql_joins", |b| {
+        let sql = queries::pagerank_iterate(config.vertices, 0.85, 10);
+        b.iter(|| ctx.db.execute(&sql).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, csr_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation (§5.1): ITERATE vs recursive CTE, runtime and memory.
+//!
+//! Both constructs run the identical per-round step; the CTE's appending
+//! semantics make its intermediate relation grow by n rows per round
+//! (and carry the iteration counter in every tuple), which shows up as
+//! runtime once the accumulated result dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hylite_core::Database;
+
+fn setup(n: usize) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE base (v BIGINT)").expect("ddl");
+    let rows: Vec<String> = (0..n).map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO base VALUES {}", rows.join(",")))
+        .expect("insert");
+    db
+}
+
+fn iterate_vs_cte(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_iterate_vs_cte");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let db = setup(2_000);
+    for iters in [10usize, 50, 200] {
+        let iterate_sql = format!(
+            "SELECT count(*) FROM ITERATE ((SELECT v, 0 AS i FROM base), \
+             (SELECT v + 1, i + 1 FROM iterate), \
+             (SELECT i FROM iterate WHERE i >= {iters}))"
+        );
+        let cte_sql = format!(
+            "WITH RECURSIVE r (v, i) AS (SELECT v, 0 FROM base \
+             UNION ALL SELECT v + 1, i + 1 FROM r WHERE i < {iters}) \
+             SELECT count(*) FROM r"
+        );
+        group.bench_with_input(BenchmarkId::new("iterate", iters), &iters, |b, _| {
+            b.iter(|| db.execute(&iterate_sql).expect("run"));
+        });
+        group.bench_with_input(BenchmarkId::new("recursive_cte", iters), &iters, |b, _| {
+            b.iter(|| db.execute(&cte_sql).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, iterate_vs_cte);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation (§7): cost of lambda flexibility in the KMEANS operator.
+//!
+//! Compares the hand-tuned default squared-L2 kernel against the *same*
+//! metric expressed as a user lambda (vectorized expression evaluation
+//! with broadcast centers), the L1 (k-Medians) lambda, and a weighted
+//! custom metric — quantifying what "still executed by our highly-tuned
+//! in-database operator" costs relative to the built-in kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hylite_bench::workloads::setup_kmeans;
+use hylite_datagen::table1::KMeansExperiment;
+
+fn lambda_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lambda_kmeans");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ctx = setup_kmeans(
+        KMeansExperiment {
+            n: 40_000,
+            d: 5,
+            k: 5,
+            iterations: 3,
+        },
+        42,
+    )
+    .expect("setup");
+    let cols = |p: &str| -> String {
+        (0..5).map(|i| format!("{p}.c{i}")).collect::<Vec<_>>().join(", ")
+    };
+    let l2_lambda: String = (0..5)
+        .map(|i| format!("(a.c{i} - b.c{i})^2"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let l1_lambda: String = (0..5)
+        .map(|i| format!("abs(a.c{i} - b.c{i})"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let weighted: String = (0..5)
+        .map(|i| format!("{}.0 * (a.c{i} - b.c{i})^2", i + 1))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let base = format!(
+        "SELECT * FROM KMEANS((SELECT {} FROM data d), (SELECT {} FROM centers ct)",
+        cols("d"),
+        cols("ct"),
+    );
+    let variants = [
+        ("default_l2_kernel", format!("{base}, 3)")),
+        ("lambda_l2", format!("{base}, LAMBDA(a, b) {l2_lambda}, 3)")),
+        ("lambda_l1_kmedians", format!("{base}, LAMBDA(a, b) {l1_lambda}, 3)")),
+        ("lambda_weighted", format!("{base}, LAMBDA(a, b) {weighted}, 3)")),
+    ];
+    for (name, sql) in &variants {
+        // Sanity: the query runs.
+        ctx.db.execute(sql).expect("variant executes");
+        group.bench_function(*name, |b| {
+            b.iter(|| ctx.db.execute(sql).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lambda_variants);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 4: k-Means runtimes across all systems, three parameter sweeps
+//! (tuples / dimensions / clusters), at Criterion-friendly scale.
+//!
+//! The full paper-size grids run via the `figures` binary; these benches
+//! keep the same *shape* (who beats whom) at ~1/100 scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hylite_bench::systems::{run_kmeans, System};
+use hylite_bench::workloads::setup_kmeans;
+use hylite_datagen::table1::KMeansExperiment;
+
+fn bench_grid(
+    c: &mut Criterion,
+    group_name: &str,
+    grid: &[KMeansExperiment],
+    label: impl Fn(&KMeansExperiment) -> String,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for exp in grid {
+        let ctx = setup_kmeans(*exp, 42).expect("setup");
+        for system in System::all() {
+            group.bench_with_input(
+                BenchmarkId::new(system.to_string(), label(exp)),
+                &system,
+                |b, &system| {
+                    b.iter(|| run_kmeans(system, &ctx).expect("run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig4a_tuples(c: &mut Criterion) {
+    // Paper grid ÷ 100: 1.6k, 8k, 40k (the larger points are for the
+    // figures binary).
+    let grid: Vec<KMeansExperiment> = [1_600, 8_000, 40_000]
+        .iter()
+        .map(|&n| KMeansExperiment {
+            n,
+            d: 10,
+            k: 5,
+            iterations: 3,
+        })
+        .collect();
+    bench_grid(c, "fig4a_kmeans_tuples", &grid, |e| e.n.to_string());
+}
+
+fn fig4b_dimensions(c: &mut Criterion) {
+    let grid: Vec<KMeansExperiment> = [3usize, 5, 10, 25, 50]
+        .iter()
+        .map(|&d| KMeansExperiment {
+            n: 8_000,
+            d,
+            k: 5,
+            iterations: 3,
+        })
+        .collect();
+    bench_grid(c, "fig4b_kmeans_dimensions", &grid, |e| e.d.to_string());
+}
+
+fn fig4c_clusters(c: &mut Criterion) {
+    let grid: Vec<KMeansExperiment> = [3usize, 5, 10, 25, 50]
+        .iter()
+        .map(|&k| KMeansExperiment {
+            n: 8_000,
+            d: 10,
+            k,
+            iterations: 3,
+        })
+        .collect();
+    bench_grid(c, "fig4c_kmeans_clusters", &grid, |e| e.k.to_string());
+}
+
+criterion_group!(benches, fig4a_tuples, fig4b_dimensions, fig4c_clusters);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 5 (middle & right): Naive Bayes training across all systems —
+//! varying tuples (d = 10) and varying dimensions (fixed n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hylite_bench::systems::{run_naive_bayes, System};
+use hylite_bench::workloads::setup_naive_bayes;
+
+fn fig5b_tuples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_naive_bayes_tuples");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [1_600usize, 8_000, 40_000] {
+        let ctx = setup_naive_bayes(n, 10, 42).expect("setup");
+        for system in System::all() {
+            group.bench_with_input(
+                BenchmarkId::new(system.to_string(), n),
+                &system,
+                |b, &system| {
+                    b.iter(|| run_naive_bayes(system, &ctx).expect("run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig5c_dimensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_naive_bayes_dimensions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for d in [3usize, 5, 10, 25, 50] {
+        let ctx = setup_naive_bayes(8_000, d, 42).expect("setup");
+        for system in System::all() {
+            group.bench_with_input(
+                BenchmarkId::new(system.to_string(), d),
+                &system,
+                |b, &system| {
+                    b.iter(|| run_naive_bayes(system, &ctx).expect("run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5b_tuples, fig5c_dimensions);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 5 (left): PageRank on LDBC-like graphs across all systems.
+//! Paper parameters d = 0.85, ε = 0, 45 iterations; graphs scaled down
+//! for Criterion (the figures binary sweeps larger ones).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hylite_bench::systems::{run_pagerank, System};
+use hylite_bench::workloads::setup_pagerank;
+use hylite_graph::LdbcConfig;
+
+fn fig5a_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_pagerank_ldbc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let configs = [
+        ("tiny-1k/9k", LdbcConfig {
+            vertices: 1_100,
+            edges: 4_500,
+            triangle_fraction: 0.3,
+            seed: 42,
+        }),
+        ("small-7k/92k", LdbcConfig {
+            vertices: 7_300,
+            edges: 46_000,
+            triangle_fraction: 0.3,
+            seed: 42,
+        }),
+    ];
+    for (label, config) in configs {
+        let ctx = setup_pagerank(&config).expect("setup");
+        for system in System::all() {
+            group.bench_with_input(
+                BenchmarkId::new(system.to_string(), label),
+                &system,
+                |b, &system| {
+                    b.iter(|| run_pagerank(system, &ctx, 0.85, 45).expect("run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5a_pagerank);
+criterion_main!(benches);

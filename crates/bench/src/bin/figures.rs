@@ -1,0 +1,393 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p hylite-bench --bin figures -- --all --scale 0.01
+//! cargo run --release -p hylite-bench --bin figures -- --fig4a --scale 0.05
+//! cargo run --release -p hylite-bench --bin figures -- --ablation-memory
+//! ```
+//!
+//! `--scale` multiplies the paper's dataset sizes (1.0 = the original
+//! 160k..500M tuple grid — only sensible on a very large machine).
+//! Slow systems (the SQL layers and the UDF simulation) are skipped for
+//! configurations above `--sql-cap` tuples (default 400k·scale-invariant)
+//! and the skip is reported, never silent.
+
+use std::time::Duration;
+
+use hylite_bench::report::{render_csv, render_figure, Measurement};
+use hylite_bench::systems::{run_kmeans, run_naive_bayes, run_pagerank, System};
+use hylite_bench::workloads;
+use hylite_datagen::table1::{KMeansExperiment, Table1};
+use hylite_graph::LdbcConfig;
+
+struct Options {
+    scale: f64,
+    sql_cap: usize,
+    csv: bool,
+    fig4a: bool,
+    fig4b: bool,
+    fig4c: bool,
+    fig5a: bool,
+    fig5b: bool,
+    fig5c: bool,
+    table1: bool,
+    ablation_memory: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Options {
+        scale: 0.01,
+        sql_cap: 400_000,
+        csv: false,
+        fig4a: false,
+        fig4b: false,
+        fig4c: false,
+        fig5a: false,
+        fig5b: false,
+        fig5c: false,
+        table1: false,
+        ablation_memory: false,
+    };
+    let mut any = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                o.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--sql-cap" => {
+                i += 1;
+                o.sql_cap = args[i].parse().expect("--sql-cap takes an integer");
+            }
+            "--csv" => o.csv = true,
+            "--fig4a" => {
+                o.fig4a = true;
+                any = true;
+            }
+            "--fig4b" => {
+                o.fig4b = true;
+                any = true;
+            }
+            "--fig4c" => {
+                o.fig4c = true;
+                any = true;
+            }
+            "--fig5a" => {
+                o.fig5a = true;
+                any = true;
+            }
+            "--fig5b" => {
+                o.fig5b = true;
+                any = true;
+            }
+            "--fig5c" => {
+                o.fig5c = true;
+                any = true;
+            }
+            "--table1" => {
+                o.table1 = true;
+                any = true;
+            }
+            "--ablation-memory" => {
+                o.ablation_memory = true;
+                any = true;
+            }
+            "--profile-kmeans" => {
+                profile_kmeans();
+                std::process::exit(0);
+            }
+            "--all" => {
+                o.fig4a = true;
+                o.fig4b = true;
+                o.fig4c = true;
+                o.fig5a = true;
+                o.fig5b = true;
+                o.fig5c = true;
+                o.table1 = true;
+                o.ablation_memory = true;
+                any = true;
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+    if !any {
+        o.fig4a = true;
+        o.fig4b = true;
+        o.fig4c = true;
+        o.fig5a = true;
+        o.fig5b = true;
+        o.fig5c = true;
+        o.table1 = true;
+        o.ablation_memory = true;
+    }
+    o
+}
+
+/// Systems to run for a k-Means configuration of n tuples.
+fn kmeans_systems(n: usize, sql_cap: usize) -> Vec<System> {
+    let mut systems = vec![
+        System::HyperOperator,
+        System::Dataflow,
+        System::SingleThread,
+    ];
+    if n <= sql_cap {
+        systems.extend([System::HyperIterate, System::HyperSql, System::Udf]);
+    } else {
+        eprintln!(
+            "note: skipping HyPer Iterate / HyPer SQL / MADlib-sim at n={n} \
+             (> --sql-cap {sql_cap}); raise --sql-cap to include them"
+        );
+    }
+    systems
+}
+
+fn kmeans_figure(
+    title: &str,
+    grid: &[KMeansExperiment],
+    xlabel: impl Fn(&KMeansExperiment) -> String,
+    opts: &Options,
+) {
+    let mut measurements = Vec::new();
+    for exp in grid {
+        let ctx = workloads::setup_kmeans(*exp, 42).expect("setup");
+        for system in kmeans_systems(exp.n, opts.sql_cap) {
+            match run_kmeans(system, &ctx) {
+                Ok((t, _)) => measurements.push(Measurement {
+                    system: system.to_string(),
+                    x: xlabel(exp),
+                    runtime: t,
+                }),
+                Err(e) => eprintln!("{system} failed on {exp:?}: {e}"),
+            }
+        }
+    }
+    emit(title, &measurements, opts);
+}
+
+fn emit(title: &str, measurements: &[Measurement], opts: &Options) {
+    println!("{}", render_figure(title, measurements));
+    if opts.csv {
+        println!("{}", render_csv(measurements));
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let grid = Table1::scaled(opts.scale);
+
+    if opts.table1 {
+        println!(
+            "== Table 1: k-Means datasets (scale {}):\n{}",
+            opts.scale,
+            grid.render()
+        );
+    }
+    if opts.fig4a {
+        kmeans_figure(
+            "Figure 4 (left): k-Means, varying number of tuples",
+            &grid.varying_tuples(),
+            |e| e.n.to_string(),
+            &opts,
+        );
+    }
+    if opts.fig4b {
+        kmeans_figure(
+            "Figure 4 (middle): k-Means, varying number of dimensions",
+            &grid.varying_dimensions(),
+            |e| e.d.to_string(),
+            &opts,
+        );
+    }
+    if opts.fig4c {
+        kmeans_figure(
+            "Figure 4 (right): k-Means, varying number of clusters",
+            &grid.varying_clusters(),
+            |e| e.k.to_string(),
+            &opts,
+        );
+    }
+    if opts.fig5a {
+        let configs = [
+            ("11k/452k", LdbcConfig::paper_small()),
+            ("73k/4.6m", LdbcConfig::paper_medium()),
+            ("499k/46m", LdbcConfig::paper_large()),
+        ];
+        let mut measurements = Vec::new();
+        for (label, base) in configs {
+            let config = base.scaled(opts.scale.max(0.002));
+            let ctx = workloads::setup_pagerank(&config).expect("setup");
+            // Paper parameters: d = 0.85, ε = 0, 45 iterations.
+            let iterations = 45;
+            for system in [
+                System::HyperOperator,
+                System::Dataflow,
+                System::SingleThread,
+            ] {
+                match run_pagerank(system, &ctx, 0.85, iterations) {
+                    Ok((t, _)) => measurements.push(Measurement {
+                        system: system.to_string(),
+                        x: label.to_string(),
+                        runtime: t,
+                    }),
+                    Err(e) => eprintln!("{system} failed on {label}: {e}"),
+                }
+            }
+            // SQL layers and UDF only on graphs that fit the cap.
+            if ctx.src.len() <= opts.sql_cap * 4 {
+                for system in [System::HyperIterate, System::HyperSql, System::Udf] {
+                    match run_pagerank(system, &ctx, 0.85, iterations) {
+                        Ok((t, _)) => measurements.push(Measurement {
+                            system: system.to_string(),
+                            x: label.to_string(),
+                            runtime: t,
+                        }),
+                        Err(e) => eprintln!("{system} failed on {label}: {e}"),
+                    }
+                }
+            } else {
+                eprintln!(
+                    "note: skipping SQL/UDF systems on {label} ({} edges > cap)",
+                    ctx.src.len()
+                );
+            }
+        }
+        emit(
+            "Figure 5 (left): PageRank on LDBC graphs (d=0.85, 45 iterations)",
+            &measurements,
+            &opts,
+        );
+    }
+    if opts.fig5b {
+        let mut measurements = Vec::new();
+        for exp in grid.varying_tuples() {
+            let ctx = workloads::setup_naive_bayes(exp.n, 10, 42).expect("setup");
+            for system in kmeans_systems(exp.n, opts.sql_cap) {
+                match run_naive_bayes(system, &ctx) {
+                    Ok((t, _)) => measurements.push(Measurement {
+                        system: system.to_string(),
+                        x: exp.n.to_string(),
+                        runtime: t,
+                    }),
+                    Err(e) => eprintln!("{system} failed at n={}: {e}", exp.n),
+                }
+            }
+        }
+        emit(
+            "Figure 5 (middle): Naive Bayes training, varying number of tuples",
+            &measurements,
+            &opts,
+        );
+    }
+    if opts.fig5c {
+        let mut measurements = Vec::new();
+        for exp in grid.varying_dimensions() {
+            let ctx = workloads::setup_naive_bayes(exp.n, exp.d, 42).expect("setup");
+            for system in kmeans_systems(exp.n, opts.sql_cap) {
+                match run_naive_bayes(system, &ctx) {
+                    Ok((t, _)) => measurements.push(Measurement {
+                        system: system.to_string(),
+                        x: exp.d.to_string(),
+                        runtime: t,
+                    }),
+                    Err(e) => eprintln!("{system} failed at d={}: {e}", exp.d),
+                }
+            }
+        }
+        emit(
+            "Figure 5 (right): Naive Bayes training, varying number of dimensions",
+            &measurements,
+            &opts,
+        );
+    }
+    if opts.ablation_memory {
+        ablation_memory();
+    }
+}
+
+/// Timing breakdown of the KMEANS operator path (diagnostics).
+fn profile_kmeans() {
+    use hylite_analytics::{kmeans, KMeansConfig};
+    use std::time::Instant;
+    let exp = KMeansExperiment {
+        n: 1_000_000,
+        d: 10,
+        k: 5,
+        iterations: 3,
+    };
+    let ctx = workloads::setup_kmeans(exp, 42).expect("setup");
+    let cols: Vec<String> = (0..exp.d).map(|i| format!("d.c{i}")).collect();
+    let subquery = format!("SELECT {} FROM data d", cols.join(", "));
+
+    let t = Instant::now();
+    let r = ctx.db.execute(&format!("SELECT count(*) FROM ({subquery}) q")).unwrap();
+    println!("scan+project+count: {:?} ({})", t.elapsed(), r.scalar().unwrap());
+
+    let t = Instant::now();
+    let chunks = {
+        let r = ctx.db.execute(&subquery).unwrap();
+        r.chunks().to_vec()
+    };
+    println!("materialize subquery: {:?} ({} chunks)", t.elapsed(), chunks.len());
+
+    let t = Instant::now();
+    let result = kmeans(
+        &chunks,
+        ctx.centers.clone(),
+        None,
+        &KMeansConfig { max_iterations: 3 },
+    )
+    .unwrap();
+    println!("analytics::kmeans on chunks: {:?} ({} iters)", t.elapsed(), result.iterations);
+
+    let t = Instant::now();
+    ctx.db
+        .execute(&hylite_bench::queries::kmeans_operator(exp.d, 3))
+        .unwrap();
+    println!("full operator SQL: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let (centers2, _, _) = hylite_baselines::dataflow::kmeans(&ctx.dist, &ctx.centers, 3);
+    println!("dataflow sim: {:?} ({} centers)", t.elapsed(), centers2.len());
+}
+
+/// §5.1 ablation: live intermediate tuples, ITERATE vs recursive CTE.
+fn ablation_memory() {
+    use hylite_core::Database;
+    println!("== Ablation (§5.1): peak live intermediate tuples, n = 1000 rows");
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>8}",
+        "iterations", "ITERATE", "recursive CTE", "ratio"
+    );
+    let db = Database::new();
+    db.execute("CREATE TABLE base (v BIGINT)").expect("ddl");
+    let rows: Vec<String> = (0..1000).map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO base VALUES {}", rows.join(",")))
+        .expect("insert");
+    for iters in [10usize, 50, 100, 500] {
+        let it = db
+            .execute(&format!(
+                "SELECT count(*) FROM ITERATE ((SELECT v, 0 AS i FROM base), \
+                 (SELECT v + 1, i + 1 FROM iterate), \
+                 (SELECT i FROM iterate WHERE i >= {iters}))"
+            ))
+            .expect("iterate");
+        let cte = db
+            .execute(&format!(
+                "WITH RECURSIVE r (v, i) AS (SELECT v, 0 FROM base \
+                 UNION ALL SELECT v + 1, i + 1 FROM r WHERE i < {iters}) \
+                 SELECT count(*) FROM r"
+            ))
+            .expect("cte");
+        println!(
+            "{:>10}  {:>14}  {:>14}  {:>7.1}×",
+            iters,
+            it.stats.peak_working_rows,
+            cte.stats.peak_working_rows,
+            cte.stats.peak_working_rows as f64 / it.stats.peak_working_rows.max(1) as f64
+        );
+    }
+    let _ = Duration::ZERO;
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§8).
+//!
+//! * [`queries`] — the SQL formulations behind the "HyPer Iterate" and
+//!   "HyPer SQL" systems;
+//! * [`workloads`] — dataset setup per experiment (Table 1 grid, LDBC
+//!   graphs, labeled NB data), pre-loaded into every system's native
+//!   format so timed regions cover the algorithm only;
+//! * [`systems`] — one timed runner per (algorithm × system);
+//! * [`report`] — gnuplot-ish text rendering of figure series.
+//!
+//! `cargo bench` runs Criterion versions at reduced scale; the `figures`
+//! binary sweeps the full grids (`--scale` controls dataset sizes).
+
+pub mod queries;
+pub mod report;
+pub mod systems;
+pub mod workloads;

@@ -1,0 +1,213 @@
+//! SQL formulations of the three algorithms for the "HyPer Iterate"
+//! (layer 3, non-appending ITERATE) and "HyPer SQL" (layer 3, recursive
+//! CTE) systems of the evaluation.
+//!
+//! Conventions: the vector-data table is `data(id BIGINT, c0..c{d-1}
+//! DOUBLE)`, initial centers live in `centers(cid BIGINT, c0..)`, graphs
+//! in `edges(src BIGINT, dest BIGINT)`, labeled data in
+//! `nbdata(c0.., label BIGINT)`.
+
+/// `(a.cX - b.cX)^2` summed over dimensions — the L2 distance text.
+fn l2(d: usize, left: &str, right: &str) -> String {
+    (0..d)
+        .map(|i| format!("({left}.c{i} - {right}.c{i})^2"))
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+fn col_list(d: usize, alias: &str) -> String {
+    (0..d)
+        .map(|i| format!("{alias}.c{i}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// One assignment+update step over the working centers relation
+/// `{working}` (columns cid, c0.., i): re-assign every data tuple to its
+/// nearest center and emit the new per-cluster means.
+fn kmeans_step(d: usize, working: &str) -> String {
+    let dist = l2(d, "dd", "it");
+    format!(
+        "SELECT am.cid AS cid, {avgs}, min(am.i) + 1 AS i \
+         FROM (SELECT p.id AS id, min(p.cid) AS cid, min(p.i) AS i \
+               FROM (SELECT dd.id, it.cid, it.i, {dist} AS dist \
+                     FROM data dd, {working} it) p \
+               JOIN (SELECT q.id AS id, min(q.dist) AS mdist \
+                     FROM (SELECT dd.id AS id, {dist} AS dist \
+                           FROM data dd, {working} it) q \
+                     GROUP BY q.id) m \
+                 ON p.id = m.id AND p.dist = m.mdist \
+               GROUP BY p.id) am \
+         JOIN data dd2 ON dd2.id = am.id \
+         GROUP BY am.cid",
+        avgs = avg_list_renamed(d, "dd2"),
+    )
+}
+
+fn avg_list_renamed(d: usize, alias: &str) -> String {
+    (0..d)
+        .map(|i| format!("avg({alias}.c{i}) AS c{i}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// k-Means with the non-appending ITERATE construct (the paper's
+/// "HyPer Iterate" system). Returns (cid, c0.., i).
+pub fn kmeans_iterate(d: usize, iterations: usize) -> String {
+    let init = format!(
+        "SELECT ct.cid AS cid, {cols}, 0 AS i FROM centers ct",
+        cols = col_list(d, "ct")
+    );
+    let step = kmeans_step(d, "iterate");
+    format!(
+        "SELECT * FROM ITERATE(({init}), ({step}), \
+         (SELECT it2.i FROM iterate it2 WHERE it2.i >= {iterations}))"
+    )
+}
+
+/// k-Means with a recursive CTE (the paper's "HyPer SQL" system): the
+/// appending baseline. The iteration counter i is carried in every tuple
+/// — the memory overhead §5.1 calls out.
+pub fn kmeans_recursive_cte(d: usize, iterations: usize) -> String {
+    let init = format!(
+        "SELECT ct.cid AS cid, {cols}, 0 AS i FROM centers ct",
+        cols = col_list(d, "ct")
+    );
+    // The recursive term sees only the previous iteration (the working
+    // table), filtered so the recursion terminates.
+    let step = kmeans_step(d, "(SELECT * FROM kcenters WHERE i < 9999999)");
+    let step = step.replace("9999999", &iterations.to_string());
+    format!(
+        "WITH RECURSIVE kcenters (cid, {cdecl}, i) AS ({init} UNION ALL {step}) \
+         SELECT * FROM kcenters WHERE i = {iterations}",
+        cdecl = (0..d).map(|i| format!("c{i}")).collect::<Vec<_>>().join(", ")
+    )
+}
+
+/// PageRank with ITERATE: the rank relation (vertex, rank, i) is
+/// replaced each round via joins on the edge table — relational
+/// structures only, no CSR (§8.4.2).
+pub fn pagerank_iterate(num_vertices: usize, damping: f64, iterations: usize) -> String {
+    let n = num_vertices as f64;
+    let init = format!(
+        "SELECT v.vertex AS vertex, 1.0 / {n:.1} AS rank, 0 AS i \
+         FROM (SELECT e.src AS vertex FROM edges e UNION SELECT e2.dest FROM edges e2) v"
+    );
+    let step = format!(
+        "SELECT e.dest AS vertex, \
+                {base:.17} + {damping} * sum(it.rank / deg.degree) AS rank, \
+                min(it.i) + 1 AS i \
+         FROM iterate it \
+         JOIN edges e ON e.src = it.vertex \
+         JOIN (SELECT e3.src AS src, CAST(count(*) AS DOUBLE) AS degree \
+               FROM edges e3 GROUP BY e3.src) deg \
+           ON deg.src = it.vertex \
+         GROUP BY e.dest",
+        base = (1.0 - damping) / n,
+    );
+    format!(
+        "SELECT * FROM ITERATE(({init}), ({step}), \
+         (SELECT it2.i FROM iterate it2 WHERE it2.i >= {iterations}))"
+    )
+}
+
+/// PageRank with a recursive CTE (appending baseline).
+pub fn pagerank_recursive_cte(num_vertices: usize, damping: f64, iterations: usize) -> String {
+    let n = num_vertices as f64;
+    let init = format!(
+        "SELECT v.vertex AS vertex, 1.0 / {n:.1} AS rank, 0 AS i \
+         FROM (SELECT e.src AS vertex FROM edges e UNION SELECT e2.dest FROM edges e2) v"
+    );
+    let step = format!(
+        "SELECT e.dest AS vertex, \
+                {base:.17} + {damping} * sum(it.rank / deg.degree) AS rank, \
+                min(it.i) + 1 AS i \
+         FROM (SELECT * FROM pranks WHERE i < {last}) it \
+         JOIN edges e ON e.src = it.vertex \
+         JOIN (SELECT e3.src AS src, CAST(count(*) AS DOUBLE) AS degree \
+               FROM edges e3 GROUP BY e3.src) deg \
+           ON deg.src = it.vertex \
+         GROUP BY e.dest",
+        base = (1.0 - damping) / n,
+        last = iterations,
+    );
+    format!(
+        "WITH RECURSIVE pranks (vertex, rank, i) AS ({init} UNION ALL {step}) \
+         SELECT pr.vertex, pr.rank FROM pranks pr WHERE pr.i = {iterations}"
+    )
+}
+
+/// Naive Bayes training in plain SQL: per-class aggregation, unpivoted
+/// into the model relation (class, attribute, prior, mean, stddev).
+/// Expects `nbdata(c0.., label)`.
+pub fn naive_bayes_sql(d: usize) -> String {
+    let per_attr: Vec<String> = (0..d)
+        .map(|i| {
+            format!(
+                "SELECT g.label AS class, 'c{i}' AS attribute, \
+                        (g.n + 1.0) / (t.total + cl.classes) AS prior, \
+                        g.m{i} AS mean, g.s{i} AS stddev \
+                 FROM (SELECT nb.label AS label, CAST(count(*) AS DOUBLE) AS n, \
+                              {moments} \
+                       FROM nbdata nb GROUP BY nb.label) g, \
+                      (SELECT CAST(count(*) AS DOUBLE) AS total FROM nbdata) t, \
+                      (SELECT CAST(count(*) AS DOUBLE) AS classes \
+                       FROM (SELECT DISTINCT nb2.label FROM nbdata nb2) dl) cl",
+                moments = (0..d)
+                    .map(|j| format!("avg(nb.c{j}) AS m{j}, stddev(nb.c{j}) AS s{j}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        })
+        .collect();
+    per_attr.join(" UNION ALL ")
+}
+
+/// The layer-4 KMEANS operator invocation for the same tables.
+pub fn kmeans_operator(d: usize, iterations: usize) -> String {
+    format!(
+        "SELECT * FROM KMEANS((SELECT {dc} FROM data d), (SELECT {cc} FROM centers ct), {iterations})",
+        dc = col_list(d, "d"),
+        cc = col_list(d, "ct"),
+    )
+}
+
+/// The layer-4 PAGERANK operator invocation.
+pub fn pagerank_operator(damping: f64, iterations: usize) -> String {
+    format!(
+        "SELECT * FROM PAGERANK((SELECT e.src, e.dest FROM edges e), {damping}, 0.0, {iterations})"
+    )
+}
+
+/// The layer-4 NAIVE_BAYES_TRAIN operator invocation.
+pub fn naive_bayes_operator(d: usize) -> String {
+    format!(
+        "SELECT * FROM NAIVE_BAYES_TRAIN((SELECT {cols}, nb.label FROM nbdata nb), label)",
+        cols = (0..d)
+            .map(|i| format!("nb.c{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_parse() {
+        for sql in [
+            kmeans_iterate(3, 2),
+            kmeans_recursive_cte(3, 2),
+            pagerank_iterate(100, 0.85, 5),
+            pagerank_recursive_cte(100, 0.85, 5),
+            naive_bayes_sql(2),
+            kmeans_operator(3, 2),
+            pagerank_operator(0.85, 5),
+            naive_bayes_operator(2),
+        ] {
+            hylite_sql::parse_statement(&sql)
+                .unwrap_or_else(|e| panic!("query failed to parse: {e}\n{sql}"));
+        }
+    }
+}

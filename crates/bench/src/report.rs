@@ -1,0 +1,111 @@
+//! Text rendering of figure series (paper-style log-scale summaries).
+
+use std::time::Duration;
+
+/// One measured point of a figure series.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// System name (legend entry).
+    pub system: String,
+    /// X-axis label (e.g. the tuple count).
+    pub x: String,
+    /// Measured runtime.
+    pub runtime: Duration,
+}
+
+/// Render a figure as a table: rows = x values, columns = systems.
+pub fn render_figure(title: &str, measurements: &[Measurement]) -> String {
+    let mut systems: Vec<String> = Vec::new();
+    let mut xs: Vec<String> = Vec::new();
+    for m in measurements {
+        if !systems.contains(&m.system) {
+            systems.push(m.system.clone());
+        }
+        if !xs.contains(&m.x) {
+            xs.push(m.x.clone());
+        }
+    }
+    let cell = |x: &str, s: &str| -> String {
+        measurements
+            .iter()
+            .find(|m| m.x == x && m.system == s)
+            .map_or_else(|| "-".to_string(), |m| format!("{:.4}", m.runtime.as_secs_f64()))
+    };
+    let mut widths: Vec<usize> = systems.iter().map(|s| s.len().max(8)).collect();
+    for (i, s) in systems.iter().enumerate() {
+        for x in &xs {
+            widths[i] = widths[i].max(cell(x, s).len());
+        }
+    }
+    let xw = xs.iter().map(String::len).max().unwrap_or(1).max(8);
+    let mut out = String::new();
+    out.push_str(&format!("== {title} (runtime in seconds)\n"));
+    out.push_str(&format!("{:<xw$}", "x"));
+    for (i, s) in systems.iter().enumerate() {
+        out.push_str(&format!("  {:>w$}", s, w = widths[i]));
+    }
+    out.push('\n');
+    for x in &xs {
+        out.push_str(&format!("{x:<xw$}"));
+        for (i, s) in systems.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", cell(x, s), w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV rendering for plotting (`x,system,seconds`).
+pub fn render_csv(measurements: &[Measurement]) -> String {
+    let mut out = String::from("x,system,seconds\n");
+    for m in measurements {
+        out.push_str(&format!(
+            "{},{},{:.6}\n",
+            m.x,
+            m.system,
+            m.runtime.as_secs_f64()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Measurement> {
+        vec![
+            Measurement {
+                system: "A".into(),
+                x: "100".into(),
+                runtime: Duration::from_millis(10),
+            },
+            Measurement {
+                system: "B".into(),
+                x: "100".into(),
+                runtime: Duration::from_millis(20),
+            },
+            Measurement {
+                system: "A".into(),
+                x: "200".into(),
+                runtime: Duration::from_millis(30),
+            },
+        ]
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = render_figure("demo", &sample());
+        assert!(t.contains("demo"));
+        assert!(t.contains("0.0100"));
+        assert!(t.contains("0.0300"));
+        assert!(t.contains('-'), "missing cell rendered as dash");
+    }
+
+    #[test]
+    fn csv_rows() {
+        let csv = render_csv(&sample());
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("100,A,0.010000"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Experiment setup: datasets pre-loaded into every system's format.
+
+use hylite_baselines::dataflow::{DistDataset, DistEdges};
+use hylite_common::{Chunk, ColumnVector, Result};
+use hylite_core::Database;
+use hylite_datagen::table1::KMeansExperiment;
+use hylite_datagen::VectorDataset;
+use hylite_graph::{LdbcConfig, LdbcGraph};
+
+/// Everything a k-Means experiment needs, across all systems.
+pub struct KMeansContext {
+    /// The database: `data(id, c0..)`, `centers(cid, c0..)` loaded.
+    pub db: Database,
+    /// The experiment parameters.
+    pub exp: KMeansExperiment,
+    /// Initial centers (k × d).
+    pub centers: Vec<Vec<f64>>,
+    /// Row-major copy for the single-threaded tool.
+    pub rows: Vec<Vec<f64>>,
+    /// Pre-loaded dataflow-engine dataset.
+    pub dist: DistDataset,
+}
+
+/// Build the k-Means experiment context.
+pub fn setup_kmeans(exp: KMeansExperiment, seed: u64) -> Result<KMeansContext> {
+    let dataset = VectorDataset::new(exp.n, exp.d, seed);
+    let db = Database::new();
+
+    // Database tables: data(id, c0..) and centers(cid, c0..).
+    let id_cols: Vec<String> = (0..exp.d).map(|i| format!("c{i} DOUBLE")).collect();
+    db.execute(&format!(
+        "CREATE TABLE data (id BIGINT, {})",
+        id_cols.join(", ")
+    ))?;
+    {
+        let table = db.catalog().get_table("data")?;
+        let mut guard = table.write();
+        let mut next_id = 0i64;
+        for chunk in dataset.chunks() {
+            let n = chunk.len();
+            let mut cols = vec![std::sync::Arc::new(ColumnVector::from_i64(
+                (next_id..next_id + n as i64).collect(),
+            ))];
+            cols.extend(chunk.columns().iter().cloned());
+            guard.insert_chunk(Chunk::from_arc_columns(cols))?;
+            next_id += n as i64;
+        }
+        guard.commit();
+    }
+    let centers = dataset.initial_centers(exp.k);
+    db.execute(&format!(
+        "CREATE TABLE centers (cid BIGINT, {})",
+        id_cols.join(", ")
+    ))?;
+    {
+        let table = db.catalog().get_table("centers")?;
+        let rows: Vec<Vec<hylite_common::Value>> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut row = vec![hylite_common::Value::Int(i as i64)];
+                row.extend(c.iter().map(|&v| hylite_common::Value::Float(v)));
+                row
+            })
+            .collect();
+        let mut guard = table.write();
+        guard.insert_rows(&rows)?;
+        guard.commit();
+    }
+
+    // External-system formats (the ETL copies those systems require).
+    let chunks = dataset.chunks();
+    let dist = DistDataset::load(&chunks);
+    let mut rows = Vec::with_capacity(exp.n);
+    for chunk in &chunks {
+        let cols: Vec<&[f64]> = (0..exp.d)
+            .map(|i| chunk.column(i).as_f64())
+            .collect::<Result<_>>()?;
+        for r in 0..chunk.len() {
+            rows.push(cols.iter().map(|c| c[r]).collect());
+        }
+    }
+    Ok(KMeansContext {
+        db,
+        exp,
+        centers,
+        rows,
+        dist,
+    })
+}
+
+/// Everything a PageRank experiment needs.
+pub struct PageRankContext {
+    /// Database with `edges(src, dest)` loaded.
+    pub db: Database,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge arrays for external systems.
+    pub src: Vec<i64>,
+    /// Edge arrays for external systems.
+    pub dest: Vec<i64>,
+    /// Pre-partitioned dataflow edges.
+    pub dist: DistEdges,
+}
+
+/// Build a PageRank context from an LDBC-like configuration.
+pub fn setup_pagerank(config: &LdbcConfig) -> Result<PageRankContext> {
+    let graph = LdbcGraph::generate(config);
+    let db = Database::new();
+    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")?;
+    {
+        let table = db.catalog().get_table("edges")?;
+        let chunk = Chunk::new(vec![
+            ColumnVector::from_i64(graph.src.clone()),
+            ColumnVector::from_i64(graph.dest.clone()),
+        ]);
+        let mut guard = table.write();
+        guard.insert_chunk(chunk)?;
+        guard.commit();
+    }
+    let dist = DistEdges::load(&graph.src, &graph.dest, 16);
+    Ok(PageRankContext {
+        db,
+        vertices: config.vertices,
+        src: graph.src,
+        dest: graph.dest,
+        dist,
+    })
+}
+
+/// Everything a Naive Bayes experiment needs.
+pub struct NaiveBayesContext {
+    /// Database with `nbdata(c0.., label)` loaded.
+    pub db: Database,
+    /// Dimensions.
+    pub d: usize,
+    /// Row-major feature copy for the single-threaded tool.
+    pub rows: Vec<Vec<f64>>,
+    /// Labels aligned with `rows`.
+    pub labels: Vec<i64>,
+    /// Dataflow dataset with the label as the last column.
+    pub dist: DistDataset,
+}
+
+/// Class-mean separation used for NB datasets (classes overlap slightly).
+pub const NB_SEPARATION: f64 = 0.5;
+
+/// Build the Naive Bayes experiment context.
+pub fn setup_naive_bayes(n: usize, d: usize, seed: u64) -> Result<NaiveBayesContext> {
+    let dataset = VectorDataset::new(n, d, seed);
+    let db = Database::new();
+    let cols: Vec<String> = (0..d).map(|i| format!("c{i} DOUBLE")).collect();
+    db.execute(&format!(
+        "CREATE TABLE nbdata ({}, label BIGINT)",
+        cols.join(", ")
+    ))?;
+    let chunks = dataset.labeled_chunks(NB_SEPARATION);
+    {
+        let table = db.catalog().get_table("nbdata")?;
+        let mut guard = table.write();
+        for chunk in &chunks {
+            guard.insert_chunk(chunk.clone())?;
+        }
+        guard.commit();
+    }
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut df_rows = Vec::with_capacity(n);
+    for chunk in &chunks {
+        let fcols: Vec<&[f64]> = (0..d)
+            .map(|i| chunk.column(i).as_f64())
+            .collect::<Result<_>>()?;
+        let lcol = chunk.column(d).as_i64()?;
+        for r in 0..chunk.len() {
+            let feats: Vec<f64> = fcols.iter().map(|c| c[r]).collect();
+            let mut with_label = feats.clone();
+            with_label.push(lcol[r] as f64);
+            df_rows.push(with_label);
+            rows.push(feats);
+            labels.push(lcol[r]);
+        }
+    }
+    let dist = DistDataset::from_rows(&df_rows, 16);
+    Ok(NaiveBayesContext {
+        db,
+        d,
+        rows,
+        labels,
+        dist,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_context_loads_all_formats() {
+        let exp = KMeansExperiment {
+            n: 500,
+            d: 3,
+            k: 2,
+            iterations: 2,
+        };
+        let ctx = setup_kmeans(exp, 1).unwrap();
+        assert_eq!(ctx.rows.len(), 500);
+        assert_eq!(ctx.dist.count(), 500);
+        assert_eq!(ctx.centers.len(), 2);
+        let n = ctx
+            .db
+            .execute("SELECT count(*) FROM data")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(n, hylite_common::Value::Int(500));
+    }
+
+    #[test]
+    fn pagerank_context_loads() {
+        let config = LdbcConfig {
+            vertices: 100,
+            edges: 500,
+            triangle_fraction: 0.2,
+            seed: 3,
+        };
+        let ctx = setup_pagerank(&config).unwrap();
+        assert!(ctx.src.len() > 500);
+        let n = ctx
+            .db
+            .execute("SELECT count(*) FROM edges")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(n, hylite_common::Value::Int(ctx.src.len() as i64));
+    }
+
+    #[test]
+    fn nb_context_loads() {
+        let ctx = setup_naive_bayes(300, 4, 5).unwrap();
+        assert_eq!(ctx.rows.len(), 300);
+        assert_eq!(ctx.labels.len(), 300);
+        assert_eq!(ctx.dist.count(), 300);
+        let n = ctx
+            .db
+            .execute("SELECT count(*) FROM nbdata")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(n, hylite_common::Value::Int(300));
+    }
+}

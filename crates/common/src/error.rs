@@ -1,0 +1,124 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across all HyLite crates.
+pub type Result<T> = std::result::Result<T, HyError>;
+
+/// Error raised anywhere in the engine: parsing, binding, planning,
+/// execution, storage or analytics.
+///
+/// Each variant carries a human-readable message; the variant itself tells
+/// callers (and tests) which stage of the pipeline rejected the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HyError {
+    /// Tokenizer/parser rejected the SQL text.
+    Parse(String),
+    /// Name resolution or type checking failed.
+    Bind(String),
+    /// Logical-to-physical planning failed.
+    Plan(String),
+    /// Runtime failure while executing a plan.
+    Execution(String),
+    /// Storage-layer failure (unknown table, constraint violation, ...).
+    Storage(String),
+    /// Catalog-level failure (duplicate table, unknown object, ...).
+    Catalog(String),
+    /// A type mismatch detected at any stage.
+    Type(String),
+    /// An analytics operator rejected its configuration or input.
+    Analytics(String),
+    /// Transaction handling failure (no active tx, conflict, ...).
+    Transaction(String),
+    /// Internal invariant violation: a bug in the engine, not user error.
+    Internal(String),
+}
+
+impl HyError {
+    /// Short lowercase tag naming the pipeline stage that failed.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            HyError::Parse(_) => "parse",
+            HyError::Bind(_) => "bind",
+            HyError::Plan(_) => "plan",
+            HyError::Execution(_) => "execution",
+            HyError::Storage(_) => "storage",
+            HyError::Catalog(_) => "catalog",
+            HyError::Type(_) => "type",
+            HyError::Analytics(_) => "analytics",
+            HyError::Transaction(_) => "transaction",
+            HyError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            HyError::Parse(m)
+            | HyError::Bind(m)
+            | HyError::Plan(m)
+            | HyError::Execution(m)
+            | HyError::Storage(m)
+            | HyError::Catalog(m)
+            | HyError::Type(m)
+            | HyError::Analytics(m)
+            | HyError::Transaction(m)
+            | HyError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for HyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.stage(), self.message())
+    }
+}
+
+impl std::error::Error for HyError {}
+
+/// Build an [`HyError::Internal`] with `format!` semantics.
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        $crate::HyError::Internal(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_and_message_roundtrip() {
+        let e = HyError::Parse("unexpected token".into());
+        assert_eq!(e.stage(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+    }
+
+    #[test]
+    fn internal_macro_formats() {
+        let e = internal_err!("bad index {}", 7);
+        assert_eq!(e, HyError::Internal("bad index 7".into()));
+    }
+
+    #[test]
+    fn all_stages_distinct() {
+        let errs = [
+            HyError::Parse(String::new()),
+            HyError::Bind(String::new()),
+            HyError::Plan(String::new()),
+            HyError::Execution(String::new()),
+            HyError::Storage(String::new()),
+            HyError::Catalog(String::new()),
+            HyError::Type(String::new()),
+            HyError::Analytics(String::new()),
+            HyError::Transaction(String::new()),
+            HyError::Internal(String::new()),
+        ];
+        let mut stages: Vec<_> = errs.iter().map(|e| e.stage()).collect();
+        stages.sort_unstable();
+        stages.dedup();
+        assert_eq!(stages.len(), errs.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared vocabulary of the HyLite engine.
+//!
+//! This crate defines the typed columnar value system every other crate
+//! speaks: [`DataType`] and [`Value`] for scalars, [`Bitmap`] for validity,
+//! [`ColumnVector`] for typed columns, [`Chunk`] for vectorized batches of
+//! rows, [`Schema`]/[`Field`] for relation shapes, and [`HyError`] for
+//! error reporting across the whole engine.
+
+pub mod bitmap;
+pub mod chunk;
+pub mod column;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use chunk::Chunk;
+pub use column::ColumnVector;
+pub use error::{HyError, Result};
+pub use row::Row;
+pub use schema::{Field, Schema, SchemaRef};
+pub use types::DataType;
+pub use value::Value;
+
+/// Number of rows an execution-time [`Chunk`] aims for. Chosen so that a
+/// handful of `f64` columns stay comfortably inside L1/L2 while amortizing
+/// per-chunk dispatch, mirroring vectorized engines.
+pub const CHUNK_ROWS: usize = 2048;

@@ -1,0 +1,104 @@
+//! Row-at-a-time view used at API boundaries and in the UDF baseline.
+
+use std::fmt;
+
+use crate::{Result, Value};
+
+/// A materialized row of scalar values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Row from values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+
+    /// The values in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the value list.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for a zero-column row.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Typed accessor: `i64` at column `i`.
+    pub fn int(&self, i: usize) -> Result<i64> {
+        self.values[i].as_int()
+    }
+
+    /// Typed accessor: `f64` at column `i` (accepts ints).
+    pub fn float(&self, i: usize) -> Result<f64> {
+        self.values[i].as_float()
+    }
+
+    /// Typed accessor: `&str` at column `i`.
+    pub fn str(&self, i: usize) -> Result<&str> {
+        self.values[i].as_str()
+    }
+
+    /// Typed accessor: `bool` at column `i`.
+    pub fn bool(&self, i: usize) -> Result<bool> {
+        self.values[i].as_bool()
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = Row::new(vec![Value::Int(1), Value::Float(2.5), Value::from("x")]);
+        assert_eq!(r.int(0).unwrap(), 1);
+        assert_eq!(r.float(0).unwrap(), 1.0);
+        assert_eq!(r.float(1).unwrap(), 2.5);
+        assert_eq!(r.str(2).unwrap(), "x");
+        assert!(r.int(2).is_err());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn display() {
+        let r = Row::new(vec![Value::Int(1), Value::Null]);
+        assert_eq!(r.to_string(), "(1, NULL)");
+    }
+}

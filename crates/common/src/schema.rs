@@ -1,0 +1,240 @@
+//! Relation schemas: named, typed fields with optional table qualifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{DataType, HyError, Result};
+
+/// One column of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Optional table/alias qualifier (`edges` in `edges.src`).
+    pub qualifier: Option<String>,
+    /// Column name. Stored lowercase; SQL identifiers are case-insensitive.
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable, unqualified field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field {
+            qualifier: None,
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// Attach a table qualifier.
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Field {
+        self.qualifier = Some(qualifier.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Mark the field non-nullable.
+    pub fn not_null(mut self) -> Field {
+        self.nullable = false;
+        self
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.qualified_name(), self.data_type)
+    }
+}
+
+/// An ordered list of [`Field`]s describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared, immutable schema handle (plans and chunks pass these around).
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Empty schema (zero columns), used by DDL/DML result relations.
+    pub fn empty() -> Schema {
+        Schema { fields: vec![] }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True for a zero-column schema.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Resolve a possibly-qualified column reference to its index.
+    ///
+    /// `qualifier == None` matches any field with that name but errors if
+    /// the name is ambiguous. Matching is case-insensitive.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_lowercase();
+        let qualifier = qualifier.map(|q| q.to_ascii_lowercase());
+        let mut hit: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            let matches = match &qualifier {
+                Some(q) => f.qualifier.as_deref() == Some(q.as_str()) && f.name == name,
+                None => f.name == name,
+            };
+            if matches {
+                if hit.is_some() {
+                    return Err(HyError::Bind(format!("ambiguous column reference '{name}'")));
+                }
+                hit = Some(i);
+            }
+        }
+        hit.ok_or_else(|| {
+            let full = match &qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.clone(),
+            };
+            HyError::Bind(format!("unknown column '{full}'"))
+        })
+    }
+
+    /// Index of an unqualified name, if present and unambiguous.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.resolve(None, name)
+    }
+
+    /// Concatenate two schemas (for joins), keeping qualifiers.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Copy of this schema with every qualifier replaced by `alias`.
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.clone().with_qualifier(alias))
+                .collect(),
+        }
+    }
+
+    /// Copy with all qualifiers stripped (e.g. for final query output).
+    pub fn without_qualifiers(&self) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field {
+                    qualifier: None,
+                    ..f.clone()
+                })
+                .collect(),
+        }
+    }
+
+    /// Column data types in order.
+    pub fn types(&self) -> Vec<DataType> {
+        self.fields.iter().map(|f| f.data_type).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("x", DataType::Float64).with_qualifier("a"),
+            Field::new("y", DataType::Float64).with_qualifier("a"),
+            Field::new("x", DataType::Int64).with_qualifier("b"),
+        ])
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = sample();
+        assert_eq!(s.resolve(Some("a"), "x").unwrap(), 0);
+        assert_eq!(s.resolve(Some("b"), "x").unwrap(), 2);
+        assert_eq!(s.resolve(Some("A"), "X").unwrap(), 0, "case-insensitive");
+    }
+
+    #[test]
+    fn resolve_unqualified_ambiguous() {
+        let s = sample();
+        assert!(matches!(s.resolve(None, "x"), Err(HyError::Bind(_))));
+        assert_eq!(s.resolve(None, "y").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_unknown() {
+        let s = sample();
+        assert!(s.resolve(None, "z").is_err());
+        assert!(s.resolve(Some("c"), "x").is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let t = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let j = s.join(&t);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.field(3).name, "k");
+    }
+
+    #[test]
+    fn requalify_and_strip() {
+        let s = sample().with_qualifier("t");
+        assert!(s.fields().iter().all(|f| f.qualifier.as_deref() == Some("t")));
+        let s = s.without_qualifiers();
+        assert!(s.fields().iter().all(|f| f.qualifier.is_none()));
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = Schema::new(vec![Field::new("v", DataType::Int64)]);
+        assert_eq!(s.to_string(), "(v BIGINT)");
+    }
+}

@@ -1,0 +1,137 @@
+//! Logical data types of the engine.
+
+use std::fmt;
+
+use crate::{HyError, Result};
+
+/// Logical column/scalar types supported by HyLite.
+///
+/// The set intentionally mirrors what the paper's workloads need: 64-bit
+/// integers and floats for vector/graph analytics, booleans for predicates,
+/// and variable-length strings for labels and descriptions. `Null` is the
+/// type of an untyped NULL literal before coercion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`BIGINT` / `INTEGER`).
+    Int64,
+    /// 64-bit IEEE-754 float (`FLOAT` / `DOUBLE`).
+    Float64,
+    /// Boolean (`BOOLEAN`).
+    Bool,
+    /// Variable-length UTF-8 string (`VARCHAR` / `TEXT`).
+    Varchar,
+    /// The type of a bare `NULL` literal; coerces to any other type.
+    Null,
+}
+
+impl DataType {
+    /// True for `Int64` and `Float64`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// Whether a value of `self` can be used where `target` is expected
+    /// without an explicit cast (identity, NULL-to-anything, int-to-float).
+    pub fn coercible_to(self, target: DataType) -> bool {
+        self == target
+            || self == DataType::Null
+            || (self == DataType::Int64 && target == DataType::Float64)
+    }
+
+    /// The common type two operands coerce to for arithmetic/comparison,
+    /// or an error if none exists.
+    pub fn common_type(self, other: DataType) -> Result<DataType> {
+        if self == other {
+            return Ok(self);
+        }
+        match (self, other) {
+            (DataType::Null, t) | (t, DataType::Null) => Ok(t),
+            (DataType::Int64, DataType::Float64) | (DataType::Float64, DataType::Int64) => {
+                Ok(DataType::Float64)
+            }
+            _ => Err(HyError::Type(format!(
+                "no common type for {self} and {other}"
+            ))),
+        }
+    }
+
+    /// SQL spelling used when rendering schemas.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "BIGINT",
+            DataType::Float64 => "DOUBLE",
+            DataType::Bool => "BOOLEAN",
+            DataType::Varchar => "VARCHAR",
+            DataType::Null => "NULL",
+        }
+    }
+
+    /// Parse a SQL type name (case-insensitive, with common synonyms).
+    pub fn from_sql_name(name: &str) -> Result<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BIGINT" | "INT" | "INTEGER" | "INT8" | "SMALLINT" | "INT4" => Ok(DataType::Int64),
+            "DOUBLE" | "FLOAT" | "FLOAT8" | "REAL" | "DOUBLE PRECISION" | "NUMERIC"
+            | "DECIMAL" => Ok(DataType::Float64),
+            "BOOLEAN" | "BOOL" => Ok(DataType::Bool),
+            "VARCHAR" | "TEXT" | "CHAR" | "STRING" => Ok(DataType::Varchar),
+            other => Err(HyError::Parse(format!("unknown type name '{other}'"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+        assert!(!DataType::Varchar.is_numeric());
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert!(DataType::Int64.coercible_to(DataType::Float64));
+        assert!(!DataType::Float64.coercible_to(DataType::Int64));
+        assert!(DataType::Null.coercible_to(DataType::Varchar));
+        assert!(DataType::Bool.coercible_to(DataType::Bool));
+    }
+
+    #[test]
+    fn common_type_promotes_ints() {
+        assert_eq!(
+            DataType::Int64.common_type(DataType::Float64).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            DataType::Null.common_type(DataType::Bool).unwrap(),
+            DataType::Bool
+        );
+        assert!(DataType::Bool.common_type(DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn sql_names_roundtrip() {
+        for t in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Bool,
+            DataType::Varchar,
+        ] {
+            assert_eq!(DataType::from_sql_name(t.sql_name()).unwrap(), t);
+        }
+        assert_eq!(
+            DataType::from_sql_name("integer").unwrap(),
+            DataType::Int64
+        );
+        assert!(DataType::from_sql_name("blob").is_err());
+    }
+}

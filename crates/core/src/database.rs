@@ -1,0 +1,329 @@
+//! The database handle.
+
+use std::sync::Arc;
+
+use hylite_common::Result;
+use hylite_storage::Catalog;
+use parking_lot::Mutex;
+
+use crate::result::QueryResult;
+use crate::session::Session;
+
+/// An in-memory HyLite database.
+///
+/// `Database` owns the catalog; [`Database::session`] opens independent
+/// sessions (each with its own transaction state), and
+/// [`Database::execute`] runs SQL on a built-in convenience session.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    default_session: Mutex<Session>,
+}
+
+impl Database {
+    /// A fresh, empty database.
+    pub fn new() -> Database {
+        let catalog = Arc::new(Catalog::new());
+        let default_session = Mutex::new(Session::new(Arc::clone(&catalog)));
+        Database {
+            catalog,
+            default_session,
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Open a new session.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.catalog))
+    }
+
+    /// Execute SQL on the database's default session (transactions on
+    /// this session persist across `execute` calls).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.default_session.lock().execute(sql)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::Value;
+
+    #[test]
+    fn create_insert_select() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a BIGINT, b DOUBLE)").unwrap();
+        let r = db
+            .execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+            .unwrap();
+        assert_eq!(r.rows_affected, 3);
+        let r = db.execute("SELECT a, b FROM t WHERE a >= 2 ORDER BY a").unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.value(0, 0).unwrap(), Value::Int(2));
+        assert_eq!(r.value(1, 1).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn expressions_and_aggregates() {
+        let db = Database::new();
+        db.execute("CREATE TABLE n (x BIGINT)").unwrap();
+        db.execute("INSERT INTO n VALUES (1), (2), (3), (4), (5)")
+            .unwrap();
+        let r = db
+            .execute("SELECT count(*), sum(x), avg(x), min(x), max(x) FROM n")
+            .unwrap();
+        let row = &r.to_rows()[0];
+        assert_eq!(row.values()[0], Value::Int(5));
+        assert_eq!(row.values()[1], Value::Int(15));
+        assert_eq!(row.values()[2], Value::Float(3.0));
+        assert_eq!(row.values()[3], Value::Int(1));
+        assert_eq!(row.values()[4], Value::Int(5));
+    }
+
+    #[test]
+    fn group_by_having() {
+        let db = Database::new();
+        db.execute("CREATE TABLE g (k BIGINT, v BIGINT)").unwrap();
+        db.execute("INSERT INTO g VALUES (1, 10), (1, 20), (2, 5), (2, 5), (3, 1)")
+            .unwrap();
+        let r = db
+            .execute(
+                "SELECT k, sum(v) AS s FROM g GROUP BY k HAVING count(*) > 1 ORDER BY k",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.value(0, 1).unwrap(), Value::Int(30));
+        assert_eq!(r.value(1, 1).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn joins_and_subqueries() {
+        let db = Database::new();
+        db.execute("CREATE TABLE a (id BIGINT, name VARCHAR)").unwrap();
+        db.execute("CREATE TABLE b (id BIGINT, score DOUBLE)").unwrap();
+        db.execute("INSERT INTO a VALUES (1, 'x'), (2, 'y')").unwrap();
+        db.execute("INSERT INTO b VALUES (2, 9.5), (3, 1.0)").unwrap();
+        let r = db
+            .execute("SELECT a.name, b.score FROM a JOIN b ON a.id = b.id")
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.value(0, 0).unwrap(), Value::from("y"));
+        let r = db
+            .execute(
+                "SELECT t.name FROM (SELECT name FROM a WHERE id > 1) t",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+        // LEFT JOIN pads.
+        let r = db
+            .execute("SELECT a.id, b.score FROM a LEFT JOIN b ON a.id = b.id ORDER BY a.id")
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert!(r.value(0, 1).unwrap().is_null());
+    }
+
+    #[test]
+    fn paper_listing_1_iterate_sql() {
+        let db = Database::new();
+        let r = db
+            .execute(
+                "SELECT * FROM ITERATE ((SELECT 7 \"x\"), (SELECT x+7 FROM iterate), \
+                 (SELECT x FROM iterate WHERE x >= 100))",
+            )
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Int(105));
+    }
+
+    #[test]
+    fn recursive_cte_sql() {
+        let db = Database::new();
+        let r = db
+            .execute(
+                "WITH RECURSIVE r (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 10) \
+                 SELECT count(*), sum(n) FROM r",
+            )
+            .unwrap();
+        let row = &r.to_rows()[0];
+        assert_eq!(row.values()[0], Value::Int(10));
+        assert_eq!(row.values()[1], Value::Int(55));
+    }
+
+    #[test]
+    fn kmeans_sql_with_lambda() {
+        let db = Database::new();
+        db.execute("CREATE TABLE data (x DOUBLE, y DOUBLE)").unwrap();
+        db.execute("CREATE TABLE center (x DOUBLE, y DOUBLE)").unwrap();
+        db.execute(
+            "INSERT INTO data VALUES (0.0, 0.0), (0.5, 0.5), (10.0, 10.0), (10.5, 10.5)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO center VALUES (1.0, 1.0), (9.0, 9.0)")
+            .unwrap();
+        let r = db
+            .execute(
+                "SELECT * FROM KMEANS((SELECT x, y FROM data), (SELECT x, y FROM center), \
+                 λ(a, b) (a.x - b.x)^2 + (a.y - b.y)^2, 10)",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+        // sizes column is last.
+        assert_eq!(r.value(0, 3).unwrap(), Value::Int(2));
+        assert_eq!(r.value(1, 3).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn pagerank_sql() {
+        let db = Database::new();
+        db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)").unwrap();
+        db.execute("INSERT INTO edges VALUES (1,2),(2,3),(3,4),(4,1)")
+            .unwrap();
+        let r = db
+            .execute("SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0001)")
+            .unwrap();
+        assert_eq!(r.row_count(), 4);
+        for i in 0..4 {
+            let rank = r.value(i, 1).unwrap().as_float().unwrap();
+            assert!((rank - 0.25).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transactions_commit_and_rollback() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO t VALUES (2)").unwrap();
+        // Same session sees its own uncommitted row.
+        assert_eq!(db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(), Value::Int(2));
+        // Another session sees only committed data.
+        let mut other = db.session();
+        assert_eq!(
+            other.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+            Value::Int(1)
+        );
+        db.execute("ROLLBACK").unwrap();
+        assert_eq!(db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(), Value::Int(1));
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO t VALUES (3)").unwrap();
+        db.execute("COMMIT").unwrap();
+        assert_eq!(
+            other.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id BIGINT, v DOUBLE)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0)").unwrap();
+        let r = db.execute("UPDATE t SET v = v * 10 WHERE id >= 2").unwrap();
+        assert_eq!(r.rows_affected, 2);
+        let r = db.execute("SELECT sum(v) FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Float(51.0));
+        let r = db.execute("DELETE FROM t WHERE id = 1").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        assert_eq!(
+            db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn explain_shows_plan() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+        let r = db.execute("EXPLAIN SELECT x FROM t WHERE x > 1").unwrap();
+        let text = r.to_table_string();
+        assert!(text.contains("TableScan"), "{text}");
+        assert!(text.contains("filter"), "{text}");
+    }
+
+    #[test]
+    fn error_paths() {
+        let db = Database::new();
+        assert!(db.execute("SELEC 1").is_err());
+        assert!(db.execute("SELECT * FROM missing").is_err());
+        assert!(db.execute("COMMIT").is_err());
+        db.execute("BEGIN").unwrap();
+        assert!(db.execute("BEGIN").is_err());
+        db.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn insert_from_select_and_column_list() {
+        let db = Database::new();
+        db.execute("CREATE TABLE src (a BIGINT, b VARCHAR)").unwrap();
+        db.execute("CREATE TABLE dst (a BIGINT, b VARCHAR, c DOUBLE)").unwrap();
+        db.execute("INSERT INTO src VALUES (1, 'x')").unwrap();
+        db.execute("INSERT INTO dst (b, a) SELECT b, a FROM src").unwrap();
+        let r = db.execute("SELECT a, b, c FROM dst").unwrap();
+        assert_eq!(r.value(0, 0).unwrap(), Value::Int(1));
+        assert_eq!(r.value(0, 1).unwrap(), Value::from("x"));
+        assert!(r.value(0, 2).unwrap().is_null(), "unlisted column is NULL");
+    }
+
+    #[test]
+    fn naive_bayes_sql_roundtrip() {
+        let db = Database::new();
+        db.execute("CREATE TABLE train (f1 DOUBLE, f2 DOUBLE, label BIGINT)").unwrap();
+        db.execute(
+            "INSERT INTO train VALUES (0.1, 0.2, 0), (0.2, 0.1, 0), (0.0, 0.0, 0), \
+             (5.1, 5.2, 1), (5.2, 5.1, 1), (5.0, 5.0, 1)",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE model (class BIGINT, attribute VARCHAR, prior DOUBLE, mean DOUBLE, stddev DOUBLE)").unwrap();
+        db.execute(
+            "INSERT INTO model SELECT * FROM NAIVE_BAYES_TRAIN((SELECT f1, f2, label FROM train), label)",
+        )
+        .unwrap();
+        let r = db
+            .execute(
+                "SELECT * FROM NAIVE_BAYES_PREDICT((SELECT * FROM model), \
+                 (SELECT 0.15 f1, 0.15 f2)) ",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.value(0, 2).unwrap(), Value::Int(0), "predicted label");
+    }
+
+    #[test]
+    fn class_stats_sql() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x DOUBLE, label VARCHAR)").unwrap();
+        db.execute("INSERT INTO t VALUES (1.0, 'a'), (3.0, 'a'), (10.0, 'b')").unwrap();
+        let r = db
+            .execute("SELECT * FROM CLASS_STATS((SELECT x, label FROM t), label) ORDER BY class")
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.value(0, 0).unwrap(), Value::from("a"));
+        assert_eq!(r.value(0, 2).unwrap(), Value::Int(2));
+        assert_eq!(r.value(0, 3).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn analytics_composes_with_sql_postprocessing() {
+        // The paper's key claim: operators are relational — results can be
+        // post-processed in the same query.
+        let db = Database::new();
+        db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)").unwrap();
+        db.execute("INSERT INTO edges VALUES (1,2),(2,1),(3,1),(4,1)").unwrap();
+        let r = db
+            .execute(
+                "SELECT pr.vertex FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0) pr \
+                 ORDER BY pr.rank DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Int(1), "vertex 1 is the hub");
+    }
+}

@@ -1,0 +1,15 @@
+//! The HyLite database facade: parse → bind → optimize → execute.
+//!
+//! [`Database`] owns the shared catalog; [`Session`]s run SQL (with
+//! single-writer transactions and snapshot-isolated readers);
+//! [`QueryResult`] carries the result relation plus execution statistics.
+
+pub mod csv;
+pub mod database;
+pub mod result;
+pub mod session;
+
+pub use csv::CsvOptions;
+pub use database::Database;
+pub use result::QueryResult;
+pub use session::Session;

@@ -1,0 +1,165 @@
+//! Query results.
+
+use std::sync::Arc;
+
+use hylite_common::{Chunk, Result, Row, Schema, Value};
+use hylite_exec::ExecStats;
+
+/// The result of executing one SQL statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    schema: Arc<Schema>,
+    chunks: Vec<Chunk>,
+    /// Rows inserted/updated/deleted by a DML statement.
+    pub rows_affected: usize,
+    /// Execution statistics (iterations, peak working-set rows).
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// A relational result.
+    pub fn rows(schema: Arc<Schema>, chunks: Vec<Chunk>, stats: ExecStats) -> QueryResult {
+        QueryResult {
+            schema,
+            chunks,
+            rows_affected: 0,
+            stats,
+        }
+    }
+
+    /// A DML/DDL acknowledgement.
+    pub fn affected(rows_affected: usize) -> QueryResult {
+        QueryResult {
+            schema: Arc::new(Schema::empty()),
+            chunks: vec![],
+            rows_affected,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// A single-column textual result (EXPLAIN).
+    pub fn text(column: &str, lines: Vec<String>) -> QueryResult {
+        let schema = Arc::new(Schema::new(vec![hylite_common::Field::new(
+            column,
+            hylite_common::DataType::Varchar,
+        )]));
+        let chunk = Chunk::new(vec![hylite_common::ColumnVector::from_str(lines)]);
+        QueryResult {
+            schema,
+            chunks: vec![chunk],
+            rows_affected: 0,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The result schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The result chunks.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Total result rows.
+    pub fn row_count(&self) -> usize {
+        self.chunks.iter().map(Chunk::len).sum()
+    }
+
+    /// Materialize the whole result into one chunk.
+    pub fn to_chunk(&self) -> Result<Chunk> {
+        Chunk::concat(&self.schema.types(), &self.chunks)
+    }
+
+    /// Materialize all rows (tests/small results).
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.chunks.iter().flat_map(|c| c.rows()).collect()
+    }
+
+    /// Value at (row, column) across chunk boundaries.
+    pub fn value(&self, mut row: usize, col: usize) -> Result<Value> {
+        for chunk in &self.chunks {
+            if row < chunk.len() {
+                return Ok(chunk.column(col).value(row));
+            }
+            row -= chunk.len();
+        }
+        Err(hylite_common::HyError::Execution(format!(
+            "row {row} out of range"
+        )))
+    }
+
+    /// Render as an ASCII table.
+    pub fn to_table_string(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        match self.to_chunk() {
+            Ok(chunk) => chunk.to_table_string(&headers),
+            Err(e) => format!("<error rendering result: {e}>"),
+        }
+    }
+
+    /// Convenience: single value of a one-row, one-column result.
+    pub fn scalar(&self) -> Result<Value> {
+        if self.row_count() != 1 || self.schema.len() != 1 {
+            return Err(hylite_common::HyError::Execution(format!(
+                "expected a 1×1 result, got {}×{}",
+                self.row_count(),
+                self.schema.len()
+            )));
+        }
+        self.value(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{ColumnVector, DataType, Field};
+
+    fn sample() -> QueryResult {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        QueryResult::rows(
+            schema,
+            vec![
+                Chunk::new(vec![ColumnVector::from_i64(vec![1, 2])]),
+                Chunk::new(vec![ColumnVector::from_i64(vec![3])]),
+            ],
+            ExecStats::default(),
+        )
+    }
+
+    #[test]
+    fn counting_and_access() {
+        let r = sample();
+        assert_eq!(r.row_count(), 3);
+        assert_eq!(r.value(2, 0).unwrap(), Value::Int(3));
+        assert!(r.value(3, 0).is_err());
+        assert_eq!(r.to_chunk().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn scalar_helper() {
+        let r = sample();
+        assert!(r.scalar().is_err());
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let one = QueryResult::rows(
+            schema,
+            vec![Chunk::new(vec![ColumnVector::from_i64(vec![42])])],
+            ExecStats::default(),
+        );
+        assert_eq!(one.scalar().unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn text_result() {
+        let r = QueryResult::text("plan", vec!["a".into(), "b".into()]);
+        assert_eq!(r.row_count(), 2);
+        assert!(r.to_table_string().contains("plan"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Sessions: statement execution with single-writer transactions.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use hylite_common::{Chunk, HyError, Result, Value};
+use hylite_exec::{ExecContext, Executor};
+use hylite_expr::ScalarExpr;
+use hylite_planner::binder::{Binder, BoundStatement};
+use hylite_planner::{LogicalPlan, Optimizer};
+use hylite_sql::{parse_sql, Statement};
+use hylite_storage::{Catalog, Transaction};
+
+use crate::result::QueryResult;
+
+/// One client session. Holds the transaction state; queries read their
+/// own uncommitted changes and the committed state of everything else.
+pub struct Session {
+    catalog: Arc<Catalog>,
+    tx: Option<Transaction>,
+    /// Names of tables mutated by the open transaction.
+    own_tables: HashSet<String>,
+}
+
+impl Session {
+    /// New session over a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Session {
+        Session {
+            catalog,
+            tx: None,
+            own_tables: HashSet::new(),
+        }
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Execute a script of `;`-separated statements; returns the last
+    /// statement's result.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let statements = parse_sql(sql)?;
+        if statements.is_empty() {
+            return Err(HyError::Parse("empty statement".into()));
+        }
+        let mut last = None;
+        for stmt in &statements {
+            last = Some(self.execute_statement(stmt)?);
+        }
+        Ok(last.expect("non-empty checked"))
+    }
+
+    /// Execute one parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        let bound = Binder::new(&self.catalog).bind_statement(stmt)?;
+        self.execute_bound(bound)
+    }
+
+    fn execute_bound(&mut self, bound: BoundStatement) -> Result<QueryResult> {
+        match bound {
+            BoundStatement::Query(plan) => self.run_query(plan),
+            BoundStatement::CreateTable {
+                name,
+                schema,
+                if_not_exists,
+            } => {
+                if if_not_exists && self.catalog.has_table(&name) {
+                    return Ok(QueryResult::affected(0));
+                }
+                self.catalog.create_table(&name, schema)?;
+                Ok(QueryResult::affected(0))
+            }
+            BoundStatement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(&name, if_exists)?;
+                self.own_tables.remove(&name.to_ascii_lowercase());
+                Ok(QueryResult::affected(0))
+            }
+            BoundStatement::Insert { table, source } => {
+                let plan = Optimizer::new().optimize(source)?;
+                let chunks = self.run_plan(&plan)?;
+                let types = plan.schema().types();
+                let data = Chunk::concat(&types, &chunks)?;
+                let n = data.len();
+                let t = self.catalog.get_table(&table)?;
+                t.write().insert_chunk(data)?;
+                self.after_write(&table);
+                Ok(QueryResult::affected(n))
+            }
+            BoundStatement::Update {
+                table,
+                exprs,
+                filter,
+            } => self.run_update(&table, &exprs, filter.as_ref()),
+            BoundStatement::Delete { table, filter } => {
+                self.run_delete(&table, filter.as_ref())
+            }
+            BoundStatement::Begin => {
+                if self.tx.is_some() {
+                    return Err(HyError::Transaction(
+                        "a transaction is already in progress".into(),
+                    ));
+                }
+                self.tx = Some(Transaction::new());
+                Ok(QueryResult::affected(0))
+            }
+            BoundStatement::Commit => match self.tx.take() {
+                Some(tx) => {
+                    tx.commit();
+                    self.own_tables.clear();
+                    Ok(QueryResult::affected(0))
+                }
+                None => Err(HyError::Transaction("no transaction in progress".into())),
+            },
+            BoundStatement::Rollback => match self.tx.take() {
+                Some(tx) => {
+                    tx.rollback();
+                    self.own_tables.clear();
+                    Ok(QueryResult::affected(0))
+                }
+                None => Err(HyError::Transaction("no transaction in progress".into())),
+            },
+            BoundStatement::Explain(inner) => {
+                let text = match *inner {
+                    BoundStatement::Query(plan) => {
+                        let optimized = Optimizer::new().optimize(plan)?;
+                        optimized.explain()
+                    }
+                    other => format!("{other:?}\n"),
+                };
+                Ok(QueryResult::text(
+                    "plan",
+                    text.lines().map(str::to_owned).collect(),
+                ))
+            }
+        }
+    }
+
+    fn run_query(&mut self, plan: LogicalPlan) -> Result<QueryResult> {
+        let optimized = Optimizer::new().optimize(plan)?;
+        let schema = Arc::new(optimized.schema().without_qualifiers());
+        let mut executor = Executor::new(self.exec_context());
+        let chunks = executor.execute(&optimized)?;
+        Ok(QueryResult::rows(schema, chunks, executor.ctx.stats))
+    }
+
+    fn run_plan(&mut self, plan: &LogicalPlan) -> Result<Vec<Chunk>> {
+        let mut executor = Executor::new(self.exec_context());
+        executor.execute(plan)
+    }
+
+    fn exec_context(&self) -> ExecContext {
+        ExecContext::new(Arc::clone(&self.catalog))
+            .with_own_tables(self.own_tables.iter().cloned())
+    }
+
+    fn table_snapshot(&self, table: &str) -> Result<hylite_storage::TableSnapshot> {
+        let t = self.catalog.get_table(table)?;
+        let guard = t.read();
+        Ok(if self.own_tables.contains(&table.to_ascii_lowercase()) {
+            guard.snapshot()
+        } else {
+            guard.committed_snapshot()
+        })
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        exprs: &[ScalarExpr],
+        filter: Option<&ScalarExpr>,
+    ) -> Result<QueryResult> {
+        let snapshot = self.table_snapshot(table)?;
+        let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter)?;
+        let mut ids = Vec::new();
+        let mut new_rows: Vec<Vec<Value>> = Vec::new();
+        for (chunk, row_ids) in &hits {
+            let cols: Vec<hylite_common::ColumnVector> = exprs
+                .iter()
+                .map(|e| e.eval(chunk))
+                .collect::<Result<_>>()?;
+            for i in 0..chunk.len() {
+                new_rows.push(cols.iter().map(|c| c.value(i)).collect());
+            }
+            ids.extend_from_slice(row_ids);
+        }
+        let n = ids.len();
+        if n > 0 {
+            let t = self.catalog.get_table(table)?;
+            t.write().update_rows(&ids, new_rows)?;
+            self.after_write(table);
+        }
+        Ok(QueryResult::affected(n))
+    }
+
+    fn run_delete(&mut self, table: &str, filter: Option<&ScalarExpr>) -> Result<QueryResult> {
+        let snapshot = self.table_snapshot(table)?;
+        let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter)?;
+        let ids: Vec<usize> = hits.into_iter().flat_map(|(_, ids)| ids).collect();
+        let n = ids.len();
+        if n > 0 {
+            let t = self.catalog.get_table(table)?;
+            t.write().delete_rows(&ids)?;
+            self.after_write(table);
+        }
+        Ok(QueryResult::affected(n))
+    }
+
+    /// Post-write bookkeeping: inside a transaction, record the touched
+    /// table; in autocommit mode, publish immediately.
+    fn after_write(&mut self, table: &str) {
+        let t = self
+            .catalog
+            .get_table(table)
+            .expect("table existed during the write");
+        match &mut self.tx {
+            Some(tx) => {
+                tx.touch(&t);
+                self.own_tables.insert(table.to_ascii_lowercase());
+            }
+            None => t.write().commit(),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // An open transaction rolls back when the session ends.
+        if let Some(tx) = self.tx.take() {
+            tx.rollback();
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic dataset generators for the paper's evaluation (§8.1).
+//!
+//! The paper uses "artificial, uniformly distributed datasets because
+//! [...] the performance of plain k-Means with a fixed number of
+//! iterations is irrespective of data skew". [`vectors`] generates those,
+//! [`table1`] encodes the experiment grid of Table 1, and graph data
+//! comes from [`hylite_graph::ldbc`].
+
+pub mod table1;
+pub mod vectors;
+
+pub use table1::{KMeansExperiment, Table1};
+pub use vectors::VectorDataset;

@@ -1,0 +1,161 @@
+//! Table 1 of the paper: the k-Means experiment grid.
+//!
+//! Three lines of experiments varying one parameter at a time around the
+//! defaults n = 4,000,000, d = 10, k = 5, i = 3. The starred (n=4M, d=10,
+//! k=5) configuration appears in every line, "connecting the three lines
+//! of experiments".
+
+/// One k-Means experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeansExperiment {
+    /// Number of tuples.
+    pub n: usize,
+    /// Number of dimensions.
+    pub d: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Number of iterations.
+    pub iterations: usize,
+}
+
+/// Default iteration count (§8.1.1: "we chose to perform three
+/// iterations").
+pub const DEFAULT_ITERATIONS: usize = 3;
+
+/// The paper's parameter grid.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Scale factor applied to tuple counts (1.0 = the paper's sizes).
+    pub scale: f64,
+}
+
+impl Table1 {
+    /// The grid at the paper's original sizes.
+    pub fn paper() -> Table1 {
+        Table1 { scale: 1.0 }
+    }
+
+    /// The grid with tuple counts scaled by `scale`.
+    pub fn scaled(scale: f64) -> Table1 {
+        Table1 { scale }
+    }
+
+    fn n(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.scale) as usize).max(100)
+    }
+
+    /// Line 1: varying the number of tuples (d = 10, k = 5).
+    pub fn varying_tuples(&self) -> Vec<KMeansExperiment> {
+        [160_000, 800_000, 4_000_000, 20_000_000, 100_000_000, 500_000_000]
+            .iter()
+            .map(|&n| KMeansExperiment {
+                n: self.n(n),
+                d: 10,
+                k: 5,
+                iterations: DEFAULT_ITERATIONS,
+            })
+            .collect()
+    }
+
+    /// Line 2: varying the number of dimensions (n = 4M, k = 5).
+    pub fn varying_dimensions(&self) -> Vec<KMeansExperiment> {
+        [3, 5, 10, 25, 50]
+            .iter()
+            .map(|&d| KMeansExperiment {
+                n: self.n(4_000_000),
+                d,
+                k: 5,
+                iterations: DEFAULT_ITERATIONS,
+            })
+            .collect()
+    }
+
+    /// Line 3: varying the number of clusters (n = 4M, d = 10).
+    pub fn varying_clusters(&self) -> Vec<KMeansExperiment> {
+        [3, 5, 10, 25, 50]
+            .iter()
+            .map(|&k| KMeansExperiment {
+                n: self.n(4_000_000),
+                d: 10,
+                k,
+                iterations: DEFAULT_ITERATIONS,
+            })
+            .collect()
+    }
+
+    /// The starred configuration shared by all three lines.
+    pub fn connecting_point(&self) -> KMeansExperiment {
+        KMeansExperiment {
+            n: self.n(4_000_000),
+            d: 10,
+            k: 5,
+            iterations: DEFAULT_ITERATIONS,
+        }
+    }
+
+    /// Render the grid as the paper's Table 1.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("#tuples n    #dimensions d    k\n");
+        let mut section = |title: &str, rows: &[KMeansExperiment]| {
+            out.push_str(&format!("-- {title}\n"));
+            for e in rows {
+                let star = if *e == self.connecting_point() { "*" } else { " " };
+                out.push_str(&format!("{:>12} {:>12} {:>6}{star}\n", e.n, e.d, e.k));
+            }
+        };
+        section("Varying number of tuples", &self.varying_tuples());
+        section("Varying number of dimensions", &self.varying_dimensions());
+        section("Varying number of clusters", &self.varying_clusters());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_table_1() {
+        let t = Table1::paper();
+        let tuples = t.varying_tuples();
+        assert_eq!(tuples.len(), 6);
+        assert_eq!(tuples[0].n, 160_000);
+        assert_eq!(tuples[5].n, 500_000_000);
+        assert!(tuples.iter().all(|e| e.d == 10 && e.k == 5));
+        let dims = t.varying_dimensions();
+        assert_eq!(
+            dims.iter().map(|e| e.d).collect::<Vec<_>>(),
+            vec![3, 5, 10, 25, 50]
+        );
+        let ks = t.varying_clusters();
+        assert_eq!(
+            ks.iter().map(|e| e.k).collect::<Vec<_>>(),
+            vec![3, 5, 10, 25, 50]
+        );
+    }
+
+    #[test]
+    fn connecting_point_present_in_all_lines() {
+        let t = Table1::paper();
+        let star = t.connecting_point();
+        assert!(t.varying_tuples().contains(&star));
+        assert!(t.varying_dimensions().contains(&star));
+        assert!(t.varying_clusters().contains(&star));
+    }
+
+    #[test]
+    fn scaling_shrinks() {
+        let t = Table1::scaled(0.001);
+        assert_eq!(t.varying_tuples()[0].n, 160);
+        assert_eq!(t.connecting_point().n, 4000);
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let s = Table1::scaled(0.01).render();
+        assert!(s.contains("Varying number of tuples"));
+        assert!(s.contains("Varying number of clusters"));
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,228 @@
+//! Uniform vector data (n tuples × d dimensions) and labeled variants.
+
+use hylite_common::{Chunk, ColumnVector, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic uniform vector dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorDataset {
+    /// Number of tuples.
+    pub n: usize,
+    /// Number of dimensions.
+    pub d: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Rows per generated chunk (matches the storage segment size so inserts
+/// map 1:1 onto segments).
+pub const GEN_CHUNK_ROWS: usize = 64 * 1024;
+
+impl VectorDataset {
+    /// A dataset of `n`×`d` uniform values in [0, 1).
+    pub fn new(n: usize, d: usize, seed: u64) -> VectorDataset {
+        VectorDataset { n, d, seed }
+    }
+
+    /// Generate the data as columnar chunks (all DOUBLE).
+    pub fn chunks(&self) -> Vec<Chunk> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(self.n.div_ceil(GEN_CHUNK_ROWS));
+        let mut remaining = self.n;
+        while remaining > 0 {
+            let rows = remaining.min(GEN_CHUNK_ROWS);
+            let cols: Vec<ColumnVector> = (0..self.d)
+                .map(|_| {
+                    ColumnVector::from_f64((0..rows).map(|_| rng.gen::<f64>()).collect())
+                })
+                .collect();
+            out.push(Chunk::new(cols));
+            remaining -= rows;
+        }
+        out
+    }
+
+    /// Chunks with a uniform 0/1 BIGINT label appended (Naive Bayes,
+    /// §8.1.2: "a uniform probability density function of two labels").
+    /// Class means are shifted apart so the learning task is non-trivial.
+    pub fn labeled_chunks(&self, separation: f64) -> Vec<Chunk> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e3779b97f4a7c15);
+        let mut out = Vec::with_capacity(self.n.div_ceil(GEN_CHUNK_ROWS));
+        let mut remaining = self.n;
+        while remaining > 0 {
+            let rows = remaining.min(GEN_CHUNK_ROWS);
+            let labels: Vec<i64> = (0..rows).map(|_| i64::from(rng.gen_bool(0.5))).collect();
+            let mut cols: Vec<ColumnVector> = Vec::with_capacity(self.d + 1);
+            for _ in 0..self.d {
+                let col: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| rng.gen::<f64>() + l as f64 * separation)
+                    .collect();
+                cols.push(ColumnVector::from_f64(col));
+            }
+            cols.push(ColumnVector::from_i64(labels));
+            out.push(Chunk::new(cols));
+            remaining -= rows;
+        }
+        out
+    }
+
+    /// The paper's cluster initialization: "random selection of k initial
+    /// cluster centers" — a seeded sample of k data rows.
+    pub fn initial_centers(&self, k: usize) -> Vec<Vec<f64>> {
+        let chunks = self.chunks();
+        let total: usize = chunks.iter().map(Chunk::len).sum();
+        let k = k.min(total);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5851f42d4c957f2d);
+        let mut centers = Vec::with_capacity(k);
+        let mut picked = std::collections::HashSet::new();
+        while centers.len() < k {
+            let idx = rng.gen_range(0..total);
+            if !picked.insert(idx) {
+                continue;
+            }
+            // Locate the row across chunks.
+            let mut row = idx;
+            for c in &chunks {
+                if row < c.len() {
+                    centers.push(
+                        (0..c.num_columns())
+                            .map(|col| c.column(col).as_f64().expect("f64 data")[row])
+                            .collect(),
+                    );
+                    break;
+                }
+                row -= c.len();
+            }
+        }
+        centers
+    }
+
+    /// Create a table `name(c0 DOUBLE, ..., c{d-1} DOUBLE)` in the
+    /// catalog and load the data (plus commit).
+    pub fn load_into(
+        &self,
+        catalog: &hylite_storage::Catalog,
+        name: &str,
+    ) -> Result<()> {
+        use hylite_common::{DataType, Field, Schema};
+        let fields: Vec<Field> = (0..self.d)
+            .map(|i| Field::new(format!("c{i}"), DataType::Float64))
+            .collect();
+        let table = catalog.create_table(name, Schema::new(fields))?;
+        let mut guard = table.write();
+        for chunk in self.chunks() {
+            guard.insert_chunk(chunk)?;
+        }
+        guard.commit();
+        Ok(())
+    }
+
+    /// Create and load a labeled table `name(c0.., label BIGINT)`.
+    pub fn load_labeled_into(
+        &self,
+        catalog: &hylite_storage::Catalog,
+        name: &str,
+        separation: f64,
+    ) -> Result<()> {
+        use hylite_common::{DataType, Field, Schema};
+        let mut fields: Vec<Field> = (0..self.d)
+            .map(|i| Field::new(format!("c{i}"), DataType::Float64))
+            .collect();
+        fields.push(Field::new("label", DataType::Int64));
+        let table = catalog.create_table(name, Schema::new(fields))?;
+        let mut guard = table.write();
+        for chunk in self.labeled_chunks(separation) {
+            guard.insert_chunk(chunk)?;
+        }
+        guard.commit();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = VectorDataset::new(1000, 3, 7).chunks();
+        let b = VectorDataset::new(1000, 3, 7).chunks();
+        assert_eq!(a, b);
+        assert_eq!(a.iter().map(Chunk::len).sum::<usize>(), 1000);
+        assert_eq!(a[0].num_columns(), 3);
+        let c = VectorDataset::new(1000, 3, 8).chunks();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let chunks = VectorDataset::new(500, 2, 1).chunks();
+        for c in &chunks {
+            for col in 0..2 {
+                for &v in c.column(col).as_f64().unwrap() {
+                    assert!((0.0..1.0).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_respects_limit() {
+        let chunks = VectorDataset::new(GEN_CHUNK_ROWS + 5, 1, 0).chunks();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].len(), 5);
+    }
+
+    #[test]
+    fn labels_roughly_balanced_and_separated() {
+        let chunks = VectorDataset::new(4000, 2, 3).labeled_chunks(4.0);
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for c in &chunks {
+            let labels = c.column(2).as_i64().unwrap();
+            let xs = c.column(0).as_f64().unwrap();
+            for (i, &l) in labels.iter().enumerate() {
+                ones += l as usize;
+                total += 1;
+                if l == 1 {
+                    assert!(xs[i] >= 4.0);
+                } else {
+                    assert!(xs[i] < 1.0);
+                }
+            }
+        }
+        let frac = ones as f64 / total as f64;
+        assert!((0.45..0.55).contains(&frac), "label fraction {frac}");
+    }
+
+    #[test]
+    fn centers_are_data_rows() {
+        let ds = VectorDataset::new(100, 2, 9);
+        let centers = ds.initial_centers(5);
+        assert_eq!(centers.len(), 5);
+        let chunks = ds.chunks();
+        for center in &centers {
+            let found = chunks.iter().any(|c| {
+                (0..c.len()).any(|i| {
+                    (0..2).all(|col| c.column(col).as_f64().unwrap()[i] == center[col])
+                })
+            });
+            assert!(found, "center {center:?} must be a data row");
+        }
+    }
+
+    #[test]
+    fn load_into_catalog() {
+        let catalog = hylite_storage::Catalog::new();
+        VectorDataset::new(100, 3, 1).load_into(&catalog, "data").unwrap();
+        let t = catalog.get_table("data").unwrap();
+        assert_eq!(t.read().committed_live_rows(), 100);
+        VectorDataset::new(50, 2, 1)
+            .load_labeled_into(&catalog, "labeled", 3.0)
+            .unwrap();
+        let t = catalog.get_table("labeled").unwrap();
+        assert_eq!(t.read().schema().len(), 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Hash aggregation with parallel partial states.
+//!
+//! Each rayon task folds its chunks into a thread-local hash table of
+//! per-group accumulators; tables are merged once at the end — the same
+//! "local work, single merge" pattern the paper's analytics operators
+//! use.
+
+use std::collections::HashMap;
+
+use hylite_common::{Chunk, ColumnVector, DataType, Result};
+#[cfg(test)]
+use hylite_common::Value;
+use hylite_expr::AggregateState;
+use hylite_planner::logical::AggExpr;
+use hylite_expr::ScalarExpr;
+use rayon::prelude::*;
+
+use crate::util::{key_at, key_columns, HashableRow};
+
+type GroupTable = HashMap<HashableRow, Vec<AggregateState>>;
+
+/// Execute a grouped aggregation. Output columns: group keys in order,
+/// then one column per aggregate. With no group keys the result is a
+/// single row (aggregates over the whole input, even when empty).
+pub fn aggregate(
+    chunks: &[Chunk],
+    group_exprs: &[ScalarExpr],
+    aggregates: &[AggExpr],
+    output_types: &[DataType],
+) -> Result<Vec<Chunk>> {
+    let locals: Vec<Result<GroupTable>> = chunks
+        .par_iter()
+        .map(|chunk| fold_chunk(chunk, group_exprs, aggregates))
+        .collect();
+    let mut merged: GroupTable = HashMap::new();
+    for local in locals {
+        for (key, states) in local? {
+            match merged.get_mut(&key) {
+                Some(existing) => {
+                    for (a, b) in existing.iter_mut().zip(&states) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    merged.insert(key, states);
+                }
+            }
+        }
+    }
+    // Global aggregate over empty input still yields one row.
+    if merged.is_empty() && group_exprs.is_empty() {
+        merged.insert(
+            HashableRow(vec![]),
+            aggregates.iter().map(|a| a.func.init()).collect(),
+        );
+    }
+    // Deterministic output order: sort groups by key.
+    let mut groups: Vec<(HashableRow, Vec<AggregateState>)> = merged.into_iter().collect();
+    groups.sort_by(|(a, _), (b, _)| {
+        a.0.iter()
+            .zip(&b.0)
+            .map(|(x, y)| x.sort_cmp(y))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut cols: Vec<ColumnVector> = output_types
+        .iter()
+        .map(|&t| ColumnVector::empty(t))
+        .collect();
+    for (key, states) in groups {
+        for (c, v) in key.0.iter().enumerate() {
+            cols[c].push_value(v)?;
+        }
+        for (a, state) in states.iter().enumerate() {
+            let v = state.finalize();
+            let target = output_types[group_exprs.len() + a];
+            let v = if v.is_null() {
+                v
+            } else {
+                v.cast_to(target)?
+            };
+            cols[group_exprs.len() + a].push_value(&v)?;
+        }
+    }
+    Ok(vec![Chunk::new(cols)])
+}
+
+fn fold_chunk(
+    chunk: &Chunk,
+    group_exprs: &[ScalarExpr],
+    aggregates: &[AggExpr],
+) -> Result<GroupTable> {
+    let mut table = GroupTable::new();
+    let key_cols = key_columns(group_exprs, chunk)?;
+    let arg_cols: Vec<Option<ColumnVector>> = aggregates
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.eval(chunk)).transpose())
+        .collect::<Result<_>>()?;
+    if group_exprs.is_empty() {
+        // Single group: use the vectorized column fold.
+        let states = table
+            .entry(HashableRow(vec![]))
+            .or_insert_with(|| aggregates.iter().map(|a| a.func.init()).collect());
+        for (a, state) in states.iter_mut().enumerate() {
+            match &arg_cols[a] {
+                Some(col) => state.update_column(col)?,
+                None => state.update_count_star(chunk.len() as i64),
+            }
+        }
+        return Ok(table);
+    }
+    for i in 0..chunk.len() {
+        let key = key_at(&key_cols, i);
+        let states = table
+            .entry(key)
+            .or_insert_with(|| aggregates.iter().map(|a| a.func.init()).collect());
+        for (a, state) in states.iter_mut().enumerate() {
+            match &arg_cols[a] {
+                Some(col) => state.update(&col.value(i))?,
+                None => state.update_count_star(1),
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// DISTINCT: keep the first occurrence of every row.
+pub fn distinct(chunks: &[Chunk], types: &[DataType]) -> Result<Vec<Chunk>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut cols: Vec<ColumnVector> = types.iter().map(|&t| ColumnVector::empty(t)).collect();
+    for chunk in chunks {
+        for i in 0..chunk.len() {
+            let row = HashableRow(chunk.row(i).into_values());
+            if seen.insert(row.clone()) {
+                for (c, v) in row.0.iter().enumerate() {
+                    cols[c].push_value(v)?;
+                }
+            }
+        }
+    }
+    Ok(vec![Chunk::new(cols)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_expr::AggregateFunction;
+
+    fn data() -> Vec<Chunk> {
+        vec![Chunk::new(vec![
+            ColumnVector::from_i64(vec![1, 2, 1, 2, 1]),
+            ColumnVector::from_f64(vec![10.0, 20.0, 30.0, 40.0, 50.0]),
+        ])]
+    }
+
+    fn agg(func: AggregateFunction, arg: Option<ScalarExpr>) -> AggExpr {
+        AggExpr {
+            func,
+            arg,
+            name: func.name().into(),
+        }
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let out = aggregate(
+            &data(),
+            &[ScalarExpr::column(0, DataType::Int64)],
+            &[
+                agg(
+                    AggregateFunction::Sum,
+                    Some(ScalarExpr::column(1, DataType::Float64)),
+                ),
+                agg(AggregateFunction::CountStar, None),
+            ],
+            &[DataType::Int64, DataType::Float64, DataType::Int64],
+        )
+        .unwrap();
+        let c = &out[0];
+        assert_eq!(c.len(), 2);
+        // Sorted by key: group 1 then group 2.
+        assert_eq!(c.column(0).as_i64().unwrap(), &[1, 2]);
+        assert_eq!(c.column(1).as_f64().unwrap(), &[90.0, 60.0]);
+        assert_eq!(c.column(2).as_i64().unwrap(), &[3, 2]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let out = aggregate(
+            &[],
+            &[],
+            &[
+                agg(AggregateFunction::CountStar, None),
+                agg(
+                    AggregateFunction::Sum,
+                    Some(ScalarExpr::column(0, DataType::Int64)),
+                ),
+            ],
+            &[DataType::Int64, DataType::Int64],
+        )
+        .unwrap();
+        let c = &out[0];
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.column(0).value(0), Value::Int(0));
+        assert!(c.column(1).value(0).is_null(), "SUM of nothing is NULL");
+    }
+
+    #[test]
+    fn grouped_over_empty_input_is_empty() {
+        let out = aggregate(
+            &[],
+            &[ScalarExpr::column(0, DataType::Int64)],
+            &[agg(AggregateFunction::CountStar, None)],
+            &[DataType::Int64, DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(out[0].len(), 0);
+    }
+
+    #[test]
+    fn parallel_chunks_merge() {
+        let big = data()[0].clone();
+        let chunks: Vec<Chunk> = vec![big.slice(0, 2), big.slice(2, 2), big.slice(4, 1)];
+        let whole = aggregate(
+            &data(),
+            &[ScalarExpr::column(0, DataType::Int64)],
+            &[agg(
+                AggregateFunction::Avg,
+                Some(ScalarExpr::column(1, DataType::Float64)),
+            )],
+            &[DataType::Int64, DataType::Float64],
+        )
+        .unwrap();
+        let split = aggregate(
+            &chunks,
+            &[ScalarExpr::column(0, DataType::Int64)],
+            &[agg(
+                AggregateFunction::Avg,
+                Some(ScalarExpr::column(1, DataType::Float64)),
+            )],
+            &[DataType::Int64, DataType::Float64],
+        )
+        .unwrap();
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn null_keys_form_one_group() {
+        let mut key = ColumnVector::from_i64(vec![1]);
+        key.push_null();
+        key.push_null();
+        let chunk = Chunk::new(vec![key]);
+        let out = aggregate(
+            &[chunk],
+            &[ScalarExpr::column(0, DataType::Int64)],
+            &[agg(AggregateFunction::CountStar, None)],
+            &[DataType::Int64, DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(out[0].len(), 2, "NULL group + value group");
+        // NULL sorts first.
+        assert!(out[0].column(0).value(0).is_null());
+        assert_eq!(out[0].column(1).value(0), Value::Int(2));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let chunk = Chunk::new(vec![ColumnVector::from_i64(vec![1, 2, 1, 3, 2])]);
+        let out = distinct(&[chunk], &[DataType::Int64]).unwrap();
+        assert_eq!(out[0].column(0).as_i64().unwrap(), &[1, 2, 3]);
+    }
+}

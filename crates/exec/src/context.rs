@@ -1,0 +1,145 @@
+//! Execution context: catalog access, working tables, runtime statistics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hylite_common::{Chunk, HyError, Result};
+use hylite_storage::{Catalog, TableSnapshot};
+
+/// Runtime statistics of one query execution, used by EXPLAIN-style
+/// diagnostics and the memory-ablation experiment (ITERATE vs recursive
+/// CTE intermediate sizes, §5.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Largest number of intermediate working-table rows alive at once
+    /// across all iteration constructs in the query.
+    pub peak_working_rows: usize,
+    /// Total iterations executed by ITERATE / recursive CTE operators.
+    pub iterations: usize,
+}
+
+impl ExecStats {
+    /// Record a working-set size observation.
+    pub fn observe_working_rows(&mut self, rows: usize) {
+        self.peak_working_rows = self.peak_working_rows.max(rows);
+    }
+}
+
+/// Shared, immutable result of a subplan used as a working table.
+pub type WorkingRelation = Arc<Vec<Chunk>>;
+
+/// Context threaded through execution.
+pub struct ExecContext {
+    catalog: Arc<Catalog>,
+    /// Working tables by name; a stack per name supports nesting (an
+    /// ITERATE inside a recursive CTE, etc.).
+    working: HashMap<String, Vec<WorkingRelation>>,
+    /// Tables mutated by the session's open transaction: the session
+    /// reads its *own* uncommitted changes from these, and the committed
+    /// state of everything else — snapshot isolation.
+    own_tables: std::collections::HashSet<String>,
+    /// Runtime statistics.
+    pub stats: ExecStats,
+}
+
+impl ExecContext {
+    /// Context over a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> ExecContext {
+        ExecContext {
+            catalog,
+            working: HashMap::new(),
+            own_tables: std::collections::HashSet::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Mark tables whose uncommitted (working) state this session reads.
+    pub fn with_own_tables(
+        mut self,
+        tables: impl IntoIterator<Item = String>,
+    ) -> ExecContext {
+        self.own_tables = tables.into_iter().collect();
+        self
+    }
+
+    /// Snapshot a base table: the session's own working state for tables
+    /// it has mutated in its open transaction, the committed state
+    /// otherwise.
+    pub fn snapshot(&self, table: &str) -> Result<TableSnapshot> {
+        let t = self.catalog.get_table(table)?;
+        let guard = t.read();
+        let snap = if self.own_tables.contains(&table.to_ascii_lowercase()) {
+            guard.snapshot()
+        } else {
+            guard.committed_snapshot()
+        };
+        Ok(snap)
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Push a working relation for `name`.
+    pub fn push_working(&mut self, name: &str, chunks: WorkingRelation) {
+        let rows: usize = chunks.iter().map(Chunk::len).sum();
+        self.stats.observe_working_rows(rows);
+        self.working.entry(name.to_owned()).or_default().push(chunks);
+    }
+
+    /// Pop the innermost working relation for `name`.
+    pub fn pop_working(&mut self, name: &str) {
+        if let Some(stack) = self.working.get_mut(name) {
+            stack.pop();
+            if stack.is_empty() {
+                self.working.remove(name);
+            }
+        }
+    }
+
+    /// Read the innermost working relation for `name`.
+    pub fn read_working(&self, name: &str) -> Result<WorkingRelation> {
+        self.working
+            .get(name)
+            .and_then(|s| s.last())
+            .cloned()
+            .ok_or_else(|| {
+                HyError::Execution(format!(
+                    "working table '{name}' referenced outside its iteration construct"
+                ))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::ColumnVector;
+
+    #[test]
+    fn working_table_stack() {
+        let mut ctx = ExecContext::new(Arc::new(Catalog::new()));
+        assert!(ctx.read_working("iterate").is_err());
+        let a = Arc::new(vec![Chunk::new(vec![ColumnVector::from_i64(vec![1])])]);
+        let b = Arc::new(vec![Chunk::new(vec![ColumnVector::from_i64(vec![2, 3])])]);
+        ctx.push_working("iterate", a);
+        ctx.push_working("iterate", Arc::clone(&b));
+        assert_eq!(ctx.read_working("iterate").unwrap()[0].len(), 2);
+        ctx.pop_working("iterate");
+        assert_eq!(ctx.read_working("iterate").unwrap()[0].len(), 1);
+        ctx.pop_working("iterate");
+        assert!(ctx.read_working("iterate").is_err());
+    }
+
+    #[test]
+    fn stats_track_peak() {
+        let mut ctx = ExecContext::new(Arc::new(Catalog::new()));
+        let big = Arc::new(vec![Chunk::new(vec![ColumnVector::from_i64(vec![0; 100])])]);
+        let small = Arc::new(vec![Chunk::new(vec![ColumnVector::from_i64(vec![0; 5])])]);
+        ctx.push_working("w", big);
+        ctx.pop_working("w");
+        ctx.push_working("w", small);
+        assert_eq!(ctx.stats.peak_working_rows, 100);
+    }
+}

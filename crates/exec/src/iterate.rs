@@ -1,0 +1,139 @@
+//! Iteration constructs: the SQL:1999 recursive CTE (appending) and the
+//! paper's ITERATE operator (non-appending, §5.1).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use hylite_common::{Chunk, HyError, Result};
+use hylite_planner::LogicalPlan;
+
+use crate::executor::Executor;
+use crate::util::{total_rows, HashableRow};
+
+/// Infinite-loop guard for recursive CTEs — the paper notes both
+/// constructs "can produce infinite loops \[which\] need to be detected and
+/// aborted by the database system".
+pub const MAX_RECURSION_DEPTH: usize = 1_000_000;
+
+impl Executor {
+    /// Execute `WITH RECURSIVE name AS (init UNION [ALL] step)`.
+    ///
+    /// Appending semantics: the result accumulates every iteration's
+    /// tuples. With `UNION` (not ALL) rows are de-duplicated and the
+    /// fixpoint is reached when no *new* row appears; with `UNION ALL`
+    /// iteration ends when the step yields no rows.
+    pub(crate) fn exec_recursive_cte(
+        &mut self,
+        name: &str,
+        init: &LogicalPlan,
+        step: &LogicalPlan,
+        all: bool,
+    ) -> Result<Vec<Chunk>> {
+        let types = init.schema().types();
+        let mut working = self.execute(init)?;
+        let mut seen: HashSet<HashableRow> = HashSet::new();
+        if !all {
+            working = dedup_against(&types, working, &mut seen)?;
+        }
+        let mut result: Vec<Chunk> = working.clone();
+        let mut depth = 0usize;
+        while total_rows(&working) > 0 {
+            depth += 1;
+            self.ctx.stats.iterations += 1;
+            if depth > MAX_RECURSION_DEPTH {
+                return Err(HyError::Execution(format!(
+                    "recursive CTE '{name}' exceeded {MAX_RECURSION_DEPTH} iterations \
+                     (infinite loop guard)"
+                )));
+            }
+            self.ctx.push_working(name, Arc::new(working));
+            let step_result = self.execute(step);
+            self.ctx.pop_working(name);
+            let mut new = step_result?;
+            if !all {
+                new = dedup_against(&types, new, &mut seen)?;
+            }
+            if total_rows(&new) == 0 {
+                break;
+            }
+            result.extend(new.iter().cloned());
+            // Appending semantics: the accumulated result is the live
+            // intermediate state (this is what §5.1 charges the CTE for).
+            self.ctx.stats.observe_working_rows(total_rows(&result));
+            working = new;
+        }
+        Ok(result)
+    }
+
+    /// Execute the non-appending `ITERATE(init, step, stop)` operator.
+    ///
+    /// The working table holds only the previous iteration; each step
+    /// *replaces* it. Iteration stops when the stop subquery produces at
+    /// least one row, or at `max_iterations`.
+    pub(crate) fn exec_iterate(
+        &mut self,
+        init: &LogicalPlan,
+        step: &LogicalPlan,
+        stop: &LogicalPlan,
+        max_iterations: usize,
+    ) -> Result<Vec<Chunk>> {
+        let mut current = Arc::new(self.execute(init)?);
+        let mut iterations = 0usize;
+        loop {
+            self.ctx.push_working("iterate", Arc::clone(&current));
+            let stop_rows = self.execute(stop);
+            let stop_now = match &stop_rows {
+                Ok(chunks) => total_rows(chunks) > 0,
+                Err(_) => {
+                    self.ctx.pop_working("iterate");
+                    stop_rows?;
+                    unreachable!();
+                }
+            };
+            if stop_now || iterations >= max_iterations {
+                self.ctx.pop_working("iterate");
+                break;
+            }
+            iterations += 1;
+            self.ctx.stats.iterations += 1;
+            let next = self.execute(step);
+            self.ctx.pop_working("iterate");
+            let next = next?;
+            // At most two generations alive: `current` (previous) and
+            // `next`. Record that before dropping the old generation.
+            self.ctx
+                .stats
+                .observe_working_rows(total_rows(&current) + total_rows(&next));
+            current = Arc::new(next);
+        }
+        Ok(Arc::try_unwrap(current).unwrap_or_else(|a| (*a).clone()))
+    }
+}
+
+/// Keep only rows not yet in `seen`, inserting the survivors.
+fn dedup_against(
+    types: &[hylite_common::DataType],
+    chunks: Vec<Chunk>,
+    seen: &mut HashSet<HashableRow>,
+) -> Result<Vec<Chunk>> {
+    let mut cols: Vec<hylite_common::ColumnVector> = types
+        .iter()
+        .map(|&t| hylite_common::ColumnVector::empty(t))
+        .collect();
+    let mut kept = 0usize;
+    for chunk in &chunks {
+        for i in 0..chunk.len() {
+            let row = HashableRow(chunk.row(i).into_values());
+            if seen.insert(row.clone()) {
+                for (c, v) in row.0.iter().enumerate() {
+                    cols[c].push_value(v)?;
+                }
+                kept += 1;
+            }
+        }
+    }
+    if kept == total_rows(&chunks) {
+        return Ok(chunks);
+    }
+    Ok(vec![Chunk::new(cols)])
+}

@@ -1,0 +1,570 @@
+//! Join execution: hash join for equi-conditions, nested-loop fallback.
+
+use std::collections::HashMap;
+
+use hylite_common::{Chunk, ColumnVector, DataType, Result};
+use hylite_expr::{BinaryOp, ScalarExpr};
+use hylite_planner::JoinKind;
+use rayon::prelude::*;
+
+use crate::util::HashableRow;
+#[cfg(test)]
+use hylite_common::Value;
+
+/// Join two materialized inputs.
+///
+/// `condition` is over the concatenated (left ++ right) schema. Equi
+/// conjuncts (`left_col_expr = right_col_expr`) become hash-join keys;
+/// the rest is applied as a residual predicate. Without any equi
+/// conjunct the join degrades to a filtered cross product.
+pub fn join(
+    left: &[Chunk],
+    right: &[Chunk],
+    kind: JoinKind,
+    condition: Option<&ScalarExpr>,
+    left_types: &[DataType],
+    right_types: &[DataType],
+) -> Result<Vec<Chunk>> {
+    let left_width = left_types.len();
+    // Materialize the right side once (the build side).
+    let right_all = Chunk::concat(right_types, right)?;
+
+    let (keys, residual) = match condition {
+        None => (vec![], None),
+        Some(c) => extract_equi_keys(c, left_width),
+    };
+
+    if keys.is_empty() {
+        return nested_loop(left, &right_all, kind, residual.as_ref(), right_types);
+    }
+
+    // Build: hash the right side on its key expressions.
+    let right_keys: Vec<ScalarExpr> = keys.iter().map(|(_, r)| r.clone()).collect();
+    let mut table: HashMap<HashableRow, Vec<usize>> = HashMap::new();
+    if !right_all.is_empty() {
+        let key_cols = crate::util::key_columns(&right_keys, &right_all)?;
+        'row: for i in 0..right_all.len() {
+            // SQL: NULL keys never join.
+            for c in &key_cols {
+                if !c.is_valid(i) {
+                    continue 'row;
+                }
+            }
+            table
+                .entry(crate::util::key_at(&key_cols, i))
+                .or_default()
+                .push(i);
+        }
+    }
+
+    let left_keys: Vec<ScalarExpr> = keys.iter().map(|(l, _)| l.clone()).collect();
+    // Probe in parallel over left chunks.
+    let results: Vec<Result<Vec<Chunk>>> = left
+        .par_iter()
+        .map(|chunk| {
+            probe_chunk(
+                chunk,
+                &left_keys,
+                &table,
+                &right_all,
+                kind,
+                residual.as_ref(),
+                right_types,
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?.into_iter().filter(|c| !c.is_empty()));
+    }
+    Ok(out)
+}
+
+/// Probe one left chunk against the build table.
+fn probe_chunk(
+    chunk: &Chunk,
+    left_keys: &[ScalarExpr],
+    table: &HashMap<HashableRow, Vec<usize>>,
+    right_all: &Chunk,
+    kind: JoinKind,
+    residual: Option<&ScalarExpr>,
+    right_types: &[DataType],
+) -> Result<Vec<Chunk>> {
+    let n = chunk.len();
+    let key_cols = crate::util::key_columns(left_keys, chunk)?;
+    let mut l_idx: Vec<usize> = Vec::new();
+    let mut r_idx: Vec<usize> = Vec::new();
+    'row: for i in 0..n {
+        for c in &key_cols {
+            if !c.is_valid(i) {
+                continue 'row;
+            }
+        }
+        if let Some(matches) = table.get(&crate::util::key_at(&key_cols, i)) {
+            for &m in matches {
+                l_idx.push(i);
+                r_idx.push(m);
+            }
+        }
+    }
+    // Candidate pairs → combined chunk.
+    let mut combined = combine(chunk, &l_idx, right_all, &r_idx);
+    let mut matched_left = vec![false; n];
+    if let Some(pred) = residual {
+        let col = pred.eval(&combined)?;
+        let sel = col.to_selection()?;
+        for i in sel.iter_ones() {
+            matched_left[l_idx[i]] = true;
+        }
+        combined = combined.filter(&sel);
+    } else {
+        for &i in &l_idx {
+            matched_left[i] = true;
+        }
+    }
+    let mut out = vec![combined];
+    if kind == JoinKind::Left {
+        let unmatched: Vec<usize> = (0..n).filter(|&i| !matched_left[i]).collect();
+        if !unmatched.is_empty() {
+            let left_part = chunk.take(&unmatched);
+            let null_right = null_chunk(right_types, unmatched.len());
+            let mut cols = left_part.columns().to_vec();
+            cols.extend(null_right.columns().iter().cloned());
+            out.push(Chunk::from_arc_columns(cols));
+        }
+    }
+    Ok(out)
+}
+
+/// Cross product with optional residual filter; supports LEFT semantics.
+fn nested_loop(
+    left: &[Chunk],
+    right_all: &Chunk,
+    kind: JoinKind,
+    residual: Option<&ScalarExpr>,
+    right_types: &[DataType],
+) -> Result<Vec<Chunk>> {
+    let m = right_all.len();
+    let results: Vec<Result<Vec<Chunk>>> = left
+        .par_iter()
+        .map(|chunk| {
+            let n = chunk.len();
+            let mut out = Vec::new();
+            let mut matched_left = vec![false; n];
+            if m > 0 {
+                // Process in left×right blocks to bound pair-chunk size.
+                const LBLOCK: usize = 512;
+                const RBLOCK: usize = 1024;
+                let mut lstart = 0;
+                while lstart < n {
+                    let llen = LBLOCK.min(n - lstart);
+                    let mut start = 0;
+                    while start < m {
+                        let len = RBLOCK.min(m - start);
+                        let l_idx: Vec<usize> = (lstart..lstart + llen)
+                            .flat_map(|i| std::iter::repeat_n(i, len))
+                            .collect();
+                        let r_idx: Vec<usize> = (0..llen)
+                            .flat_map(|_| start..start + len)
+                            .collect();
+                        let mut combined = combine(chunk, &l_idx, right_all, &r_idx);
+                        if let Some(pred) = residual {
+                            let col = pred.eval(&combined)?;
+                            let sel = col.to_selection()?;
+                            for i in sel.iter_ones() {
+                                matched_left[l_idx[i]] = true;
+                            }
+                            combined = combined.filter(&sel);
+                        } else {
+                            matched_left[lstart..lstart + llen]
+                                .iter_mut()
+                                .for_each(|b| *b = true);
+                        }
+                        if !combined.is_empty() {
+                            out.push(combined);
+                        }
+                        start += len;
+                    }
+                    lstart += llen;
+                }
+            }
+            if kind == JoinKind::Left {
+                let unmatched: Vec<usize> = (0..n).filter(|&i| !matched_left[i]).collect();
+                if !unmatched.is_empty() {
+                    let left_part = chunk.take(&unmatched);
+                    let null_right = null_chunk(right_types, unmatched.len());
+                    let mut cols = left_part.columns().to_vec();
+                    cols.extend(null_right.columns().iter().cloned());
+                    out.push(Chunk::from_arc_columns(cols));
+                }
+            }
+            Ok(out)
+        })
+        .collect();
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Glue `left.take(l_idx)` and `right.take(r_idx)` side by side.
+fn combine(left: &Chunk, l_idx: &[usize], right: &Chunk, r_idx: &[usize]) -> Chunk {
+    let l = left.take(l_idx);
+    let r = right.take(r_idx);
+    let mut cols = l.columns().to_vec();
+    cols.extend(r.columns().iter().cloned());
+    Chunk::from_arc_columns(cols)
+}
+
+/// An all-NULL chunk of the given types.
+fn null_chunk(types: &[DataType], rows: usize) -> Chunk {
+    let cols: Vec<ColumnVector> = types
+        .iter()
+        .map(|&t| {
+            let mut c = ColumnVector::empty(t);
+            for _ in 0..rows {
+                c.push_null();
+            }
+            c
+        })
+        .collect();
+    Chunk::new(cols)
+}
+
+/// Split a join condition into hash keys and a residual predicate.
+///
+/// Returns `(pairs of (left_key_expr, right_key_expr), residual)`; the
+/// right key expressions are remapped to right-local column indices.
+fn extract_equi_keys(
+    condition: &ScalarExpr,
+    left_width: usize,
+) -> (Vec<(ScalarExpr, ScalarExpr)>, Option<ScalarExpr>) {
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(condition, &mut conjuncts);
+    let mut keys = Vec::new();
+    let mut residual: Vec<ScalarExpr> = Vec::new();
+    for c in conjuncts {
+        if let ScalarExpr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+            ..
+        } = &c
+        {
+            let side = |e: &ScalarExpr| -> Option<bool> {
+                // Some(true) = all-left, Some(false) = all-right.
+                let mut refs = Vec::new();
+                e.referenced_columns(&mut refs);
+                if refs.is_empty() {
+                    return None;
+                }
+                if refs.iter().all(|&i| i < left_width) {
+                    Some(true)
+                } else if refs.iter().all(|&i| i >= left_width) {
+                    Some(false)
+                } else {
+                    None
+                }
+            };
+            match (side(left), side(right)) {
+                (Some(true), Some(false)) => {
+                    let mut r = (**right).clone();
+                    remap_to_right(&mut r, left_width);
+                    keys.push(((**left).clone(), r));
+                    continue;
+                }
+                (Some(false), Some(true)) => {
+                    let mut l = (**left).clone();
+                    remap_to_right(&mut l, left_width);
+                    keys.push(((**right).clone(), l));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        residual.push(c);
+    }
+    let residual = residual.into_iter().reduce(|a, b| {
+        ScalarExpr::binary(BinaryOp::And, a, b).expect("boolean conjunction")
+    });
+    (keys, residual)
+}
+
+fn collect_conjuncts(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    if let ScalarExpr::Binary {
+        op: BinaryOp::And,
+        left,
+        right,
+        ..
+    } = e
+    {
+        collect_conjuncts(left, out);
+        collect_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+fn remap_to_right(e: &mut ScalarExpr, left_width: usize) {
+    // Indices ≥ left_width become right-local.
+    let mut refs = Vec::new();
+    e.referenced_columns(&mut refs);
+    let max = refs.iter().max().copied().unwrap_or(0);
+    let mapping: Vec<usize> = (0..=max)
+        .map(|i| i.saturating_sub(left_width))
+        .collect();
+    e.remap_columns(&mapping);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk_i64(vals: Vec<i64>) -> Chunk {
+        Chunk::new(vec![ColumnVector::from_i64(vals)])
+    }
+
+    fn two_col(ids: Vec<i64>, names: Vec<&str>) -> Chunk {
+        Chunk::new(vec![
+            ColumnVector::from_i64(ids),
+            ColumnVector::from_str(names),
+        ])
+    }
+
+    fn eq_cond(l: usize, r: usize) -> ScalarExpr {
+        ScalarExpr::binary(
+            BinaryOp::Eq,
+            ScalarExpr::column(l, DataType::Int64),
+            ScalarExpr::column(r, DataType::Int64),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_hash_join() {
+        let left = vec![two_col(vec![1, 2, 3], vec!["a", "b", "c"])];
+        let right = vec![two_col(vec![2, 3, 4], vec!["x", "y", "z"])];
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Inner,
+            Some(&eq_cond(0, 2)),
+            &[DataType::Int64, DataType::Varchar],
+            &[DataType::Int64, DataType::Varchar],
+        )
+        .unwrap();
+        let total = Chunk::concat(
+            &[
+                DataType::Int64,
+                DataType::Varchar,
+                DataType::Int64,
+                DataType::Varchar,
+            ],
+            &out,
+        )
+        .unwrap();
+        assert_eq!(total.len(), 2);
+        let mut ids: Vec<i64> = total.column(0).as_i64().unwrap().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn duplicate_keys_multiply() {
+        let left = vec![chunk_i64(vec![1, 1])];
+        let right = vec![chunk_i64(vec![1, 1, 1])];
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Inner,
+            Some(&eq_cond(0, 1)),
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(crate::util::total_rows(&out), 6);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut col = ColumnVector::from_i64(vec![1]);
+        col.push_null();
+        let left = vec![Chunk::new(vec![col.clone()])];
+        let right = vec![Chunk::new(vec![col])];
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Inner,
+            Some(&eq_cond(0, 1)),
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(crate::util::total_rows(&out), 1, "only 1=1 matches");
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let left = vec![chunk_i64(vec![1, 2])];
+        let right = vec![two_col(vec![2], vec!["hit"])];
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Left,
+            Some(&eq_cond(0, 1)),
+            &[DataType::Int64],
+            &[DataType::Int64, DataType::Varchar],
+        )
+        .unwrap();
+        let total = Chunk::concat(
+            &[DataType::Int64, DataType::Int64, DataType::Varchar],
+            &out,
+        )
+        .unwrap();
+        assert_eq!(total.len(), 2);
+        // Find the row with id=1: right columns must be NULL.
+        for i in 0..2 {
+            let id = total.column(0).value(i).as_int().unwrap();
+            if id == 1 {
+                assert!(total.column(1).value(i).is_null());
+                assert!(total.column(2).value(i).is_null());
+            } else {
+                assert_eq!(total.column(2).value(i), Value::from("hit"));
+            }
+        }
+    }
+
+    #[test]
+    fn residual_predicate_applies() {
+        // JOIN ON l.id = r.id AND r.id > 1
+        let left = vec![chunk_i64(vec![1, 2])];
+        let right = vec![chunk_i64(vec![1, 2])];
+        let cond = ScalarExpr::binary(
+            BinaryOp::And,
+            eq_cond(0, 1),
+            ScalarExpr::binary(
+                BinaryOp::Gt,
+                ScalarExpr::column(1, DataType::Int64),
+                ScalarExpr::literal(1i64),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Inner,
+            Some(&cond),
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(crate::util::total_rows(&out), 1);
+    }
+
+    #[test]
+    fn left_join_residual_counts_as_unmatched() {
+        // LEFT JOIN ON l.id = r.id AND r.id > 1: row 1 equi-matches but
+        // fails the residual → NULL-padded.
+        let left = vec![chunk_i64(vec![1, 2])];
+        let right = vec![chunk_i64(vec![1, 2])];
+        let cond = ScalarExpr::binary(
+            BinaryOp::And,
+            eq_cond(0, 1),
+            ScalarExpr::binary(
+                BinaryOp::Gt,
+                ScalarExpr::column(1, DataType::Int64),
+                ScalarExpr::literal(1i64),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Left,
+            Some(&cond),
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        let total = Chunk::concat(&[DataType::Int64, DataType::Int64], &out).unwrap();
+        assert_eq!(total.len(), 2);
+        for i in 0..2 {
+            let id = total.column(0).value(i).as_int().unwrap();
+            if id == 1 {
+                assert!(total.column(1).value(i).is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn cross_join_without_condition() {
+        let left = vec![chunk_i64(vec![1, 2, 3])];
+        let right = vec![chunk_i64(vec![10, 20])];
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Cross,
+            None,
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(crate::util::total_rows(&out), 6);
+    }
+
+    #[test]
+    fn non_equi_condition_falls_back() {
+        // l.v < r.v — nested loop.
+        let left = vec![chunk_i64(vec![1, 5])];
+        let right = vec![chunk_i64(vec![3, 6])];
+        let cond = ScalarExpr::binary(
+            BinaryOp::Lt,
+            ScalarExpr::column(0, DataType::Int64),
+            ScalarExpr::column(1, DataType::Int64),
+        )
+        .unwrap();
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Inner,
+            Some(&cond),
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        // (1,3), (1,6), (5,6)
+        assert_eq!(crate::util::total_rows(&out), 3);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let left: Vec<Chunk> = vec![];
+        let right = vec![chunk_i64(vec![1])];
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Inner,
+            Some(&eq_cond(0, 1)),
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(crate::util::total_rows(&out), 0);
+
+        let left = vec![chunk_i64(vec![1])];
+        let right: Vec<Chunk> = vec![];
+        let out = join(
+            &left,
+            &right,
+            JoinKind::Left,
+            Some(&eq_cond(0, 1)),
+            &[DataType::Int64],
+            &[DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(crate::util::total_rows(&out), 1, "left row NULL-padded");
+    }
+}

@@ -1,0 +1,26 @@
+//! Morsel-driven vectorized execution engine.
+//!
+//! The [`Executor`] interprets a bound, optimized
+//! [`LogicalPlan`](hylite_planner::LogicalPlan) against the storage
+//! catalog. Leaf scans split table snapshots into morsels executed on a
+//! rayon pool with scan-local filters and projections fused in (the
+//! vectorized stand-in for HyPer's data-centric pipelines); pipeline
+//! breakers (joins, aggregates, sorts, the analytics operators) merge
+//! thread-local state once.
+//!
+//! Iteration constructs live in [`iterate`]: the SQL:1999 appending
+//! recursive CTE and the paper's non-appending ITERATE operator (§5.1),
+//! which keeps at most two generations of the working table alive.
+
+pub mod aggregate;
+pub mod context;
+pub mod executor;
+pub mod iterate;
+pub mod join;
+pub mod operators;
+pub mod scan;
+pub mod sort;
+pub mod util;
+
+pub use context::{ExecContext, ExecStats};
+pub use executor::Executor;

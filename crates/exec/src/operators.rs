@@ -1,0 +1,209 @@
+//! Glue between the plan's analytics nodes and the `hylite-analytics`
+//! operator implementations: materialize subplan inputs, run the
+//! operator, shape the output relation.
+
+use hylite_analytics::{
+    class_stats, kmeans, kmeans_assign, pagerank, KMeansConfig, NaiveBayesModel, PageRankConfig,
+};
+use hylite_common::{Chunk, ColumnVector, DataType, HyError, Result};
+use hylite_expr::BoundLambda;
+use hylite_graph::CsrGraph;
+use hylite_planner::LogicalPlan;
+
+use crate::executor::Executor;
+
+impl Executor {
+    /// KMEANS(data, centers, λ, max_iter) → (cluster_id, dims..., size).
+    pub(crate) fn exec_kmeans(
+        &mut self,
+        data: &LogicalPlan,
+        centers: &LogicalPlan,
+        lambda: Option<&BoundLambda>,
+        max_iterations: usize,
+    ) -> Result<Vec<Chunk>> {
+        let data_chunks = self.execute(data)?;
+        let center_rows = self.centers_matrix(centers)?;
+        let result = kmeans(
+            &data_chunks,
+            center_rows,
+            lambda,
+            &KMeansConfig { max_iterations },
+        )?;
+        let k = result.centers.len();
+        let d = result.centers.first().map_or(0, Vec::len);
+        let mut cols: Vec<ColumnVector> = Vec::with_capacity(d + 2);
+        cols.push(ColumnVector::from_i64((0..k as i64).collect()));
+        for dim in 0..d {
+            cols.push(ColumnVector::from_f64(
+                result.centers.iter().map(|c| c[dim]).collect(),
+            ));
+        }
+        cols.push(ColumnVector::from_i64(
+            result.sizes.iter().map(|&s| s as i64).collect(),
+        ));
+        Ok(vec![Chunk::new(cols)])
+    }
+
+    /// KMEANS_ASSIGN(data, centers, λ) → (dims..., cluster_id).
+    pub(crate) fn exec_kmeans_assign(
+        &mut self,
+        data: &LogicalPlan,
+        centers: &LogicalPlan,
+        lambda: Option<&BoundLambda>,
+    ) -> Result<Vec<Chunk>> {
+        let data_chunks = self.execute(data)?;
+        let center_rows = self.centers_matrix(centers)?;
+        let assignments = kmeans_assign(&data_chunks, &center_rows, lambda)?;
+        let out = data_chunks
+            .iter()
+            .zip(assignments)
+            .map(|(chunk, assign)| {
+                let mut cols = chunk.columns().to_vec();
+                cols.push(std::sync::Arc::new(ColumnVector::from_i64(
+                    assign.into_iter().map(i64::from).collect(),
+                )));
+                Chunk::from_arc_columns(cols)
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// PAGERANK(edges, d, ε, max_iter) → (vertex, rank).
+    pub(crate) fn exec_pagerank(
+        &mut self,
+        edges: &LogicalPlan,
+        weighted: bool,
+        damping: f64,
+        epsilon: f64,
+        max_iterations: usize,
+    ) -> Result<Vec<Chunk>> {
+        let edge_chunks = self.execute(edges)?;
+        // Flatten the edge list into (src, dest[, weight]) arrays.
+        let mut src = Vec::new();
+        let mut dest = Vec::new();
+        let mut weights = Vec::new();
+        for chunk in &edge_chunks {
+            let s = chunk.column(0);
+            let d = chunk.column(1);
+            if s.null_count() > 0 || d.null_count() > 0 {
+                return Err(HyError::Analytics(
+                    "PAGERANK edge list must not contain NULLs".into(),
+                ));
+            }
+            src.extend_from_slice(s.as_i64()?);
+            dest.extend_from_slice(d.as_i64()?);
+            if weighted {
+                let w = chunk.column(2);
+                if w.null_count() > 0 {
+                    return Err(HyError::Analytics(
+                        "PAGERANK edge weights must not contain NULLs".into(),
+                    ));
+                }
+                weights.extend_from_slice(w.as_f64()?);
+            }
+        }
+        // Query-local CSR with dense re-labeling (§6.3).
+        let config = PageRankConfig {
+            damping,
+            epsilon,
+            max_iterations,
+        };
+        let (graph, result) = if weighted {
+            let (graph, csr_weights) =
+                CsrGraph::from_weighted_edges(&src, &dest, &weights)?;
+            let result =
+                hylite_analytics::pagerank::pagerank_weighted(&graph, &csr_weights, &config);
+            (graph, result)
+        } else {
+            let graph = CsrGraph::from_edges(&src, &dest)?;
+            let result = pagerank(&graph, &config);
+            (graph, result)
+        };
+        // Reverse mapping back to the original vertex ids.
+        let vertices: Vec<i64> = (0..graph.num_vertices() as u32)
+            .map(|v| graph.mapping().to_original(v))
+            .collect();
+        Ok(vec![Chunk::new(vec![
+            ColumnVector::from_i64(vertices),
+            ColumnVector::from_f64(result.ranks),
+        ])])
+    }
+
+    /// NAIVE_BAYES_TRAIN(data) → (class, attribute, prior, mean, stddev).
+    pub(crate) fn exec_nb_train(
+        &mut self,
+        data: &LogicalPlan,
+        feature_names: &[String],
+        output_types: &[DataType],
+    ) -> Result<Vec<Chunk>> {
+        let chunks = self.execute(data)?;
+        let model = NaiveBayesModel::train(&chunks, feature_names)?;
+        let rows = model.to_rows();
+        Ok(vec![Chunk::from_rows(output_types, &rows)?])
+    }
+
+    /// NAIVE_BAYES_PREDICT(model, data) → (features..., label).
+    pub(crate) fn exec_nb_predict(
+        &mut self,
+        model: &LogicalPlan,
+        data: &LogicalPlan,
+        feature_names: &[String],
+    ) -> Result<Vec<Chunk>> {
+        let model_chunks = self.execute(model)?;
+        let model = NaiveBayesModel::from_relation(&model_chunks, feature_names)?;
+        let data_chunks = self.execute(data)?;
+        let labels = model.predict(&data_chunks)?;
+        let out = data_chunks
+            .iter()
+            .zip(labels)
+            .map(|(chunk, label_col)| {
+                let mut cols = chunk.columns().to_vec();
+                cols.push(std::sync::Arc::new(label_col));
+                Chunk::from_arc_columns(cols)
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// CLASS_STATS(data) → (class, attribute, count, mean, stddev, min, max).
+    pub(crate) fn exec_class_stats(
+        &mut self,
+        data: &LogicalPlan,
+        feature_names: &[String],
+        output_types: &[DataType],
+    ) -> Result<Vec<Chunk>> {
+        let chunks = self.execute(data)?;
+        let rows: Vec<Vec<hylite_common::Value>> = class_stats(&chunks, feature_names)?
+            .iter()
+            .map(|r| r.to_values())
+            .collect();
+        Ok(vec![Chunk::from_rows(output_types, &rows)?])
+    }
+
+    /// Materialize a centers subplan into a k×d row-major matrix.
+    fn centers_matrix(&mut self, centers: &LogicalPlan) -> Result<Vec<Vec<f64>>> {
+        let chunks = self.execute(centers)?;
+        let mut rows = Vec::new();
+        for chunk in &chunks {
+            let cols: Vec<&[f64]> = (0..chunk.num_columns())
+                .map(|i| {
+                    if chunk.column(i).null_count() > 0 {
+                        return Err(HyError::Analytics(
+                            "k-Means centers must not contain NULLs".into(),
+                        ));
+                    }
+                    chunk.column(i).as_f64()
+                })
+                .collect::<Result<_>>()?;
+            for i in 0..chunk.len() {
+                rows.push(cols.iter().map(|c| c[i]).collect());
+            }
+        }
+        if rows.is_empty() {
+            return Err(HyError::Analytics(
+                "k-Means requires a non-empty centers relation".into(),
+            ));
+        }
+        Ok(rows)
+    }
+}

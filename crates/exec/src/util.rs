@@ -1,0 +1,112 @@
+//! Execution utilities: hashable row keys, predicate application.
+
+use std::hash::{Hash, Hasher};
+
+use hylite_common::{Chunk, Result, Value};
+use hylite_expr::ScalarExpr;
+
+/// A row of values usable as a hash-table key (GROUP BY keys, join keys,
+/// DISTINCT). SQL grouping semantics: NULLs compare equal to each other;
+/// floats hash by bit pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashableRow(pub Vec<Value>);
+
+impl Eq for HashableRow {}
+
+impl Hash for HashableRow {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            match v {
+                Value::Null => 0u8.hash(state),
+                Value::Int(x) => {
+                    1u8.hash(state);
+                    x.hash(state);
+                }
+                Value::Float(x) => {
+                    2u8.hash(state);
+                    // Normalize -0.0 to 0.0 so equal floats hash equally.
+                    let x = if *x == 0.0 { 0.0 } else { *x };
+                    x.to_bits().hash(state);
+                }
+                Value::Bool(x) => {
+                    3u8.hash(state);
+                    x.hash(state);
+                }
+                Value::Str(x) => {
+                    4u8.hash(state);
+                    x.hash(state);
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate `exprs` over a chunk and materialize row `i`'s key.
+pub fn key_columns(exprs: &[ScalarExpr], chunk: &Chunk) -> Result<Vec<hylite_common::ColumnVector>> {
+    exprs.iter().map(|e| e.eval(chunk)).collect()
+}
+
+/// Materialize the key of row `i` from pre-evaluated key columns.
+pub fn key_at(cols: &[hylite_common::ColumnVector], i: usize) -> HashableRow {
+    HashableRow(cols.iter().map(|c| c.value(i)).collect())
+}
+
+/// Apply a boolean predicate to a chunk, returning the surviving rows.
+pub fn apply_predicate(chunk: &Chunk, predicate: &ScalarExpr) -> Result<Chunk> {
+    let col = predicate.eval(chunk)?;
+    let sel = col.to_selection()?;
+    Ok(chunk.filter(&sel))
+}
+
+/// Total rows across chunks.
+pub fn total_rows(chunks: &[Chunk]) -> usize {
+    chunks.iter().map(Chunk::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{ColumnVector, DataType};
+    use std::collections::HashSet;
+
+    #[test]
+    fn nulls_group_together() {
+        let a = HashableRow(vec![Value::Null, Value::Int(1)]);
+        let b = HashableRow(vec![Value::Null, Value::Int(1)]);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        let a = HashableRow(vec![Value::Float(0.0)]);
+        let b = HashableRow(vec![Value::Float(-0.0)]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn distinct_values_differ() {
+        let mut set = HashSet::new();
+        set.insert(HashableRow(vec![Value::Int(1)]));
+        set.insert(HashableRow(vec![Value::Int(2)]));
+        set.insert(HashableRow(vec![Value::from("1")]));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn predicate_filters() {
+        let chunk = Chunk::new(vec![ColumnVector::from_i64(vec![1, 5, 3])]);
+        let pred = ScalarExpr::binary(
+            hylite_expr::BinaryOp::Gt,
+            ScalarExpr::column(0, DataType::Int64),
+            ScalarExpr::literal(2i64),
+        )
+        .unwrap();
+        let out = apply_predicate(&chunk, &pred).unwrap();
+        assert_eq!(out.column(0).as_i64().unwrap(), &[5, 3]);
+    }
+}

@@ -1,0 +1,612 @@
+//! Aggregate functions with mergeable partial states.
+//!
+//! Aggregation follows the classic parallel pattern the paper's operators
+//! use: each worker folds its morsels into a local [`AggregateState`],
+//! states are merged, then finalized — so the same code serves both the
+//! serial and the morsel-parallel aggregate operator.
+
+use hylite_common::{ColumnVector, DataType, HyError, Result, Value};
+
+/// The built-in aggregate function set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunction {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(x)` — counts non-NULL values.
+    Count,
+    /// `SUM(x)`.
+    Sum,
+    /// `AVG(x)` — always DOUBLE.
+    Avg,
+    /// `MIN(x)`.
+    Min,
+    /// `MAX(x)`.
+    Max,
+    /// `STDDEV(x)` — sample standard deviation, DOUBLE.
+    Stddev,
+    /// `VAR_SAMP(x)` — sample variance, DOUBLE.
+    VarSamp,
+}
+
+impl AggregateFunction {
+    /// Look up by (case-insensitive) SQL name. `COUNT(*)` is resolved by
+    /// the binder into [`AggregateFunction::CountStar`].
+    pub fn from_name(name: &str) -> Option<AggregateFunction> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggregateFunction::Count,
+            "sum" => AggregateFunction::Sum,
+            "avg" | "mean" => AggregateFunction::Avg,
+            "min" => AggregateFunction::Min,
+            "max" => AggregateFunction::Max,
+            "stddev" | "stddev_samp" => AggregateFunction::Stddev,
+            "var_samp" | "variance" => AggregateFunction::VarSamp,
+            _ => return None,
+        })
+    }
+
+    /// SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFunction::CountStar => "count(*)",
+            AggregateFunction::Count => "count",
+            AggregateFunction::Sum => "sum",
+            AggregateFunction::Avg => "avg",
+            AggregateFunction::Min => "min",
+            AggregateFunction::Max => "max",
+            AggregateFunction::Stddev => "stddev",
+            AggregateFunction::VarSamp => "var_samp",
+        }
+    }
+
+    /// Result type given the input type.
+    pub fn result_type(&self, input: DataType) -> Result<DataType> {
+        match self {
+            AggregateFunction::CountStar | AggregateFunction::Count => Ok(DataType::Int64),
+            AggregateFunction::Sum => {
+                if input.is_numeric() || input == DataType::Null {
+                    Ok(if input == DataType::Int64 {
+                        DataType::Int64
+                    } else {
+                        DataType::Float64
+                    })
+                } else {
+                    Err(HyError::Type(format!("sum() requires numeric, got {input}")))
+                }
+            }
+            AggregateFunction::Avg | AggregateFunction::Stddev | AggregateFunction::VarSamp => {
+                if input.is_numeric() || input == DataType::Null {
+                    Ok(DataType::Float64)
+                } else {
+                    Err(HyError::Type(format!(
+                        "{}() requires numeric, got {input}",
+                        self.name()
+                    )))
+                }
+            }
+            AggregateFunction::Min | AggregateFunction::Max => Ok(input),
+        }
+    }
+
+    /// Create an empty accumulator.
+    pub fn init(&self) -> AggregateState {
+        match self {
+            AggregateFunction::CountStar | AggregateFunction::Count => {
+                AggregateState::Count { n: 0 }
+            }
+            AggregateFunction::Sum => AggregateState::Sum {
+                int: 0,
+                float: 0.0,
+                saw_float: false,
+                n: 0,
+            },
+            AggregateFunction::Avg => AggregateState::Avg { sum: 0.0, n: 0 },
+            AggregateFunction::Min => AggregateState::Extreme {
+                best: Value::Null,
+                is_min: true,
+            },
+            AggregateFunction::Max => AggregateState::Extreme {
+                best: Value::Null,
+                is_min: false,
+            },
+            AggregateFunction::Stddev => AggregateState::Moments {
+                n: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+                stddev: true,
+            },
+            AggregateFunction::VarSamp => AggregateState::Moments {
+                n: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+                stddev: false,
+            },
+        }
+    }
+}
+
+/// Mergeable accumulator for one aggregate over one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateState {
+    /// COUNT / COUNT(*).
+    Count {
+        /// Rows (or non-NULL values) seen.
+        n: i64,
+    },
+    /// SUM with integer/float duality: stays integer until a float is seen.
+    Sum {
+        /// Integer accumulator.
+        int: i64,
+        /// Float accumulator.
+        float: f64,
+        /// Whether any float value was consumed.
+        saw_float: bool,
+        /// Non-NULL values consumed (SUM of zero rows is NULL).
+        n: i64,
+    },
+    /// AVG.
+    Avg {
+        /// Running sum.
+        sum: f64,
+        /// Non-NULL count.
+        n: i64,
+    },
+    /// MIN/MAX.
+    Extreme {
+        /// Best value so far (NULL until any value is seen).
+        best: Value,
+        /// True for MIN.
+        is_min: bool,
+    },
+    /// STDDEV / VAR_SAMP via (n, Σx, Σx²) — exactly the per-class
+    /// statistics the paper's Naive Bayes training operator keeps.
+    Moments {
+        /// Non-NULL count.
+        n: i64,
+        /// Σx.
+        sum: f64,
+        /// Σx².
+        sum_sq: f64,
+        /// Finalize as stddev (true) or variance (false).
+        stddev: bool,
+    },
+}
+
+impl AggregateState {
+    /// Fold one scalar into the state. For `CountStar` pass any value
+    /// (including NULL); row counting is handled by `update_count_star`.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            AggregateState::Count { n } => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            AggregateState::Sum {
+                int,
+                float,
+                saw_float,
+                n,
+            } => match v {
+                Value::Null => {}
+                Value::Int(x) => {
+                    *int = int.wrapping_add(*x);
+                    *float += *x as f64;
+                    *n += 1;
+                }
+                Value::Float(x) => {
+                    *float += *x;
+                    *saw_float = true;
+                    *n += 1;
+                }
+                other => {
+                    return Err(HyError::Type(format!("sum() over non-numeric {other}")))
+                }
+            },
+            AggregateState::Avg { sum, n } => {
+                if !v.is_null() {
+                    *sum += v.as_float()?;
+                    *n += 1;
+                }
+            }
+            AggregateState::Extreme { best, is_min } => {
+                if !v.is_null() {
+                    let replace = best.is_null()
+                        || (*is_min && v.sort_cmp(best).is_lt())
+                        || (!*is_min && v.sort_cmp(best).is_gt());
+                    if replace {
+                        *best = v.clone();
+                    }
+                }
+            }
+            AggregateState::Moments { n, sum, sum_sq, .. } => {
+                if !v.is_null() {
+                    let x = v.as_float()?;
+                    *n += 1;
+                    *sum += x;
+                    *sum_sq += x * x;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold `rows` rows into a COUNT(*) state.
+    pub fn update_count_star(&mut self, rows: i64) {
+        if let AggregateState::Count { n } = self {
+            *n += rows;
+        }
+    }
+
+    /// Vectorized fold of a whole column (fast path used by operators).
+    pub fn update_column(&mut self, col: &ColumnVector) -> Result<()> {
+        match (&mut *self, col) {
+            (AggregateState::Count { n }, c) => {
+                *n += (c.len() - c.null_count()) as i64;
+            }
+            (
+                AggregateState::Sum {
+                    int, float, n, ..
+                },
+                ColumnVector::Int64 { data, validity },
+            ) => match validity {
+                None => {
+                    for &x in data {
+                        *int = int.wrapping_add(x);
+                        *float += x as f64;
+                    }
+                    *n += data.len() as i64;
+                }
+                Some(v) => {
+                    for i in v.iter_ones() {
+                        *int = int.wrapping_add(data[i]);
+                        *float += data[i] as f64;
+                        *n += 1;
+                    }
+                }
+            },
+            (
+                AggregateState::Sum {
+                    float,
+                    saw_float,
+                    n,
+                    ..
+                },
+                ColumnVector::Float64 { data, validity },
+            ) => {
+                *saw_float = true;
+                match validity {
+                    None => {
+                        for &x in data {
+                            *float += x;
+                        }
+                        *n += data.len() as i64;
+                    }
+                    Some(v) => {
+                        for i in v.iter_ones() {
+                            *float += data[i];
+                            *n += 1;
+                        }
+                    }
+                }
+            }
+            (AggregateState::Avg { sum, n }, ColumnVector::Float64 { data, validity }) => {
+                match validity {
+                    None => {
+                        for &x in data {
+                            *sum += x;
+                        }
+                        *n += data.len() as i64;
+                    }
+                    Some(v) => {
+                        for i in v.iter_ones() {
+                            *sum += data[i];
+                            *n += 1;
+                        }
+                    }
+                }
+            }
+            (
+                AggregateState::Moments { n, sum, sum_sq, .. },
+                ColumnVector::Float64 { data, validity },
+            ) => match validity {
+                None => {
+                    for &x in data {
+                        *sum += x;
+                        *sum_sq += x * x;
+                    }
+                    *n += data.len() as i64;
+                }
+                Some(v) => {
+                    for i in v.iter_ones() {
+                        let x = data[i];
+                        *sum += x;
+                        *sum_sq += x * x;
+                        *n += 1;
+                    }
+                }
+            },
+            // Generic fallback: per-value loop.
+            (state, c) => {
+                for i in 0..c.len() {
+                    state.update(&c.value(i))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another state of the same shape into `self`.
+    pub fn merge(&mut self, other: &AggregateState) -> Result<()> {
+        match (&mut *self, other) {
+            (AggregateState::Count { n }, AggregateState::Count { n: m }) => *n += m,
+            (
+                AggregateState::Sum {
+                    int,
+                    float,
+                    saw_float,
+                    n,
+                },
+                AggregateState::Sum {
+                    int: i2,
+                    float: f2,
+                    saw_float: s2,
+                    n: n2,
+                },
+            ) => {
+                *int = int.wrapping_add(*i2);
+                *float += f2;
+                *saw_float |= s2;
+                *n += n2;
+            }
+            (AggregateState::Avg { sum, n }, AggregateState::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (
+                AggregateState::Extreme { best, is_min },
+                AggregateState::Extreme { best: b2, .. },
+            ) => {
+                if !b2.is_null() {
+                    let replace = best.is_null()
+                        || (*is_min && b2.sort_cmp(best).is_lt())
+                        || (!*is_min && b2.sort_cmp(best).is_gt());
+                    if replace {
+                        *best = b2.clone();
+                    }
+                }
+            }
+            (
+                AggregateState::Moments { n, sum, sum_sq, .. },
+                AggregateState::Moments {
+                    n: n2,
+                    sum: s2,
+                    sum_sq: q2,
+                    ..
+                },
+            ) => {
+                *n += n2;
+                *sum += s2;
+                *sum_sq += q2;
+            }
+            (a, b) => {
+                return Err(HyError::Internal(format!(
+                    "cannot merge aggregate states {a:?} and {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final aggregate value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            AggregateState::Count { n } => Value::Int(*n),
+            AggregateState::Sum {
+                int,
+                float,
+                saw_float,
+                n,
+            } => {
+                if *n == 0 {
+                    Value::Null
+                } else if *saw_float {
+                    Value::Float(*float)
+                } else {
+                    Value::Int(*int)
+                }
+            }
+            AggregateState::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *n as f64)
+                }
+            }
+            AggregateState::Extreme { best, .. } => best.clone(),
+            AggregateState::Moments {
+                n,
+                sum,
+                sum_sq,
+                stddev,
+            } => {
+                if *n < 2 {
+                    return Value::Null;
+                }
+                let nf = *n as f64;
+                let var = ((sum_sq - sum * sum / nf) / (nf - 1.0)).max(0.0);
+                Value::Float(if *stddev { var.sqrt() } else { var })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::ColumnVector as CV;
+
+    fn run(f: AggregateFunction, vals: &[Value]) -> Value {
+        let mut s = f.init();
+        for v in vals {
+            s.update(v).unwrap();
+        }
+        s.finalize()
+    }
+
+    #[test]
+    fn count_ignores_nulls() {
+        assert_eq!(
+            run(
+                AggregateFunction::Count,
+                &[Value::Int(1), Value::Null, Value::Int(2)]
+            ),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn count_star_counts_rows() {
+        let mut s = AggregateFunction::CountStar.init();
+        s.update_count_star(5);
+        s.update_count_star(2);
+        assert_eq!(s.finalize(), Value::Int(7));
+    }
+
+    #[test]
+    fn sum_integer_stays_integer() {
+        assert_eq!(
+            run(AggregateFunction::Sum, &[Value::Int(1), Value::Int(2)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            run(AggregateFunction::Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+        assert_eq!(run(AggregateFunction::Sum, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn avg_and_empty() {
+        assert_eq!(
+            run(
+                AggregateFunction::Avg,
+                &[Value::Int(1), Value::Int(2), Value::Null]
+            ),
+            Value::Float(1.5)
+        );
+        assert_eq!(run(AggregateFunction::Avg, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max() {
+        let vals = [Value::Int(3), Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggregateFunction::Min, &vals), Value::Int(1));
+        assert_eq!(run(AggregateFunction::Max, &vals), Value::Int(3));
+        assert_eq!(run(AggregateFunction::Min, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn stddev_matches_reference() {
+        // stddev of 2,4,4,4,5,5,7,9 (sample) = sqrt(32/7)
+        let vals: Vec<Value> = [2, 4, 4, 4, 5, 5, 7, 9]
+            .iter()
+            .map(|&v| Value::Int(v))
+            .collect();
+        let got = run(AggregateFunction::Stddev, &vals);
+        let expect = (32.0f64 / 7.0).sqrt();
+        assert!((got.as_float().unwrap() - expect).abs() < 1e-12);
+        assert_eq!(
+            run(AggregateFunction::Stddev, &[Value::Int(1)]),
+            Value::Null,
+            "sample stddev of one value is undefined"
+        );
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let vals: Vec<Value> = (1..=10).map(Value::Int).collect();
+        for f in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum,
+            AggregateFunction::Avg,
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+            AggregateFunction::Stddev,
+            AggregateFunction::VarSamp,
+        ] {
+            let mut whole = f.init();
+            for v in &vals {
+                whole.update(v).unwrap();
+            }
+            let (mut a, mut b) = (f.init(), f.init());
+            for v in &vals[..4] {
+                a.update(v).unwrap();
+            }
+            for v in &vals[4..] {
+                b.update(v).unwrap();
+            }
+            a.merge(&b).unwrap();
+            assert_eq!(a.finalize(), whole.finalize(), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn update_column_matches_scalar_loop() {
+        let col = CV::from_f64(vec![1.0, 2.0, 3.5]);
+        for f in [
+            AggregateFunction::Sum,
+            AggregateFunction::Avg,
+            AggregateFunction::Stddev,
+        ] {
+            let mut fast = f.init();
+            fast.update_column(&col).unwrap();
+            let mut slow = f.init();
+            for i in 0..col.len() {
+                slow.update(&col.value(i)).unwrap();
+            }
+            assert_eq!(fast.finalize(), slow.finalize(), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn update_column_with_validity() {
+        let mut col = CV::empty(DataType::Int64);
+        col.push_value(&Value::Int(10)).unwrap();
+        col.push_null();
+        col.push_value(&Value::Int(20)).unwrap();
+        let mut s = AggregateFunction::Sum.init();
+        s.update_column(&col).unwrap();
+        assert_eq!(s.finalize(), Value::Int(30));
+        let mut c = AggregateFunction::Count.init();
+        c.update_column(&col).unwrap();
+        assert_eq!(c.finalize(), Value::Int(2));
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(
+            AggregateFunction::Sum.result_type(DataType::Int64).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggregateFunction::Avg.result_type(DataType::Int64).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            AggregateFunction::Min
+                .result_type(DataType::Varchar)
+                .unwrap(),
+            DataType::Varchar
+        );
+        assert!(AggregateFunction::Sum.result_type(DataType::Varchar).is_err());
+    }
+
+    #[test]
+    fn from_name_lookup() {
+        assert_eq!(
+            AggregateFunction::from_name("STDDEV"),
+            Some(AggregateFunction::Stddev)
+        );
+        assert_eq!(AggregateFunction::from_name("median"), None);
+    }
+}

@@ -1,0 +1,968 @@
+//! Bound scalar expressions and their vectorized evaluation.
+
+use std::fmt;
+
+use hylite_common::{Bitmap, Chunk, ColumnVector, DataType, HyError, Result, Value};
+
+use crate::functions::ScalarFunc;
+use crate::kernels::{self, merge_validity};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `^` — power, always DOUBLE.
+    Pow,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND` (three-valued)
+    And,
+    /// `OR` (three-valued)
+    Or,
+}
+
+impl BinaryOp {
+    /// Whether this is `+ - * / % ^`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod | BinaryOp::Pow
+        )
+    }
+
+    /// Whether this is a comparison.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        )
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Pow => "^",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical NOT (three-valued: NOT NULL = NULL).
+    Not,
+}
+
+/// A bound, typed scalar expression. Column references are indices into
+/// the input chunk. Constructors perform type checking so that a built
+/// tree is always well-typed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Input column by index.
+    Column {
+        /// Index into the input chunk.
+        index: usize,
+        /// The column's type.
+        data_type: DataType,
+    },
+    /// Constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+        /// Pre-computed result type.
+        data_type: DataType,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        input: Box<ScalarExpr>,
+    },
+    /// Built-in scalar function call.
+    Func {
+        /// The function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<ScalarExpr>,
+        /// Pre-computed result type.
+        data_type: DataType,
+    },
+    /// Searched CASE: first branch whose condition is true wins.
+    Case {
+        /// `(condition, result)` pairs.
+        branches: Vec<(ScalarExpr, ScalarExpr)>,
+        /// `ELSE` result (NULL if absent).
+        else_expr: Option<Box<ScalarExpr>>,
+        /// Pre-computed result type.
+        data_type: DataType,
+    },
+    /// Explicit cast.
+    Cast {
+        /// Operand.
+        input: Box<ScalarExpr>,
+        /// Target type.
+        target: DataType,
+    },
+    /// `IS NULL` / `IS NOT NULL`.
+    IsNull {
+        /// Operand.
+        input: Box<ScalarExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)` over literal values.
+    InList {
+        /// Tested expression.
+        input: Box<ScalarExpr>,
+        /// Candidate literals (pre-cast to the input type).
+        list: Vec<Value>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr LIKE pattern`.
+    Like {
+        /// Tested string expression.
+        input: Box<ScalarExpr>,
+        /// LIKE pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+}
+
+impl ScalarExpr {
+    /// Column reference.
+    pub fn column(index: usize, data_type: DataType) -> ScalarExpr {
+        ScalarExpr::Column { index, data_type }
+    }
+
+    /// Literal value.
+    pub fn literal(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Literal(v.into())
+    }
+
+    /// Type-checked binary expression.
+    pub fn binary(op: BinaryOp, left: ScalarExpr, right: ScalarExpr) -> Result<ScalarExpr> {
+        let (lt, rt) = (left.data_type(), right.data_type());
+        let data_type = if op.is_arithmetic() {
+            let common = lt.common_type(rt)?;
+            if !common.is_numeric() && common != DataType::Null {
+                return Err(HyError::Type(format!(
+                    "operator {} requires numeric operands, got {lt} and {rt}",
+                    op.symbol()
+                )));
+            }
+            if op == BinaryOp::Pow {
+                DataType::Float64
+            } else {
+                common
+            }
+        } else if op.is_comparison() {
+            // Validates comparability.
+            lt.common_type(rt)?;
+            DataType::Bool
+        } else {
+            // AND / OR
+            for t in [lt, rt] {
+                if t != DataType::Bool && t != DataType::Null {
+                    return Err(HyError::Type(format!(
+                        "operator {} requires boolean operands, got {t}",
+                        op.symbol()
+                    )));
+                }
+            }
+            DataType::Bool
+        };
+        Ok(ScalarExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+            data_type,
+        })
+    }
+
+    /// Type-checked unary expression.
+    pub fn unary(op: UnaryOp, input: ScalarExpr) -> Result<ScalarExpr> {
+        let t = input.data_type();
+        match op {
+            UnaryOp::Neg if !t.is_numeric() && t != DataType::Null => {
+                return Err(HyError::Type(format!("cannot negate {t}")))
+            }
+            UnaryOp::Not if t != DataType::Bool && t != DataType::Null => {
+                return Err(HyError::Type(format!("NOT requires boolean, got {t}")))
+            }
+            _ => {}
+        }
+        Ok(ScalarExpr::Unary {
+            op,
+            input: Box::new(input),
+        })
+    }
+
+    /// Type-checked function call.
+    pub fn func(func: ScalarFunc, args: Vec<ScalarExpr>) -> Result<ScalarExpr> {
+        let arg_types: Vec<DataType> = args.iter().map(ScalarExpr::data_type).collect();
+        let data_type = func.result_type(&arg_types)?;
+        Ok(ScalarExpr::Func {
+            func,
+            args,
+            data_type,
+        })
+    }
+
+    /// Type-checked searched CASE.
+    pub fn case(
+        branches: Vec<(ScalarExpr, ScalarExpr)>,
+        else_expr: Option<ScalarExpr>,
+    ) -> Result<ScalarExpr> {
+        if branches.is_empty() {
+            return Err(HyError::Bind("CASE requires at least one WHEN".into()));
+        }
+        let mut data_type = DataType::Null;
+        for (cond, result) in &branches {
+            let ct = cond.data_type();
+            if ct != DataType::Bool && ct != DataType::Null {
+                return Err(HyError::Type(format!(
+                    "CASE condition must be boolean, got {ct}"
+                )));
+            }
+            data_type = data_type.common_type(result.data_type())?;
+        }
+        if let Some(e) = &else_expr {
+            data_type = data_type.common_type(e.data_type())?;
+        }
+        if data_type == DataType::Null {
+            data_type = DataType::Int64;
+        }
+        Ok(ScalarExpr::Case {
+            branches,
+            else_expr: else_expr.map(Box::new),
+            data_type,
+        })
+    }
+
+    /// The expression's result type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ScalarExpr::Column { data_type, .. } => *data_type,
+            ScalarExpr::Literal(v) => v.data_type(),
+            ScalarExpr::Binary { data_type, .. } => *data_type,
+            ScalarExpr::Unary { op, input } => match op {
+                UnaryOp::Neg => input.data_type(),
+                UnaryOp::Not => DataType::Bool,
+            },
+            ScalarExpr::Func { data_type, .. } => *data_type,
+            ScalarExpr::Case { data_type, .. } => *data_type,
+            ScalarExpr::Cast { target, .. } => *target,
+            ScalarExpr::IsNull { .. } | ScalarExpr::InList { .. } | ScalarExpr::Like { .. } => {
+                DataType::Bool
+            }
+        }
+    }
+
+    /// Indices of all referenced input columns (for projection pruning).
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Column { index, .. } => out.push(*index),
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            ScalarExpr::Unary { input, .. }
+            | ScalarExpr::Cast { input, .. }
+            | ScalarExpr::IsNull { input, .. }
+            | ScalarExpr::InList { input, .. }
+            | ScalarExpr::Like { input, .. } => input.referenced_columns(out),
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+                ..
+            } => {
+                for (c, r) in branches {
+                    c.referenced_columns(out);
+                    r.referenced_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.referenced_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrite all column indices through `mapping` (old index → new index).
+    /// Used by the optimizer when columns are pruned or reordered.
+    pub fn remap_columns(&mut self, mapping: &[usize]) {
+        match self {
+            ScalarExpr::Column { index, .. } => *index = mapping[*index],
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Binary { left, right, .. } => {
+                left.remap_columns(mapping);
+                right.remap_columns(mapping);
+            }
+            ScalarExpr::Unary { input, .. }
+            | ScalarExpr::Cast { input, .. }
+            | ScalarExpr::IsNull { input, .. }
+            | ScalarExpr::InList { input, .. }
+            | ScalarExpr::Like { input, .. } => input.remap_columns(mapping),
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.remap_columns(mapping);
+                }
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+                ..
+            } => {
+                for (c, r) in branches {
+                    c.remap_columns(mapping);
+                    r.remap_columns(mapping);
+                }
+                if let Some(e) = else_expr {
+                    e.remap_columns(mapping);
+                }
+            }
+        }
+    }
+
+    /// Vectorized evaluation over a chunk, producing one column with
+    /// `chunk.len()` rows.
+    pub fn eval(&self, chunk: &Chunk) -> Result<ColumnVector> {
+        let n = chunk.len();
+        match self {
+            ScalarExpr::Column { index, .. } => Ok(chunk.column(*index).clone()),
+            ScalarExpr::Literal(v) => broadcast(v, n),
+            ScalarExpr::Binary {
+                op, left, right, ..
+            } => {
+                let l = left.eval(chunk)?;
+                let r = right.eval(chunk)?;
+                eval_binary(*op, &l, &r)
+            }
+            ScalarExpr::Unary { op, input } => {
+                let c = input.eval(chunk)?;
+                match op {
+                    UnaryOp::Neg => match &c {
+                        ColumnVector::Int64 { data, validity } => Ok(ColumnVector::Int64 {
+                            data: data.iter().map(|v| v.wrapping_neg()).collect(),
+                            validity: validity.clone(),
+                        }),
+                        ColumnVector::Float64 { data, validity } => Ok(ColumnVector::Float64 {
+                            data: data.iter().map(|v| -v).collect(),
+                            validity: validity.clone(),
+                        }),
+                        other => Err(HyError::Type(format!(
+                            "cannot negate {}",
+                            other.data_type()
+                        ))),
+                    },
+                    UnaryOp::Not => {
+                        let b = c.as_bool()?;
+                        Ok(ColumnVector::Bool {
+                            data: b.iter().map(|v| !v).collect(),
+                            validity: c.validity().cloned(),
+                        })
+                    }
+                }
+            }
+            ScalarExpr::Func { func, args, .. } => {
+                let cols: Vec<ColumnVector> =
+                    args.iter().map(|a| a.eval(chunk)).collect::<Result<_>>()?;
+                func.eval(&cols)
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+                data_type,
+            } => {
+                // Evaluate all branches over the chunk, then select
+                // row-wise: the cost model is fine because CASE inputs in
+                // analytical queries are cheap scalar columns.
+                let conds: Vec<ColumnVector> = branches
+                    .iter()
+                    .map(|(c, _)| c.eval(chunk))
+                    .collect::<Result<_>>()?;
+                let results: Vec<ColumnVector> = branches
+                    .iter()
+                    .map(|(_, r)| r.eval(chunk)?.cast_to(*data_type))
+                    .collect::<Result<_>>()?;
+                let else_col = match else_expr {
+                    Some(e) => Some(e.eval(chunk)?.cast_to(*data_type)?),
+                    None => None,
+                };
+                let mut out = ColumnVector::empty(*data_type);
+                for i in 0..n {
+                    let mut v = Value::Null;
+                    let mut matched = false;
+                    for (b, cond) in conds.iter().enumerate() {
+                        if cond.is_valid(i) && cond.as_bool()?[i] {
+                            v = results[b].value(i);
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if !matched {
+                        if let Some(e) = &else_col {
+                            v = e.value(i);
+                        }
+                    }
+                    out.push_value(&v)?;
+                }
+                Ok(out)
+            }
+            ScalarExpr::Cast { input, target } => input.eval(chunk)?.cast_to(*target),
+            ScalarExpr::IsNull { input, negated } => {
+                let c = input.eval(chunk)?;
+                let data: Vec<bool> = (0..n)
+                    .map(|i| {
+                        let isnull = !c.is_valid(i);
+                        if *negated {
+                            !isnull
+                        } else {
+                            isnull
+                        }
+                    })
+                    .collect();
+                Ok(ColumnVector::from_bool(data))
+            }
+            ScalarExpr::InList {
+                input,
+                list,
+                negated,
+            } => {
+                let c = input.eval(chunk)?;
+                let mut data = Vec::with_capacity(n);
+                let mut validity = Bitmap::filled(n, true);
+                let mut any_null = false;
+                for i in 0..n {
+                    let v = c.value(i);
+                    if v.is_null() {
+                        data.push(false);
+                        validity.set(i, false);
+                        any_null = true;
+                        continue;
+                    }
+                    let hit = list.iter().any(|cand| {
+                        !cand.is_null() && v.sort_cmp(cand) == std::cmp::Ordering::Equal
+                    });
+                    data.push(hit != *negated);
+                }
+                Ok(ColumnVector::Bool {
+                    data,
+                    validity: any_null.then_some(validity),
+                })
+            }
+            ScalarExpr::Like {
+                input,
+                pattern,
+                negated,
+            } => {
+                let c = input.eval(chunk)?;
+                let s = c.as_varchar()?;
+                let data: Vec<bool> = s
+                    .iter()
+                    .map(|v| kernels::like_match(v, pattern) != *negated)
+                    .collect();
+                Ok(ColumnVector::Bool {
+                    data,
+                    validity: c.validity().cloned(),
+                })
+            }
+        }
+    }
+
+    /// Evaluate on a single materialized row (used by the UDF baseline and
+    /// for constant folding: fold by evaluating over an empty-row chunk).
+    pub fn eval_row(&self, row: &hylite_common::Row) -> Result<Value> {
+        // Build a one-row chunk lazily; row-at-a-time evaluation is only
+        // used off the hot path. Column types come from the expression's
+        // own column references (a NULL cell carries no type information).
+        let mut max_col = Vec::new();
+        self.referenced_columns(&mut max_col);
+        let width = max_col.iter().max().map_or(0, |m| m + 1).max(row.len());
+        let mut padded: Vec<Value> = row.values().to_vec();
+        padded.resize(width, Value::Null);
+        let mut col_types: Vec<DataType> = padded.iter().map(Value::data_type).collect();
+        let mut typed_refs = Vec::new();
+        self.referenced_column_types(&mut typed_refs);
+        for (index, dt) in typed_refs {
+            // The expression's static type wins over an untyped NULL cell;
+            // a genuine value/type mismatch will surface in push_value.
+            if col_types[index] == DataType::Null {
+                col_types[index] = dt;
+            }
+        }
+        let chunk = Chunk::from_rows(&col_types, &[padded])?;
+        let col = self.eval(&chunk)?;
+        Ok(col.value(0))
+    }
+
+    /// Collect `(column index, declared type)` for every column reference.
+    pub fn referenced_column_types(&self, out: &mut Vec<(usize, DataType)>) {
+        match self {
+            ScalarExpr::Column { index, data_type } => out.push((*index, *data_type)),
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Binary { left, right, .. } => {
+                left.referenced_column_types(out);
+                right.referenced_column_types(out);
+            }
+            ScalarExpr::Unary { input, .. }
+            | ScalarExpr::Cast { input, .. }
+            | ScalarExpr::IsNull { input, .. }
+            | ScalarExpr::InList { input, .. }
+            | ScalarExpr::Like { input, .. } => input.referenced_column_types(out),
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.referenced_column_types(out);
+                }
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+                ..
+            } => {
+                for (c, r) in branches {
+                    c.referenced_column_types(out);
+                    r.referenced_column_types(out);
+                }
+                if let Some(e) = else_expr {
+                    e.referenced_column_types(out);
+                }
+            }
+        }
+    }
+
+    /// True when the expression references no columns (a constant).
+    pub fn is_constant(&self) -> bool {
+        let mut cols = Vec::new();
+        self.referenced_columns(&mut cols);
+        cols.is_empty()
+    }
+}
+
+/// Evaluate a binary operator over two columns.
+pub fn eval_binary(op: BinaryOp, l: &ColumnVector, r: &ColumnVector) -> Result<ColumnVector> {
+    use BinaryOp::*;
+    match op {
+        And => {
+            let validity_l = l.validity().cloned();
+            let validity_r = r.validity().cloned();
+            Ok(kernels::and_3vl(
+                l.as_bool()?,
+                validity_l.as_ref(),
+                r.as_bool()?,
+                validity_r.as_ref(),
+            ))
+        }
+        Or => {
+            let validity_l = l.validity().cloned();
+            let validity_r = r.validity().cloned();
+            Ok(kernels::or_3vl(
+                l.as_bool()?,
+                validity_l.as_ref(),
+                r.as_bool()?,
+                validity_r.as_ref(),
+            ))
+        }
+        _ => {
+            let common = l.data_type().common_type(r.data_type())?;
+            let common = if op == Pow { DataType::Float64 } else { common };
+            let lc = l.cast_to(common)?;
+            let rc = r.cast_to(common)?;
+            let validity = merge_validity(lc.validity(), rc.validity());
+            if op.is_comparison() {
+                let sym = op.symbol();
+                match common {
+                    DataType::Int64 => kernels::compare(sym, lc.as_i64()?, rc.as_i64()?, validity),
+                    DataType::Float64 => {
+                        kernels::compare(sym, lc.as_f64()?, rc.as_f64()?, validity)
+                    }
+                    DataType::Bool => kernels::compare(sym, lc.as_bool()?, rc.as_bool()?, validity),
+                    DataType::Varchar => {
+                        kernels::compare(sym, lc.as_varchar()?, rc.as_varchar()?, validity)
+                    }
+                    DataType::Null => Ok(all_null_bool(lc.len())),
+                }
+            } else {
+                let sym = op.symbol();
+                match common {
+                    DataType::Int64 => kernels::arith_i64(sym, lc.as_i64()?, rc.as_i64()?, validity),
+                    DataType::Float64 => {
+                        kernels::arith_f64(sym, lc.as_f64()?, rc.as_f64()?, validity)
+                    }
+                    DataType::Null => {
+                        let mut c = ColumnVector::empty(DataType::Int64);
+                        for _ in 0..lc.len() {
+                            c.push_null();
+                        }
+                        Ok(c)
+                    }
+                    other => Err(HyError::Type(format!(
+                        "operator {sym} not defined for {other}"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+fn all_null_bool(n: usize) -> ColumnVector {
+    let mut c = ColumnVector::empty(DataType::Bool);
+    for _ in 0..n {
+        c.push_null();
+    }
+    c
+}
+
+/// Broadcast a scalar into an `n`-row column.
+pub fn broadcast(v: &Value, n: usize) -> Result<ColumnVector> {
+    match v {
+        Value::Null => {
+            let mut c = ColumnVector::empty(DataType::Int64);
+            for _ in 0..n {
+                c.push_null();
+            }
+            Ok(c)
+        }
+        Value::Int(x) => Ok(ColumnVector::from_i64(vec![*x; n])),
+        Value::Float(x) => Ok(ColumnVector::from_f64(vec![*x; n])),
+        Value::Bool(x) => Ok(ColumnVector::from_bool(vec![*x; n])),
+        Value::Str(x) => Ok(ColumnVector::from_str(vec![x.clone(); n])),
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column { index, .. } => write!(f, "#{index}"),
+            ScalarExpr::Literal(v) => write!(f, "{v}"),
+            ScalarExpr::Binary {
+                op, left, right, ..
+            } => write!(f, "({left} {} {right})", op.symbol()),
+            ScalarExpr::Unary { op, input } => match op {
+                UnaryOp::Neg => write!(f, "(-{input})"),
+                UnaryOp::Not => write!(f, "(NOT {input})"),
+            },
+            ScalarExpr::Func { func, args, .. } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+                ..
+            } => {
+                write!(f, "CASE")?;
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            ScalarExpr::Cast { input, target } => write!(f, "CAST({input} AS {target})"),
+            ScalarExpr::IsNull { input, negated } => {
+                write!(f, "({input} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            ScalarExpr::InList {
+                input,
+                list,
+                negated,
+            } => {
+                write!(f, "({input} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "))")
+            }
+            ScalarExpr::Like {
+                input,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({input} {}LIKE '{pattern}')",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> Chunk {
+        Chunk::new(vec![
+            ColumnVector::from_i64(vec![1, 2, 3]),
+            ColumnVector::from_f64(vec![0.5, 1.5, 2.5]),
+            ColumnVector::from_str(vec!["apple", "banana", "avocado"]),
+        ])
+    }
+
+    fn col(i: usize, t: DataType) -> ScalarExpr {
+        ScalarExpr::column(i, t)
+    }
+
+    #[test]
+    fn arithmetic_promotes() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Add,
+            col(0, DataType::Int64),
+            col(1, DataType::Float64),
+        )
+        .unwrap();
+        assert_eq!(e.data_type(), DataType::Float64);
+        let c = e.eval(&chunk()).unwrap();
+        assert_eq!(c.as_f64().unwrap(), &[1.5, 3.5, 5.5]);
+    }
+
+    #[test]
+    fn power_is_float() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Pow,
+            col(0, DataType::Int64),
+            ScalarExpr::literal(2i64),
+        )
+        .unwrap();
+        assert_eq!(e.data_type(), DataType::Float64);
+        let c = e.eval(&chunk()).unwrap();
+        assert_eq!(c.as_f64().unwrap(), &[1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        let gt = ScalarExpr::binary(
+            BinaryOp::Gt,
+            col(0, DataType::Int64),
+            ScalarExpr::literal(1i64),
+        )
+        .unwrap();
+        let lt = ScalarExpr::binary(
+            BinaryOp::Lt,
+            col(1, DataType::Float64),
+            ScalarExpr::literal(2.0f64),
+        )
+        .unwrap();
+        let and = ScalarExpr::binary(BinaryOp::And, gt, lt).unwrap();
+        let c = and.eval(&chunk()).unwrap();
+        assert_eq!(c.as_bool().unwrap(), &[false, true, false]);
+    }
+
+    #[test]
+    fn type_errors_at_construction() {
+        assert!(ScalarExpr::binary(
+            BinaryOp::Add,
+            col(2, DataType::Varchar),
+            ScalarExpr::literal(1i64)
+        )
+        .is_err());
+        assert!(ScalarExpr::binary(
+            BinaryOp::And,
+            col(0, DataType::Int64),
+            ScalarExpr::literal(true)
+        )
+        .is_err());
+        assert!(ScalarExpr::unary(UnaryOp::Not, col(0, DataType::Int64)).is_err());
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = ScalarExpr::case(
+            vec![
+                (
+                    ScalarExpr::binary(
+                        BinaryOp::Eq,
+                        col(0, DataType::Int64),
+                        ScalarExpr::literal(1i64),
+                    )
+                    .unwrap(),
+                    ScalarExpr::literal("one"),
+                ),
+                (
+                    ScalarExpr::binary(
+                        BinaryOp::Eq,
+                        col(0, DataType::Int64),
+                        ScalarExpr::literal(2i64),
+                    )
+                    .unwrap(),
+                    ScalarExpr::literal("two"),
+                ),
+            ],
+            Some(ScalarExpr::literal("many")),
+        )
+        .unwrap();
+        let c = e.eval(&chunk()).unwrap();
+        assert_eq!(
+            c.as_varchar().unwrap(),
+            &["one".to_string(), "two".to_string(), "many".to_string()]
+        );
+    }
+
+    #[test]
+    fn case_without_else_yields_null() {
+        let e = ScalarExpr::case(
+            vec![(
+                ScalarExpr::binary(
+                    BinaryOp::Eq,
+                    col(0, DataType::Int64),
+                    ScalarExpr::literal(1i64),
+                )
+                .unwrap(),
+                ScalarExpr::literal(10i64),
+            )],
+            None,
+        )
+        .unwrap();
+        let c = e.eval(&chunk()).unwrap();
+        assert_eq!(c.value(0), Value::Int(10));
+        assert!(c.value(1).is_null());
+    }
+
+    #[test]
+    fn in_list_and_like() {
+        let e = ScalarExpr::InList {
+            input: Box::new(col(0, DataType::Int64)),
+            list: vec![Value::Int(1), Value::Int(3)],
+            negated: false,
+        };
+        assert_eq!(
+            e.eval(&chunk()).unwrap().as_bool().unwrap(),
+            &[true, false, true]
+        );
+        let e = ScalarExpr::Like {
+            input: Box::new(col(2, DataType::Varchar)),
+            pattern: "a%".into(),
+            negated: false,
+        };
+        assert_eq!(
+            e.eval(&chunk()).unwrap().as_bool().unwrap(),
+            &[true, false, true]
+        );
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let mut c0 = ColumnVector::empty(DataType::Int64);
+        c0.push_value(&Value::Int(1)).unwrap();
+        c0.push_null();
+        let ch = Chunk::new(vec![c0]);
+        let e = ScalarExpr::IsNull {
+            input: Box::new(col(0, DataType::Int64)),
+            negated: false,
+        };
+        assert_eq!(e.eval(&ch).unwrap().as_bool().unwrap(), &[false, true]);
+        let e = ScalarExpr::IsNull {
+            input: Box::new(col(0, DataType::Int64)),
+            negated: true,
+        };
+        assert_eq!(e.eval(&ch).unwrap().as_bool().unwrap(), &[true, false]);
+    }
+
+    #[test]
+    fn referenced_and_remap() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Add,
+            col(0, DataType::Int64),
+            col(2, DataType::Int64),
+        )
+        .unwrap();
+        let mut refs = Vec::new();
+        e.referenced_columns(&mut refs);
+        assert_eq!(refs, vec![0, 2]);
+        let mut e2 = e;
+        e2.remap_columns(&[5, 9, 7]);
+        let mut refs = Vec::new();
+        e2.referenced_columns(&mut refs);
+        assert_eq!(refs, vec![5, 7]);
+    }
+
+    #[test]
+    fn row_eval_matches_chunk_eval() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Mul,
+            col(0, DataType::Int64),
+            ScalarExpr::literal(3i64),
+        )
+        .unwrap();
+        let ch = chunk();
+        let c = e.eval(&ch).unwrap();
+        for i in 0..ch.len() {
+            assert_eq!(e.eval_row(&ch.row(i)).unwrap(), c.value(i));
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Add,
+            col(0, DataType::Int64),
+            ScalarExpr::literal(1i64),
+        )
+        .unwrap();
+        assert_eq!(e.to_string(), "(#0 + 1)");
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(ScalarExpr::literal(1i64).is_constant());
+        assert!(!col(0, DataType::Int64).is_constant());
+    }
+}

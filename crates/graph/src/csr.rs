@@ -1,0 +1,304 @@
+//! Compressed sparse row graphs with dense vertex re-labeling.
+//!
+//! The paper's PageRank operator "ensures [efficient neighbor traversal]
+//! by efficiently creating a temporary compressed sparse row (CSR)
+//! representation that is optimized for the query at hand. We avoid
+//! storage overhead and an access indirection in this mapping by
+//! re-labeling all vertices and doing a direct mapping" — exactly what
+//! [`VertexMapping`] + [`CsrGraph::from_edges`] implement, including the
+//! reverse mapping applied when results leave the operator.
+
+use std::collections::HashMap;
+
+use hylite_common::{HyError, Result};
+
+/// Maps arbitrary `i64` vertex ids to dense `0..n` ids and back.
+#[derive(Debug, Clone, Default)]
+pub struct VertexMapping {
+    /// dense id → original id (the reverse mapping operator's table).
+    originals: Vec<i64>,
+    /// original id → dense id.
+    dense: HashMap<i64, u32>,
+}
+
+impl VertexMapping {
+    /// Empty mapping.
+    pub fn new() -> VertexMapping {
+        VertexMapping::default()
+    }
+
+    /// Intern an original id, returning its dense id.
+    pub fn intern(&mut self, original: i64) -> u32 {
+        match self.dense.get(&original) {
+            Some(&d) => d,
+            None => {
+                let d = self.originals.len() as u32;
+                self.originals.push(original);
+                self.dense.insert(original, d);
+                d
+            }
+        }
+    }
+
+    /// Dense id for an original id, if known.
+    pub fn to_dense(&self, original: i64) -> Option<u32> {
+        self.dense.get(&original).copied()
+    }
+
+    /// Original id for a dense id (the reverse mapping).
+    pub fn to_original(&self, dense: u32) -> i64 {
+        self.originals[dense as usize]
+    }
+
+    /// Number of interned vertices.
+    pub fn len(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// True when no vertex was interned.
+    pub fn is_empty(&self) -> bool {
+        self.originals.is_empty()
+    }
+
+    /// The dense→original table.
+    pub fn originals(&self) -> &[i64] {
+        &self.originals
+    }
+}
+
+/// A directed graph in CSR form over dense vertex ids.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` with v's out-edges.
+    offsets: Vec<usize>,
+    /// Flattened adjacency lists.
+    targets: Vec<u32>,
+    /// Re-labeling table (dense ↔ original ids).
+    mapping: VertexMapping,
+}
+
+impl CsrGraph {
+    /// Build a CSR graph from parallel (src, dest) arrays of original ids,
+    /// re-labeling vertices densely in first-seen order. Vertices that
+    /// only appear as destinations are included (with no out-edges).
+    pub fn from_edges(src: &[i64], dest: &[i64]) -> Result<CsrGraph> {
+        if src.len() != dest.len() {
+            return Err(HyError::Analytics(format!(
+                "edge arrays differ in length: {} vs {}",
+                src.len(),
+                dest.len()
+            )));
+        }
+        let mut mapping = VertexMapping::new();
+        // Pass 1: intern ids and count out-degrees.
+        let mut dense_src = Vec::with_capacity(src.len());
+        let mut dense_dest = Vec::with_capacity(dest.len());
+        for (&s, &d) in src.iter().zip(dest) {
+            dense_src.push(mapping.intern(s));
+            dense_dest.push(mapping.intern(d));
+        }
+        let n = mapping.len();
+        let mut degree = vec![0usize; n];
+        for &s in &dense_src {
+            degree[s as usize] += 1;
+        }
+        // Prefix sums → offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        // Pass 2: scatter targets.
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0u32; src.len()];
+        for (&s, &d) in dense_src.iter().zip(&dense_dest) {
+            let c = &mut cursor[s as usize];
+            targets[*c] = d;
+            *c += 1;
+        }
+        Ok(CsrGraph {
+            offsets,
+            targets,
+            mapping,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of a dense vertex.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of a dense vertex.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// The vertex re-labeling table.
+    pub fn mapping(&self) -> &VertexMapping {
+        &self.mapping
+    }
+
+    /// The transposed graph (in-edges become out-edges), sharing the same
+    /// vertex mapping. PageRank's pull-based iteration reads this.
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut degree = vec![0usize; n];
+        for &t in &self.targets {
+            degree[t as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0u32; self.targets.len()];
+        for v in 0..n {
+            for &t in self.neighbors(v as u32) {
+                let c = &mut cursor[t as usize];
+                targets[*c] = v as u32;
+                *c += 1;
+            }
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            mapping: self.mapping.clone(),
+        }
+    }
+
+    /// Out-degrees of all vertices (used by PageRank for rank division).
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(v as u32))
+            .collect()
+    }
+
+    /// Build a CSR graph together with per-edge weights aligned with
+    /// [`CsrGraph::neighbors`] order (for weighted PageRank: edge weights
+    /// as a lambda-style parameterization of the operator).
+    pub fn from_weighted_edges(
+        src: &[i64],
+        dest: &[i64],
+        weight: &[f64],
+    ) -> Result<(CsrGraph, Vec<f64>)> {
+        if src.len() != weight.len() {
+            return Err(HyError::Analytics(format!(
+                "edge weights differ in length: {} edges vs {} weights",
+                src.len(),
+                weight.len()
+            )));
+        }
+        let graph = CsrGraph::from_edges(src, dest)?;
+        // Scatter weights into CSR order (same two-pass layout).
+        let n = graph.num_vertices();
+        let mut cursor: Vec<usize> = graph.offsets[..n].to_vec();
+        let mut out = vec![0.0f64; weight.len()];
+        for ((&s, _), &w) in src.iter().zip(dest).zip(weight) {
+            let dense = graph.mapping.to_dense(s).expect("interned in pass 1");
+            let c = &mut cursor[dense as usize];
+            out[*c] = w;
+            *c += 1;
+        }
+        Ok((graph, out))
+    }
+
+    /// Edge slice bounds for vertex `v` (`offsets[v]..offsets[v+1]`),
+    /// for indexing edge-aligned side arrays like weights.
+    pub fn edge_range(&self, v: u32) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 10 → 20 → 30, 10 → 30 (original ids intentionally sparse).
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(&[10, 20, 10], &[20, 30, 30]).unwrap()
+    }
+
+    #[test]
+    fn relabeling_is_dense_and_reversible() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let d10 = g.mapping().to_dense(10).unwrap();
+        let d30 = g.mapping().to_dense(30).unwrap();
+        assert_eq!(g.mapping().to_original(d10), 10);
+        assert_eq!(g.mapping().to_original(d30), 30);
+        // Dense ids cover 0..n.
+        let mut ids: Vec<u32> = (0..3).map(|i| g.mapping().to_dense([10, 20, 30][i]).unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn neighbors_and_degrees() {
+        let g = sample();
+        let d10 = g.mapping().to_dense(10).unwrap();
+        let d20 = g.mapping().to_dense(20).unwrap();
+        let d30 = g.mapping().to_dense(30).unwrap();
+        assert_eq!(g.out_degree(d10), 2);
+        assert_eq!(g.out_degree(d20), 1);
+        assert_eq!(g.out_degree(d30), 0);
+        let mut n10: Vec<u32> = g.neighbors(d10).to_vec();
+        n10.sort_unstable();
+        let mut expect = vec![d20, d30];
+        expect.sort_unstable();
+        assert_eq!(n10, expect);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = sample();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), 3);
+        let d10 = g.mapping().to_dense(10).unwrap();
+        let d30 = g.mapping().to_dense(30).unwrap();
+        // In the transpose, 30 has two out-edges (its two in-edges).
+        assert_eq!(t.out_degree(d30), 2);
+        assert_eq!(t.out_degree(d10), 0);
+    }
+
+    #[test]
+    fn dest_only_vertices_included() {
+        let g = CsrGraph::from_edges(&[1], &[2]).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.out_degree(g.mapping().to_dense(2).unwrap()), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(&[], &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn mismatched_arrays_rejected() {
+        assert!(CsrGraph::from_edges(&[1], &[]).is_err());
+    }
+
+    #[test]
+    fn self_loops_and_multi_edges_kept() {
+        let g = CsrGraph::from_edges(&[1, 1, 1], &[1, 2, 2]).unwrap();
+        let d1 = g.mapping().to_dense(1).unwrap();
+        assert_eq!(g.out_degree(d1), 3);
+    }
+}

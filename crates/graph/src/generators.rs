@@ -1,0 +1,63 @@
+//! Small deterministic graphs for tests and examples.
+
+/// A directed path `0 → 1 → ... → n-1`.
+pub fn path(n: usize) -> (Vec<i64>, Vec<i64>) {
+    let src: Vec<i64> = (0..n.saturating_sub(1) as i64).collect();
+    let dest: Vec<i64> = (1..n as i64).collect();
+    (src, dest)
+}
+
+/// A directed cycle over `n` vertices.
+pub fn cycle(n: usize) -> (Vec<i64>, Vec<i64>) {
+    let src: Vec<i64> = (0..n as i64).collect();
+    let dest: Vec<i64> = (0..n as i64).map(|v| (v + 1) % n as i64).collect();
+    (src, dest)
+}
+
+/// A star: every leaf `1..n` points at the hub `0`.
+pub fn star_into_hub(n: usize) -> (Vec<i64>, Vec<i64>) {
+    let src: Vec<i64> = (1..n as i64).collect();
+    let dest: Vec<i64> = vec![0; n.saturating_sub(1)];
+    (src, dest)
+}
+
+/// A complete directed graph (no self loops) over `n` vertices.
+pub fn complete(n: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut src = Vec::new();
+    let mut dest = Vec::new();
+    for a in 0..n as i64 {
+        for b in 0..n as i64 {
+            if a != b {
+                src.push(a);
+                dest.push(b);
+            }
+        }
+    }
+    (src, dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn shapes() {
+        let (s, d) = path(4);
+        assert_eq!(s.len(), 3);
+        let g = CsrGraph::from_edges(&s, &d).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+
+        let (s, d) = cycle(4);
+        let g = CsrGraph::from_edges(&s, &d).unwrap();
+        assert!(g.out_degrees().iter().all(|&x| x == 1));
+
+        let (s, d) = star_into_hub(5);
+        let g = CsrGraph::from_edges(&s, &d).unwrap();
+        let hub = g.mapping().to_dense(0).unwrap();
+        assert_eq!(g.transpose().out_degree(hub), 4);
+
+        let (s, _d) = complete(4);
+        assert_eq!(s.len(), 12);
+    }
+}

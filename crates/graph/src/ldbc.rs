@@ -1,0 +1,248 @@
+//! LDBC-SNB-like social graph generation.
+//!
+//! The paper evaluates PageRank on the undirected person-knows-person
+//! graph of the LDBC Social Network Benchmark at three scales
+//! (≈11k/452k, 73k/4.6M, 499k/46M vertices/edges). The official Hadoop
+//! datagen is out of scope here, so this module generates graphs that
+//! match the properties PageRank cost depends on: vertex count, edge
+//! count, heavy-tailed degree distribution (preferential attachment) and
+//! a little local clustering (triangle closing), deterministically
+//! seeded. DESIGN.md documents this substitution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LdbcConfig {
+    /// Number of persons (vertices).
+    pub vertices: usize,
+    /// Target number of *undirected* friendships; the generated edge
+    /// table stores both directions, so it has ~2× this many rows.
+    pub edges: usize,
+    /// Fraction of edges created by closing a friend-of-friend triangle
+    /// instead of pure preferential attachment (adds clustering).
+    pub triangle_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LdbcConfig {
+    /// The paper's small graph: ≈11k vertices, 452k directed edges.
+    pub fn paper_small() -> LdbcConfig {
+        LdbcConfig {
+            vertices: 11_000,
+            edges: 226_000,
+            triangle_fraction: 0.3,
+            seed: 42,
+        }
+    }
+
+    /// The paper's medium graph: ≈73k vertices, 4.6M directed edges.
+    pub fn paper_medium() -> LdbcConfig {
+        LdbcConfig {
+            vertices: 73_000,
+            edges: 2_300_000,
+            triangle_fraction: 0.3,
+            seed: 42,
+        }
+    }
+
+    /// The paper's large graph: ≈499k vertices, 46M directed edges.
+    pub fn paper_large() -> LdbcConfig {
+        LdbcConfig {
+            vertices: 499_000,
+            edges: 23_000_000,
+            triangle_fraction: 0.3,
+            seed: 42,
+        }
+    }
+
+    /// Scale vertex and friendship counts by `factor` (≤ 1 shrinks).
+    pub fn scaled(self, factor: f64) -> LdbcConfig {
+        LdbcConfig {
+            vertices: ((self.vertices as f64 * factor) as usize).max(16),
+            edges: ((self.edges as f64 * factor) as usize).max(32),
+            ..self
+        }
+    }
+}
+
+/// A generated person-knows-person graph as a directed edge table
+/// (both directions of every friendship).
+#[derive(Debug, Clone)]
+pub struct LdbcGraph {
+    /// Source person ids. Person ids are `1000 + 7·k` — deliberately
+    /// non-dense so PageRank's re-labeling path is exercised.
+    pub src: Vec<i64>,
+    /// Destination person ids.
+    pub dest: Vec<i64>,
+    /// Number of persons.
+    pub vertices: usize,
+}
+
+impl LdbcGraph {
+    /// Generate a graph for `config`.
+    pub fn generate(config: &LdbcConfig) -> LdbcGraph {
+        let n = config.vertices.max(2);
+        let target_friendships = config.edges.max(n);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Preferential attachment via a repeated-endpoints pool: picking
+        // a uniform element of `pool` selects vertices proportionally to
+        // their current degree (plus one smoothing entry per vertex).
+        let mut pool: Vec<u32> = (0..n as u32).collect();
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let add_edge = |a: u32,
+                            b: u32,
+                            adjacency: &mut Vec<Vec<u32>>,
+                            pool: &mut Vec<u32>|
+         -> bool {
+            if a == b || adjacency[a as usize].contains(&b) {
+                return false;
+            }
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+            // Double weight per new edge strengthens the preferential-
+            // attachment tail toward LDBC-like skew.
+            pool.extend_from_slice(&[a, a, b, b]);
+            true
+        };
+
+        // Seed ring so every vertex has degree ≥ 2.
+        for v in 0..n as u32 {
+            let w = ((v as usize + 1) % n) as u32;
+            add_edge(v, w, &mut adjacency, &mut pool);
+        }
+
+        let mut friendships = n; // ring edges
+        let mut attempts = 0usize;
+        let max_attempts = target_friendships * 8;
+        while friendships < target_friendships && attempts < max_attempts {
+            attempts += 1;
+            let a = pool[rng.gen_range(0..pool.len())];
+            let close_triangle = rng.gen_bool(config.triangle_fraction)
+                && !adjacency[a as usize].is_empty();
+            let b = if close_triangle {
+                // friend-of-friend
+                let f = adjacency[a as usize][rng.gen_range(0..adjacency[a as usize].len())];
+                if adjacency[f as usize].is_empty() {
+                    continue;
+                }
+                adjacency[f as usize][rng.gen_range(0..adjacency[f as usize].len())]
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if add_edge(a, b, &mut adjacency, &mut pool) {
+                friendships += 1;
+            }
+        }
+
+        // Emit both directions with sparse original ids.
+        let id_of = |v: u32| 1000 + 7 * v as i64;
+        let mut src = Vec::with_capacity(friendships * 2);
+        let mut dest = Vec::with_capacity(friendships * 2);
+        for (v, neigh) in adjacency.iter().enumerate() {
+            for &w in neigh {
+                src.push(id_of(v as u32));
+                dest.push(id_of(w));
+            }
+        }
+        LdbcGraph {
+            src,
+            dest,
+            vertices: n,
+        }
+    }
+
+    /// Directed edge count (2× the friendships).
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    fn small() -> LdbcConfig {
+        LdbcConfig {
+            vertices: 500,
+            edges: 5_000,
+            triangle_fraction: 0.3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = LdbcGraph::generate(&small());
+        let b = LdbcGraph::generate(&small());
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dest, b.dest);
+        let c = LdbcGraph::generate(&LdbcConfig {
+            seed: 8,
+            ..small()
+        });
+        assert_ne!(a.src, c.src);
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = LdbcGraph::generate(&small());
+        let target = 2 * 5_000;
+        assert!(
+            g.num_edges() as f64 > target as f64 * 0.9,
+            "got {} directed edges, wanted ≈{target}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn symmetric_and_simple() {
+        let g = LdbcGraph::generate(&small());
+        use std::collections::HashSet;
+        let edges: HashSet<(i64, i64)> = g.src.iter().copied().zip(g.dest.iter().copied()).collect();
+        assert_eq!(edges.len(), g.num_edges(), "no duplicate directed edges");
+        for &(s, d) in &edges {
+            assert!(edges.contains(&(d, s)), "undirected symmetry");
+            assert_ne!(s, d, "no self loops");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = LdbcGraph::generate(&LdbcConfig {
+            vertices: 2000,
+            edges: 20_000,
+            triangle_fraction: 0.2,
+            seed: 13,
+        });
+        let csr = CsrGraph::from_edges(&g.src, &g.dest).unwrap();
+        let degs = csr.out_degrees();
+        let max = *degs.iter().max().unwrap() as f64;
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(
+            max > mean * 4.0,
+            "expected heavy tail: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = LdbcGraph::generate(&small());
+        let csr = CsrGraph::from_edges(&g.src, &g.dest).unwrap();
+        assert_eq!(csr.num_vertices(), 500);
+        // Ring seeding ⇒ minimum degree ≥ 2.
+        assert!(csr.out_degrees().iter().all(|&d| d >= 2));
+    }
+
+    #[test]
+    fn paper_configs_scale() {
+        let c = LdbcConfig::paper_small().scaled(0.01);
+        assert!(c.vertices >= 100);
+        let g = LdbcGraph::generate(&c);
+        assert!(g.num_edges() > c.vertices);
+    }
+}

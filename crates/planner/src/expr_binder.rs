@@ -1,0 +1,455 @@
+//! Expression binding: unbound AST expressions → typed [`ScalarExpr`]s.
+
+use hylite_common::{DataType, HyError, Result, Schema, Value};
+use hylite_expr::{AggregateFunction, BinaryOp, ScalarExpr, ScalarFunc, UnaryOp};
+use hylite_sql::ast::{BinOp, Expr};
+
+use crate::logical::AggExpr;
+
+/// Binds expressions against one input schema. Rejects aggregates — those
+/// are handled by [`AggRewriter`] in grouped contexts.
+pub struct ExprBinder<'a> {
+    schema: &'a Schema,
+}
+
+impl<'a> ExprBinder<'a> {
+    /// Binder over `schema`.
+    pub fn new(schema: &'a Schema) -> ExprBinder<'a> {
+        ExprBinder { schema }
+    }
+
+    /// Bind an expression; aggregate calls are an error here.
+    pub fn bind(&self, e: &Expr) -> Result<ScalarExpr> {
+        match e {
+            Expr::Column { qualifier, name } => {
+                let idx = self.schema.resolve(qualifier.as_deref(), name)?;
+                Ok(ScalarExpr::column(idx, self.schema.field(idx).data_type))
+            }
+            Expr::Literal(v) => Ok(ScalarExpr::Literal(v.clone())),
+            Expr::Binary { op, left, right } => {
+                let l = self.bind(left)?;
+                let r = self.bind(right)?;
+                ScalarExpr::binary(map_binop(*op), l, r)
+            }
+            Expr::Neg(inner) => ScalarExpr::unary(UnaryOp::Neg, self.bind(inner)?),
+            Expr::Not(inner) => ScalarExpr::unary(UnaryOp::Not, self.bind(inner)?),
+            Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } => {
+                if AggregateFunction::from_name(name).is_some() || (*star && name == "count") {
+                    return Err(HyError::Bind(format!(
+                        "aggregate function {name}() is not allowed here"
+                    )));
+                }
+                if *star || *distinct {
+                    return Err(HyError::Bind(format!(
+                        "{name}() does not accept * or DISTINCT"
+                    )));
+                }
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| HyError::Bind(format!("unknown function '{name}'")))?;
+                let bound: Vec<ScalarExpr> =
+                    args.iter().map(|a| self.bind(a)).collect::<Result<_>>()?;
+                ScalarExpr::func(func, bound)
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                let b: Vec<(ScalarExpr, ScalarExpr)> = branches
+                    .iter()
+                    .map(|(c, r)| Ok((self.bind(c)?, self.bind(r)?)))
+                    .collect::<Result<_>>()?;
+                let e = match else_expr {
+                    Some(e) => Some(self.bind(e)?),
+                    None => None,
+                };
+                ScalarExpr::case(b, e)
+            }
+            Expr::Cast { expr, target } => Ok(ScalarExpr::Cast {
+                input: Box::new(self.bind(expr)?),
+                target: *target,
+            }),
+            Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
+                input: Box::new(self.bind(expr)?),
+                negated: *negated,
+            }),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let input = self.bind(expr)?;
+                let values: Vec<Value> = list
+                    .iter()
+                    .map(|item| {
+                        let bound = self.bind(item)?;
+                        match bound {
+                            ScalarExpr::Literal(v) => Ok(v),
+                            other if other.is_constant() => {
+                                other.eval_row(&hylite_common::Row::default())
+                            }
+                            _ => Err(HyError::Bind(
+                                "IN list items must be constant expressions".into(),
+                            )),
+                        }
+                    })
+                    .collect::<Result<_>>()?;
+                Ok(ScalarExpr::InList {
+                    input: Box::new(input),
+                    list: values,
+                    negated: *negated,
+                })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                // e BETWEEN a AND b  ⇒  e >= a AND e <= b (negated: OR of
+                // complements), binding `e` once per side.
+                let ge = ScalarExpr::binary(BinaryOp::GtEq, self.bind(expr)?, self.bind(low)?)?;
+                let le = ScalarExpr::binary(BinaryOp::LtEq, self.bind(expr)?, self.bind(high)?)?;
+                let both = ScalarExpr::binary(BinaryOp::And, ge, le)?;
+                if *negated {
+                    ScalarExpr::unary(UnaryOp::Not, both)
+                } else {
+                    Ok(both)
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let input = self.bind(expr)?;
+                let pattern = match self.bind(pattern)? {
+                    ScalarExpr::Literal(Value::Str(s)) => s,
+                    other => {
+                        return Err(HyError::Bind(format!(
+                            "LIKE pattern must be a string literal, got {other}"
+                        )))
+                    }
+                };
+                if input.data_type() != DataType::Varchar && input.data_type() != DataType::Null {
+                    return Err(HyError::Type(format!(
+                        "LIKE requires VARCHAR, got {}",
+                        input.data_type()
+                    )));
+                }
+                Ok(ScalarExpr::Like {
+                    input: Box::new(input),
+                    pattern,
+                    negated: *negated,
+                })
+            }
+        }
+    }
+}
+
+/// Map an AST operator to the bound operator.
+pub fn map_binop(op: BinOp) -> BinaryOp {
+    match op {
+        BinOp::Add => BinaryOp::Add,
+        BinOp::Sub => BinaryOp::Sub,
+        BinOp::Mul => BinaryOp::Mul,
+        BinOp::Div => BinaryOp::Div,
+        BinOp::Mod => BinaryOp::Mod,
+        BinOp::Pow => BinaryOp::Pow,
+        BinOp::Eq => BinaryOp::Eq,
+        BinOp::NotEq => BinaryOp::NotEq,
+        BinOp::Lt => BinaryOp::Lt,
+        BinOp::LtEq => BinaryOp::LtEq,
+        BinOp::Gt => BinaryOp::Gt,
+        BinOp::GtEq => BinaryOp::GtEq,
+        BinOp::And => BinaryOp::And,
+        BinOp::Or => BinaryOp::Or,
+    }
+}
+
+/// Whether the AST expression contains any aggregate function call.
+pub fn contains_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Function { name, star, .. } => {
+            AggregateFunction::from_name(name).is_some() || (*star && name == "count")
+        }
+        Expr::Column { .. } | Expr::Literal(_) => false,
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        Expr::Neg(i) | Expr::Not(i) => contains_aggregate(i),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            branches
+                .iter()
+                .any(|(c, r)| contains_aggregate(c) || contains_aggregate(r))
+                || else_expr.as_deref().is_some_and(contains_aggregate)
+        }
+        Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => contains_aggregate(expr),
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
+        Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
+    }
+}
+
+/// Rewrites expressions in a grouped query: group-key sub-expressions
+/// become references to the aggregate node's key columns, aggregate calls
+/// become references to its aggregate columns. Everything else must
+/// decompose into those — otherwise the query is invalid SQL.
+pub struct AggRewriter<'a> {
+    /// Schema below the Aggregate node.
+    input_schema: &'a Schema,
+    /// Bound group keys (output columns `0..group_bound.len()`).
+    pub group_bound: Vec<ScalarExpr>,
+    /// Collected aggregates (output columns after the keys).
+    pub aggs: Vec<AggExpr>,
+}
+
+impl<'a> AggRewriter<'a> {
+    /// Rewriter over `input_schema` with pre-bound group keys.
+    pub fn new(input_schema: &'a Schema, group_bound: Vec<ScalarExpr>) -> AggRewriter<'a> {
+        AggRewriter {
+            input_schema,
+            group_bound,
+            aggs: Vec::new(),
+        }
+    }
+
+    /// Register (or reuse) an aggregate, returning its output column index.
+    fn add_agg(&mut self, func: AggregateFunction, arg: Option<ScalarExpr>) -> Result<usize> {
+        // Reuse identical aggregates so `HAVING count(*) > 2` and
+        // `SELECT count(*)` share one accumulator.
+        for (i, existing) in self.aggs.iter().enumerate() {
+            if existing.func == func && existing.arg == arg {
+                return Ok(self.group_bound.len() + i);
+            }
+        }
+        let name = func.name().replace("(*)", "_star");
+        self.aggs.push(AggExpr { func, arg, name });
+        Ok(self.group_bound.len() + self.aggs.len() - 1)
+    }
+
+    fn output_type(&self, idx: usize) -> Result<DataType> {
+        let ng = self.group_bound.len();
+        if idx < ng {
+            Ok(self.group_bound[idx].data_type())
+        } else {
+            let agg = &self.aggs[idx - ng];
+            let input_type = agg
+                .arg
+                .as_ref()
+                .map_or(DataType::Int64, ScalarExpr::data_type);
+            agg.func.result_type(input_type)
+        }
+    }
+
+    /// Rewrite an expression to refer to the aggregate node's output.
+    pub fn rewrite(&mut self, e: &Expr) -> Result<ScalarExpr> {
+        // A sub-expression that exactly matches a group key becomes a key
+        // column reference.
+        if !contains_aggregate(e) {
+            if let Ok(bound) = ExprBinder::new(self.input_schema).bind(e) {
+                if let Some(i) = self.group_bound.iter().position(|g| *g == bound) {
+                    return Ok(ScalarExpr::column(i, self.output_type(i)?));
+                }
+                // Constants are fine even when not grouped.
+                if bound.is_constant() {
+                    return Ok(bound);
+                }
+            }
+        }
+        match e {
+            Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } if AggregateFunction::from_name(name).is_some() || (*star && name == "count") => {
+                if *distinct {
+                    return Err(HyError::Bind(
+                        "DISTINCT aggregates are not supported".into(),
+                    ));
+                }
+                let (func, arg) = if *star {
+                    (AggregateFunction::CountStar, None)
+                } else {
+                    let func = AggregateFunction::from_name(name).expect("checked above");
+                    if args.len() != 1 {
+                        return Err(HyError::Bind(format!(
+                            "{name}() expects exactly one argument"
+                        )));
+                    }
+                    let arg = ExprBinder::new(self.input_schema).bind(&args[0])?;
+                    if contains_aggregate(&args[0]) {
+                        return Err(HyError::Bind("nested aggregates are not allowed".into()));
+                    }
+                    (func, Some(arg))
+                };
+                let idx = self.add_agg(func, arg)?;
+                Ok(ScalarExpr::column(idx, self.output_type(idx)?))
+            }
+            Expr::Binary { op, left, right } => {
+                let l = self.rewrite(left)?;
+                let r = self.rewrite(right)?;
+                ScalarExpr::binary(map_binop(*op), l, r)
+            }
+            Expr::Neg(i) => ScalarExpr::unary(UnaryOp::Neg, self.rewrite(i)?),
+            Expr::Not(i) => ScalarExpr::unary(UnaryOp::Not, self.rewrite(i)?),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                let b: Vec<(ScalarExpr, ScalarExpr)> = branches
+                    .iter()
+                    .map(|(c, r)| Ok((self.rewrite(c)?, self.rewrite(r)?)))
+                    .collect::<Result<_>>()?;
+                let els = match else_expr {
+                    Some(x) => Some(self.rewrite(x)?),
+                    None => None,
+                };
+                ScalarExpr::case(b, els)
+            }
+            Expr::Cast { expr, target } => Ok(ScalarExpr::Cast {
+                input: Box::new(self.rewrite(expr)?),
+                target: *target,
+            }),
+            Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
+                input: Box::new(self.rewrite(expr)?),
+                negated: *negated,
+            }),
+            Expr::Function { name, args, .. } => {
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| HyError::Bind(format!("unknown function '{name}'")))?;
+                let bound: Vec<ScalarExpr> = args
+                    .iter()
+                    .map(|a| self.rewrite(a))
+                    .collect::<Result<_>>()?;
+                ScalarExpr::func(func, bound)
+            }
+            Expr::Literal(v) => Ok(ScalarExpr::Literal(v.clone())),
+            Expr::Column { qualifier, name } => {
+                let full = match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.clone(),
+                };
+                Err(HyError::Bind(format!(
+                    "column '{full}' must appear in the GROUP BY clause or be used in an aggregate"
+                )))
+            }
+            other => Err(HyError::Bind(format!(
+                "expression {other} is not valid in a grouped query"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::Field;
+    use hylite_sql::parse_expression;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64).with_qualifier("t"),
+            Field::new("b", DataType::Float64).with_qualifier("t"),
+            Field::new("s", DataType::Varchar).with_qualifier("t"),
+        ])
+    }
+
+    fn bind(sql: &str) -> Result<ScalarExpr> {
+        let s = schema();
+        let e = parse_expression(sql)?;
+        ExprBinder::new(&s).bind(&e)
+    }
+
+    #[test]
+    fn binds_columns_and_arith() {
+        let e = bind("a + b * 2").unwrap();
+        assert_eq!(e.data_type(), DataType::Float64);
+        assert_eq!(e.to_string(), "(#0 + (#1 * 2))");
+    }
+
+    #[test]
+    fn binds_qualified() {
+        let e = bind("t.a").unwrap();
+        assert_eq!(e.to_string(), "#0");
+        assert!(bind("u.a").is_err());
+    }
+
+    #[test]
+    fn between_expands() {
+        let e = bind("a BETWEEN 1 AND 3").unwrap();
+        assert_eq!(e.to_string(), "((#0 >= 1) AND (#0 <= 3))");
+    }
+
+    #[test]
+    fn like_requires_string() {
+        assert!(bind("s LIKE 'a%'").is_ok());
+        assert!(bind("a LIKE 'a%'").is_err());
+        assert!(bind("s LIKE s").is_err(), "pattern must be a literal");
+    }
+
+    #[test]
+    fn in_list_constants_only() {
+        assert!(bind("a IN (1, 2, 3)").is_ok());
+        assert!(bind("a IN (1, b)").is_err());
+    }
+
+    #[test]
+    fn rejects_aggregates_in_plain_context() {
+        assert!(matches!(bind("sum(a)"), Err(HyError::Bind(_))));
+        assert!(matches!(bind("count(*)"), Err(HyError::Bind(_))));
+    }
+
+    #[test]
+    fn unknown_function() {
+        assert!(bind("frobnicate(a)").is_err());
+    }
+
+    #[test]
+    fn agg_rewriter_collects() {
+        let s = schema();
+        let group = vec![ScalarExpr::column(0, DataType::Int64)];
+        let mut rw = AggRewriter::new(&s, group);
+        // a, sum(b) + count(*), having-style: count(*) > 1
+        let proj = rw.rewrite(&parse_expression("a").unwrap()).unwrap();
+        assert_eq!(proj.to_string(), "#0");
+        let e = rw
+            .rewrite(&parse_expression("sum(b) + count(*)").unwrap())
+            .unwrap();
+        assert_eq!(rw.aggs.len(), 2);
+        assert_eq!(e.to_string(), "(#1 + #2)");
+        // count(*) reused, not duplicated
+        let h = rw.rewrite(&parse_expression("count(*) > 1").unwrap()).unwrap();
+        assert_eq!(rw.aggs.len(), 2);
+        assert_eq!(h.to_string(), "(#2 > 1)");
+    }
+
+    #[test]
+    fn agg_rewriter_rejects_ungrouped_column() {
+        let s = schema();
+        let mut rw = AggRewriter::new(&s, vec![]);
+        let err = rw.rewrite(&parse_expression("a + sum(b)").unwrap());
+        assert!(matches!(err, Err(HyError::Bind(_))));
+    }
+
+    #[test]
+    fn group_key_expression_match() {
+        let s = schema();
+        let key = ExprBinder::new(&s)
+            .bind(&parse_expression("a % 2").unwrap())
+            .unwrap();
+        let mut rw = AggRewriter::new(&s, vec![key]);
+        let e = rw.rewrite(&parse_expression("a % 2").unwrap()).unwrap();
+        assert_eq!(e.to_string(), "#0");
+    }
+}

@@ -1,0 +1,1017 @@
+//! Rule-based logical optimizer.
+//!
+//! Rules applied to fixpoint (bounded pass count):
+//!
+//! 1. constant folding inside scalar expressions;
+//! 2. predicate simplification (`TRUE AND p` → `p`, filters on constant
+//!    predicates dropped or turned into empty relations);
+//! 3. filter merging (`Filter(Filter(x))` → one conjunction);
+//! 4. predicate pushdown — through projections, sorts, unions, into join
+//!    sides and finally into table scans. Following §5.2 of the paper,
+//!    predicates are **not** pushed through aggregates or analytical
+//!    operators (k-Means, PageRank, Naive Bayes, Iterate, recursive CTEs):
+//!    their results depend on the whole input, so the rewrite would be
+//!    unsound;
+//! 5. projection merging and scan column pruning.
+
+use std::sync::Arc;
+
+use hylite_common::{Result, Row, Schema, Value};
+use hylite_expr::{BinaryOp, ScalarExpr};
+
+use crate::logical::{JoinKind, LogicalPlan};
+
+/// The optimizer. Stateless; `optimize` consumes and returns plans.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Optimizer {
+    _priv: (),
+}
+
+/// Maximum rewrite passes before we stop (each pass is a full-tree walk).
+const MAX_PASSES: usize = 8;
+
+impl Optimizer {
+    /// A new optimizer.
+    pub fn new() -> Optimizer {
+        Optimizer::default()
+    }
+
+    /// Optimize a plan.
+    pub fn optimize(&self, mut plan: LogicalPlan) -> Result<LogicalPlan> {
+        for _ in 0..MAX_PASSES {
+            let before = plan.clone();
+            plan = rewrite(plan)?;
+            if plan == before {
+                break;
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// One bottom-up rewrite pass.
+fn rewrite(plan: LogicalPlan) -> Result<LogicalPlan> {
+    // First rewrite children.
+    let plan = map_children(plan, rewrite)?;
+    // Then apply local rules.
+    let plan = fold_node_exprs(plan)?;
+    match plan {
+        LogicalPlan::Filter { input, predicate } => rewrite_filter(*input, predicate),
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => rewrite_project(*input, exprs, schema),
+        other => Ok(other),
+    }
+}
+
+/// Apply `f` to each child plan.
+fn map_children(
+    plan: LogicalPlan,
+    f: impl Fn(LogicalPlan) -> Result<LogicalPlan> + Copy,
+) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(f(*input)?),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(f(*input)?),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(f(*left)?),
+            right: Box::new(f(*right)?),
+            kind,
+            condition,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)?),
+            group_exprs,
+            aggregates,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(f(*input)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Union {
+            inputs,
+            all,
+            schema,
+        } => LogicalPlan::Union {
+            inputs: inputs.into_iter().map(f).collect::<Result<_>>()?,
+            all,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)?),
+        },
+        LogicalPlan::RecursiveCte {
+            name,
+            init,
+            step,
+            all,
+            schema,
+        } => LogicalPlan::RecursiveCte {
+            name,
+            init: Box::new(f(*init)?),
+            step: Box::new(f(*step)?),
+            all,
+            schema,
+        },
+        LogicalPlan::Iterate {
+            init,
+            step,
+            stop,
+            max_iterations,
+            schema,
+        } => LogicalPlan::Iterate {
+            init: Box::new(f(*init)?),
+            step: Box::new(f(*step)?),
+            stop: Box::new(f(*stop)?),
+            max_iterations,
+            schema,
+        },
+        LogicalPlan::KMeans {
+            data,
+            centers,
+            lambda,
+            max_iterations,
+            schema,
+        } => LogicalPlan::KMeans {
+            data: Box::new(f(*data)?),
+            centers: Box::new(f(*centers)?),
+            lambda,
+            max_iterations,
+            schema,
+        },
+        LogicalPlan::KMeansAssign {
+            data,
+            centers,
+            lambda,
+            schema,
+        } => LogicalPlan::KMeansAssign {
+            data: Box::new(f(*data)?),
+            centers: Box::new(f(*centers)?),
+            lambda,
+            schema,
+        },
+        LogicalPlan::PageRank {
+            edges,
+            weighted,
+            damping,
+            epsilon,
+            max_iterations,
+            schema,
+        } => LogicalPlan::PageRank {
+            edges: Box::new(f(*edges)?),
+            weighted,
+            damping,
+            epsilon,
+            max_iterations,
+            schema,
+        },
+        LogicalPlan::NaiveBayesTrain {
+            data,
+            feature_names,
+            schema,
+        } => LogicalPlan::NaiveBayesTrain {
+            data: Box::new(f(*data)?),
+            feature_names,
+            schema,
+        },
+        LogicalPlan::NaiveBayesPredict {
+            model,
+            data,
+            feature_names,
+            schema,
+        } => LogicalPlan::NaiveBayesPredict {
+            model: Box::new(f(*model)?),
+            data: Box::new(f(*data)?),
+            feature_names,
+            schema,
+        },
+        LogicalPlan::ClassStats {
+            data,
+            feature_names,
+            schema,
+        } => LogicalPlan::ClassStats {
+            data: Box::new(f(*data)?),
+            feature_names,
+            schema,
+        },
+        leaf @ (LogicalPlan::TableScan { .. }
+        | LogicalPlan::Values { .. }
+        | LogicalPlan::Empty { .. }
+        | LogicalPlan::WorkingTable { .. }) => leaf,
+    })
+}
+
+// ------------------------------------------------------- constant folding
+
+/// Fold constant sub-expressions in every expression the node carries.
+fn fold_node_exprs(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: fold_expr(predicate),
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input,
+            exprs: exprs.into_iter().map(fold_expr).collect(),
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition,
+            schema,
+        } => LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition: condition.map(fold_expr),
+            schema,
+        },
+        LogicalPlan::TableScan {
+            table,
+            table_schema,
+            projection,
+            filter,
+            schema,
+        } => LogicalPlan::TableScan {
+            table,
+            table_schema,
+            projection,
+            filter: filter.map(fold_expr),
+            schema,
+        },
+        other => other,
+    })
+}
+
+/// Recursively replace constant sub-expressions with literals. Evaluation
+/// errors (like division by zero) leave the expression untouched so the
+/// error surfaces at run time only if the row is actually produced.
+pub fn fold_expr(e: ScalarExpr) -> ScalarExpr {
+    if matches!(e, ScalarExpr::Literal(_)) {
+        return e;
+    }
+    // Fold children first.
+    let e = match e {
+        ScalarExpr::Binary {
+            op,
+            left,
+            right,
+            data_type,
+        } => {
+            let l = fold_expr(*left);
+            let r = fold_expr(*right);
+            // Boolean short-circuits that are sound under 3VL:
+            // FALSE AND x = FALSE,  TRUE OR x = TRUE,
+            // TRUE AND x = x,       FALSE OR x = x.
+            match (op, &l, &r) {
+                (BinaryOp::And, ScalarExpr::Literal(Value::Bool(false)), _)
+                | (BinaryOp::And, _, ScalarExpr::Literal(Value::Bool(false))) => {
+                    return ScalarExpr::Literal(Value::Bool(false))
+                }
+                (BinaryOp::Or, ScalarExpr::Literal(Value::Bool(true)), _)
+                | (BinaryOp::Or, _, ScalarExpr::Literal(Value::Bool(true))) => {
+                    return ScalarExpr::Literal(Value::Bool(true))
+                }
+                (BinaryOp::And, ScalarExpr::Literal(Value::Bool(true)), _) => return r,
+                (BinaryOp::And, _, ScalarExpr::Literal(Value::Bool(true))) => return l,
+                (BinaryOp::Or, ScalarExpr::Literal(Value::Bool(false)), _) => return r,
+                (BinaryOp::Or, _, ScalarExpr::Literal(Value::Bool(false))) => return l,
+                _ => {}
+            }
+            ScalarExpr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+                data_type,
+            }
+        }
+        ScalarExpr::Unary { op, input } => ScalarExpr::Unary {
+            op,
+            input: Box::new(fold_expr(*input)),
+        },
+        ScalarExpr::Func {
+            func,
+            args,
+            data_type,
+        } => ScalarExpr::Func {
+            func,
+            args: args.into_iter().map(fold_expr).collect(),
+            data_type,
+        },
+        ScalarExpr::Cast { input, target } => ScalarExpr::Cast {
+            input: Box::new(fold_expr(*input)),
+            target,
+        },
+        ScalarExpr::IsNull { input, negated } => ScalarExpr::IsNull {
+            input: Box::new(fold_expr(*input)),
+            negated,
+        },
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+            data_type,
+        } => ScalarExpr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(c, r)| (fold_expr(c), fold_expr(r)))
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(fold_expr(*e))),
+            data_type,
+        },
+        ScalarExpr::InList {
+            input,
+            list,
+            negated,
+        } => ScalarExpr::InList {
+            input: Box::new(fold_expr(*input)),
+            list,
+            negated,
+        },
+        ScalarExpr::Like {
+            input,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            input: Box::new(fold_expr(*input)),
+            pattern,
+            negated,
+        },
+        other => other,
+    };
+    // Whole-expression fold when constant.
+    if e.is_constant() {
+        if let Ok(v) = e.eval_row(&Row::default()) {
+            // Preserve the static type: an Int result for a Float64-typed
+            // expression must stay a Float literal, and a NULL result of
+            // a typed expression must keep its type (as CAST(NULL AS T)).
+            if v.is_null() {
+                if e.data_type() == hylite_common::DataType::Null {
+                    return ScalarExpr::Literal(v);
+                }
+                return ScalarExpr::Cast {
+                    input: Box::new(ScalarExpr::Literal(Value::Null)),
+                    target: e.data_type(),
+                };
+            }
+            if v.data_type() == e.data_type() {
+                return ScalarExpr::Literal(v);
+            }
+            if let Ok(cast) = v.cast_to(e.data_type()) {
+                return ScalarExpr::Literal(cast);
+            }
+        }
+    }
+    e
+}
+
+// ------------------------------------------------------ filter pushdown
+
+fn rewrite_filter(input: LogicalPlan, predicate: ScalarExpr) -> Result<LogicalPlan> {
+    // Constant predicates.
+    if let ScalarExpr::Literal(v) = &predicate {
+        match v {
+            Value::Bool(true) => return Ok(input),
+            Value::Bool(false) | Value::Null => {
+                let schema = input.schema();
+                return Ok(LogicalPlan::Values {
+                    schema,
+                    rows: vec![],
+                });
+            }
+            _ => {}
+        }
+    }
+    match input {
+        // Merge adjacent filters.
+        LogicalPlan::Filter {
+            input: inner,
+            predicate: p2,
+        } => {
+            let merged = ScalarExpr::binary(BinaryOp::And, p2, predicate)?;
+            rewrite_filter(*inner, merged)
+        }
+        // Push through projection by substituting the projected
+        // expressions into the predicate.
+        LogicalPlan::Project {
+            input: inner,
+            exprs,
+            schema,
+        } => {
+            let pushed = substitute_columns(&predicate, &exprs);
+            Ok(LogicalPlan::Project {
+                input: Box::new(LogicalPlan::Filter {
+                    input: inner,
+                    predicate: pushed,
+                }),
+                exprs,
+                schema,
+            })
+        }
+        // Push below sorts (safe: filtering commutes with ordering).
+        LogicalPlan::Sort { input: inner, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(LogicalPlan::Filter {
+                input: inner,
+                predicate,
+            }),
+            keys,
+        }),
+        // Push into every UNION branch.
+        LogicalPlan::Union {
+            inputs,
+            all,
+            schema,
+        } => Ok(LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|i| LogicalPlan::Filter {
+                    input: Box::new(i),
+                    predicate: predicate.clone(),
+                })
+                .collect(),
+            all,
+            schema,
+        }),
+        // Split conjuncts across join sides.
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition,
+            schema,
+        } => {
+            let left_width = left.schema().len();
+            let mut conjuncts = Vec::new();
+            split_conjuncts(predicate, &mut conjuncts);
+            let mut push_left = Vec::new();
+            let mut push_right = Vec::new();
+            let mut keep = Vec::new();
+            for c in conjuncts {
+                let mut refs = Vec::new();
+                c.referenced_columns(&mut refs);
+                let all_left = refs.iter().all(|&i| i < left_width);
+                let all_right = refs.iter().all(|&i| i >= left_width);
+                match kind {
+                    JoinKind::Inner | JoinKind::Cross => {
+                        if all_left {
+                            push_left.push(c);
+                        } else if all_right {
+                            push_right.push(c);
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                    // For LEFT joins only left-side predicates commute.
+                    JoinKind::Left => {
+                        if all_left {
+                            push_left.push(c);
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                }
+            }
+            let left = apply_conjuncts(*left, push_left, 0)?;
+            let right = apply_conjuncts(*right, push_right, left_width)?;
+            let mut plan = LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                condition,
+                schema,
+            };
+            if let Some(rest) = conjoin(keep)? {
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: rest,
+                };
+            }
+            Ok(plan)
+        }
+        // Push into the scan itself — evaluated during the parallel scan.
+        LogicalPlan::TableScan {
+            table,
+            table_schema,
+            projection,
+            filter,
+            schema,
+        } => {
+            let filter = match filter {
+                Some(f) => Some(ScalarExpr::binary(BinaryOp::And, f, predicate)?),
+                None => Some(predicate),
+            };
+            Ok(LogicalPlan::TableScan {
+                table,
+                table_schema,
+                projection,
+                filter,
+                schema,
+            })
+        }
+        // Everything else (Aggregate, analytics operators, Iterate,
+        // RecursiveCte, Limit, Distinct, ...) is a pushdown barrier.
+        other => Ok(LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        }),
+    }
+}
+
+fn split_conjuncts(e: ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    match e {
+        ScalarExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+            ..
+        } => {
+            split_conjuncts(*left, out);
+            split_conjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn conjoin(mut parts: Vec<ScalarExpr>) -> Result<Option<ScalarExpr>> {
+    let Some(mut acc) = parts.pop() else {
+        return Ok(None);
+    };
+    while let Some(p) = parts.pop() {
+        acc = ScalarExpr::binary(BinaryOp::And, p, acc)?;
+    }
+    Ok(Some(acc))
+}
+
+fn apply_conjuncts(
+    plan: LogicalPlan,
+    conjuncts: Vec<ScalarExpr>,
+    offset: usize,
+) -> Result<LogicalPlan> {
+    let Some(mut pred) = conjoin(conjuncts)? else {
+        return Ok(plan);
+    };
+    if offset > 0 {
+        // Remap from join-output indices to right-input indices.
+        let width = plan.schema().len() + offset;
+        let mapping: Vec<usize> = (0..width).map(|i| i.saturating_sub(offset)).collect();
+        pred.remap_columns(&mapping);
+    }
+    Ok(LogicalPlan::Filter {
+        input: Box::new(plan),
+        predicate: pred,
+    })
+}
+
+/// Replace `Column(i)` with `replacements[i]` throughout.
+fn substitute_columns(e: &ScalarExpr, replacements: &[ScalarExpr]) -> ScalarExpr {
+    match e {
+        ScalarExpr::Column { index, .. } => replacements[*index].clone(),
+        ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+        ScalarExpr::Binary {
+            op,
+            left,
+            right,
+            data_type,
+        } => ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(substitute_columns(left, replacements)),
+            right: Box::new(substitute_columns(right, replacements)),
+            data_type: *data_type,
+        },
+        ScalarExpr::Unary { op, input } => ScalarExpr::Unary {
+            op: *op,
+            input: Box::new(substitute_columns(input, replacements)),
+        },
+        ScalarExpr::Func {
+            func,
+            args,
+            data_type,
+        } => ScalarExpr::Func {
+            func: *func,
+            args: args
+                .iter()
+                .map(|a| substitute_columns(a, replacements))
+                .collect(),
+            data_type: *data_type,
+        },
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+            data_type,
+        } => ScalarExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| {
+                    (
+                        substitute_columns(c, replacements),
+                        substitute_columns(r, replacements),
+                    )
+                })
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(substitute_columns(e, replacements))),
+            data_type: *data_type,
+        },
+        ScalarExpr::Cast { input, target } => ScalarExpr::Cast {
+            input: Box::new(substitute_columns(input, replacements)),
+            target: *target,
+        },
+        ScalarExpr::IsNull { input, negated } => ScalarExpr::IsNull {
+            input: Box::new(substitute_columns(input, replacements)),
+            negated: *negated,
+        },
+        ScalarExpr::InList {
+            input,
+            list,
+            negated,
+        } => ScalarExpr::InList {
+            input: Box::new(substitute_columns(input, replacements)),
+            list: list.clone(),
+            negated: *negated,
+        },
+        ScalarExpr::Like {
+            input,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            input: Box::new(substitute_columns(input, replacements)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+    }
+}
+
+// ------------------------------------------------------ projection rules
+
+fn rewrite_project(
+    input: LogicalPlan,
+    exprs: Vec<ScalarExpr>,
+    schema: hylite_common::SchemaRef,
+) -> Result<LogicalPlan> {
+    match input {
+        // Merge Project(Project(x)) by substitution.
+        LogicalPlan::Project {
+            input: inner,
+            exprs: inner_exprs,
+            ..
+        } => {
+            let merged: Vec<ScalarExpr> = exprs
+                .iter()
+                .map(|e| substitute_columns(e, &inner_exprs))
+                .collect();
+            Ok(LogicalPlan::Project {
+                input: inner,
+                exprs: merged,
+                schema,
+            })
+        }
+        // Prune scan columns when the projection reads a strict subset
+        // (composes with an existing scan projection).
+        LogicalPlan::TableScan {
+            table,
+            table_schema,
+            projection,
+            filter,
+            schema: scan_schema,
+        } => {
+            let mut used = Vec::new();
+            for e in &exprs {
+                e.referenced_columns(&mut used);
+            }
+            if let Some(f) = &filter {
+                f.referenced_columns(&mut used);
+            }
+            used.sort_unstable();
+            used.dedup();
+            if used.len() >= scan_schema.len() {
+                // Nothing to prune.
+                return Ok(LogicalPlan::Project {
+                    input: Box::new(LogicalPlan::TableScan {
+                        table,
+                        table_schema,
+                        projection,
+                        filter,
+                        schema: scan_schema,
+                    }),
+                    exprs,
+                    schema,
+                });
+            }
+            // Build old→new mapping over the current (projected) space.
+            let mut mapping = vec![0usize; scan_schema.len()];
+            for (new, &old) in used.iter().enumerate() {
+                mapping[old] = new;
+            }
+            let mut new_exprs = exprs;
+            for e in &mut new_exprs {
+                e.remap_columns(&mapping);
+            }
+            let new_filter = filter.map(|mut f| {
+                f.remap_columns(&mapping);
+                f
+            });
+            let pruned_fields: Vec<_> = used
+                .iter()
+                .map(|&i| scan_schema.field(i).clone())
+                .collect();
+            let pruned_schema = Arc::new(Schema::new(pruned_fields));
+            // Compose with the existing table-level projection.
+            let table_projection: Vec<usize> = match &projection {
+                Some(p) => used.iter().map(|&i| p[i]).collect(),
+                None => used,
+            };
+            Ok(LogicalPlan::Project {
+                input: Box::new(LogicalPlan::TableScan {
+                    table,
+                    table_schema,
+                    projection: Some(table_projection),
+                    filter: new_filter,
+                    schema: pruned_schema,
+                }),
+                exprs: new_exprs,
+                schema,
+            })
+        }
+        other => Ok(LogicalPlan::Project {
+            input: Box::new(other),
+            exprs,
+            schema,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{DataType, Field};
+
+    fn scan(cols: usize) -> LogicalPlan {
+        let fields: Vec<Field> = (0..cols)
+            .map(|i| Field::new(format!("c{i}"), DataType::Int64))
+            .collect();
+        let schema = Arc::new(Schema::new(fields));
+        LogicalPlan::TableScan {
+            table: "t".into(),
+            table_schema: Arc::clone(&schema),
+            projection: None,
+            filter: None,
+            schema,
+        }
+    }
+
+    fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::column(i, DataType::Int64)
+    }
+
+    fn gt(l: ScalarExpr, v: i64) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Gt, l, ScalarExpr::literal(v)).unwrap()
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Add,
+            ScalarExpr::literal(1i64),
+            ScalarExpr::literal(2i64),
+        )
+        .unwrap();
+        assert_eq!(fold_expr(e), ScalarExpr::literal(3i64));
+        // TRUE AND p  →  p
+        let p = gt(col(0), 5);
+        let e = ScalarExpr::binary(BinaryOp::And, ScalarExpr::literal(true), p.clone()).unwrap();
+        assert_eq!(fold_expr(e), p);
+        // FALSE AND p  →  FALSE
+        let e = ScalarExpr::binary(BinaryOp::And, ScalarExpr::literal(false), p.clone()).unwrap();
+        assert_eq!(fold_expr(e), ScalarExpr::literal(false));
+    }
+
+    #[test]
+    fn fold_preserves_type() {
+        // 1 + 1 in a Float64 context (via cast) stays Float64.
+        let e = ScalarExpr::Cast {
+            input: Box::new(ScalarExpr::literal(2i64)),
+            target: DataType::Float64,
+        };
+        let folded = fold_expr(e);
+        assert_eq!(folded, ScalarExpr::literal(2.0f64));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Div,
+            ScalarExpr::literal(1i64),
+            ScalarExpr::literal(0i64),
+        )
+        .unwrap();
+        // Stays intact; the runtime raises the error if the row survives.
+        assert!(matches!(fold_expr(e), ScalarExpr::Binary { .. }));
+    }
+
+    #[test]
+    fn filter_pushed_into_scan() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(2)),
+            predicate: gt(col(0), 1),
+        };
+        let opt = Optimizer::new().optimize(plan).unwrap();
+        let LogicalPlan::TableScan { filter, .. } = opt else {
+            panic!("expected scan, got {opt}");
+        };
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn filter_true_dropped_false_empties() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(1)),
+            predicate: ScalarExpr::literal(true),
+        };
+        let opt = Optimizer::new().optimize(plan).unwrap();
+        assert!(matches!(opt, LogicalPlan::TableScan { filter: None, .. }));
+
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(1)),
+            predicate: ScalarExpr::literal(false),
+        };
+        let opt = Optimizer::new().optimize(plan).unwrap();
+        assert!(matches!(opt, LogicalPlan::Values { ref rows, .. } if rows.is_empty()));
+    }
+
+    #[test]
+    fn filter_splits_across_join() {
+        let left = scan(2);
+        let right = scan(2);
+        let join_schema = Arc::new(left.schema().join(&right.schema()));
+        let join = LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind: JoinKind::Inner,
+            condition: Some(
+                ScalarExpr::binary(BinaryOp::Eq, col(0), col(2)).unwrap(),
+            ),
+            schema: join_schema,
+        };
+        // c1 > 1 (left) AND c3 > 2 (right)
+        let pred = ScalarExpr::binary(BinaryOp::And, gt(col(1), 1), gt(col(3), 2)).unwrap();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: pred,
+        };
+        let opt = Optimizer::new().optimize(plan).unwrap();
+        let LogicalPlan::Join { left, right, .. } = opt else {
+            panic!("expected join at root, got {opt}");
+        };
+        let LogicalPlan::TableScan { filter: lf, .. } = *left else {
+            panic!("left filter should fold into scan, got {left}");
+        };
+        assert!(lf.is_some());
+        let LogicalPlan::TableScan { filter: rf, .. } = *right else {
+            panic!("right filter should fold into scan, got {right}");
+        };
+        // Remapped to right-local column index 1.
+        assert_eq!(rf.unwrap().to_string(), "(#1 > 2)");
+    }
+
+    #[test]
+    fn left_join_keeps_right_filter_above() {
+        let left = scan(1);
+        let right = scan(1);
+        let join_schema = Arc::new(left.schema().join(&right.schema()));
+        let join = LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind: JoinKind::Left,
+            condition: Some(ScalarExpr::binary(BinaryOp::Eq, col(0), col(1)).unwrap()),
+            schema: join_schema,
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: gt(col(1), 0),
+        };
+        let opt = Optimizer::new().optimize(plan).unwrap();
+        assert!(
+            matches!(opt, LogicalPlan::Filter { .. }),
+            "right-side predicate must stay above a LEFT join: {opt}"
+        );
+    }
+
+    #[test]
+    fn filter_not_pushed_through_aggregate() {
+        let agg_schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan(2)),
+            group_exprs: vec![col(0)],
+            aggregates: vec![],
+            schema: agg_schema,
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(agg),
+            predicate: gt(col(0), 1),
+        };
+        let opt = Optimizer::new().optimize(plan).unwrap();
+        assert!(matches!(opt, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn filter_not_pushed_through_analytics() {
+        let pr_schema = Arc::new(Schema::new(vec![
+            Field::new("vertex", DataType::Int64),
+            Field::new("rank", DataType::Float64),
+        ]));
+        let pr = LogicalPlan::PageRank {
+            edges: Box::new(scan(2)),
+            weighted: false,
+            damping: 0.85,
+            epsilon: 0.0,
+            max_iterations: 45,
+            schema: pr_schema,
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(pr),
+            predicate: gt(col(0), 10),
+        };
+        let opt = Optimizer::new().optimize(plan).unwrap();
+        // The filter must remain ABOVE PageRank (§5.2 of the paper).
+        let LogicalPlan::Filter { input, .. } = opt else {
+            panic!("filter must not cross the analytics operator");
+        };
+        assert!(matches!(*input, LogicalPlan::PageRank { .. }));
+    }
+
+    #[test]
+    fn projection_merges_and_prunes_scan() {
+        // SELECT c2 FROM (SELECT c0, c2 FROM t) — two stacked projections.
+        let inner = LogicalPlan::Project {
+            input: Box::new(scan(4)),
+            exprs: vec![col(0), col(2)],
+            schema: Arc::new(Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+            ])),
+        };
+        let outer = LogicalPlan::Project {
+            input: Box::new(inner),
+            exprs: vec![col(1)],
+            schema: Arc::new(Schema::new(vec![Field::new("b", DataType::Int64)])),
+        };
+        let opt = Optimizer::new().optimize(outer).unwrap();
+        let LogicalPlan::Project { input, exprs, .. } = opt else {
+            panic!()
+        };
+        assert_eq!(exprs.len(), 1);
+        let LogicalPlan::TableScan { projection, .. } = *input else {
+            panic!("expected pruned scan, got {input}");
+        };
+        assert_eq!(projection, Some(vec![2]));
+        assert_eq!(exprs[0].to_string(), "#0");
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint() {
+        let plan = scan(1);
+        let once = Optimizer::new().optimize(plan.clone()).unwrap();
+        let twice = Optimizer::new().optimize(once.clone()).unwrap();
+        assert_eq!(once, twice);
+    }
+}

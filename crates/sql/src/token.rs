@@ -1,0 +1,460 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+use hylite_common::{HyError, Result};
+
+/// Reserved words. Analytics table-function names (`KMEANS`, ...) are
+/// deliberately *not* keywords — they are ordinary identifiers recognized
+/// positionally in `FROM`, so user tables may reuse those names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select, From, Where, Group, By, Having, Order, Asc, Desc, Limit, Offset,
+    As, And, Or, Not, Null, True, False, Case, When, Then, Else, End, Cast,
+    Is, In, Between, Like, Join, Left, Right, Inner, Outer, Full, Cross, On,
+    Union, All, Distinct, With, Recursive, Create, Table, Drop, Insert,
+    Into, Values, Update, Set, Delete, Begin, Commit, Rollback, Explain,
+    If, Exists, Lambda,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "LIMIT" => Limit,
+            "OFFSET" => Offset,
+            "AS" => As,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "CAST" => Cast,
+            "IS" => Is,
+            "IN" => In,
+            "BETWEEN" => Between,
+            "LIKE" => Like,
+            "JOIN" => Join,
+            "LEFT" => Left,
+            "RIGHT" => Right,
+            "INNER" => Inner,
+            "OUTER" => Outer,
+            "FULL" => Full,
+            "CROSS" => Cross,
+            "ON" => On,
+            "UNION" => Union,
+            "ALL" => All,
+            "DISTINCT" => Distinct,
+            "WITH" => With,
+            "RECURSIVE" => Recursive,
+            "CREATE" => Create,
+            "TABLE" => Table,
+            "DROP" => Drop,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "UPDATE" => Update,
+            "SET" => Set,
+            "DELETE" => Delete,
+            "BEGIN" => Begin,
+            "COMMIT" => Commit,
+            "ROLLBACK" => Rollback,
+            "EXPLAIN" => Explain,
+            "IF" => If,
+            "EXISTS" => Exists,
+            "LAMBDA" => Lambda,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A reserved word.
+    Keyword(Keyword),
+    /// An identifier, stored lowercase (SQL identifiers fold case).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` unescaped).
+    Str(String),
+    /// `( ) , . ; *` and operators `+ - / % ^ = <> < <= > >=`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Symbol(s) => write!(f, "{s}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Streaming tokenizer over SQL text.
+pub struct Tokenizer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    /// 1-based position of the next character (for error messages).
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Tokenizer over `input`.
+    pub fn new(input: &'a str) -> Tokenizer<'a> {
+        Tokenizer {
+            chars: input.chars().peekable(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t == Token::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.pos += 1;
+        self.chars.next()
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        // Skip whitespace and `--` comments.
+        loop {
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') => {
+                    // Could be a comment or minus; peek ahead by cloning.
+                    let mut look = self.chars.clone();
+                    look.next();
+                    if look.peek() == Some(&'-') {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(&c) = self.chars.peek() else {
+            return Ok(Token::Eof);
+        };
+        // λ is lexed as the LAMBDA keyword (paper syntax, Listing 3).
+        if c == 'λ' {
+            self.bump();
+            return Ok(Token::Keyword(Keyword::Lambda));
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while let Some(&c) = self.chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(match Keyword::from_str(&s) {
+                Some(k) => Token::Keyword(k),
+                None => Token::Ident(s.to_ascii_lowercase()),
+            });
+        }
+        if c.is_ascii_digit() {
+            return self.lex_number();
+        }
+        if c == '\'' {
+            return self.lex_string();
+        }
+        if c == '"' {
+            // Quoted identifier: preserves content but still folded to
+            // lowercase for simplicity (we don't support case-sensitive
+            // identifiers).
+            self.bump();
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    Some('"') => break,
+                    Some(c) => s.push(c),
+                    None => {
+                        return Err(HyError::Parse("unterminated quoted identifier".into()))
+                    }
+                }
+            }
+            return Ok(Token::Ident(s.to_ascii_lowercase()));
+        }
+        self.bump();
+        let sym: &'static str = match c {
+            '(' => "(",
+            ')' => ")",
+            ',' => ",",
+            '.' => {
+                // `.5` style float literal.
+                if self.chars.peek().is_some_and(char::is_ascii_digit) {
+                    let mut s = String::from("0.");
+                    while let Some(&d) = self.chars.peek() {
+                        if d.is_ascii_digit() {
+                            s.push(d);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    return s
+                        .parse::<f64>()
+                        .map(Token::Float)
+                        .map_err(|_| HyError::Parse(format!("bad number '{s}'")));
+                }
+                "."
+            }
+            ';' => ";",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            '%' => "%",
+            '^' => "^",
+            '=' => "=",
+            '<' => match self.chars.peek() {
+                Some('=') => {
+                    self.bump();
+                    "<="
+                }
+                Some('>') => {
+                    self.bump();
+                    "<>"
+                }
+                _ => "<",
+            },
+            '>' => {
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    ">="
+                } else {
+                    ">"
+                }
+            }
+            '!' => {
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    "<>"
+                } else {
+                    return Err(HyError::Parse(format!(
+                        "unexpected character '!' at position {}",
+                        self.pos
+                    )));
+                }
+            }
+            other => {
+                return Err(HyError::Parse(format!(
+                    "unexpected character '{other}' at position {}",
+                    self.pos
+                )))
+            }
+        };
+        Ok(Token::Symbol(sym))
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let mut s = String::new();
+        let mut is_float = false;
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !is_float {
+                // Lookahead: `1.5` is a float, `1.x` would be nonsense in
+                // SQL, `1.` is a float too.
+                is_float = true;
+                s.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E') && !s.is_empty() {
+                let mut look = self.chars.clone();
+                look.next();
+                match look.peek() {
+                    Some(&d) if d.is_ascii_digit() || d == '+' || d == '-' => {
+                        is_float = true;
+                        s.push('e');
+                        self.bump();
+                        if let Some(&sign) = self.chars.peek() {
+                            if sign == '+' || sign == '-' {
+                                s.push(sign);
+                                self.bump();
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| HyError::Parse(format!("bad number '{s}'")))
+        } else {
+            s.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| HyError::Parse(format!("integer '{s}' out of range")))
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    // `''` escapes a quote.
+                    if self.chars.peek() == Some(&'\'') {
+                        s.push('\'');
+                        self.bump();
+                    } else {
+                        return Ok(Token::Str(s));
+                    }
+                }
+                Some(c) => s.push(c),
+                None => return Err(HyError::Parse("unterminated string literal".into())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Tokenizer::new(s).tokenize().unwrap()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let t = lex("SELECT foo FROM Bar");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("foo".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("bar".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42")[0], Token::Int(42));
+        assert_eq!(lex("1.5")[0], Token::Float(1.5));
+        assert_eq!(lex("0.0001")[0], Token::Float(0.0001));
+        assert_eq!(lex("1e3")[0], Token::Float(1000.0));
+        assert_eq!(lex("2.5e-2")[0], Token::Float(0.025));
+        assert_eq!(lex(".85")[0], Token::Float(0.85));
+    }
+
+    #[test]
+    fn strings_with_escape() {
+        assert_eq!(lex("'it''s'")[0], Token::Str("it's".into()));
+        assert!(Tokenizer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let t = lex("a <= b <> c >= d != e");
+        let syms: Vec<_> = t
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<=", "<>", ">=", "<>"]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("SELECT -- a comment\n 1");
+        assert_eq!(t[1], Token::Int(1));
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        let t = lex("1 - 2");
+        assert_eq!(t[1], Token::Symbol("-"));
+    }
+
+    #[test]
+    fn lambda_unicode() {
+        let t = lex("λ(a, b) a.x");
+        assert_eq!(t[0], Token::Keyword(Keyword::Lambda));
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(lex("\"My Table\"")[0], Token::Ident("my table".into()));
+    }
+
+    #[test]
+    fn punctuation_and_power() {
+        let t = lex("(a.x)^2;");
+        assert_eq!(
+            t,
+            vec![
+                Token::Symbol("("),
+                Token::Ident("a".into()),
+                Token::Symbol("."),
+                Token::Ident("x".into()),
+                Token::Symbol(")"),
+                Token::Symbol("^"),
+                Token::Int(2),
+                Token::Symbol(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(Tokenizer::new("a ? b").tokenize().is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property: pretty-printing an expression AST and re-parsing it yields
+//! the same AST (Display output is fully parenthesized, so associativity
+//! and precedence cannot drift).
+
+use hylite_common::Value;
+use hylite_sql::ast::{BinOp, Expr};
+use hylite_sql::parse_expression;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-1000i64..1000).prop_map(Value::Int),
+        // Finite floats whose Display re-parses exactly.
+        (-1000i64..1000).prop_map(|v| Value::Float(v as f64 / 4.0)),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z ]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid reserved words by prefixing.
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("c_{s}"))
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Pow),
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Literal),
+        arb_ident().prop_map(Expr::col),
+        (arb_ident(), arb_ident()).prop_map(|(q, name)| Expr::Column {
+            qualifier: Some(q),
+            name,
+        }),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            // Neg over literals is not parser-reachable (the parser folds
+            // `-<literal>` into a negative literal), so negate columns.
+            arb_ident().prop_map(|c| Expr::Neg(Box::new(Expr::col(c)))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            (arb_ident(), proptest::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
+                Expr::Function {
+                    name,
+                    args,
+                    star: false,
+                    distinct: false,
+                }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_reparse_roundtrip(e in arb_expr()) {
+        let text = e.to_string();
+        let reparsed = parse_expression(&text)
+            .unwrap_or_else(|err| panic!("failed to reparse `{text}`: {err}"));
+        prop_assert_eq!(reparsed, e, "text was `{}`", text);
+    }
+}

@@ -1,0 +1,139 @@
+//! Catalog: the name → table map shared by all sessions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hylite_common::{HyError, Result, Schema};
+use parking_lot::RwLock;
+
+use crate::table::{Table, TableRef};
+
+/// Thread-safe table catalog. Table names are case-insensitive.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, TableRef>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Create a table; errors if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableRef> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(HyError::Catalog(format!("table '{name}' already exists")));
+        }
+        let table = Arc::new(RwLock::new(Table::new(key.clone(), schema)));
+        tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Drop a table; errors if absent unless `if_exists`.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<Option<TableRef>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        match tables.remove(&key) {
+            Some(t) => Ok(Some(t)),
+            None if if_exists => Ok(None),
+            None => Err(HyError::Catalog(format!("table '{name}' does not exist"))),
+        }
+    }
+
+    /// Restore a previously dropped table (transaction rollback of DROP).
+    pub fn restore_table(&self, table: TableRef) {
+        let key = table.read().name().to_owned();
+        self.tables.write().insert(key, table);
+    }
+
+    /// Look up a table.
+    pub fn get_table(&self, name: &str) -> Result<TableRef> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| HyError::Catalog(format!("table '{name}' does not exist")))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables
+            .read()
+            .contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("x", DataType::Int64)])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        cat.create_table("T1", schema()).unwrap();
+        assert!(cat.has_table("t1"));
+        assert!(cat.has_table("T1"), "case-insensitive");
+        assert!(cat.get_table("t1").is_ok());
+        assert!(cat.create_table("t1", schema()).is_err(), "duplicate");
+        cat.drop_table("T1", false).unwrap();
+        assert!(!cat.has_table("t1"));
+        assert!(cat.drop_table("t1", false).is_err());
+        assert!(cat.drop_table("t1", true).unwrap().is_none());
+    }
+
+    #[test]
+    fn restore_after_drop() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        let dropped = cat.drop_table("t", false).unwrap().unwrap();
+        assert!(!cat.has_table("t"));
+        cat.restore_table(dropped);
+        assert!(cat.has_table("t"));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let cat = Catalog::new();
+        cat.create_table("b", schema()).unwrap();
+        cat.create_table("a", schema()).unwrap();
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let cat = Arc::new(Catalog::new());
+        cat.create_table("t", schema()).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let cat = Arc::clone(&cat);
+                std::thread::spawn(move || {
+                    let t = cat.get_table("t").unwrap();
+                    let mut guard = t.write();
+                    guard
+                        .insert_rows(&[vec![hylite_common::Value::Int(i)]])
+                        .unwrap();
+                    guard.commit();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = cat.get_table("t").unwrap();
+        assert_eq!(t.read().live_rows(), 8);
+    }
+}

@@ -1,0 +1,25 @@
+//! Main-memory column-store storage engine.
+//!
+//! Tables are append-only sequences of immutable columnar *segments*
+//! (shared via `Arc`) plus a delete bitmap, which makes snapshotting a
+//! long-running analytical query O(#segments): the snapshot bumps the
+//! segment `Arc`s and copies the (bit-packed) delete mask, after which
+//! concurrent OLTP inserts/deletes never disturb the reader — the paper's
+//! "analytics in a fully transactional environment" property, reproduced
+//! as snapshot isolation for readers with single-writer transactions.
+//!
+//! * [`Table`] — schema + segments + delete bitmap + commit watermarks.
+//! * [`TableSnapshot`] — a stable view; splits into morsels for parallel
+//!   scans.
+//! * [`Catalog`] — name → table map.
+//! * [`Transaction`] — undo-based rollback over the touched tables.
+
+pub mod catalog;
+pub mod snapshot;
+pub mod table;
+pub mod transaction;
+
+pub use catalog::Catalog;
+pub use snapshot::{Morsel, TableSnapshot};
+pub use table::{Table, TableRef, SEGMENT_ROWS};
+pub use transaction::Transaction;

@@ -1,0 +1,254 @@
+//! Stable table snapshots and morsel-wise parallel scan support.
+
+use std::sync::Arc;
+
+use hylite_common::{Bitmap, Chunk, Schema};
+
+/// A consistent view of a table at a point in time.
+///
+/// Holds `Arc`s to the segments it covers plus its own copy of the delete
+/// mask, so later table mutations (and even [`crate::Table::compact`])
+/// cannot disturb a running scan.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    schema: Arc<Schema>,
+    segments: Vec<Arc<Chunk>>,
+    /// Visible row-id horizon; rows at or past this id are invisible even
+    /// if the last covered segment extends further.
+    row_limit: usize,
+    deleted: Bitmap,
+}
+
+/// One unit of parallel scan work: a slice of one segment.
+#[derive(Debug, Clone)]
+pub struct Morsel {
+    /// Index into the snapshot's segment list.
+    pub segment: usize,
+    /// Row offset within the segment.
+    pub offset: usize,
+    /// Number of rows in this morsel.
+    pub len: usize,
+    /// Global row id of the first row (segment base + offset).
+    pub base_row_id: usize,
+}
+
+impl TableSnapshot {
+    /// Build a snapshot (used by [`crate::Table`]).
+    pub fn new(
+        schema: Arc<Schema>,
+        segments: Vec<Arc<Chunk>>,
+        row_limit: usize,
+        deleted: Bitmap,
+    ) -> TableSnapshot {
+        TableSnapshot {
+            schema,
+            segments,
+            row_limit,
+            deleted,
+        }
+    }
+
+    /// Snapshot of a free-standing chunk (used for intermediate results
+    /// that flow through scan-like operators).
+    pub fn from_chunk(schema: Arc<Schema>, chunk: Chunk) -> TableSnapshot {
+        let n = chunk.len();
+        TableSnapshot {
+            schema,
+            segments: vec![Arc::new(chunk)],
+            row_limit: n,
+            deleted: Bitmap::filled(n, false),
+        }
+    }
+
+    /// The snapshot's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of covered segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Visible row horizon (includes deleted rows).
+    pub fn visible_rows(&self) -> usize {
+        self.row_limit
+    }
+
+    /// Live (visible and not deleted) rows.
+    pub fn live_rows(&self) -> usize {
+        let dead = self
+            .deleted
+            .iter_ones()
+            .take_while(|&i| i < self.row_limit)
+            .count();
+        self.row_limit - dead
+    }
+
+    /// Whether the global row id is live in this snapshot.
+    pub fn is_live(&self, row_id: usize) -> bool {
+        row_id < self.row_limit && !(row_id < self.deleted.len() && self.deleted.get(row_id))
+    }
+
+    /// Split the snapshot into morsels of at most `morsel_rows` rows,
+    /// respecting segment boundaries.
+    pub fn morsels(&self, morsel_rows: usize) -> Vec<Morsel> {
+        assert!(morsel_rows > 0, "morsel size must be positive");
+        let mut out = Vec::new();
+        let mut base = 0usize;
+        for (si, seg) in self.segments.iter().enumerate() {
+            if base >= self.row_limit {
+                break;
+            }
+            let seg_visible = seg.len().min(self.row_limit - base);
+            let mut offset = 0;
+            while offset < seg_visible {
+                let len = (seg_visible - offset).min(morsel_rows);
+                out.push(Morsel {
+                    segment: si,
+                    offset,
+                    len,
+                    base_row_id: base + offset,
+                });
+                offset += len;
+            }
+            base += seg.len();
+        }
+        out
+    }
+
+    /// Materialize a morsel as a chunk of *live* rows, together with the
+    /// global row ids of those rows (needed by DELETE/UPDATE pipelines).
+    pub fn read_morsel(&self, m: &Morsel) -> (Chunk, Vec<usize>) {
+        let seg = &self.segments[m.segment];
+        // Fast path: nothing deleted in range — slice without gathering.
+        let mut any_deleted = false;
+        for i in 0..m.len {
+            let rid = m.base_row_id + i;
+            if rid < self.deleted.len() && self.deleted.get(rid) {
+                any_deleted = true;
+                break;
+            }
+        }
+        if !any_deleted {
+            let chunk = if m.offset == 0 && m.len == seg.len() {
+                seg.as_ref().clone()
+            } else {
+                seg.slice(m.offset, m.len)
+            };
+            let ids = (m.base_row_id..m.base_row_id + m.len).collect();
+            return (chunk, ids);
+        }
+        let mut keep = Vec::with_capacity(m.len);
+        let mut ids = Vec::with_capacity(m.len);
+        for i in 0..m.len {
+            let rid = m.base_row_id + i;
+            if !(rid < self.deleted.len() && self.deleted.get(rid)) {
+                keep.push(m.offset + i);
+                ids.push(rid);
+            }
+        }
+        (seg.take(&keep), ids)
+    }
+
+    /// Iterate all live rows as chunks (sequential scan).
+    pub fn live_chunks(&self) -> impl Iterator<Item = Chunk> + '_ {
+        self.morsels(crate::SEGMENT_ROWS)
+            .into_iter()
+            .map(move |m| self.read_morsel(&m).0)
+            .filter(|c| !c.is_empty())
+    }
+
+    /// Materialize the whole snapshot into one chunk.
+    pub fn to_chunk(&self) -> Chunk {
+        let types = self.schema.types();
+        let chunks: Vec<Chunk> = self.live_chunks().collect();
+        Chunk::concat(&types, &chunks).expect("snapshot chunks share the schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use hylite_common::{DataType, Field, Value};
+
+    fn table_with(n: usize) -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("id", DataType::Int64)]),
+        );
+        let rows: Vec<Vec<Value>> = (0..n as i64).map(|i| vec![Value::Int(i)]).collect();
+        t.insert_rows(&rows).unwrap();
+        t.commit();
+        t
+    }
+
+    #[test]
+    fn morsels_cover_all_rows_once() {
+        let t = table_with(1000);
+        let snap = t.snapshot();
+        let morsels = snap.morsels(128);
+        let total: usize = morsels.iter().map(|m| m.len).sum();
+        assert_eq!(total, 1000);
+        // Contiguous, non-overlapping row ids.
+        let mut next = 0;
+        for m in &morsels {
+            assert_eq!(m.base_row_id, next);
+            next += m.len;
+        }
+    }
+
+    #[test]
+    fn read_morsel_skips_deleted() {
+        let mut t = table_with(10);
+        t.delete_rows(&[3, 4]).unwrap();
+        t.commit();
+        let snap = t.snapshot();
+        let morsels = snap.morsels(6);
+        let mut ids = Vec::new();
+        for m in &morsels {
+            let (chunk, rids) = snap.read_morsel(m);
+            assert_eq!(chunk.len(), rids.len());
+            ids.extend(rids);
+        }
+        assert_eq!(ids, vec![0, 1, 2, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn to_chunk_materializes() {
+        let t = table_with(5);
+        let snap = t.snapshot();
+        let c = snap.to_chunk();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.column(0).as_i64().unwrap(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_chunk_wraps_intermediate() {
+        let chunk = Chunk::new(vec![hylite_common::ColumnVector::from_i64(vec![7, 8])]);
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let snap = TableSnapshot::from_chunk(schema, chunk);
+        assert_eq!(snap.live_rows(), 2);
+        assert_eq!(snap.to_chunk().len(), 2);
+    }
+
+    #[test]
+    fn row_limit_hides_tail() {
+        let t = table_with(10);
+        let full = t.snapshot();
+        // Build a snapshot with a shorter horizon manually.
+        let snap = TableSnapshot::new(
+            full.schema().clone(),
+            (0..full.segment_count())
+                .map(|i| Arc::clone(&full.segments[i]))
+                .collect(),
+            4,
+            full.deleted.clone(),
+        );
+        assert_eq!(snap.live_rows(), 4);
+        assert_eq!(snap.to_chunk().len(), 4);
+        assert!(!snap.is_live(4));
+        assert!(snap.is_live(3));
+    }
+}

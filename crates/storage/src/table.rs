@@ -1,0 +1,477 @@
+//! The in-memory table: immutable columnar segments + delete bitmap.
+
+use std::sync::Arc;
+
+use hylite_common::{Bitmap, Chunk, HyError, Result, Row, Schema, Value};
+use parking_lot::RwLock;
+
+use crate::snapshot::TableSnapshot;
+
+/// Maximum rows per sealed segment. Large enough that scans amortize
+/// per-segment overhead, small enough that parallel scans get plenty of
+/// morsels even on mid-size tables.
+pub const SEGMENT_ROWS: usize = 64 * 1024;
+
+/// Shared handle to a table; the catalog hands these out.
+pub type TableRef = Arc<RwLock<Table>>;
+
+/// A main-memory table.
+///
+/// Rows carry implicit global row ids: segment rows concatenated in order.
+/// Deleting marks the row's bit in `deleted`; space is reclaimed only by
+/// [`Table::compact`]. Two watermarks implement reader/writer isolation:
+/// everything up to `committed_len` with `committed_deleted` is what other
+/// sessions see; the working state (`total_len`, `deleted`) is what the
+/// writing session itself sees.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    segments: Vec<Arc<Chunk>>,
+    total_len: usize,
+    deleted: Bitmap,
+    committed_len: usize,
+    committed_deleted: Bitmap,
+    version: u64,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema: Arc::new(schema),
+            segments: Vec::new(),
+            total_len: 0,
+            deleted: Bitmap::new(),
+            committed_len: 0,
+            committed_deleted: Bitmap::new(),
+            version: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Monotonic change counter (bumped by every mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total stored rows including uncommitted and deleted ones.
+    pub fn total_rows(&self) -> usize {
+        self.total_len
+    }
+
+    /// Live (non-deleted) rows in the working state.
+    pub fn live_rows(&self) -> usize {
+        self.total_len - self.deleted.count_ones()
+    }
+
+    /// Live rows visible to other sessions (committed state).
+    pub fn committed_live_rows(&self) -> usize {
+        let deleted_committed = self
+            .committed_deleted
+            .iter_ones()
+            .take_while(|&i| i < self.committed_len)
+            .count();
+        self.committed_len - deleted_committed
+    }
+
+    /// Append a chunk of rows, splitting into `SEGMENT_ROWS`-sized
+    /// segments. Column types must match the schema exactly (the
+    /// executor/binder coerce beforehand).
+    pub fn insert_chunk(&mut self, chunk: Chunk) -> Result<usize> {
+        if chunk.num_columns() != self.schema.len() {
+            return Err(HyError::Storage(format!(
+                "table '{}' has {} columns but insert provides {}",
+                self.name,
+                self.schema.len(),
+                chunk.num_columns()
+            )));
+        }
+        for (i, col) in chunk.columns().iter().enumerate() {
+            let expect = self.schema.field(i).data_type;
+            if col.data_type() != expect {
+                return Err(HyError::Storage(format!(
+                    "column '{}' of table '{}' expects {expect}, got {}",
+                    self.schema.field(i).name,
+                    self.name,
+                    col.data_type()
+                )));
+            }
+        }
+        let n = chunk.len();
+        let mut offset = 0;
+        while offset < n {
+            let take = (n - offset).min(SEGMENT_ROWS);
+            let segment = if offset == 0 && take == n {
+                chunk.clone()
+            } else {
+                chunk.slice(offset, take)
+            };
+            self.segments.push(Arc::new(segment));
+            offset += take;
+        }
+        self.total_len += n;
+        for _ in 0..n {
+            self.deleted.push(false);
+        }
+        self.version += 1;
+        Ok(n)
+    }
+
+    /// Insert rows of values, coercing each to the schema's types.
+    pub fn insert_rows(&mut self, rows: &[Vec<Value>]) -> Result<usize> {
+        let types = self.schema.types();
+        for row in rows {
+            if row.len() != types.len() {
+                return Err(HyError::Storage(format!(
+                    "table '{}' expects {} values per row, got {}",
+                    self.name,
+                    types.len(),
+                    row.len()
+                )));
+            }
+        }
+        let chunk = Chunk::from_rows(&types, rows)?;
+        self.insert_chunk(chunk)
+    }
+
+    /// Mark global row ids as deleted. Ids must be < `total_rows`.
+    pub fn delete_rows(&mut self, row_ids: &[usize]) -> Result<usize> {
+        let mut n = 0;
+        for &id in row_ids {
+            if id >= self.total_len {
+                return Err(HyError::Storage(format!(
+                    "row id {id} out of range for table '{}' ({} rows)",
+                    self.name, self.total_len
+                )));
+            }
+            if !self.deleted.get(id) {
+                self.deleted.set(id, true);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.version += 1;
+        }
+        Ok(n)
+    }
+
+    /// Update = delete the old versions and append the new rows, the
+    /// classic column-store write path. Returns the number of updated rows.
+    pub fn update_rows(&mut self, row_ids: &[usize], new_rows: Vec<Vec<Value>>) -> Result<usize> {
+        if row_ids.len() != new_rows.len() {
+            return Err(HyError::Internal(format!(
+                "update: {} row ids but {} replacement rows",
+                row_ids.len(),
+                new_rows.len()
+            )));
+        }
+        let n = self.delete_rows(row_ids)?;
+        self.insert_rows(&new_rows)?;
+        Ok(n.max(new_rows.len()))
+    }
+
+    /// Materialize row `id` (including deleted rows; caller filters).
+    pub fn row(&self, id: usize) -> Result<Row> {
+        let mut offset = 0;
+        for seg in &self.segments {
+            if id < offset + seg.len() {
+                return Ok(seg.row(id - offset));
+            }
+            offset += seg.len();
+        }
+        Err(HyError::Storage(format!(
+            "row id {id} out of range for table '{}'",
+            self.name
+        )))
+    }
+
+    /// A stable snapshot of the *working* state (what the writing session
+    /// itself reads: includes its own uncommitted changes).
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot::new(
+            Arc::clone(&self.schema),
+            self.segments.clone(),
+            self.total_len,
+            self.deleted.clone(),
+        )
+    }
+
+    /// A stable snapshot of the *committed* state (what other sessions
+    /// read while a transaction is open here).
+    pub fn committed_snapshot(&self) -> TableSnapshot {
+        // Only segments overlapping [0, committed_len) are needed.
+        let mut segs = Vec::new();
+        let mut covered = 0;
+        for seg in &self.segments {
+            if covered >= self.committed_len {
+                break;
+            }
+            segs.push(Arc::clone(seg));
+            covered += seg.len();
+        }
+        TableSnapshot::new(
+            Arc::clone(&self.schema),
+            segs,
+            self.committed_len,
+            self.committed_deleted.clone(),
+        )
+    }
+
+    /// Promote the working state to committed.
+    pub fn commit(&mut self) {
+        self.committed_len = self.total_len;
+        self.committed_deleted = self.deleted.clone();
+        self.version += 1;
+    }
+
+    /// Discard uncommitted changes: drop appended rows, restore deletes.
+    pub fn rollback(&mut self) {
+        // Drop segments past the committed watermark.
+        let mut covered = 0;
+        let mut keep = 0;
+        for seg in &self.segments {
+            if covered >= self.committed_len {
+                break;
+            }
+            covered += seg.len();
+            keep += 1;
+        }
+        debug_assert!(
+            covered == self.committed_len,
+            "committed watermark must align with segment boundaries \
+             (commits seal the insert chunk)"
+        );
+        self.segments.truncate(keep);
+        self.total_len = self.committed_len;
+        self.deleted = self.committed_deleted.clone();
+        self.version += 1;
+    }
+
+    /// Rewrite the table without deleted rows and with full segments.
+    /// Invalidates global row ids (snapshots taken before remain valid —
+    /// they hold their own `Arc`s).
+    pub fn compact(&mut self) {
+        let snap = self.snapshot();
+        let types = self.schema.types();
+        let mut fresh: Vec<Chunk> = Vec::new();
+        for chunk in snap.live_chunks() {
+            fresh.push(chunk);
+        }
+        let all = Chunk::concat(&types, &fresh).expect("compaction preserves types");
+        self.segments.clear();
+        self.total_len = 0;
+        self.deleted = Bitmap::new();
+        self.insert_chunk(all).expect("compaction re-insert");
+        self.commit();
+    }
+
+    /// Approximate heap footprint of live data in bytes (statistics for
+    /// the optimizer and the memory-ablation experiment).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = 0;
+        for seg in &self.segments {
+            for col in seg.columns() {
+                bytes += match &**col {
+                    hylite_common::ColumnVector::Int64 { data, .. } => data.len() * 8,
+                    hylite_common::ColumnVector::Float64 { data, .. } => data.len() * 8,
+                    hylite_common::ColumnVector::Bool { data, .. } => data.len(),
+                    hylite_common::ColumnVector::Varchar { data, .. } => {
+                        data.iter().map(|s| s.len() + 24).sum()
+                    }
+                };
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ])
+    }
+
+    fn row(id: i64, v: f64) -> Vec<Value> {
+        vec![Value::Int(id), Value::Float(v)]
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0)]).unwrap();
+        t.commit();
+        assert_eq!(t.live_rows(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.live_rows(), 2);
+        let chunks: Vec<_> = snap.live_chunks().collect();
+        let total: usize = chunks.iter().map(Chunk::len).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut t = Table::new("t", schema());
+        assert!(t.insert_rows(&[vec![Value::Int(1)]]).is_err());
+        let bad = Chunk::new(vec![
+            hylite_common::ColumnVector::from_f64(vec![1.0]),
+            hylite_common::ColumnVector::from_f64(vec![1.0]),
+        ]);
+        assert!(t.insert_chunk(bad).is_err());
+    }
+
+    #[test]
+    fn large_insert_splits_segments() {
+        let mut t = Table::new("t", schema());
+        let n = SEGMENT_ROWS + 10;
+        let ids: Vec<i64> = (0..n as i64).collect();
+        let vs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let chunk = Chunk::new(vec![
+            hylite_common::ColumnVector::from_i64(ids),
+            hylite_common::ColumnVector::from_f64(vs),
+        ]);
+        t.insert_chunk(chunk).unwrap();
+        t.commit();
+        assert_eq!(t.total_rows(), n);
+        let snap = t.snapshot();
+        assert!(snap.segment_count() >= 2);
+        assert_eq!(snap.live_rows(), n);
+    }
+
+    #[test]
+    fn delete_marks_rows() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)]).unwrap();
+        t.commit();
+        assert_eq!(t.delete_rows(&[1]).unwrap(), 1);
+        assert_eq!(t.delete_rows(&[1]).unwrap(), 0, "idempotent");
+        assert_eq!(t.live_rows(), 2);
+        let snap = t.snapshot();
+        let all: Vec<Row> = snap.live_chunks().flat_map(|c| c.rows()).collect();
+        let ids: Vec<i64> = all.iter().map(|r| r.int(0).unwrap()).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn update_is_delete_plus_insert() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0)]).unwrap();
+        t.commit();
+        t.update_rows(&[0], vec![row(1, 10.0)]).unwrap();
+        t.commit();
+        let snap = t.snapshot();
+        let mut vs: Vec<f64> = snap
+            .live_chunks()
+            .flat_map(|c| c.rows())
+            .map(|r| r.float(1).unwrap())
+            .collect();
+        vs.sort_by(f64::total_cmp);
+        assert_eq!(vs, vec![2.0, 10.0]);
+    }
+
+    #[test]
+    fn rollback_restores_committed_state() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0)]).unwrap();
+        t.commit();
+        t.insert_rows(&[row(3, 3.0)]).unwrap();
+        t.delete_rows(&[0]).unwrap();
+        assert_eq!(t.live_rows(), 2);
+        t.rollback();
+        assert_eq!(t.live_rows(), 2);
+        assert_eq!(t.total_rows(), 2);
+        let ids: Vec<i64> = t
+            .snapshot()
+            .live_chunks()
+            .flat_map(|c| c.rows())
+            .map(|r| r.int(0).unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn committed_snapshot_hides_uncommitted() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0)]).unwrap();
+        t.commit();
+        t.insert_rows(&[row(2, 2.0)]).unwrap();
+        t.delete_rows(&[0]).unwrap();
+        // Another session sees only the committed row, not the delete.
+        let other = t.committed_snapshot();
+        assert_eq!(other.live_rows(), 1);
+        // The writing session sees its own changes.
+        let own = t.snapshot();
+        assert_eq!(own.live_rows(), 1);
+        let id = own
+            .live_chunks()
+            .flat_map(|c| c.rows())
+            .map(|r| r.int(0).unwrap())
+            .next()
+            .unwrap();
+        assert_eq!(id, 2);
+    }
+
+    #[test]
+    fn snapshot_is_stable_under_writes() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0)]).unwrap();
+        t.commit();
+        let snap = t.snapshot();
+        t.insert_rows(&[row(3, 3.0)]).unwrap();
+        t.delete_rows(&[0]).unwrap();
+        t.commit();
+        assert_eq!(snap.live_rows(), 2, "snapshot unaffected by later writes");
+    }
+
+    #[test]
+    fn compact_reclaims_deleted() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)]).unwrap();
+        t.commit();
+        t.delete_rows(&[0, 2]).unwrap();
+        t.commit();
+        t.compact();
+        assert_eq!(t.total_rows(), 1);
+        assert_eq!(t.live_rows(), 1);
+        let ids: Vec<i64> = t
+            .snapshot()
+            .live_chunks()
+            .flat_map(|c| c.rows())
+            .map(|r| r.int(0).unwrap())
+            .collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn row_lookup_across_segments() {
+        let mut t = Table::new("t", schema());
+        t.insert_rows(&[row(1, 1.0)]).unwrap();
+        t.insert_rows(&[row(2, 2.0)]).unwrap();
+        assert_eq!(t.row(1).unwrap().int(0).unwrap(), 2);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut t = Table::new("t", schema());
+        let before = t.approx_bytes();
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0)]).unwrap();
+        assert!(t.approx_bytes() > before);
+    }
+}

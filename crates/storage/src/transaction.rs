@@ -1,0 +1,122 @@
+//! Single-writer transactions over the tables a statement touched.
+//!
+//! HyLite's write model is deliberately simple (the paper's subject is
+//! analytics, not concurrency control): a transaction records which tables
+//! it mutated; COMMIT promotes each table's working state to its committed
+//! state, ROLLBACK restores the committed state. Readers in other sessions
+//! always scan committed snapshots, so an open transaction never leaks
+//! half-done changes to them — snapshot isolation for analytics.
+
+use std::collections::BTreeMap;
+
+use crate::table::TableRef;
+
+/// An open transaction: the set of tables with uncommitted changes.
+#[derive(Default)]
+pub struct Transaction {
+    touched: BTreeMap<String, TableRef>,
+}
+
+impl Transaction {
+    /// A fresh transaction touching nothing.
+    pub fn new() -> Transaction {
+        Transaction::default()
+    }
+
+    /// Record that `table` was mutated in this transaction.
+    pub fn touch(&mut self, table: &TableRef) {
+        let name = table.read().name().to_owned();
+        self.touched.entry(name).or_insert_with(|| TableRef::clone(table));
+    }
+
+    /// Number of distinct tables touched.
+    pub fn touched_count(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Promote all touched tables' working state to committed.
+    pub fn commit(self) {
+        for table in self.touched.values() {
+            table.write().commit();
+        }
+    }
+
+    /// Restore all touched tables to their committed state.
+    pub fn rollback(self) {
+        for table in self.touched.values() {
+            table.write().rollback();
+        }
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("touched", &self.touched.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use hylite_common::{DataType, Field, Schema, Value};
+
+    fn setup() -> (Catalog, TableRef) {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table("t", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
+        t.write().insert_rows(&[vec![Value::Int(1)]]).unwrap();
+        t.write().commit();
+        (cat, t)
+    }
+
+    #[test]
+    fn commit_publishes() {
+        let (_cat, t) = setup();
+        let mut tx = Transaction::new();
+        t.write().insert_rows(&[vec![Value::Int(2)]]).unwrap();
+        tx.touch(&t);
+        assert_eq!(t.read().committed_snapshot().live_rows(), 1);
+        tx.commit();
+        assert_eq!(t.read().committed_snapshot().live_rows(), 2);
+    }
+
+    #[test]
+    fn rollback_discards() {
+        let (_cat, t) = setup();
+        let mut tx = Transaction::new();
+        t.write().insert_rows(&[vec![Value::Int(2)]]).unwrap();
+        t.write().delete_rows(&[0]).unwrap();
+        tx.touch(&t);
+        tx.rollback();
+        assert_eq!(t.read().live_rows(), 1);
+        assert_eq!(t.read().snapshot().to_chunk().column(0).as_i64().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn touch_is_idempotent() {
+        let (_cat, t) = setup();
+        let mut tx = Transaction::new();
+        tx.touch(&t);
+        tx.touch(&t);
+        assert_eq!(tx.touched_count(), 1);
+    }
+
+    #[test]
+    fn reader_snapshot_isolated_from_open_tx() {
+        let (_cat, t) = setup();
+        let mut tx = Transaction::new();
+        // "Analytical reader" in another session takes a committed snapshot.
+        let reader = t.read().committed_snapshot();
+        t.write().insert_rows(&[vec![Value::Int(2)]]).unwrap();
+        tx.touch(&t);
+        tx.commit();
+        // Even after commit, the earlier snapshot stays what it was.
+        assert_eq!(reader.live_rows(), 1);
+        // A fresh snapshot sees the new row.
+        assert_eq!(t.read().committed_snapshot().live_rows(), 2);
+    }
+}

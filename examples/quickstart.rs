@@ -1,0 +1,107 @@
+//! Quickstart: create tables, run SQL, and use every analytics operator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hylite::{Database, Result};
+
+fn show(db: &Database, title: &str, sql: &str) -> Result<()> {
+    let result = db.execute(sql)?;
+    println!("-- {title}\n{sql}\n{}", result.to_table_string());
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let db = Database::new();
+
+    // Plain SQL: DDL, DML, queries.
+    db.execute("CREATE TABLE sensors (id BIGINT, room VARCHAR, temp DOUBLE)")?;
+    db.execute(
+        "INSERT INTO sensors VALUES \
+         (1, 'lab', 21.5), (2, 'lab', 22.0), (3, 'office', 19.5), \
+         (4, 'office', 25.0), (5, 'server', 31.0), (6, 'server', 32.5)",
+    )?;
+    show(
+        &db,
+        "aggregation",
+        "SELECT room, count(*) AS sensors, avg(temp) AS avg_temp \
+         FROM sensors GROUP BY room ORDER BY room",
+    )?;
+
+    // The paper's ITERATE construct (Listing 1): the smallest three-digit
+    // multiple of seven.
+    show(
+        &db,
+        "ITERATE (paper Listing 1)",
+        "SELECT * FROM ITERATE ((SELECT 7 \"x\"), (SELECT x+7 FROM iterate), \
+         (SELECT x FROM iterate WHERE x >= 100))",
+    )?;
+
+    // k-Means with a user-defined lambda distance (paper Listing 3).
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)")?;
+    db.execute(
+        "INSERT INTO pts VALUES (0.1, 0.2), (0.0, 0.1), (0.3, 0.0), \
+         (5.0, 5.1), (5.2, 4.9), (4.8, 5.0)",
+    )?;
+    show(
+        &db,
+        "KMEANS with lambda (paper Listing 3)",
+        "SELECT * FROM KMEANS((SELECT x, y FROM pts), \
+         (SELECT x, y FROM pts LIMIT 2), \
+         LAMBDA(a, b) (a.x - b.x)^2 + (a.y - b.y)^2, 10)",
+    )?;
+
+    // PageRank (paper Listing 2), composed with relational post-processing.
+    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")?;
+    db.execute(
+        "INSERT INTO edges VALUES (1,2),(2,1),(3,1),(4,1),(4,2),(2,3)",
+    )?;
+    show(
+        &db,
+        "PAGERANK + ORDER BY (paper Listing 2)",
+        "SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0001) \
+         ORDER BY rank DESC",
+    )?;
+
+    // Naive Bayes: train a model, store it, apply it — all in SQL.
+    db.execute("CREATE TABLE train (len DOUBLE, caps DOUBLE, label VARCHAR)")?;
+    db.execute(
+        "INSERT INTO train VALUES (12, 0.1, 'ham'), (15, 0.2, 'ham'), \
+         (10, 0.0, 'ham'), (45, 3.0, 'spam'), (50, 2.5, 'spam'), (40, 2.8, 'spam')",
+    )?;
+    db.execute(
+        "CREATE TABLE model (class VARCHAR, attribute VARCHAR, \
+         prior DOUBLE, mean DOUBLE, stddev DOUBLE)",
+    )?;
+    db.execute(
+        "INSERT INTO model SELECT * FROM \
+         NAIVE_BAYES_TRAIN((SELECT len, caps, label FROM train), label)",
+    )?;
+    show(
+        &db,
+        "NAIVE_BAYES_PREDICT",
+        "SELECT * FROM NAIVE_BAYES_PREDICT((SELECT * FROM model), \
+         (SELECT 11.0 len, 0.1 caps UNION ALL SELECT 47.0, 2.9))",
+    )?;
+
+    // Transactions: analytics see a consistent snapshot.
+    db.execute("BEGIN")?;
+    db.execute("INSERT INTO sensors VALUES (7, 'lab', 100.0)")?;
+    let mut other = db.session();
+    let visible = other
+        .execute("SELECT count(*) FROM sensors")?
+        .scalar()?;
+    println!("-- another session during the open transaction sees {visible} rows");
+    db.execute("ROLLBACK")?;
+
+    // EXPLAIN shows the optimized plan with analytics operators inline.
+    show(
+        &db,
+        "EXPLAIN",
+        "EXPLAIN SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0) \
+         ORDER BY rank DESC LIMIT 3",
+    )?;
+
+    Ok(())
+}

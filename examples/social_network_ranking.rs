@@ -1,0 +1,96 @@
+//! Social-network influencer ranking: PageRank over an LDBC-like graph.
+//!
+//! Shows the layer-4 operator (§6.3) next to the SQL-layer formulation
+//! with the ITERATE construct (§5.1) on the same data — the comparison
+//! behind Figure 5 (left) of the paper.
+//!
+//! ```sh
+//! cargo run --release --example social_network_ranking
+//! ```
+
+use std::time::Instant;
+
+use hylite::graph::{LdbcConfig, LdbcGraph};
+use hylite::{Database, Result};
+use hylite_common::{Chunk, ColumnVector};
+
+fn main() -> Result<()> {
+    let db = Database::new();
+
+    // Generate a small LDBC-like person-knows-person graph and load it.
+    let config = LdbcConfig {
+        vertices: 2_000,
+        edges: 20_000,
+        triangle_fraction: 0.3,
+        seed: 42,
+    };
+    let graph = LdbcGraph::generate(&config);
+    println!(
+        "generated LDBC-like graph: {} persons, {} directed edges",
+        config.vertices,
+        graph.num_edges()
+    );
+
+    db.execute("CREATE TABLE knows (src BIGINT, dest BIGINT)")?;
+    {
+        let table = db.catalog().get_table("knows")?;
+        let chunk = Chunk::new(vec![
+            ColumnVector::from_i64(graph.src.clone()),
+            ColumnVector::from_i64(graph.dest.clone()),
+        ]);
+        let mut guard = table.write();
+        guard.insert_chunk(chunk)?;
+        guard.commit();
+    }
+    db.execute("CREATE TABLE persons (id BIGINT, name VARCHAR)")?;
+    let names: Vec<String> = (0..config.vertices)
+        .map(|i| format!("({}, 'person_{}')", 1000 + 7 * i as i64, i))
+        .collect();
+    db.execute(&format!("INSERT INTO persons VALUES {}", names.join(", ")))?;
+
+    // Layer 4: the physical PageRank operator, joined with the persons
+    // table and post-processed — one query.
+    let start = Instant::now();
+    let top = db.execute(
+        "SELECT p.name, pr.rank \
+         FROM PAGERANK((SELECT src, dest FROM knows), 0.85, 0.0001, 45) pr \
+         JOIN persons p ON p.id = pr.vertex \
+         ORDER BY pr.rank DESC LIMIT 5",
+    )?;
+    let operator_time = start.elapsed();
+    println!("-- top influencers (HyPer-style operator, {operator_time:?})");
+    println!("{}", top.to_table_string());
+
+    // Layer 3: the same computation in SQL with the non-appending ITERATE
+    // construct. The rank relation is recomputed (replaced) per round via
+    // joins against the edge table — no CSR index, as §8.4.2 discusses.
+    let start = Instant::now();
+    let n = config.vertices as f64;
+    let sql_top = db.execute(&format!(
+        "SELECT p.name, r.rank \
+         FROM ITERATE(\
+            (SELECT v.id AS vertex, 1.0 / {n:.1} AS rank, 0 AS i \
+             FROM (SELECT id FROM persons) v), \
+            (SELECT e.dest AS vertex, \
+                    0.15 / {n:.1} + 0.85 * sum(it.rank / deg.degree) AS rank, \
+                    min(it.i) + 1 AS i \
+             FROM iterate it \
+             JOIN knows e ON e.src = it.vertex \
+             JOIN (SELECT src, CAST(count(*) AS DOUBLE) AS degree FROM knows GROUP BY src) deg \
+               ON deg.src = it.vertex \
+             GROUP BY e.dest), \
+            (SELECT i FROM iterate WHERE i >= 10)) r \
+         JOIN persons p ON p.id = r.vertex \
+         ORDER BY r.rank DESC LIMIT 5",
+    ))?;
+    let iterate_time = start.elapsed();
+    println!("-- top influencers (ITERATE SQL formulation, {iterate_time:?})");
+    println!("{}", sql_top.to_table_string());
+
+    println!(
+        "operator vs SQL speedup: {:.1}× (the paper's §8.4.2: the CSR-backed \
+         operator wins on graphs because the SQL plan is join-dominated)",
+        iterate_time.as_secs_f64() / operator_time.as_secs_f64()
+    );
+    Ok(())
+}

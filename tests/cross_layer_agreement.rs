@@ -1,0 +1,158 @@
+//! Cross-layer result agreement: the paper's systems must compute the
+//! *same* models/ranks on the same seeds, regardless of integration
+//! depth — the physical operator, the ITERATE SQL formulation, the
+//! recursive-CTE formulation, and the three comparator simulations.
+
+use hylite_bench::queries;
+use hylite_bench::systems::{run_kmeans, run_naive_bayes, System};
+use hylite_bench::workloads;
+use hylite_datagen::table1::KMeansExperiment;
+use hylite_graph::LdbcConfig;
+
+#[test]
+fn kmeans_centers_agree_across_all_six_systems() {
+    let ctx = workloads::setup_kmeans(
+        KMeansExperiment {
+            n: 600,
+            d: 4,
+            k: 3,
+            iterations: 4,
+        },
+        7,
+    )
+    .unwrap();
+    let reference = run_kmeans(System::HyperOperator, &ctx).unwrap().1;
+    for system in System::all() {
+        let (_, sum) = run_kmeans(system, &ctx).unwrap();
+        assert!(
+            (sum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "{system} diverged: {sum} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn pagerank_ranks_agree_vertex_by_vertex() {
+    let ctx = workloads::setup_pagerank(&LdbcConfig {
+        vertices: 150,
+        edges: 900,
+        triangle_fraction: 0.25,
+        seed: 3,
+    })
+    .unwrap();
+    let iterations = 8;
+
+    // Operator ranks by vertex.
+    let op = ctx
+        .db
+        .execute(&queries::pagerank_operator(0.85, iterations))
+        .unwrap();
+    let mut op_ranks = std::collections::HashMap::new();
+    for row in op.to_rows() {
+        op_ranks.insert(row.int(0).unwrap(), row.float(1).unwrap());
+    }
+
+    // ITERATE SQL formulation.
+    let it = ctx
+        .db
+        .execute(&queries::pagerank_iterate(ctx.vertices, 0.85, iterations))
+        .unwrap();
+    for row in it.to_rows() {
+        let v = row.int(0).unwrap();
+        let r = row.float(1).unwrap();
+        let expect = op_ranks[&v];
+        assert!(
+            (r - expect).abs() < 1e-9,
+            "ITERATE diverges at vertex {v}: {r} vs {expect}"
+        );
+    }
+
+    // Recursive CTE formulation.
+    let cte = ctx
+        .db
+        .execute(&queries::pagerank_recursive_cte(ctx.vertices, 0.85, iterations))
+        .unwrap();
+    for row in cte.to_rows() {
+        let v = row.int(0).unwrap();
+        let r = row.float(1).unwrap();
+        let expect = op_ranks[&v];
+        assert!(
+            (r - expect).abs() < 1e-9,
+            "CTE diverges at vertex {v}: {r} vs {expect}"
+        );
+    }
+
+    // Single-threaded reference.
+    let st = hylite_baselines::single_thread::pagerank(&ctx.src, &ctx.dest, 0.85, 0.0, iterations);
+    for (v, r) in st {
+        assert!((op_ranks[&v] - r).abs() < 1e-9, "operator diverges at {v}");
+    }
+}
+
+#[test]
+fn naive_bayes_models_agree() {
+    let ctx = workloads::setup_naive_bayes(800, 4, 21).unwrap();
+    let reference = run_naive_bayes(System::HyperOperator, &ctx).unwrap().1;
+    for system in System::all() {
+        let (_, sum) = run_naive_bayes(system, &ctx).unwrap();
+        assert!(
+            (sum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "{system} diverged: {sum} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn kmeans_sql_layers_return_k_rows() {
+    // Cardinality sanity for the SQL formulations (the §5.2 estimator
+    // special case: k-Means returns exactly k tuples).
+    let ctx = workloads::setup_kmeans(
+        KMeansExperiment {
+            n: 200,
+            d: 2,
+            k: 4,
+            iterations: 2,
+        },
+        13,
+    )
+    .unwrap();
+    for sql in [
+        queries::kmeans_operator(2, 2),
+        queries::kmeans_iterate(2, 2),
+        queries::kmeans_recursive_cte(2, 2),
+    ] {
+        let r = ctx.db.execute(&sql).unwrap();
+        assert_eq!(r.row_count(), 4, "query: {sql}");
+    }
+}
+
+#[test]
+fn nb_sql_model_matches_operator_model() {
+    let ctx = workloads::setup_naive_bayes(400, 3, 5).unwrap();
+    let op = ctx
+        .db
+        .execute(&format!(
+            "SELECT class, attribute, prior, mean, stddev FROM ({}) m \
+             ORDER BY class, attribute",
+            queries::naive_bayes_operator(3)
+        ))
+        .unwrap();
+    let sql = ctx
+        .db
+        .execute(&format!(
+            "SELECT class, attribute, prior, mean, stddev FROM ({}) m \
+             ORDER BY class, attribute",
+            queries::naive_bayes_sql(3)
+        ))
+        .unwrap();
+    assert_eq!(op.row_count(), sql.row_count());
+    for (a, b) in op.to_rows().iter().zip(sql.to_rows()) {
+        assert_eq!(a.values()[0], b.values()[0], "class");
+        assert_eq!(a.values()[1], b.values()[1], "attribute");
+        for c in 2..5 {
+            let x = a.float(c).unwrap();
+            let y = b.float(c).unwrap();
+            assert!((x - y).abs() < 1e-9, "column {c}: {x} vs {y}");
+        }
+    }
+}

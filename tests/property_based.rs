@@ -1,0 +1,230 @@
+//! Property-based tests over the full SQL pipeline and the analytics
+//! operators, checking invariants against naive reference computations.
+
+use hylite::{Database, Value};
+use proptest::prelude::*;
+
+/// Build a database with table `t(a BIGINT, b DOUBLE)` holding `rows`.
+fn db_with(rows: &[(i64, f64)]) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (a BIGINT, b DOUBLE)").unwrap();
+    if !rows.is_empty() {
+        let values: Vec<String> = rows.iter().map(|(a, b)| format!("({a}, {b})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+    }
+    db
+}
+
+fn small_rows() -> impl Strategy<Value = Vec<(i64, f64)>> {
+    proptest::collection::vec((-50i64..50, -100.0f64..100.0), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filter_matches_reference(rows in small_rows(), threshold in -50i64..50) {
+        let db = db_with(&rows);
+        let r = db
+            .execute(&format!("SELECT count(*) FROM t WHERE a > {threshold}"))
+            .unwrap();
+        let expect = rows.iter().filter(|(a, _)| *a > threshold).count() as i64;
+        prop_assert_eq!(r.scalar().unwrap(), Value::Int(expect));
+    }
+
+    #[test]
+    fn aggregates_match_reference(rows in small_rows()) {
+        let db = db_with(&rows);
+        let r = db.execute("SELECT count(*), sum(a), avg(b) FROM t").unwrap();
+        let row = &r.to_rows()[0];
+        prop_assert_eq!(row.values()[0].clone(), Value::Int(rows.len() as i64));
+        if rows.is_empty() {
+            prop_assert!(row.values()[1].is_null());
+            prop_assert!(row.values()[2].is_null());
+        } else {
+            let sum: i64 = rows.iter().map(|(a, _)| a).sum();
+            prop_assert_eq!(row.values()[1].clone(), Value::Int(sum));
+            let avg: f64 = rows.iter().map(|(_, b)| b).sum::<f64>() / rows.len() as f64;
+            let got = row.float(2).unwrap();
+            prop_assert!((got - avg).abs() < 1e-6 * avg.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn group_by_partitions_input(rows in small_rows()) {
+        let db = db_with(&rows);
+        let r = db
+            .execute("SELECT a % 5, count(*) FROM t GROUP BY a % 5")
+            .unwrap();
+        let total: i64 = r.to_rows().iter().map(|row| row.int(1).unwrap()).sum();
+        prop_assert_eq!(total, rows.len() as i64, "group sizes sum to input size");
+    }
+
+    #[test]
+    fn order_by_sorts(rows in small_rows()) {
+        let db = db_with(&rows);
+        let r = db.execute("SELECT a FROM t ORDER BY a").unwrap();
+        let got: Vec<i64> = r.to_rows().iter().map(|row| row.int(0).unwrap()).collect();
+        let mut expect: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn limit_offset_window(rows in small_rows(), limit in 0usize..20, offset in 0usize..20) {
+        let db = db_with(&rows);
+        let r = db
+            .execute(&format!("SELECT a FROM t ORDER BY a LIMIT {limit} OFFSET {offset}"))
+            .unwrap();
+        let mut expect: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        expect.sort_unstable();
+        let expect: Vec<i64> = expect.into_iter().skip(offset).take(limit).collect();
+        let got: Vec<i64> = r.to_rows().iter().map(|row| row.int(0).unwrap()).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn distinct_is_set_semantics(rows in small_rows()) {
+        let db = db_with(&rows);
+        let r = db.execute("SELECT DISTINCT a FROM t").unwrap();
+        let got: std::collections::BTreeSet<i64> =
+            r.to_rows().iter().map(|row| row.int(0).unwrap()).collect();
+        let expect: std::collections::BTreeSet<i64> = rows.iter().map(|(a, _)| *a).collect();
+        prop_assert_eq!(got.len(), r.row_count(), "no duplicates");
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_matches_reference(
+        left in proptest::collection::vec(-10i64..10, 0..40),
+        right in proptest::collection::vec(-10i64..10, 0..40),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE l (k BIGINT)").unwrap();
+        db.execute("CREATE TABLE r (k BIGINT)").unwrap();
+        if !left.is_empty() {
+            let v: Vec<String> = left.iter().map(|k| format!("({k})")).collect();
+            db.execute(&format!("INSERT INTO l VALUES {}", v.join(","))).unwrap();
+        }
+        if !right.is_empty() {
+            let v: Vec<String> = right.iter().map(|k| format!("({k})")).collect();
+            db.execute(&format!("INSERT INTO r VALUES {}", v.join(","))).unwrap();
+        }
+        let res = db
+            .execute("SELECT count(*) FROM l JOIN r ON l.k = r.k")
+            .unwrap();
+        let expect: i64 = left
+            .iter()
+            .map(|a| right.iter().filter(|b| *b == a).count() as i64)
+            .sum();
+        prop_assert_eq!(res.scalar().unwrap(), Value::Int(expect));
+    }
+
+    #[test]
+    fn union_all_concatenates(rows in small_rows()) {
+        let db = db_with(&rows);
+        let r = db
+            .execute("SELECT a FROM t UNION ALL SELECT a FROM t")
+            .unwrap();
+        prop_assert_eq!(r.row_count(), rows.len() * 2);
+    }
+
+    #[test]
+    fn iterate_equals_manual_loop(start in -20i64..20, step in 1i64..7, bound in 0i64..100) {
+        let db = Database::new();
+        let r = db
+            .execute(&format!(
+                "SELECT * FROM ITERATE ((SELECT {start} AS x), \
+                 (SELECT x + {step} FROM iterate), \
+                 (SELECT x FROM iterate WHERE x >= {bound}))"
+            ))
+            .unwrap();
+        let mut x = start;
+        while x < bound {
+            x += step;
+        }
+        prop_assert_eq!(r.scalar().unwrap(), Value::Int(x));
+    }
+
+    #[test]
+    fn kmeans_invariants(
+        xs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 4..80),
+        k in 1usize..4,
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE p (x DOUBLE, y DOUBLE)").unwrap();
+        let v: Vec<String> = xs.iter().map(|(x, y)| format!("({x}, {y})")).collect();
+        db.execute(&format!("INSERT INTO p VALUES {}", v.join(","))).unwrap();
+        let r = db
+            .execute(&format!(
+                "SELECT * FROM KMEANS((SELECT x, y FROM p), \
+                 (SELECT x, y FROM p LIMIT {k}), 20)"
+            ))
+            .unwrap();
+        // k centers; sizes sum to n.
+        prop_assert_eq!(r.row_count(), k);
+        let sizes: i64 = (0..k).map(|i| r.value(i, 3).unwrap().as_int().unwrap()).sum();
+        prop_assert_eq!(sizes, xs.len() as i64);
+        // Assignment invariant: every point's nearest center (L2) is the
+        // one KMEANS_ASSIGN reports.
+        let centers: Vec<(f64, f64)> = (0..k)
+            .map(|i| {
+                (
+                    r.value(i, 1).unwrap().as_float().unwrap(),
+                    r.value(i, 2).unwrap().as_float().unwrap(),
+                )
+            })
+            .collect();
+        let centers_sql: Vec<String> = centers
+            .iter()
+            .map(|(x, y)| format!("SELECT {x} AS x, {y} AS y"))
+            .collect();
+        let assign = db
+            .execute(&format!(
+                "SELECT * FROM KMEANS_ASSIGN((SELECT x, y FROM p), ({}))",
+                centers_sql.join(" UNION ALL ")
+            ))
+            .unwrap();
+        for row in assign.to_rows() {
+            let (px, py) = (row.float(0).unwrap(), row.float(1).unwrap());
+            let got = row.int(2).unwrap() as usize;
+            let d2 = |(cx, cy): (f64, f64)| (px - cx).powi(2) + (py - cy).powi(2);
+            let best = centers
+                .iter()
+                .map(|&c| d2(c))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                d2(centers[got]) <= best + 1e-9,
+                "({px},{py}) assigned to non-nearest center"
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one(
+        edges in proptest::collection::vec((0i64..25, 0i64..25), 1..120),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE e (s BIGINT, d BIGINT)").unwrap();
+        let v: Vec<String> = edges.iter().map(|(s, d)| format!("({s}, {d})")).collect();
+        db.execute(&format!("INSERT INTO e VALUES {}", v.join(","))).unwrap();
+        let r = db
+            .execute("SELECT sum(pr.rank) FROM PAGERANK((SELECT s, d FROM e), 0.85, 0.0, 20) pr")
+            .unwrap();
+        let total = r.scalar().unwrap().as_float().unwrap();
+        prop_assert!((total - 1.0).abs() < 1e-6, "rank sum {total}");
+    }
+
+    #[test]
+    fn update_then_sum_consistent(rows in small_rows(), delta in -5i64..5) {
+        let db = db_with(&rows);
+        db.execute(&format!("UPDATE t SET a = a + {delta}")).unwrap();
+        let r = db.execute("SELECT sum(a) FROM t").unwrap();
+        if rows.is_empty() {
+            prop_assert!(r.scalar().unwrap().is_null());
+        } else {
+            let expect: i64 = rows.iter().map(|(a, _)| a + delta).sum();
+            prop_assert_eq!(r.scalar().unwrap(), Value::Int(expect));
+        }
+    }
+}

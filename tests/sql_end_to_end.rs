@@ -1,0 +1,245 @@
+//! Broad SQL-surface coverage through the full pipeline.
+
+use hylite::{Database, Value};
+
+fn db_with_people() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE people (id BIGINT, name VARCHAR, age BIGINT, city VARCHAR)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO people VALUES \
+         (1, 'ada', 36, 'london'), (2, 'grace', 85, 'arlington'), \
+         (3, 'alan', 41, 'london'), (4, 'edsger', 72, NULL), \
+         (5, 'barbara', 73, 'boston')",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn where_order_limit_offset() {
+    let db = db_with_people();
+    let r = db
+        .execute("SELECT name FROM people WHERE age > 40 ORDER BY age DESC LIMIT 2 OFFSET 1")
+        .unwrap();
+    assert_eq!(r.row_count(), 2);
+    assert_eq!(r.value(0, 0).unwrap(), Value::from("barbara"));
+    assert_eq!(r.value(1, 0).unwrap(), Value::from("edsger"));
+}
+
+#[test]
+fn null_semantics() {
+    let db = db_with_people();
+    // NULL city filtered out by = comparison (3VL).
+    let r = db.execute("SELECT count(*) FROM people WHERE city = city").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(4));
+    let r = db
+        .execute("SELECT name FROM people WHERE city IS NULL")
+        .unwrap();
+    assert_eq!(r.value(0, 0).unwrap(), Value::from("edsger"));
+    // count(col) skips NULLs; count(*) does not.
+    let r = db
+        .execute("SELECT count(*), count(city) FROM people")
+        .unwrap();
+    assert_eq!(r.value(0, 0).unwrap(), Value::Int(5));
+    assert_eq!(r.value(0, 1).unwrap(), Value::Int(4));
+    // coalesce fallback.
+    let r = db
+        .execute("SELECT coalesce(city, 'unknown') FROM people WHERE id = 4")
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::from("unknown"));
+}
+
+#[test]
+fn like_between_in_case() {
+    let db = db_with_people();
+    let r = db
+        .execute("SELECT count(*) FROM people WHERE name LIKE 'a%'")
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(2));
+    let r = db
+        .execute("SELECT count(*) FROM people WHERE age BETWEEN 40 AND 80")
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(3));
+    let r = db
+        .execute("SELECT count(*) FROM people WHERE id IN (1, 3, 9)")
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(2));
+    let r = db
+        .execute(
+            "SELECT sum(CASE WHEN age >= 65 THEN 1 ELSE 0 END) AS seniors FROM people",
+        )
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(3));
+}
+
+#[test]
+fn distinct_union_except_behavior() {
+    let db = db_with_people();
+    let r = db
+        .execute("SELECT DISTINCT city FROM people WHERE city IS NOT NULL ORDER BY city")
+        .unwrap();
+    assert_eq!(r.row_count(), 3);
+    let r = db
+        .execute("SELECT 1 UNION SELECT 1 UNION SELECT 2")
+        .unwrap();
+    assert_eq!(r.row_count(), 2);
+    let r = db
+        .execute("SELECT 1 UNION ALL SELECT 1 UNION ALL SELECT 2")
+        .unwrap();
+    assert_eq!(r.row_count(), 3);
+}
+
+#[test]
+fn scalar_functions_in_projection() {
+    let db = db_with_people();
+    let r = db
+        .execute(
+            "SELECT upper(name), length(name), sqrt(CAST(age AS DOUBLE)), age % 10 \
+             FROM people WHERE id = 1",
+        )
+        .unwrap();
+    let row = &r.to_rows()[0];
+    assert_eq!(row.values()[0], Value::from("ADA"));
+    assert_eq!(row.values()[1], Value::Int(3));
+    assert_eq!(row.values()[2], Value::Float(6.0));
+    assert_eq!(row.values()[3], Value::Int(6));
+}
+
+#[test]
+fn group_by_expression_and_order_by_aggregate() {
+    let db = db_with_people();
+    let r = db
+        .execute(
+            "SELECT age / 10 AS decade, count(*) AS n FROM people \
+             GROUP BY age / 10 ORDER BY count(*) DESC, decade",
+        )
+        .unwrap();
+    assert_eq!(r.value(0, 1).unwrap(), Value::Int(2), "70s twice");
+}
+
+#[test]
+fn self_and_three_way_joins() {
+    let db = db_with_people();
+    // Pairs of people in the same city.
+    let r = db
+        .execute(
+            "SELECT a.name, b.name FROM people a JOIN people b \
+             ON a.city = b.city AND a.id < b.id",
+        )
+        .unwrap();
+    assert_eq!(r.row_count(), 1, "only ada & alan share a city");
+    db.execute("CREATE TABLE cities (name VARCHAR, country VARCHAR)").unwrap();
+    db.execute("INSERT INTO cities VALUES ('london', 'uk'), ('boston', 'us')").unwrap();
+    let r = db
+        .execute(
+            "SELECT p.name, c.country FROM people p \
+             JOIN cities c ON p.city = c.name ORDER BY p.name",
+        )
+        .unwrap();
+    assert_eq!(r.row_count(), 3);
+}
+
+#[test]
+fn ctes_and_nested_subqueries() {
+    let db = db_with_people();
+    let r = db
+        .execute(
+            "WITH seniors AS (SELECT * FROM people WHERE age > 70), \
+                  s2 AS (SELECT city FROM seniors WHERE city IS NOT NULL) \
+             SELECT count(*) FROM s2",
+        )
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(2));
+    let r = db
+        .execute(
+            "SELECT avg(x.age) FROM (SELECT age FROM (SELECT * FROM people) inner2) x",
+        )
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Float(61.4));
+}
+
+#[test]
+fn update_delete_roundtrip() {
+    let db = db_with_people();
+    db.execute("UPDATE people SET city = 'cambridge' WHERE city IS NULL").unwrap();
+    let r = db.execute("SELECT count(*) FROM people WHERE city IS NULL").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(0));
+    let affected = db.execute("DELETE FROM people WHERE age < 50").unwrap();
+    assert_eq!(affected.rows_affected, 2);
+    let r = db.execute("SELECT count(*) FROM people").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(3));
+    // Insert after delete reuses the table cleanly.
+    db.execute("INSERT INTO people VALUES (6, 'donald', 86, 'stanford')").unwrap();
+    let r = db.execute("SELECT max(age) FROM people").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(86));
+}
+
+#[test]
+fn error_messages_carry_stage() {
+    let db = db_with_people();
+    let err = db.execute("SELECT nope FROM people").unwrap_err();
+    assert_eq!(err.stage(), "bind");
+    let err = db.execute("SELECT * FROM people WHERE").unwrap_err();
+    assert_eq!(err.stage(), "parse");
+    let err = db.execute("SELECT age + name FROM people").unwrap_err();
+    assert_eq!(err.stage(), "type");
+    let err = db.execute("SELECT 1 / 0").unwrap_err();
+    assert_eq!(err.stage(), "execution");
+}
+
+#[test]
+fn aggregates_stddev_variance() {
+    let db = Database::new();
+    db.execute("CREATE TABLE v (x DOUBLE)").unwrap();
+    db.execute("INSERT INTO v VALUES (2),(4),(4),(4),(5),(5),(7),(9)").unwrap();
+    let r = db.execute("SELECT stddev(x), var_samp(x) FROM v").unwrap();
+    let sd = r.value(0, 0).unwrap().as_float().unwrap();
+    let var = r.value(0, 1).unwrap().as_float().unwrap();
+    assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    assert!((var - 32.0 / 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn recursive_cte_transitive_closure() {
+    let db = Database::new();
+    db.execute("CREATE TABLE edge (src BIGINT, dst BIGINT)").unwrap();
+    db.execute("INSERT INTO edge VALUES (1,2),(2,3),(3,4),(4,2)").unwrap();
+    // Reachability from 1 with UNION (dedup fixpoint despite the cycle).
+    let r = db
+        .execute(
+            "WITH RECURSIVE reach (v) AS (\
+               SELECT 1 \
+               UNION \
+               SELECT e.dst FROM reach r JOIN edge e ON e.src = r.v) \
+             SELECT count(*) FROM reach",
+        )
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(4));
+}
+
+#[test]
+fn insert_select_between_tables() {
+    let db = db_with_people();
+    db.execute("CREATE TABLE elders (name VARCHAR, age BIGINT)").unwrap();
+    db.execute("INSERT INTO elders SELECT name, age FROM people WHERE age > 70").unwrap();
+    let r = db.execute("SELECT count(*) FROM elders").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(3));
+}
+
+#[test]
+fn wide_row_and_many_chunks() {
+    let db = Database::new();
+    db.execute("CREATE TABLE wide (a BIGINT, b DOUBLE, c VARCHAR, d BOOLEAN, e BIGINT)")
+        .unwrap();
+    let rows: Vec<String> = (0..5000)
+        .map(|i| format!("({i}, {}.5, 'r{i}', {}, {})", i, i % 2 == 0, i * 2))
+        .collect();
+    db.execute(&format!("INSERT INTO wide VALUES {}", rows.join(","))).unwrap();
+    let r = db
+        .execute("SELECT count(*), sum(e), min(b), max(c) FROM wide WHERE d")
+        .unwrap();
+    let row = &r.to_rows()[0];
+    assert_eq!(row.values()[0], Value::Int(2500));
+    assert_eq!(row.values()[3], Value::from("r998"), "string max");
+}

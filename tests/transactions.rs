@@ -1,0 +1,183 @@
+//! Transactional behaviour: snapshot isolation for analytics (§3's
+//! "fully transactional environment"), rollback, concurrent writers.
+
+use std::sync::Arc;
+
+use hylite::{Database, Value};
+
+#[test]
+fn analytics_query_sees_stable_snapshot() {
+    // An analytical query over a table snapshot is unaffected by writes
+    // that commit while it would be running: the snapshot is pinned.
+    let db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (0.0, 0.0), (1.0, 1.0)").unwrap();
+    let table = db.catalog().get_table("pts").unwrap();
+    let snapshot = table.read().committed_snapshot();
+    // OLTP proceeds.
+    db.execute("INSERT INTO pts VALUES (9.0, 9.0)").unwrap();
+    db.execute("DELETE FROM pts WHERE x = 0.0").unwrap();
+    // The pinned snapshot still sees the original two rows.
+    assert_eq!(snapshot.live_rows(), 2);
+    // A fresh query sees the new state.
+    let r = db.execute("SELECT count(*) FROM pts").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(2));
+}
+
+#[test]
+fn open_transaction_invisible_to_other_sessions() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (3)").unwrap();
+    db.execute("UPDATE t SET x = 100 WHERE x = 1").unwrap();
+    db.execute("DELETE FROM t WHERE x = 2").unwrap();
+
+    // The writing session sees its own changes (sum = 100 + 3).
+    let own = db.execute("SELECT sum(x) FROM t").unwrap();
+    assert_eq!(own.scalar().unwrap(), Value::Int(103));
+
+    // Another session sees the pre-transaction state.
+    let mut other = db.session();
+    let theirs = other.execute("SELECT sum(x) FROM t").unwrap();
+    assert_eq!(theirs.scalar().unwrap(), Value::Int(3));
+
+    db.execute("COMMIT").unwrap();
+    let after = other.execute("SELECT sum(x) FROM t").unwrap();
+    assert_eq!(after.scalar().unwrap(), Value::Int(103));
+}
+
+#[test]
+fn rollback_restores_all_touched_tables() {
+    let db = Database::new();
+    db.execute("CREATE TABLE a (x BIGINT)").unwrap();
+    db.execute("CREATE TABLE b (x BIGINT)").unwrap();
+    db.execute("INSERT INTO a VALUES (1)").unwrap();
+    db.execute("INSERT INTO b VALUES (10)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO a VALUES (2)").unwrap();
+    db.execute("DELETE FROM b WHERE x = 10").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(
+        db.execute("SELECT sum(x) FROM a").unwrap().scalar().unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        db.execute("SELECT sum(x) FROM b").unwrap().scalar().unwrap(),
+        Value::Int(10)
+    );
+}
+
+#[test]
+fn session_drop_rolls_back() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    {
+        let mut s = db.session();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        // Dropped without COMMIT.
+    }
+    assert_eq!(
+        db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+        Value::Int(0)
+    );
+}
+
+#[test]
+fn kmeans_during_open_transaction_uses_committed_data() {
+    let db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (0.0), (1.0)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO pts VALUES (1000.0)").unwrap();
+    // Another session's analytics ignore the uncommitted outlier.
+    let mut other = db.session();
+    let r = other
+        .execute(
+            "SELECT size FROM KMEANS((SELECT x FROM pts), (SELECT 0.5 c), 5)",
+        )
+        .unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int(2));
+    // The writing session's analytics include it.
+    let own = db
+        .execute("SELECT size FROM KMEANS((SELECT x FROM pts), (SELECT 0.5 c), 5)")
+        .unwrap();
+    assert_eq!(own.scalar().unwrap(), Value::Int(3));
+    db.execute("ROLLBACK").unwrap();
+}
+
+#[test]
+fn concurrent_sessions_insert() {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE log (worker BIGINT, seq BIGINT)").unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut session = db.session();
+                for i in 0..50 {
+                    session
+                        .execute(&format!("INSERT INTO log VALUES ({w}, {i})"))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let r = db.execute("SELECT count(*), count(*) FROM log").unwrap();
+    assert_eq!(r.value(0, 0).unwrap(), Value::Int(200));
+    let per_worker = db
+        .execute("SELECT worker, count(*) FROM log GROUP BY worker ORDER BY worker")
+        .unwrap();
+    assert_eq!(per_worker.row_count(), 4);
+    for i in 0..4 {
+        assert_eq!(per_worker.value(i, 1).unwrap(), Value::Int(50));
+    }
+}
+
+#[test]
+fn reader_runs_while_writer_commits() {
+    // A long chain of small transactions on one thread while another
+    // continuously scans: counts must always be consistent multiples.
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let mut s = db.session();
+            for i in 0..100 {
+                s.execute("BEGIN").unwrap();
+                s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+                s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+                s.execute("COMMIT").unwrap();
+            }
+        })
+    };
+    let reader = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let mut s = db.session();
+            for _ in 0..50 {
+                let n = s
+                    .execute("SELECT count(*) FROM t")
+                    .unwrap()
+                    .scalar()
+                    .unwrap()
+                    .as_int()
+                    .unwrap();
+                // Both rows of a transaction commit atomically.
+                assert_eq!(n % 2, 0, "observed a torn transaction: {n}");
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+    assert_eq!(
+        db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+        Value::Int(200)
+    );
+}
