@@ -25,7 +25,9 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { max_iterations: 100 }
+        KMeansConfig {
+            max_iterations: 100,
+        }
     }
 }
 
@@ -40,6 +42,11 @@ pub struct KMeansResult {
     pub iterations: usize,
     /// Whether the solution stabilized before the iteration cap.
     pub converged: bool,
+    /// Total L2 distance the centroids moved, per iteration. The last
+    /// entry is 0 when the run converged.
+    pub shift_history: Vec<f64>,
+    /// Wall time of each iteration in microseconds.
+    pub iter_micros: Vec<u64>,
 }
 
 /// Thread-local accumulator: per-cluster sums and counts.
@@ -248,11 +255,15 @@ pub fn kmeans(
 ) -> Result<KMeansResult> {
     let k = initial_centers.len();
     if k == 0 {
-        return Err(HyError::Analytics("k-Means requires at least one center".into()));
+        return Err(HyError::Analytics(
+            "k-Means requires at least one center".into(),
+        ));
     }
     let d = initial_centers[0].len();
     if d == 0 {
-        return Err(HyError::Analytics("k-Means requires at least one dimension".into()));
+        return Err(HyError::Analytics(
+            "k-Means requires at least one dimension".into(),
+        ));
     }
     if initial_centers.iter().any(|c| c.len() != d) {
         return Err(HyError::Analytics(
@@ -274,9 +285,12 @@ pub fn kmeans(
     let mut sizes = vec![0u64; k];
     let mut iterations = 0usize;
     let mut converged = false;
+    let mut shift_history = Vec::new();
+    let mut iter_micros = Vec::new();
 
     while iterations < config.max_iterations {
         iterations += 1;
+        let iter_start = std::time::Instant::now();
         // Parallel local assignment + accumulation; locals are merged in
         // deterministic chunk order so results are reproducible.
         let locals: Vec<Result<Locals>> = chunks
@@ -293,6 +307,7 @@ pub fn kmeans(
         }
         // Final update of the cluster centers (the only sync point).
         let mut moved = false;
+        let mut shift = 0.0f64;
         #[allow(clippy::needless_range_loop)]
         for c in 0..k {
             if merged.counts[c] == 0 {
@@ -300,15 +315,21 @@ pub fn kmeans(
                 continue;
             }
             let inv = 1.0 / merged.counts[c] as f64;
+            let mut dist_sq = 0.0;
             for dim in 0..d {
                 let new = merged.sums[c * d + dim] * inv;
+                let delta = new - centers[c][dim];
+                dist_sq += delta * delta;
                 if new != centers[c][dim] {
                     moved = true;
                     centers[c][dim] = new;
                 }
             }
+            shift += dist_sq.sqrt();
         }
         sizes = merged.counts;
+        shift_history.push(shift);
+        iter_micros.push(iter_start.elapsed().as_micros() as u64);
         if !moved {
             converged = true;
             break;
@@ -319,6 +340,8 @@ pub fn kmeans(
         sizes,
         iterations,
         converged,
+        shift_history,
+        iter_micros,
     })
 }
 
@@ -330,7 +353,9 @@ pub fn kmeans_assign(
     lambda: Option<&BoundLambda>,
 ) -> Result<Vec<Vec<u32>>> {
     if centers.is_empty() {
-        return Err(HyError::Analytics("assignment requires at least one center".into()));
+        return Err(HyError::Analytics(
+            "assignment requires at least one center".into(),
+        ));
     }
     let d = centers[0].len();
     validate(chunks, d, "k-Means assignment data")?;

@@ -15,6 +15,6 @@ pub mod pagerank;
 pub mod stats;
 
 pub use kmeans::{kmeans, kmeans_assign, KMeansConfig, KMeansResult};
-pub use naive_bayes::{NaiveBayesModel, LabelValue};
+pub use naive_bayes::{LabelValue, NaiveBayesModel};
 pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
 pub use stats::{class_stats, ClassStatsRow};

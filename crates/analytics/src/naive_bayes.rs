@@ -189,10 +189,7 @@ pub fn collect_moments_opts(
     let mut merged: HashMap<LabelValue, ClassMoments> = HashMap::new();
     for local in locals {
         for (k, v) in local? {
-            merged
-                .entry(k)
-                .and_modify(|m| m.merge(&v))
-                .or_insert(v);
+            merged.entry(k).and_modify(|m| m.merge(&v)).or_insert(v);
         }
     }
     Ok(merged)
@@ -491,17 +488,11 @@ mod tests {
     fn rejects_bad_inputs() {
         assert!(NaiveBayesModel::train(&[], &["x".into()]).is_err());
         // Float labels rejected.
-        let data = Chunk::new(vec![
-            CV::from_f64(vec![1.0]),
-            CV::from_f64(vec![0.5]),
-        ]);
+        let data = Chunk::new(vec![CV::from_f64(vec![1.0]), CV::from_f64(vec![0.5])]);
         assert!(NaiveBayesModel::train(&[data], &["x".into()]).is_err());
         // Width mismatch at prediction.
         let m = NaiveBayesModel::train(&labeled(), &["x".into()]).unwrap();
-        let test = Chunk::new(vec![
-            CV::from_f64(vec![1.0]),
-            CV::from_f64(vec![1.0]),
-        ]);
+        let test = Chunk::new(vec![CV::from_f64(vec![1.0]), CV::from_f64(vec![1.0])]);
         assert!(m.predict(&[test]).is_err());
     }
 

@@ -40,6 +40,11 @@ pub struct PageRankResult {
     pub iterations: usize,
     /// Whether ε-convergence was reached before the cap.
     pub converged: bool,
+    /// Summed absolute rank change per iteration ("how much the new
+    /// ranks differ from the previous iteration's").
+    pub residual_history: Vec<f64>,
+    /// Wall time of each iteration in microseconds.
+    pub iter_micros: Vec<u64>,
 }
 
 /// Minimum rows per rayon work item so tiny graphs don't over-parallelize.
@@ -54,6 +59,8 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
             ranks: vec![],
             iterations: 0,
             converged: true,
+            residual_history: vec![],
+            iter_micros: vec![],
         };
     }
     // Pull-based: iterate over each vertex's in-neighbors.
@@ -66,9 +73,12 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
     let mut next = vec![0.0f64; n];
     let mut iterations = 0usize;
     let mut converged = false;
+    let mut residual_history = Vec::new();
+    let mut iter_micros = Vec::new();
 
     while iterations < config.max_iterations {
         iterations += 1;
+        let iter_start = std::time::Instant::now();
         // Dangling mass: vertices with no out-edges spread uniformly.
         let dangling: f64 = ranks
             .iter()
@@ -100,6 +110,8 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
             })
             .sum();
         std::mem::swap(&mut ranks, &mut next);
+        residual_history.push(diff);
+        iter_micros.push(iter_start.elapsed().as_micros() as u64);
         if config.epsilon > 0.0 && diff <= config.epsilon {
             converged = true;
             break;
@@ -109,6 +121,8 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
         ranks,
         iterations,
         converged,
+        residual_history,
+        iter_micros,
     }
 }
 
@@ -128,6 +142,8 @@ pub fn pagerank_weighted(
             ranks: vec![],
             iterations: 0,
             converged: true,
+            residual_history: vec![],
+            iter_micros: vec![],
         };
     }
     assert_eq!(weights.len(), graph.num_edges(), "weight per edge");
@@ -141,8 +157,11 @@ pub fn pagerank_weighted(
     let mut next = vec![0.0f64; n];
     let mut iterations = 0usize;
     let mut converged = false;
+    let mut residual_history = Vec::new();
+    let mut iter_micros = Vec::new();
     while iterations < config.max_iterations {
         iterations += 1;
+        let iter_start = std::time::Instant::now();
         let dangling: f64 = ranks
             .iter()
             .zip(&total_weight)
@@ -164,6 +183,8 @@ pub fn pagerank_weighted(
         }
         let diff: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut ranks, &mut next);
+        residual_history.push(diff);
+        iter_micros.push(iter_start.elapsed().as_micros() as u64);
         if config.epsilon > 0.0 && diff <= config.epsilon {
             converged = true;
             break;
@@ -173,6 +194,8 @@ pub fn pagerank_weighted(
         ranks,
         iterations,
         converged,
+        residual_history,
+        iter_micros,
     }
 }
 
@@ -285,8 +308,7 @@ mod tests {
     #[test]
     fn weighted_uniform_matches_unweighted() {
         let (s, d) = generators::cycle(6);
-        let (graph, weights) =
-            CsrGraph::from_weighted_edges(&s, &d, &vec![2.5; s.len()]).unwrap();
+        let (graph, weights) = CsrGraph::from_weighted_edges(&s, &d, &vec![2.5; s.len()]).unwrap();
         let config = PageRankConfig {
             epsilon: 1e-12,
             max_iterations: 300,
@@ -336,7 +358,10 @@ mod tests {
         let (graph, w) = CsrGraph::from_weighted_edges(&src, &dest, &weights).unwrap();
         let r = pagerank_weighted(&graph, &w, &PageRankConfig::default());
         let total: f64 = r.ranks.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "mass conserved via dangling path");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "mass conserved via dangling path"
+        );
     }
 
     #[test]

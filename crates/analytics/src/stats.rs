@@ -113,10 +113,7 @@ mod tests {
 
     #[test]
     fn row_serialization() {
-        let data = Chunk::new(vec![
-            CV::from_f64(vec![1.0]),
-            CV::from_i64(vec![7]),
-        ]);
+        let data = Chunk::new(vec![CV::from_f64(vec![1.0]), CV::from_i64(vec![7])]);
         let rows = class_stats(&[data], &["x".to_string()]).unwrap();
         let vals = rows[0].to_values();
         assert_eq!(vals[0], Value::Int(7));

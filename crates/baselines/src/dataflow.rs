@@ -168,11 +168,7 @@ impl DistEdges {
 /// over edge partitions emits (dest, share) messages that the driver
 /// aggregates — the shuffle-per-iteration pattern of Spark GraphX-style
 /// implementations. No CSR index is built.
-pub fn pagerank(
-    edges: &DistEdges,
-    damping: f64,
-    max_iterations: usize,
-) -> HashMap<i64, f64> {
+pub fn pagerank(edges: &DistEdges, damping: f64, max_iterations: usize) -> HashMap<i64, f64> {
     // Stage 0: degrees and vertex discovery.
     let partials: Vec<(HashMap<i64, u64>, Vec<i64>)> = edges
         .partitions
@@ -250,23 +246,22 @@ pub fn pagerank(
 /// each row): one moments stage + driver reduce.
 pub fn naive_bayes_train(data: &DistDataset) -> Vec<crate::single_thread::NbClass> {
     type Moments = HashMap<i64, (u64, Vec<f64>, Vec<f64>)>;
-    let partials: Vec<Moments> =
-        data.run_stage(Box::new(|part| {
-            let mut table: Moments = HashMap::new();
-            for row in part {
-                let d = row.len() - 1;
-                let label = row[d] as i64;
-                let entry = table
-                    .entry(label)
-                    .or_insert_with(|| (0, vec![0.0; d], vec![0.0; d]));
-                entry.0 += 1;
-                for (i, &x) in row[..d].iter().enumerate() {
-                    entry.1[i] += x;
-                    entry.2[i] += x * x;
-                }
+    let partials: Vec<Moments> = data.run_stage(Box::new(|part| {
+        let mut table: Moments = HashMap::new();
+        for row in part {
+            let d = row.len() - 1;
+            let label = row[d] as i64;
+            let entry = table
+                .entry(label)
+                .or_insert_with(|| (0, vec![0.0; d], vec![0.0; d]));
+            entry.0 += 1;
+            for (i, &x) in row[..d].iter().enumerate() {
+                entry.1[i] += x;
+                entry.2[i] += x * x;
             }
-            table
-        }));
+        }
+        table
+    }));
     let mut merged: HashMap<i64, (u64, Vec<f64>, Vec<f64>)> = HashMap::new();
     for local in partials {
         for (label, (n, sums, sum_sqs)) in local {
@@ -333,8 +328,7 @@ mod tests {
         let init = vec![vec![1.0, 1.0], vec![8.0, 8.0]];
         let ds = DistDataset::from_rows(&rows, 2);
         let (centers, sizes, _) = kmeans(&ds, &init, 100);
-        let (st_centers, st_sizes, _) =
-            crate::single_thread::kmeans(&rows, &init, 100);
+        let (st_centers, st_sizes, _) = crate::single_thread::kmeans(&rows, &init, 100);
         assert_eq!(sizes, st_sizes);
         for (a, b) in centers.iter().zip(&st_centers) {
             for (x, y) in a.iter().zip(b) {
@@ -385,9 +379,7 @@ mod tests {
             part.iter().map(|r| vec![r[0] * 2.0]).collect()
         }));
         assert_eq!(doubled.count(), 2);
-        let sums: Vec<f64> = doubled.run_stage(Box::new(|p| {
-            p.iter().map(|r| r[0]).sum()
-        }));
+        let sums: Vec<f64> = doubled.run_stage(Box::new(|p| p.iter().map(|r| r[0]).sum()));
         let total: f64 = sums.iter().sum();
         assert_eq!(total, 6.0);
     }

@@ -165,8 +165,7 @@ mod tests {
             vec![9.0, 9.0],
             vec![9.2, 9.1],
         ];
-        let (centers, sizes, _) =
-            kmeans(&data, &[vec![1.0, 1.0], vec![8.0, 8.0]], 100);
+        let (centers, sizes, _) = kmeans(&data, &[vec![1.0, 1.0], vec![8.0, 8.0]], 100);
         assert_eq!(sizes, vec![2, 2]);
         assert!((centers[0][0] - 0.1).abs() < 1e-9);
         assert!((centers[1][0] - 9.1).abs() < 1e-9);

@@ -121,8 +121,7 @@ pub fn kmeans(
                 if counts[c] == 0 {
                     centers[c].clone()
                 } else {
-                    let row: Vec<f64> =
-                        sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                    let row: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
                     if row != centers[c] {
                         moved = true;
                     }
@@ -300,15 +299,10 @@ mod tests {
                 ]),
             )
             .unwrap();
-        let rows: Vec<Vec<Value>> = [
-            (0.0, 0.0),
-            (0.2, 0.1),
-            (9.0, 9.0),
-            (9.2, 9.1),
-        ]
-        .iter()
-        .map(|&(x, y)| vec![Value::Float(x), Value::Float(y)])
-        .collect();
+        let rows: Vec<Vec<Value>> = [(0.0, 0.0), (0.2, 0.1), (9.0, 9.0), (9.2, 9.1)]
+            .iter()
+            .map(|&(x, y)| vec![Value::Float(x), Value::Float(y)])
+            .collect();
         t.write().insert_rows(&rows).unwrap();
         t.write().commit();
         catalog
@@ -317,14 +311,8 @@ mod tests {
     #[test]
     fn udf_kmeans_matches_reference() {
         let catalog = catalog_with_points();
-        let (centers, sizes, _) = kmeans(
-            &catalog,
-            "pts",
-            0,
-            &[vec![1.0, 1.0], vec![8.0, 8.0]],
-            100,
-        )
-        .unwrap();
+        let (centers, sizes, _) =
+            kmeans(&catalog, "pts", 0, &[vec![1.0, 1.0], vec![8.0, 8.0]], 100).unwrap();
         assert_eq!(sizes, vec![2, 2]);
         assert!((centers[0][0] - 0.1).abs() < 1e-9);
         assert!(!catalog.has_table("__udf_centers"), "scratch table dropped");

@@ -26,7 +26,10 @@ fn lambda_variants(c: &mut Criterion) {
     )
     .expect("setup");
     let cols = |p: &str| -> String {
-        (0..5).map(|i| format!("{p}.c{i}")).collect::<Vec<_>>().join(", ")
+        (0..5)
+            .map(|i| format!("{p}.c{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let l2_lambda: String = (0..5)
         .map(|i| format!("(a.c{i} - b.c{i})^2"))
@@ -48,8 +51,14 @@ fn lambda_variants(c: &mut Criterion) {
     let variants = [
         ("default_l2_kernel", format!("{base}, 3)")),
         ("lambda_l2", format!("{base}, LAMBDA(a, b) {l2_lambda}, 3)")),
-        ("lambda_l1_kmedians", format!("{base}, LAMBDA(a, b) {l1_lambda}, 3)")),
-        ("lambda_weighted", format!("{base}, LAMBDA(a, b) {weighted}, 3)")),
+        (
+            "lambda_l1_kmedians",
+            format!("{base}, LAMBDA(a, b) {l1_lambda}, 3)"),
+        ),
+        (
+            "lambda_weighted",
+            format!("{base}, LAMBDA(a, b) {weighted}, 3)"),
+        ),
     ];
     for (name, sql) in &variants {
         // Sanity: the query runs.

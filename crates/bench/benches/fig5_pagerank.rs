@@ -13,18 +13,24 @@ fn fig5a_pagerank(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
     let configs = [
-        ("tiny-1k/9k", LdbcConfig {
-            vertices: 1_100,
-            edges: 4_500,
-            triangle_fraction: 0.3,
-            seed: 42,
-        }),
-        ("small-7k/92k", LdbcConfig {
-            vertices: 7_300,
-            edges: 46_000,
-            triangle_fraction: 0.3,
-            seed: 42,
-        }),
+        (
+            "tiny-1k/9k",
+            LdbcConfig {
+                vertices: 1_100,
+                edges: 4_500,
+                triangle_fraction: 0.3,
+                seed: 42,
+            },
+        ),
+        (
+            "small-7k/92k",
+            LdbcConfig {
+                vertices: 7_300,
+                edges: 46_000,
+                triangle_fraction: 0.3,
+                seed: 42,
+            },
+        ),
     ];
     for (label, config) in configs {
         let ctx = setup_pagerank(&config).expect("setup");

@@ -307,7 +307,10 @@ fn main() {
     }
 }
 
-/// Timing breakdown of the KMEANS operator path (diagnostics).
+/// Per-operator breakdown of the KMEANS operator path, driven by the
+/// engine's own profiler: EXPLAIN ANALYZE gives the operator tree with
+/// actual rows/time/memory, and the metrics registry gives per-iteration
+/// wall-time and centroid-shift histograms.
 fn profile_kmeans() {
     use hylite_analytics::{kmeans, KMeansConfig};
     use std::time::Instant;
@@ -321,16 +324,37 @@ fn profile_kmeans() {
     let cols: Vec<String> = (0..exp.d).map(|i| format!("d.c{i}")).collect();
     let subquery = format!("SELECT {} FROM data d", cols.join(", "));
 
-    let t = Instant::now();
-    let r = ctx.db.execute(&format!("SELECT count(*) FROM ({subquery}) q")).unwrap();
-    println!("scan+project+count: {:?} ({})", t.elapsed(), r.scalar().unwrap());
+    let plan = ctx
+        .db
+        .execute(&format!(
+            "EXPLAIN ANALYZE {}",
+            hylite_bench::queries::kmeans_operator(exp.d, 3)
+        ))
+        .unwrap();
+    println!(
+        "== KMEANS operator, profiled plan:\n{}",
+        plan.to_table_string()
+    );
 
+    let snapshot = ctx.db.metrics_snapshot();
+    println!("== Engine metrics after the run:");
+    for line in snapshot.render_text().lines() {
+        if line.contains("kmeans") || line.contains("query.") {
+            println!("  {line}");
+        }
+    }
+
+    // Cross-check the operator against its building blocks.
     let t = Instant::now();
     let chunks = {
         let r = ctx.db.execute(&subquery).unwrap();
         r.chunks().to_vec()
     };
-    println!("materialize subquery: {:?} ({} chunks)", t.elapsed(), chunks.len());
+    println!(
+        "materialize subquery: {:?} ({} chunks)",
+        t.elapsed(),
+        chunks.len()
+    );
 
     let t = Instant::now();
     let result = kmeans(
@@ -340,17 +364,19 @@ fn profile_kmeans() {
         &KMeansConfig { max_iterations: 3 },
     )
     .unwrap();
-    println!("analytics::kmeans on chunks: {:?} ({} iters)", t.elapsed(), result.iterations);
-
-    let t = Instant::now();
-    ctx.db
-        .execute(&hylite_bench::queries::kmeans_operator(exp.d, 3))
-        .unwrap();
-    println!("full operator SQL: {:?}", t.elapsed());
+    println!(
+        "analytics::kmeans on chunks: {:?} ({} iters)",
+        t.elapsed(),
+        result.iterations
+    );
 
     let t = Instant::now();
     let (centers2, _, _) = hylite_baselines::dataflow::kmeans(&ctx.dist, &ctx.centers, 3);
-    println!("dataflow sim: {:?} ({} centers)", t.elapsed(), centers2.len());
+    println!(
+        "dataflow sim: {:?} ({} centers)",
+        t.elapsed(),
+        centers2.len()
+    );
 }
 
 /// §5.1 ablation: live intermediate tuples, ITERATE vs recursive CTE.
@@ -358,8 +384,8 @@ fn ablation_memory() {
     use hylite_core::Database;
     println!("== Ablation (§5.1): peak live intermediate tuples, n = 1000 rows");
     println!(
-        "{:>10}  {:>14}  {:>14}  {:>8}",
-        "iterations", "ITERATE", "recursive CTE", "ratio"
+        "{:>10}  {:>10}  {:>14}  {:>14}  {:>8}",
+        "iterations", "observed", "ITERATE", "recursive CTE", "ratio"
     );
     let db = Database::new();
     db.execute("CREATE TABLE base (v BIGINT)").expect("ddl");
@@ -382,12 +408,19 @@ fn ablation_memory() {
             ))
             .expect("cte");
         println!(
-            "{:>10}  {:>14}  {:>14}  {:>7.1}×",
+            "{:>10}  {:>10}  {:>14}  {:>14}  {:>7.1}×",
             iters,
+            it.stats.iterations,
             it.stats.peak_working_rows,
             cte.stats.peak_working_rows,
             cte.stats.peak_working_rows as f64 / it.stats.peak_working_rows.max(1) as f64
         );
     }
+    let snapshot = db.metrics_snapshot();
+    println!(
+        "metrics: iterate.iterations_total={} cte.iterations_total={}",
+        snapshot.counter("iterate.iterations_total"),
+        snapshot.counter("cte.iterations_total"),
+    );
     let _ = Duration::ZERO;
 }

@@ -80,7 +80,10 @@ pub fn kmeans_recursive_cte(d: usize, iterations: usize) -> String {
     format!(
         "WITH RECURSIVE kcenters (cid, {cdecl}, i) AS ({init} UNION ALL {step}) \
          SELECT * FROM kcenters WHERE i = {iterations}",
-        cdecl = (0..d).map(|i| format!("c{i}")).collect::<Vec<_>>().join(", ")
+        cdecl = (0..d)
+            .map(|i| format!("c{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     )
 }
 

@@ -29,7 +29,10 @@ pub fn render_figure(title: &str, measurements: &[Measurement]) -> String {
         measurements
             .iter()
             .find(|m| m.x == x && m.system == s)
-            .map_or_else(|| "-".to_string(), |m| format!("{:.4}", m.runtime.as_secs_f64()))
+            .map_or_else(
+                || "-".to_string(),
+                |m| format!("{:.4}", m.runtime.as_secs_f64()),
+            )
     };
     let mut widths: Vec<usize> = systems.iter().map(|s| s.len().max(8)).collect();
     for (i, s) in systems.iter().enumerate() {

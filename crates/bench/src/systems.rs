@@ -45,7 +45,11 @@ impl System {
 
     /// The fast subset that can handle large grids in reasonable time.
     pub fn fast() -> [System; 3] {
-        [System::HyperOperator, System::Dataflow, System::SingleThread]
+        [
+            System::HyperOperator,
+            System::Dataflow,
+            System::SingleThread,
+        ]
     }
 }
 
@@ -224,9 +228,7 @@ pub fn run_naive_bayes(system: System, ctx: &NaiveBayesContext) -> Result<(Durat
             Ok((t, model_sum_sql(&result)?))
         }
         System::Dataflow => {
-            let (t, model) = time(|| {
-                Ok(hylite_baselines::dataflow::naive_bayes_train(&ctx.dist))
-            })?;
+            let (t, model) = time(|| Ok(hylite_baselines::dataflow::naive_bayes_train(&ctx.dist)))?;
             Ok((t, model_sum(&model)))
         }
         System::SingleThread => {
@@ -239,9 +241,8 @@ pub fn run_naive_bayes(system: System, ctx: &NaiveBayesContext) -> Result<(Durat
             Ok((t, model_sum(&model)))
         }
         System::Udf => {
-            let (t, model) = time(|| {
-                hylite_baselines::udf::naive_bayes_train(ctx.db.catalog(), "nbdata")
-            })?;
+            let (t, model) =
+                time(|| hylite_baselines::udf::naive_bayes_train(ctx.db.catalog(), "nbdata"))?;
             Ok((t, model_sum(&model)))
         }
     }
@@ -291,8 +292,8 @@ mod tests {
         .unwrap();
         let mut sums = Vec::new();
         for system in System::all() {
-            let (_, sum) = run_kmeans(system, &ctx)
-                .unwrap_or_else(|e| panic!("{system} failed: {e}"));
+            let (_, sum) =
+                run_kmeans(system, &ctx).unwrap_or_else(|e| panic!("{system} failed: {e}"));
             sums.push((system, sum));
         }
         let reference = sums[0].1;
@@ -328,8 +329,8 @@ mod tests {
         let ctx = workloads::setup_naive_bayes(500, 3, 9).unwrap();
         let mut sums = Vec::new();
         for system in System::all() {
-            let (_, sum) = run_naive_bayes(system, &ctx)
-                .unwrap_or_else(|e| panic!("{system} failed: {e}"));
+            let (_, sum) =
+                run_naive_bayes(system, &ctx).unwrap_or_else(|e| panic!("{system} failed: {e}"));
             sums.push((system, sum));
         }
         let reference = sums[0].1;

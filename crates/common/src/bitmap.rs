@@ -147,7 +147,6 @@ impl FromIterator<bool> for Bitmap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn filled_and_counts() {
@@ -212,31 +211,54 @@ mod tests {
         Bitmap::filled(3, true).get(3);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
-            let bm: Bitmap = bits.iter().copied().collect();
-            prop_assert_eq!(bm.len(), bits.len());
-            for (i, &b) in bits.iter().enumerate() {
-                prop_assert_eq!(bm.get(i), b);
-            }
-            prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
-            let ones: Vec<usize> = bm.iter_ones().collect();
-            let expect: Vec<usize> =
-                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
-            prop_assert_eq!(ones, expect);
-        }
+    /// Deterministic pseudo-random bits (SplitMix64) for the randomized
+    /// roundtrip tests below; hylite-common has no dependencies, so a
+    /// tiny inline generator stands in for an RNG crate.
+    fn pseudo_bits(seed: u64, len: usize) -> Vec<bool> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
 
-        #[test]
-        fn prop_and_semantics(
-            pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..300)
-        ) {
-            let a: Bitmap = pairs.iter().map(|(x, _)| *x).collect();
-            let b: Bitmap = pairs.iter().map(|(_, y)| *y).collect();
+    #[test]
+    fn prop_roundtrip() {
+        for (case, len) in [0, 1, 63, 64, 65, 130, 499].into_iter().enumerate() {
+            let bits = pseudo_bits(case as u64, len);
+            let bm: Bitmap = bits.iter().copied().collect();
+            assert_eq!(bm.len(), bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                assert_eq!(bm.get(i), b);
+            }
+            assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+            let ones: Vec<usize> = bm.iter_ones().collect();
+            let expect: Vec<usize> = bits
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(ones, expect);
+        }
+    }
+
+    #[test]
+    fn prop_and_semantics() {
+        for (case, len) in [0, 1, 64, 65, 300].into_iter().enumerate() {
+            let xs = pseudo_bits(100 + case as u64, len);
+            let ys = pseudo_bits(200 + case as u64, len);
+            let a: Bitmap = xs.iter().copied().collect();
+            let b: Bitmap = ys.iter().copied().collect();
             let mut c = a.clone();
             c.and_with(&b);
-            for (i, (x, y)) in pairs.iter().enumerate() {
-                prop_assert_eq!(c.get(i), *x && *y);
+            for i in 0..len {
+                assert_eq!(c.get(i), xs[i] && ys[i]);
             }
         }
     }

@@ -72,6 +72,11 @@ impl Chunk {
         &self.columns
     }
 
+    /// Approximate heap footprint of the chunk's columns in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.heap_bytes()).sum()
+    }
+
     /// Column at index `i`.
     pub fn column(&self, i: usize) -> &ColumnVector {
         &self.columns[i]

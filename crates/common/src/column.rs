@@ -120,6 +120,24 @@ impl ColumnVector {
         }
     }
 
+    /// Approximate heap footprint of the column in bytes (data plus
+    /// validity bitmap). Used by the profiler to attribute operator
+    /// memory; string capacity is counted, not just length.
+    pub fn heap_bytes(&self) -> usize {
+        let validity_bytes = |v: &Option<Bitmap>| v.as_ref().map_or(0, |b| b.len().div_ceil(8));
+        match self {
+            ColumnVector::Int64 { data, validity } => data.len() * 8 + validity_bytes(validity),
+            ColumnVector::Float64 { data, validity } => data.len() * 8 + validity_bytes(validity),
+            ColumnVector::Bool { data, validity } => data.len() + validity_bytes(validity),
+            ColumnVector::Varchar { data, validity } => {
+                data.iter()
+                    .map(|s| s.capacity() + std::mem::size_of::<String>())
+                    .sum::<usize>()
+                    + validity_bytes(validity)
+            }
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         match self {

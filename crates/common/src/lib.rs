@@ -12,6 +12,7 @@ pub mod column;
 pub mod error;
 pub mod row;
 pub mod schema;
+pub mod telemetry;
 pub mod types;
 pub mod value;
 
@@ -21,6 +22,7 @@ pub use column::ColumnVector;
 pub use error::{HyError, Result};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot, OpSpan, ProfileBuilder, QueryProfile};
 pub use types::DataType;
 pub use value::Value;
 

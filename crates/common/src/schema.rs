@@ -111,7 +111,9 @@ impl Schema {
             };
             if matches {
                 if hit.is_some() {
-                    return Err(HyError::Bind(format!("ambiguous column reference '{name}'")));
+                    return Err(HyError::Bind(format!(
+                        "ambiguous column reference '{name}'"
+                    )));
                 }
                 hit = Some(i);
             }
@@ -227,7 +229,10 @@ mod tests {
     #[test]
     fn requalify_and_strip() {
         let s = sample().with_qualifier("t");
-        assert!(s.fields().iter().all(|f| f.qualifier.as_deref() == Some("t")));
+        assert!(s
+            .fields()
+            .iter()
+            .all(|f| f.qualifier.as_deref() == Some("t")));
         let s = s.without_qualifiers();
         assert!(s.fields().iter().all(|f| f.qualifier.is_none()));
     }

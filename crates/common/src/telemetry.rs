@@ -1,0 +1,695 @@
+//! Engine-wide observability: a lock-cheap [`MetricsRegistry`] of named
+//! counters, gauges and log-scale histograms, plus the [`QueryProfile`]
+//! tree of per-operator spans behind `EXPLAIN ANALYZE`.
+//!
+//! Design notes:
+//!
+//! * **Registry handles are the hot path.** Callers resolve a metric by
+//!   name once (one short `RwLock` critical section) and keep the
+//!   returned `Arc`; after that every update is a single relaxed atomic
+//!   op, so instrumentation is safe to leave on in benchmarks.
+//! * **Histograms are log₂-bucketed.** Sixty-five buckets cover the full
+//!   `u64` range, which is plenty of resolution for latencies and row
+//!   counts while keeping `record` branch-free. Quantiles are estimated
+//!   from bucket midpoints.
+//! * **Profiles merge by plan node.** A [`ProfileBuilder`] span is keyed
+//!   by the plan node's id; when the same node executes repeatedly (the
+//!   body of an `ITERATE`, the build side probed per chunk) the
+//!   executions fold into one [`OpSpan`] whose `calls` counts them.
+//!
+//! `hylite-common` is dependency-free, so everything here is built on
+//! `std::sync` primitives only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Metric instruments
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (e.g. live table rows).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v as u64, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta as u64, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed) as i64
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds values whose bit length is
+/// `i`, i.e. `[2^(i-1), 2^i)`, with bucket 0 reserved for zero.
+const HIST_BUCKETS: usize = 65;
+
+/// A log₂-scale histogram of `u64` samples (microseconds, row counts…).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HIST_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            p50: quantile_from_buckets(&buckets, count, 0.50),
+            p99: quantile_from_buckets(&buckets, count, 0.99),
+        }
+    }
+}
+
+/// Estimate a quantile as the midpoint of the bucket holding the q-th
+/// sample. Log buckets make this exact to within a factor of ~1.5.
+fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64 * q).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            if i == 0 {
+                return 0;
+            }
+            let lo = 1u64 << (i - 1);
+            let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+            return lo + (hi - lo) / 2;
+        }
+    }
+    0
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Estimated median (bucket midpoint).
+    pub p50: u64,
+    /// Estimated 99th percentile (bucket midpoint).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A process-wide table of named metrics.
+///
+/// Lookup takes a short lock; updates through the returned handles are
+/// lock-free. Names are conventionally dotted paths such as
+/// `query.executed` or `kmeans.centroid_shift_milli`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Get-or-insert a named instrument in one of the registry's maps.
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Arc::clone(found);
+    }
+    let mut w = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Handle to the counter `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// Handle to the gauge `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// Handle to the histogram `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Consistent-enough point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], renderable as aligned
+/// text or JSON.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Human-readable dump, one metric per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter   {name} = {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge     {name} = {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name} count={} sum={} min={} p50~{} p99~{} max={}",
+                h.count, h.sum, h.min, h.p50, h.p99, h.max
+            );
+        }
+        out
+    }
+
+    /// JSON object with `counters`/`gauges`/`histograms` sections.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_json_entries(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"gauges\":{");
+        push_json_entries(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"histograms\":{");
+        push_json_entries(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                (
+                    k,
+                    format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                        h.count, h.sum, h.min, h.max, h.p50, h.p99
+                    ),
+                )
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Append `"key":value` pairs (values pre-rendered) to a JSON object body.
+fn push_json_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{v}", k.replace('"', "\\\""));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query profiles
+// ---------------------------------------------------------------------------
+
+/// Actual execution statistics for one operator of a query plan.
+///
+/// A span aggregates *every* execution of its plan node within one
+/// statement: an operator inside an `ITERATE` body that ran 12 times
+/// shows `calls = 12` and summed rows/time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpSpan {
+    /// Identity of the plan node this span measured (the planner's node
+    /// address; only used as an opaque key).
+    pub node_id: usize,
+    /// Operator name as printed by `EXPLAIN` (e.g. `HashJoin`).
+    pub op_name: String,
+    /// Number of times the operator ran.
+    pub calls: u64,
+    /// Total rows produced across all calls.
+    pub rows_out: u64,
+    /// Total chunks produced across all calls.
+    pub chunks_out: u64,
+    /// Total wall-clock time, inclusive of children.
+    pub wall: Duration,
+    /// Peak memory attributed to the operator (hash tables, sort
+    /// buffers, generation working sets), in bytes.
+    pub peak_mem_bytes: u64,
+    /// Operator-specific annotations (`iterations`, `converged`, …).
+    pub extras: BTreeMap<String, String>,
+    /// Child operator spans.
+    pub children: Vec<OpSpan>,
+}
+
+impl OpSpan {
+    /// Total rows consumed: the sum of the children's output.
+    pub fn rows_in(&self) -> u64 {
+        self.children.iter().map(|c| c.rows_out).sum()
+    }
+
+    /// Wall time minus the children's wall time (this operator's own
+    /// work). Saturates at zero for merged loop spans where child time
+    /// can exceed the parent measurement granularity.
+    pub fn self_wall(&self) -> Duration {
+        let child: Duration = self.children.iter().map(|c| c.wall).sum();
+        self.wall.saturating_sub(child)
+    }
+
+    /// Fold another execution of the same plan node into this span.
+    fn merge(&mut self, other: OpSpan) {
+        debug_assert_eq!(self.node_id, other.node_id);
+        self.calls += other.calls;
+        self.rows_out += other.rows_out;
+        self.chunks_out += other.chunks_out;
+        self.wall += other.wall;
+        self.peak_mem_bytes = self.peak_mem_bytes.max(other.peak_mem_bytes);
+        self.extras.extend(other.extras);
+        for child in other.children {
+            merge_into(&mut self.children, child);
+        }
+    }
+
+    fn find(&self, node_id: usize) -> Option<&OpSpan> {
+        if self.node_id == node_id {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(node_id))
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let _ = write!(
+            out,
+            "{indent}{} (actual rows={} chunks={} calls={} time={:.3}ms",
+            self.op_name,
+            self.rows_out,
+            self.chunks_out,
+            self.calls,
+            self.wall.as_secs_f64() * 1e3,
+        );
+        if self.peak_mem_bytes > 0 {
+            let _ = write!(out, " mem={}B", self.peak_mem_bytes);
+        }
+        out.push(')');
+        for (k, v) in &self.extras {
+            let _ = write!(out, " [{k}={v}]");
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// Merge `span` into `siblings`, folding by node id.
+fn merge_into(siblings: &mut Vec<OpSpan>, span: OpSpan) {
+    if let Some(existing) = siblings.iter_mut().find(|s| s.node_id == span.node_id) {
+        existing.merge(span);
+    } else {
+        siblings.push(span);
+    }
+}
+
+/// The complete per-operator execution profile of one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProfile {
+    /// Top-level spans (a single root for ordinary statements).
+    pub roots: Vec<OpSpan>,
+    /// End-to-end wall time of the statement.
+    pub total_wall: Duration,
+}
+
+impl QueryProfile {
+    /// Look up the span for a plan node anywhere in the tree.
+    pub fn find(&self, node_id: usize) -> Option<&OpSpan> {
+        self.roots.iter().find_map(|r| r.find(node_id))
+    }
+
+    /// Render the span tree as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            root.render_into(&mut out, 0);
+        }
+        let _ = writeln!(out, "total: {:.3}ms", self.total_wall.as_secs_f64() * 1e3);
+        out
+    }
+}
+
+/// Incremental builder used by the executor: `enter` when an operator
+/// starts, annotate via `note`/`observe_mem`, `exit` with its output
+/// totals when it finishes.
+#[derive(Debug)]
+pub struct ProfileBuilder {
+    frames: Vec<Frame>,
+    roots: Vec<OpSpan>,
+    started: Instant,
+}
+
+#[derive(Debug)]
+struct Frame {
+    span: OpSpan,
+    entered: Instant,
+}
+
+impl Default for ProfileBuilder {
+    fn default() -> Self {
+        ProfileBuilder::new()
+    }
+}
+
+impl ProfileBuilder {
+    /// Start profiling a statement.
+    pub fn new() -> Self {
+        ProfileBuilder {
+            frames: Vec::new(),
+            roots: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Open a span for the plan node `node_id`.
+    pub fn enter(&mut self, node_id: usize, op_name: &str) {
+        self.frames.push(Frame {
+            span: OpSpan {
+                node_id,
+                op_name: op_name.to_string(),
+                calls: 1,
+                ..OpSpan::default()
+            },
+            entered: Instant::now(),
+        });
+    }
+
+    /// Attach a key/value annotation to the innermost open span.
+    pub fn note(&mut self, key: &str, value: impl ToString) {
+        if let Some(f) = self.frames.last_mut() {
+            f.span.extras.insert(key.to_string(), value.to_string());
+        }
+    }
+
+    /// Raise the innermost open span's peak memory to at least `bytes`.
+    pub fn observe_mem(&mut self, bytes: u64) {
+        if let Some(f) = self.frames.last_mut() {
+            f.span.peak_mem_bytes = f.span.peak_mem_bytes.max(bytes);
+        }
+    }
+
+    /// Close the innermost span, recording its output totals. Repeated
+    /// executions of the same node under the same parent are folded
+    /// together.
+    pub fn exit(&mut self, rows_out: u64, chunks_out: u64) {
+        let Some(mut frame) = self.frames.pop() else {
+            debug_assert!(false, "ProfileBuilder::exit without matching enter");
+            return;
+        };
+        frame.span.wall = frame.entered.elapsed();
+        frame.span.rows_out = rows_out;
+        frame.span.chunks_out = chunks_out;
+        let siblings = match self.frames.last_mut() {
+            Some(parent) => &mut parent.span.children,
+            None => &mut self.roots,
+        };
+        merge_into(siblings, frame.span);
+    }
+
+    /// Finish the statement and return the assembled profile. Any spans
+    /// left open (an operator returned early via `?`) are closed with
+    /// zero output so the tree stays well-formed.
+    pub fn finish(mut self) -> QueryProfile {
+        while !self.frames.is_empty() {
+            self.exit(0, 0);
+        }
+        QueryProfile {
+            roots: self.roots,
+            total_wall: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("q.executed");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("q.executed").get(), 5);
+        let g = reg.gauge("rows.live");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(reg.gauge("rows.live").get(), 7);
+        // Same name returns the same instrument.
+        assert!(Arc::ptr_eq(&c, &reg.counter("q.executed")));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 3106);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        // p50 falls in the bucket of 3 (values sorted: 0,1,2,3,...).
+        assert!(s.p50 >= 2 && s.p50 <= 3, "p50={}", s.p50);
+        // p99 lands in the 512..1023 bucket.
+        assert!(s.p99 >= 512 && s.p99 <= 1023, "p99={}", s.p99);
+        assert!((s.mean() - 3106.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(
+            s,
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p99: 0
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_renders_text_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").add(2);
+        reg.gauge("c").set(-1);
+        reg.histogram("h").record(7);
+        let snap = reg.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("counter   a.b = 2"));
+        assert!(text.contains("gauge     c = -1"));
+        assert!(text.contains("histogram h count=1"));
+        let json = snap.render_json();
+        assert!(json.contains("\"a.b\":2"));
+        assert!(json.contains("\"c\":-1"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn profile_nesting_and_lookup() {
+        let mut b = ProfileBuilder::new();
+        b.enter(1, "Project");
+        b.enter(2, "Filter");
+        b.enter(3, "Scan");
+        b.observe_mem(4096);
+        b.exit(100, 1);
+        b.exit(40, 1);
+        b.exit(40, 1);
+        let p = b.finish();
+        assert_eq!(p.roots.len(), 1);
+        let project = &p.roots[0];
+        assert_eq!(project.op_name, "Project");
+        assert_eq!(project.rows_in(), 40);
+        let scan = p.find(3).unwrap();
+        assert_eq!(scan.rows_out, 100);
+        assert_eq!(scan.peak_mem_bytes, 4096);
+        assert!(p.render().contains("Scan (actual rows=100"));
+    }
+
+    #[test]
+    fn repeated_node_merges_with_call_count() {
+        let mut b = ProfileBuilder::new();
+        b.enter(10, "Iterate");
+        for i in 0..5 {
+            b.enter(11, "Step");
+            b.enter(12, "Scan");
+            b.exit(100, 1);
+            b.exit(20 + i, 1);
+        }
+        b.note("iterations", 5);
+        b.exit(24, 1);
+        let p = b.finish();
+        let step = p.find(11).unwrap();
+        assert_eq!(step.calls, 5);
+        assert_eq!(step.rows_out, 20 + 21 + 22 + 23 + 24);
+        let scan = p.find(12).unwrap();
+        assert_eq!(scan.calls, 5);
+        assert_eq!(scan.rows_out, 500);
+        assert_eq!(p.find(10).unwrap().extras.get("iterations").unwrap(), "5");
+    }
+
+    #[test]
+    fn unbalanced_exit_is_closed_by_finish() {
+        let mut b = ProfileBuilder::new();
+        b.enter(1, "Root");
+        b.enter(2, "Child");
+        // Operator bailed with `?` — finish() must still produce a tree.
+        let p = b.finish();
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].children.len(), 1);
+    }
+}

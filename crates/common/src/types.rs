@@ -70,8 +70,9 @@ impl DataType {
     pub fn from_sql_name(name: &str) -> Result<DataType> {
         match name.to_ascii_uppercase().as_str() {
             "BIGINT" | "INT" | "INTEGER" | "INT8" | "SMALLINT" | "INT4" => Ok(DataType::Int64),
-            "DOUBLE" | "FLOAT" | "FLOAT8" | "REAL" | "DOUBLE PRECISION" | "NUMERIC"
-            | "DECIMAL" => Ok(DataType::Float64),
+            "DOUBLE" | "FLOAT" | "FLOAT8" | "REAL" | "DOUBLE PRECISION" | "NUMERIC" | "DECIMAL" => {
+                Ok(DataType::Float64)
+            }
             "BOOLEAN" | "BOOL" => Ok(DataType::Bool),
             "VARCHAR" | "TEXT" | "CHAR" | "STRING" => Ok(DataType::Varchar),
             other => Err(HyError::Parse(format!("unknown type name '{other}'"))),
@@ -128,10 +129,7 @@ mod tests {
         ] {
             assert_eq!(DataType::from_sql_name(t.sql_name()).unwrap(), t);
         }
-        assert_eq!(
-            DataType::from_sql_name("integer").unwrap(),
-            DataType::Int64
-        );
+        assert_eq!(DataType::from_sql_name("integer").unwrap(), DataType::Int64);
         assert!(DataType::from_sql_name("blob").is_err());
     }
 }

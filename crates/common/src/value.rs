@@ -249,7 +249,9 @@ mod tests {
         );
         assert_eq!(Value::Null.cast_to(DataType::Int64).unwrap(), Value::Null);
         assert!(Value::from("abc").cast_to(DataType::Int64).is_err());
-        assert!(Value::Float(f64::INFINITY).cast_to(DataType::Int64).is_err());
+        assert!(Value::Float(f64::INFINITY)
+            .cast_to(DataType::Int64)
+            .is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use hylite_common::telemetry::{MetricsRegistry, MetricsSnapshot};
 use hylite_common::Result;
 use hylite_storage::Catalog;
 use parking_lot::Mutex;
@@ -14,8 +15,10 @@ use crate::session::Session;
 /// `Database` owns the catalog; [`Database::session`] opens independent
 /// sessions (each with its own transaction state), and
 /// [`Database::execute`] runs SQL on a built-in convenience session.
+/// All sessions report into one engine-wide [`MetricsRegistry`].
 pub struct Database {
     catalog: Arc<Catalog>,
+    metrics: Arc<MetricsRegistry>,
     default_session: Mutex<Session>,
 }
 
@@ -23,9 +26,14 @@ impl Database {
     /// A fresh, empty database.
     pub fn new() -> Database {
         let catalog = Arc::new(Catalog::new());
-        let default_session = Mutex::new(Session::new(Arc::clone(&catalog)));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let default_session = Mutex::new(Session::with_metrics(
+            Arc::clone(&catalog),
+            Arc::clone(&metrics),
+        ));
         Database {
             catalog,
+            metrics,
             default_session,
         }
     }
@@ -35,9 +43,21 @@ impl Database {
         &self.catalog
     }
 
-    /// Open a new session.
+    /// The engine-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every counter, gauge, and histogram.
+    /// Render with [`MetricsSnapshot::render_text`] or
+    /// [`MetricsSnapshot::render_json`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Open a new session (reports into the shared metrics registry).
     pub fn session(&self) -> Session {
-        Session::new(Arc::clone(&self.catalog))
+        Session::with_metrics(Arc::clone(&self.catalog), Arc::clone(&self.metrics))
     }
 
     /// Execute SQL on the database's default session (transactions on
@@ -66,7 +86,9 @@ mod tests {
             .execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
             .unwrap();
         assert_eq!(r.rows_affected, 3);
-        let r = db.execute("SELECT a, b FROM t WHERE a >= 2 ORDER BY a").unwrap();
+        let r = db
+            .execute("SELECT a, b FROM t WHERE a >= 2 ORDER BY a")
+            .unwrap();
         assert_eq!(r.row_count(), 2);
         assert_eq!(r.value(0, 0).unwrap(), Value::Int(2));
         assert_eq!(r.value(1, 1).unwrap(), Value::Float(3.5));
@@ -96,9 +118,7 @@ mod tests {
         db.execute("INSERT INTO g VALUES (1, 10), (1, 20), (2, 5), (2, 5), (3, 1)")
             .unwrap();
         let r = db
-            .execute(
-                "SELECT k, sum(v) AS s FROM g GROUP BY k HAVING count(*) > 1 ORDER BY k",
-            )
+            .execute("SELECT k, sum(v) AS s FROM g GROUP BY k HAVING count(*) > 1 ORDER BY k")
             .unwrap();
         assert_eq!(r.row_count(), 2);
         assert_eq!(r.value(0, 1).unwrap(), Value::Int(30));
@@ -108,19 +128,21 @@ mod tests {
     #[test]
     fn joins_and_subqueries() {
         let db = Database::new();
-        db.execute("CREATE TABLE a (id BIGINT, name VARCHAR)").unwrap();
-        db.execute("CREATE TABLE b (id BIGINT, score DOUBLE)").unwrap();
-        db.execute("INSERT INTO a VALUES (1, 'x'), (2, 'y')").unwrap();
-        db.execute("INSERT INTO b VALUES (2, 9.5), (3, 1.0)").unwrap();
+        db.execute("CREATE TABLE a (id BIGINT, name VARCHAR)")
+            .unwrap();
+        db.execute("CREATE TABLE b (id BIGINT, score DOUBLE)")
+            .unwrap();
+        db.execute("INSERT INTO a VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        db.execute("INSERT INTO b VALUES (2, 9.5), (3, 1.0)")
+            .unwrap();
         let r = db
             .execute("SELECT a.name, b.score FROM a JOIN b ON a.id = b.id")
             .unwrap();
         assert_eq!(r.row_count(), 1);
         assert_eq!(r.value(0, 0).unwrap(), Value::from("y"));
         let r = db
-            .execute(
-                "SELECT t.name FROM (SELECT name FROM a WHERE id > 1) t",
-            )
+            .execute("SELECT t.name FROM (SELECT name FROM a WHERE id > 1) t")
             .unwrap();
         assert_eq!(r.row_count(), 1);
         // LEFT JOIN pads.
@@ -160,12 +182,12 @@ mod tests {
     #[test]
     fn kmeans_sql_with_lambda() {
         let db = Database::new();
-        db.execute("CREATE TABLE data (x DOUBLE, y DOUBLE)").unwrap();
-        db.execute("CREATE TABLE center (x DOUBLE, y DOUBLE)").unwrap();
-        db.execute(
-            "INSERT INTO data VALUES (0.0, 0.0), (0.5, 0.5), (10.0, 10.0), (10.5, 10.5)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE data (x DOUBLE, y DOUBLE)")
+            .unwrap();
+        db.execute("CREATE TABLE center (x DOUBLE, y DOUBLE)")
+            .unwrap();
+        db.execute("INSERT INTO data VALUES (0.0, 0.0), (0.5, 0.5), (10.0, 10.0), (10.5, 10.5)")
+            .unwrap();
         db.execute("INSERT INTO center VALUES (1.0, 1.0), (9.0, 9.0)")
             .unwrap();
         let r = db
@@ -183,7 +205,8 @@ mod tests {
     #[test]
     fn pagerank_sql() {
         let db = Database::new();
-        db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)").unwrap();
+        db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")
+            .unwrap();
         db.execute("INSERT INTO edges VALUES (1,2),(2,3),(3,4),(4,1)")
             .unwrap();
         let r = db
@@ -204,20 +227,40 @@ mod tests {
         db.execute("BEGIN").unwrap();
         db.execute("INSERT INTO t VALUES (2)").unwrap();
         // Same session sees its own uncommitted row.
-        assert_eq!(db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(), Value::Int(2));
+        assert_eq!(
+            db.execute("SELECT count(*) FROM t")
+                .unwrap()
+                .scalar()
+                .unwrap(),
+            Value::Int(2)
+        );
         // Another session sees only committed data.
         let mut other = db.session();
         assert_eq!(
-            other.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+            other
+                .execute("SELECT count(*) FROM t")
+                .unwrap()
+                .scalar()
+                .unwrap(),
             Value::Int(1)
         );
         db.execute("ROLLBACK").unwrap();
-        assert_eq!(db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(), Value::Int(1));
+        assert_eq!(
+            db.execute("SELECT count(*) FROM t")
+                .unwrap()
+                .scalar()
+                .unwrap(),
+            Value::Int(1)
+        );
         db.execute("BEGIN").unwrap();
         db.execute("INSERT INTO t VALUES (3)").unwrap();
         db.execute("COMMIT").unwrap();
         assert_eq!(
-            other.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+            other
+                .execute("SELECT count(*) FROM t")
+                .unwrap()
+                .scalar()
+                .unwrap(),
             Value::Int(2)
         );
     }
@@ -226,7 +269,8 @@ mod tests {
     fn update_and_delete() {
         let db = Database::new();
         db.execute("CREATE TABLE t (id BIGINT, v DOUBLE)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+            .unwrap();
         let r = db.execute("UPDATE t SET v = v * 10 WHERE id >= 2").unwrap();
         assert_eq!(r.rows_affected, 2);
         let r = db.execute("SELECT sum(v) FROM t").unwrap();
@@ -234,7 +278,10 @@ mod tests {
         let r = db.execute("DELETE FROM t WHERE id = 1").unwrap();
         assert_eq!(r.rows_affected, 1);
         assert_eq!(
-            db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+            db.execute("SELECT count(*) FROM t")
+                .unwrap()
+                .scalar()
+                .unwrap(),
             Value::Int(2)
         );
     }
@@ -263,10 +310,13 @@ mod tests {
     #[test]
     fn insert_from_select_and_column_list() {
         let db = Database::new();
-        db.execute("CREATE TABLE src (a BIGINT, b VARCHAR)").unwrap();
-        db.execute("CREATE TABLE dst (a BIGINT, b VARCHAR, c DOUBLE)").unwrap();
+        db.execute("CREATE TABLE src (a BIGINT, b VARCHAR)")
+            .unwrap();
+        db.execute("CREATE TABLE dst (a BIGINT, b VARCHAR, c DOUBLE)")
+            .unwrap();
         db.execute("INSERT INTO src VALUES (1, 'x')").unwrap();
-        db.execute("INSERT INTO dst (b, a) SELECT b, a FROM src").unwrap();
+        db.execute("INSERT INTO dst (b, a) SELECT b, a FROM src")
+            .unwrap();
         let r = db.execute("SELECT a, b, c FROM dst").unwrap();
         assert_eq!(r.value(0, 0).unwrap(), Value::Int(1));
         assert_eq!(r.value(0, 1).unwrap(), Value::from("x"));
@@ -276,7 +326,8 @@ mod tests {
     #[test]
     fn naive_bayes_sql_roundtrip() {
         let db = Database::new();
-        db.execute("CREATE TABLE train (f1 DOUBLE, f2 DOUBLE, label BIGINT)").unwrap();
+        db.execute("CREATE TABLE train (f1 DOUBLE, f2 DOUBLE, label BIGINT)")
+            .unwrap();
         db.execute(
             "INSERT INTO train VALUES (0.1, 0.2, 0), (0.2, 0.1, 0), (0.0, 0.0, 0), \
              (5.1, 5.2, 1), (5.2, 5.1, 1), (5.0, 5.0, 1)",
@@ -300,8 +351,10 @@ mod tests {
     #[test]
     fn class_stats_sql() {
         let db = Database::new();
-        db.execute("CREATE TABLE t (x DOUBLE, label VARCHAR)").unwrap();
-        db.execute("INSERT INTO t VALUES (1.0, 'a'), (3.0, 'a'), (10.0, 'b')").unwrap();
+        db.execute("CREATE TABLE t (x DOUBLE, label VARCHAR)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1.0, 'a'), (3.0, 'a'), (10.0, 'b')")
+            .unwrap();
         let r = db
             .execute("SELECT * FROM CLASS_STATS((SELECT x, label FROM t), label) ORDER BY class")
             .unwrap();
@@ -316,8 +369,10 @@ mod tests {
         // The paper's key claim: operators are relational — results can be
         // post-processed in the same query.
         let db = Database::new();
-        db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)").unwrap();
-        db.execute("INSERT INTO edges VALUES (1,2),(2,1),(3,1),(4,1)").unwrap();
+        db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")
+            .unwrap();
+        db.execute("INSERT INTO edges VALUES (1,2),(2,1),(3,1),(4,1)")
+            .unwrap();
         let r = db
             .execute(
                 "SELECT pr.vertex FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0) pr \

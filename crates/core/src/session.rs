@@ -2,12 +2,14 @@
 
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
+use hylite_common::telemetry::MetricsRegistry;
 use hylite_common::{Chunk, HyError, Result, Value};
 use hylite_exec::{ExecContext, Executor};
 use hylite_expr::ScalarExpr;
 use hylite_planner::binder::{Binder, BoundStatement};
-use hylite_planner::{LogicalPlan, Optimizer};
+use hylite_planner::{stats, LogicalPlan, Optimizer};
 use hylite_sql::{parse_sql, Statement};
 use hylite_storage::{Catalog, Transaction};
 
@@ -20,16 +22,29 @@ pub struct Session {
     tx: Option<Transaction>,
     /// Names of tables mutated by the open transaction.
     own_tables: HashSet<String>,
+    /// Engine-wide metrics registry, shared with the owning database.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Session {
-    /// New session over a catalog.
+    /// New session over a catalog, with a private metrics registry.
     pub fn new(catalog: Arc<Catalog>) -> Session {
+        Session::with_metrics(catalog, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// New session reporting into a shared metrics registry.
+    pub fn with_metrics(catalog: Arc<Catalog>, metrics: Arc<MetricsRegistry>) -> Session {
         Session {
             catalog,
             tx: None,
             own_tables: HashSet::new(),
+            metrics,
         }
+    }
+
+    /// The metrics registry this session reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Whether a transaction is open.
@@ -53,8 +68,18 @@ impl Session {
 
     /// Execute one parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
-        let bound = Binder::new(&self.catalog).bind_statement(stmt)?;
-        self.execute_bound(bound)
+        let started = Instant::now();
+        let result = Binder::new(&self.catalog)
+            .bind_statement(stmt)
+            .and_then(|bound| self.execute_bound(bound));
+        self.metrics
+            .histogram("query.wall_us")
+            .record(started.elapsed().as_micros() as u64);
+        match &result {
+            Ok(_) => self.metrics.counter("query.executed").inc(),
+            Err(_) => self.metrics.counter("query.failed").inc(),
+        }
+        result
     }
 
     fn execute_bound(&mut self, bound: BoundStatement) -> Result<QueryResult> {
@@ -92,9 +117,7 @@ impl Session {
                 exprs,
                 filter,
             } => self.run_update(&table, &exprs, filter.as_ref()),
-            BoundStatement::Delete { table, filter } => {
-                self.run_delete(&table, filter.as_ref())
-            }
+            BoundStatement::Delete { table, filter } => self.run_delete(&table, filter.as_ref()),
             BoundStatement::Begin => {
                 if self.tx.is_some() {
                     return Err(HyError::Transaction(
@@ -102,12 +125,14 @@ impl Session {
                     ));
                 }
                 self.tx = Some(Transaction::new());
+                self.metrics.counter("tx.begin").inc();
                 Ok(QueryResult::affected(0))
             }
             BoundStatement::Commit => match self.tx.take() {
                 Some(tx) => {
                     tx.commit();
                     self.own_tables.clear();
+                    self.metrics.counter("tx.commit").inc();
                     Ok(QueryResult::affected(0))
                 }
                 None => Err(HyError::Transaction("no transaction in progress".into())),
@@ -116,24 +141,106 @@ impl Session {
                 Some(tx) => {
                     tx.rollback();
                     self.own_tables.clear();
+                    self.metrics.counter("tx.rollback").inc();
                     Ok(QueryResult::affected(0))
                 }
                 None => Err(HyError::Transaction("no transaction in progress".into())),
             },
-            BoundStatement::Explain(inner) => {
-                let text = match *inner {
-                    BoundStatement::Query(plan) => {
-                        let optimized = Optimizer::new().optimize(plan)?;
-                        optimized.explain()
-                    }
-                    other => format!("{other:?}\n"),
-                };
-                Ok(QueryResult::text(
-                    "plan",
-                    text.lines().map(str::to_owned).collect(),
-                ))
-            }
+            BoundStatement::Explain { statement, analyze } => self.run_explain(*statement, analyze),
         }
+    }
+
+    /// EXPLAIN / EXPLAIN ANALYZE. The plain form annotates each plan node
+    /// with its estimated cardinality; the ANALYZE form additionally runs
+    /// the statement under a profiling executor and reports actual rows,
+    /// chunk counts, wall time, and peak operator memory per node.
+    fn run_explain(&mut self, inner: BoundStatement, analyze: bool) -> Result<QueryResult> {
+        let plan = match inner {
+            BoundStatement::Query(plan) => plan,
+            other if analyze => {
+                // Non-query statements have no plan tree; ANALYZE still
+                // executes them and reports the outcome.
+                let result = self.execute_bound(other)?;
+                return Ok(QueryResult::text(
+                    "plan",
+                    vec![format!(
+                        "Statement (rows_affected={})",
+                        result.rows_affected
+                    )],
+                ));
+            }
+            other => {
+                return Ok(QueryResult::text(
+                    "plan",
+                    format!("{other:?}").lines().map(str::to_owned).collect(),
+                ));
+            }
+        };
+        let optimized = Optimizer::new().optimize(plan)?;
+        let table_rows = |name: &str| -> usize {
+            self.table_snapshot(name)
+                .map(|s| s.live_rows())
+                .unwrap_or(0)
+        };
+        let estimate = |p: &LogicalPlan| {
+            format!(
+                " (est_rows={})",
+                stats::estimate_rows(p, &table_rows).round() as u64
+            )
+        };
+
+        if !analyze {
+            let text = optimized.explain_annotated(&estimate);
+            return Ok(QueryResult::text(
+                "plan",
+                text.lines().map(str::to_owned).collect(),
+            ));
+        }
+
+        let mut executor = Executor::new(self.exec_context());
+        executor.ctx.enable_profiling();
+        let started = Instant::now();
+        let chunks = executor.execute(&optimized)?;
+        let total_wall = started.elapsed();
+        let profile = executor.ctx.take_profile();
+        let exec_stats = executor.ctx.stats;
+        let total_rows: usize = chunks.iter().map(Chunk::len).sum();
+
+        let annotate = |p: &LogicalPlan| {
+            let mut out = estimate(p);
+            match profile.as_ref().and_then(|prof| prof.find(p.node_id())) {
+                Some(span) => {
+                    out.push_str(&format!(
+                        " (actual rows={} chunks={} calls={} time={:.3}ms mem={}B)",
+                        span.rows_out,
+                        span.chunks_out,
+                        span.calls,
+                        span.wall.as_secs_f64() * 1e3,
+                        span.peak_mem_bytes,
+                    ));
+                    for (k, v) in &span.extras {
+                        out.push_str(&format!(" [{k}={v}]"));
+                    }
+                }
+                None => out.push_str(" (never executed)"),
+            }
+            out
+        };
+        let mut lines: Vec<String> = optimized
+            .explain_annotated(&annotate)
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        lines.push(format!(
+            "Execution: total={:.3}ms rows={} iterations={} peak_working_rows={}",
+            total_wall.as_secs_f64() * 1e3,
+            total_rows,
+            exec_stats.iterations,
+            exec_stats.peak_working_rows,
+        ));
+        let mut qr = QueryResult::text("plan", lines);
+        qr.stats = exec_stats;
+        Ok(qr)
     }
 
     fn run_query(&mut self, plan: LogicalPlan) -> Result<QueryResult> {
@@ -152,6 +259,7 @@ impl Session {
     fn exec_context(&self) -> ExecContext {
         ExecContext::new(Arc::clone(&self.catalog))
             .with_own_tables(self.own_tables.iter().cloned())
+            .with_metrics(Arc::clone(&self.metrics))
     }
 
     fn table_snapshot(&self, table: &str) -> Result<hylite_storage::TableSnapshot> {
@@ -175,10 +283,8 @@ impl Session {
         let mut ids = Vec::new();
         let mut new_rows: Vec<Vec<Value>> = Vec::new();
         for (chunk, row_ids) in &hits {
-            let cols: Vec<hylite_common::ColumnVector> = exprs
-                .iter()
-                .map(|e| e.eval(chunk))
-                .collect::<Result<_>>()?;
+            let cols: Vec<hylite_common::ColumnVector> =
+                exprs.iter().map(|e| e.eval(chunk)).collect::<Result<_>>()?;
             for i in 0..chunk.len() {
                 new_rows.push(cols.iter().map(|c| c.value(i)).collect());
             }

@@ -46,15 +46,22 @@ impl Table1 {
 
     /// Line 1: varying the number of tuples (d = 10, k = 5).
     pub fn varying_tuples(&self) -> Vec<KMeansExperiment> {
-        [160_000, 800_000, 4_000_000, 20_000_000, 100_000_000, 500_000_000]
-            .iter()
-            .map(|&n| KMeansExperiment {
-                n: self.n(n),
-                d: 10,
-                k: 5,
-                iterations: DEFAULT_ITERATIONS,
-            })
-            .collect()
+        [
+            160_000,
+            800_000,
+            4_000_000,
+            20_000_000,
+            100_000_000,
+            500_000_000,
+        ]
+        .iter()
+        .map(|&n| KMeansExperiment {
+            n: self.n(n),
+            d: 10,
+            k: 5,
+            iterations: DEFAULT_ITERATIONS,
+        })
+        .collect()
     }
 
     /// Line 2: varying the number of dimensions (n = 4M, k = 5).
@@ -100,7 +107,11 @@ impl Table1 {
         let mut section = |title: &str, rows: &[KMeansExperiment]| {
             out.push_str(&format!("-- {title}\n"));
             for e in rows {
-                let star = if *e == self.connecting_point() { "*" } else { " " };
+                let star = if *e == self.connecting_point() {
+                    "*"
+                } else {
+                    " "
+                };
                 out.push_str(&format!("{:>12} {:>12} {:>6}{star}\n", e.n, e.d, e.k));
             }
         };

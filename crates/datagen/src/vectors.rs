@@ -33,9 +33,7 @@ impl VectorDataset {
         while remaining > 0 {
             let rows = remaining.min(GEN_CHUNK_ROWS);
             let cols: Vec<ColumnVector> = (0..self.d)
-                .map(|_| {
-                    ColumnVector::from_f64((0..rows).map(|_| rng.gen::<f64>()).collect())
-                })
+                .map(|_| ColumnVector::from_f64((0..rows).map(|_| rng.gen::<f64>()).collect()))
                 .collect();
             out.push(Chunk::new(cols));
             remaining -= rows;
@@ -101,11 +99,7 @@ impl VectorDataset {
 
     /// Create a table `name(c0 DOUBLE, ..., c{d-1} DOUBLE)` in the
     /// catalog and load the data (plus commit).
-    pub fn load_into(
-        &self,
-        catalog: &hylite_storage::Catalog,
-        name: &str,
-    ) -> Result<()> {
+    pub fn load_into(&self, catalog: &hylite_storage::Catalog, name: &str) -> Result<()> {
         use hylite_common::{DataType, Field, Schema};
         let fields: Vec<Field> = (0..self.d)
             .map(|i| Field::new(format!("c{i}"), DataType::Float64))
@@ -205,9 +199,8 @@ mod tests {
         let chunks = ds.chunks();
         for center in &centers {
             let found = chunks.iter().any(|c| {
-                (0..c.len()).any(|i| {
-                    (0..2).all(|col| c.column(col).as_f64().unwrap()[i] == center[col])
-                })
+                (0..c.len())
+                    .any(|i| (0..2).all(|col| c.column(col).as_f64().unwrap()[i] == center[col]))
             });
             assert!(found, "center {center:?} must be a data row");
         }
@@ -216,7 +209,9 @@ mod tests {
     #[test]
     fn load_into_catalog() {
         let catalog = hylite_storage::Catalog::new();
-        VectorDataset::new(100, 3, 1).load_into(&catalog, "data").unwrap();
+        VectorDataset::new(100, 3, 1)
+            .load_into(&catalog, "data")
+            .unwrap();
         let t = catalog.get_table("data").unwrap();
         assert_eq!(t.read().committed_live_rows(), 100);
         VectorDataset::new(50, 2, 1)

@@ -7,12 +7,12 @@
 
 use std::collections::HashMap;
 
-use hylite_common::{Chunk, ColumnVector, DataType, Result};
 #[cfg(test)]
 use hylite_common::Value;
+use hylite_common::{Chunk, ColumnVector, DataType, Result};
 use hylite_expr::AggregateState;
-use hylite_planner::logical::AggExpr;
 use hylite_expr::ScalarExpr;
+use hylite_planner::logical::AggExpr;
 use rayon::prelude::*;
 
 use crate::util::{key_at, key_columns, HashableRow};
@@ -75,11 +75,7 @@ pub fn aggregate(
         for (a, state) in states.iter().enumerate() {
             let v = state.finalize();
             let target = output_types[group_exprs.len() + a];
-            let v = if v.is_null() {
-                v
-            } else {
-                v.cast_to(target)?
-            };
+            let v = if v.is_null() { v } else { v.cast_to(target)? };
             cols[group_exprs.len() + a].push_value(&v)?;
         }
     }

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use hylite_common::telemetry::{MetricsRegistry, ProfileBuilder, QueryProfile};
 use hylite_common::{Chunk, HyError, Result};
 use hylite_storage::{Catalog, TableSnapshot};
 
@@ -14,7 +15,8 @@ pub struct ExecStats {
     /// Largest number of intermediate working-table rows alive at once
     /// across all iteration constructs in the query.
     pub peak_working_rows: usize,
-    /// Total iterations executed by ITERATE / recursive CTE operators.
+    /// Total iterations executed by ITERATE / recursive CTE operators
+    /// and iterative analytics operators (k-Means, PageRank).
     pub iterations: usize,
 }
 
@@ -40,26 +42,86 @@ pub struct ExecContext {
     own_tables: std::collections::HashSet<String>,
     /// Runtime statistics.
     pub stats: ExecStats,
+    /// Engine-wide metrics; shared with the owning database so operator
+    /// counters and histograms survive across statements.
+    metrics: Arc<MetricsRegistry>,
+    /// Per-operator span profile, recorded only when explicitly enabled
+    /// (EXPLAIN ANALYZE) so plain queries pay nothing.
+    profile: Option<ProfileBuilder>,
 }
 
 impl ExecContext {
-    /// Context over a catalog.
+    /// Context over a catalog, with a private metrics registry.
     pub fn new(catalog: Arc<Catalog>) -> ExecContext {
         ExecContext {
             catalog,
             working: HashMap::new(),
             own_tables: std::collections::HashSet::new(),
             stats: ExecStats::default(),
+            metrics: Arc::new(MetricsRegistry::new()),
+            profile: None,
         }
     }
 
     /// Mark tables whose uncommitted (working) state this session reads.
-    pub fn with_own_tables(
-        mut self,
-        tables: impl IntoIterator<Item = String>,
-    ) -> ExecContext {
+    pub fn with_own_tables(mut self, tables: impl IntoIterator<Item = String>) -> ExecContext {
         self.own_tables = tables.into_iter().collect();
         self
+    }
+
+    /// Share an engine-wide metrics registry instead of the private one.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> ExecContext {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics registry this execution reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Start recording a per-operator span profile for this execution.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(ProfileBuilder::new());
+    }
+
+    /// True when a profile is being recorded.
+    pub fn profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Open a profile span for plan node `node_id` (no-op unless
+    /// profiling is enabled).
+    pub fn profile_enter(&mut self, node_id: usize, op_name: &str) {
+        if let Some(p) = &mut self.profile {
+            p.enter(node_id, op_name);
+        }
+    }
+
+    /// Close the innermost profile span with its output totals.
+    pub fn profile_exit(&mut self, rows_out: u64, chunks_out: u64) {
+        if let Some(p) = &mut self.profile {
+            p.exit(rows_out, chunks_out);
+        }
+    }
+
+    /// Annotate the innermost open profile span.
+    pub fn profile_note(&mut self, key: &str, value: impl ToString) {
+        if let Some(p) = &mut self.profile {
+            p.note(key, value);
+        }
+    }
+
+    /// Raise the innermost open span's peak memory observation.
+    pub fn profile_mem(&mut self, bytes: u64) {
+        if let Some(p) = &mut self.profile {
+            p.observe_mem(bytes);
+        }
+    }
+
+    /// Finish profiling and return the assembled profile, if any.
+    pub fn take_profile(&mut self) -> Option<QueryProfile> {
+        self.profile.take().map(ProfileBuilder::finish)
     }
 
     /// Snapshot a base table: the session's own working state for tables
@@ -85,7 +147,14 @@ impl ExecContext {
     pub fn push_working(&mut self, name: &str, chunks: WorkingRelation) {
         let rows: usize = chunks.iter().map(Chunk::len).sum();
         self.stats.observe_working_rows(rows);
-        self.working.entry(name.to_owned()).or_default().push(chunks);
+        if self.profile.is_some() {
+            let bytes: usize = chunks.iter().map(Chunk::heap_bytes).sum();
+            self.profile_mem(bytes as u64);
+        }
+        self.working
+            .entry(name.to_owned())
+            .or_default()
+            .push(chunks);
     }
 
     /// Pop the innermost working relation for `name`.

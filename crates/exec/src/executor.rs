@@ -25,7 +25,32 @@ impl Executor {
     }
 
     /// Execute a plan to a materialized chunk stream.
+    ///
+    /// When profiling is enabled on the context, every (sub)plan
+    /// execution is bracketed by a span recording output rows/chunks,
+    /// wall time and an estimate of the materialized output size.
+    /// Repeated executions of the same node (loop bodies) fold into one
+    /// span — see [`hylite_common::telemetry::ProfileBuilder`].
     pub fn execute(&mut self, plan: &LogicalPlan) -> Result<Vec<Chunk>> {
+        if !self.ctx.profiling() {
+            return self.execute_node(plan);
+        }
+        self.ctx.profile_enter(plan.node_id(), plan.op_name());
+        let result = self.execute_node(plan);
+        match &result {
+            Ok(chunks) => {
+                let bytes: usize = chunks.iter().map(Chunk::heap_bytes).sum();
+                self.ctx.profile_mem(bytes as u64);
+                self.ctx
+                    .profile_exit(crate::util::total_rows(chunks) as u64, chunks.len() as u64);
+            }
+            Err(_) => self.ctx.profile_exit(0, 0),
+        }
+        result
+    }
+
+    /// Single-operator dispatch (no profiling bookkeeping).
+    fn execute_node(&mut self, plan: &LogicalPlan) -> Result<Vec<Chunk>> {
         match plan {
             LogicalPlan::TableScan {
                 table,
@@ -256,7 +281,10 @@ mod tests {
         };
         let out = exec(&catalog, &plan);
         let total = Chunk::concat(&[DataType::Float64], &out).unwrap();
-        assert_eq!(total.column(0).as_f64().unwrap(), &[0.0, 2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(
+            total.column(0).as_f64().unwrap(),
+            &[0.0, 2.0, 4.0, 6.0, 8.0]
+        );
     }
 
     #[test]

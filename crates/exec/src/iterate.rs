@@ -62,6 +62,13 @@ impl Executor {
             self.ctx.stats.observe_working_rows(total_rows(&result));
             working = new;
         }
+        self.ctx
+            .metrics()
+            .counter("cte.iterations_total")
+            .add(depth as u64);
+        self.ctx.profile_note("iterations", depth);
+        self.ctx
+            .profile_note("accumulated_rows", total_rows(&result));
         Ok(result)
     }
 
@@ -106,6 +113,13 @@ impl Executor {
                 .observe_working_rows(total_rows(&current) + total_rows(&next));
             current = Arc::new(next);
         }
+        self.ctx
+            .metrics()
+            .counter("iterate.iterations_total")
+            .add(iterations as u64);
+        self.ctx.profile_note("iterations", iterations);
+        self.ctx
+            .profile_note("peak_working_rows", self.ctx.stats.peak_working_rows);
         Ok(Arc::try_unwrap(current).unwrap_or_else(|a| (*a).clone()))
     }
 }

@@ -164,9 +164,8 @@ fn nested_loop(
                         let l_idx: Vec<usize> = (lstart..lstart + llen)
                             .flat_map(|i| std::iter::repeat_n(i, len))
                             .collect();
-                        let r_idx: Vec<usize> = (0..llen)
-                            .flat_map(|_| start..start + len)
-                            .collect();
+                        let r_idx: Vec<usize> =
+                            (0..llen).flat_map(|_| start..start + len).collect();
                         let mut combined = combine(chunk, &l_idx, right_all, &r_idx);
                         if let Some(pred) = residual {
                             let col = pred.eval(&combined)?;
@@ -285,9 +284,9 @@ fn extract_equi_keys(
         }
         residual.push(c);
     }
-    let residual = residual.into_iter().reduce(|a, b| {
-        ScalarExpr::binary(BinaryOp::And, a, b).expect("boolean conjunction")
-    });
+    let residual = residual
+        .into_iter()
+        .reduce(|a, b| ScalarExpr::binary(BinaryOp::And, a, b).expect("boolean conjunction"));
     (keys, residual)
 }
 
@@ -311,9 +310,7 @@ fn remap_to_right(e: &mut ScalarExpr, left_width: usize) {
     let mut refs = Vec::new();
     e.referenced_columns(&mut refs);
     let max = refs.iter().max().copied().unwrap_or(0);
-    let mapping: Vec<usize> = (0..=max)
-        .map(|i| i.saturating_sub(left_width))
-        .collect();
+    let mapping: Vec<usize> = (0..=max).map(|i| i.saturating_sub(left_width)).collect();
     e.remap_columns(&mapping);
 }
 
@@ -417,11 +414,8 @@ mod tests {
             &[DataType::Int64, DataType::Varchar],
         )
         .unwrap();
-        let total = Chunk::concat(
-            &[DataType::Int64, DataType::Int64, DataType::Varchar],
-            &out,
-        )
-        .unwrap();
+        let total =
+            Chunk::concat(&[DataType::Int64, DataType::Int64, DataType::Varchar], &out).unwrap();
         assert_eq!(total.len(), 2);
         // Find the row with id=1: right columns must be NULL.
         for i in 0..2 {

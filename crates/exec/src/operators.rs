@@ -13,6 +13,31 @@ use hylite_planner::LogicalPlan;
 use crate::executor::Executor;
 
 impl Executor {
+    /// Report an iterative analytics operator's run into the metrics
+    /// registry (`<op>.runs`, `<op>.iterations_total`, `<op>.iteration_us`)
+    /// and annotate the operator's profile span.
+    fn record_iterations(
+        &mut self,
+        op: &str,
+        iterations: usize,
+        converged: bool,
+        iter_micros: &[u64],
+    ) {
+        {
+            let m = self.ctx.metrics();
+            m.counter(&format!("{op}.runs")).inc();
+            m.counter(&format!("{op}.iterations_total"))
+                .add(iterations as u64);
+            let per_iter = m.histogram(&format!("{op}.iteration_us"));
+            for &us in iter_micros {
+                per_iter.record(us);
+            }
+        }
+        self.ctx.stats.iterations += iterations;
+        self.ctx.profile_note("iterations", iterations);
+        self.ctx.profile_note("converged", converged);
+    }
+
     /// KMEANS(data, centers, λ, max_iter) → (cluster_id, dims..., size).
     pub(crate) fn exec_kmeans(
         &mut self,
@@ -29,6 +54,24 @@ impl Executor {
             lambda,
             &KMeansConfig { max_iterations },
         )?;
+        self.record_iterations(
+            "kmeans",
+            result.iterations,
+            result.converged,
+            &result.iter_micros,
+        );
+        // Per-iteration centroid shift, scaled to integer micro-units for
+        // the log-scale histogram.
+        {
+            let shift = self.ctx.metrics().histogram("kmeans.centroid_shift_micro");
+            for &s in &result.shift_history {
+                shift.record((s * 1e6) as u64);
+            }
+        }
+        if let Some(&last) = result.shift_history.last() {
+            self.ctx
+                .profile_note("final_centroid_shift", format!("{last:.6}"));
+        }
         let k = result.centers.len();
         let d = result.centers.first().map_or(0, Vec::len);
         let mut cols: Vec<ColumnVector> = Vec::with_capacity(d + 2);
@@ -109,8 +152,7 @@ impl Executor {
             max_iterations,
         };
         let (graph, result) = if weighted {
-            let (graph, csr_weights) =
-                CsrGraph::from_weighted_edges(&src, &dest, &weights)?;
+            let (graph, csr_weights) = CsrGraph::from_weighted_edges(&src, &dest, &weights)?;
             let result =
                 hylite_analytics::pagerank::pagerank_weighted(&graph, &csr_weights, &config);
             (graph, result)
@@ -119,6 +161,24 @@ impl Executor {
             let result = pagerank(&graph, &config);
             (graph, result)
         };
+        self.record_iterations(
+            "pagerank",
+            result.iterations,
+            result.converged,
+            &result.iter_micros,
+        );
+        // Per-iteration residual (summed |Δrank|), scaled to integer
+        // nano-units — residuals shrink toward ε ≈ 1e-9.
+        {
+            let residual = self.ctx.metrics().histogram("pagerank.residual_nano");
+            for &r in &result.residual_history {
+                residual.record((r * 1e9) as u64);
+            }
+        }
+        if let Some(&last) = result.residual_history.last() {
+            self.ctx
+                .profile_note("final_residual", format!("{last:.3e}"));
+        }
         // Reverse mapping back to the original vertex ids.
         let vertices: Vec<i64> = (0..graph.num_vertices() as u32)
             .map(|v| graph.mapping().to_original(v))

@@ -42,7 +42,10 @@ impl Hash for HashableRow {
 }
 
 /// Evaluate `exprs` over a chunk and materialize row `i`'s key.
-pub fn key_columns(exprs: &[ScalarExpr], chunk: &Chunk) -> Result<Vec<hylite_common::ColumnVector>> {
+pub fn key_columns(
+    exprs: &[ScalarExpr],
+    chunk: &Chunk,
+) -> Result<Vec<hylite_common::ColumnVector>> {
     exprs.iter().map(|e| e.eval(chunk)).collect()
 }
 

@@ -70,7 +70,9 @@ impl AggregateFunction {
                         DataType::Float64
                     })
                 } else {
-                    Err(HyError::Type(format!("sum() requires numeric, got {input}")))
+                    Err(HyError::Type(format!(
+                        "sum() requires numeric, got {input}"
+                    )))
                 }
             }
             AggregateFunction::Avg | AggregateFunction::Stddev | AggregateFunction::VarSamp => {
@@ -198,9 +200,7 @@ impl AggregateState {
                     *saw_float = true;
                     *n += 1;
                 }
-                other => {
-                    return Err(HyError::Type(format!("sum() over non-numeric {other}")))
-                }
+                other => return Err(HyError::Type(format!("sum() over non-numeric {other}"))),
             },
             AggregateState::Avg { sum, n } => {
                 if !v.is_null() {
@@ -243,27 +243,24 @@ impl AggregateState {
             (AggregateState::Count { n }, c) => {
                 *n += (c.len() - c.null_count()) as i64;
             }
-            (
-                AggregateState::Sum {
-                    int, float, n, ..
-                },
-                ColumnVector::Int64 { data, validity },
-            ) => match validity {
-                None => {
-                    for &x in data {
-                        *int = int.wrapping_add(x);
-                        *float += x as f64;
+            (AggregateState::Sum { int, float, n, .. }, ColumnVector::Int64 { data, validity }) => {
+                match validity {
+                    None => {
+                        for &x in data {
+                            *int = int.wrapping_add(x);
+                            *float += x as f64;
+                        }
+                        *n += data.len() as i64;
                     }
-                    *n += data.len() as i64;
-                }
-                Some(v) => {
-                    for i in v.iter_ones() {
-                        *int = int.wrapping_add(data[i]);
-                        *float += data[i] as f64;
-                        *n += 1;
+                    Some(v) => {
+                        for i in v.iter_ones() {
+                            *int = int.wrapping_add(data[i]);
+                            *float += data[i] as f64;
+                            *n += 1;
+                        }
                     }
                 }
-            },
+            }
             (
                 AggregateState::Sum {
                     float,
@@ -598,7 +595,9 @@ mod tests {
                 .unwrap(),
             DataType::Varchar
         );
-        assert!(AggregateFunction::Sum.result_type(DataType::Varchar).is_err());
+        assert!(AggregateFunction::Sum
+            .result_type(DataType::Varchar)
+            .is_err());
     }
 
     #[test]

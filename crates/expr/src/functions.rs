@@ -281,7 +281,10 @@ fn map_str(col: &ColumnVector, f: impl Fn(&str) -> String) -> Result<ColumnVecto
 }
 
 /// least/greatest: per-row pick among non-NULL arguments using `better`.
-fn selective(args: &[ColumnVector], better: impl Fn(&Value, &Value) -> bool) -> Result<ColumnVector> {
+fn selective(
+    args: &[ColumnVector],
+    better: impl Fn(&Value, &Value) -> bool,
+) -> Result<ColumnVector> {
     let n = args[0].len();
     let target = {
         let mut t = args[0].data_type();
@@ -363,11 +366,19 @@ mod tests {
     fn string_functions() {
         let s = CV::from_str(vec!["Hello", "WORLD"]);
         assert_eq!(
-            ScalarFunc::Lower.eval(std::slice::from_ref(&s)).unwrap().as_varchar().unwrap(),
+            ScalarFunc::Lower
+                .eval(std::slice::from_ref(&s))
+                .unwrap()
+                .as_varchar()
+                .unwrap(),
             &["hello".to_string(), "world".to_string()]
         );
         assert_eq!(
-            ScalarFunc::Length.eval(std::slice::from_ref(&s)).unwrap().as_i64().unwrap(),
+            ScalarFunc::Length
+                .eval(std::slice::from_ref(&s))
+                .unwrap()
+                .as_i64()
+                .unwrap(),
             &[5, 5]
         );
         let sub = ScalarFunc::Substr

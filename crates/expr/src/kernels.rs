@@ -21,12 +21,7 @@ pub fn merge_validity(a: Option<&Bitmap>, b: Option<&Bitmap>) -> Option<Bitmap> 
 }
 
 /// Element-wise arithmetic over `i64` slices.
-pub fn arith_i64(
-    op: &str,
-    l: &[i64],
-    r: &[i64],
-    validity: Option<Bitmap>,
-) -> Result<ColumnVector> {
+pub fn arith_i64(op: &str, l: &[i64], r: &[i64], validity: Option<Bitmap>) -> Result<ColumnVector> {
     let n = l.len();
     let mut out = Vec::with_capacity(n);
     let valid_at = |i: usize| validity.as_ref().is_none_or(|v| v.get(i));
@@ -51,7 +46,11 @@ pub fn arith_i64(
                 if r[i] == 0 && valid_at(i) {
                     return Err(HyError::Execution("division by zero".into()));
                 }
-                out.push(if r[i] == 0 { 0 } else { l[i].wrapping_div(r[i]) });
+                out.push(if r[i] == 0 {
+                    0
+                } else {
+                    l[i].wrapping_div(r[i])
+                });
             }
         }
         "%" => {
@@ -59,7 +58,11 @@ pub fn arith_i64(
                 if r[i] == 0 && valid_at(i) {
                     return Err(HyError::Execution("modulo by zero".into()));
                 }
-                out.push(if r[i] == 0 { 0 } else { l[i].wrapping_rem(r[i]) });
+                out.push(if r[i] == 0 {
+                    0
+                } else {
+                    l[i].wrapping_rem(r[i])
+                });
             }
         }
         other => return Err(HyError::Internal(format!("unknown i64 arith op '{other}'"))),
@@ -71,12 +74,7 @@ pub fn arith_i64(
 }
 
 /// Element-wise arithmetic over `f64` slices. `^` is power.
-pub fn arith_f64(
-    op: &str,
-    l: &[f64],
-    r: &[f64],
-    validity: Option<Bitmap>,
-) -> Result<ColumnVector> {
+pub fn arith_f64(op: &str, l: &[f64], r: &[f64], validity: Option<Bitmap>) -> Result<ColumnVector> {
     let n = l.len();
     let mut out = Vec::with_capacity(n);
     match op {
@@ -141,12 +139,7 @@ pub fn compare<T: PartialOrd>(
 /// Three-valued logical AND.
 ///
 /// Truth table: F AND x = F; T AND T = T; otherwise NULL.
-pub fn and_3vl(
-    l: &[bool],
-    lv: Option<&Bitmap>,
-    r: &[bool],
-    rv: Option<&Bitmap>,
-) -> ColumnVector {
+pub fn and_3vl(l: &[bool], lv: Option<&Bitmap>, r: &[bool], rv: Option<&Bitmap>) -> ColumnVector {
     let n = l.len();
     let mut data = Vec::with_capacity(n);
     let mut validity = Bitmap::filled(n, true);
@@ -181,12 +174,7 @@ pub fn and_3vl(
 /// Three-valued logical OR.
 ///
 /// Truth table: T OR x = T; F OR F = F; otherwise NULL.
-pub fn or_3vl(
-    l: &[bool],
-    lv: Option<&Bitmap>,
-    r: &[bool],
-    rv: Option<&Bitmap>,
-) -> ColumnVector {
+pub fn or_3vl(l: &[bool], lv: Option<&Bitmap>, r: &[bool], rv: Option<&Bitmap>) -> ColumnVector {
     let n = l.len();
     let mut data = Vec::with_capacity(n);
     let mut validity = Bitmap::filled(n, true);

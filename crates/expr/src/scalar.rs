@@ -45,7 +45,12 @@ impl BinaryOp {
     pub fn is_arithmetic(self) -> bool {
         matches!(
             self,
-            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod | BinaryOp::Pow
+            BinaryOp::Add
+                | BinaryOp::Sub
+                | BinaryOp::Mul
+                | BinaryOp::Div
+                | BinaryOp::Mod
+                | BinaryOp::Pow
         )
     }
 
@@ -53,7 +58,12 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 
@@ -633,7 +643,9 @@ pub fn eval_binary(op: BinaryOp, l: &ColumnVector, r: &ColumnVector) -> Result<C
             } else {
                 let sym = op.symbol();
                 match common {
-                    DataType::Int64 => kernels::arith_i64(sym, lc.as_i64()?, rc.as_i64()?, validity),
+                    DataType::Int64 => {
+                        kernels::arith_i64(sym, lc.as_i64()?, rc.as_i64()?, validity)
+                    }
                     DataType::Float64 => {
                         kernels::arith_f64(sym, lc.as_f64()?, rc.as_f64()?, validity)
                     }

@@ -1,109 +1,120 @@
 //! Properties of vectorized evaluation: chunk evaluation must agree with
 //! row-at-a-time evaluation, and the produced column must match the
 //! expression's static type.
+//!
+//! Expressions and chunks are generated from a seeded RNG so every run
+//! replays the same cases (the offline stand-in for proptest).
 
 use hylite_common::{Chunk, ColumnVector, DataType, Value};
 use hylite_expr::{BinaryOp, ScalarExpr, ScalarFunc, UnaryOp};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Input schema: #0 BIGINT, #1 DOUBLE, #2 BOOLEAN (with NULLs sprinkled).
-fn arb_chunk() -> impl Strategy<Value = Chunk> {
-    proptest::collection::vec(
-        (
-            proptest::option::weighted(0.9, -20i64..20),
-            proptest::option::weighted(0.9, -50.0f64..50.0),
-            proptest::option::weighted(0.9, any::<bool>()),
-        ),
-        1..40,
-    )
-    .prop_map(|rows| {
-        let mut a = ColumnVector::empty(DataType::Int64);
-        let mut b = ColumnVector::empty(DataType::Float64);
-        let mut c = ColumnVector::empty(DataType::Bool);
-        for (x, y, z) in rows {
-            match x {
-                Some(v) => a.push_value(&Value::Int(v)).unwrap(),
-                None => a.push_null(),
-            }
-            match y {
-                Some(v) => b.push_value(&Value::Float(v)).unwrap(),
-                None => b.push_null(),
-            }
-            match z {
-                Some(v) => c.push_value(&Value::Bool(v)).unwrap(),
-                None => c.push_null(),
-            }
+fn arb_chunk(rng: &mut StdRng) -> Chunk {
+    let rows = rng.gen_range(1usize..40);
+    let mut a = ColumnVector::empty(DataType::Int64);
+    let mut b = ColumnVector::empty(DataType::Float64);
+    let mut c = ColumnVector::empty(DataType::Bool);
+    for _ in 0..rows {
+        if rng.gen_bool(0.9) {
+            a.push_value(&Value::Int(rng.gen_range(-20i64..20)))
+                .unwrap();
+        } else {
+            a.push_null();
         }
-        Chunk::new(vec![a, b, c])
-    })
+        if rng.gen_bool(0.9) {
+            b.push_value(&Value::Float(rng.gen_range(-50.0f64..50.0)))
+                .unwrap();
+        } else {
+            b.push_null();
+        }
+        if rng.gen_bool(0.9) {
+            c.push_value(&Value::Bool(rng.gen_bool(0.5))).unwrap();
+        } else {
+            c.push_null();
+        }
+    }
+    Chunk::new(vec![a, b, c])
 }
 
 /// Random well-typed numeric expressions over the schema.
-fn arb_numeric_expr() -> impl Strategy<Value = ScalarExpr> {
-    let leaf = prop_oneof![
-        Just(ScalarExpr::column(0, DataType::Int64)),
-        Just(ScalarExpr::column(1, DataType::Float64)),
-        (-10i64..10).prop_map(ScalarExpr::literal),
-        (-10i64..10).prop_map(|v| ScalarExpr::literal(v as f64 / 2.0)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinaryOp::Add),
-                Just(BinaryOp::Sub),
-                Just(BinaryOp::Mul),
-            ])
-                .prop_map(|(l, r, op)| ScalarExpr::binary(op, l, r).expect("numeric")),
-            inner
-                .clone()
-                .prop_map(|e| ScalarExpr::unary(UnaryOp::Neg, e).expect("numeric")),
-            inner
-                .clone()
-                .prop_map(|e| ScalarExpr::func(ScalarFunc::Abs, vec![e]).expect("numeric")),
-            (inner.clone(), inner).prop_map(|(l, r)| {
-                ScalarExpr::func(ScalarFunc::Least, vec![l, r]).expect("numeric")
-            }),
-        ]
-    })
+fn arb_numeric_expr(rng: &mut StdRng, depth: usize) -> ScalarExpr {
+    if depth == 0 {
+        return match rng.gen_range(0u32..4) {
+            0 => ScalarExpr::column(0, DataType::Int64),
+            1 => ScalarExpr::column(1, DataType::Float64),
+            2 => ScalarExpr::literal(rng.gen_range(-10i64..10)),
+            _ => ScalarExpr::literal(rng.gen_range(-10i64..10) as f64 / 2.0),
+        };
+    }
+    match rng.gen_range(0u32..5) {
+        0 => arb_numeric_expr(rng, 0),
+        1 => {
+            let op = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul][rng.gen_range(0usize..3)];
+            ScalarExpr::binary(
+                op,
+                arb_numeric_expr(rng, depth - 1),
+                arb_numeric_expr(rng, depth - 1),
+            )
+            .expect("numeric")
+        }
+        2 => ScalarExpr::unary(UnaryOp::Neg, arb_numeric_expr(rng, depth - 1)).expect("numeric"),
+        3 => ScalarExpr::func(ScalarFunc::Abs, vec![arb_numeric_expr(rng, depth - 1)])
+            .expect("numeric"),
+        _ => ScalarExpr::func(
+            ScalarFunc::Least,
+            vec![
+                arb_numeric_expr(rng, depth - 1),
+                arb_numeric_expr(rng, depth - 1),
+            ],
+        )
+        .expect("numeric"),
+    }
 }
 
 /// Random well-typed boolean expressions.
-fn arb_bool_expr() -> impl Strategy<Value = ScalarExpr> {
-    let base = arb_numeric_expr().boxed();
-    let leaf = prop_oneof![
-        Just(ScalarExpr::column(2, DataType::Bool)),
-        (base.clone(), base, prop_oneof![
-            Just(BinaryOp::Lt),
-            Just(BinaryOp::Eq),
-            Just(BinaryOp::GtEq),
-        ])
-            .prop_map(|(l, r, op)| ScalarExpr::binary(op, l, r).expect("comparison")),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinaryOp::And),
-                Just(BinaryOp::Or),
-            ])
-                .prop_map(|(l, r, op)| ScalarExpr::binary(op, l, r).expect("boolean")),
-            inner
-                .clone()
-                .prop_map(|e| ScalarExpr::unary(UnaryOp::Not, e).expect("boolean")),
-            (inner, any::<bool>()).prop_map(|(e, negated)| ScalarExpr::IsNull {
-                input: Box::new(e),
-                negated,
-            }),
-        ]
-    })
+fn arb_bool_expr(rng: &mut StdRng, depth: usize) -> ScalarExpr {
+    if depth == 0 {
+        return if rng.gen_bool(0.5) {
+            ScalarExpr::column(2, DataType::Bool)
+        } else {
+            let op = [BinaryOp::Lt, BinaryOp::Eq, BinaryOp::GtEq][rng.gen_range(0usize..3)];
+            let d = rng.gen_range(0usize..3);
+            ScalarExpr::binary(op, arb_numeric_expr(rng, d), arb_numeric_expr(rng, d))
+                .expect("comparison")
+        };
+    }
+    match rng.gen_range(0u32..4) {
+        0 => arb_bool_expr(rng, 0),
+        1 => {
+            let op = if rng.gen_bool(0.5) {
+                BinaryOp::And
+            } else {
+                BinaryOp::Or
+            };
+            ScalarExpr::binary(
+                op,
+                arb_bool_expr(rng, depth - 1),
+                arb_bool_expr(rng, depth - 1),
+            )
+            .expect("boolean")
+        }
+        2 => ScalarExpr::unary(UnaryOp::Not, arb_bool_expr(rng, depth - 1)).expect("boolean"),
+        _ => ScalarExpr::IsNull {
+            input: Box::new(arb_bool_expr(rng, depth - 1)),
+            negated: rng.gen_bool(0.5),
+        },
+    }
 }
 
-fn check_chunk_vs_rows(e: &ScalarExpr, chunk: &Chunk) -> std::result::Result<(), TestCaseError> {
+fn check_chunk_vs_rows(e: &ScalarExpr, chunk: &Chunk) {
     let vectorized = e.eval(chunk);
     match vectorized {
         Ok(col) => {
-            prop_assert_eq!(col.len(), chunk.len());
+            assert_eq!(col.len(), chunk.len());
             if !col.is_empty() && e.data_type() != DataType::Null {
-                prop_assert_eq!(col.data_type(), e.data_type(), "static type honored");
+                assert_eq!(col.data_type(), e.data_type(), "static type honored");
             }
             for i in 0..chunk.len() {
                 let row_result = e
@@ -112,45 +123,56 @@ fn check_chunk_vs_rows(e: &ScalarExpr, chunk: &Chunk) -> std::result::Result<(),
                 let cell = col.value(i);
                 // NaN-safe comparison.
                 let equal = match (&cell, &row_result) {
-                    (Value::Float(a), Value::Float(b)) => {
-                        (a.is_nan() && b.is_nan()) || a == b
-                    }
+                    (Value::Float(a), Value::Float(b)) => (a.is_nan() && b.is_nan()) || a == b,
                     (a, b) => a == b,
                 };
-                prop_assert!(equal, "row {i}: chunk={cell} row={row_result} expr={e}");
+                assert!(equal, "row {i}: chunk={cell} row={row_result} expr={e}");
             }
         }
         Err(_) => {
             // A vectorized error must be reproducible by at least one row.
             let any_row_errs = (0..chunk.len()).any(|i| e.eval_row(&chunk.row(i)).is_err());
-            prop_assert!(any_row_errs, "vectorized error with no failing row: {e}");
+            assert!(any_row_errs, "vectorized error with no failing row: {e}");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn numeric_chunk_eval_matches_row_eval(e in arb_numeric_expr(), chunk in arb_chunk()) {
-        check_chunk_vs_rows(&e, &chunk)?;
+#[test]
+fn numeric_chunk_eval_matches_row_eval() {
+    let mut rng = StdRng::seed_from_u64(0x0E_4A_11);
+    for _ in 0..96 {
+        let depth = rng.gen_range(0usize..=3);
+        let e = arb_numeric_expr(&mut rng, depth);
+        let chunk = arb_chunk(&mut rng);
+        check_chunk_vs_rows(&e, &chunk);
     }
+}
 
-    #[test]
-    fn boolean_chunk_eval_matches_row_eval(e in arb_bool_expr(), chunk in arb_chunk()) {
-        check_chunk_vs_rows(&e, &chunk)?;
+#[test]
+fn boolean_chunk_eval_matches_row_eval() {
+    let mut rng = StdRng::seed_from_u64(0xB0_01);
+    for _ in 0..96 {
+        let depth = rng.gen_range(0usize..=3);
+        let e = arb_bool_expr(&mut rng, depth);
+        let chunk = arb_chunk(&mut rng);
+        check_chunk_vs_rows(&e, &chunk);
     }
+}
 
-    #[test]
-    fn filter_selection_subset(e in arb_bool_expr(), chunk in arb_chunk()) {
+#[test]
+fn filter_selection_subset() {
+    let mut rng = StdRng::seed_from_u64(0xF1_17E5);
+    for _ in 0..96 {
+        let depth = rng.gen_range(0usize..=3);
+        let e = arb_bool_expr(&mut rng, depth);
+        let chunk = arb_chunk(&mut rng);
         if let Ok(col) = e.eval(&chunk) {
             let sel = col.to_selection().unwrap();
-            prop_assert_eq!(sel.len(), chunk.len());
+            assert_eq!(sel.len(), chunk.len());
             // Selected rows are exactly those evaluating to TRUE.
             for i in 0..chunk.len() {
                 let expect = matches!(col.value(i), Value::Bool(true));
-                prop_assert_eq!(sel.get(i), expect);
+                assert_eq!(sel.get(i), expect);
             }
         }
     }

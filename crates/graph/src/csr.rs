@@ -243,7 +243,9 @@ mod tests {
         assert_eq!(g.mapping().to_original(d10), 10);
         assert_eq!(g.mapping().to_original(d30), 30);
         // Dense ids cover 0..n.
-        let mut ids: Vec<u32> = (0..3).map(|i| g.mapping().to_dense([10, 20, 30][i]).unwrap()).collect();
+        let mut ids: Vec<u32> = (0..3)
+            .map(|i| g.mapping().to_dense([10, 20, 30][i]).unwrap())
+            .collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2]);
     }

@@ -83,8 +83,13 @@ pub enum BoundStatement {
     Commit,
     /// ROLLBACK.
     Rollback,
-    /// EXPLAIN of a bound statement.
-    Explain(Box<BoundStatement>),
+    /// EXPLAIN [ANALYZE] of a bound statement.
+    Explain {
+        /// The statement being explained.
+        statement: Box<BoundStatement>,
+        /// Whether to execute it and report actual operator statistics.
+        analyze: bool,
+    },
 }
 
 /// Name-resolution and lowering context.
@@ -165,9 +170,10 @@ impl<'a> Binder<'a> {
             Statement::Begin => Ok(BoundStatement::Begin),
             Statement::Commit => Ok(BoundStatement::Commit),
             Statement::Rollback => Ok(BoundStatement::Rollback),
-            Statement::Explain(inner) => Ok(BoundStatement::Explain(Box::new(
-                self.bind_statement(inner)?,
-            ))),
+            Statement::Explain { statement, analyze } => Ok(BoundStatement::Explain {
+                statement: Box::new(self.bind_statement(statement)?),
+                analyze: *analyze,
+            }),
         }
     }
 
@@ -184,7 +190,11 @@ impl<'a> Binder<'a> {
         // explicit column list) or a NULL default.
         let provided: Vec<String> = match columns {
             Some(cols) => cols.iter().map(|c| c.to_ascii_lowercase()).collect(),
-            None => table_schema.fields().iter().map(|f| f.name.clone()).collect(),
+            None => table_schema
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
         };
         if provided.len() != plan_schema.len() {
             return Err(HyError::Bind(format!(
@@ -312,7 +322,8 @@ impl<'a> Binder<'a> {
             };
             let (init, init_schema) = self.bind_set_expr(left)?;
             let cte_schema = Arc::new(apply_cte_aliases(&init_schema, cte)?);
-            self.working.push((cte.name.clone(), Arc::clone(&cte_schema)));
+            self.working
+                .push((cte.name.clone(), Arc::clone(&cte_schema)));
             let step_result = self.bind_set_expr(right);
             self.working.pop();
             let (step, step_schema) = step_result?;
@@ -383,9 +394,7 @@ impl<'a> Binder<'a> {
         let binder = ExprBinder::new(&empty);
         for row in rows {
             if row.len() != width {
-                return Err(HyError::Bind(
-                    "VALUES rows have inconsistent arity".into(),
-                ));
+                return Err(HyError::Bind("VALUES rows have inconsistent arity".into()));
             }
             let vals: Vec<Value> = row
                 .iter()
@@ -408,7 +417,11 @@ impl<'a> Binder<'a> {
             .map(|(i, &t)| {
                 Field::new(
                     format!("column{}", i + 1),
-                    if t == DataType::Null { DataType::Int64 } else { t },
+                    if t == DataType::Null {
+                        DataType::Int64
+                    } else {
+                        t
+                    },
                 )
             })
             .collect();
@@ -565,9 +578,10 @@ impl<'a> Binder<'a> {
         if hidden.is_empty() {
             // `SELECT *` with no computation: skip the no-op projection.
             let identity = exprs.len() == scope.len()
-                && exprs.iter().enumerate().all(|(i, e)| {
-                    matches!(e, ScalarExpr::Column { index, .. } if *index == i)
-                });
+                && exprs
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| matches!(e, ScalarExpr::Column { index, .. } if *index == i));
             let mut plan = if identity {
                 input
             } else {
@@ -587,8 +601,7 @@ impl<'a> Binder<'a> {
         }
         if s.distinct {
             return Err(HyError::Bind(
-                "ORDER BY expressions must appear in the select list when DISTINCT is used"
-                    .into(),
+                "ORDER BY expressions must appear in the select list when DISTINCT is used".into(),
             ));
         }
         let mut ext_fields = schema.fields().to_vec();
@@ -729,8 +742,7 @@ impl<'a> Binder<'a> {
         }
         if s.distinct {
             return Err(HyError::Bind(
-                "ORDER BY expressions must appear in the select list when DISTINCT is used"
-                    .into(),
+                "ORDER BY expressions must appear in the select list when DISTINCT is used".into(),
             ));
         }
         let mut ext_fields = schema.fields().to_vec();
@@ -762,8 +774,6 @@ impl<'a> Binder<'a> {
         Ok((plan, schema))
     }
 
-
-
     // --------------------------------------------------------- FROM items
 
     fn bind_table_ref(&mut self, tr: &TableRef) -> Result<(LogicalPlan, SchemaRef)> {
@@ -771,9 +781,7 @@ impl<'a> Binder<'a> {
             TableRef::Table { name, alias } => {
                 let qualifier = alias.as_deref().unwrap_or(name);
                 // Working tables shadow CTEs shadow base tables.
-                if let Some((_, schema)) =
-                    self.working.iter().rev().find(|(n, _)| n == name)
-                {
+                if let Some((_, schema)) = self.working.iter().rev().find(|(n, _)| n == name) {
                     let scope = Arc::new(schema.with_qualifier(qualifier));
                     let plan = LogicalPlan::WorkingTable {
                         name: name.clone(),
@@ -1099,14 +1107,12 @@ impl<'a> Binder<'a> {
 
     /// Bind an analytics data subquery whose columns must all be numeric;
     /// wraps it in a cast-to-DOUBLE projection.
-    fn bind_numeric_input(
-        &mut self,
-        q: &Query,
-        what: &str,
-    ) -> Result<(LogicalPlan, SchemaRef)> {
+    fn bind_numeric_input(&mut self, q: &Query, what: &str) -> Result<(LogicalPlan, SchemaRef)> {
         let (plan, schema) = self.bind_query(q)?;
         if schema.is_empty() {
-            return Err(HyError::Bind(format!("{what} must have at least one column")));
+            return Err(HyError::Bind(format!(
+                "{what} must have at least one column"
+            )));
         }
         let mut exprs = Vec::with_capacity(schema.len());
         for (i, f) in schema.fields().iter().enumerate() {
@@ -1296,11 +1302,7 @@ fn cast_if_needed(expr: ScalarExpr, target: DataType) -> Result<ScalarExpr> {
 
 /// Coerce a plan's columns to `target` types with a projection (no-op when
 /// already aligned).
-fn coerce_plan_to(
-    plan: LogicalPlan,
-    from: &Schema,
-    target: &SchemaRef,
-) -> Result<LogicalPlan> {
+fn coerce_plan_to(plan: LogicalPlan, from: &Schema, target: &SchemaRef) -> Result<LogicalPlan> {
     if from.len() != target.len() {
         return Err(HyError::Bind(format!(
             "relation has {} columns, expected {}",
@@ -1560,9 +1562,7 @@ mod tests {
             Err(HyError::Bind(_))
         ));
         assert!(bind("SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 1.5, 0.0)").is_err());
-        assert!(
-            bind("SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, -1.0)").is_err()
-        );
+        assert!(bind("SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, -1.0)").is_err());
         let plan = bind_plan("SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0)");
         assert!(matches!(
             plan,
@@ -1571,9 +1571,8 @@ mod tests {
                 ..
             }
         ));
-        let plan = bind_plan(
-            "SELECT * FROM PAGERANK((SELECT src, dest, 1.0 w FROM edges), 0.85, 0.0)",
-        );
+        let plan =
+            bind_plan("SELECT * FROM PAGERANK((SELECT src, dest, 1.0 w FROM edges), 0.85, 0.0)");
         assert!(matches!(plan, LogicalPlan::PageRank { weighted: true, .. }));
     }
 
@@ -1625,10 +1624,8 @@ mod tests {
 
     #[test]
     fn recursive_cte_requires_union() {
-        let err = bind(
-            "WITH RECURSIVE r (n) AS (SELECT n + 1 FROM r) SELECT * FROM r",
-        )
-        .unwrap_err();
+        let err =
+            bind("WITH RECURSIVE r (n) AS (SELECT n + 1 FROM r) SELECT * FROM r").unwrap_err();
         assert!(matches!(err, HyError::Bind(_)));
     }
 
@@ -1637,6 +1634,9 @@ mod tests {
         let plan = bind_plan("VALUES (1, 'a'), (2.5, 'b')");
         assert_eq!(plan.schema().field(0).data_type, DataType::Float64);
         assert!(bind("VALUES (1), (1, 2)").is_err(), "inconsistent arity");
-        assert!(bind("VALUES (1, 'a'), ('b', 'c')").is_err(), "no common type");
+        assert!(
+            bind("VALUES (1, 'a'), ('b', 'c')").is_err(),
+            "no common type"
+        );
     }
 }

@@ -429,7 +429,9 @@ mod tests {
         assert_eq!(rw.aggs.len(), 2);
         assert_eq!(e.to_string(), "(#1 + #2)");
         // count(*) reused, not duplicated
-        let h = rw.rewrite(&parse_expression("count(*) > 1").unwrap()).unwrap();
+        let h = rw
+            .rewrite(&parse_expression("count(*) > 1").unwrap())
+            .unwrap();
         assert_eq!(rw.aggs.len(), 2);
         assert_eq!(h.to_string(), "(#2 > 1)");
     }

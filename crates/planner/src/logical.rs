@@ -273,6 +273,13 @@ impl LogicalPlan {
         }
     }
 
+    /// Opaque identity of this plan node, used to correlate executor
+    /// profile spans with plan-tree positions. Plans are immutable while
+    /// a statement executes, so the node's address is a stable key.
+    pub fn node_id(&self) -> usize {
+        self as *const LogicalPlan as usize
+    }
+
     /// Short operator name for EXPLAIN output.
     pub fn op_name(&self) -> &'static str {
         match self {
@@ -321,20 +328,33 @@ impl LogicalPlan {
             LogicalPlan::KMeans { data, centers, .. }
             | LogicalPlan::KMeansAssign { data, centers, .. } => vec![data, centers],
             LogicalPlan::PageRank { edges, .. } => vec![edges],
-            LogicalPlan::NaiveBayesTrain { data, .. }
-            | LogicalPlan::ClassStats { data, .. } => vec![data],
+            LogicalPlan::NaiveBayesTrain { data, .. } | LogicalPlan::ClassStats { data, .. } => {
+                vec![data]
+            }
             LogicalPlan::NaiveBayesPredict { model, data, .. } => vec![model, data],
         }
     }
 
     /// Render an indented EXPLAIN tree.
     pub fn explain(&self) -> String {
+        self.explain_annotated(&|_| String::new())
+    }
+
+    /// Render an indented EXPLAIN tree with `annotate(node)` appended to
+    /// each operator line — estimated cardinalities for plain EXPLAIN,
+    /// actual execution statistics for EXPLAIN ANALYZE.
+    pub fn explain_annotated(&self, annotate: &dyn Fn(&LogicalPlan) -> String) -> String {
         let mut out = String::new();
-        self.explain_into(0, &mut out);
+        self.explain_into(0, &mut out, annotate);
         out
     }
 
-    fn explain_into(&self, depth: usize, out: &mut String) {
+    fn explain_into(
+        &self,
+        depth: usize,
+        out: &mut String,
+        annotate: &dyn Fn(&LogicalPlan) -> String,
+    ) {
         for _ in 0..depth {
             out.push_str("  ");
         }
@@ -397,7 +417,11 @@ impl LogicalPlan {
             } => {
                 out.push_str(&format!(
                     " lambda={} max_iter={max_iterations}",
-                    if lambda.is_some() { "custom" } else { "default-L2" }
+                    if lambda.is_some() {
+                        "custom"
+                    } else {
+                        "default-L2"
+                    }
                 ));
             }
             LogicalPlan::PageRank {
@@ -415,9 +439,10 @@ impl LogicalPlan {
             }
             _ => {}
         }
+        out.push_str(&annotate(self));
         out.push('\n');
         for c in self.children() {
-            c.explain_into(depth + 1, out);
+            c.explain_into(depth + 1, out, annotate);
         }
     }
 }

@@ -750,10 +750,8 @@ fn rewrite_project(
                 f.remap_columns(&mapping);
                 f
             });
-            let pruned_fields: Vec<_> = used
-                .iter()
-                .map(|&i| scan_schema.field(i).clone())
-                .collect();
+            let pruned_fields: Vec<_> =
+                used.iter().map(|&i| scan_schema.field(i).clone()).collect();
             let pruned_schema = Arc::new(Schema::new(pruned_fields));
             // Compose with the existing table-level projection.
             let table_projection: Vec<usize> = match &projection {
@@ -887,9 +885,7 @@ mod tests {
             left: Box::new(left),
             right: Box::new(right),
             kind: JoinKind::Inner,
-            condition: Some(
-                ScalarExpr::binary(BinaryOp::Eq, col(0), col(2)).unwrap(),
-            ),
+            condition: Some(ScalarExpr::binary(BinaryOp::Eq, col(0), col(2)).unwrap()),
             schema: join_schema,
         };
         // c1 > 1 (left) AND c3 > 2 (right)

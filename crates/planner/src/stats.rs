@@ -30,11 +30,10 @@ pub fn estimate_rows(plan: &LogicalPlan, table_rows: &dyn Fn(&str) -> usize) -> 
         }
         LogicalPlan::Values { rows, .. } => rows.len() as f64,
         LogicalPlan::Empty { .. } => 1.0,
-        LogicalPlan::Filter { input, .. } => {
-            estimate_rows(input, table_rows) * FILTER_SELECTIVITY
+        LogicalPlan::Filter { input, .. } => estimate_rows(input, table_rows) * FILTER_SELECTIVITY,
+        LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {
+            estimate_rows(input, table_rows)
         }
-        LogicalPlan::Project { input, .. }
-        | LogicalPlan::Sort { input, .. } => estimate_rows(input, table_rows),
         LogicalPlan::Limit {
             input,
             limit,
@@ -94,9 +93,7 @@ pub fn estimate_rows(plan: &LogicalPlan, table_rows: &dyn Fn(&str) -> usize) -> 
         // Assignment preserves the data cardinality.
         LogicalPlan::KMeansAssign { data, .. } => estimate_rows(data, table_rows),
         // PageRank outputs one row per vertex; vertices ≈ edges / avg-deg.
-        LogicalPlan::PageRank { edges, .. } => {
-            (estimate_rows(edges, table_rows) / 10.0).max(1.0)
-        }
+        LogicalPlan::PageRank { edges, .. } => (estimate_rows(edges, table_rows) / 10.0).max(1.0),
         // NB model: #classes × #attributes — both small; use a constant.
         LogicalPlan::NaiveBayesTrain { .. } | LogicalPlan::ClassStats { .. } => 32.0,
         LogicalPlan::NaiveBayesPredict { data, .. } => estimate_rows(data, table_rows),

@@ -59,8 +59,15 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK`.
     Rollback,
-    /// `EXPLAIN <statement>` — show the optimized plan.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>` — show the optimized plan; with
+    /// `ANALYZE`, execute the statement and annotate each operator with
+    /// its actual row counts and timings.
+    Explain {
+        /// The statement being explained.
+        statement: Box<Statement>,
+        /// Whether `ANALYZE` was given.
+        analyze: bool,
+    },
 }
 
 /// A query: optional CTEs around a set expression, plus ordering/limits.
@@ -316,9 +323,20 @@ pub struct OrderByExpr {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinOp {
-    Add, Sub, Mul, Div, Mod, Pow,
-    Eq, NotEq, Lt, LtEq, Gt, GtEq,
-    And, Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
 }
 
 impl BinOp {

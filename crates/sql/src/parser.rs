@@ -154,7 +154,11 @@ impl Parser {
             }
             Token::Keyword(Keyword::Explain) => {
                 self.bump();
-                Ok(Statement::Explain(Box::new(self.statement()?)))
+                let analyze = self.eat_keyword(Keyword::Analyze);
+                Ok(Statement::Explain {
+                    statement: Box::new(self.statement()?),
+                    analyze,
+                })
             }
             other => Err(HyError::Parse(format!("unexpected token {other}"))),
         }
@@ -626,9 +630,7 @@ impl Parser {
                         distance = Some(self.lambda()?);
                     } else {
                         if max_iterations.is_some() {
-                            return Err(HyError::Parse(
-                                "too many arguments to KMEANS".into(),
-                            ));
+                            return Err(HyError::Parse("too many arguments to KMEANS".into()));
                         }
                         max_iterations = Some(self.expr()?);
                     }
@@ -990,8 +992,8 @@ mod tests {
 
     #[test]
     fn select_basics() {
-        let s = parse_statement("SELECT a, b AS x FROM t WHERE a > 1 ORDER BY b DESC LIMIT 5")
-            .unwrap();
+        let s =
+            parse_statement("SELECT a, b AS x FROM t WHERE a > 1 ORDER BY b DESC LIMIT 5").unwrap();
         let Statement::Query(q) = s else {
             panic!("expected query")
         };
@@ -1023,10 +1025,8 @@ mod tests {
 
     #[test]
     fn joins() {
-        let s = parse_statement(
-            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id")
+            .unwrap();
         let Statement::Query(q) = s else { panic!() };
         let SetExpr::Select(sel) = q.body else {
             panic!()
@@ -1081,10 +1081,9 @@ mod tests {
 
     #[test]
     fn paper_listing_2_pagerank() {
-        let s = parse_statement(
-            "SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0001)",
-        )
-        .unwrap();
+        let s =
+            parse_statement("SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0001)")
+                .unwrap();
         let Statement::Query(q) = s else { panic!() };
         let SetExpr::Select(sel) = q.body else {
             panic!()
@@ -1185,7 +1184,19 @@ mod tests {
     #[test]
     fn explain_wraps() {
         let s = parse_statement("EXPLAIN SELECT 1").unwrap();
-        assert!(matches!(s, Statement::Explain(_)));
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+    }
+
+    #[test]
+    fn explain_analyze_wraps() {
+        let s = parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap();
+        let Statement::Explain { statement, analyze } = s else {
+            panic!("expected EXPLAIN");
+        };
+        assert!(analyze);
+        assert!(matches!(*statement, Statement::Query(_)));
+        let s = parse_statement("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
     }
 
     #[test]
@@ -1250,8 +1261,6 @@ mod tests {
         let SetExpr::Select(sel) = q.body else {
             panic!()
         };
-        assert!(
-            matches!(&sel.from[0], TableRef::Subquery { alias: Some(a), .. } if a == "sub")
-        );
+        assert!(matches!(&sel.from[0], TableRef::Subquery { alias: Some(a), .. } if a == "sub"));
     }
 }

@@ -10,12 +10,64 @@ use hylite_common::{HyError, Result};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Select, From, Where, Group, By, Having, Order, Asc, Desc, Limit, Offset,
-    As, And, Or, Not, Null, True, False, Case, When, Then, Else, End, Cast,
-    Is, In, Between, Like, Join, Left, Right, Inner, Outer, Full, Cross, On,
-    Union, All, Distinct, With, Recursive, Create, Table, Drop, Insert,
-    Into, Values, Update, Set, Delete, Begin, Commit, Rollback, Explain,
-    If, Exists, Lambda,
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    Offset,
+    As,
+    And,
+    Or,
+    Not,
+    Null,
+    True,
+    False,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Cast,
+    Is,
+    In,
+    Between,
+    Like,
+    Join,
+    Left,
+    Right,
+    Inner,
+    Outer,
+    Full,
+    Cross,
+    On,
+    Union,
+    All,
+    Distinct,
+    With,
+    Recursive,
+    Create,
+    Table,
+    Drop,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Begin,
+    Commit,
+    Rollback,
+    Explain,
+    Analyze,
+    If,
+    Exists,
+    Lambda,
 }
 
 impl Keyword {
@@ -76,6 +128,7 @@ impl Keyword {
             "COMMIT" => Commit,
             "ROLLBACK" => Rollback,
             "EXPLAIN" => Explain,
+            "ANALYZE" => Analyze,
             "IF" => If,
             "EXISTS" => Exists,
             "LAMBDA" => Lambda,
@@ -214,9 +267,7 @@ impl<'a> Tokenizer<'a> {
                 match self.bump() {
                     Some('"') => break,
                     Some(c) => s.push(c),
-                    None => {
-                        return Err(HyError::Parse("unterminated quoted identifier".into()))
-                    }
+                    None => return Err(HyError::Parse("unterminated quoted identifier".into())),
                 }
             }
             return Ok(Token::Ident(s.to_ascii_lowercase()));

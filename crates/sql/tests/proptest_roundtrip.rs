@@ -1,109 +1,145 @@
 //! Property: pretty-printing an expression AST and re-parsing it yields
 //! the same AST (Display output is fully parenthesized, so associativity
 //! and precedence cannot drift).
+//!
+//! ASTs are generated from a seeded RNG so every run replays the same
+//! cases (the offline stand-in for proptest).
 
 use hylite_common::Value;
 use hylite_sql::ast::{BinOp, Expr};
 use hylite_sql::parse_expression;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        (-1000i64..1000).prop_map(Value::Int),
+fn arb_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0u32..5) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen_range(-1000i64..1000)),
         // Finite floats whose Display re-parses exactly.
-        (-1000i64..1000).prop_map(|v| Value::Float(v as f64 / 4.0)),
-        any::<bool>().prop_map(Value::Bool),
-        "[a-z ]{0,8}".prop_map(Value::Str),
-    ]
+        2 => Value::Float(rng.gen_range(-1000i64..1000) as f64 / 4.0),
+        3 => Value::Bool(rng.gen_bool(0.5)),
+        _ => {
+            let n = rng.gen_range(0usize..=8);
+            let s: String = (0..n)
+                .map(|_| {
+                    let alphabet = b"abcdefghijklmnopqrstuvwxyz ";
+                    alphabet[rng.gen_range(0usize..alphabet.len())] as char
+                })
+                .collect();
+            Value::Str(s)
+        }
+    }
 }
 
-fn arb_ident() -> impl Strategy<Value = String> {
+fn arb_ident(rng: &mut StdRng) -> String {
     // Avoid reserved words by prefixing.
-    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("c_{s}"))
+    let n = rng.gen_range(1usize..=7);
+    let mut s = String::from("c_");
+    for i in 0..n {
+        let alphabet: &[u8] = if i == 0 {
+            b"abcdefghijklmnopqrstuvwxyz"
+        } else {
+            b"abcdefghijklmnopqrstuvwxyz0123456789_"
+        };
+        s.push(alphabet[rng.gen_range(0usize..alphabet.len())] as char);
+    }
+    s
 }
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Mod),
-        Just(BinOp::Pow),
-        Just(BinOp::Eq),
-        Just(BinOp::NotEq),
-        Just(BinOp::Lt),
-        Just(BinOp::LtEq),
-        Just(BinOp::Gt),
-        Just(BinOp::GtEq),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-    ]
-}
-
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_value().prop_map(Expr::Literal),
-        arb_ident().prop_map(Expr::col),
-        (arb_ident(), arb_ident()).prop_map(|(q, name)| Expr::Column {
-            qualifier: Some(q),
-            name,
-        }),
+fn arb_binop(rng: &mut StdRng) -> BinOp {
+    const OPS: [BinOp; 14] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Pow,
+        BinOp::Eq,
+        BinOp::NotEq,
+        BinOp::Lt,
+        BinOp::LtEq,
+        BinOp::Gt,
+        BinOp::GtEq,
+        BinOp::And,
+        BinOp::Or,
     ];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary {
-                op,
-                left: Box::new(l),
-                right: Box::new(r),
-            }),
-            // Neg over literals is not parser-reachable (the parser folds
-            // `-<literal>` into a negative literal), so negate columns.
-            arb_ident().prop_map(|c| Expr::Neg(Box::new(Expr::col(c)))),
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
-                expr: Box::new(e),
-                negated,
-            }),
-            (
-                inner.clone(),
-                proptest::collection::vec(inner.clone(), 1..3),
-                any::<bool>()
-            )
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated,
-                }),
-            (
-                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
-                proptest::option::of(inner.clone())
-            )
-                .prop_map(|(branches, else_expr)| Expr::Case {
-                    branches,
-                    else_expr: else_expr.map(Box::new),
-                }),
-            (arb_ident(), proptest::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
-                Expr::Function {
-                    name,
-                    args,
-                    star: false,
-                    distinct: false,
-                }
-            }),
-        ]
-    })
+    OPS[rng.gen_range(0usize..OPS.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_leaf(rng: &mut StdRng) -> Expr {
+    match rng.gen_range(0u32..3) {
+        0 => Expr::Literal(arb_value(rng)),
+        1 => Expr::col(arb_ident(rng)),
+        _ => Expr::Column {
+            qualifier: Some(arb_ident(rng)),
+            name: arb_ident(rng),
+        },
+    }
+}
 
-    #[test]
-    fn display_reparse_roundtrip(e in arb_expr()) {
+fn arb_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 {
+        return arb_leaf(rng);
+    }
+    match rng.gen_range(0u32..8) {
+        0 => arb_leaf(rng),
+        1 => Expr::Binary {
+            op: arb_binop(rng),
+            left: Box::new(arb_expr(rng, depth - 1)),
+            right: Box::new(arb_expr(rng, depth - 1)),
+        },
+        // Neg over literals is not parser-reachable (the parser folds
+        // `-<literal>` into a negative literal), so negate columns.
+        2 => Expr::Neg(Box::new(Expr::col(arb_ident(rng)))),
+        3 => Expr::Not(Box::new(arb_expr(rng, depth - 1))),
+        4 => Expr::IsNull {
+            expr: Box::new(arb_expr(rng, depth - 1)),
+            negated: rng.gen_bool(0.5),
+        },
+        5 => {
+            let n = rng.gen_range(1usize..3);
+            Expr::InList {
+                expr: Box::new(arb_expr(rng, depth - 1)),
+                list: (0..n).map(|_| arb_expr(rng, depth - 1)).collect(),
+                negated: rng.gen_bool(0.5),
+            }
+        }
+        6 => {
+            let n = rng.gen_range(1usize..3);
+            let branches = (0..n)
+                .map(|_| (arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)))
+                .collect();
+            let else_expr = if rng.gen_bool(0.5) {
+                Some(Box::new(arb_expr(rng, depth - 1)))
+            } else {
+                None
+            };
+            Expr::Case {
+                branches,
+                else_expr,
+            }
+        }
+        _ => {
+            let n = rng.gen_range(0usize..3);
+            Expr::Function {
+                name: arb_ident(rng),
+                args: (0..n).map(|_| arb_expr(rng, depth - 1)).collect(),
+                star: false,
+                distinct: false,
+            }
+        }
+    }
+}
+
+#[test]
+fn display_reparse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x50_1C_AF_E5);
+    for case in 0..256 {
+        let depth = rng.gen_range(1usize..=4);
+        let e = arb_expr(&mut rng, depth);
         let text = e.to_string();
         let reparsed = parse_expression(&text)
-            .unwrap_or_else(|err| panic!("failed to reparse `{text}`: {err}"));
-        prop_assert_eq!(reparsed, e, "text was `{}`", text);
+            .unwrap_or_else(|err| panic!("case {case}: failed to reparse `{text}`: {err}"));
+        assert_eq!(reparsed, e, "case {case}: text was `{text}`");
     }
 }

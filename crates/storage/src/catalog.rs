@@ -61,9 +61,7 @@ impl Catalog {
 
     /// Whether a table exists.
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables
-            .read()
-            .contains_key(&name.to_ascii_lowercase())
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
     }
 
     /// Sorted table names.

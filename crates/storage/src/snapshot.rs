@@ -174,10 +174,7 @@ mod tests {
     use hylite_common::{DataType, Field, Value};
 
     fn table_with(n: usize) -> Table {
-        let mut t = Table::new(
-            "t",
-            Schema::new(vec![Field::new("id", DataType::Int64)]),
-        );
+        let mut t = Table::new("t", Schema::new(vec![Field::new("id", DataType::Int64)]));
         let rows: Vec<Vec<Value>> = (0..n as i64).map(|i| vec![Value::Int(i)]).collect();
         t.insert_rows(&rows).unwrap();
         t.commit();

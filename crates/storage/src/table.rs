@@ -357,7 +357,8 @@ mod tests {
     #[test]
     fn delete_marks_rows() {
         let mut t = Table::new("t", schema());
-        t.insert_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)]).unwrap();
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)])
+            .unwrap();
         t.commit();
         assert_eq!(t.delete_rows(&[1]).unwrap(), 1);
         assert_eq!(t.delete_rows(&[1]).unwrap(), 0, "idempotent");
@@ -442,7 +443,8 @@ mod tests {
     #[test]
     fn compact_reclaims_deleted() {
         let mut t = Table::new("t", schema());
-        t.insert_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)]).unwrap();
+        t.insert_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)])
+            .unwrap();
         t.commit();
         t.delete_rows(&[0, 2]).unwrap();
         t.commit();

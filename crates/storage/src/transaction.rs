@@ -26,7 +26,9 @@ impl Transaction {
     /// Record that `table` was mutated in this transaction.
     pub fn touch(&mut self, table: &TableRef) {
         let name = table.read().name().to_owned();
-        self.touched.entry(name).or_insert_with(|| TableRef::clone(table));
+        self.touched
+            .entry(name)
+            .or_insert_with(|| TableRef::clone(table));
     }
 
     /// Number of distinct tables touched.
@@ -93,7 +95,10 @@ mod tests {
         tx.touch(&t);
         tx.rollback();
         assert_eq!(t.read().live_rows(), 1);
-        assert_eq!(t.read().snapshot().to_chunk().column(0).as_i64().unwrap(), &[1]);
+        assert_eq!(
+            t.read().snapshot().to_chunk().column(0).as_i64().unwrap(),
+            &[1]
+        );
     }
 
     #[test]

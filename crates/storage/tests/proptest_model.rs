@@ -2,10 +2,14 @@
 //! inserts, deletes, updates, commits and rollbacks is applied both to a
 //! [`Table`] and to a trivial in-memory reference model; the visible
 //! states must agree after every operation.
+//!
+//! Operation sequences are generated from a seeded RNG so every run
+//! replays the same cases (the offline stand-in for proptest).
 
 use hylite_common::{DataType, Field, Schema, Value};
 use hylite_storage::Table;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -21,14 +25,17 @@ enum Op {
     Rollback,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        proptest::collection::vec(-100i64..100, 1..20).prop_map(Op::Insert),
-        (0i64..7).prop_map(Op::DeleteWhere),
-        (0i64..7).prop_map(Op::UpdateWhere),
-        Just(Op::Commit),
-        Just(Op::Rollback),
-    ]
+fn arb_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0u32..5) {
+        0 => {
+            let n = rng.gen_range(1usize..20);
+            Op::Insert((0..n).map(|_| rng.gen_range(-100i64..100)).collect())
+        }
+        1 => Op::DeleteWhere(rng.gen_range(0i64..7)),
+        2 => Op::UpdateWhere(rng.gen_range(0i64..7)),
+        3 => Op::Commit,
+        _ => Op::Rollback,
+    }
 }
 
 /// The reference: committed rows and working rows as plain vectors.
@@ -67,21 +74,19 @@ fn live_row_ids(t: &Table, pred: impl Fn(i64) -> bool) -> Vec<usize> {
     ids
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn table_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..40)) {
-        let mut table = Table::new(
-            "t",
-            Schema::new(vec![Field::new("v", DataType::Int64)]),
-        );
+#[test]
+fn table_matches_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0x5708A6E);
+    for case in 0..64 {
+        let ops: Vec<Op> = (0..rng.gen_range(1usize..40))
+            .map(|_| arb_op(&mut rng))
+            .collect();
+        let mut table = Table::new("t", Schema::new(vec![Field::new("v", DataType::Int64)]));
         let mut model = Model::default();
         for op in &ops {
             match op {
                 Op::Insert(vals) => {
-                    let rows: Vec<Vec<Value>> =
-                        vals.iter().map(|&v| vec![Value::Int(v)]).collect();
+                    let rows: Vec<Vec<Value>> = vals.iter().map(|&v| vec![Value::Int(v)]).collect();
                     table.insert_rows(&rows).unwrap();
                     model.working.extend(vals);
                 }
@@ -106,10 +111,7 @@ proptest! {
                         }
                         moved.iter().map(|&v| vec![Value::Int(v)]).collect()
                     };
-                    let moved: Vec<i64> = new_rows
-                        .iter()
-                        .map(|r| r[0].as_int().unwrap())
-                        .collect();
+                    let moved: Vec<i64> = new_rows.iter().map(|r| r[0].as_int().unwrap()).collect();
                     table.update_rows(&ids, new_rows).unwrap();
                     model.working.retain(|v| v.rem_euclid(7) != *k);
                     model.working.extend(moved);
@@ -125,24 +127,22 @@ proptest! {
             }
             // Multisets must match (storage preserves insertion order of
             // live rows, so direct comparison works).
-            prop_assert_eq!(
+            assert_eq!(
                 live_values(&table),
-                model.working.clone(),
-                "working state after {:?}",
-                op
+                model.working,
+                "case {case}: working state after {op:?}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 committed_values(&table),
-                model.committed.clone(),
-                "committed state after {:?}",
-                op
+                model.committed,
+                "case {case}: committed state after {op:?}"
             );
-            prop_assert_eq!(table.live_rows(), model.working.len());
+            assert_eq!(table.live_rows(), model.working.len());
         }
         // Compaction must preserve the live working state exactly.
         table.commit();
         model.committed = model.working.clone();
         table.compact();
-        prop_assert_eq!(live_values(&table), model.working);
+        assert_eq!(live_values(&table), model.working);
     }
 }

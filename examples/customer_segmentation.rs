@@ -23,9 +23,9 @@ fn main() -> Result<()> {
     let mut rng = StdRng::seed_from_u64(2017);
     let mut values = Vec::new();
     let segments: [(f64, f64, f64); 3] = [
-        (5.0, 40.0, 900.0),   // loyal big spenders
-        (30.0, 10.0, 150.0),  // occasional shoppers
-        (90.0, 1.0, 20.0),    // churn-risk
+        (5.0, 40.0, 900.0),  // loyal big spenders
+        (30.0, 10.0, 150.0), // occasional shoppers
+        (90.0, 1.0, 20.0),   // churn-risk
     ];
     for id in 0..3000i64 {
         let (r, f, m) = segments[(id % 3) as usize];
@@ -41,7 +41,10 @@ fn main() -> Result<()> {
     for id in 3000..3010i64 {
         values.push(format!("({id}, 10.0, 20.0, 100000.0, FALSE)"));
     }
-    db.execute(&format!("INSERT INTO customers VALUES {}", values.join(", ")))?;
+    db.execute(&format!(
+        "INSERT INTO customers VALUES {}",
+        values.join(", ")
+    ))?;
 
     // Pre-processing (filter churned customers) happens in the same
     // query as the clustering; the centers come from a subquery too.
@@ -51,7 +54,10 @@ fn main() -> Result<()> {
             (SELECT recency, frequency, monetary FROM customers WHERE NOT churned LIMIT 3), \
             3)",
     )?;
-    println!("-- k-Means (default squared-L2 lambda)\n{}", kmeans.to_table_string());
+    println!(
+        "-- k-Means (default squared-L2 lambda)\n{}",
+        kmeans.to_table_string()
+    );
 
     // k-Medians-style clustering: just swap in an L1 lambda. The outliers
     // drag L2 means far more than L1.
@@ -93,6 +99,9 @@ fn main() -> Result<()> {
             (SELECT recency, frequency, monetary FROM segments)) \
          GROUP BY cluster_id ORDER BY revenue DESC",
     )?;
-    println!("-- per-segment revenue (KMEANS_ASSIGN + GROUP BY)\n{}", report.to_table_string());
+    println!(
+        "-- per-segment revenue (KMEANS_ASSIGN + GROUP BY)\n{}",
+        report.to_table_string()
+    );
     Ok(())
 }

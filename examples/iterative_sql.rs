@@ -28,7 +28,10 @@ fn main() -> Result<()> {
             (SELECT x FROM iterate WHERE abs(x * x - 2.0) < 0.000000000001))",
     )?;
     let sqrt2 = r.scalar()?.as_float()?;
-    println!("Newton sqrt(2) = {sqrt2} (error {:e})", (sqrt2 - 2f64.sqrt()).abs());
+    println!(
+        "Newton sqrt(2) = {sqrt2} (error {:e})",
+        (sqrt2 - 2f64.sqrt()).abs()
+    );
 
     // 3. Collatz trajectory length of 27 — a whole working *relation*
     //    (value, steps) is replaced each round.

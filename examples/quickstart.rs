@@ -54,9 +54,7 @@ fn main() -> Result<()> {
 
     // PageRank (paper Listing 2), composed with relational post-processing.
     db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")?;
-    db.execute(
-        "INSERT INTO edges VALUES (1,2),(2,1),(3,1),(4,1),(4,2),(2,3)",
-    )?;
+    db.execute("INSERT INTO edges VALUES (1,2),(2,1),(3,1),(4,1),(4,2),(2,3)")?;
     show(
         &db,
         "PAGERANK + ORDER BY (paper Listing 2)",
@@ -89,9 +87,7 @@ fn main() -> Result<()> {
     db.execute("BEGIN")?;
     db.execute("INSERT INTO sensors VALUES (7, 'lab', 100.0)")?;
     let mut other = db.session();
-    let visible = other
-        .execute("SELECT count(*) FROM sensors")?
-        .scalar()?;
+    let visible = other.execute("SELECT count(*) FROM sensors")?.scalar()?;
     println!("-- another session during the open transaction sees {visible} rows");
     db.execute("ROLLBACK")?;
 

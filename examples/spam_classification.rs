@@ -39,7 +39,9 @@ fn main() -> Result<()> {
                 "ham",
             )
         };
-        rows.push(format!("({id}, {len:.2}, {caps:.3}, {links:.2}, '{label}')"));
+        rows.push(format!(
+            "({id}, {len:.2}, {caps:.3}, {links:.2}, '{label}')"
+        ));
     }
     db.execute(&format!("INSERT INTO messages VALUES {}", rows.join(", ")))?;
 
@@ -82,7 +84,10 @@ fn main() -> Result<()> {
          GROUP BY m.label, p.label \
          ORDER BY 1, 2",
     )?;
-    println!("-- confusion matrix (held-out messages)\n{}", confusion.to_table_string());
+    println!(
+        "-- confusion matrix (held-out messages)\n{}",
+        confusion.to_table_string()
+    );
 
     // Accuracy, computed over the same join.
     let accuracy = db.execute(

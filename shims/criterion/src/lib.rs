@@ -1,0 +1,271 @@
+//! Minimal stand-in for the subset of
+//! [criterion](https://docs.rs/criterion) that HyLite's benches use.
+//!
+//! The build environment has no network access to crates.io. This shim
+//! keeps the bench files source-compatible (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) and measures
+//! with a plain warm-up + timed-samples loop, reporting mean and min
+//! per benchmark to stdout. It has no statistics engine, plotting, or
+//! CLI filtering — swap the workspace dependency back to the real crate
+//! for publication-grade numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => write!(f, "{}/{}", self.function, p),
+            Some(p) => write!(f, "{p}"),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: s.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Mean/min of the measured samples, filled by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Run `f` through warm-up and measurement, recording per-call time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let measure_end = Instant::now() + self.measurement;
+        for done in 0.. {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed());
+            if done + 1 >= self.sample_size && Instant::now() >= measure_end {
+                break;
+            }
+            // Never loop unbounded on a sub-nanosecond body.
+            if done >= self.sample_size * 1000 {
+                break;
+            }
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        self.result = Some((mean, min));
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((mean, min)) => println!("{}/{id}: mean {mean:?}, min {min:?}", self.name),
+            None => println!("{}/{id}: no measurement (iter not called)", self.name),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// End the group (kept for API compatibility; prints a separator).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_owned();
+        let mut group = self.benchmark_group(name);
+        group.bench_function("bench", &mut f);
+        group.finish();
+        self
+    }
+
+    /// Benchmarks executed so far (used by `criterion_main!`'s summary).
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Opaque-value hint, re-exported like criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group-function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+            eprintln!(
+                "[criterion-shim] {} benchmark(s) complete",
+                criterion.benchmarks_run()
+            );
+        }
+    };
+}
+
+/// Declare `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+            g.bench_function("plain", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("sys", 42).to_string(), "sys/42");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+        assert_eq!(BenchmarkId::from("x").to_string(), "x");
+    }
+}

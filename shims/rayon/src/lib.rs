@@ -1,0 +1,73 @@
+//! Sequential stand-in for the subset of [rayon](https://docs.rs/rayon)
+//! that HyLite uses.
+//!
+//! The build environment has no network access to crates.io, so this
+//! in-tree shim provides the same surface (`par_iter`, `par_iter_mut`,
+//! `par_chunks`, `with_min_len`) backed by ordinary sequential
+//! iterators. Call sites are written against rayon's API; swapping the
+//! workspace dependency back to the real crate re-enables hardware
+//! parallelism without touching any operator code.
+
+pub mod prelude {
+    /// `par_iter`-family entry points on slices (and, via deref, `Vec`).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon::slice::par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon::slice::par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon::slice::par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Adapter methods rayon exposes on indexed parallel iterators.
+    /// Granularity hints are no-ops for a sequential iterator.
+    pub trait IndexedParallelIterator: Iterator + Sized {
+        /// No-op work-splitting hint (`rayon`'s `with_min_len`).
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+        /// No-op work-splitting hint (`rayon`'s `with_max_len`).
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> IndexedParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_adapters_behave_like_std() {
+        let v = [1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sums: Vec<i32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7]);
+        let mut m = [1, 2, 3];
+        let total: i32 = m
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(64)
+            .map(|(i, x)| {
+                *x += i as i32;
+                *x
+            })
+            .sum();
+        assert_eq!(total, 1 + 3 + 5);
+    }
+}

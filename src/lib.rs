@@ -31,27 +31,28 @@
 
 pub use hylite_core::{Database, QueryResult, Session};
 
-/// Shared type system: values, chunks, schemas, errors.
-pub use hylite_common as common;
-/// Main-memory column store with snapshot versioning.
-pub use hylite_storage as storage;
-/// Vectorized expressions and SQL lambda expressions.
-pub use hylite_expr as expr;
-/// SQL tokenizer/parser with ITERATE and analytics extensions.
-pub use hylite_sql as sql;
-/// Binder, logical plans and optimizer.
-pub use hylite_planner as planner;
-/// Physical relational operators, recursive CTE and ITERATE.
-pub use hylite_exec as exec;
-/// CSR graphs and LDBC-like graph generation.
-pub use hylite_graph as graph;
 /// Physical analytics operators: k-Means, Naive Bayes, PageRank.
 pub use hylite_analytics as analytics;
-/// Synthetic dataset generators for the evaluation grid.
-pub use hylite_datagen as datagen;
 /// Comparator system simulations (single-threaded, UDF, dataflow).
 pub use hylite_baselines as baselines;
+/// Shared type system: values, chunks, schemas, errors.
+pub use hylite_common as common;
+/// Synthetic dataset generators for the evaluation grid.
+pub use hylite_datagen as datagen;
+/// Physical relational operators, recursive CTE and ITERATE.
+pub use hylite_exec as exec;
+/// Vectorized expressions and SQL lambda expressions.
+pub use hylite_expr as expr;
+/// CSR graphs and LDBC-like graph generation.
+pub use hylite_graph as graph;
+/// Binder, logical plans and optimizer.
+pub use hylite_planner as planner;
+/// SQL tokenizer/parser with ITERATE and analytics extensions.
+pub use hylite_sql as sql;
+/// Main-memory column store with snapshot versioning.
+pub use hylite_storage as storage;
 
 pub use hylite_common::{
     Chunk, ColumnVector, DataType, Field, HyError, Result, Row, Schema, Value,
 };
+pub use hylite_common::{MetricsRegistry, MetricsSnapshot, QueryProfile};

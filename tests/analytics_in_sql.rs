@@ -10,7 +10,8 @@ use hylite::{Database, Value};
 #[test]
 fn apriori_frequent_pairs_in_sql() {
     let db = Database::new();
-    db.execute("CREATE TABLE baskets (tx BIGINT, item VARCHAR)").unwrap();
+    db.execute("CREATE TABLE baskets (tx BIGINT, item VARCHAR)")
+        .unwrap();
     db.execute(
         "INSERT INTO baskets VALUES \
          (1,'bread'),(1,'milk'),(1,'beer'), \
@@ -50,10 +51,8 @@ fn connected_components_via_iterate() {
     let db = Database::new();
     db.execute("CREATE TABLE g (a BIGINT, b BIGINT)").unwrap();
     // Two components: {1,2,3} and {10,11}; plus isolated-ish pair (20,21).
-    db.execute(
-        "INSERT INTO g VALUES (1,2),(2,1),(2,3),(3,2),(10,11),(11,10),(20,21),(21,20)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO g VALUES (1,2),(2,1),(2,3),(3,2),(10,11),(11,10),(20,21),(21,20)")
+        .unwrap();
     let r = db
         .execute(
             "SELECT label, count(*) AS size FROM ITERATE(\
@@ -84,10 +83,8 @@ fn connected_components_via_iterate() {
 fn kmeans_1d_sql_matches_operator() {
     let db = Database::new();
     db.execute("CREATE TABLE d1 (id BIGINT, x DOUBLE)").unwrap();
-    db.execute(
-        "INSERT INTO d1 VALUES (1, 1.0), (2, 1.2), (3, 0.8), (4, 7.0), (5, 7.2), (6, 6.8)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO d1 VALUES (1, 1.0), (2, 1.2), (3, 0.8), (4, 7.0), (5, 7.2), (6, 6.8)")
+        .unwrap();
     let sql_centers = db
         .execute(
             "SELECT c FROM ITERATE(\
@@ -125,7 +122,8 @@ fn kmeans_1d_sql_matches_operator() {
 fn right_construct_for_each_shape() {
     let db = Database::new();
     db.execute("CREATE TABLE e (s BIGINT, d BIGINT)").unwrap();
-    db.execute("INSERT INTO e VALUES (1,2),(2,3),(3,4)").unwrap();
+    db.execute("INSERT INTO e VALUES (1,2),(2,3),(3,4)")
+        .unwrap();
     // Growing: transitive closure with UNION fixpoint.
     let reach = db
         .execute(
@@ -143,5 +141,9 @@ fn right_construct_for_each_shape() {
                (SELECT i FROM iterate WHERE i >= 3))",
         )
         .unwrap();
-    assert_eq!(prop.scalar().unwrap(), Value::Int(3), "relation size constant");
+    assert_eq!(
+        prop.scalar().unwrap(),
+        Value::Int(3),
+        "relation size constant"
+    );
 }

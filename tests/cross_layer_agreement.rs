@@ -70,7 +70,11 @@ fn pagerank_ranks_agree_vertex_by_vertex() {
     // Recursive CTE formulation.
     let cte = ctx
         .db
-        .execute(&queries::pagerank_recursive_cte(ctx.vertices, 0.85, iterations))
+        .execute(&queries::pagerank_recursive_cte(
+            ctx.vertices,
+            0.85,
+            iterations,
+        ))
         .unwrap();
     for row in cte.to_rows() {
         let v = row.int(0).unwrap();

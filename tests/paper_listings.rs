@@ -21,10 +21,8 @@ fn listing_2_pagerank() {
     let db = Database::new();
     db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT, weight DOUBLE)")
         .unwrap();
-    db.execute(
-        "INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0), (1, 3, 2.0)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0), (1, 3, 2.0)")
+        .unwrap();
     let r = db
         .execute("SELECT * FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0001);")
         .unwrap();
@@ -76,7 +74,8 @@ fn non_appending_memory_claim() {
     let db = Database::new();
     db.execute("CREATE TABLE base (v BIGINT)").unwrap();
     let rows: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
-    db.execute(&format!("INSERT INTO base VALUES {}", rows.join(","))).unwrap();
+    db.execute(&format!("INSERT INTO base VALUES {}", rows.join(",")))
+        .unwrap();
 
     let iters = 50;
     let it = db
@@ -110,8 +109,10 @@ fn non_appending_memory_claim() {
 #[test]
 fn no_selection_pushdown_through_analytics() {
     let db = Database::new();
-    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)").unwrap();
-    db.execute("INSERT INTO edges VALUES (1, 2), (2, 1)").unwrap();
+    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")
+        .unwrap();
+    db.execute("INSERT INTO edges VALUES (1, 2), (2, 1)")
+        .unwrap();
     let r = db
         .execute(
             "EXPLAIN SELECT * FROM (SELECT * FROM PAGERANK(\
@@ -141,7 +142,10 @@ fn selection_pushdown_into_scan() {
         plan.contains("TableScan table=t") && plan.contains("filter="),
         "predicate should reach the scan:\n{plan}"
     );
-    assert!(!plan.contains("\n| Filter"), "no standalone filter:\n{plan}");
+    assert!(
+        !plan.contains("\n| Filter"),
+        "no standalone filter:\n{plan}"
+    );
 }
 
 /// §4.3/§6: analytics operators compose with relational operators in one
@@ -149,10 +153,14 @@ fn selection_pushdown_into_scan() {
 #[test]
 fn seamless_composition() {
     let db = Database::new();
-    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)").unwrap();
-    db.execute("CREATE TABLE labels (id BIGINT, name VARCHAR)").unwrap();
-    db.execute("INSERT INTO edges VALUES (1,2),(2,1),(3,1),(1,3)").unwrap();
-    db.execute("INSERT INTO labels VALUES (1,'hub'),(2,'a'),(3,'b')").unwrap();
+    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")
+        .unwrap();
+    db.execute("CREATE TABLE labels (id BIGINT, name VARCHAR)")
+        .unwrap();
+    db.execute("INSERT INTO edges VALUES (1,2),(2,1),(3,1),(1,3)")
+        .unwrap();
+    db.execute("INSERT INTO labels VALUES (1,'hub'),(2,'a'),(3,'b')")
+        .unwrap();
     let r = db
         .execute(
             "SELECT l.name, pr.rank FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0) pr \
@@ -173,7 +181,8 @@ fn lambda_changes_semantics() {
     // L2²: 50 vs 81 → center 0; L1: 10 vs 9 → center 1.
     db.execute("INSERT INTO pts VALUES (0.0, 0.0)").unwrap();
     db.execute("CREATE TABLE ctr (x DOUBLE, y DOUBLE)").unwrap();
-    db.execute("INSERT INTO ctr VALUES (5.0, 5.0), (0.0, 9.0)").unwrap();
+    db.execute("INSERT INTO ctr VALUES (5.0, 5.0), (0.0, 9.0)")
+        .unwrap();
     let l2 = db
         .execute(
             "SELECT cluster_id FROM KMEANS_ASSIGN((SELECT x, y FROM pts), (SELECT x, y FROM ctr))",
@@ -194,11 +203,10 @@ fn lambda_changes_semantics() {
 #[test]
 fn pagerank_reverse_mapping() {
     let db = Database::new();
-    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)").unwrap();
-    db.execute(
-        "INSERT INTO edges VALUES (1000000, -5), (-5, 99999999), (99999999, 1000000)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")
+        .unwrap();
+    db.execute("INSERT INTO edges VALUES (1000000, -5), (-5, 99999999), (99999999, 1000000)")
+        .unwrap();
     let r = db
         .execute(
             "SELECT vertex FROM PAGERANK((SELECT src, dest FROM edges), 0.85, 0.0) ORDER BY vertex",
@@ -215,9 +223,11 @@ fn pagerank_reverse_mapping() {
 #[test]
 fn naive_bayes_paper_formulas() {
     let db = Database::new();
-    db.execute("CREATE TABLE t (f DOUBLE, label BIGINT)").unwrap();
+    db.execute("CREATE TABLE t (f DOUBLE, label BIGINT)")
+        .unwrap();
     // Class 0: {2, 4} → mean 3, sample stddev sqrt(2); class 1: {10}.
-    db.execute("INSERT INTO t VALUES (2.0, 0), (4.0, 0), (10.0, 1)").unwrap();
+    db.execute("INSERT INTO t VALUES (2.0, 0), (4.0, 0), (10.0, 1)")
+        .unwrap();
     let r = db
         .execute(
             "SELECT class, prior, mean, stddev \
@@ -236,12 +246,11 @@ fn naive_bayes_paper_formulas() {
 #[test]
 fn weighted_pagerank_extension() {
     let db = Database::new();
-    db.execute("CREATE TABLE we (src BIGINT, dest BIGINT, w DOUBLE)").unwrap();
+    db.execute("CREATE TABLE we (src BIGINT, dest BIGINT, w DOUBLE)")
+        .unwrap();
     // Vertex 0 sends 90% of its rank to 1, 10% to 2.
-    db.execute(
-        "INSERT INTO we VALUES (0, 1, 9.0), (0, 2, 1.0), (1, 0, 1.0), (2, 0, 1.0)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO we VALUES (0, 1, 9.0), (0, 2, 1.0), (1, 0, 1.0), (2, 0, 1.0)")
+        .unwrap();
     let weighted = db
         .execute(
             "SELECT vertex, rank FROM PAGERANK((SELECT src, dest, w FROM we), 0.85, 0.0, 60) \

@@ -1,8 +1,29 @@
-//! Property-based tests over the full SQL pipeline and the analytics
-//! operators, checking invariants against naive reference computations.
+//! Randomized property tests over the full SQL pipeline and the
+//! analytics operators, checking invariants against naive reference
+//! computations.
+//!
+//! Inputs are drawn from a seeded [`StdRng`], so every run replays the
+//! same cases deterministically (the offline stand-in for proptest).
 
 use hylite::{Database, Value};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run `body` over `cases` deterministic random cases.
+fn for_cases(seed: u64, cases: usize, mut body: impl FnMut(&mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        body(&mut rng);
+    }
+}
+
+/// A random `(a BIGINT, b DOUBLE)` row set of size 0..120.
+fn small_rows(rng: &mut StdRng) -> Vec<(i64, f64)> {
+    let n = rng.gen_range(0usize..120);
+    (0..n)
+        .map(|_| (rng.gen_range(-50i64..50), rng.gen_range(-100.0f64..100.0)))
+        .collect()
+}
 
 /// Build a database with table `t(a BIGINT, b DOUBLE)` holding `rows`.
 fn db_with(rows: &[(i64, f64)]) -> Database {
@@ -10,105 +31,130 @@ fn db_with(rows: &[(i64, f64)]) -> Database {
     db.execute("CREATE TABLE t (a BIGINT, b DOUBLE)").unwrap();
     if !rows.is_empty() {
         let values: Vec<String> = rows.iter().map(|(a, b)| format!("({a}, {b})")).collect();
-        db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+            .unwrap();
     }
     db
 }
 
-fn small_rows() -> impl Strategy<Value = Vec<(i64, f64)>> {
-    proptest::collection::vec((-50i64..50, -100.0f64..100.0), 0..120)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn filter_matches_reference(rows in small_rows(), threshold in -50i64..50) {
+#[test]
+fn filter_matches_reference() {
+    for_cases(0xF117, 48, |rng| {
+        let rows = small_rows(rng);
+        let threshold = rng.gen_range(-50i64..50);
         let db = db_with(&rows);
         let r = db
             .execute(&format!("SELECT count(*) FROM t WHERE a > {threshold}"))
             .unwrap();
         let expect = rows.iter().filter(|(a, _)| *a > threshold).count() as i64;
-        prop_assert_eq!(r.scalar().unwrap(), Value::Int(expect));
-    }
+        assert_eq!(r.scalar().unwrap(), Value::Int(expect));
+    });
+}
 
-    #[test]
-    fn aggregates_match_reference(rows in small_rows()) {
+#[test]
+fn aggregates_match_reference() {
+    for_cases(0xA66, 48, |rng| {
+        let rows = small_rows(rng);
         let db = db_with(&rows);
-        let r = db.execute("SELECT count(*), sum(a), avg(b) FROM t").unwrap();
+        let r = db
+            .execute("SELECT count(*), sum(a), avg(b) FROM t")
+            .unwrap();
         let row = &r.to_rows()[0];
-        prop_assert_eq!(row.values()[0].clone(), Value::Int(rows.len() as i64));
+        assert_eq!(row.values()[0].clone(), Value::Int(rows.len() as i64));
         if rows.is_empty() {
-            prop_assert!(row.values()[1].is_null());
-            prop_assert!(row.values()[2].is_null());
+            assert!(row.values()[1].is_null());
+            assert!(row.values()[2].is_null());
         } else {
             let sum: i64 = rows.iter().map(|(a, _)| a).sum();
-            prop_assert_eq!(row.values()[1].clone(), Value::Int(sum));
+            assert_eq!(row.values()[1].clone(), Value::Int(sum));
             let avg: f64 = rows.iter().map(|(_, b)| b).sum::<f64>() / rows.len() as f64;
             let got = row.float(2).unwrap();
-            prop_assert!((got - avg).abs() < 1e-6 * avg.abs().max(1.0));
+            assert!((got - avg).abs() < 1e-6 * avg.abs().max(1.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn group_by_partitions_input(rows in small_rows()) {
+#[test]
+fn group_by_partitions_input() {
+    for_cases(0x6B, 48, |rng| {
+        let rows = small_rows(rng);
         let db = db_with(&rows);
         let r = db
             .execute("SELECT a % 5, count(*) FROM t GROUP BY a % 5")
             .unwrap();
         let total: i64 = r.to_rows().iter().map(|row| row.int(1).unwrap()).sum();
-        prop_assert_eq!(total, rows.len() as i64, "group sizes sum to input size");
-    }
+        assert_eq!(total, rows.len() as i64, "group sizes sum to input size");
+    });
+}
 
-    #[test]
-    fn order_by_sorts(rows in small_rows()) {
+#[test]
+fn order_by_sorts() {
+    for_cases(0x50F7, 48, |rng| {
+        let rows = small_rows(rng);
         let db = db_with(&rows);
         let r = db.execute("SELECT a FROM t ORDER BY a").unwrap();
         let got: Vec<i64> = r.to_rows().iter().map(|row| row.int(0).unwrap()).collect();
         let mut expect: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn limit_offset_window(rows in small_rows(), limit in 0usize..20, offset in 0usize..20) {
+#[test]
+fn limit_offset_window() {
+    for_cases(0x11517, 48, |rng| {
+        let rows = small_rows(rng);
+        let limit = rng.gen_range(0usize..20);
+        let offset = rng.gen_range(0usize..20);
         let db = db_with(&rows);
         let r = db
-            .execute(&format!("SELECT a FROM t ORDER BY a LIMIT {limit} OFFSET {offset}"))
+            .execute(&format!(
+                "SELECT a FROM t ORDER BY a LIMIT {limit} OFFSET {offset}"
+            ))
             .unwrap();
         let mut expect: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
         expect.sort_unstable();
         let expect: Vec<i64> = expect.into_iter().skip(offset).take(limit).collect();
         let got: Vec<i64> = r.to_rows().iter().map(|row| row.int(0).unwrap()).collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn distinct_is_set_semantics(rows in small_rows()) {
+#[test]
+fn distinct_is_set_semantics() {
+    for_cases(0xD157, 48, |rng| {
+        let rows = small_rows(rng);
         let db = db_with(&rows);
         let r = db.execute("SELECT DISTINCT a FROM t").unwrap();
         let got: std::collections::BTreeSet<i64> =
             r.to_rows().iter().map(|row| row.int(0).unwrap()).collect();
         let expect: std::collections::BTreeSet<i64> = rows.iter().map(|(a, _)| *a).collect();
-        prop_assert_eq!(got.len(), r.row_count(), "no duplicates");
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got.len(), r.row_count(), "no duplicates");
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn join_matches_reference(
-        left in proptest::collection::vec(-10i64..10, 0..40),
-        right in proptest::collection::vec(-10i64..10, 0..40),
-    ) {
+#[test]
+fn join_matches_reference() {
+    for_cases(0x101, 48, |rng| {
+        let left: Vec<i64> = (0..rng.gen_range(0usize..40))
+            .map(|_| rng.gen_range(-10i64..10))
+            .collect();
+        let right: Vec<i64> = (0..rng.gen_range(0usize..40))
+            .map(|_| rng.gen_range(-10i64..10))
+            .collect();
         let db = Database::new();
         db.execute("CREATE TABLE l (k BIGINT)").unwrap();
         db.execute("CREATE TABLE r (k BIGINT)").unwrap();
         if !left.is_empty() {
             let v: Vec<String> = left.iter().map(|k| format!("({k})")).collect();
-            db.execute(&format!("INSERT INTO l VALUES {}", v.join(","))).unwrap();
+            db.execute(&format!("INSERT INTO l VALUES {}", v.join(",")))
+                .unwrap();
         }
         if !right.is_empty() {
             let v: Vec<String> = right.iter().map(|k| format!("({k})")).collect();
-            db.execute(&format!("INSERT INTO r VALUES {}", v.join(","))).unwrap();
+            db.execute(&format!("INSERT INTO r VALUES {}", v.join(",")))
+                .unwrap();
         }
         let res = db
             .execute("SELECT count(*) FROM l JOIN r ON l.k = r.k")
@@ -117,20 +163,28 @@ proptest! {
             .iter()
             .map(|a| right.iter().filter(|b| *b == a).count() as i64)
             .sum();
-        prop_assert_eq!(res.scalar().unwrap(), Value::Int(expect));
-    }
+        assert_eq!(res.scalar().unwrap(), Value::Int(expect));
+    });
+}
 
-    #[test]
-    fn union_all_concatenates(rows in small_rows()) {
+#[test]
+fn union_all_concatenates() {
+    for_cases(0x0A11, 48, |rng| {
+        let rows = small_rows(rng);
         let db = db_with(&rows);
         let r = db
             .execute("SELECT a FROM t UNION ALL SELECT a FROM t")
             .unwrap();
-        prop_assert_eq!(r.row_count(), rows.len() * 2);
-    }
+        assert_eq!(r.row_count(), rows.len() * 2);
+    });
+}
 
-    #[test]
-    fn iterate_equals_manual_loop(start in -20i64..20, step in 1i64..7, bound in 0i64..100) {
+#[test]
+fn iterate_equals_manual_loop() {
+    for_cases(0x17E7, 48, |rng| {
+        let start = rng.gen_range(-20i64..20);
+        let step = rng.gen_range(1i64..7);
+        let bound = rng.gen_range(0i64..100);
         let db = Database::new();
         let r = db
             .execute(&format!(
@@ -143,18 +197,28 @@ proptest! {
         while x < bound {
             x += step;
         }
-        prop_assert_eq!(r.scalar().unwrap(), Value::Int(x));
-    }
+        assert_eq!(r.scalar().unwrap(), Value::Int(x));
+    });
+}
 
-    #[test]
-    fn kmeans_invariants(
-        xs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 4..80),
-        k in 1usize..4,
-    ) {
+#[test]
+fn kmeans_invariants() {
+    for_cases(0x63A5, 24, |rng| {
+        let n = rng.gen_range(4usize..80);
+        let xs: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(-100.0f64..100.0),
+                    rng.gen_range(-100.0f64..100.0),
+                )
+            })
+            .collect();
+        let k = rng.gen_range(1usize..4);
         let db = Database::new();
         db.execute("CREATE TABLE p (x DOUBLE, y DOUBLE)").unwrap();
         let v: Vec<String> = xs.iter().map(|(x, y)| format!("({x}, {y})")).collect();
-        db.execute(&format!("INSERT INTO p VALUES {}", v.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO p VALUES {}", v.join(",")))
+            .unwrap();
         let r = db
             .execute(&format!(
                 "SELECT * FROM KMEANS((SELECT x, y FROM p), \
@@ -162,9 +226,11 @@ proptest! {
             ))
             .unwrap();
         // k centers; sizes sum to n.
-        prop_assert_eq!(r.row_count(), k);
-        let sizes: i64 = (0..k).map(|i| r.value(i, 3).unwrap().as_int().unwrap()).sum();
-        prop_assert_eq!(sizes, xs.len() as i64);
+        assert_eq!(r.row_count(), k);
+        let sizes: i64 = (0..k)
+            .map(|i| r.value(i, 3).unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(sizes, xs.len() as i64);
         // Assignment invariant: every point's nearest center (L2) is the
         // one KMEANS_ASSIGN reports.
         let centers: Vec<(f64, f64)> = (0..k)
@@ -189,42 +255,49 @@ proptest! {
             let (px, py) = (row.float(0).unwrap(), row.float(1).unwrap());
             let got = row.int(2).unwrap() as usize;
             let d2 = |(cx, cy): (f64, f64)| (px - cx).powi(2) + (py - cy).powi(2);
-            let best = centers
-                .iter()
-                .map(|&c| d2(c))
-                .fold(f64::INFINITY, f64::min);
-            prop_assert!(
+            let best = centers.iter().map(|&c| d2(c)).fold(f64::INFINITY, f64::min);
+            assert!(
                 d2(centers[got]) <= best + 1e-9,
                 "({px},{py}) assigned to non-nearest center"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn pagerank_sums_to_one(
-        edges in proptest::collection::vec((0i64..25, 0i64..25), 1..120),
-    ) {
+#[test]
+fn pagerank_sums_to_one() {
+    for_cases(0x9A6E, 24, |rng| {
+        let m = rng.gen_range(1usize..120);
+        let edges: Vec<(i64, i64)> = (0..m)
+            .map(|_| (rng.gen_range(0i64..25), rng.gen_range(0i64..25)))
+            .collect();
         let db = Database::new();
         db.execute("CREATE TABLE e (s BIGINT, d BIGINT)").unwrap();
         let v: Vec<String> = edges.iter().map(|(s, d)| format!("({s}, {d})")).collect();
-        db.execute(&format!("INSERT INTO e VALUES {}", v.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO e VALUES {}", v.join(",")))
+            .unwrap();
         let r = db
             .execute("SELECT sum(pr.rank) FROM PAGERANK((SELECT s, d FROM e), 0.85, 0.0, 20) pr")
             .unwrap();
         let total = r.scalar().unwrap().as_float().unwrap();
-        prop_assert!((total - 1.0).abs() < 1e-6, "rank sum {total}");
-    }
+        assert!((total - 1.0).abs() < 1e-6, "rank sum {total}");
+    });
+}
 
-    #[test]
-    fn update_then_sum_consistent(rows in small_rows(), delta in -5i64..5) {
+#[test]
+fn update_then_sum_consistent() {
+    for_cases(0x5C3D, 48, |rng| {
+        let rows = small_rows(rng);
+        let delta = rng.gen_range(-5i64..5);
         let db = db_with(&rows);
-        db.execute(&format!("UPDATE t SET a = a + {delta}")).unwrap();
+        db.execute(&format!("UPDATE t SET a = a + {delta}"))
+            .unwrap();
         let r = db.execute("SELECT sum(a) FROM t").unwrap();
         if rows.is_empty() {
-            prop_assert!(r.scalar().unwrap().is_null());
+            assert!(r.scalar().unwrap().is_null());
         } else {
             let expect: i64 = rows.iter().map(|(a, _)| a + delta).sum();
-            prop_assert_eq!(r.scalar().unwrap(), Value::Int(expect));
+            assert_eq!(r.scalar().unwrap(), Value::Int(expect));
         }
-    }
+    });
 }

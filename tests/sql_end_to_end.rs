@@ -31,7 +31,9 @@ fn where_order_limit_offset() {
 fn null_semantics() {
     let db = db_with_people();
     // NULL city filtered out by = comparison (3VL).
-    let r = db.execute("SELECT count(*) FROM people WHERE city = city").unwrap();
+    let r = db
+        .execute("SELECT count(*) FROM people WHERE city = city")
+        .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(4));
     let r = db
         .execute("SELECT name FROM people WHERE city IS NULL")
@@ -66,9 +68,7 @@ fn like_between_in_case() {
         .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(2));
     let r = db
-        .execute(
-            "SELECT sum(CASE WHEN age >= 65 THEN 1 ELSE 0 END) AS seniors FROM people",
-        )
+        .execute("SELECT sum(CASE WHEN age >= 65 THEN 1 ELSE 0 END) AS seniors FROM people")
         .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(3));
 }
@@ -129,8 +129,10 @@ fn self_and_three_way_joins() {
         )
         .unwrap();
     assert_eq!(r.row_count(), 1, "only ada & alan share a city");
-    db.execute("CREATE TABLE cities (name VARCHAR, country VARCHAR)").unwrap();
-    db.execute("INSERT INTO cities VALUES ('london', 'uk'), ('boston', 'us')").unwrap();
+    db.execute("CREATE TABLE cities (name VARCHAR, country VARCHAR)")
+        .unwrap();
+    db.execute("INSERT INTO cities VALUES ('london', 'uk'), ('boston', 'us')")
+        .unwrap();
     let r = db
         .execute(
             "SELECT p.name, c.country FROM people p \
@@ -152,9 +154,7 @@ fn ctes_and_nested_subqueries() {
         .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(2));
     let r = db
-        .execute(
-            "SELECT avg(x.age) FROM (SELECT age FROM (SELECT * FROM people) inner2) x",
-        )
+        .execute("SELECT avg(x.age) FROM (SELECT age FROM (SELECT * FROM people) inner2) x")
         .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Float(61.4));
 }
@@ -162,15 +162,19 @@ fn ctes_and_nested_subqueries() {
 #[test]
 fn update_delete_roundtrip() {
     let db = db_with_people();
-    db.execute("UPDATE people SET city = 'cambridge' WHERE city IS NULL").unwrap();
-    let r = db.execute("SELECT count(*) FROM people WHERE city IS NULL").unwrap();
+    db.execute("UPDATE people SET city = 'cambridge' WHERE city IS NULL")
+        .unwrap();
+    let r = db
+        .execute("SELECT count(*) FROM people WHERE city IS NULL")
+        .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(0));
     let affected = db.execute("DELETE FROM people WHERE age < 50").unwrap();
     assert_eq!(affected.rows_affected, 2);
     let r = db.execute("SELECT count(*) FROM people").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(3));
     // Insert after delete reuses the table cleanly.
-    db.execute("INSERT INTO people VALUES (6, 'donald', 86, 'stanford')").unwrap();
+    db.execute("INSERT INTO people VALUES (6, 'donald', 86, 'stanford')")
+        .unwrap();
     let r = db.execute("SELECT max(age) FROM people").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(86));
 }
@@ -192,7 +196,8 @@ fn error_messages_carry_stage() {
 fn aggregates_stddev_variance() {
     let db = Database::new();
     db.execute("CREATE TABLE v (x DOUBLE)").unwrap();
-    db.execute("INSERT INTO v VALUES (2),(4),(4),(4),(5),(5),(7),(9)").unwrap();
+    db.execute("INSERT INTO v VALUES (2),(4),(4),(4),(5),(5),(7),(9)")
+        .unwrap();
     let r = db.execute("SELECT stddev(x), var_samp(x) FROM v").unwrap();
     let sd = r.value(0, 0).unwrap().as_float().unwrap();
     let var = r.value(0, 1).unwrap().as_float().unwrap();
@@ -203,8 +208,10 @@ fn aggregates_stddev_variance() {
 #[test]
 fn recursive_cte_transitive_closure() {
     let db = Database::new();
-    db.execute("CREATE TABLE edge (src BIGINT, dst BIGINT)").unwrap();
-    db.execute("INSERT INTO edge VALUES (1,2),(2,3),(3,4),(4,2)").unwrap();
+    db.execute("CREATE TABLE edge (src BIGINT, dst BIGINT)")
+        .unwrap();
+    db.execute("INSERT INTO edge VALUES (1,2),(2,3),(3,4),(4,2)")
+        .unwrap();
     // Reachability from 1 with UNION (dedup fixpoint despite the cycle).
     let r = db
         .execute(
@@ -221,8 +228,10 @@ fn recursive_cte_transitive_closure() {
 #[test]
 fn insert_select_between_tables() {
     let db = db_with_people();
-    db.execute("CREATE TABLE elders (name VARCHAR, age BIGINT)").unwrap();
-    db.execute("INSERT INTO elders SELECT name, age FROM people WHERE age > 70").unwrap();
+    db.execute("CREATE TABLE elders (name VARCHAR, age BIGINT)")
+        .unwrap();
+    db.execute("INSERT INTO elders SELECT name, age FROM people WHERE age > 70")
+        .unwrap();
     let r = db.execute("SELECT count(*) FROM elders").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(3));
 }
@@ -235,7 +244,8 @@ fn wide_row_and_many_chunks() {
     let rows: Vec<String> = (0..5000)
         .map(|i| format!("({i}, {}.5, 'r{i}', {}, {})", i, i % 2 == 0, i * 2))
         .collect();
-    db.execute(&format!("INSERT INTO wide VALUES {}", rows.join(","))).unwrap();
+    db.execute(&format!("INSERT INTO wide VALUES {}", rows.join(",")))
+        .unwrap();
     let r = db
         .execute("SELECT count(*), sum(e), min(b), max(c) FROM wide WHERE d")
         .unwrap();

@@ -11,7 +11,8 @@ fn analytics_query_sees_stable_snapshot() {
     // that commit while it would be running: the snapshot is pinned.
     let db = Database::new();
     db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
-    db.execute("INSERT INTO pts VALUES (0.0, 0.0), (1.0, 1.0)").unwrap();
+    db.execute("INSERT INTO pts VALUES (0.0, 0.0), (1.0, 1.0)")
+        .unwrap();
     let table = db.catalog().get_table("pts").unwrap();
     let snapshot = table.read().committed_snapshot();
     // OLTP proceeds.
@@ -60,11 +61,17 @@ fn rollback_restores_all_touched_tables() {
     db.execute("DELETE FROM b WHERE x = 10").unwrap();
     db.execute("ROLLBACK").unwrap();
     assert_eq!(
-        db.execute("SELECT sum(x) FROM a").unwrap().scalar().unwrap(),
+        db.execute("SELECT sum(x) FROM a")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(1)
     );
     assert_eq!(
-        db.execute("SELECT sum(x) FROM b").unwrap().scalar().unwrap(),
+        db.execute("SELECT sum(x) FROM b")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(10)
     );
 }
@@ -80,7 +87,10 @@ fn session_drop_rolls_back() {
         // Dropped without COMMIT.
     }
     assert_eq!(
-        db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+        db.execute("SELECT count(*) FROM t")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(0)
     );
 }
@@ -95,9 +105,7 @@ fn kmeans_during_open_transaction_uses_committed_data() {
     // Another session's analytics ignore the uncommitted outlier.
     let mut other = db.session();
     let r = other
-        .execute(
-            "SELECT size FROM KMEANS((SELECT x FROM pts), (SELECT 0.5 c), 5)",
-        )
+        .execute("SELECT size FROM KMEANS((SELECT x FROM pts), (SELECT 0.5 c), 5)")
         .unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Int(2));
     // The writing session's analytics include it.
@@ -111,7 +119,8 @@ fn kmeans_during_open_transaction_uses_committed_data() {
 #[test]
 fn concurrent_sessions_insert() {
     let db = Arc::new(Database::new());
-    db.execute("CREATE TABLE log (worker BIGINT, seq BIGINT)").unwrap();
+    db.execute("CREATE TABLE log (worker BIGINT, seq BIGINT)")
+        .unwrap();
     let handles: Vec<_> = (0..4)
         .map(|w| {
             let db = Arc::clone(&db);
@@ -177,7 +186,10 @@ fn reader_runs_while_writer_commits() {
     writer.join().unwrap();
     reader.join().unwrap();
     assert_eq!(
-        db.execute("SELECT count(*) FROM t").unwrap().scalar().unwrap(),
+        db.execute("SELECT count(*) FROM t")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(200)
     );
 }
