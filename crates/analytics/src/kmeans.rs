@@ -12,6 +12,7 @@
 //! the candidate center is substituted into the lambda body as constants
 //! and the resulting expression runs over whole chunks.
 
+use hylite_common::governor::Governor;
 use hylite_common::{Chunk, HyError, Result, Value};
 use hylite_expr::BoundLambda;
 use rayon::prelude::*;
@@ -253,6 +254,26 @@ pub fn kmeans(
     lambda: Option<&BoundLambda>,
     config: &KMeansConfig,
 ) -> Result<KMeansResult> {
+    kmeans_governed(
+        chunks,
+        initial_centers,
+        lambda,
+        config,
+        &Governor::unlimited(),
+    )
+}
+
+/// [`kmeans`] under a resource [`Governor`]: each Lloyd iteration starts
+/// with a cooperative cancellation/deadline check, and the per-thread
+/// accumulator arrays are charged against the statement's memory budget
+/// for the duration of the run.
+pub fn kmeans_governed(
+    chunks: &[Chunk],
+    initial_centers: Vec<Vec<f64>>,
+    lambda: Option<&BoundLambda>,
+    config: &KMeansConfig,
+    governor: &Governor,
+) -> Result<KMeansResult> {
     let k = initial_centers.len();
     if k == 0 {
         return Err(HyError::Analytics(
@@ -281,6 +302,10 @@ pub fn kmeans(
         }
     }
 
+    // Per-thread accumulators: one Locals (k×d sums + k counts) per chunk.
+    let locals_bytes = chunks.len() as u64 * (k as u64 * d as u64 * 8 + k as u64 * 8);
+    let _scratch = governor.reserve_scoped(locals_bytes)?;
+
     let mut centers = initial_centers;
     let mut sizes = vec![0u64; k];
     let mut iterations = 0usize;
@@ -289,6 +314,7 @@ pub fn kmeans(
     let mut iter_micros = Vec::new();
 
     while iterations < config.max_iterations {
+        governor.check()?;
         iterations += 1;
         let iter_start = std::time::Instant::now();
         // Parallel local assignment + accumulation; locals are merged in

@@ -9,12 +9,14 @@
 //! per-class (N, Σa, Σa²) moments (§6.2), exposed separately as the
 //! reusable [`class_stats`] building block.
 
+#![warn(missing_docs)]
+
 pub mod kmeans;
 pub mod naive_bayes;
 pub mod pagerank;
 pub mod stats;
 
-pub use kmeans::{kmeans, kmeans_assign, KMeansConfig, KMeansResult};
+pub use kmeans::{kmeans, kmeans_assign, kmeans_governed, KMeansConfig, KMeansResult};
 pub use naive_bayes::{LabelValue, NaiveBayesModel};
-pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
+pub use pagerank::{pagerank, pagerank_governed, PageRankConfig, PageRankResult};
 pub use stats::{class_stats, ClassStatsRow};

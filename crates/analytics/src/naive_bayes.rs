@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use hylite_common::governor::Governor;
 use hylite_common::{Chunk, ColumnVector, DataType, HyError, Result, Value};
 use rayon::prelude::*;
 
@@ -115,6 +116,16 @@ pub fn collect_moments_opts(
     chunks: &[Chunk],
     track_minmax: bool,
 ) -> Result<HashMap<LabelValue, ClassMoments>> {
+    collect_moments_governed(chunks, track_minmax, &Governor::unlimited())
+}
+
+/// [`collect_moments_opts`] under a resource [`Governor`]: every parallel
+/// per-chunk fold starts with a cooperative cancellation/deadline check.
+pub fn collect_moments_governed(
+    chunks: &[Chunk],
+    track_minmax: bool,
+    governor: &Governor,
+) -> Result<HashMap<LabelValue, ClassMoments>> {
     let Some(first) = chunks.first() else {
         return Ok(HashMap::new());
     };
@@ -128,6 +139,7 @@ pub fn collect_moments_opts(
     let locals: Vec<Result<HashMap<LabelValue, ClassMoments>>> = chunks
         .par_iter()
         .map(|chunk| {
+            governor.check()?;
             let mut table: HashMap<LabelValue, ClassMoments> = HashMap::new();
             let label_col = chunk.column(d);
             let feature_cols: Vec<&[f64]> = (0..d)
@@ -221,7 +233,18 @@ const MIN_STDDEV: f64 = 1e-9;
 impl NaiveBayesModel {
     /// Train from labeled chunks (features..., label).
     pub fn train(chunks: &[Chunk], feature_names: &[String]) -> Result<NaiveBayesModel> {
-        let moments = collect_moments_opts(chunks, false)?;
+        NaiveBayesModel::train_governed(chunks, feature_names, &Governor::unlimited())
+    }
+
+    /// [`train`](NaiveBayesModel::train) under a resource [`Governor`]:
+    /// the parallel moment collection checks for cancellation/timeout once
+    /// per input chunk.
+    pub fn train_governed(
+        chunks: &[Chunk],
+        feature_names: &[String],
+        governor: &Governor,
+    ) -> Result<NaiveBayesModel> {
+        let moments = collect_moments_governed(chunks, false, governor)?;
         if moments.is_empty() {
             return Err(HyError::Analytics(
                 "Naive Bayes training input is empty".into(),

@@ -7,6 +7,8 @@
 //! iteration we aggregate each worker's data to determine how much the
 //! new ranks differ from the previous iteration's."
 
+use hylite_common::governor::Governor;
+use hylite_common::Result;
 use hylite_graph::CsrGraph;
 use rayon::prelude::*;
 
@@ -53,16 +55,33 @@ const MIN_PAR_LEN: usize = 4096;
 /// Run PageRank over a CSR graph (dense ids; callers translate back with
 /// the graph's [`VertexMapping`](hylite_graph::VertexMapping)).
 pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
+    pagerank_governed(graph, config, &Governor::unlimited())
+        .expect("unlimited governor cannot abort")
+}
+
+/// [`pagerank`] under a resource [`Governor`]: each power iteration starts
+/// with a cooperative cancellation/deadline check, and the rank/share
+/// arrays plus the transposed adjacency are charged against the
+/// statement's memory budget for the duration of the run.
+pub fn pagerank_governed(
+    graph: &CsrGraph,
+    config: &PageRankConfig,
+    governor: &Governor,
+) -> Result<PageRankResult> {
     let n = graph.num_vertices();
     if n == 0 {
-        return PageRankResult {
+        return Ok(PageRankResult {
             ranks: vec![],
             iterations: 0,
             converged: true,
             residual_history: vec![],
             iter_micros: vec![],
-        };
+        });
     }
+    // Scratch working set: ranks + next + share (f64 each) plus the
+    // transposed CSR (offsets + edge targets).
+    let scratch_bytes = 3 * n as u64 * 8 + (n as u64 + 1) * 8 + graph.num_edges() as u64 * 4;
+    let _scratch = governor.reserve_scoped(scratch_bytes)?;
     // Pull-based: iterate over each vertex's in-neighbors.
     let incoming = graph.transpose();
     let out_degree = graph.out_degrees();
@@ -77,6 +96,7 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
     let mut iter_micros = Vec::new();
 
     while iterations < config.max_iterations {
+        governor.check()?;
         iterations += 1;
         let iter_start = std::time::Instant::now();
         // Dangling mass: vertices with no out-edges spread uniformly.
@@ -117,13 +137,13 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
             break;
         }
     }
-    PageRankResult {
+    Ok(PageRankResult {
         ranks,
         iterations,
         converged,
         residual_history,
         iter_micros,
-    }
+    })
 }
 
 /// Weighted PageRank: a vertex's rank flows to its neighbors
@@ -136,17 +156,31 @@ pub fn pagerank_weighted(
     weights: &[f64],
     config: &PageRankConfig,
 ) -> PageRankResult {
+    pagerank_weighted_governed(graph, weights, config, &Governor::unlimited())
+        .expect("unlimited governor cannot abort")
+}
+
+/// [`pagerank_weighted`] under a resource [`Governor`] — see
+/// [`pagerank_governed`] for the check/charge policy.
+pub fn pagerank_weighted_governed(
+    graph: &CsrGraph,
+    weights: &[f64],
+    config: &PageRankConfig,
+    governor: &Governor,
+) -> Result<PageRankResult> {
     let n = graph.num_vertices();
     if n == 0 {
-        return PageRankResult {
+        return Ok(PageRankResult {
             ranks: vec![],
             iterations: 0,
             converged: true,
             residual_history: vec![],
             iter_micros: vec![],
-        };
+        });
     }
     assert_eq!(weights.len(), graph.num_edges(), "weight per edge");
+    // Scratch working set: ranks + next + total_weight (f64 each).
+    let _scratch = governor.reserve_scoped(3 * n as u64 * 8)?;
     // Total outgoing weight per vertex.
     let total_weight: Vec<f64> = (0..n as u32)
         .map(|v| graph.edge_range(v).map(|e| weights[e]).sum())
@@ -160,6 +194,7 @@ pub fn pagerank_weighted(
     let mut residual_history = Vec::new();
     let mut iter_micros = Vec::new();
     while iterations < config.max_iterations {
+        governor.check()?;
         iterations += 1;
         let iter_start = std::time::Instant::now();
         let dangling: f64 = ranks
@@ -190,13 +225,13 @@ pub fn pagerank_weighted(
             break;
         }
     }
-    PageRankResult {
+    Ok(PageRankResult {
         ranks,
         iterations,
         converged,
         residual_history,
         iter_micros,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -30,6 +30,14 @@ pub enum HyError {
     Analytics(String),
     /// Transaction handling failure (no active tx, conflict, ...).
     Transaction(String),
+    /// The statement was cancelled via its session's
+    /// [`CancelToken`](crate::governor::CancelToken).
+    Cancelled(String),
+    /// The statement ran past the session's `statement_timeout_ms`.
+    Timeout(String),
+    /// A memory reservation would exceed the session's
+    /// `memory_budget_mb` cap.
+    BudgetExceeded(String),
     /// Internal invariant violation: a bug in the engine, not user error.
     Internal(String),
 }
@@ -47,8 +55,23 @@ impl HyError {
             HyError::Type(_) => "type",
             HyError::Analytics(_) => "analytics",
             HyError::Transaction(_) => "transaction",
+            HyError::Cancelled(_) => "cancelled",
+            HyError::Timeout(_) => "timeout",
+            HyError::BudgetExceeded(_) => "budget",
             HyError::Internal(_) => "internal",
         }
+    }
+
+    /// True for the resource-governor taxonomy
+    /// ([`Cancelled`](HyError::Cancelled) / [`Timeout`](HyError::Timeout)
+    /// / [`BudgetExceeded`](HyError::BudgetExceeded)): the statement was
+    /// deliberately aborted by resource policy, not rejected as invalid —
+    /// the session remains usable and the statement may be retried.
+    pub fn is_governed_abort(&self) -> bool {
+        matches!(
+            self,
+            HyError::Cancelled(_) | HyError::Timeout(_) | HyError::BudgetExceeded(_)
+        )
     }
 
     /// The human-readable message carried by the error.
@@ -63,6 +86,9 @@ impl HyError {
             | HyError::Type(m)
             | HyError::Analytics(m)
             | HyError::Transaction(m)
+            | HyError::Cancelled(m)
+            | HyError::Timeout(m)
+            | HyError::BudgetExceeded(m)
             | HyError::Internal(m) => m,
         }
     }
@@ -114,6 +140,9 @@ mod tests {
             HyError::Type(String::new()),
             HyError::Analytics(String::new()),
             HyError::Transaction(String::new()),
+            HyError::Cancelled(String::new()),
+            HyError::Timeout(String::new()),
+            HyError::BudgetExceeded(String::new()),
             HyError::Internal(String::new()),
         ];
         let mut stages: Vec<_> = errs.iter().map(|e| e.stage()).collect();

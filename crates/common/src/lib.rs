@@ -4,12 +4,18 @@
 //! speaks: [`DataType`] and [`Value`] for scalars, [`Bitmap`] for validity,
 //! [`ColumnVector`] for typed columns, [`Chunk`] for vectorized batches of
 //! rows, [`Schema`]/[`Field`] for relation shapes, and [`HyError`] for
-//! error reporting across the whole engine.
+//! error reporting across the whole engine. It also hosts the two
+//! cross-cutting runtime services: [`telemetry`] (metrics and per-query
+//! profiles) and [`governor`] (per-query cancellation, deadlines, and
+//! memory budgets).
+
+#![warn(missing_docs)]
 
 pub mod bitmap;
 pub mod chunk;
 pub mod column;
 pub mod error;
+pub mod governor;
 pub mod row;
 pub mod schema;
 pub mod telemetry;
@@ -20,6 +26,7 @@ pub use bitmap::Bitmap;
 pub use chunk::Chunk;
 pub use column::ColumnVector;
 pub use error::{HyError, Result};
+pub use governor::{CancelToken, Governor, MemoryBudget, Reservation};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, OpSpan, ProfileBuilder, QueryProfile};

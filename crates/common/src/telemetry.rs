@@ -170,9 +170,13 @@ fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
 /// Point-in-time summary of one [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
+    /// Number of recorded samples.
     pub count: u64,
+    /// Sum of all recorded samples.
     pub sum: u64,
+    /// Smallest recorded sample (0 when empty).
     pub min: u64,
+    /// Largest recorded sample (0 when empty).
     pub max: u64,
     /// Estimated median (bucket midpoint).
     pub p50: u64,
@@ -272,8 +276,11 @@ impl MetricsRegistry {
 /// text or JSON.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
+    /// All counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// All gauges by name.
     pub gauges: BTreeMap<String, i64>,
+    /// All histograms by name, pre-summarized.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 

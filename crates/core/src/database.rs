@@ -16,6 +16,22 @@ use crate::session::Session;
 /// sessions (each with its own transaction state), and
 /// [`Database::execute`] runs SQL on a built-in convenience session.
 /// All sessions report into one engine-wide [`MetricsRegistry`].
+///
+/// # Quickstart
+///
+/// ```
+/// use hylite_core::Database;
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+/// db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+/// let r = db.execute("SELECT sum(x) FROM t").unwrap();
+/// assert_eq!(r.scalar().unwrap(), hylite_common::Value::Int(6));
+/// ```
+///
+/// Long-running statements can be governed per session — see
+/// [`Session`] for timeouts, memory budgets, and
+/// cancellation.
 pub struct Database {
     catalog: Arc<Catalog>,
     metrics: Arc<MetricsRegistry>,
@@ -64,6 +80,13 @@ impl Database {
     /// this session persist across `execute` calls).
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         self.default_session.lock().execute(sql)
+    }
+
+    /// A handle that cancels the default session's running (or next)
+    /// statement from any thread — see
+    /// [`Session::cancel_handle`].
+    pub fn cancel_handle(&self) -> Arc<hylite_common::CancelToken> {
+        self.default_session.lock().cancel_handle()
     }
 }
 

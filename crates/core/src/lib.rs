@@ -12,4 +12,4 @@ pub mod session;
 pub use csv::CsvOptions;
 pub use database::Database;
 pub use result::QueryResult;
-pub use session::Session;
+pub use session::{Session, SessionSettings};

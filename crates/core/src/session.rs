@@ -2,8 +2,9 @@
 
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use hylite_common::governor::{CancelToken, Governor};
 use hylite_common::telemetry::MetricsRegistry;
 use hylite_common::{Chunk, HyError, Result, Value};
 use hylite_exec::{ExecContext, Executor};
@@ -15,8 +16,47 @@ use hylite_storage::{Catalog, Transaction};
 
 use crate::result::QueryResult;
 
+/// Session-level resource knobs, adjusted with `SET <name> = <value>`.
+///
+/// | Setting                | Default | Meaning                                   |
+/// |------------------------|---------|-------------------------------------------|
+/// | `statement_timeout_ms` | `0`     | Per-statement wall-clock cap; `0` = none  |
+/// | `memory_budget_mb`     | `0`     | Per-statement memory cap; `0` = unlimited |
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSettings {
+    /// Statement timeout in milliseconds; `0` disables the deadline.
+    pub statement_timeout_ms: u64,
+    /// Per-statement memory budget in mebibytes; `0` means unlimited.
+    pub memory_budget_mb: u64,
+}
+
 /// One client session. Holds the transaction state; queries read their
 /// own uncommitted changes and the committed state of everything else.
+///
+/// Every statement runs under a fresh [`Governor`] built from the
+/// session's [`SessionSettings`] and its shared [`CancelToken`] (see
+/// [`cancel_handle`](Session::cancel_handle)), so cancellation, timeouts,
+/// and budget violations abort exactly one statement and leave the
+/// session usable.
+///
+/// # Quickstart
+///
+/// ```
+/// use hylite_core::Database;
+///
+/// let db = Database::new();
+/// let mut session = db.session();
+/// session.execute("CREATE TABLE t (x BIGINT)").unwrap();
+/// session.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+///
+/// // Resource knobs are per session; 0 disables a knob again.
+/// session.execute("SET statement_timeout_ms = 5000").unwrap();
+/// session.execute("SET memory_budget_mb = 256").unwrap();
+/// assert_eq!(session.settings().statement_timeout_ms, 5000);
+///
+/// let r = session.execute("SELECT count(*) FROM t").unwrap();
+/// assert_eq!(r.scalar().unwrap(), hylite_common::Value::Int(2));
+/// ```
 pub struct Session {
     catalog: Arc<Catalog>,
     tx: Option<Transaction>,
@@ -24,6 +64,14 @@ pub struct Session {
     own_tables: HashSet<String>,
     /// Engine-wide metrics registry, shared with the owning database.
     metrics: Arc<MetricsRegistry>,
+    /// Resource knobs (`SET statement_timeout_ms`, `SET memory_budget_mb`).
+    settings: SessionSettings,
+    /// Cancel token shared with [`cancel_handle`](Session::cancel_handle)
+    /// callers; observed by the currently running statement.
+    cancel: Arc<CancelToken>,
+    /// The governor of the statement currently executing (an unlimited
+    /// placeholder between statements).
+    governor: Arc<Governor>,
 }
 
 impl Session {
@@ -39,7 +87,23 @@ impl Session {
             tx: None,
             own_tables: HashSet::new(),
             metrics,
+            settings: SessionSettings::default(),
+            cancel: Arc::new(CancelToken::new()),
+            governor: Arc::new(Governor::unlimited()),
         }
+    }
+
+    /// The session's current resource settings.
+    pub fn settings(&self) -> SessionSettings {
+        self.settings
+    }
+
+    /// A shareable handle that cancels the session's running (or next)
+    /// statement from any thread. Cancellation is sticky until a
+    /// statement actually aborts with [`HyError::Cancelled`]; the session
+    /// then clears it so subsequent statements run normally.
+    pub fn cancel_handle(&self) -> Arc<CancelToken> {
+        Arc::clone(&self.cancel)
     }
 
     /// The metrics registry this session reports into.
@@ -66,20 +130,80 @@ impl Session {
         Ok(last.expect("non-empty checked"))
     }
 
-    /// Execute one parsed statement.
+    /// Execute one parsed statement under a fresh per-statement governor.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
         let started = Instant::now();
+        self.governor = self.new_statement_governor();
+        let governor = Arc::clone(&self.governor);
         let result = Binder::new(&self.catalog)
             .bind_statement(stmt)
             .and_then(|bound| self.execute_bound(bound));
+        self.governor = Arc::new(Governor::unlimited());
         self.metrics
             .histogram("query.wall_us")
             .record(started.elapsed().as_micros() as u64);
+        let peak = governor.budget().peak();
+        if peak > 0 {
+            self.metrics
+                .histogram("governor.peak_reserved_bytes")
+                .record(peak);
+        }
+        let denied = governor.budget().denied();
+        if denied > 0 {
+            self.metrics
+                .counter("governor.denied_reservations")
+                .add(denied);
+        }
         match &result {
             Ok(_) => self.metrics.counter("query.executed").inc(),
-            Err(_) => self.metrics.counter("query.failed").inc(),
+            Err(e) => {
+                self.metrics.counter("query.failed").inc();
+                match e {
+                    HyError::Cancelled(_) => {
+                        // One cancel request kills at most one statement:
+                        // clear the sticky token now that it has fired.
+                        self.cancel.reset();
+                        self.metrics.counter("query.cancelled").inc();
+                    }
+                    HyError::Timeout(_) => {
+                        self.metrics.counter("query.timed_out").inc();
+                    }
+                    HyError::BudgetExceeded(_) => {
+                        self.metrics.counter("query.budget_exceeded").inc();
+                    }
+                    _ => {}
+                }
+            }
         }
         result
+    }
+
+    /// Build the governor for the next statement from the current
+    /// settings: the shared cancel token, a deadline if
+    /// `statement_timeout_ms` is set, and a byte budget if
+    /// `memory_budget_mb` is set.
+    fn new_statement_governor(&self) -> Arc<Governor> {
+        let timeout = (self.settings.statement_timeout_ms > 0)
+            .then(|| Duration::from_millis(self.settings.statement_timeout_ms));
+        let budget = (self.settings.memory_budget_mb > 0)
+            .then(|| self.settings.memory_budget_mb.saturating_mul(1024 * 1024));
+        Arc::new(Governor::new(Arc::clone(&self.cancel), timeout, budget))
+    }
+
+    /// Apply `SET <name> = <value>`. Unknown names are a bind error; the
+    /// session's settings are unchanged on failure.
+    fn apply_setting(&mut self, name: &str, value: u64) -> Result<QueryResult> {
+        match name {
+            "statement_timeout_ms" => self.settings.statement_timeout_ms = value,
+            "memory_budget_mb" => self.settings.memory_budget_mb = value,
+            other => {
+                return Err(HyError::Bind(format!(
+                    "unknown session setting '{other}' \
+                     (available: statement_timeout_ms, memory_budget_mb)"
+                )))
+            }
+        }
+        Ok(QueryResult::affected(0))
     }
 
     fn execute_bound(&mut self, bound: BoundStatement) -> Result<QueryResult> {
@@ -146,6 +270,7 @@ impl Session {
                 }
                 None => Err(HyError::Transaction("no transaction in progress".into())),
             },
+            BoundStatement::Set { name, value } => self.apply_setting(&name, value),
             BoundStatement::Explain { statement, analyze } => self.run_explain(*statement, analyze),
         }
     }
@@ -260,6 +385,7 @@ impl Session {
         ExecContext::new(Arc::clone(&self.catalog))
             .with_own_tables(self.own_tables.iter().cloned())
             .with_metrics(Arc::clone(&self.metrics))
+            .with_governor(Arc::clone(&self.governor))
     }
 
     fn table_snapshot(&self, table: &str) -> Result<hylite_storage::TableSnapshot> {
@@ -279,7 +405,7 @@ impl Session {
         filter: Option<&ScalarExpr>,
     ) -> Result<QueryResult> {
         let snapshot = self.table_snapshot(table)?;
-        let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter)?;
+        let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter, &self.governor)?;
         let mut ids = Vec::new();
         let mut new_rows: Vec<Vec<Value>> = Vec::new();
         for (chunk, row_ids) in &hits {
@@ -301,7 +427,7 @@ impl Session {
 
     fn run_delete(&mut self, table: &str, filter: Option<&ScalarExpr>) -> Result<QueryResult> {
         let snapshot = self.table_snapshot(table)?;
-        let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter)?;
+        let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter, &self.governor)?;
         let ids: Vec<usize> = hits.into_iter().flat_map(|(_, ids)| ids).collect();
         let n = ids.len();
         if n > 0 {

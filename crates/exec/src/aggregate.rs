@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use hylite_common::governor::Governor;
 #[cfg(test)]
 use hylite_common::Value;
 use hylite_common::{Chunk, ColumnVector, DataType, Result};
@@ -19,22 +20,63 @@ use crate::util::{key_at, key_columns, HashableRow};
 
 type GroupTable = HashMap<HashableRow, Vec<AggregateState>>;
 
+/// Releases transient hash-table reservations when the aggregation
+/// finishes (or aborts), so a failed statement leaves the budget clean.
+struct BudgetGuard<'a> {
+    governor: &'a Governor,
+    bytes: u64,
+}
+
+impl Drop for BudgetGuard<'_> {
+    fn drop(&mut self) {
+        self.governor.release(self.bytes);
+    }
+}
+
+/// Rough per-group hash-table footprint: entry overhead plus the key
+/// values and one accumulator per aggregate.
+fn group_entry_bytes(num_keys: usize, num_aggs: usize) -> u64 {
+    48 + 32 * num_keys as u64 + 48 * num_aggs as u64
+}
+
 /// Execute a grouped aggregation. Output columns: group keys in order,
 /// then one column per aggregate. With no group keys the result is a
 /// single row (aggregates over the whole input, even when empty).
+///
+/// Every parallel partial fold starts with a governor check, and each
+/// thread-local hash table is charged against the statement's memory
+/// budget (released once the output chunk is built).
 pub fn aggregate(
     chunks: &[Chunk],
     group_exprs: &[ScalarExpr],
     aggregates: &[AggExpr],
     output_types: &[DataType],
+    governor: &Governor,
 ) -> Result<Vec<Chunk>> {
-    let locals: Vec<Result<GroupTable>> = chunks
+    let locals: Vec<Result<(GroupTable, u64)>> = chunks
         .par_iter()
-        .map(|chunk| fold_chunk(chunk, group_exprs, aggregates))
+        .map(|chunk| fold_chunk(chunk, group_exprs, aggregates, governor))
         .collect();
-    let mut merged: GroupTable = HashMap::new();
+    // Collect every successful fold's reservation before propagating any
+    // error, so an aborted statement still releases all partials.
+    let mut guard = BudgetGuard { governor, bytes: 0 };
+    let mut tables = Vec::with_capacity(locals.len());
+    let mut first_err = None;
     for local in locals {
-        for (key, states) in local? {
+        match local {
+            Ok((table, reserved)) => {
+                guard.bytes += reserved;
+                tables.push(table);
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let mut merged: GroupTable = HashMap::new();
+    for local in tables {
+        for (key, states) in local {
             match merged.get_mut(&key) {
                 Some(existing) => {
                     for (a, b) in existing.iter_mut().zip(&states) {
@@ -86,7 +128,9 @@ fn fold_chunk(
     chunk: &Chunk,
     group_exprs: &[ScalarExpr],
     aggregates: &[AggExpr],
-) -> Result<GroupTable> {
+    governor: &Governor,
+) -> Result<(GroupTable, u64)> {
+    governor.check()?;
     let mut table = GroupTable::new();
     let key_cols = key_columns(group_exprs, chunk)?;
     let arg_cols: Vec<Option<ColumnVector>> = aggregates
@@ -104,7 +148,9 @@ fn fold_chunk(
                 None => state.update_count_star(chunk.len() as i64),
             }
         }
-        return Ok(table);
+        let reserved = group_entry_bytes(0, aggregates.len());
+        governor.reserve(reserved)?;
+        return Ok((table, reserved));
     }
     for i in 0..chunk.len() {
         let key = key_at(&key_cols, i);
@@ -118,14 +164,21 @@ fn fold_chunk(
             }
         }
     }
-    Ok(table)
+    let reserved = table.len() as u64 * group_entry_bytes(group_exprs.len(), aggregates.len());
+    governor.reserve(reserved)?;
+    Ok((table, reserved))
 }
 
-/// DISTINCT: keep the first occurrence of every row.
-pub fn distinct(chunks: &[Chunk], types: &[DataType]) -> Result<Vec<Chunk>> {
+/// DISTINCT: keep the first occurrence of every row. Checks the governor
+/// once per input chunk and charges the dedup hash set against the
+/// statement's memory budget.
+pub fn distinct(chunks: &[Chunk], types: &[DataType], governor: &Governor) -> Result<Vec<Chunk>> {
     let mut seen = std::collections::HashSet::new();
+    let mut guard = BudgetGuard { governor, bytes: 0 };
     let mut cols: Vec<ColumnVector> = types.iter().map(|&t| ColumnVector::empty(t)).collect();
     for chunk in chunks {
+        governor.check()?;
+        let before = seen.len();
         for i in 0..chunk.len() {
             let row = HashableRow(chunk.row(i).into_values());
             if seen.insert(row.clone()) {
@@ -134,6 +187,10 @@ pub fn distinct(chunks: &[Chunk], types: &[DataType]) -> Result<Vec<Chunk>> {
                 }
             }
         }
+        let added = (seen.len() - before) as u64;
+        let reserved = added * group_entry_bytes(types.len(), 0);
+        governor.reserve(reserved)?;
+        guard.bytes += reserved;
     }
     Ok(vec![Chunk::new(cols)])
 }
@@ -171,6 +228,7 @@ mod tests {
                 agg(AggregateFunction::CountStar, None),
             ],
             &[DataType::Int64, DataType::Float64, DataType::Int64],
+            &Governor::unlimited(),
         )
         .unwrap();
         let c = &out[0];
@@ -194,6 +252,7 @@ mod tests {
                 ),
             ],
             &[DataType::Int64, DataType::Int64],
+            &Governor::unlimited(),
         )
         .unwrap();
         let c = &out[0];
@@ -209,6 +268,7 @@ mod tests {
             &[ScalarExpr::column(0, DataType::Int64)],
             &[agg(AggregateFunction::CountStar, None)],
             &[DataType::Int64, DataType::Int64],
+            &Governor::unlimited(),
         )
         .unwrap();
         assert_eq!(out[0].len(), 0);
@@ -226,6 +286,7 @@ mod tests {
                 Some(ScalarExpr::column(1, DataType::Float64)),
             )],
             &[DataType::Int64, DataType::Float64],
+            &Governor::unlimited(),
         )
         .unwrap();
         let split = aggregate(
@@ -236,6 +297,7 @@ mod tests {
                 Some(ScalarExpr::column(1, DataType::Float64)),
             )],
             &[DataType::Int64, DataType::Float64],
+            &Governor::unlimited(),
         )
         .unwrap();
         assert_eq!(whole, split);
@@ -252,6 +314,7 @@ mod tests {
             &[ScalarExpr::column(0, DataType::Int64)],
             &[agg(AggregateFunction::CountStar, None)],
             &[DataType::Int64, DataType::Int64],
+            &Governor::unlimited(),
         )
         .unwrap();
         assert_eq!(out[0].len(), 2, "NULL group + value group");
@@ -263,7 +326,7 @@ mod tests {
     #[test]
     fn distinct_dedups() {
         let chunk = Chunk::new(vec![ColumnVector::from_i64(vec![1, 2, 1, 3, 2])]);
-        let out = distinct(&[chunk], &[DataType::Int64]).unwrap();
+        let out = distinct(&[chunk], &[DataType::Int64], &Governor::unlimited()).unwrap();
         assert_eq!(out[0].column(0).as_i64().unwrap(), &[1, 2, 3]);
     }
 }

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use hylite_common::governor::Governor;
 use hylite_common::telemetry::{MetricsRegistry, ProfileBuilder, QueryProfile};
 use hylite_common::{Chunk, HyError, Result};
 use hylite_storage::{Catalog, TableSnapshot};
@@ -48,6 +49,17 @@ pub struct ExecContext {
     /// Per-operator span profile, recorded only when explicitly enabled
     /// (EXPLAIN ANALYZE) so plain queries pay nothing.
     profile: Option<ProfileBuilder>,
+    /// The statement's resource governor (cancellation, deadline, memory
+    /// budget). Defaults to an unlimited one so execution outside a
+    /// session (tests, benches) is unaffected.
+    governor: Arc<Governor>,
+    /// Scoped memory accounting: one frame per open [`Executor::execute`]
+    /// call, tracking bytes reserved for that subtree's child outputs.
+    /// When a node finishes, its children's outputs are dead and the
+    /// frame's bytes are released back to the budget.
+    ///
+    /// [`Executor::execute`]: crate::Executor::execute
+    mem_frames: Vec<u64>,
 }
 
 impl ExecContext {
@@ -60,6 +72,63 @@ impl ExecContext {
             stats: ExecStats::default(),
             metrics: Arc::new(MetricsRegistry::new()),
             profile: None,
+            governor: Arc::new(Governor::unlimited()),
+            mem_frames: Vec::new(),
+        }
+    }
+
+    /// Attach the statement's resource governor.
+    pub fn with_governor(mut self, governor: Arc<Governor>) -> ExecContext {
+        self.governor = governor;
+        self
+    }
+
+    /// The statement's resource governor.
+    pub fn governor(&self) -> &Arc<Governor> {
+        &self.governor
+    }
+
+    /// Cooperative cancellation/deadline check — called at every operator
+    /// dispatch (and, via shared governor handles, in every scan morsel
+    /// and analytics iteration).
+    pub fn check_governor(&self) -> Result<()> {
+        self.governor.check()
+    }
+
+    /// Open a memory-accounting frame for one operator execution.
+    pub fn push_mem_frame(&mut self) {
+        self.mem_frames.push(0);
+    }
+
+    /// Close the current frame, releasing every byte its children
+    /// reserved (their outputs are dead once the parent has produced its
+    /// own output).
+    pub fn pop_mem_frame(&mut self) {
+        if let Some(bytes) = self.mem_frames.pop() {
+            self.governor.release(bytes);
+        }
+    }
+
+    /// Charge one operator's materialized output against the budget and
+    /// remember it in the *parent's* frame so it is released when the
+    /// parent finishes. Top-level outputs (no parent frame) stay charged
+    /// until the statement's governor is dropped.
+    pub fn reserve_output(&mut self, bytes: u64) -> Result<()> {
+        self.governor.reserve(bytes)?;
+        if let Some(frame) = self.mem_frames.last_mut() {
+            *frame += bytes;
+        }
+        Ok(())
+    }
+
+    /// Release bytes that were charged to the current frame before the
+    /// frame closes — used by ITERATE when it drops an old generation of
+    /// the working table mid-loop, so long iterations don't accumulate
+    /// phantom charges.
+    pub fn release_scoped(&mut self, bytes: u64) {
+        self.governor.release(bytes);
+        if let Some(frame) = self.mem_frames.last_mut() {
+            *frame = frame.saturating_sub(bytes);
         }
     }
 

@@ -26,25 +26,47 @@ impl Executor {
 
     /// Execute a plan to a materialized chunk stream.
     ///
+    /// Every (sub)plan execution is a governor check point: a cancelled,
+    /// timed-out, or over-budget statement aborts before the node runs.
+    /// When the statement has a memory budget, each node's materialized
+    /// output is charged against it and released once the parent operator
+    /// has produced its own output (the children's intermediates are dead
+    /// by then) — see [`ExecContext::reserve_output`].
+    ///
     /// When profiling is enabled on the context, every (sub)plan
-    /// execution is bracketed by a span recording output rows/chunks,
-    /// wall time and an estimate of the materialized output size.
-    /// Repeated executions of the same node (loop bodies) fold into one
-    /// span — see [`hylite_common::telemetry::ProfileBuilder`].
+    /// execution is additionally bracketed by a span recording output
+    /// rows/chunks, wall time and an estimate of the materialized output
+    /// size. Repeated executions of the same node (loop bodies) fold into
+    /// one span — see [`hylite_common::telemetry::ProfileBuilder`].
     pub fn execute(&mut self, plan: &LogicalPlan) -> Result<Vec<Chunk>> {
-        if !self.ctx.profiling() {
-            return self.execute_node(plan);
+        self.ctx.check_governor()?;
+        let profiling = self.ctx.profiling();
+        if profiling {
+            self.ctx.profile_enter(plan.node_id(), plan.op_name());
         }
-        self.ctx.profile_enter(plan.node_id(), plan.op_name());
-        let result = self.execute_node(plan);
-        match &result {
-            Ok(chunks) => {
-                let bytes: usize = chunks.iter().map(Chunk::heap_bytes).sum();
-                self.ctx.profile_mem(bytes as u64);
-                self.ctx
-                    .profile_exit(crate::util::total_rows(chunks) as u64, chunks.len() as u64);
+        let budgeted = self.ctx.governor().budget().limit() != u64::MAX;
+        if budgeted {
+            self.ctx.push_mem_frame();
+        }
+        let mut result = self.execute_node(plan);
+        if budgeted {
+            self.ctx.pop_mem_frame();
+            if let Ok(chunks) = &result {
+                let bytes = crate::util::heap_bytes(chunks);
+                if let Err(e) = self.ctx.reserve_output(bytes) {
+                    result = Err(e);
+                }
             }
-            Err(_) => self.ctx.profile_exit(0, 0),
+        }
+        if profiling {
+            match &result {
+                Ok(chunks) => {
+                    self.ctx.profile_mem(crate::util::heap_bytes(chunks));
+                    self.ctx
+                        .profile_exit(crate::util::total_rows(chunks) as u64, chunks.len() as u64);
+                }
+                Err(_) => self.ctx.profile_exit(0, 0),
+            }
         }
         result
     }
@@ -59,7 +81,8 @@ impl Executor {
                 ..
             } => {
                 let snapshot = self.ctx.snapshot(table)?;
-                scan::scan(&snapshot, projection.as_deref(), filter.as_ref())
+                let governor = Arc::clone(self.ctx.governor());
+                scan::scan(&snapshot, projection.as_deref(), filter.as_ref(), &governor)
             }
             LogicalPlan::Values { schema, rows } => {
                 let types = schema.types();
@@ -131,7 +154,8 @@ impl Executor {
                 schema,
             } => {
                 let chunks = self.execute(input)?;
-                aggregate::aggregate(&chunks, group_exprs, aggregates, &schema.types())
+                let governor = Arc::clone(self.ctx.governor());
+                aggregate::aggregate(&chunks, group_exprs, aggregates, &schema.types(), &governor)
             }
             LogicalPlan::Sort { input, keys } => {
                 let chunks = self.execute(input)?;
@@ -157,12 +181,14 @@ impl Executor {
                 if *all {
                     Ok(chunks)
                 } else {
-                    aggregate::distinct(&chunks, &schema.types())
+                    let governor = Arc::clone(self.ctx.governor());
+                    aggregate::distinct(&chunks, &schema.types(), &governor)
                 }
             }
             LogicalPlan::Distinct { input } => {
                 let chunks = self.execute(input)?;
-                aggregate::distinct(&chunks, &input.schema().types())
+                let governor = Arc::clone(self.ctx.governor());
+                aggregate::distinct(&chunks, &input.schema().types(), &governor)
             }
             LogicalPlan::RecursiveCte {
                 name,

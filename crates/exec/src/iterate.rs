@@ -38,6 +38,9 @@ impl Executor {
         let mut result: Vec<Chunk> = working.clone();
         let mut depth = 0usize;
         while total_rows(&working) > 0 {
+            // One check per iteration: a cancelled or timed-out statement
+            // stops the recursion within one step execution.
+            self.ctx.check_governor()?;
             depth += 1;
             self.ctx.stats.iterations += 1;
             if depth > MAX_RECURSION_DEPTH {
@@ -85,12 +88,23 @@ impl Executor {
         max_iterations: usize,
     ) -> Result<Vec<Chunk>> {
         let mut current = Arc::new(self.execute(init)?);
+        let budgeted = self.ctx.governor().budget().limit() != u64::MAX;
         let mut iterations = 0usize;
         loop {
+            // One check per iteration: a cancelled or timed-out statement
+            // stops the loop within one step execution.
+            self.ctx.check_governor()?;
             self.ctx.push_working("iterate", Arc::clone(&current));
             let stop_rows = self.execute(stop);
             let stop_now = match &stop_rows {
-                Ok(chunks) => total_rows(chunks) > 0,
+                Ok(chunks) => {
+                    // The stop subquery's output dies immediately; refund
+                    // its budget charge so long loops don't accumulate it.
+                    if budgeted {
+                        self.ctx.release_scoped(crate::util::heap_bytes(chunks));
+                    }
+                    total_rows(chunks) > 0
+                }
                 Err(_) => {
                     self.ctx.pop_working("iterate");
                     stop_rows?;
@@ -111,6 +125,11 @@ impl Executor {
             self.ctx
                 .stats
                 .observe_working_rows(total_rows(&current) + total_rows(&next));
+            // Non-appending semantics: the old generation is dead once
+            // replaced — refund its budget charge mid-loop.
+            if budgeted {
+                self.ctx.release_scoped(crate::util::heap_bytes(&current));
+            }
             current = Arc::new(next);
         }
         self.ctx

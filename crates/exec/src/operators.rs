@@ -3,12 +3,14 @@
 //! operator, shape the output relation.
 
 use hylite_analytics::{
-    class_stats, kmeans, kmeans_assign, pagerank, KMeansConfig, NaiveBayesModel, PageRankConfig,
+    class_stats, kmeans_assign, kmeans_governed, pagerank_governed, KMeansConfig, NaiveBayesModel,
+    PageRankConfig,
 };
 use hylite_common::{Chunk, ColumnVector, DataType, HyError, Result};
 use hylite_expr::BoundLambda;
 use hylite_graph::CsrGraph;
 use hylite_planner::LogicalPlan;
+use std::sync::Arc;
 
 use crate::executor::Executor;
 
@@ -48,11 +50,13 @@ impl Executor {
     ) -> Result<Vec<Chunk>> {
         let data_chunks = self.execute(data)?;
         let center_rows = self.centers_matrix(centers)?;
-        let result = kmeans(
+        let governor = Arc::clone(self.ctx.governor());
+        let result = kmeans_governed(
             &data_chunks,
             center_rows,
             lambda,
             &KMeansConfig { max_iterations },
+            &governor,
         )?;
         self.record_iterations(
             "kmeans",
@@ -121,6 +125,7 @@ impl Executor {
         max_iterations: usize,
     ) -> Result<Vec<Chunk>> {
         let edge_chunks = self.execute(edges)?;
+        let governor = Arc::clone(self.ctx.governor());
         // Flatten the edge list into (src, dest[, weight]) arrays.
         let mut src = Vec::new();
         let mut dest = Vec::new();
@@ -151,14 +156,21 @@ impl Executor {
             epsilon,
             max_iterations,
         };
+        // Charge the flattened edge arrays for the duration of the run.
+        let edge_bytes = (src.len() + dest.len()) as u64 * 8 + weights.len() as u64 * 8;
+        let _edges_charge = governor.reserve_scoped(edge_bytes)?;
         let (graph, result) = if weighted {
             let (graph, csr_weights) = CsrGraph::from_weighted_edges(&src, &dest, &weights)?;
-            let result =
-                hylite_analytics::pagerank::pagerank_weighted(&graph, &csr_weights, &config);
+            let result = hylite_analytics::pagerank::pagerank_weighted_governed(
+                &graph,
+                &csr_weights,
+                &config,
+                &governor,
+            )?;
             (graph, result)
         } else {
             let graph = CsrGraph::from_edges(&src, &dest)?;
-            let result = pagerank(&graph, &config);
+            let result = pagerank_governed(&graph, &config, &governor)?;
             (graph, result)
         };
         self.record_iterations(
@@ -197,7 +209,8 @@ impl Executor {
         output_types: &[DataType],
     ) -> Result<Vec<Chunk>> {
         let chunks = self.execute(data)?;
-        let model = NaiveBayesModel::train(&chunks, feature_names)?;
+        let governor = Arc::clone(self.ctx.governor());
+        let model = NaiveBayesModel::train_governed(&chunks, feature_names, &governor)?;
         let rows = model.to_rows();
         Ok(vec![Chunk::from_rows(output_types, &rows)?])
     }

@@ -1,5 +1,6 @@
 //! Morsel-driven parallel table scans with fused filter/projection.
 
+use hylite_common::governor::Governor;
 use hylite_common::{Chunk, Result, CHUNK_ROWS};
 use hylite_expr::ScalarExpr;
 use hylite_storage::TableSnapshot;
@@ -11,15 +12,21 @@ pub const MORSEL_ROWS: usize = 32 * CHUNK_ROWS;
 
 /// Scan a snapshot in parallel, applying the scan-local column projection
 /// and pushed-down filter inside each morsel task (pipeline fusion).
+///
+/// Each morsel task starts with a governor check, so a cancelled or
+/// timed-out statement stops the scan within one morsel even on very
+/// large tables.
 pub fn scan(
     snapshot: &TableSnapshot,
     projection: Option<&[usize]>,
     filter: Option<&ScalarExpr>,
+    governor: &Governor,
 ) -> Result<Vec<Chunk>> {
     let morsels = snapshot.morsels(MORSEL_ROWS);
     let results: Vec<Result<Vec<Chunk>>> = morsels
         .par_iter()
         .map(|m| {
+            governor.check()?;
             let (chunk, _ids) = snapshot.read_morsel(m);
             if chunk.is_empty() {
                 return Ok(vec![]);
@@ -47,13 +54,16 @@ pub fn scan(
 }
 
 /// Scan returning both surviving chunks and their global row ids
-/// (sequential; used by UPDATE/DELETE to locate target rows).
+/// (sequential; used by UPDATE/DELETE to locate target rows). Checks the
+/// governor once per morsel.
 pub fn scan_with_row_ids(
     snapshot: &TableSnapshot,
     filter: Option<&ScalarExpr>,
+    governor: &Governor,
 ) -> Result<Vec<(Chunk, Vec<usize>)>> {
     let mut out = Vec::new();
     for m in snapshot.morsels(MORSEL_ROWS) {
+        governor.check()?;
         let (chunk, ids) = snapshot.read_morsel(&m);
         if chunk.is_empty() {
             continue;
@@ -99,14 +109,14 @@ mod tests {
     #[test]
     fn full_scan_returns_all_rows() {
         let t = table(10_000);
-        let chunks = scan(&t.snapshot(), None, None).unwrap();
+        let chunks = scan(&t.snapshot(), None, None, &Governor::unlimited()).unwrap();
         assert_eq!(crate::util::total_rows(&chunks), 10_000);
     }
 
     #[test]
     fn projection_selects_columns() {
         let t = table(100);
-        let chunks = scan(&t.snapshot(), Some(&[1]), None).unwrap();
+        let chunks = scan(&t.snapshot(), Some(&[1]), None, &Governor::unlimited()).unwrap();
         assert_eq!(chunks[0].num_columns(), 1);
         assert_eq!(chunks[0].column(0).data_type(), DataType::Float64);
     }
@@ -120,7 +130,7 @@ mod tests {
             ScalarExpr::literal(10i64),
         )
         .unwrap();
-        let chunks = scan(&t.snapshot(), None, Some(&pred)).unwrap();
+        let chunks = scan(&t.snapshot(), None, Some(&pred), &Governor::unlimited()).unwrap();
         assert_eq!(crate::util::total_rows(&chunks), 10);
     }
 
@@ -135,7 +145,7 @@ mod tests {
             ScalarExpr::literal(5i64),
         )
         .unwrap();
-        let hits = scan_with_row_ids(&t.snapshot(), Some(&pred)).unwrap();
+        let hits = scan_with_row_ids(&t.snapshot(), Some(&pred), &Governor::unlimited()).unwrap();
         let ids: Vec<usize> = hits.iter().flat_map(|(_, ids)| ids.clone()).collect();
         assert_eq!(ids, vec![2, 3, 4]);
     }

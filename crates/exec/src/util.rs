@@ -66,6 +66,14 @@ pub fn total_rows(chunks: &[Chunk]) -> usize {
     chunks.iter().map(Chunk::len).sum()
 }
 
+/// Total heap bytes across chunks — the memory-budget charge for a
+/// materialized intermediate. Columns shared between chunks via `Arc`
+/// (e.g. working-table clones) are counted per reference, so this is an
+/// upper bound on the true live set.
+pub fn heap_bytes(chunks: &[Chunk]) -> u64 {
+    chunks.iter().map(Chunk::heap_bytes).sum::<usize>() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

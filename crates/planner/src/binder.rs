@@ -83,7 +83,15 @@ pub enum BoundStatement {
     Commit,
     /// ROLLBACK.
     Rollback,
-    /// EXPLAIN [ANALYZE] of a bound statement.
+    /// `SET <setting> = <value>` — validated session knob assignment; the
+    /// session layer interprets the name.
+    Set {
+        /// Setting name (lower-cased).
+        name: String,
+        /// Non-negative value (`0` disables the knob).
+        value: u64,
+    },
+    /// `EXPLAIN [ANALYZE]` of a bound statement.
     Explain {
         /// The statement being explained.
         statement: Box<BoundStatement>,
@@ -170,6 +178,17 @@ impl<'a> Binder<'a> {
             Statement::Begin => Ok(BoundStatement::Begin),
             Statement::Commit => Ok(BoundStatement::Commit),
             Statement::Rollback => Ok(BoundStatement::Rollback),
+            Statement::Set { name, value } => {
+                if *value < 0 {
+                    return Err(HyError::Bind(format!(
+                        "SET {name}: value must be non-negative, got {value}"
+                    )));
+                }
+                Ok(BoundStatement::Set {
+                    name: name.clone(),
+                    value: *value as u64,
+                })
+            }
             Statement::Explain { statement, analyze } => Ok(BoundStatement::Explain {
                 statement: Box::new(self.bind_statement(statement)?),
                 analyze: *analyze,

@@ -59,6 +59,15 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK`.
     Rollback,
+    /// `SET <setting> = <value>` (also `SET <setting> TO <value>`) — a
+    /// session knob such as `statement_timeout_ms` or `memory_budget_mb`.
+    Set {
+        /// Setting name (lower-cased identifier).
+        name: String,
+        /// Integer value; `0` disables a knob, negative values are
+        /// rejected by the binder.
+        value: i64,
+    },
     /// `EXPLAIN [ANALYZE] <statement>` — show the optimized plan; with
     /// `ANALYZE`, execute the statement and annotate each operator with
     /// its actual row counts and timings.

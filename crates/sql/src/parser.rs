@@ -152,6 +152,7 @@ impl Parser {
                 self.bump();
                 Ok(Statement::Rollback)
             }
+            Token::Keyword(Keyword::Set) => self.set_statement(),
             Token::Keyword(Keyword::Explain) => {
                 self.bump();
                 let analyze = self.eat_keyword(Keyword::Analyze);
@@ -162,6 +163,38 @@ impl Parser {
             }
             other => Err(HyError::Parse(format!("unexpected token {other}"))),
         }
+    }
+
+    /// `SET <setting> = <int>` / `SET <setting> TO <int>`.
+    fn set_statement(&mut self) -> Result<Statement> {
+        self.expect_keyword(Keyword::Set)?;
+        let name = self.expect_ident()?;
+        if !self.eat_symbol("=") {
+            match self.bump() {
+                Token::Ident(kw) if kw == "to" => {}
+                other => {
+                    return Err(HyError::Parse(format!(
+                        "expected '=' or TO after SET {name}, found {other}"
+                    )))
+                }
+            }
+        }
+        let negative = self.eat_symbol("-");
+        let value = match self.bump() {
+            Token::Int(v) => {
+                if negative {
+                    -v
+                } else {
+                    v
+                }
+            }
+            other => {
+                return Err(HyError::Parse(format!(
+                    "expected an integer value for SET {name}, found {other}"
+                )))
+            }
+        };
+        Ok(Statement::Set { name, value })
     }
 
     fn create_table(&mut self) -> Result<Statement> {

@@ -29,7 +29,7 @@
 //! assert_eq!(centers.row_count(), 2);
 //! ```
 
-pub use hylite_core::{Database, QueryResult, Session};
+pub use hylite_core::{Database, QueryResult, Session, SessionSettings};
 
 /// Physical analytics operators: k-Means, Naive Bayes, PageRank.
 pub use hylite_analytics as analytics;
@@ -52,6 +52,7 @@ pub use hylite_sql as sql;
 /// Main-memory column store with snapshot versioning.
 pub use hylite_storage as storage;
 
+pub use hylite_common::{CancelToken, Governor, MemoryBudget};
 pub use hylite_common::{
     Chunk, ColumnVector, DataType, Field, HyError, Result, Row, Schema, Value,
 };
