@@ -1,0 +1,51 @@
+//! The `concurrent-clients` workload binary: N wire connections driving
+//! one `hylite-server` with mixed SQL + analytics statements.
+//!
+//! ```sh
+//! cargo run --release -p hylite-bench --bin concurrent-clients -- \
+//!     --clients 32 --statements 12 --tuples 20000
+//! ```
+
+use hylite_bench::concurrent::{run, ConcurrentConfig};
+use hylite_bench::report::render_csv;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ConcurrentConfig::default();
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let take = |i: &mut usize| -> usize {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("{flag} takes a value"))
+                .parse()
+                .unwrap_or_else(|e| panic!("{flag}: {e}"))
+        };
+        match flag.as_str() {
+            "--clients" => config.clients = take(&mut i),
+            "--statements" => config.statements_per_client = take(&mut i),
+            "--tuples" => config.tuples = take(&mut i),
+            "--dims" => config.dims = take(&mut i),
+            "--clusters" => config.clusters = take(&mut i),
+            "--edges" => config.edges = take(&mut i),
+            "--max-active" => config.max_active = take(&mut i),
+            "--csv" => csv = true,
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+    match run(config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if csv {
+                println!("{}", render_csv(&report.to_measurements()));
+            }
+        }
+        Err(e) => {
+            eprintln!("concurrent-clients failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

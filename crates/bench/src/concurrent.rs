@@ -1,0 +1,304 @@
+//! The `concurrent-clients` workload: N wire-protocol connections
+//! hammering one `hylite-server` with a mixed statement stream (scans,
+//! aggregates, k-Means and PageRank operator invocations), measuring
+//! end-to-end (client-observed) latency percentiles and total statement
+//! throughput.
+//!
+//! Unlike the figure benchmarks — which time a single algorithm in
+//! isolation — this workload exercises the serving stack as a whole:
+//! frame codec, per-connection sessions over one shared database,
+//! admission control, and result streaming.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hylite_client::HyliteClient;
+use hylite_common::Result;
+use hylite_datagen::table1::KMeansExperiment;
+use hylite_server::{Server, ServerConfig};
+
+use crate::queries;
+use crate::report::{render_figure, Measurement};
+use crate::workloads;
+
+/// Configuration of one concurrent-clients run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Number of concurrent wire connections.
+    pub clients: usize,
+    /// Statements each client issues (cycling through the mix).
+    pub statements_per_client: usize,
+    /// Tuples in the `data` table backing scans and k-Means.
+    pub tuples: usize,
+    /// Dimensions of the k-Means dataset.
+    pub dims: usize,
+    /// Clusters for the k-Means statements.
+    pub clusters: usize,
+    /// Edges in the `edges` table backing PageRank.
+    pub edges: usize,
+    /// `max_active_statements` on the server (0 = one per client).
+    pub max_active: usize,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> ConcurrentConfig {
+        ConcurrentConfig {
+            clients: 32,
+            statements_per_client: 12,
+            tuples: 20_000,
+            dims: 4,
+            clusters: 4,
+            edges: 20_000,
+            max_active: 0,
+        }
+    }
+}
+
+/// One client-observed statement execution.
+#[derive(Debug, Clone)]
+struct Sample {
+    kind: &'static str,
+    latency: Duration,
+    ok: bool,
+}
+
+/// Aggregated outcome of a run.
+#[derive(Debug)]
+pub struct ConcurrentReport {
+    /// Statement mix kinds in display order.
+    kinds: Vec<&'static str>,
+    samples: Vec<Sample>,
+    /// Wall-clock of the whole storm (connect → last disconnect).
+    pub wall: Duration,
+    /// Total statements executed successfully.
+    pub completed: usize,
+    /// Statements that returned an error frame.
+    pub errors: usize,
+    /// The config that produced this report.
+    pub config: ConcurrentConfig,
+}
+
+impl ConcurrentReport {
+    /// Statements per second over the whole storm.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency percentile (0.0..=1.0) across all successful statements of
+    /// `kind`, or all kinds when `kind` is `None`.
+    pub fn percentile(&self, kind: Option<&str>, p: f64) -> Option<Duration> {
+        let mut lats: Vec<Duration> = self
+            .samples
+            .iter()
+            .filter(|s| s.ok && kind.is_none_or(|k| s.kind == k))
+            .map(|s| s.latency)
+            .collect();
+        if lats.is_empty() {
+            return None;
+        }
+        lats.sort_unstable();
+        let idx = ((lats.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(lats[idx])
+    }
+
+    /// Render in the harness's figure format: rows = percentiles,
+    /// columns = statement kinds, cells = seconds; followed by the
+    /// throughput summary line.
+    pub fn render(&self) -> String {
+        let mut measurements = Vec::new();
+        for kind in &self.kinds {
+            for (label, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("max", 1.0)] {
+                if let Some(latency) = self.percentile(Some(kind), p) {
+                    measurements.push(Measurement {
+                        system: (*kind).to_string(),
+                        x: label.to_string(),
+                        runtime: latency,
+                    });
+                }
+            }
+        }
+        let mut out = render_figure(
+            &format!(
+                "concurrent-clients: {} connections x {} statements, latency percentiles",
+                self.config.clients, self.config.statements_per_client
+            ),
+            &measurements,
+        );
+        out.push_str(&format!(
+            "throughput: {:.1} statements/s ({} ok, {} errors, {:.3} s wall)\n",
+            self.throughput(),
+            self.completed,
+            self.errors,
+            self.wall.as_secs_f64()
+        ));
+        out
+    }
+
+    /// The same measurements as CSV (`x,system,seconds`).
+    pub fn to_measurements(&self) -> Vec<Measurement> {
+        let mut measurements = Vec::new();
+        for kind in &self.kinds {
+            for (label, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("max", 1.0)] {
+                if let Some(latency) = self.percentile(Some(kind), p) {
+                    measurements.push(Measurement {
+                        system: (*kind).to_string(),
+                        x: label.to_string(),
+                        runtime: latency,
+                    });
+                }
+            }
+        }
+        measurements
+    }
+}
+
+/// The statement mix: name → SQL. Analytics parameters are kept small so
+/// one statement is milliseconds, not seconds; concurrency is the point.
+fn statement_mix(config: &ConcurrentConfig) -> Vec<(&'static str, String)> {
+    vec![
+        ("count", "SELECT count(*) FROM data".to_string()),
+        (
+            "filter-agg",
+            "SELECT count(*), sum(d.c0) FROM data d WHERE d.c0 > 0.5".to_string(),
+        ),
+        ("scan", "SELECT * FROM data d WHERE d.id < 512".to_string()),
+        ("kmeans", queries::kmeans_operator(config.dims, 2)),
+        ("pagerank", queries::pagerank_operator(0.85, 3)),
+    ]
+}
+
+/// Load one database with both the k-Means grid tables (`data`,
+/// `centers`) and a PageRank `edges` table.
+fn setup_database(config: &ConcurrentConfig) -> Result<Arc<hylite_core::Database>> {
+    let exp = KMeansExperiment {
+        n: config.tuples,
+        d: config.dims,
+        k: config.clusters,
+        iterations: 2,
+    };
+    let ctx = workloads::setup_kmeans(exp, 42)?;
+    let db = ctx.db;
+    db.execute("CREATE TABLE edges (src BIGINT, dest BIGINT)")?;
+    // Deterministic ring-plus-chords graph: every vertex links to its
+    // successor and a long-range chord, giving PageRank real structure
+    // without pulling in the LDBC generator.
+    let vertices = (config.edges / 2).max(8);
+    let mut values = Vec::with_capacity(config.edges);
+    for v in 0..vertices as i64 {
+        values.push(format!("({v}, {})", (v + 1) % vertices as i64));
+        values.push(format!("({v}, {})", (v * 7 + 3) % vertices as i64));
+    }
+    for batch in values.chunks(4096) {
+        db.execute(&format!("INSERT INTO edges VALUES {}", batch.join(",")))?;
+    }
+    Ok(Arc::new(db))
+}
+
+/// Run the storm: start a server on an ephemeral port, connect
+/// `config.clients` wire clients, and let each execute
+/// `config.statements_per_client` statements round-robin through the mix
+/// (offset by client id so kinds interleave across connections).
+pub fn run(config: ConcurrentConfig) -> Result<ConcurrentReport> {
+    let db = setup_database(&config)?;
+    let server_config = ServerConfig {
+        max_connections: config.clients + 8,
+        max_active_statements: if config.max_active == 0 {
+            config.clients.max(1)
+        } else {
+            config.max_active
+        },
+        statement_queue_depth: config.clients * 2,
+        queue_wait: Duration::from_secs(60),
+        ..ServerConfig::ephemeral()
+    };
+    let handle = Server::start(server_config, db)?;
+    let addr = handle.local_addr();
+    let mix: Arc<Vec<(&'static str, String)>> = Arc::new(statement_mix(&config));
+
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<Sample>();
+    let mut workers = Vec::new();
+    for client_id in 0..config.clients {
+        let tx = tx.clone();
+        let mix = Arc::clone(&mix);
+        let statements = config.statements_per_client;
+        workers.push(std::thread::spawn(move || -> Result<()> {
+            let mut client = HyliteClient::connect(addr)?;
+            for i in 0..statements {
+                let (kind, sql) = &mix[(client_id + i) % mix.len()];
+                let t = Instant::now();
+                let ok = client.query(sql).is_ok();
+                let _ = tx.send(Sample {
+                    kind,
+                    latency: t.elapsed(),
+                    ok,
+                });
+            }
+            client.close()
+        }));
+    }
+    drop(tx);
+    let samples: Vec<Sample> = rx.iter().collect();
+    for w in workers {
+        w.join()
+            .map_err(|_| hylite_common::HyError::Internal("client thread panicked".into()))??;
+    }
+    let wall = started.elapsed();
+    handle.shutdown();
+
+    let completed = samples.iter().filter(|s| s.ok).count();
+    let errors = samples.len() - completed;
+    Ok(ConcurrentReport {
+        kinds: mix.iter().map(|(k, _)| *k).collect(),
+        samples,
+        wall,
+        completed,
+        errors,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_storm_completes_without_errors() {
+        let report = run(ConcurrentConfig {
+            clients: 4,
+            statements_per_client: 5,
+            tuples: 500,
+            dims: 2,
+            clusters: 2,
+            edges: 200,
+            max_active: 2,
+        })
+        .expect("storm");
+        assert_eq!(report.completed, 20, "errors: {}", report.errors);
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput() > 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("p95"), "{rendered}");
+        assert!(rendered.contains("kmeans"), "{rendered}");
+        assert!(rendered.contains("throughput"), "{rendered}");
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let report = run(ConcurrentConfig {
+            clients: 2,
+            statements_per_client: 5,
+            tuples: 200,
+            dims: 2,
+            clusters: 2,
+            edges: 64,
+            max_active: 0,
+        })
+        .expect("storm");
+        let p50 = report.percentile(None, 0.50).unwrap();
+        let p99 = report.percentile(None, 0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(report.percentile(Some("no-such-kind"), 0.5).is_none());
+    }
+}

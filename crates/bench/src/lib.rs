@@ -7,11 +7,14 @@
 //!   graphs, labeled NB data), pre-loaded into every system's native
 //!   format so timed regions cover the algorithm only;
 //! * [`systems`] — one timed runner per (algorithm × system);
-//! * [`report`] — gnuplot-ish text rendering of figure series.
+//! * [`report`] — gnuplot-ish text rendering of figure series;
+//! * [`concurrent`] — the `concurrent-clients` serving workload: N wire
+//!   connections with a mixed SQL + analytics statement stream.
 //!
 //! `cargo bench` runs Criterion versions at reduced scale; the `figures`
 //! binary sweeps the full grids (`--scale` controls dataset sizes).
 
+pub mod concurrent;
 pub mod queries;
 pub mod report;
 pub mod systems;

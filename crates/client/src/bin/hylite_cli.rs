@@ -1,0 +1,179 @@
+//! `hylite-cli` — interactive REPL and one-shot client for hylite-server.
+//!
+//! ```text
+//! hylite-cli [--addr 127.0.0.1:5433]              # REPL
+//! hylite-cli --execute "SELECT 1 + 1"             # one statement, print, exit
+//! hylite-cli --shutdown                           # graceful server shutdown
+//! ```
+//!
+//! In the REPL, statements end with `;` (possibly spanning lines);
+//! `\q` quits, `\cancelinfo` prints the session id/secret usable with an
+//! out-of-band cancel connection.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hylite_client::{request_shutdown, HyliteClient};
+
+struct Args {
+    addr: String,
+    execute: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        addr: "127.0.0.1:5433".into(),
+        execute: None,
+        shutdown: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                parsed.addr = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--addr requires a value".to_string())?;
+            }
+            "--execute" | "-e" => {
+                i += 1;
+                parsed.execute = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--execute requires a SQL string".to_string())?,
+                );
+            }
+            "--shutdown" => parsed.shutdown = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hylite-cli [--addr HOST:PORT] [--execute SQL] [--shutdown]".into(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+fn run_one(client: &mut HyliteClient, sql: &str) -> bool {
+    let started = Instant::now();
+    match client.query(sql) {
+        Ok(result) => {
+            let elapsed = started.elapsed();
+            if !result.schema.is_empty() {
+                print!("{}", result.to_table_string());
+                println!(
+                    "({} row{}, {:.1} ms)",
+                    result.row_count(),
+                    if result.row_count() == 1 { "" } else { "s" },
+                    elapsed.as_secs_f64() * 1e3
+                );
+            } else {
+                println!(
+                    "OK, {} row{} affected ({:.1} ms)",
+                    result.rows_affected,
+                    if result.rows_affected == 1 { "" } else { "s" },
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+            true
+        }
+        Err(e) => {
+            match client.last_error_code() {
+                Some(code) => eprintln!("error [{}]: {e}", code.as_u16()),
+                None => eprintln!("error: {e}"),
+            }
+            false
+        }
+    }
+}
+
+fn repl(client: &mut HyliteClient) {
+    println!("hylite-cli connected (session {})", client.session_id());
+    println!("statements end with ';' — \\q quits");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        print!(
+            "{}",
+            if buffer.is_empty() {
+                "hylite> "
+            } else {
+                "   ...> "
+            }
+        );
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "" => continue,
+                "\\q" | "exit" | "quit" => break,
+                "\\cancelinfo" => {
+                    let h = client.cancel_handle();
+                    println!("{h:?}");
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let sql = std::mem::take(&mut buffer);
+            run_one(client, sql.trim().trim_end_matches(';'));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&args) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.shutdown {
+        return match request_shutdown(&args.addr) {
+            Ok(()) => {
+                println!("shutdown requested");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut client = match HyliteClient::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect to {} failed: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let code = match args.execute {
+        Some(sql) => {
+            if run_one(&mut client, &sql) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            repl(&mut client);
+            ExitCode::SUCCESS
+        }
+    };
+    let _ = client.close();
+    code
+}

@@ -1,0 +1,462 @@
+//! Blocking client for the HyLite wire protocol.
+//!
+//! [`HyliteClient`] speaks the length-prefixed binary frame protocol of
+//! `hylite-server` (see `docs/PROTOCOL.md`) over one TCP connection:
+//!
+//! ```no_run
+//! use hylite_client::HyliteClient;
+//!
+//! let mut client = HyliteClient::connect("127.0.0.1:5433").unwrap();
+//! let result = client.query("SELECT 1 + 1").unwrap();
+//! println!("{}", result.to_table_string());
+//! ```
+//!
+//! Results arrive as a stream of columnar chunks in HyLite's native
+//! layout; [`HyliteClient::query`] collects them into a [`RemoteResult`],
+//! while [`HyliteClient::query_streamed`] hands back a [`QueryStream`]
+//! that yields chunks as they come off the wire, so arbitrarily large
+//! results never have to fit in client memory either.
+//!
+//! Cancellation is out-of-band, PostgreSQL style: [`CancelHandle`]
+//! (cloneable, `Send`) opens a *second* connection and asks the server to
+//! abort whatever statement the original session is running. Server
+//! errors are surfaced as the engine's own
+//! [`HyError`] variants, reconstructed from the
+//! stable wire error codes; [`HyliteClient::last_error_code`] exposes the
+//! raw code (e.g. to distinguish the retryable admission rejections
+//! `Overloaded`/`QueueTimeout`/`ShuttingDown`, which all map to
+//! `HyError::Unavailable`).
+
+#![warn(missing_docs)]
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
+use hylite_common::{Chunk, HyError, Result, Row, Schema, Value};
+
+/// A blocking connection to a `hylite-server`.
+#[derive(Debug)]
+pub struct HyliteClient {
+    stream: TcpStream,
+    peer: SocketAddr,
+    session_id: u64,
+    secret: u64,
+    last_error_code: Option<ErrorCode>,
+    /// Set when the protocol state is no longer trustworthy (unexpected
+    /// frame or mid-stream I/O failure); every later call fails fast.
+    broken: bool,
+}
+
+impl HyliteClient {
+    /// Connect and perform the Startup handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<HyliteClient> {
+        let stream = connect_any(addr)?;
+        let peer = stream
+            .peer_addr()
+            .map_err(|e| HyError::Protocol(format!("peer_addr failed: {e}")))?;
+        let mut client = HyliteClient {
+            stream,
+            peer,
+            session_id: 0,
+            secret: 0,
+            last_error_code: None,
+            broken: false,
+        };
+        let _ = client.stream.set_nodelay(true);
+        wire::write_frame(
+            &mut client.stream,
+            &Frame::Startup {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match wire::read_frame(&mut client.stream)? {
+            Frame::StartupOk {
+                session_id, secret, ..
+            } => {
+                client.session_id = session_id;
+                client.secret = secret;
+                Ok(client)
+            }
+            Frame::Error { code, message } => {
+                let code = ErrorCode::from_u16(code);
+                Err(code.to_error(message))
+            }
+            other => Err(HyError::Protocol(format!(
+                "expected StartupOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-assigned session id from the handshake.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// A handle that can cancel this session's running statement from
+    /// another thread via a separate connection.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            addr: self.peer,
+            session_id: self.session_id,
+            secret: self.secret,
+        }
+    }
+
+    /// The wire error code of the most recent server Error frame, if any.
+    pub fn last_error_code(&self) -> Option<ErrorCode> {
+        self.last_error_code
+    }
+
+    /// Execute `sql` and materialize the whole result client-side.
+    pub fn query(&mut self, sql: &str) -> Result<RemoteResult> {
+        let mut stream = self.query_streamed(sql)?;
+        let schema = stream.schema().clone();
+        let mut chunks = Vec::new();
+        while let Some(chunk) = stream.next_chunk()? {
+            chunks.push(chunk);
+        }
+        let summary = stream.summary().ok_or_else(|| {
+            HyError::Protocol("result stream ended without CommandComplete".into())
+        })?;
+        Ok(RemoteResult {
+            schema,
+            chunks,
+            rows_affected: summary.rows_affected,
+        })
+    }
+
+    /// Execute `sql` and stream the result chunk by chunk. Dropping the
+    /// returned [`QueryStream`] early drains the remaining frames so the
+    /// connection stays usable.
+    pub fn query_streamed(&mut self, sql: &str) -> Result<QueryStream<'_>> {
+        if self.broken {
+            return Err(HyError::Protocol(
+                "connection is in a failed protocol state; reconnect".into(),
+            ));
+        }
+        if let Err(e) = wire::write_frame(&mut self.stream, &Frame::Query { sql: sql.into() }) {
+            self.broken = true;
+            return Err(e);
+        }
+        match self.read() {
+            Ok(Frame::ResultSchema { schema }) => Ok(QueryStream {
+                client: self,
+                schema,
+                summary: None,
+                failed: false,
+            }),
+            Ok(Frame::Error { code, message }) => {
+                let code = ErrorCode::from_u16(code);
+                self.last_error_code = Some(code);
+                Err(code.to_error(message))
+            }
+            Ok(other) => {
+                self.broken = true;
+                Err(HyError::Protocol(format!(
+                    "expected ResultSchema, got {other:?}"
+                )))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Ask the server to begin a graceful shutdown (drain in-flight
+    /// statements, then stop). The connection is unusable afterwards.
+    pub fn shutdown_server(mut self) -> Result<()> {
+        wire::write_frame(&mut self.stream, &Frame::Shutdown)?;
+        Ok(())
+    }
+
+    /// Close the connection cleanly.
+    pub fn close(mut self) -> Result<()> {
+        wire::write_frame(&mut self.stream, &Frame::Terminate)?;
+        Ok(())
+    }
+
+    fn read(&mut self) -> Result<Frame> {
+        match wire::read_frame(&mut self.stream) {
+            Ok(f) => Ok(f),
+            Err(e) => {
+                self.broken = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn connect_any(addr: impl ToSocketAddrs) -> Result<TcpStream> {
+    let addrs: Vec<SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| HyError::Protocol(format!("address resolution failed: {e}")))?
+        .collect();
+    let mut last = None;
+    for a in &addrs {
+        match TcpStream::connect_timeout(a, Duration::from_secs(10)) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(HyError::Unavailable(match last {
+        Some(e) => format!("connect failed: {e}"),
+        None => "connect failed: address resolved to nothing".into(),
+    }))
+}
+
+/// Completion summary of one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Rows inserted/updated/deleted by DML.
+    pub rows_affected: u64,
+    /// Total result rows streamed.
+    pub total_rows: u64,
+}
+
+/// An in-flight streamed result. Yields chunks as they arrive; after
+/// [`QueryStream::next_chunk`] returns `Ok(None)`, [`QueryStream::summary`]
+/// holds the completion counts.
+pub struct QueryStream<'a> {
+    client: &'a mut HyliteClient,
+    schema: Schema,
+    summary: Option<Summary>,
+    failed: bool,
+}
+
+impl QueryStream<'_> {
+    /// The result schema (sent before any data).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The next chunk, `Ok(None)` once the statement completed.
+    pub fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.summary.is_some() || self.failed {
+            return Ok(None);
+        }
+        match self.client.read() {
+            Ok(Frame::DataChunk { chunk }) => Ok(Some(chunk)),
+            Ok(Frame::CommandComplete {
+                rows_affected,
+                total_rows,
+            }) => {
+                self.summary = Some(Summary {
+                    rows_affected,
+                    total_rows,
+                });
+                Ok(None)
+            }
+            Ok(Frame::Error { code, message }) => {
+                // The server failed mid-statement but the framing is
+                // intact; the connection remains usable.
+                self.failed = true;
+                let code = ErrorCode::from_u16(code);
+                self.client.last_error_code = Some(code);
+                Err(code.to_error(message))
+            }
+            Ok(other) => {
+                self.failed = true;
+                self.client.broken = true;
+                Err(HyError::Protocol(format!(
+                    "expected DataChunk or CommandComplete, got {other:?}"
+                )))
+            }
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// The completion summary, once the stream is exhausted.
+    pub fn summary(&self) -> Option<Summary> {
+        self.summary
+    }
+}
+
+impl Drop for QueryStream<'_> {
+    fn drop(&mut self) {
+        // Drain an abandoned result so the next query on this connection
+        // doesn't read stale frames.
+        while self.summary.is_none() && !self.failed {
+            match self.client.read() {
+                Ok(Frame::DataChunk { .. }) => {}
+                Ok(Frame::CommandComplete {
+                    rows_affected,
+                    total_rows,
+                }) => {
+                    self.summary = Some(Summary {
+                        rows_affected,
+                        total_rows,
+                    });
+                }
+                Ok(Frame::Error { code, .. }) => {
+                    self.client.last_error_code = Some(ErrorCode::from_u16(code));
+                    self.failed = true;
+                }
+                Ok(_) => {
+                    self.client.broken = true;
+                    self.failed = true;
+                }
+                Err(_) => {
+                    self.failed = true;
+                }
+            }
+        }
+    }
+}
+
+/// A fully materialized remote result: the client-side mirror of the
+/// engine's `QueryResult`, rebuilt from the streamed wire chunks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteResult {
+    /// The result schema.
+    pub schema: Schema,
+    /// The result chunks, exactly as streamed (native columnar layout).
+    pub chunks: Vec<Chunk>,
+    /// Rows inserted/updated/deleted by DML.
+    pub rows_affected: u64,
+}
+
+impl RemoteResult {
+    /// Total result rows.
+    pub fn row_count(&self) -> usize {
+        self.chunks.iter().map(Chunk::len).sum()
+    }
+
+    /// Materialize the whole result into one chunk (for comparisons with
+    /// embedded `QueryResult::to_chunk`).
+    pub fn to_chunk(&self) -> Result<Chunk> {
+        Chunk::concat(&self.schema.types(), &self.chunks)
+    }
+
+    /// Materialize all rows.
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.chunks.iter().flat_map(|c| c.rows()).collect()
+    }
+
+    /// Value at (row, column) across chunk boundaries.
+    pub fn value(&self, mut row: usize, col: usize) -> Result<Value> {
+        for chunk in &self.chunks {
+            if row < chunk.len() {
+                return Ok(chunk.column(col).value(row));
+            }
+            row -= chunk.len();
+        }
+        Err(HyError::Execution(format!("row {row} out of range")))
+    }
+
+    /// Convenience: single value of a one-row, one-column result.
+    pub fn scalar(&self) -> Result<Value> {
+        if self.row_count() != 1 || self.schema.len() != 1 {
+            return Err(HyError::Execution(format!(
+                "expected a 1×1 result, got {}×{}",
+                self.row_count(),
+                self.schema.len()
+            )));
+        }
+        self.value(0, 0)
+    }
+
+    /// Render as an ASCII table.
+    pub fn to_table_string(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        match self.to_chunk() {
+            Ok(chunk) => chunk.to_table_string(&headers),
+            Err(e) => format!("<error rendering result: {e}>"),
+        }
+    }
+}
+
+/// Cancels the statement running on another connection's session, by
+/// opening a dedicated cancel connection (which bypasses the server's
+/// connection cap). Cloneable and `Send`: hand it to a watchdog thread.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    addr: SocketAddr,
+    session_id: u64,
+    secret: u64,
+}
+
+impl CancelHandle {
+    /// Deliver the cancel. Returns whether the server found the session
+    /// and fired its cancel token (the statement aborts at its next
+    /// governor check point — within one morsel or algorithm iteration).
+    pub fn cancel(&self) -> Result<bool> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))
+            .map_err(|e| HyError::Unavailable(format!("cancel connect failed: {e}")))?;
+        wire::write_frame(
+            &mut stream,
+            &Frame::Cancel {
+                session_id: self.session_id,
+                secret: self.secret,
+            },
+        )?;
+        match wire::read_frame(&mut stream)? {
+            Frame::CancelAck { delivered } => Ok(delivered),
+            Frame::Error { code, message } => Err(ErrorCode::from_u16(code).to_error(message)),
+            other => Err(HyError::Protocol(format!(
+                "expected CancelAck, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Connect to `addr` and request a graceful server shutdown without
+/// establishing a query session (used by `hylite-cli --shutdown`).
+pub fn request_shutdown(addr: impl ToSocketAddrs) -> Result<()> {
+    let mut stream = connect_any(addr)?;
+    wire::write_frame(&mut stream, &Frame::Shutdown)?;
+    // The server acknowledges with CommandComplete before draining.
+    match wire::read_frame(&mut stream) {
+        Ok(Frame::CommandComplete { .. }) | Err(_) => Ok(()),
+        Ok(Frame::Error { code, message }) => Err(ErrorCode::from_u16(code).to_error(message)),
+        Ok(other) => Err(HyError::Protocol(format!(
+            "expected CommandComplete, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{ColumnVector, DataType, Field};
+
+    fn result() -> RemoteResult {
+        RemoteResult {
+            schema: Schema::new(vec![Field::new("x", DataType::Int64)]),
+            chunks: vec![
+                Chunk::new(vec![ColumnVector::from_i64(vec![1, 2])]),
+                Chunk::new(vec![ColumnVector::from_i64(vec![3])]),
+            ],
+            rows_affected: 0,
+        }
+    }
+
+    #[test]
+    fn remote_result_mirrors_query_result_accessors() {
+        let r = result();
+        assert_eq!(r.row_count(), 3);
+        assert_eq!(r.value(2, 0).unwrap(), Value::Int(3));
+        assert!(r.value(3, 0).is_err());
+        assert_eq!(r.to_chunk().unwrap().len(), 3);
+        let table = r.to_table_string();
+        assert!(table.contains('x'), "{table}");
+    }
+
+    #[test]
+    fn scalar_requires_one_by_one() {
+        let r = result();
+        assert!(r.scalar().is_err());
+        let one = RemoteResult {
+            schema: Schema::new(vec![Field::new("x", DataType::Int64)]),
+            chunks: vec![Chunk::new(vec![ColumnVector::from_i64(vec![7])])],
+            rows_affected: 0,
+        };
+        assert_eq!(one.scalar().unwrap(), Value::Int(7));
+    }
+}

@@ -38,6 +38,13 @@ pub enum HyError {
     /// A memory reservation would exceed the session's
     /// `memory_budget_mb` cap.
     BudgetExceeded(String),
+    /// The server refused the request because of admission control
+    /// (connection cap, statement queue full/timed out) or because it is
+    /// shutting down. Retryable: the statement itself was never invalid.
+    Unavailable(String),
+    /// A wire-protocol violation or transport failure between a client
+    /// and the server (bad frame, version mismatch, broken connection).
+    Protocol(String),
     /// Internal invariant violation: a bug in the engine, not user error.
     Internal(String),
 }
@@ -58,6 +65,8 @@ impl HyError {
             HyError::Cancelled(_) => "cancelled",
             HyError::Timeout(_) => "timeout",
             HyError::BudgetExceeded(_) => "budget",
+            HyError::Unavailable(_) => "unavailable",
+            HyError::Protocol(_) => "protocol",
             HyError::Internal(_) => "internal",
         }
     }
@@ -89,6 +98,8 @@ impl HyError {
             | HyError::Cancelled(m)
             | HyError::Timeout(m)
             | HyError::BudgetExceeded(m)
+            | HyError::Unavailable(m)
+            | HyError::Protocol(m)
             | HyError::Internal(m) => m,
         }
     }
@@ -143,6 +154,8 @@ mod tests {
             HyError::Cancelled(String::new()),
             HyError::Timeout(String::new()),
             HyError::BudgetExceeded(String::new()),
+            HyError::Unavailable(String::new()),
+            HyError::Protocol(String::new()),
             HyError::Internal(String::new()),
         ];
         let mut stages: Vec<_> = errs.iter().map(|e| e.stage()).collect();

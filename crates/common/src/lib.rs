@@ -4,10 +4,11 @@
 //! speaks: [`DataType`] and [`Value`] for scalars, [`Bitmap`] for validity,
 //! [`ColumnVector`] for typed columns, [`Chunk`] for vectorized batches of
 //! rows, [`Schema`]/[`Field`] for relation shapes, and [`HyError`] for
-//! error reporting across the whole engine. It also hosts the two
+//! error reporting across the whole engine. It also hosts the
 //! cross-cutting runtime services: [`telemetry`] (metrics and per-query
-//! profiles) and [`governor`] (per-query cancellation, deadlines, and
-//! memory budgets).
+//! profiles), [`governor`] (per-query cancellation, deadlines, and
+//! memory budgets), and [`wire`] (the binary frame protocol spoken
+//! between `hylite-server` and `hylite-client`).
 
 #![warn(missing_docs)]
 
@@ -21,6 +22,7 @@ pub mod schema;
 pub mod telemetry;
 pub mod types;
 pub mod value;
+pub mod wire;
 
 pub use bitmap::Bitmap;
 pub use chunk::Chunk;
@@ -32,6 +34,7 @@ pub use schema::{Field, Schema, SchemaRef};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, OpSpan, ProfileBuilder, QueryProfile};
 pub use types::DataType;
 pub use value::Value;
+pub use wire::{ErrorCode, Frame};
 
 /// Number of rows an execution-time [`Chunk`] aims for. Chosen so that a
 /// handful of `f64` columns stay comfortably inside L1/L2 while amortizing

@@ -1,0 +1,935 @@
+//! The HyLite wire protocol: length-prefixed binary frames carrying SQL
+//! in and columnar results out.
+//!
+//! Layout of every frame on the wire:
+//!
+//! ```text
+//! [u32 length LE] [u8 tag] [payload ...]
+//! ```
+//!
+//! where `length` counts the tag byte plus the payload. Results stream as
+//! one [`Frame::ResultSchema`] followed by zero or more
+//! [`Frame::DataChunk`] frames and a closing [`Frame::CommandComplete`],
+//! so a server never has to materialize a full row-set to answer a query —
+//! each chunk is encoded and written as soon as the engine produces it.
+//!
+//! Integers are little-endian; strings are `u32` length + UTF-8 bytes;
+//! column payloads keep HyLite's native columnar layout (typed data array
+//! plus an optional validity bitmap), so a decoded [`Chunk`] compares
+//! equal to the chunk the embedded API would have returned.
+//!
+//! Errors travel as a stable numeric [`ErrorCode`] plus a human-readable
+//! message; see [`ErrorCode`] for the code space and the retryability
+//! contract. The full protocol (handshake, cancellation, shutdown) is
+//! documented in `docs/PROTOCOL.md`.
+
+use std::io::{Read, Write};
+
+use crate::{Bitmap, Chunk, ColumnVector, DataType, Field, HyError, Result, Schema};
+
+/// Protocol version spoken by this build. Bumped on any incompatible
+/// frame-layout change; the server rejects mismatched clients at startup.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic number opening every [`Frame::Startup`]/[`Frame::Cancel`]
+/// connection (`"HYLT"`), so the server can reject stray TCP clients
+/// before parsing anything else.
+pub const STARTUP_MAGIC: u32 = 0x4859_4C54;
+
+/// Hard cap on a single frame's encoded size. A length prefix beyond this
+/// is treated as a protocol violation rather than an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Error codes
+// ---------------------------------------------------------------------------
+
+/// Stable numeric error codes carried by [`Frame::Error`].
+///
+/// The code space is partitioned so clients can classify failures without
+/// string matching:
+///
+/// | Range | Meaning                                        | Retryable |
+/// |-------|------------------------------------------------|-----------|
+/// | 1xxx  | The SQL text was rejected (parse/bind/plan)    | no        |
+/// | 2xxx  | The statement failed while executing           | no        |
+/// | 3xxx  | Governed abort (cancel/timeout/budget)         | yes       |
+/// | 4xxx  | Engine bug (internal invariant violation)      | no        |
+/// | 5xxx  | Server-side admission control / transport      | see below |
+///
+/// Within 5xxx, [`Overloaded`](ErrorCode::Overloaded),
+/// [`QueueTimeout`](ErrorCode::QueueTimeout) and
+/// [`ShuttingDown`](ErrorCode::ShuttingDown) are retryable (the statement
+/// was never started); [`Protocol`](ErrorCode::Protocol) is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Tokenizer/parser rejected the SQL text.
+    Parse = 1000,
+    /// Name resolution or type checking failed.
+    Bind = 1001,
+    /// Logical-to-physical planning failed.
+    Plan = 1002,
+    /// A type mismatch detected at any stage.
+    Type = 1003,
+    /// Runtime failure while executing the plan.
+    Execution = 2000,
+    /// Storage-layer failure.
+    Storage = 2001,
+    /// Catalog-level failure.
+    Catalog = 2002,
+    /// An analytics operator rejected its configuration or input.
+    Analytics = 2003,
+    /// Transaction handling failure.
+    Transaction = 2004,
+    /// The statement was cancelled (e.g. an out-of-band Cancel frame).
+    Cancelled = 3000,
+    /// The statement ran past its `statement_timeout_ms`.
+    Timeout = 3001,
+    /// The statement exceeded its `memory_budget_mb`.
+    BudgetExceeded = 3002,
+    /// Internal invariant violation — a bug, not user error.
+    Internal = 4000,
+    /// The server is at its connection cap or statement queue capacity.
+    Overloaded = 5000,
+    /// The statement waited in the admission queue past the configured
+    /// backpressure deadline without getting an execution slot.
+    QueueTimeout = 5001,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown = 5002,
+    /// Wire-protocol violation (bad magic, unknown tag, short frame,
+    /// version mismatch, transport failure).
+    Protocol = 5003,
+}
+
+impl ErrorCode {
+    /// The numeric wire representation.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decode a wire code; unknown codes conservatively map to
+    /// [`ErrorCode::Internal`] so old clients survive new servers.
+    pub fn from_u16(code: u16) -> ErrorCode {
+        match code {
+            1000 => ErrorCode::Parse,
+            1001 => ErrorCode::Bind,
+            1002 => ErrorCode::Plan,
+            1003 => ErrorCode::Type,
+            2000 => ErrorCode::Execution,
+            2001 => ErrorCode::Storage,
+            2002 => ErrorCode::Catalog,
+            2003 => ErrorCode::Analytics,
+            2004 => ErrorCode::Transaction,
+            3000 => ErrorCode::Cancelled,
+            3001 => ErrorCode::Timeout,
+            3002 => ErrorCode::BudgetExceeded,
+            5000 => ErrorCode::Overloaded,
+            5001 => ErrorCode::QueueTimeout,
+            5002 => ErrorCode::ShuttingDown,
+            5003 => ErrorCode::Protocol,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// Classify an engine error into its stable wire code.
+    pub fn from_error(e: &HyError) -> ErrorCode {
+        match e {
+            HyError::Parse(_) => ErrorCode::Parse,
+            HyError::Bind(_) => ErrorCode::Bind,
+            HyError::Plan(_) => ErrorCode::Plan,
+            HyError::Type(_) => ErrorCode::Type,
+            HyError::Execution(_) => ErrorCode::Execution,
+            HyError::Storage(_) => ErrorCode::Storage,
+            HyError::Catalog(_) => ErrorCode::Catalog,
+            HyError::Analytics(_) => ErrorCode::Analytics,
+            HyError::Transaction(_) => ErrorCode::Transaction,
+            HyError::Cancelled(_) => ErrorCode::Cancelled,
+            HyError::Timeout(_) => ErrorCode::Timeout,
+            HyError::BudgetExceeded(_) => ErrorCode::BudgetExceeded,
+            HyError::Unavailable(_) => ErrorCode::Overloaded,
+            HyError::Protocol(_) => ErrorCode::Protocol,
+            HyError::Internal(_) => ErrorCode::Internal,
+        }
+    }
+
+    /// Reconstruct an [`HyError`] client-side from a code + message.
+    pub fn to_error(self, message: impl Into<String>) -> HyError {
+        let m = message.into();
+        match self {
+            ErrorCode::Parse => HyError::Parse(m),
+            ErrorCode::Bind => HyError::Bind(m),
+            ErrorCode::Plan => HyError::Plan(m),
+            ErrorCode::Type => HyError::Type(m),
+            ErrorCode::Execution => HyError::Execution(m),
+            ErrorCode::Storage => HyError::Storage(m),
+            ErrorCode::Catalog => HyError::Catalog(m),
+            ErrorCode::Analytics => HyError::Analytics(m),
+            ErrorCode::Transaction => HyError::Transaction(m),
+            ErrorCode::Cancelled => HyError::Cancelled(m),
+            ErrorCode::Timeout => HyError::Timeout(m),
+            ErrorCode::BudgetExceeded => HyError::BudgetExceeded(m),
+            ErrorCode::Overloaded | ErrorCode::QueueTimeout | ErrorCode::ShuttingDown => {
+                HyError::Unavailable(m)
+            }
+            ErrorCode::Protocol => HyError::Protocol(m),
+            ErrorCode::Internal => HyError::Internal(m),
+        }
+    }
+
+    /// True when retrying the same statement later is reasonable: the
+    /// server deliberately shed or aborted the work without judging the
+    /// SQL invalid (overload, queue backpressure, shutdown, timeout,
+    /// cancellation, budget).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Cancelled
+                | ErrorCode::Timeout
+                | ErrorCode::BudgetExceeded
+                | ErrorCode::Overloaded
+                | ErrorCode::QueueTimeout
+                | ErrorCode::ShuttingDown
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// One protocol frame. See the module docs for the on-wire layout and
+/// `docs/PROTOCOL.md` for the conversation state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server, first frame of a query connection.
+    Startup {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Server → client, successful handshake. `session_id`/`secret`
+    /// authorize out-of-band [`Frame::Cancel`] requests.
+    StartupOk {
+        /// Server's protocol version.
+        version: u32,
+        /// Server-assigned connection id.
+        session_id: u64,
+        /// Random secret required to cancel this session.
+        secret: u64,
+    },
+    /// Client → server: execute a SQL text (may contain several
+    /// `;`-separated statements; the last result is returned).
+    Query {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Server → client: the result schema, sent before any data.
+    ResultSchema {
+        /// Result column names/types.
+        schema: Schema,
+    },
+    /// Server → client: one columnar batch of result rows.
+    DataChunk {
+        /// The batch, in HyLite's native columnar layout.
+        chunk: Chunk,
+    },
+    /// Server → client: the statement finished successfully.
+    CommandComplete {
+        /// Rows inserted/updated/deleted by DML.
+        rows_affected: u64,
+        /// Total result rows streamed in the preceding chunks.
+        total_rows: u64,
+    },
+    /// Server → client: the statement (or handshake) failed.
+    Error {
+        /// Stable numeric code, see [`ErrorCode`].
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Client → server, first frame of a *cancel* connection: abort the
+    /// statement running on another session.
+    Cancel {
+        /// Target session id from its [`Frame::StartupOk`].
+        session_id: u64,
+        /// Matching secret from the same handshake.
+        secret: u64,
+    },
+    /// Server → client: answer to [`Frame::Cancel`].
+    CancelAck {
+        /// Whether the session existed and the cancel was delivered.
+        delivered: bool,
+    },
+    /// Client → server: request graceful server shutdown (drain in-flight
+    /// statements under the server's deadline, then stop).
+    Shutdown,
+    /// Client → server: close this connection cleanly.
+    Terminate,
+}
+
+impl Frame {
+    /// Build an error frame from an engine error.
+    pub fn error(e: &HyError) -> Frame {
+        Frame::Error {
+            code: ErrorCode::from_error(e).as_u16(),
+            message: e.message().to_owned(),
+        }
+    }
+
+    /// Build an error frame with an explicit code (admission control uses
+    /// this to distinguish `Overloaded`/`QueueTimeout`/`ShuttingDown`,
+    /// which all surface client-side as [`HyError::Unavailable`]).
+    pub fn error_with_code(code: ErrorCode, message: impl Into<String>) -> Frame {
+        Frame::Error {
+            code: code.as_u16(),
+            message: message.into(),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Startup { .. } => 1,
+            Frame::StartupOk { .. } => 2,
+            Frame::Query { .. } => 3,
+            Frame::ResultSchema { .. } => 4,
+            Frame::DataChunk { .. } => 5,
+            Frame::CommandComplete { .. } => 6,
+            Frame::Error { .. } => 7,
+            Frame::Cancel { .. } => 8,
+            Frame::CancelAck { .. } => 9,
+            Frame::Shutdown => 10,
+            Frame::Terminate => 11,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            buf.push(1);
+            put_str(buf, s);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Bool => 2,
+        DataType::Varchar => 3,
+        DataType::Null => 4,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Bool,
+        3 => DataType::Varchar,
+        4 => DataType::Null,
+        other => return Err(HyError::Protocol(format!("unknown data type tag {other}"))),
+    })
+}
+
+/// Pack `len` bits (`get(i)`) LSB-first into `len.div_ceil(8)` bytes.
+fn put_bits(buf: &mut Vec<u8>, len: usize, get: impl Fn(usize) -> bool) {
+    let mut byte = 0u8;
+    for i in 0..len {
+        if get(i) {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.push(byte);
+            byte = 0;
+        }
+    }
+    if !len.is_multiple_of(8) {
+        buf.push(byte);
+    }
+}
+
+fn put_column(buf: &mut Vec<u8>, col: &ColumnVector) {
+    buf.push(dtype_tag(col.data_type()));
+    let rows = col.len();
+    put_u32(buf, rows as u32);
+    let put_validity = |buf: &mut Vec<u8>, validity: &Option<Bitmap>| match validity {
+        Some(bm) => {
+            buf.push(1);
+            put_bits(buf, rows, |i| bm.get(i));
+        }
+        None => buf.push(0),
+    };
+    match col {
+        ColumnVector::Int64 { data, validity } => {
+            put_validity(buf, validity);
+            for v in data {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        ColumnVector::Float64 { data, validity } => {
+            put_validity(buf, validity);
+            for v in data {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        ColumnVector::Bool { data, validity } => {
+            put_validity(buf, validity);
+            put_bits(buf, rows, |i| data[i]);
+        }
+        ColumnVector::Varchar { data, validity } => {
+            put_validity(buf, validity);
+            for s in data {
+                put_str(buf, s);
+            }
+        }
+    }
+}
+
+fn put_chunk(buf: &mut Vec<u8>, chunk: &Chunk) {
+    put_u32(buf, chunk.len() as u32);
+    put_u16(buf, chunk.num_columns() as u16);
+    for col in chunk.columns() {
+        put_column(buf, col);
+    }
+}
+
+fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
+    put_u16(buf, schema.len() as u16);
+    for f in schema.fields() {
+        put_opt_str(buf, f.qualifier.as_deref());
+        put_str(buf, &f.name);
+        buf.push(dtype_tag(f.data_type));
+        buf.push(u8::from(f.nullable));
+    }
+}
+
+/// Encode a frame into its on-wire byte representation (length prefix
+/// included).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u32(&mut buf, 0); // length placeholder
+    buf.push(frame.tag());
+    match frame {
+        Frame::Startup { version } => {
+            put_u32(&mut buf, STARTUP_MAGIC);
+            put_u32(&mut buf, *version);
+        }
+        Frame::StartupOk {
+            version,
+            session_id,
+            secret,
+        } => {
+            put_u32(&mut buf, *version);
+            put_u64(&mut buf, *session_id);
+            put_u64(&mut buf, *secret);
+        }
+        Frame::Query { sql } => put_str(&mut buf, sql),
+        Frame::ResultSchema { schema } => put_schema(&mut buf, schema),
+        Frame::DataChunk { chunk } => put_chunk(&mut buf, chunk),
+        Frame::CommandComplete {
+            rows_affected,
+            total_rows,
+        } => {
+            put_u64(&mut buf, *rows_affected);
+            put_u64(&mut buf, *total_rows);
+        }
+        Frame::Error { code, message } => {
+            put_u16(&mut buf, *code);
+            put_str(&mut buf, message);
+        }
+        Frame::Cancel { session_id, secret } => {
+            put_u32(&mut buf, STARTUP_MAGIC);
+            put_u64(&mut buf, *session_id);
+            put_u64(&mut buf, *secret);
+        }
+        Frame::CancelAck { delivered } => buf.push(u8::from(*delivered)),
+        Frame::Shutdown | Frame::Terminate => {}
+    }
+    let len = (buf.len() - 4) as u32;
+    buf[0..4].copy_from_slice(&len.to_le_bytes());
+    buf
+}
+
+/// Encode and write one frame; returns the number of bytes written.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)
+        .map_err(|e| HyError::Protocol(format!("write failed: {e}")))?;
+    Ok(bytes.len())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Sequential reader over one frame body.
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn new(buf: &'a [u8]) -> FrameReader<'a> {
+        FrameReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(HyError::Protocol(format!(
+                "frame truncated: wanted {n} bytes at offset {}, frame is {} bytes",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| HyError::Protocol("invalid UTF-8 in string".into()))
+    }
+
+    fn opt_str(&mut self) -> Result<Option<String>> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.str()?),
+        })
+    }
+
+    /// Read `len` LSB-first packed bits.
+    fn bits(&mut self, len: usize) -> Result<Vec<bool>> {
+        let bytes = self.take(len.div_ceil(8))?;
+        Ok((0..len)
+            .map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1)
+            .collect())
+    }
+
+    fn column(&mut self) -> Result<ColumnVector> {
+        let dt = dtype_from_tag(self.u8()?)?;
+        let rows = self.u32()? as usize;
+        let validity = match self.u8()? {
+            0 => None,
+            _ => Some(self.bits(rows)?.into_iter().collect::<Bitmap>()),
+        };
+        Ok(match dt {
+            DataType::Int64 | DataType::Null => {
+                let raw = self.take(rows * 8)?;
+                let data = raw
+                    .chunks_exact(8)
+                    .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+                    .collect();
+                ColumnVector::Int64 { data, validity }
+            }
+            DataType::Float64 => {
+                let raw = self.take(rows * 8)?;
+                let data = raw
+                    .chunks_exact(8)
+                    .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+                    .collect();
+                ColumnVector::Float64 { data, validity }
+            }
+            DataType::Bool => ColumnVector::Bool {
+                data: self.bits(rows)?,
+                validity,
+            },
+            DataType::Varchar => {
+                let mut data = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    data.push(self.str()?);
+                }
+                ColumnVector::Varchar { data, validity }
+            }
+        })
+    }
+
+    fn chunk(&mut self) -> Result<Chunk> {
+        let rows = self.u32()? as usize;
+        let cols = self.u16()? as usize;
+        if cols == 0 {
+            return Ok(Chunk::zero_column(rows));
+        }
+        let mut columns = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            let col = self.column()?;
+            if col.len() != rows {
+                return Err(HyError::Protocol(format!(
+                    "chunk column length {} does not match row count {rows}",
+                    col.len()
+                )));
+            }
+            columns.push(std::sync::Arc::new(col));
+        }
+        Ok(Chunk::from_arc_columns(columns))
+    }
+
+    fn schema(&mut self) -> Result<Schema> {
+        let n = self.u16()? as usize;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            let qualifier = self.opt_str()?;
+            let name = self.str()?;
+            let data_type = dtype_from_tag(self.u8()?)?;
+            let nullable = self.u8()? != 0;
+            let mut f = Field::new(name, data_type);
+            f.qualifier = qualifier;
+            f.nullable = nullable;
+            fields.push(f);
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+/// Decode one frame from its body bytes (length prefix already consumed).
+pub fn decode_frame(tag: u8, body: &[u8]) -> Result<Frame> {
+    let mut r = FrameReader::new(body);
+    let frame = match tag {
+        1 => {
+            let magic = r.u32()?;
+            if magic != STARTUP_MAGIC {
+                return Err(HyError::Protocol(format!(
+                    "bad startup magic {magic:#010x} (not a HyLite client?)"
+                )));
+            }
+            Frame::Startup { version: r.u32()? }
+        }
+        2 => Frame::StartupOk {
+            version: r.u32()?,
+            session_id: r.u64()?,
+            secret: r.u64()?,
+        },
+        3 => Frame::Query { sql: r.str()? },
+        4 => Frame::ResultSchema {
+            schema: r.schema()?,
+        },
+        5 => Frame::DataChunk { chunk: r.chunk()? },
+        6 => Frame::CommandComplete {
+            rows_affected: r.u64()?,
+            total_rows: r.u64()?,
+        },
+        7 => Frame::Error {
+            code: r.u16()?,
+            message: r.str()?,
+        },
+        8 => {
+            let magic = r.u32()?;
+            if magic != STARTUP_MAGIC {
+                return Err(HyError::Protocol(format!(
+                    "bad cancel magic {magic:#010x} (not a HyLite client?)"
+                )));
+            }
+            Frame::Cancel {
+                session_id: r.u64()?,
+                secret: r.u64()?,
+            }
+        }
+        9 => Frame::CancelAck {
+            delivered: r.u8()? != 0,
+        },
+        10 => Frame::Shutdown,
+        11 => Frame::Terminate,
+        other => return Err(HyError::Protocol(format!("unknown frame tag {other}"))),
+    };
+    if r.pos != body.len() {
+        return Err(HyError::Protocol(format!(
+            "frame has {} trailing bytes after tag {tag}",
+            body.len() - r.pos
+        )));
+    }
+    Ok(frame)
+}
+
+/// Read one frame from a stream. A clean EOF before any byte of the
+/// length prefix maps to [`HyError::Protocol`] with the message
+/// `"connection closed"` — callers treat that as a normal disconnect.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => {
+                return Err(HyError::Protocol("connection closed".into()));
+            }
+            Ok(0) => {
+                return Err(HyError::Protocol(
+                    "connection closed mid-frame (length prefix)".into(),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HyError::Protocol(format!("read failed: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(HyError::Protocol("zero-length frame".into()));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(HyError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| HyError::Protocol(format!("connection closed mid-frame: {e}")))?;
+    let tag = body[0];
+    decode_frame(tag, &body[1..])
+}
+
+/// True when a [`read_frame`] error is the normal "peer went away" case
+/// rather than a malformed frame.
+pub fn is_disconnect(e: &HyError) -> bool {
+    matches!(e, HyError::Protocol(m) if m == "connection closed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let mut cursor = &bytes[..];
+        let decoded = read_frame(&mut cursor).unwrap();
+        assert_eq!(decoded, frame);
+        assert!(cursor.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        roundtrip(Frame::Startup {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip(Frame::StartupOk {
+            version: 1,
+            session_id: 42,
+            secret: u64::MAX,
+        });
+        roundtrip(Frame::Query {
+            sql: "SELECT 1".into(),
+        });
+        roundtrip(Frame::CommandComplete {
+            rows_affected: 7,
+            total_rows: 123,
+        });
+        roundtrip(Frame::Error {
+            code: ErrorCode::Overloaded.as_u16(),
+            message: "too many connections".into(),
+        });
+        roundtrip(Frame::Cancel {
+            session_id: 9,
+            secret: 10,
+        });
+        roundtrip(Frame::CancelAck { delivered: true });
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Terminate);
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64).with_qualifier("t"),
+            Field::new("name", DataType::Varchar),
+            Field::new("ok", DataType::Bool).not_null(),
+        ]);
+        roundtrip(Frame::ResultSchema { schema });
+    }
+
+    #[test]
+    fn chunk_roundtrip_all_types_with_nulls() {
+        let mut s = ColumnVector::empty(DataType::Varchar);
+        for v in [
+            crate::Value::from("a"),
+            crate::Value::Null,
+            crate::Value::from("ccc"),
+        ] {
+            s.push_value(&v).unwrap();
+        }
+        let mut f = ColumnVector::empty(DataType::Float64);
+        for v in [
+            crate::Value::Float(1.5),
+            crate::Value::Float(-0.0),
+            crate::Value::Null,
+        ] {
+            f.push_value(&v).unwrap();
+        }
+        let chunk = Chunk::new(vec![
+            ColumnVector::from_i64(vec![1, -2, i64::MAX]),
+            f,
+            ColumnVector::from_bool(vec![true, false, true]),
+            s,
+        ]);
+        roundtrip(Frame::DataChunk { chunk });
+    }
+
+    #[test]
+    fn zero_column_chunk_keeps_len() {
+        roundtrip(Frame::DataChunk {
+            chunk: Chunk::zero_column(17),
+        });
+    }
+
+    #[test]
+    fn wide_bitmap_roundtrip() {
+        // > 64 rows exercises multi-word bitmaps on both sides.
+        let mut col = ColumnVector::empty(DataType::Int64);
+        for i in 0..200 {
+            let v = if i % 3 == 0 {
+                crate::Value::Null
+            } else {
+                crate::Value::Int(i)
+            };
+            col.push_value(&v).unwrap();
+        }
+        roundtrip(Frame::DataChunk {
+            chunk: Chunk::new(vec![col]),
+        });
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_total() {
+        // Every HyError variant maps to a code and back to the same
+        // variant family; the numeric values are part of the protocol.
+        let cases = [
+            (HyError::Parse("m".into()), 1000),
+            (HyError::Bind("m".into()), 1001),
+            (HyError::Plan("m".into()), 1002),
+            (HyError::Type("m".into()), 1003),
+            (HyError::Execution("m".into()), 2000),
+            (HyError::Storage("m".into()), 2001),
+            (HyError::Catalog("m".into()), 2002),
+            (HyError::Analytics("m".into()), 2003),
+            (HyError::Transaction("m".into()), 2004),
+            (HyError::Cancelled("m".into()), 3000),
+            (HyError::Timeout("m".into()), 3001),
+            (HyError::BudgetExceeded("m".into()), 3002),
+            (HyError::Unavailable("m".into()), 5000),
+            (HyError::Protocol("m".into()), 5003),
+            (HyError::Internal("m".into()), 4000),
+        ];
+        for (err, code) in cases {
+            let c = ErrorCode::from_error(&err);
+            assert_eq!(c.as_u16(), code, "{err:?}");
+            assert_eq!(ErrorCode::from_u16(code), c);
+            let back = c.to_error(err.message().to_owned());
+            assert_eq!(back.stage(), err.stage(), "{err:?} roundtrips its stage");
+        }
+    }
+
+    #[test]
+    fn retryability_contract() {
+        for code in [
+            ErrorCode::Cancelled,
+            ErrorCode::Timeout,
+            ErrorCode::BudgetExceeded,
+            ErrorCode::Overloaded,
+            ErrorCode::QueueTimeout,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert!(code.is_retryable(), "{code:?}");
+        }
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::Bind,
+            ErrorCode::Execution,
+            ErrorCode::Internal,
+            ErrorCode::Protocol,
+        ] {
+            assert!(!code.is_retryable(), "{code:?}");
+        }
+    }
+
+    #[test]
+    fn admission_codes_surface_as_unavailable() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::QueueTimeout,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert!(matches!(code.to_error("x"), HyError::Unavailable(_)));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_protocol_errors() {
+        // Unknown tag.
+        assert!(matches!(decode_frame(99, &[]), Err(HyError::Protocol(_))));
+        // Truncated body.
+        assert!(matches!(
+            decode_frame(3, &[10, 0, 0, 0, b'S']),
+            Err(HyError::Protocol(_))
+        ));
+        // Trailing garbage.
+        let mut bytes = Vec::new();
+        put_str(&mut bytes, "SELECT 1");
+        bytes.push(0xFF);
+        assert!(matches!(decode_frame(3, &bytes), Err(HyError::Protocol(_))));
+        // Bad magic.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 0xDEAD_BEEF);
+        put_u32(&mut bytes, 1);
+        assert!(matches!(decode_frame(1, &bytes), Err(HyError::Protocol(_))));
+    }
+
+    #[test]
+    fn eof_maps_to_disconnect() {
+        let empty: &[u8] = &[];
+        let err = read_frame(&mut { empty }).unwrap_err();
+        assert!(is_disconnect(&err), "{err}");
+        // Mid-frame EOF is NOT a clean disconnect.
+        let partial: &[u8] = &[5, 0, 0, 0, 3];
+        let err = read_frame(&mut { partial }).unwrap_err();
+        assert!(!is_disconnect(&err), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, MAX_FRAME_BYTES + 1);
+        bytes.push(3);
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, HyError::Protocol(m) if m.contains("cap")));
+    }
+}

@@ -62,6 +62,29 @@ impl QueryResult {
         &self.chunks
     }
 
+    /// Consume the result into its chunks (no copy).
+    pub fn into_chunks(self) -> Vec<Chunk> {
+        self.chunks
+    }
+
+    /// Iterate the result as chunks of at most `target_rows` rows,
+    /// re-slicing oversized chunks with `Arc`-backed windows (no data
+    /// copy). This is the serving path: a network server can encode and
+    /// ship each yielded chunk immediately instead of materializing the
+    /// full row-set, so result memory on the server stays bounded by one
+    /// chunk regardless of result size.
+    pub fn stream_chunks(&self, target_rows: usize) -> impl Iterator<Item = Chunk> + '_ {
+        let target = target_rows.max(1);
+        self.chunks
+            .iter()
+            .filter(|c| !c.is_empty())
+            .flat_map(move |c| {
+                (0..c.len())
+                    .step_by(target)
+                    .map(move |off| c.slice(off, target.min(c.len() - off)))
+            })
+    }
+
     /// Total result rows.
     pub fn row_count(&self) -> usize {
         self.chunks.iter().map(Chunk::len).sum()
@@ -161,5 +184,31 @@ mod tests {
         let r = QueryResult::text("plan", vec!["a".into(), "b".into()]);
         assert_eq!(r.row_count(), 2);
         assert!(r.to_table_string().contains("plan"));
+    }
+
+    #[test]
+    fn stream_chunks_reslices_without_copy() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let r = QueryResult::rows(
+            schema,
+            vec![
+                Chunk::new(vec![ColumnVector::from_i64((0..5).collect())]),
+                Chunk::new(vec![ColumnVector::from_i64(vec![])]),
+                Chunk::new(vec![ColumnVector::from_i64(vec![5, 6])]),
+            ],
+            ExecStats::default(),
+        );
+        let streamed: Vec<Chunk> = r.stream_chunks(2).collect();
+        let sizes: Vec<usize> = streamed.iter().map(Chunk::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1, 2], "empty chunks dropped, rest split");
+        let total = Chunk::concat(&[DataType::Int64], &streamed).unwrap();
+        assert_eq!(total, r.to_chunk().unwrap(), "values survive re-slicing");
+        // A chunk already at/below the target streams as one shared piece.
+        let whole: Vec<Chunk> = r.stream_chunks(100).collect();
+        assert_eq!(whole.len(), 2);
+        assert!(Arc::ptr_eq(
+            &whole[0].columns()[0],
+            &r.chunks()[0].columns()[0]
+        ));
     }
 }

@@ -1,0 +1,307 @@
+//! Admission control: a bounded statement queue with backpressure.
+//!
+//! Every `Query` frame must obtain a [`StatementPermit`] before touching
+//! the engine. At most `max_active_statements` permits are out at once;
+//! up to `statement_queue_depth` further statements block (providing
+//! backpressure on their connections) for at most `queue_wait`. Anything
+//! beyond that is shed immediately with a typed overload [`Rejection`],
+//! so a flood of clients degrades into fast, explicit errors instead of
+//! an unbounded pile-up inside the engine.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` — the queue critical sections
+//! only update two counters, and statements hold the permit *outside*
+//! the lock while executing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hylite_common::telemetry::MetricsRegistry;
+use hylite_common::wire::ErrorCode;
+use hylite_common::HyError;
+
+/// Why admission control refused a statement or connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// No execution slot and no queue slot (or connection cap reached).
+    Overloaded(String),
+    /// Queued, but no slot freed up within the backpressure deadline.
+    QueueTimeout(String),
+    /// The server is draining for shutdown.
+    ShuttingDown(String),
+}
+
+impl Rejection {
+    /// The wire error code for this rejection.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Rejection::Overloaded(_) => ErrorCode::Overloaded,
+            Rejection::QueueTimeout(_) => ErrorCode::QueueTimeout,
+            Rejection::ShuttingDown(_) => ErrorCode::ShuttingDown,
+        }
+    }
+
+    /// The human-readable reason.
+    pub fn message(&self) -> &str {
+        match self {
+            Rejection::Overloaded(m) | Rejection::QueueTimeout(m) | Rejection::ShuttingDown(m) => m,
+        }
+    }
+
+    /// The equivalent engine error (always [`HyError::Unavailable`]).
+    pub fn to_error(&self) -> HyError {
+        HyError::Unavailable(self.message().to_owned())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Gate {
+    active: usize,
+    queued: usize,
+}
+
+/// The statement gate shared by all connections of one server.
+#[derive(Debug)]
+pub struct Admission {
+    max_active: usize,
+    queue_depth: usize,
+    queue_wait: Duration,
+    gate: Mutex<Gate>,
+    freed: Condvar,
+    metrics: Arc<MetricsRegistry>,
+    /// Monotonic id source for permits (diagnostics only).
+    next_id: AtomicU64,
+}
+
+impl Admission {
+    /// A gate allowing `max_active` concurrent statements with a waiting
+    /// queue of `queue_depth`, shedding waiters after `queue_wait`.
+    pub fn new(
+        max_active: usize,
+        queue_depth: usize,
+        queue_wait: Duration,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Admission {
+        Admission {
+            max_active: max_active.max(1),
+            queue_depth,
+            queue_wait,
+            gate: Mutex::new(Gate::default()),
+            freed: Condvar::new(),
+            metrics,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Statements currently executing.
+    pub fn active(&self) -> usize {
+        self.gate.lock().unwrap_or_else(|e| e.into_inner()).active
+    }
+
+    /// Statements currently queued for a slot.
+    pub fn queued(&self) -> usize {
+        self.gate.lock().unwrap_or_else(|e| e.into_inner()).queued
+    }
+
+    /// Block until an execution slot is free (within the backpressure
+    /// budget) and return the permit, or a typed [`Rejection`].
+    pub fn admit(&self) -> Result<StatementPermit<'_>, Rejection> {
+        let wait_started = Instant::now();
+        let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        if gate.active < self.max_active {
+            gate.active += 1;
+        } else {
+            if gate.queued >= self.queue_depth {
+                drop(gate);
+                self.metrics
+                    .counter("server.stmt_rejected_queue_full")
+                    .inc();
+                return Err(Rejection::Overloaded(format!(
+                    "server overloaded: {} statements executing and {} queued (queue depth {})",
+                    self.max_active, self.queue_depth, self.queue_depth
+                )));
+            }
+            gate.queued += 1;
+            self.metrics.counter("server.stmt_queued").inc();
+            let deadline = wait_started + self.queue_wait;
+            loop {
+                let now = Instant::now();
+                if gate.active < self.max_active {
+                    gate.queued -= 1;
+                    gate.active += 1;
+                    break;
+                }
+                if now >= deadline {
+                    gate.queued -= 1;
+                    drop(gate);
+                    self.metrics
+                        .counter("server.stmt_rejected_queue_timeout")
+                        .inc();
+                    return Err(Rejection::QueueTimeout(format!(
+                        "statement queued for {} ms without an execution slot \
+                         (max_active_statements = {})",
+                        self.queue_wait.as_millis(),
+                        self.max_active
+                    )));
+                }
+                let (g, _timeout) = self
+                    .freed
+                    .wait_timeout(gate, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                gate = g;
+            }
+        }
+        drop(gate);
+        self.metrics.counter("server.stmt_admitted").inc();
+        self.metrics
+            .histogram("server.queue_wait_us")
+            .record(wait_started.elapsed().as_micros() as u64);
+        self.metrics.gauge("server.active_statements").add(1);
+        Ok(StatementPermit {
+            admission: self,
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    fn release(&self) {
+        let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.active = gate.active.saturating_sub(1);
+        drop(gate);
+        self.metrics.gauge("server.active_statements").add(-1);
+        self.freed.notify_one();
+    }
+}
+
+/// RAII execution slot from [`Admission::admit`]; frees the slot (and
+/// wakes one queued statement) on drop.
+#[derive(Debug)]
+pub struct StatementPermit<'a> {
+    admission: &'a Admission,
+    id: u64,
+}
+
+impl StatementPermit<'_> {
+    /// Diagnostic permit id (monotonic per server).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for StatementPermit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn admission(max_active: usize, depth: usize, wait_ms: u64) -> Arc<Admission> {
+        Arc::new(Admission::new(
+            max_active,
+            depth,
+            Duration::from_millis(wait_ms),
+            Arc::new(MetricsRegistry::new()),
+        ))
+    }
+
+    #[test]
+    fn serial_admission_is_free() {
+        let a = admission(2, 4, 100);
+        let p1 = a.admit().unwrap();
+        let p2 = a.admit().unwrap();
+        assert_eq!(a.active(), 2);
+        drop(p1);
+        drop(p2);
+        assert_eq!(a.active(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let a = admission(1, 0, 10_000);
+        let _p = a.admit().unwrap();
+        let started = Instant::now();
+        let err = a.admit().unwrap_err();
+        assert!(matches!(err, Rejection::Overloaded(_)), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "zero-depth queue must not wait"
+        );
+    }
+
+    #[test]
+    fn queue_timeout_sheds_waiters() {
+        let a = admission(1, 4, 50);
+        let _p = a.admit().unwrap();
+        let err = a.admit().unwrap_err();
+        assert!(matches!(err, Rejection::QueueTimeout(_)), "{err:?}");
+        assert_eq!(a.queued(), 0, "queue count restored after shed");
+    }
+
+    #[test]
+    fn queued_statement_runs_when_slot_frees() {
+        let a = admission(1, 4, 5_000);
+        let p = a.admit().unwrap();
+        let a2 = Arc::clone(&a);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let waiter = std::thread::spawn(move || {
+            let _p = a2.admit().unwrap();
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "still blocked");
+        drop(p);
+        waiter.join().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(a.active(), 0);
+    }
+
+    #[test]
+    fn hammering_the_gate_never_exceeds_max_active() {
+        let a = admission(3, 64, 10_000);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let (a, peak, live) = (Arc::clone(&a), Arc::clone(&peak), Arc::clone(&live));
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let _p = a.admit().unwrap();
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_micros(200));
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "cap respected");
+        assert_eq!(a.active(), 0);
+    }
+
+    #[test]
+    fn rejection_maps_to_typed_wire_codes() {
+        assert_eq!(
+            Rejection::Overloaded("x".into()).code(),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            Rejection::QueueTimeout("x".into()).code(),
+            ErrorCode::QueueTimeout
+        );
+        assert_eq!(
+            Rejection::ShuttingDown("x".into()).code(),
+            ErrorCode::ShuttingDown
+        );
+        assert!(matches!(
+            Rejection::Overloaded("x".into()).to_error(),
+            HyError::Unavailable(_)
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! `hylite-server` — serve a HyLite database over TCP.
+//!
+//! ```text
+//! hylite-server [--addr 127.0.0.1:5433] [--max-connections N]
+//!               [--max-active-statements N] [--queue-depth N]
+//!               [--queue-wait-ms MS] [--statement-timeout-ms MS]
+//!               [--memory-budget-mb MB] [--drain-timeout-ms MS] [--demo]
+//! ```
+//!
+//! `--demo` preloads a small demo schema (`t(x BIGINT)`, `edges(src,
+//! dest)`) so a fresh server answers example queries immediately. The
+//! process runs until a client sends a Shutdown frame (`hylite-cli
+//! --shutdown`), then drains gracefully.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hylite_core::Database;
+use hylite_server::{Server, ServerConfig};
+
+fn parse_args(args: &[String]) -> Result<(ServerConfig, bool), String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:5433".into(),
+        ..ServerConfig::default()
+    };
+    let mut demo = false;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--addr" => config.addr = value(&mut i, arg)?,
+            "--max-connections" => {
+                config.max_connections = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--max-active-statements" => {
+                config.max_active_statements = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--queue-depth" => {
+                config.statement_queue_depth = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--queue-wait-ms" => {
+                config.queue_wait = Duration::from_millis(
+                    value(&mut i, arg)?
+                        .parse()
+                        .map_err(|e| format!("{arg}: {e}"))?,
+                )
+            }
+            "--statement-timeout-ms" => {
+                config.statement_timeout_ms = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--memory-budget-mb" => {
+                config.memory_budget_mb = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--drain-timeout-ms" => {
+                config.drain_timeout = Duration::from_millis(
+                    value(&mut i, arg)?
+                        .parse()
+                        .map_err(|e| format!("{arg}: {e}"))?,
+                )
+            }
+            "--demo" => demo = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hylite-server [--addr HOST:PORT] [--max-connections N] \
+                            [--max-active-statements N] [--queue-depth N] [--queue-wait-ms MS] \
+                            [--statement-timeout-ms MS] [--memory-budget-mb MB] \
+                            [--drain-timeout-ms MS] [--demo]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    Ok((config, demo))
+}
+
+fn load_demo(db: &Database) {
+    for sql in [
+        "CREATE TABLE t (x BIGINT)",
+        "INSERT INTO t VALUES (1), (2), (3), (4), (5)",
+        "CREATE TABLE edges (src BIGINT, dest BIGINT)",
+        "INSERT INTO edges VALUES (1,2),(2,3),(3,4),(4,1),(1,3)",
+    ] {
+        if let Err(e) = db.execute(sql) {
+            eprintln!("demo load failed on '{sql}': {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, demo) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let db = Arc::new(Database::new());
+    if demo {
+        load_demo(&db);
+    }
+    let handle = match Server::start(config, db) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hylite-server listening on {}", handle.local_addr());
+    handle.join();
+    println!("hylite-server stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+/// Tunables of a [`Server`](crate::Server).
+///
+/// The admission-control knobs bound three separate resources:
+/// `max_connections` caps sessions, `max_active_statements` caps
+/// statements executing at once (protecting the engine from a thundering
+/// herd even when every connection fires simultaneously), and
+/// `statement_queue_depth` bounds how many statements may *wait* for an
+/// execution slot before the server starts shedding load with typed
+/// `Overloaded` errors.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:5433`. Port `0` picks a free port
+    /// (the bound address is reported by
+    /// [`ServerHandle::local_addr`](crate::ServerHandle::local_addr)).
+    pub addr: String,
+    /// Maximum concurrent client connections; further connects are
+    /// rejected with [`ErrorCode::Overloaded`](hylite_common::ErrorCode).
+    pub max_connections: usize,
+    /// Maximum statements executing concurrently across all sessions.
+    pub max_active_statements: usize,
+    /// Maximum statements waiting for an execution slot; a full queue
+    /// rejects immediately with `Overloaded`.
+    pub statement_queue_depth: usize,
+    /// How long a statement may wait in the queue before being shed with
+    /// [`ErrorCode::QueueTimeout`](hylite_common::ErrorCode).
+    pub queue_wait: Duration,
+    /// Default per-session `statement_timeout_ms`, applied at session
+    /// startup unless/until the client overrides it via `SET`. `0`
+    /// disables the default.
+    pub statement_timeout_ms: u64,
+    /// Default per-session `memory_budget_mb`, same override semantics.
+    /// `0` disables the default.
+    pub memory_budget_mb: u64,
+    /// Graceful-shutdown drain budget: in-flight statements get this long
+    /// to finish before their cancel tokens fire.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 64,
+            max_active_statements: 16,
+            statement_queue_depth: 64,
+            queue_wait: Duration::from_secs(5),
+            statement_timeout_ms: 0,
+            memory_budget_mb: 0,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config listening on an OS-assigned localhost port (tests,
+    /// benches, examples).
+    pub fn ephemeral() -> ServerConfig {
+        ServerConfig::default()
+    }
+}

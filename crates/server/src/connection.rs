@@ -1,0 +1,280 @@
+//! Per-connection protocol handling: handshake, query loop, result
+//! streaming, out-of-band cancel.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
+use hylite_common::{Result, CHUNK_ROWS};
+use hylite_core::{QueryResult, Session};
+
+use crate::server::{SessionEntry, Shared};
+
+/// Deadline for the first frame of a fresh connection, so half-open
+/// sockets can't pin resources forever.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Entry point of a connection thread: dispatch on the first frame.
+pub(crate) fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    let first = match wire::read_frame(&mut stream) {
+        Ok(f) => f,
+        Err(_) => return,
+    };
+    match first {
+        Frame::Startup { version } => handle_startup(stream, shared, version),
+        Frame::Cancel { session_id, secret } => handle_cancel(stream, &shared, session_id, secret),
+        Frame::Shutdown => {
+            shared.request_shutdown();
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::CommandComplete {
+                    rows_affected: 0,
+                    total_rows: 0,
+                },
+            );
+        }
+        _ => {
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::error_with_code(
+                    ErrorCode::Protocol,
+                    "expected Startup, Cancel, or Shutdown as the first frame",
+                ),
+            );
+        }
+    }
+}
+
+fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
+    if version != PROTOCOL_VERSION {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Protocol,
+                format!(
+                    "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                ),
+            ),
+        );
+        return;
+    }
+    if shared.is_draining() {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(ErrorCode::ShuttingDown, "server is shutting down"),
+        );
+        return;
+    }
+
+    // Connection cap: reserve a slot or reject with a typed error.
+    let live = shared.conn_count.fetch_add(1, Ordering::AcqRel) + 1;
+    if live > shared.config.max_connections {
+        shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+        shared.metrics.counter("server.connections_rejected").inc();
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Overloaded,
+                format!(
+                    "connection cap of {} reached",
+                    shared.config.max_connections
+                ),
+            ),
+        );
+        return;
+    }
+    shared.metrics.gauge("server.connections_active").add(1);
+
+    let release = |shared: &Shared| {
+        shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+        shared.metrics.gauge("server.connections_active").add(-1);
+    };
+
+    // Build the engine session with the server-level governor defaults;
+    // a later client `SET` simply overwrites them.
+    let mut session = shared.db.session();
+    if shared.config.statement_timeout_ms > 0 {
+        let _ = session.execute(&format!(
+            "SET statement_timeout_ms = {}",
+            shared.config.statement_timeout_ms
+        ));
+    }
+    if shared.config.memory_budget_mb > 0 {
+        let _ = session.execute(&format!(
+            "SET memory_budget_mb = {}",
+            shared.config.memory_budget_mb
+        ));
+    }
+
+    let session_id = shared.next_session_id();
+    let secret = shared.new_secret(session_id);
+    let busy = Arc::new(AtomicBool::new(false));
+    let entry_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            release(&shared);
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::error_with_code(ErrorCode::Internal, format!("socket clone failed: {e}")),
+            );
+            return;
+        }
+    };
+    // Register before StartupOk so a Cancel racing right behind the
+    // handshake already finds the session.
+    shared.sessions.lock().insert(
+        session_id,
+        SessionEntry {
+            secret,
+            cancel: session.cancel_handle(),
+            stream: entry_stream,
+            busy: Arc::clone(&busy),
+        },
+    );
+    let ok = wire::write_frame(
+        &mut stream,
+        &Frame::StartupOk {
+            version: PROTOCOL_VERSION,
+            session_id,
+            secret,
+        },
+    );
+    if ok.is_ok() {
+        let _ = stream.set_read_timeout(None);
+        query_loop(&mut stream, &mut session, &shared, &busy);
+    }
+    shared.sessions.lock().remove(&session_id);
+    release(&shared);
+    // `session` drops here, rolling back any open transaction.
+}
+
+/// Serve Query frames until the peer disconnects, terminates, or the
+/// server drains.
+fn query_loop(stream: &mut TcpStream, session: &mut Session, shared: &Shared, busy: &AtomicBool) {
+    // A read error means disconnect, malformed frame, or the drain closing
+    // the socket — all of them end the session.
+    while let Ok(frame) = wire::read_frame(stream) {
+        match frame {
+            Frame::Query { sql } => {
+                if shared.is_draining() {
+                    let _ = wire::write_frame(
+                        stream,
+                        &Frame::error_with_code(ErrorCode::ShuttingDown, "server is shutting down"),
+                    );
+                    break;
+                }
+                let permit = match shared.admission.admit() {
+                    Ok(p) => p,
+                    Err(rejection) => {
+                        shared.metrics.counter("server.query_errors").inc();
+                        let sent = wire::write_frame(
+                            stream,
+                            &Frame::error_with_code(rejection.code(), rejection.message()),
+                        );
+                        if sent.is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                busy.store(true, Ordering::Release);
+                let started = Instant::now();
+                let result = session.execute(&sql);
+                busy.store(false, Ordering::Release);
+                // Execution is done (results are materialized); release the
+                // slot *before* writing any frame so that by the time the
+                // client sees completion the slot is observably free.
+                drop(permit);
+                let outcome = match result {
+                    Ok(r) => stream_result(stream, &r, shared),
+                    Err(e) => {
+                        shared.metrics.counter("server.query_errors").inc();
+                        wire::write_frame(stream, &Frame::error(&e)).map(|_| ())
+                    }
+                };
+                shared.metrics.counter("server.queries").inc();
+                shared
+                    .metrics
+                    .histogram("server.statement_us")
+                    .record(started.elapsed().as_micros() as u64);
+                if outcome.is_err() {
+                    break; // peer went away mid-result
+                }
+                if shared.is_draining() {
+                    break; // in-flight statement drained; now close
+                }
+            }
+            Frame::Terminate => break,
+            Frame::Shutdown => {
+                shared.request_shutdown();
+                break;
+            }
+            _ => {
+                let _ = wire::write_frame(
+                    stream,
+                    &Frame::error_with_code(
+                        ErrorCode::Protocol,
+                        "expected Query, Terminate, or Shutdown",
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Stream one result: schema, then each chunk as soon as it is sliced
+/// off (bounded server-side memory), then completion.
+fn stream_result(stream: &mut TcpStream, result: &QueryResult, shared: &Shared) -> Result<()> {
+    let mut bytes = wire::write_frame(
+        stream,
+        &Frame::ResultSchema {
+            schema: result.schema().as_ref().clone(),
+        },
+    )?;
+    let mut rows = 0u64;
+    let mut chunks = 0u64;
+    for chunk in result.stream_chunks(CHUNK_ROWS) {
+        rows += chunk.len() as u64;
+        chunks += 1;
+        bytes += wire::write_frame(stream, &Frame::DataChunk { chunk })?;
+    }
+    bytes += wire::write_frame(
+        stream,
+        &Frame::CommandComplete {
+            rows_affected: result.rows_affected as u64,
+            total_rows: rows,
+        },
+    )?;
+    shared.metrics.counter("server.rows_sent").add(rows);
+    shared.metrics.counter("server.chunks_sent").add(chunks);
+    shared
+        .metrics
+        .counter("server.bytes_sent")
+        .add(bytes as u64);
+    Ok(())
+}
+
+/// Out-of-band cancel: deliver if the (session, secret) pair matches a
+/// registered session, then answer and close.
+fn handle_cancel(mut stream: TcpStream, shared: &Shared, session_id: u64, secret: u64) {
+    let delivered = {
+        let sessions = shared.sessions.lock();
+        match sessions.get(&session_id) {
+            Some(entry) if entry.secret == secret => {
+                entry.cancel.cancel();
+                true
+            }
+            _ => false,
+        }
+    };
+    shared.metrics.counter("server.cancel_requests").inc();
+    if delivered {
+        shared.metrics.counter("server.cancel_delivered").inc();
+    }
+    let _ = wire::write_frame(&mut stream, &Frame::CancelAck { delivered });
+}

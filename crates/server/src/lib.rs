@@ -1,0 +1,56 @@
+//! The HyLite network server: the engine behind a TCP serving boundary.
+//!
+//! The embedded API ([`hylite_core::Database`]) is one end of the
+//! client-integration spectrum; this crate is the other — a standalone
+//! server process many concurrent clients talk to over a small binary
+//! frame protocol ([`hylite_common::wire`], documented in
+//! `docs/PROTOCOL.md`). Design points:
+//!
+//! * **Thread per connection, no async runtime.** Each accepted socket
+//!   gets an OS thread owning one engine [`Session`](hylite_core::Session)
+//!   over a shared `Arc<Database>`; blocking reads/writes keep the code
+//!   obvious and the dependency count at zero.
+//! * **Streaming results.** Result chunks are encoded and written as they
+//!   are sliced off the result
+//!   ([`QueryResult::stream_chunks`](hylite_core::QueryResult::stream_chunks)),
+//!   so server-side result memory stays bounded by one chunk.
+//! * **Admission control.** A connection cap plus a bounded statement
+//!   queue with backpressure ([`Admission`]); overload is shed with typed
+//!   retryable error frames and counted under `server.*` metrics.
+//! * **Out-of-band cancellation.** The handshake hands every session a
+//!   `(session_id, secret)` pair; a *second* connection can present it in
+//!   a Cancel frame to stop the running statement at its next governor
+//!   check point, exactly like `kill -INT` for queries.
+//! * **Governed by default.** Server-level `statement_timeout_ms` /
+//!   `memory_budget_mb` defaults apply to every session until the client
+//!   overrides them with `SET`.
+//! * **Graceful shutdown.** A drain deadline lets in-flight statements
+//!   finish, then cancels stragglers via their governor tokens, then
+//!   closes sockets and joins every thread.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hylite_core::Database;
+//! use hylite_server::{Server, ServerConfig};
+//!
+//! let db = Arc::new(Database::new());
+//! db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+//! let handle = Server::start(ServerConfig::ephemeral(), db).unwrap();
+//! let addr = handle.local_addr(); // connect a HyliteClient here
+//! # let _ = addr;
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod config;
+mod connection;
+mod server;
+
+pub use admission::{Admission, Rejection, StatementPermit};
+pub use config::ServerConfig;
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,268 @@
+//! The TCP server: accept loop, session registry, graceful shutdown.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+use hylite_common::governor::CancelToken;
+use hylite_common::telemetry::MetricsRegistry;
+use hylite_common::{HyError, Result};
+use hylite_core::Database;
+use parking_lot::Mutex;
+
+use crate::admission::Admission;
+use crate::config::ServerConfig;
+use crate::connection;
+
+/// One registered query session (a connection that completed Startup).
+pub(crate) struct SessionEntry {
+    /// Secret required by out-of-band Cancel frames.
+    pub secret: u64,
+    /// Cancels the statement currently running on this session.
+    pub cancel: Arc<CancelToken>,
+    /// Socket clone used to unblock idle readers during shutdown.
+    pub stream: TcpStream,
+    /// True while a statement is executing / streaming its result.
+    pub busy: Arc<AtomicBool>,
+}
+
+/// State shared by the accept loop and every connection thread.
+pub(crate) struct Shared {
+    pub db: Arc<Database>,
+    pub config: ServerConfig,
+    pub admission: Admission,
+    pub metrics: Arc<MetricsRegistry>,
+    /// Set when a drain has started: no new connections or statements.
+    pub draining: AtomicBool,
+    /// Set by `ServerHandle::shutdown` or a Shutdown frame; observed by
+    /// the accept loop, which then performs the drain.
+    pub shutdown_requested: AtomicBool,
+    /// Registered query sessions by session id.
+    pub sessions: Mutex<HashMap<u64, SessionEntry>>,
+    /// Live query connections (for the connection cap).
+    pub conn_count: AtomicUsize,
+    /// Connection thread handles, joined during shutdown.
+    pub conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_session_id: AtomicU64,
+}
+
+impl Shared {
+    /// Derive a per-session cancel secret. Not cryptographic — it guards
+    /// against accidental cross-session cancels, like PostgreSQL's
+    /// `BackendKeyData`.
+    pub fn new_secret(&self, session_id: u64) -> u64 {
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(nanos ^ session_id.rotate_left(32) ^ (self as *const Shared as usize as u64))
+    }
+
+    pub fn next_session_id(&self) -> u64 {
+        self.next_session_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    pub fn request_shutdown(&self) {
+        self.shutdown_requested.store(true, Ordering::Release);
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The HyLite network server. [`Server::start`] binds, spawns the accept
+/// loop, and returns a [`ServerHandle`] for address discovery and
+/// shutdown.
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr` and start serving `db`. Every connection gets
+    /// its own engine [`Session`](hylite_core::Session) over the shared
+    /// database; all sessions report into `db`'s metrics registry under
+    /// `server.*` names.
+    pub fn start(config: ServerConfig, db: Arc<Database>) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| HyError::Unavailable(format!("bind {} failed: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| HyError::Internal(format!("local_addr failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| HyError::Internal(format!("set_nonblocking failed: {e}")))?;
+        let metrics = Arc::clone(db.metrics());
+        let admission = Admission::new(
+            config.max_active_statements,
+            config.statement_queue_depth,
+            config.queue_wait,
+            Arc::clone(&metrics),
+        );
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            admission,
+            metrics,
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
+            conn_count: AtomicUsize::new(0),
+            conn_threads: Mutex::new(Vec::new()),
+            next_session_id: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("hylite-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| HyError::Internal(format!("spawning accept loop failed: {e}")))?;
+        Ok(ServerHandle {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port `0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The metrics registry the server reports into (shared with the
+    /// database engine).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// Number of registered query connections.
+    pub fn connections(&self) -> usize {
+        self.shared.conn_count.load(Ordering::Acquire)
+    }
+
+    /// Request graceful shutdown and wait for it to finish: stop
+    /// accepting, let in-flight statements drain for
+    /// `config.drain_timeout`, cancel stragglers, close every
+    /// connection, and join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.request_shutdown();
+        self.join_accept();
+    }
+
+    /// Block until the server stops (e.g. a client sent a Shutdown
+    /// frame). Equivalent to `shutdown()` without requesting it.
+    pub fn join(mut self) {
+        self.join_accept();
+    }
+
+    fn join_accept(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Dropping the handle stops the server (tests and examples rely
+        // on not leaking the accept thread).
+        self.shared.request_shutdown();
+        self.join_accept();
+    }
+}
+
+/// Poll-accept until shutdown is requested, then drain.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown_requested.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.counter("server.connections_accepted").inc();
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("hylite-conn".into())
+                    .spawn(move || connection::serve_connection(stream, conn_shared));
+                match spawned {
+                    Ok(handle) => shared.conn_threads.lock().push(handle),
+                    Err(_) => {
+                        shared.metrics.counter("server.connections_rejected").inc();
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    drain(&shared);
+}
+
+/// Graceful shutdown: close idle connections, give busy ones until the
+/// drain deadline, then fire their cancel tokens, and finally force-close
+/// whatever is left before joining all connection threads.
+fn drain(shared: &Shared) {
+    shared.draining.store(true, Ordering::Release);
+    shared.metrics.counter("server.shutdowns").inc();
+    let deadline = Instant::now() + shared.config.drain_timeout;
+
+    // Idle connections are parked in a blocking read; closing the socket
+    // is the only way to wake them. Busy ones keep running for now.
+    for entry in shared.sessions.lock().values() {
+        if !entry.busy.load(Ordering::Acquire) {
+            let _ = entry.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    // Drain phase: wait for in-flight statements to finish on their own.
+    while Instant::now() < deadline && !shared.sessions.lock().is_empty() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Cancel stragglers; their statements abort at the next governor
+    // check point, the connection sends the Cancelled error frame, sees
+    // the draining flag, and exits.
+    let mut cancelled = 0u64;
+    for entry in shared.sessions.lock().values() {
+        entry.cancel.cancel();
+        cancelled += 1;
+    }
+    if cancelled > 0 {
+        shared
+            .metrics
+            .counter("server.shutdown_cancelled_statements")
+            .add(cancelled);
+        let grace = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < grace && !shared.sessions.lock().is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Force-close anything still attached.
+    for entry in shared.sessions.lock().values() {
+        let _ = entry.stream.shutdown(Shutdown::Both);
+    }
+
+    let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *shared.conn_threads.lock());
+    for t in threads {
+        let _ = t.join();
+    }
+}

@@ -35,6 +35,8 @@ pub use hylite_core::{Database, QueryResult, Session, SessionSettings};
 pub use hylite_analytics as analytics;
 /// Comparator system simulations (single-threaded, UDF, dataflow).
 pub use hylite_baselines as baselines;
+/// Blocking wire-protocol client and the `hylite-cli` REPL.
+pub use hylite_client as client;
 /// Shared type system: values, chunks, schemas, errors.
 pub use hylite_common as common;
 /// Synthetic dataset generators for the evaluation grid.
@@ -47,6 +49,8 @@ pub use hylite_expr as expr;
 pub use hylite_graph as graph;
 /// Binder, logical plans and optimizer.
 pub use hylite_planner as planner;
+/// TCP server exposing the engine over the binary frame protocol.
+pub use hylite_server as server;
 /// SQL tokenizer/parser with ITERATE and analytics extensions.
 pub use hylite_sql as sql;
 /// Main-memory column store with snapshot versioning.
@@ -57,3 +61,7 @@ pub use hylite_common::{
     Chunk, ColumnVector, DataType, Field, HyError, Result, Row, Schema, Value,
 };
 pub use hylite_common::{MetricsRegistry, MetricsSnapshot, QueryProfile};
+
+pub use hylite_client::{CancelHandle, HyliteClient, RemoteResult};
+pub use hylite_common::wire::{ErrorCode, Frame, PROTOCOL_VERSION};
+pub use hylite_server::{Server, ServerConfig, ServerHandle};
