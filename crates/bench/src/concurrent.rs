@@ -13,7 +13,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hylite_client::HyliteClient;
+use hylite_client::{HyliteClient, RetryPolicy};
 use hylite_common::Result;
 use hylite_datagen::table1::KMeansExperiment;
 use hylite_server::{Server, ServerConfig};
@@ -75,6 +75,9 @@ pub struct ConcurrentReport {
     pub completed: usize,
     /// Statements that returned an error frame.
     pub errors: usize,
+    /// Client-side retries (admission rejections, reconnects) absorbed by
+    /// the retry policy — `client.retries` in the report.
+    pub retries: u64,
     /// The config that produced this report.
     pub config: ConcurrentConfig,
 }
@@ -126,10 +129,11 @@ impl ConcurrentReport {
             &measurements,
         );
         out.push_str(&format!(
-            "throughput: {:.1} statements/s ({} ok, {} errors, {:.3} s wall)\n",
+            "throughput: {:.1} statements/s ({} ok, {} errors, client.retries {}, {:.3} s wall)\n",
             self.throughput(),
             self.completed,
             self.errors,
+            self.retries,
             self.wall.as_secs_f64()
         ));
         out
@@ -223,25 +227,30 @@ pub fn run(config: ConcurrentConfig) -> Result<ConcurrentReport> {
         let tx = tx.clone();
         let mix = Arc::clone(&mix);
         let statements = config.statements_per_client;
-        workers.push(std::thread::spawn(move || -> Result<()> {
-            let mut client = HyliteClient::connect(addr)?;
+        workers.push(std::thread::spawn(move || -> Result<u64> {
+            let policy = RetryPolicy::default();
+            let mut client = HyliteClient::connect_with_retry(addr, &policy)?;
             for i in 0..statements {
                 let (kind, sql) = &mix[(client_id + i) % mix.len()];
                 let t = Instant::now();
-                let ok = client.query(sql).is_ok();
+                let ok = client.query_with_retry(sql, &policy).is_ok();
                 let _ = tx.send(Sample {
                     kind,
                     latency: t.elapsed(),
                     ok,
                 });
             }
-            client.close()
+            let retries = client.retries();
+            client.close()?;
+            Ok(retries)
         }));
     }
     drop(tx);
     let samples: Vec<Sample> = rx.iter().collect();
+    let mut retries = 0u64;
     for w in workers {
-        w.join()
+        retries += w
+            .join()
             .map_err(|_| hylite_common::HyError::Internal("client thread panicked".into()))??;
     }
     let wall = started.elapsed();
@@ -255,6 +264,7 @@ pub fn run(config: ConcurrentConfig) -> Result<ConcurrentReport> {
         wall,
         completed,
         errors,
+        retries,
         config,
     })
 }

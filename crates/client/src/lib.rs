@@ -29,11 +29,15 @@
 
 #![warn(missing_docs)]
 
+pub mod retry;
+
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
 use hylite_common::{Chunk, HyError, Result, Row, Schema, Value};
+
+pub use retry::{is_retryable, RetryPolicy};
 
 /// A blocking connection to a `hylite-server`.
 #[derive(Debug)]
@@ -46,6 +50,9 @@ pub struct HyliteClient {
     /// Set when the protocol state is no longer trustworthy (unexpected
     /// frame or mid-stream I/O failure); every later call fails fast.
     broken: bool,
+    /// Retries performed by the `*_with_retry` helpers on this client
+    /// (reconnects and statement re-submissions).
+    retries: u64,
 }
 
 impl HyliteClient {
@@ -62,6 +69,7 @@ impl HyliteClient {
             secret: 0,
             last_error_code: None,
             broken: false,
+            retries: 0,
         };
         let _ = client.stream.set_nodelay(true);
         wire::write_frame(
@@ -106,6 +114,83 @@ impl HyliteClient {
     /// The wire error code of the most recent server Error frame, if any.
     pub fn last_error_code(&self) -> Option<ErrorCode> {
         self.last_error_code
+    }
+
+    /// Retries performed so far by [`HyliteClient::connect_with_retry`]
+    /// and [`HyliteClient::query_with_retry`] on this client.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Like [`HyliteClient::connect`], but retrying retryable failures
+    /// (connection refused, server overloaded or shutting down) with
+    /// bounded exponential backoff + jitter.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        policy: &RetryPolicy,
+    ) -> Result<HyliteClient> {
+        let started = Instant::now();
+        let seed = jitter_seed();
+        let mut attempt = 0u32;
+        loop {
+            match HyliteClient::connect(addr.clone()) {
+                Ok(mut client) => {
+                    client.retries += u64::from(attempt);
+                    return Ok(client);
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if !retry::is_retryable(&e) || attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    let backoff = policy.jittered_backoff(attempt - 1, seed);
+                    if started.elapsed() + backoff > policy.deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    /// Like [`HyliteClient::query`], but retrying retryable failures —
+    /// admission rejections (`Overloaded`, `QueueTimeout`,
+    /// `ShuttingDown`), governed aborts, and broken connections (after a
+    /// transparent reconnect + handshake) — with bounded exponential
+    /// backoff + jitter. Statements are re-submitted verbatim, so only
+    /// use this for statements that are safe to re-run (the original
+    /// attempt of a broken-connection retry may or may not have
+    /// executed).
+    pub fn query_with_retry(&mut self, sql: &str, policy: &RetryPolicy) -> Result<RemoteResult> {
+        let started = Instant::now();
+        let seed = jitter_seed() ^ self.secret;
+        let mut attempt = 0u32;
+        loop {
+            // A broken protocol state never heals on its own: reconnect
+            // first so the attempt below is meaningful.
+            if self.broken {
+                let fresh = HyliteClient::connect(self.peer)?;
+                let retries = self.retries;
+                *self = fresh;
+                self.retries = retries;
+            }
+            match self.query(sql) {
+                Ok(result) => return Ok(result),
+                Err(e) => {
+                    attempt += 1;
+                    let recoverable = retry::is_retryable(&e) || self.broken;
+                    if !recoverable || attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    let backoff = policy.jittered_backoff(attempt - 1, seed);
+                    if started.elapsed() + backoff > policy.deadline {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
     }
 
     /// Execute `sql` and materialize the whole result client-side.
@@ -183,6 +268,17 @@ impl HyliteClient {
             }
         }
     }
+}
+
+/// A fresh jitter seed per retry loop: wall-clock nanos mixed through
+/// SplitMix64, so concurrent clients desynchronize without a `rand`
+/// dependency.
+fn jitter_seed() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5EED);
+    retry::splitmix64(nanos)
 }
 
 fn connect_any(addr: impl ToSocketAddrs) -> Result<TcpStream> {

@@ -15,7 +15,9 @@
 pub mod bitmap;
 pub mod chunk;
 pub mod column;
+pub mod crc32;
 pub mod error;
+pub mod faultfs;
 pub mod governor;
 pub mod row;
 pub mod schema;
@@ -27,7 +29,9 @@ pub mod wire;
 pub use bitmap::Bitmap;
 pub use chunk::Chunk;
 pub use column::ColumnVector;
+pub use crc32::crc32;
 pub use error::{HyError, Result};
+pub use faultfs::{CrashSpec, FaultVfs, KeepUnsynced, StdVfs, Vfs, VfsFile};
 pub use governor::{CancelToken, Governor, MemoryBudget, Reservation};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};

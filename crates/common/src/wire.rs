@@ -307,19 +307,25 @@ impl Frame {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn put_u16(buf: &mut Vec<u8>, v: u16) {
+/// Append a little-endian `u16`. The `put_*` encoders are public because
+/// the WAL and checkpoint writers in `hylite-storage` reuse the wire
+/// codec as their on-disk serialization.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+/// Append a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+/// Append a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -409,7 +415,9 @@ fn put_column(buf: &mut Vec<u8>, col: &ColumnVector) {
     }
 }
 
-fn put_chunk(buf: &mut Vec<u8>, chunk: &Chunk) {
+/// Append a [`Chunk`] in HyLite's columnar layout (row count, column
+/// count, then each column with its validity bitmap).
+pub fn put_chunk(buf: &mut Vec<u8>, chunk: &Chunk) {
     put_u32(buf, chunk.len() as u32);
     put_u16(buf, chunk.num_columns() as u16);
     for col in chunk.columns() {
@@ -417,7 +425,9 @@ fn put_chunk(buf: &mut Vec<u8>, chunk: &Chunk) {
     }
 }
 
-fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
+/// Append a [`Schema`] (field count, then qualifier/name/type/nullability
+/// per field).
+pub fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
     put_u16(buf, schema.len() as u16);
     for f in schema.fields() {
         put_opt_str(buf, f.qualifier.as_deref());
@@ -486,47 +496,70 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize> {
 // Decoding
 // ---------------------------------------------------------------------------
 
-/// Sequential reader over one frame body.
-struct FrameReader<'a> {
+/// Sequential reader over length-delimited binary data. Every accessor
+/// bounds-checks against the slice (with overflow-safe arithmetic) and
+/// returns [`HyError::Protocol`] on truncation, so arbitrary bytes can be
+/// fed to it without panicking. Used for wire frame bodies and — because
+/// the WAL and checkpoint files reuse the wire codec — by crash recovery
+/// in `hylite-storage`.
+pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-impl<'a> FrameReader<'a> {
-    fn new(buf: &'a [u8]) -> FrameReader<'a> {
-        FrameReader { buf, pos: 0 }
+impl<'a> ByteReader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
             return Err(HyError::Protocol(format!(
                 "frame truncated: wanted {n} bytes at offset {}, frame is {} bytes",
                 self.pos,
                 self.buf.len()
             )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the input is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16> {
+    /// Consume a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Result<String> {
+    /// Consume a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
@@ -555,9 +588,17 @@ impl<'a> FrameReader<'a> {
             0 => None,
             _ => Some(self.bits(rows)?.into_iter().collect::<Bitmap>()),
         };
+        let fixed_width = |r: &mut Self| {
+            // `rows * 8` can't overflow here: rows came from a u32, but
+            // use checked math anyway so 32-bit targets stay safe.
+            let n = rows
+                .checked_mul(8)
+                .ok_or_else(|| HyError::Protocol(format!("column of {rows} rows overflows")))?;
+            r.take(n)
+        };
         Ok(match dt {
             DataType::Int64 | DataType::Null => {
-                let raw = self.take(rows * 8)?;
+                let raw = fixed_width(self)?;
                 let data = raw
                     .chunks_exact(8)
                     .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
@@ -565,7 +606,7 @@ impl<'a> FrameReader<'a> {
                 ColumnVector::Int64 { data, validity }
             }
             DataType::Float64 => {
-                let raw = self.take(rows * 8)?;
+                let raw = fixed_width(self)?;
                 let data = raw
                     .chunks_exact(8)
                     .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
@@ -577,7 +618,11 @@ impl<'a> FrameReader<'a> {
                 validity,
             },
             DataType::Varchar => {
-                let mut data = Vec::with_capacity(rows);
+                // Each string costs at least its 4-byte length prefix, so
+                // cap the preallocation by what the frame could possibly
+                // hold — a forged row count must not drive a huge
+                // allocation before the truncation is noticed.
+                let mut data = Vec::with_capacity(rows.min(self.remaining() / 4));
                 for _ in 0..rows {
                     data.push(self.str()?);
                 }
@@ -586,7 +631,8 @@ impl<'a> FrameReader<'a> {
         })
     }
 
-    fn chunk(&mut self) -> Result<Chunk> {
+    /// Consume a [`Chunk`] as written by [`put_chunk`].
+    pub fn chunk(&mut self) -> Result<Chunk> {
         let rows = self.u32()? as usize;
         let cols = self.u16()? as usize;
         if cols == 0 {
@@ -606,7 +652,8 @@ impl<'a> FrameReader<'a> {
         Ok(Chunk::from_arc_columns(columns))
     }
 
-    fn schema(&mut self) -> Result<Schema> {
+    /// Consume a [`Schema`] as written by [`put_schema`].
+    pub fn schema(&mut self) -> Result<Schema> {
         let n = self.u16()? as usize;
         let mut fields = Vec::with_capacity(n);
         for _ in 0..n {
@@ -625,7 +672,7 @@ impl<'a> FrameReader<'a> {
 
 /// Decode one frame from its body bytes (length prefix already consumed).
 pub fn decode_frame(tag: u8, body: &[u8]) -> Result<Frame> {
-    let mut r = FrameReader::new(body);
+    let mut r = ByteReader::new(body);
     let frame = match tag {
         1 => {
             let magic = r.u32()?;

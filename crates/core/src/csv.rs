@@ -79,10 +79,26 @@ impl Database {
             .collect();
         let mut guard = t.write();
         let mut total = 0usize;
+        let mut redo = Vec::new();
+        let key = table.to_ascii_lowercase();
         for chunk in chunks {
             let chunk = chunk?;
             total += chunk.len();
+            if self.is_durable() {
+                redo.push(hylite_storage::RedoOp::Insert {
+                    table: key.clone(),
+                    rows: chunk.clone(),
+                });
+            }
             guard.insert_chunk(chunk)?;
+        }
+        // The whole load is one WAL commit record: after a crash it is
+        // either fully replayed or absent, never half a file.
+        if let (Some(d), false) = (self.durability(), redo.is_empty()) {
+            if let Err(e) = d.log_commit(&redo) {
+                guard.rollback();
+                return Err(e);
+            }
         }
         guard.commit();
         Ok(total)

@@ -1,10 +1,12 @@
 //! The database handle.
 
+use std::path::Path;
 use std::sync::Arc;
 
+use hylite_common::faultfs::{StdVfs, Vfs};
 use hylite_common::telemetry::{MetricsRegistry, MetricsSnapshot};
 use hylite_common::Result;
-use hylite_storage::Catalog;
+use hylite_storage::{Catalog, CheckpointStats, Durability, DurabilityOptions, RecoveryReport};
 use parking_lot::Mutex;
 
 use crate::result::QueryResult;
@@ -35,11 +37,14 @@ use crate::session::Session;
 pub struct Database {
     catalog: Arc<Catalog>,
     metrics: Arc<MetricsRegistry>,
+    durability: Option<Arc<Durability>>,
+    recovery: Option<RecoveryReport>,
     default_session: Mutex<Session>,
 }
 
 impl Database {
-    /// A fresh, empty database.
+    /// A fresh, empty, purely in-memory database (no durability; data is
+    /// lost when the process exits). Alias: [`Database::in_memory`].
     pub fn new() -> Database {
         let catalog = Arc::new(Catalog::new());
         let metrics = Arc::new(MetricsRegistry::new());
@@ -50,7 +55,88 @@ impl Database {
         Database {
             catalog,
             metrics,
+            durability: None,
+            recovery: None,
             default_session,
+        }
+    }
+
+    /// A fresh, empty, purely in-memory database.
+    pub fn in_memory() -> Database {
+        Database::new()
+    }
+
+    /// Open (or create) a durable database rooted at `dir` on the real
+    /// filesystem: recover the latest checkpoint plus the WAL tail, then
+    /// accept commits with WAL-before-acknowledge semantics.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(
+            Arc::new(StdVfs) as Arc<dyn Vfs>,
+            dir.as_ref(),
+            DurabilityOptions::default(),
+        )
+    }
+
+    /// [`Database::open`] with an explicit [`Vfs`] (fault injection) and
+    /// durability options.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<Database> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let (durability, catalog, report) =
+            Durability::open(vfs, dir, options, Arc::clone(&metrics))?;
+        let catalog = Arc::new(catalog);
+        let durability = Arc::new(durability);
+        let default_session = Mutex::new(Session::with_durability(
+            Arc::clone(&catalog),
+            Arc::clone(&metrics),
+            Some(Arc::clone(&durability)),
+        ));
+        Ok(Database {
+            catalog,
+            metrics,
+            durability: Some(durability),
+            recovery: Some(report),
+            default_session,
+        })
+    }
+
+    /// Whether this database persists commits to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durability engine, when the database was opened with
+    /// [`Database::open`].
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
+    }
+
+    /// What recovery found when this database was opened (durable
+    /// databases only).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Take a checkpoint now: snapshot all committed data, publish it
+    /// atomically, and truncate the WAL. Errors on an in-memory database.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        match &self.durability {
+            Some(d) => d.checkpoint(&self.catalog),
+            None => Err(hylite_common::HyError::Storage(
+                "checkpoint requires a durable database (Database::open)".into(),
+            )),
+        }
+    }
+
+    /// Graceful shutdown: flush and take a final checkpoint so restart
+    /// recovery is instant. No-op for in-memory databases.
+    pub fn close(&self) -> Result<Option<CheckpointStats>> {
+        match &self.durability {
+            Some(d) => d.close(&self.catalog).map(Some),
+            None => Ok(None),
         }
     }
 
@@ -71,9 +157,14 @@ impl Database {
         self.metrics.snapshot()
     }
 
-    /// Open a new session (reports into the shared metrics registry).
+    /// Open a new session (reports into the shared metrics registry; on a
+    /// durable database, the session's commits go through the WAL).
     pub fn session(&self) -> Session {
-        Session::with_metrics(Arc::clone(&self.catalog), Arc::clone(&self.metrics))
+        Session::with_durability(
+            Arc::clone(&self.catalog),
+            Arc::clone(&self.metrics),
+            self.durability.clone(),
+        )
     }
 
     /// Execute SQL on the database's default session (transactions on
@@ -385,6 +476,100 @@ mod tests {
         assert_eq!(r.value(0, 0).unwrap(), Value::from("a"));
         assert_eq!(r.value(0, 2).unwrap(), Value::Int(2));
         assert_eq!(r.value(0, 3).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        use hylite_common::FaultVfs;
+        use std::path::PathBuf;
+
+        let fault = FaultVfs::new();
+        let dir = PathBuf::from("data");
+        let open = |fault: &FaultVfs| {
+            Database::open_with(
+                Arc::new(fault.clone()) as Arc<dyn Vfs>,
+                &dir,
+                DurabilityOptions::default(),
+            )
+            .unwrap()
+        };
+        {
+            let db = open(&fault);
+            assert!(db.is_durable());
+            db.execute("CREATE TABLE t (x BIGINT, s VARCHAR)").unwrap();
+            db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+                .unwrap();
+            db.execute("UPDATE t SET s = 'z' WHERE x = 2").unwrap();
+            db.execute("DELETE FROM t WHERE x = 1").unwrap();
+            // No close(): reopen must replay the WAL alone.
+        }
+        let db = open(&fault);
+        let report = db.recovery_report().unwrap().clone();
+        assert!(!report.checkpoint_loaded);
+        assert!(report.replayed_records >= 4);
+        let r = db.execute("SELECT x, s FROM t").unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.value(0, 0).unwrap(), Value::Int(2));
+        assert_eq!(r.value(0, 1).unwrap(), Value::from("z"));
+
+        // Checkpoint, add more, reopen: checkpoint + WAL tail combine.
+        db.checkpoint().unwrap();
+        db.execute("INSERT INTO t VALUES (3, 'c')").unwrap();
+        drop(db);
+        let db = open(&fault);
+        let report = db.recovery_report().unwrap().clone();
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(
+            db.execute("SELECT count(*) FROM t")
+                .unwrap()
+                .scalar()
+                .unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn durable_transactions_are_atomic_in_the_wal() {
+        use hylite_common::FaultVfs;
+        use std::path::PathBuf;
+
+        let fault = FaultVfs::new();
+        let dir = PathBuf::from("data");
+        let open = |fault: &FaultVfs| {
+            Database::open_with(
+                Arc::new(fault.clone()) as Arc<dyn Vfs>,
+                &dir,
+                DurabilityOptions::default(),
+            )
+            .unwrap()
+        };
+        {
+            let db = open(&fault);
+            db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+            db.execute("BEGIN").unwrap();
+            db.execute("INSERT INTO t VALUES (1)").unwrap();
+            db.execute("INSERT INTO t VALUES (2)").unwrap();
+            db.execute("COMMIT").unwrap();
+            // A rolled-back transaction must leave no WAL trace.
+            db.execute("BEGIN").unwrap();
+            db.execute("INSERT INTO t VALUES (99)").unwrap();
+            db.execute("ROLLBACK").unwrap();
+            // An open transaction at "crash" time is likewise invisible.
+            db.execute("BEGIN").unwrap();
+            db.execute("INSERT INTO t VALUES (100)").unwrap();
+        }
+        let db = open(&fault);
+        let r = db.execute("SELECT sum(x) FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn checkpoint_errors_on_in_memory_database() {
+        let db = Database::new();
+        assert!(!db.is_durable());
+        assert!(db.checkpoint().is_err());
+        assert!(db.close().unwrap().is_none());
     }
 
     #[test]

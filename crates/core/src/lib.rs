@@ -14,6 +14,12 @@ pub use database::Database;
 pub use result::QueryResult;
 pub use session::{Session, SessionSettings};
 
+// Durability surface, re-exported so embedders and the server do not need
+// a direct hylite-storage dependency to open a durable database.
+pub use hylite_storage::{
+    CheckpointStats, Durability, DurabilityOptions, RecoveryReport, SyncMode, CRASH_POINTS,
+};
+
 // Compile-time thread-safety contract: a network server shares one
 // `Arc<Database>` across connection threads, each of which owns a
 // `Session` and may move `QueryResult`s between threads. If a field ever

@@ -12,7 +12,7 @@ use hylite_expr::ScalarExpr;
 use hylite_planner::binder::{Binder, BoundStatement};
 use hylite_planner::{stats, LogicalPlan, Optimizer};
 use hylite_sql::{parse_sql, Statement};
-use hylite_storage::{Catalog, Transaction};
+use hylite_storage::{Catalog, Durability, RedoOp, Transaction};
 
 use crate::result::QueryResult;
 
@@ -72,6 +72,13 @@ pub struct Session {
     /// The governor of the statement currently executing (an unlimited
     /// placeholder between statements).
     governor: Arc<Governor>,
+    /// Durability engine of the owning database; `None` for an in-memory
+    /// database.
+    durability: Option<Arc<Durability>>,
+    /// Redo ops staged by the open transaction, logged as one WAL commit
+    /// record on COMMIT. Empty outside transactions (autocommit logs per
+    /// statement) and when `durability` is `None`.
+    redo: Vec<RedoOp>,
 }
 
 impl Session {
@@ -82,6 +89,17 @@ impl Session {
 
     /// New session reporting into a shared metrics registry.
     pub fn with_metrics(catalog: Arc<Catalog>, metrics: Arc<MetricsRegistry>) -> Session {
+        Session::with_durability(catalog, metrics, None)
+    }
+
+    /// New session for a durable database: commits are acknowledged only
+    /// after their redo record reaches the WAL (per the configured sync
+    /// mode).
+    pub fn with_durability(
+        catalog: Arc<Catalog>,
+        metrics: Arc<MetricsRegistry>,
+        durability: Option<Arc<Durability>>,
+    ) -> Session {
         Session {
             catalog,
             tx: None,
@@ -90,6 +108,8 @@ impl Session {
             settings: SessionSettings::default(),
             cancel: Arc::new(CancelToken::new()),
             governor: Arc::new(Governor::unlimited()),
+            durability,
+            redo: Vec::new(),
         }
     }
 
@@ -217,12 +237,29 @@ impl Session {
                 if if_not_exists && self.catalog.has_table(&name) {
                     return Ok(QueryResult::affected(0));
                 }
-                self.catalog.create_table(&name, schema)?;
+                let key = name.to_ascii_lowercase();
+                self.catalog.create_table(&name, schema.clone())?;
+                // DDL is logged immediately as its own commit record (the
+                // catalog is not transactional); on WAL failure the create
+                // is undone so memory and log agree.
+                if let Some(d) = &self.durability {
+                    if let Err(e) = d.log_commit(&[RedoOp::CreateTable { name: key, schema }]) {
+                        let _ = self.catalog.drop_table(&name, true);
+                        return Err(e);
+                    }
+                }
                 Ok(QueryResult::affected(0))
             }
             BoundStatement::DropTable { name, if_exists } => {
-                self.catalog.drop_table(&name, if_exists)?;
-                self.own_tables.remove(&name.to_ascii_lowercase());
+                let key = name.to_ascii_lowercase();
+                let dropped = self.catalog.drop_table(&name, if_exists)?;
+                if let (Some(d), Some(table)) = (&self.durability, dropped) {
+                    if let Err(e) = d.log_commit(&[RedoOp::DropTable { name: key.clone() }]) {
+                        self.catalog.restore_table(table);
+                        return Err(e);
+                    }
+                }
+                self.own_tables.remove(&key);
                 Ok(QueryResult::affected(0))
             }
             BoundStatement::Insert { table, source } => {
@@ -232,8 +269,14 @@ impl Session {
                 let data = Chunk::concat(&types, &chunks)?;
                 let n = data.len();
                 let t = self.catalog.get_table(&table)?;
-                t.write().insert_chunk(data)?;
-                self.after_write(&table);
+                t.write().insert_chunk(data.clone())?;
+                self.after_write(
+                    &table,
+                    vec![RedoOp::Insert {
+                        table: table.to_ascii_lowercase(),
+                        rows: data,
+                    }],
+                )?;
                 Ok(QueryResult::affected(n))
             }
             BoundStatement::Update {
@@ -254,6 +297,22 @@ impl Session {
             }
             BoundStatement::Commit => match self.tx.take() {
                 Some(tx) => {
+                    // The transaction's staged redo ops become one WAL
+                    // commit record; only after it is durable does the
+                    // in-memory commit publish the new state. A WAL failure
+                    // rolls the whole transaction back, so recovery can
+                    // never observe half a transaction.
+                    let ops = std::mem::take(&mut self.redo);
+                    if let Some(d) = &self.durability {
+                        if !ops.is_empty() {
+                            if let Err(e) = d.log_commit(&ops) {
+                                tx.rollback();
+                                self.own_tables.clear();
+                                self.metrics.counter("tx.rollback").inc();
+                                return Err(e);
+                            }
+                        }
+                    }
                     tx.commit();
                     self.own_tables.clear();
                     self.metrics.counter("tx.commit").inc();
@@ -264,6 +323,7 @@ impl Session {
             BoundStatement::Rollback => match self.tx.take() {
                 Some(tx) => {
                     tx.rollback();
+                    self.redo.clear();
                     self.own_tables.clear();
                     self.metrics.counter("tx.rollback").inc();
                     Ok(QueryResult::affected(0))
@@ -418,9 +478,30 @@ impl Session {
         }
         let n = ids.len();
         if n > 0 {
+            let types = snapshot.schema().types();
+            let chunk = Chunk::from_rows(&types, &new_rows)?;
             let t = self.catalog.get_table(table)?;
-            t.write().update_rows(&ids, new_rows)?;
-            self.after_write(table);
+            {
+                // Same delete+append shape as `Table::update_rows`, split so
+                // the redo log captures the appended chunk verbatim.
+                let mut guard = t.write();
+                guard.delete_rows(&ids)?;
+                guard.insert_chunk(chunk.clone())?;
+            }
+            let key = table.to_ascii_lowercase();
+            self.after_write(
+                table,
+                vec![
+                    RedoOp::Delete {
+                        table: key.clone(),
+                        row_ids: ids.iter().map(|&i| i as u64).collect(),
+                    },
+                    RedoOp::Insert {
+                        table: key,
+                        rows: chunk,
+                    },
+                ],
+            )?;
         }
         Ok(QueryResult::affected(n))
     }
@@ -433,14 +514,23 @@ impl Session {
         if n > 0 {
             let t = self.catalog.get_table(table)?;
             t.write().delete_rows(&ids)?;
-            self.after_write(table);
+            self.after_write(
+                table,
+                vec![RedoOp::Delete {
+                    table: table.to_ascii_lowercase(),
+                    row_ids: ids.iter().map(|&i| i as u64).collect(),
+                }],
+            )?;
         }
         Ok(QueryResult::affected(n))
     }
 
     /// Post-write bookkeeping: inside a transaction, record the touched
-    /// table; in autocommit mode, publish immediately.
-    fn after_write(&mut self, table: &str) {
+    /// table and stage the redo ops; in autocommit mode, log the commit to
+    /// the WAL (when durable) and publish immediately. The WAL append
+    /// happens *before* the in-memory commit so an acknowledged write is
+    /// always recoverable; on WAL failure the write is rolled back.
+    fn after_write(&mut self, table: &str, ops: Vec<RedoOp>) -> Result<()> {
         let t = self
             .catalog
             .get_table(table)
@@ -449,9 +539,21 @@ impl Session {
             Some(tx) => {
                 tx.touch(&t);
                 self.own_tables.insert(table.to_ascii_lowercase());
+                if self.durability.is_some() {
+                    self.redo.extend(ops);
+                }
             }
-            None => t.write().commit(),
+            None => {
+                if let Some(d) = &self.durability {
+                    if let Err(e) = d.log_commit(&ops) {
+                        t.write().rollback();
+                        return Err(e);
+                    }
+                }
+                t.write().commit();
+            }
         }
+        Ok(())
     }
 }
 

@@ -1,11 +1,17 @@
 //! `hylite-server` — serve a HyLite database over TCP.
 //!
 //! ```text
-//! hylite-server [--addr 127.0.0.1:5433] [--max-connections N]
+//! hylite-server [--addr 127.0.0.1:5433] [--data-dir PATH]
+//!               [--sync-mode commit|buffered] [--max-connections N]
 //!               [--max-active-statements N] [--queue-depth N]
 //!               [--queue-wait-ms MS] [--statement-timeout-ms MS]
 //!               [--memory-budget-mb MB] [--drain-timeout-ms MS] [--demo]
 //! ```
+//!
+//! `--data-dir PATH` makes the database durable: recovery (checkpoint +
+//! WAL replay) runs before the listener binds, every commit is logged to
+//! the WAL before acknowledgement, and graceful shutdown takes a final
+//! checkpoint. Without it the database is purely in-memory.
 //!
 //! `--demo` preloads a small demo schema (`t(x BIGINT)`, `edges(src,
 //! dest)`) so a fresh server answers example queries immediately. The
@@ -16,15 +22,24 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use hylite_core::Database;
+use hylite_core::{Database, DurabilityOptions, SyncMode};
 use hylite_server::{Server, ServerConfig};
 
-fn parse_args(args: &[String]) -> Result<(ServerConfig, bool), String> {
+struct Cli {
+    config: ServerConfig,
+    demo: bool,
+    data_dir: Option<String>,
+    sync_mode: SyncMode,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:5433".into(),
         ..ServerConfig::default()
     };
     let mut demo = false;
+    let mut data_dir = None;
+    let mut sync_mode = SyncMode::Commit;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -75,21 +90,33 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, bool), String> {
                         .map_err(|e| format!("{arg}: {e}"))?,
                 )
             }
+            "--data-dir" => data_dir = Some(value(&mut i, arg)?),
+            "--sync-mode" => {
+                sync_mode = match value(&mut i, arg)?.as_str() {
+                    "commit" => SyncMode::Commit,
+                    "buffered" => SyncMode::Buffered,
+                    other => return Err(format!("--sync-mode: '{other}' (commit|buffered)")),
+                }
+            }
             "--demo" => demo = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: hylite-server [--addr HOST:PORT] [--max-connections N] \
+                return Err("usage: hylite-server [--addr HOST:PORT] [--data-dir PATH] \
+                            [--sync-mode commit|buffered] [--max-connections N] \
                             [--max-active-statements N] [--queue-depth N] [--queue-wait-ms MS] \
                             [--statement-timeout-ms MS] [--memory-budget-mb MB] \
                             [--drain-timeout-ms MS] [--demo]"
-                        .into(),
-                )
+                    .into())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
         i += 1;
     }
-    Ok((config, demo))
+    Ok(Cli {
+        config,
+        demo,
+        data_dir,
+        sync_mode,
+    })
 }
 
 fn load_demo(db: &Database) {
@@ -107,18 +134,41 @@ fn load_demo(db: &Database) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, demo) = match parse_args(&args) {
+    let cli = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let db = Arc::new(Database::new());
-    if demo {
+    // Recovery runs to completion before the listener binds: no client
+    // can observe a partially recovered database.
+    let db = match &cli.data_dir {
+        Some(dir) => {
+            let options = DurabilityOptions {
+                sync_mode: cli.sync_mode,
+                ..DurabilityOptions::default()
+            };
+            let vfs = Arc::new(hylite_common::StdVfs) as Arc<dyn hylite_common::Vfs>;
+            match Database::open_with(vfs, std::path::Path::new(dir), options) {
+                Ok(db) => {
+                    if let Some(report) = db.recovery_report() {
+                        println!("recovered {dir}: {}", report.summary());
+                    }
+                    Arc::new(db)
+                }
+                Err(e) => {
+                    eprintln!("failed to open data dir '{dir}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => Arc::new(Database::new()),
+    };
+    if cli.demo {
         load_demo(&db);
     }
-    let handle = match Server::start(config, db) {
+    let handle = match Server::start(cli.config, db) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("failed to start server: {e}");

@@ -1,0 +1,327 @@
+//! Checkpoints: a columnar snapshot of every table + the catalog, written
+//! atomically so the WAL can be truncated.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! [u32 magic "HYCK"] [u32 version] [u64 base_lsn]
+//! [u32 ntables]
+//! per table:
+//!     [str name] [schema]
+//!     [u32 nsegments] [chunk ...]        -- physical segments, in order
+//!     [u64 row_limit]                    -- committed row horizon
+//!     [u64 ndeleted] [u64 row_id ...]    -- committed delete marks
+//! [u32 crc32(everything above)]
+//! ```
+//!
+//! Segments are serialized exactly as they sit in memory — *including*
+//! delete-marked rows — because global row ids are positional: dropping
+//! dead rows here would renumber the survivors and break any later WAL
+//! `Delete` frame that refers to them. Space reclamation stays where it
+//! already lives (`Table::compact`, which is itself a logged event in the
+//! sense that it only runs on quiescent tables).
+//!
+//! ## Publish protocol
+//!
+//! The checkpointer writes `checkpoint.tmp`, fsyncs it, atomically
+//! renames it over `checkpoint.hylite`, and only then truncates the WAL.
+//! Every step is crash-safe:
+//!
+//! * crash before the rename — the old checkpoint + full WAL still
+//!   recover everything; the leftover tmp file is deleted on open.
+//! * crash after the rename, before the WAL truncate — the new
+//!   checkpoint carries `base_lsn`, and recovery skips WAL frames below
+//!   it, so nothing is replayed twice.
+//!
+//! The checkpoint carries `base_lsn` = the LSN the *next* commit would
+//! get; every commit with `lsn < base_lsn` is inside the snapshot.
+
+use std::path::Path;
+
+use hylite_common::faultfs::Vfs;
+use hylite_common::wire::{self, ByteReader};
+use hylite_common::{crc32, Chunk, HyError, Result, Schema};
+
+use crate::catalog::Catalog;
+
+/// Magic number opening a checkpoint file (`"HYCK"`).
+pub const CHECKPOINT_MAGIC: u32 = 0x4859_434B;
+/// Checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+/// File name of the current checkpoint inside the data directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.hylite";
+/// Scratch name the checkpoint is written to before the atomic rename.
+pub const CHECKPOINT_TMP_FILE: &str = "checkpoint.tmp";
+
+/// Crash point: before the checkpoint temp file is written.
+pub const CP_CKPT_WRITE: &str = "checkpoint.write";
+/// Crash point: temp file durable, rename not yet done.
+pub const CP_CKPT_RENAME: &str = "checkpoint.rename";
+/// Crash point: checkpoint published, WAL not yet truncated.
+pub const CP_CKPT_AFTER_RENAME: &str = "checkpoint.after_rename";
+
+/// Decoded checkpoint, ready to install into a fresh catalog.
+#[derive(Debug)]
+pub struct CheckpointImage {
+    /// WAL frames with `lsn < base_lsn` are contained in this image.
+    pub base_lsn: u64,
+    /// Per-table physical state.
+    pub tables: Vec<TableImage>,
+}
+
+/// One table inside a [`CheckpointImage`].
+#[derive(Debug)]
+pub struct TableImage {
+    /// Table name.
+    pub name: String,
+    /// Column definitions.
+    pub schema: Schema,
+    /// Physical segments in row-id order (deleted rows included).
+    pub segments: Vec<Chunk>,
+    /// Committed row horizon; must equal the summed segment lengths.
+    pub row_limit: u64,
+    /// Global row ids carrying a committed delete mark.
+    pub deleted: Vec<u64>,
+}
+
+/// Serialize the committed state of every table. `base_lsn` is the LSN
+/// the next commit will receive; the caller must hold the commit lock so
+/// no commit lands between choosing `base_lsn` and reading the
+/// snapshots.
+pub fn encode_checkpoint(catalog: &Catalog, base_lsn: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4096);
+    wire::put_u32(&mut buf, CHECKPOINT_MAGIC);
+    wire::put_u32(&mut buf, CHECKPOINT_VERSION);
+    wire::put_u64(&mut buf, base_lsn);
+    let names = catalog.table_names();
+    let snapshots: Vec<_> = names
+        .iter()
+        .filter_map(|n| {
+            let t = catalog.get_table(n).ok()?;
+            let snap = t.read().committed_snapshot();
+            Some((n.clone(), snap))
+        })
+        .collect();
+    wire::put_u32(&mut buf, snapshots.len() as u32);
+    for (name, snap) in &snapshots {
+        wire::put_str(&mut buf, name);
+        wire::put_schema(&mut buf, snap.schema());
+        wire::put_u32(&mut buf, snap.segment_count() as u32);
+        for seg in snap.segments() {
+            wire::put_chunk(&mut buf, seg);
+        }
+        let row_limit = snap.visible_rows() as u64;
+        wire::put_u64(&mut buf, row_limit);
+        let deleted: Vec<u64> = snap
+            .deleted()
+            .iter_ones()
+            .take_while(|&i| (i as u64) < row_limit)
+            .map(|i| i as u64)
+            .collect();
+        wire::put_u64(&mut buf, deleted.len() as u64);
+        for id in deleted {
+            wire::put_u64(&mut buf, id);
+        }
+    }
+    let crc = crc32(&buf);
+    wire::put_u32(&mut buf, crc);
+    buf
+}
+
+/// Parse and verify a checkpoint file's bytes. Any inconsistency — bad
+/// magic, bad CRC, truncation — is a hard error: unlike a torn WAL tail,
+/// a damaged checkpoint means real data loss and must not be papered
+/// over.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage> {
+    if bytes.len() < 20 {
+        return Err(HyError::Storage(format!(
+            "checkpoint file is {} bytes — too short to be valid",
+            bytes.len()
+        )));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(HyError::Storage(
+            "checkpoint file failed its CRC check (corrupted)".into(),
+        ));
+    }
+    let mut r = ByteReader::new(body);
+    let magic = r.u32()?;
+    if magic != CHECKPOINT_MAGIC {
+        return Err(HyError::Storage(format!(
+            "not a HyLite checkpoint (magic {magic:#010x})"
+        )));
+    }
+    let version = r.u32()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(HyError::Storage(format!(
+            "checkpoint version {version} not supported (this build reads {CHECKPOINT_VERSION})"
+        )));
+    }
+    let base_lsn = r.u64()?;
+    let ntables = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1024));
+    for _ in 0..ntables {
+        let name = r.str()?;
+        let schema = r.schema()?;
+        let nsegs = r.u32()? as usize;
+        let mut segments = Vec::with_capacity(nsegs.min(1024));
+        for _ in 0..nsegs {
+            segments.push(r.chunk()?);
+        }
+        let row_limit = r.u64()?;
+        let ndel = r.u64()? as usize;
+        let mut deleted = Vec::with_capacity(ndel.min(r.remaining() / 8));
+        for _ in 0..ndel {
+            deleted.push(r.u64()?);
+        }
+        tables.push(TableImage {
+            name,
+            schema,
+            segments,
+            row_limit,
+            deleted,
+        });
+    }
+    if !r.is_empty() {
+        return Err(HyError::Storage(
+            "checkpoint file has trailing bytes".into(),
+        ));
+    }
+    Ok(CheckpointImage { base_lsn, tables })
+}
+
+/// Rebuild tables from an image into `catalog` (expected empty). Returns
+/// the number of rows restored (deleted rows included).
+pub fn install_image(image: CheckpointImage, catalog: &Catalog) -> Result<u64> {
+    let mut rows = 0u64;
+    for t in image.tables {
+        let table = catalog.create_table(&t.name, t.schema)?;
+        let mut guard = table.write();
+        let mut restored = 0u64;
+        for seg in t.segments {
+            restored += guard.insert_chunk(seg)? as u64;
+        }
+        if restored != t.row_limit {
+            return Err(HyError::Storage(format!(
+                "checkpoint table '{}' declares {} rows but carries {restored}",
+                guard.name(),
+                t.row_limit
+            )));
+        }
+        let ids: Vec<usize> = t.deleted.iter().map(|&i| i as usize).collect();
+        guard.delete_rows(&ids)?;
+        guard.commit();
+        rows += restored;
+    }
+    Ok(rows)
+}
+
+/// Write checkpoint bytes durably: temp file, fsync, atomic rename. The
+/// WAL truncation that completes the checkpoint is the caller's job (it
+/// owns the WAL writer).
+pub fn publish_checkpoint(vfs: &dyn Vfs, dir: &Path, data: &[u8]) -> Result<()> {
+    let tmp = dir.join(CHECKPOINT_TMP_FILE);
+    let dest = dir.join(CHECKPOINT_FILE);
+    vfs.crash_point(CP_CKPT_WRITE)?;
+    let mut f = vfs.create(&tmp)?;
+    f.write_all(data)?;
+    f.sync()?;
+    drop(f);
+    vfs.crash_point(CP_CKPT_RENAME)?;
+    vfs.rename(&tmp, &dest)?;
+    vfs.crash_point(CP_CKPT_AFTER_RENAME)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{DataType, FaultVfs, Field, Value};
+
+    fn catalog_with_data() -> Catalog {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    Field::new("id", DataType::Int64),
+                    Field::new("name", DataType::Varchar),
+                ]),
+            )
+            .unwrap();
+        let mut g = t.write();
+        g.insert_rows(&[
+            vec![Value::Int(1), Value::from("a")],
+            vec![Value::Int(2), Value::from("b")],
+            vec![Value::Int(3), Value::from("c")],
+        ])
+        .unwrap();
+        g.delete_rows(&[1]).unwrap();
+        g.commit();
+        drop(g);
+        cat.create_table("empty", Schema::new(vec![Field::new("x", DataType::Bool)]))
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn encode_install_roundtrip() {
+        let cat = catalog_with_data();
+        let bytes = encode_checkpoint(&cat, 42);
+        let image = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(image.base_lsn, 42);
+        let restored = Catalog::new();
+        let rows = install_image(image, &restored).unwrap();
+        assert_eq!(rows, 3, "physical rows include the deleted one");
+        assert_eq!(restored.table_names(), vec!["empty", "t"]);
+        let t = restored.get_table("t").unwrap();
+        let g = t.read();
+        assert_eq!(g.total_rows(), 3);
+        assert_eq!(g.committed_live_rows(), 2, "delete mark restored");
+        // Row ids are positional and must be stable: row 2 is still id=3.
+        assert_eq!(g.row(2).unwrap().int(0).unwrap(), 3);
+    }
+
+    #[test]
+    fn uncommitted_rows_stay_out() {
+        let cat = catalog_with_data();
+        let t = cat.get_table("t").unwrap();
+        t.write()
+            .insert_rows(&[vec![Value::Int(99), Value::from("x")]])
+            .unwrap(); // no commit
+        let bytes = encode_checkpoint(&cat, 1);
+        let image = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(image.tables.iter().map(|t| t.row_limit).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn corruption_is_a_hard_error() {
+        let cat = catalog_with_data();
+        let mut bytes = encode_checkpoint(&cat, 1);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(decode_checkpoint(&bytes).is_err());
+        assert!(decode_checkpoint(&[1, 2, 3]).is_err());
+        assert!(decode_checkpoint(&[]).is_err());
+    }
+
+    #[test]
+    fn publish_renames_atomically() {
+        let vfs = FaultVfs::new();
+        let dir = Path::new("data");
+        publish_checkpoint(&vfs, dir, b"snapshot-v1").unwrap();
+        assert!(!vfs.exists(&dir.join(CHECKPOINT_TMP_FILE)));
+        assert_eq!(
+            vfs.read(&dir.join(CHECKPOINT_FILE)).unwrap(),
+            b"snapshot-v1"
+        );
+        // Overwrite with a second checkpoint.
+        publish_checkpoint(&vfs, dir, b"snapshot-v2").unwrap();
+        assert_eq!(
+            vfs.read(&dir.join(CHECKPOINT_FILE)).unwrap(),
+            b"snapshot-v2"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! The durability orchestrator: one object owning the WAL writer and the
+//! checkpoint procedure, shared by every session of a database.
+//!
+//! Locking: a single commit mutex serializes WAL appends *and* the whole
+//! checkpoint. While a checkpoint runs, commits stall (they queue on the
+//! mutex) but readers are completely unaffected — the checkpoint reads
+//! committed snapshots, which are `Arc`-stable by construction. This is
+//! the main-memory twist on the paper's design: the snapshot mechanism
+//! that isolates long analytical queries from OLTP writes is the same one
+//! that makes consistent checkpointing cheap.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hylite_common::faultfs::Vfs;
+use hylite_common::{MetricsRegistry, Result};
+use parking_lot::Mutex;
+
+use crate::catalog::Catalog;
+use crate::checkpoint::{
+    encode_checkpoint, publish_checkpoint, CP_CKPT_AFTER_RENAME, CP_CKPT_RENAME, CP_CKPT_WRITE,
+};
+use crate::recovery::{recover, RecoveryReport};
+use crate::wal::{
+    RedoOp, SyncMode, WalWriter, CP_WAL_AFTER_WRITE, CP_WAL_APPEND, CP_WAL_POST_FSYNC,
+    CP_WAL_PRE_FSYNC, CP_WAL_TRUNCATE, WAL_FILE,
+};
+
+/// Every named crash point the durability code passes through, in rough
+/// chronological order of a commit followed by a checkpoint. The
+/// crash-point matrix test iterates this list; adding a crash point
+/// without registering it here means it never gets tested.
+pub const CRASH_POINTS: &[&str] = &[
+    CP_WAL_APPEND,
+    CP_WAL_AFTER_WRITE,
+    CP_WAL_PRE_FSYNC,
+    CP_WAL_POST_FSYNC,
+    CP_CKPT_WRITE,
+    CP_CKPT_RENAME,
+    CP_CKPT_AFTER_RENAME,
+    CP_WAL_TRUNCATE,
+];
+
+/// Tunables for the durability subsystem.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// When the WAL fsyncs relative to commit acknowledgement.
+    pub sync_mode: SyncMode,
+    /// Group-commit buffer threshold in bytes ([`SyncMode::Buffered`]
+    /// only).
+    pub group_commit_bytes: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions {
+            sync_mode: SyncMode::Commit,
+            group_commit_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Outcome of one checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointStats {
+    /// Tables captured.
+    pub tables: usize,
+    /// Bytes of the published checkpoint file.
+    pub bytes: u64,
+    /// The checkpoint's base LSN.
+    pub base_lsn: u64,
+    /// Wall-clock duration in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// The per-database durability engine. Cheap to share (`Arc` it); all
+/// methods take `&self`.
+#[derive(Debug)]
+pub struct Durability {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    metrics: Arc<MetricsRegistry>,
+    wal: Mutex<WalWriter>,
+}
+
+impl Durability {
+    /// Run recovery against `dir`, then open the WAL for appending.
+    /// Returns the durability engine, the recovered catalog, and the
+    /// recovery report.
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        options: DurabilityOptions,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<(Durability, Catalog, RecoveryReport)> {
+        let (catalog, report) = recover(&vfs, dir, &metrics)?;
+        let wal = WalWriter::open(
+            Arc::clone(&vfs),
+            dir.join(WAL_FILE),
+            options.sync_mode,
+            options.group_commit_bytes,
+            report.next_lsn,
+            Arc::clone(&metrics),
+        )?;
+        Ok((
+            Durability {
+                vfs,
+                dir: dir.to_owned(),
+                metrics,
+                wal: Mutex::new(wal),
+            },
+            catalog,
+            report,
+        ))
+    }
+
+    /// The injectable filesystem this database runs on.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured sync mode.
+    pub fn sync_mode(&self) -> SyncMode {
+        self.wal.lock().sync_mode()
+    }
+
+    /// Log one commit's redo ops. When this returns `Ok`, the commit is
+    /// durable per the configured [`SyncMode`] and may be acknowledged.
+    pub fn log_commit(&self, ops: &[RedoOp]) -> Result<u64> {
+        self.wal.lock().log_commit(ops)
+    }
+
+    /// Force any group-commit buffered frames to disk.
+    pub fn flush(&self) -> Result<()> {
+        self.wal.lock().flush()
+    }
+
+    /// Take a checkpoint: flush the WAL, snapshot every table at the
+    /// current LSN, publish atomically, then truncate the WAL. Holds the
+    /// commit lock throughout (readers unaffected).
+    pub fn checkpoint(&self, catalog: &Catalog) -> Result<CheckpointStats> {
+        let started = Instant::now();
+        let mut wal = self.wal.lock();
+        // Buffered frames must hit the disk first: if the checkpoint then
+        // fails part-way, the WAL still covers those commits.
+        wal.flush()?;
+        let base_lsn = wal.next_lsn();
+        let data = encode_checkpoint(catalog, base_lsn);
+        publish_checkpoint(self.vfs.as_ref(), &self.dir, &data)?;
+        wal.reset()?;
+        let stats = CheckpointStats {
+            tables: catalog.table_names().len(),
+            bytes: data.len() as u64,
+            base_lsn,
+            duration_ms: started.elapsed().as_millis() as u64,
+        };
+        self.metrics
+            .histogram("checkpoint.duration_ms")
+            .record(stats.duration_ms);
+        self.metrics.counter("checkpoint.count").inc();
+        self.metrics
+            .counter("checkpoint.bytes_written")
+            .add(stats.bytes);
+        Ok(stats)
+    }
+
+    /// Graceful shutdown: one final checkpoint (which also flushes any
+    /// buffered commits).
+    pub fn close(&self, catalog: &Catalog) -> Result<CheckpointStats> {
+        self.checkpoint(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{Chunk, ColumnVector, DataType, FaultVfs, Field, Schema};
+    use std::path::PathBuf;
+
+    fn open_fault(
+        fault: &FaultVfs,
+        options: DurabilityOptions,
+    ) -> (Durability, Catalog, RecoveryReport) {
+        Durability::open(
+            Arc::new(fault.clone()) as Arc<dyn Vfs>,
+            &PathBuf::from("data"),
+            options,
+            Arc::new(MetricsRegistry::new()),
+        )
+        .unwrap()
+    }
+
+    fn insert(v: i64) -> RedoOp {
+        RedoOp::Insert {
+            table: "t".into(),
+            rows: Chunk::new(vec![ColumnVector::from_i64(vec![v])]),
+        }
+    }
+
+    fn create() -> RedoOp {
+        RedoOp::CreateTable {
+            name: "t".into(),
+            schema: Schema::new(vec![Field::new("x", DataType::Int64)]),
+        }
+    }
+
+    #[test]
+    fn commit_checkpoint_reopen_cycle() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        d.log_commit(&[create()]).unwrap();
+        d.log_commit(&[insert(1)]).unwrap();
+        // Mirror in memory so the checkpoint has something to snapshot.
+        let t = catalog
+            .create_table("t", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
+        {
+            let mut g = t.write();
+            g.insert_rows(&[vec![hylite_common::Value::Int(1)]])
+                .unwrap();
+            g.commit();
+        }
+        let stats = d.checkpoint(&catalog).unwrap();
+        assert_eq!(stats.tables, 1);
+        assert!(stats.base_lsn >= 3);
+        // Post-checkpoint commits land in the truncated WAL.
+        d.log_commit(&[insert(2)]).unwrap();
+        drop(d);
+        let (_, catalog, report) = open_fault(&fault, DurabilityOptions::default());
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.replayed_records, 1);
+        let t = catalog.get_table("t").unwrap();
+        assert_eq!(t.read().committed_live_rows(), 2);
+    }
+
+    #[test]
+    fn crash_points_list_is_exhaustive_and_ordered() {
+        assert_eq!(CRASH_POINTS.len(), 8);
+        let unique: std::collections::BTreeSet<_> = CRASH_POINTS.iter().collect();
+        assert_eq!(unique.len(), CRASH_POINTS.len());
+    }
+}

@@ -15,11 +15,19 @@
 //! * [`Transaction`] — undo-based rollback over the touched tables.
 
 pub mod catalog;
+pub mod checkpoint;
+pub mod durability;
+pub mod recovery;
 pub mod snapshot;
 pub mod table;
 pub mod transaction;
+pub mod wal;
 
 pub use catalog::Catalog;
+pub use checkpoint::CheckpointImage;
+pub use durability::{CheckpointStats, Durability, DurabilityOptions, CRASH_POINTS};
+pub use recovery::RecoveryReport;
 pub use snapshot::{Morsel, TableSnapshot};
 pub use table::{Table, TableRef, SEGMENT_ROWS};
 pub use transaction::Transaction;
+pub use wal::{RedoOp, SyncMode};

@@ -70,6 +70,18 @@ impl TableSnapshot {
         self.segments.len()
     }
 
+    /// The covered segments in row-id order. Checkpointing serializes
+    /// these as-is (deleted rows included) so that global row ids — which
+    /// later WAL `Delete` frames refer to — survive a round-trip.
+    pub fn segments(&self) -> &[Arc<Chunk>] {
+        &self.segments
+    }
+
+    /// The delete mask (checkpoint serialization).
+    pub fn deleted(&self) -> &Bitmap {
+        &self.deleted
+    }
+
     /// Visible row horizon (includes deleted rows).
     pub fn visible_rows(&self) -> usize {
         self.row_limit

@@ -1,0 +1,594 @@
+//! Redo write-ahead log: the durability half of the commit path.
+//!
+//! The WAL is a single append-only file of *commit frames*. Each frame
+//! carries everything needed to redo one committed transaction — there is
+//! no undo logging because uncommitted state lives only in memory (the
+//! paper's main-memory design): a crash simply never sees it.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! [u32 magic "HYWL"] [u32 version]                      -- file header
+//! [u32 len] [u32 crc32(payload)] [payload]              -- frame, repeated
+//!     payload = [u64 lsn] [u32 nops] [op ...]
+//! ```
+//!
+//! Integers are little-endian; ops reuse the wire codec
+//! ([`hylite_common::wire`]) for strings, schemas, and columnar chunks.
+//! A frame is valid only if its full length is present *and* its CRC
+//! matches, which is what makes torn tail writes detectable: recovery
+//! replays valid frames in order and discards everything from the first
+//! invalid frame on.
+//!
+//! ## Sync modes
+//!
+//! * [`SyncMode::Commit`] — every commit is written *and* fsynced before
+//!   the commit is acknowledged. An acknowledged commit survives any
+//!   crash.
+//! * [`SyncMode::Buffered`] — frames accumulate in a group-commit buffer
+//!   flushed when it exceeds the configured threshold (and at checkpoint/
+//!   shutdown). Much cheaper, but commits acknowledged since the last
+//!   flush can be lost in a crash — a bounded, documented loss window.
+//!
+//! ## Failure handling
+//!
+//! If a write or fsync fails, the not-yet-acknowledged frame may be
+//! partially in the file. The writer rolls the file back to the last
+//! durable frame boundary; if even that fails, the WAL is *poisoned* and
+//! every later commit errors until restart — the alternative would be a
+//! later successful fsync silently making a never-acknowledged frame
+//! durable.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hylite_common::faultfs::{Vfs, VfsFile};
+use hylite_common::wire::{self, ByteReader, MAX_FRAME_BYTES};
+use hylite_common::{crc32, Chunk, HyError, MetricsRegistry, Result, Schema};
+
+/// Magic number opening the WAL file (`"HYWL"`).
+pub const WAL_MAGIC: u32 = 0x4859_574C;
+/// WAL format version; bumped on incompatible layout changes.
+pub const WAL_VERSION: u32 = 1;
+/// Size of the WAL file header in bytes.
+pub const WAL_HEADER_LEN: u64 = 8;
+/// File name of the WAL inside the data directory.
+pub const WAL_FILE: &str = "wal.hylite";
+
+/// Crash point: before the commit frame reaches the file.
+pub const CP_WAL_APPEND: &str = "wal.append";
+/// Crash point: frame written to the page cache, not yet fsynced.
+pub const CP_WAL_AFTER_WRITE: &str = "wal.after_write";
+/// Crash point: immediately before the commit fsync.
+pub const CP_WAL_PRE_FSYNC: &str = "wal.pre_fsync";
+/// Crash point: fsync done, acknowledgement not yet returned.
+pub const CP_WAL_POST_FSYNC: &str = "wal.post_fsync";
+/// Crash point: before the post-checkpoint WAL truncation.
+pub const CP_WAL_TRUNCATE: &str = "wal.truncate";
+
+/// When the WAL fsyncs relative to commit acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Write + fsync before every commit acknowledgement (durable).
+    Commit,
+    /// Group-commit buffering with a bounded loss window.
+    Buffered,
+}
+
+/// One redo operation inside a commit frame. `Insert` carries the rows in
+/// columnar form exactly as they were appended, so replay reproduces the
+/// same physical layout (and therefore the same global row ids that later
+/// `Delete` frames refer to).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedoOp {
+    /// `CREATE TABLE` — name plus full schema.
+    CreateTable {
+        /// Table name (already lower-cased by the catalog).
+        name: String,
+        /// Column definitions.
+        schema: Schema,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// Rows appended to a table in one statement.
+    Insert {
+        /// Target table.
+        table: String,
+        /// The appended rows, columnar.
+        rows: Chunk,
+    },
+    /// Rows delete-marked by their global row ids.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Global row ids that were marked deleted.
+        row_ids: Vec<u64>,
+    },
+}
+
+impl RedoOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RedoOp::CreateTable { name, schema } => {
+                buf.push(1);
+                wire::put_str(buf, name);
+                wire::put_schema(buf, schema);
+            }
+            RedoOp::DropTable { name } => {
+                buf.push(2);
+                wire::put_str(buf, name);
+            }
+            RedoOp::Insert { table, rows } => {
+                buf.push(3);
+                wire::put_str(buf, table);
+                wire::put_chunk(buf, rows);
+            }
+            RedoOp::Delete { table, row_ids } => {
+                buf.push(4);
+                wire::put_str(buf, table);
+                wire::put_u64(buf, row_ids.len() as u64);
+                for &id in row_ids {
+                    wire::put_u64(buf, id);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<RedoOp> {
+        Ok(match r.u8()? {
+            1 => RedoOp::CreateTable {
+                name: r.str()?,
+                schema: r.schema()?,
+            },
+            2 => RedoOp::DropTable { name: r.str()? },
+            3 => RedoOp::Insert {
+                table: r.str()?,
+                rows: r.chunk()?,
+            },
+            4 => {
+                let table = r.str()?;
+                let n = r.u64()? as usize;
+                // Each id costs 8 bytes; cap the preallocation by what the
+                // frame can actually hold.
+                let mut row_ids = Vec::with_capacity(n.min(r.remaining() / 8));
+                for _ in 0..n {
+                    row_ids.push(r.u64()?);
+                }
+                RedoOp::Delete { table, row_ids }
+            }
+            other => {
+                return Err(HyError::Storage(format!(
+                    "WAL frame has unknown redo op tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// Encode one commit as a complete frame (length + CRC + payload).
+pub fn encode_commit_frame(lsn: u64, ops: &[RedoOp]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    wire::put_u64(&mut payload, lsn);
+    wire::put_u32(&mut payload, ops.len() as u32);
+    for op in ops {
+        op.encode(&mut payload);
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    wire::put_u32(&mut frame, payload.len() as u32);
+    wire::put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn decode_commit_payload(payload: &[u8]) -> Result<(u64, Vec<RedoOp>)> {
+    let mut r = ByteReader::new(payload);
+    let lsn = r.u64()?;
+    let nops = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(nops.min(payload.len()));
+    for _ in 0..nops {
+        ops.push(RedoOp::decode(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(HyError::Storage(
+            "WAL frame has trailing bytes after its ops".into(),
+        ));
+    }
+    Ok((lsn, ops))
+}
+
+/// Result of scanning a WAL file: the valid commit prefix plus what had
+/// to be discarded.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Valid commits in LSN order, `(lsn, ops)`.
+    pub commits: Vec<(u64, Vec<RedoOp>)>,
+    /// Byte length of the valid prefix (header + valid frames). The file
+    /// should be truncated to this length before appending again.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (torn/corrupt tail).
+    pub discarded_bytes: u64,
+}
+
+/// Scan a WAL file, stopping at the first torn or corrupt frame.
+///
+/// A truncated or CRC-mismatching *tail* is normal after a crash and is
+/// reported, not an error. A file that is long enough to have a header
+/// but opens with the wrong magic, or a CRC-valid frame that fails to
+/// parse, is real corruption and errors out rather than silently
+/// dropping data.
+pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan> {
+    let mut scan = WalScan::default();
+    if !vfs.exists(path) {
+        return Ok(scan);
+    }
+    let bytes = vfs.read(path)?;
+    if (bytes.len() as u64) < WAL_HEADER_LEN {
+        // Crash before the header fsync: treat as empty.
+        scan.discarded_bytes = bytes.len() as u64;
+        return Ok(scan);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if magic != WAL_MAGIC {
+        return Err(HyError::Storage(format!(
+            "{} is not a HyLite WAL (magic {magic:#010x})",
+            path.display()
+        )));
+    }
+    if version != WAL_VERSION {
+        return Err(HyError::Storage(format!(
+            "WAL version {version} not supported (this build reads {WAL_VERSION})"
+        )));
+    }
+    let mut pos = WAL_HEADER_LEN as usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len == 0 || len as u64 > MAX_FRAME_BYTES as u64 || pos + 8 + len > bytes.len() {
+            break; // torn length/payload
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // torn or bit-flipped frame
+        }
+        let (lsn, ops) = decode_commit_payload(payload)?;
+        scan.commits.push((lsn, ops));
+        pos += 8 + len;
+    }
+    scan.valid_len = pos as u64;
+    scan.discarded_bytes = bytes.len() as u64 - scan.valid_len;
+    Ok(scan)
+}
+
+/// The append side of the WAL. One instance per database, serialized by
+/// the durability layer's commit lock.
+pub struct WalWriter {
+    vfs: Arc<dyn Vfs>,
+    path: PathBuf,
+    file: Box<dyn VfsFile>,
+    sync_mode: SyncMode,
+    group_commit_bytes: usize,
+    /// Encoded frames not yet handed to the file (group-commit buffer).
+    buffer: Vec<u8>,
+    /// Commits sitting in `buffer`.
+    buffered_commits: u64,
+    /// Bytes of the file known durable (written + fsynced).
+    durable_len: u64,
+    next_lsn: u64,
+    poisoned: bool,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("path", &self.path)
+            .field("sync_mode", &self.sync_mode)
+            .field("durable_len", &self.durable_len)
+            .field("next_lsn", &self.next_lsn)
+            .field("buffered", &self.buffer.len())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl WalWriter {
+    /// Open (or create) the WAL for appending. `next_lsn` comes from
+    /// recovery; the file is expected to already be repaired (truncated
+    /// to its valid prefix).
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        path: PathBuf,
+        sync_mode: SyncMode,
+        group_commit_bytes: usize,
+        next_lsn: u64,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<WalWriter> {
+        let existing = if vfs.exists(&path) {
+            vfs.len(&path)?
+        } else {
+            0
+        };
+        let durable_len = if existing < WAL_HEADER_LEN {
+            let mut f = vfs.create(&path)?;
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            wire::put_u32(&mut header, WAL_MAGIC);
+            wire::put_u32(&mut header, WAL_VERSION);
+            f.write_all(&header)?;
+            f.sync()?;
+            WAL_HEADER_LEN
+        } else {
+            existing
+        };
+        // Always append through a fresh append-mode handle: a handle from
+        // `create` has a positioned cursor, which keeps writing at its old
+        // offset (leaving a hole) after an out-of-band truncate.
+        let file = vfs.open_append(&path)?;
+        Ok(WalWriter {
+            vfs,
+            path,
+            file,
+            sync_mode,
+            group_commit_bytes: group_commit_bytes.max(1),
+            buffer: Vec::new(),
+            buffered_commits: 0,
+            durable_len,
+            next_lsn: next_lsn.max(1),
+            poisoned: false,
+            metrics,
+        })
+    }
+
+    /// The LSN the next commit will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The configured sync mode.
+    pub fn sync_mode(&self) -> SyncMode {
+        self.sync_mode
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(HyError::Storage(
+                "WAL is poisoned after a failed rollback; restart the database".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Log one commit. In [`SyncMode::Commit`] the frame is durable when
+    /// this returns `Ok`; in [`SyncMode::Buffered`] it is at least in the
+    /// group-commit buffer. Returns the commit's LSN.
+    pub fn log_commit(&mut self, ops: &[RedoOp]) -> Result<u64> {
+        self.check_poisoned()?;
+        let lsn = self.next_lsn;
+        let frame = encode_commit_frame(lsn, ops);
+        self.buffer.extend_from_slice(&frame);
+        self.buffered_commits += 1;
+        let must_flush = match self.sync_mode {
+            SyncMode::Commit => true,
+            SyncMode::Buffered => self.buffer.len() >= self.group_commit_bytes,
+        };
+        if must_flush {
+            self.flush()?;
+        }
+        // Advance only after a successful (or deferred) append so an LSN
+        // never refers to a frame that was rolled back.
+        self.next_lsn = lsn + 1;
+        self.metrics.counter("wal.commits").inc();
+        Ok(lsn)
+    }
+
+    /// Write + fsync the group-commit buffer. On failure the file is
+    /// rolled back to the last durable frame boundary (or poisoned if
+    /// even that fails) and the buffered commits are discarded — none of
+    /// them were acknowledged as durable.
+    pub fn flush(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        match self.try_flush() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.buffer.clear();
+                self.buffered_commits = 0;
+                // Without the rollback, a *later* successful fsync could
+                // make a partially written, never-acknowledged frame
+                // durable.
+                if self.vfs.truncate(&self.path, self.durable_len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn try_flush(&mut self) -> Result<()> {
+        self.vfs.crash_point(CP_WAL_APPEND)?;
+        self.file.write_all(&self.buffer)?;
+        self.vfs.crash_point(CP_WAL_AFTER_WRITE)?;
+        self.vfs.crash_point(CP_WAL_PRE_FSYNC)?;
+        self.file.sync()?;
+        self.vfs.crash_point(CP_WAL_POST_FSYNC)?;
+        self.durable_len += self.buffer.len() as u64;
+        self.metrics
+            .counter("wal.bytes_written")
+            .add(self.buffer.len() as u64);
+        self.metrics.counter("wal.fsyncs").inc();
+        self.metrics
+            .counter("wal.group_commits")
+            .add(u64::from(self.buffered_commits > 1));
+        self.buffer.clear();
+        self.buffered_commits = 0;
+        Ok(())
+    }
+
+    /// Drop every logged frame (after a checkpoint made them redundant):
+    /// truncate the file back to just its header. The caller must have
+    /// flushed first.
+    pub fn reset(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        self.vfs.crash_point(CP_WAL_TRUNCATE)?;
+        self.buffer.clear();
+        self.buffered_commits = 0;
+        self.vfs.truncate(&self.path, WAL_HEADER_LEN)?;
+        // Reopen so the handle's notion of EOF agrees with the truncated
+        // file on every platform.
+        self.file = self.vfs.open_append(&self.path)?;
+        self.durable_len = WAL_HEADER_LEN;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::{ColumnVector, DataType, FaultVfs, Field};
+
+    fn vfs_and_path() -> (Arc<dyn Vfs>, FaultVfs, PathBuf) {
+        let fault = FaultVfs::new();
+        (
+            Arc::new(fault.clone()) as Arc<dyn Vfs>,
+            fault,
+            PathBuf::from("wal.hylite"),
+        )
+    }
+
+    fn writer(vfs: Arc<dyn Vfs>, path: PathBuf, mode: SyncMode) -> WalWriter {
+        WalWriter::open(vfs, path, mode, 1024, 1, Arc::new(MetricsRegistry::new())).unwrap()
+    }
+
+    fn insert_op(n: i64) -> RedoOp {
+        RedoOp::Insert {
+            table: "t".into(),
+            rows: Chunk::new(vec![ColumnVector::from_i64(vec![n])]),
+        }
+    }
+
+    #[test]
+    fn commits_roundtrip_through_scan() {
+        let (vfs, _, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        let ops = vec![
+            RedoOp::CreateTable {
+                name: "t".into(),
+                schema: Schema::new(vec![Field::new("x", DataType::Int64)]),
+            },
+            insert_op(1),
+            RedoOp::Delete {
+                table: "t".into(),
+                row_ids: vec![0, 2],
+            },
+            RedoOp::DropTable { name: "t".into() },
+        ];
+        let lsn1 = w.log_commit(&ops).unwrap();
+        let lsn2 = w.log_commit(&[insert_op(2)]).unwrap();
+        assert!(lsn2 > lsn1);
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(scan.discarded_bytes, 0);
+        assert_eq!(scan.commits.len(), 2);
+        assert_eq!(scan.commits[0].0, lsn1);
+        assert_eq!(scan.commits[0].1, ops);
+        assert_eq!(scan.commits[1].1, vec![insert_op(2)]);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_an_error() {
+        let (vfs, fault, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        w.log_commit(&[insert_op(1)]).unwrap();
+        let durable = fault.file_len(&path).unwrap() as u64;
+        // Append half a frame by hand.
+        let frame = encode_commit_frame(99, &[insert_op(2)]);
+        let mut f = vfs.open_append(&path).unwrap();
+        f.write_all(&frame[..frame.len() / 2]).unwrap();
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(scan.commits.len(), 1);
+        assert_eq!(scan.valid_len, durable);
+        assert!(scan.discarded_bytes > 0);
+    }
+
+    #[test]
+    fn bit_flip_invalidates_the_frame() {
+        let (vfs, fault, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        w.log_commit(&[insert_op(1)]).unwrap();
+        let good = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(good.commits.len(), 1);
+        // Flip one payload bit; the CRC must catch it.
+        fault
+            .corrupt(&path, WAL_HEADER_LEN as usize + 12, 0x40)
+            .unwrap();
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(scan.commits.len(), 0);
+        assert_eq!(scan.valid_len, WAL_HEADER_LEN);
+    }
+
+    #[test]
+    fn failed_fsync_rolls_back_to_durable_boundary() {
+        let (vfs, fault, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        w.log_commit(&[insert_op(1)]).unwrap();
+        let durable = fault.file_len(&path).unwrap() as u64;
+        fault.fail_fsyncs(1);
+        assert!(w.log_commit(&[insert_op(2)]).is_err());
+        // The failed frame is gone from the file entirely.
+        assert_eq!(fault.file_len(&path).unwrap() as u64, durable);
+        // The writer is still usable and the next commit lands.
+        w.log_commit(&[insert_op(3)]).unwrap();
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        let vals: Vec<_> = scan.commits.iter().map(|(_, ops)| ops.clone()).collect();
+        assert_eq!(vals, vec![vec![insert_op(1)], vec![insert_op(3)]]);
+    }
+
+    #[test]
+    fn buffered_mode_defers_fsync_until_threshold() {
+        let (vfs, fault, path) = vfs_and_path();
+        let mut w = WalWriter::open(
+            Arc::clone(&vfs),
+            path.clone(),
+            SyncMode::Buffered,
+            1 << 20,
+            1,
+            Arc::new(MetricsRegistry::new()),
+        )
+        .unwrap();
+        w.log_commit(&[insert_op(1)]).unwrap();
+        assert_eq!(
+            fault.file_len(&path).unwrap() as u64,
+            WAL_HEADER_LEN,
+            "frame still buffered"
+        );
+        w.flush().unwrap();
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(scan.commits.len(), 1);
+    }
+
+    #[test]
+    fn reset_truncates_to_header() {
+        let (vfs, fault, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        w.log_commit(&[insert_op(1)]).unwrap();
+        w.reset().unwrap();
+        assert_eq!(fault.file_len(&path).unwrap() as u64, WAL_HEADER_LEN);
+        // Still appendable after the reset.
+        w.log_commit(&[insert_op(2)]).unwrap();
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(scan.commits.len(), 1);
+        assert_eq!(scan.commits[0].1, vec![insert_op(2)]);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let (vfs, _, path) = vfs_and_path();
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"definitely not a WAL file").unwrap();
+        assert!(scan_wal(vfs.as_ref(), &path).is_err());
+    }
+}

@@ -1,0 +1,506 @@
+//! Crash-safety integration tests: the crash-point matrix, torn writes,
+//! failing fsyncs, kill-9 semantics, and the governor × durability
+//! interaction — all driven deterministically through [`FaultVfs`].
+//!
+//! The core invariant under test: **after any crash and recovery, the
+//! database contains exactly the acknowledged commits.** The one
+//! documented exception is a crash *after* the WAL fsync but *before*
+//! the acknowledgement reaches the client (`wal.post_fsync`): the commit
+//! is durable but unacknowledged — the classic indeterminate window every
+//! WAL-based system has.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hylite_common::faultfs::{CrashSpec, FaultVfs, KeepUnsynced, Vfs};
+use hylite_common::Value;
+use hylite_core::{Database, DurabilityOptions, SyncMode, CRASH_POINTS};
+use hylite_storage::wal::{
+    CP_WAL_AFTER_WRITE, CP_WAL_APPEND, CP_WAL_POST_FSYNC, CP_WAL_PRE_FSYNC, WAL_FILE,
+};
+
+fn data_dir() -> PathBuf {
+    PathBuf::from("data")
+}
+
+fn open(fault: &FaultVfs) -> Database {
+    open_with(fault, DurabilityOptions::default())
+}
+
+fn open_with(fault: &FaultVfs, options: DurabilityOptions) -> Database {
+    Database::open_with(
+        Arc::new(fault.clone()) as Arc<dyn Vfs>,
+        &data_dir(),
+        options,
+    )
+    .expect("open durable database")
+}
+
+/// Sum of `t.x`, or a description of the failure.
+fn sum(db: &Database) -> Result<i64, String> {
+    match db.execute("SELECT sum(x) FROM t") {
+        Ok(r) => match r.scalar() {
+            Ok(Value::Int(v)) => Ok(v),
+            Ok(v) if v.is_null() => Ok(0),
+            other => Err(format!("unexpected scalar {other:?}")),
+        },
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Seed a database with table `t` holding x = 1, 2, 3 (three separate
+/// acknowledged autocommits) and return it.
+fn seed(fault: &FaultVfs) -> Database {
+    let db = open(fault);
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    for v in 1..=3 {
+        db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+    }
+    db
+}
+
+/// What the matrix expects to find after crashing at a point and
+/// recovering.
+fn expected_sum_after(point: &str) -> i64 {
+    match point {
+        // The crash preempts the fsync: the in-flight commit was never
+        // acknowledged and must be absent.
+        "wal.append" | "wal.after_write" | "wal.pre_fsync" => 6,
+        // The frame was fsynced before the crash: durable but
+        // unacknowledged — the indeterminate window. Recovery replays it.
+        "wal.post_fsync" => 106,
+        // Checkpoint-path crashes happen after the commit workload
+        // completed; every acknowledged commit must survive, exactly once.
+        "checkpoint.write" | "checkpoint.rename" | "checkpoint.after_rename" | "wal.truncate" => {
+            106
+        }
+        other => panic!("crash point {other} not in the matrix — extend expected_sum_after"),
+    }
+}
+
+/// THE matrix: for every registered crash point, crash there under the
+/// strict power-loss model, reboot, recover, and verify the database
+/// contains exactly the acknowledged commits (modulo the documented
+/// post-fsync window). Then verify the recovered database still accepts
+/// and persists new commits.
+#[test]
+fn crash_point_matrix_recovers_exactly_the_acknowledged_commits() {
+    for &point in CRASH_POINTS {
+        let fault = FaultVfs::new();
+        let db = seed(&fault);
+
+        fault.arm_crash(CrashSpec::first(point));
+        if point.starts_with("wal.") && point != "wal.truncate" {
+            // Commit-path points: crash inside the WAL append of x=100.
+            let err = db.execute("INSERT INTO t VALUES (100)");
+            assert!(err.is_err(), "{point}: commit should fail at the crash");
+        } else {
+            // Checkpoint-path points (incl. wal.truncate, which only runs
+            // as the checkpoint's last step): commit x=100 first, then
+            // crash inside the checkpoint.
+            db.execute("INSERT INTO t VALUES (100)").unwrap();
+            let err = db.checkpoint();
+            assert!(err.is_err(), "{point}: checkpoint should fail at the crash");
+        }
+        assert!(fault.crashed(), "{point}: the crash must have fired");
+        assert_eq!(fault.hits(point), 1, "{point}: fired exactly once");
+        drop(db);
+
+        fault.reboot();
+        let db = open(&fault);
+        assert_eq!(
+            sum(&db).unwrap(),
+            expected_sum_after(point),
+            "{point}: wrong surviving commits after recovery"
+        );
+
+        // Recovered databases are not read-only artifacts: they must keep
+        // accepting commits that survive the *next* restart too.
+        db.execute("INSERT INTO t VALUES (1000)").unwrap();
+        drop(db);
+        let db = open(&fault);
+        assert_eq!(
+            sum(&db).unwrap(),
+            expected_sum_after(point) + 1000,
+            "{point}: post-recovery commit lost"
+        );
+    }
+}
+
+/// A torn final WAL frame (partial write that made it to disk) is
+/// detected by the CRC scan and discarded without failing recovery.
+#[test]
+fn torn_final_frame_is_discarded_without_error() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    // Crash before the fsync, but let a 7-byte prefix of the unsynced
+    // frame reach the platter — a torn write.
+    fault.arm_crash(CrashSpec::first_keeping(
+        CP_WAL_PRE_FSYNC,
+        KeepUnsynced::Prefix(7),
+    ));
+    assert!(db.execute("INSERT INTO t VALUES (100)").is_err());
+    drop(db);
+    fault.reboot();
+
+    let wal = data_dir().join(WAL_FILE);
+    let torn_len = fault.file_len(&wal).unwrap();
+    let db = open(&fault);
+    let report = db.recovery_report().unwrap();
+    assert!(report.discarded_bytes > 0, "the torn tail was measured");
+    assert_eq!(sum(&db).unwrap(), 6, "torn commit must not surface");
+    assert!(
+        fault.file_len(&wal).unwrap() < torn_len,
+        "recovery truncates the torn tail in place"
+    );
+    // The WAL stays appendable at the truncated boundary.
+    db.execute("INSERT INTO t VALUES (4)").unwrap();
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(sum(&db).unwrap(), 10);
+}
+
+/// A bit flip inside the last WAL frame fails its CRC: recovery keeps
+/// every frame before it and discards the corrupt tail, without error.
+#[test]
+fn bit_flipped_tail_frame_is_dropped_by_crc() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    drop(db);
+    let wal = data_dir().join(WAL_FILE);
+    let len = fault.file_len(&wal).unwrap();
+    // Flip a bit in the last frame's payload (well past its header).
+    fault.corrupt(&wal, len - 3, 0x10).unwrap();
+    let db = open(&fault);
+    let report = db.recovery_report().unwrap();
+    assert!(report.discarded_bytes > 0);
+    assert_eq!(sum(&db).unwrap(), 3, "x=3 lived in the corrupted frame");
+}
+
+/// A failing fsync must not acknowledge the commit, must not leave ghost
+/// bytes that a *later* fsync would make durable, and must leave the WAL
+/// usable for the next commit.
+#[test]
+fn failed_fsync_rejects_commit_and_later_commits_survive() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    fault.fail_fsyncs(1);
+    let err = db.execute("INSERT INTO t VALUES (100)").unwrap_err();
+    assert!(
+        err.to_string().contains("fsync"),
+        "commit surfaced the fsync failure: {err}"
+    );
+    // The engine rolled the row back in memory too.
+    assert_eq!(sum(&db).unwrap(), 6);
+    // The WAL is not poisoned: the next commit (with working fsyncs)
+    // succeeds and survives restart; the failed one stays gone.
+    db.execute("INSERT INTO t VALUES (4)").unwrap();
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(sum(&db).unwrap(), 10);
+}
+
+/// kill -9 (process death without power loss): the page cache survives,
+/// so even unsynced WAL bytes reach disk. Everything written — acked or
+/// in-flight — is recovered. This is the Buffered-mode story too.
+#[test]
+fn kill_minus_nine_keeps_page_cache_and_buffered_mode_bounds_loss() {
+    let fault = FaultVfs::new();
+    let db = open_with(
+        &fault,
+        DurabilityOptions {
+            sync_mode: SyncMode::Buffered,
+            ..DurabilityOptions::default()
+        },
+    );
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    for v in 1..=3 {
+        db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+    }
+    // Buffered mode: commits are acknowledged from the group-commit
+    // buffer, which lives in *process* memory — kill -9 loses it no
+    // matter what the page cache holds. Dropping the database without a
+    // close models exactly that.
+    drop(db);
+    let db = open(&fault);
+    // The buffered commits (the DDL and 1..=3) are gone — the documented
+    // loss window of Buffered mode. The database recovers to empty,
+    // cleanly.
+    let report = db.recovery_report().unwrap();
+    assert_eq!(report.replayed_records, 0);
+    assert!(
+        db.execute("SELECT * FROM t").is_err(),
+        "t never became durable"
+    );
+
+    // Same scenario in Commit mode: every ack carried an fsync, so
+    // kill -9 loses nothing.
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    fault.arm_crash(CrashSpec::first_keeping(
+        CP_WAL_PRE_FSYNC,
+        KeepUnsynced::All,
+    ));
+    assert!(db.execute("INSERT INTO t VALUES (100)").is_err());
+    drop(db);
+    fault.reboot();
+    let db = open(&fault);
+    // Unsynced-but-written bytes survive a mere process kill: the
+    // in-flight frame is complete on disk and replays.
+    assert_eq!(sum(&db).unwrap(), 106);
+}
+
+/// Buffered mode: an explicit checkpoint flushes the group-commit buffer,
+/// after which a power-loss crash loses nothing.
+#[test]
+fn buffered_mode_checkpoint_makes_commits_durable() {
+    let fault = FaultVfs::new();
+    let db = open_with(
+        &fault,
+        DurabilityOptions {
+            sync_mode: SyncMode::Buffered,
+            ..DurabilityOptions::default()
+        },
+    );
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    db.checkpoint().unwrap();
+    drop(db);
+    let db = open(&fault);
+    assert!(db.recovery_report().unwrap().checkpoint_loaded);
+    assert_eq!(sum(&db).unwrap(), 6);
+}
+
+/// Governor × durability: a transaction aborted mid-commit (its WAL
+/// append fails) must be *fully* discarded — in memory immediately, and
+/// on disk after recovery. A transaction that was acknowledged must be
+/// *fully* present. No half-replayed transactions, ever.
+#[test]
+fn aborted_commit_is_all_or_nothing_after_recovery() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+
+    // Multi-statement transaction whose commit record fails to persist.
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (10)").unwrap();
+    db.execute("INSERT INTO t VALUES (20)").unwrap();
+    db.execute("UPDATE t SET x = x + 1 WHERE x = 10").unwrap();
+    fault.fail_fsyncs(1);
+    assert!(
+        db.execute("COMMIT").is_err(),
+        "commit must surface the failure"
+    );
+    // Fully discarded in memory: the session rolled the transaction back.
+    assert_eq!(sum(&db).unwrap(), 6);
+
+    // The same shape, acknowledged this time.
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (10)").unwrap();
+    db.execute("INSERT INTO t VALUES (20)").unwrap();
+    db.execute("UPDATE t SET x = x + 1 WHERE x = 10").unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(sum(&db).unwrap(), 37);
+
+    drop(db);
+    let db = open(&fault);
+    // After recovery: the aborted transaction contributes nothing, the
+    // acknowledged one contributes everything — 6 + 11 + 20.
+    assert_eq!(sum(&db).unwrap(), 37);
+}
+
+/// Governor × durability: a statement cancelled before execution leaves
+/// no WAL trace; the session and the database stay consistent across
+/// recovery.
+#[test]
+fn cancelled_statement_leaves_no_wal_trace() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    db.cancel_handle().cancel();
+    let err = db.execute("INSERT INTO t VALUES (100)").unwrap_err();
+    assert_eq!(err.stage(), "cancelled");
+    // Session recovered; a normal statement follows.
+    db.execute("INSERT INTO t VALUES (4)").unwrap();
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(sum(&db).unwrap(), 10, "cancelled insert must not replay");
+}
+
+/// Statement timeout firing inside a transaction: the failed statement
+/// contributes nothing, the committed remainder survives recovery.
+#[test]
+fn timeout_inside_transaction_keeps_commit_atomic() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (50)").unwrap();
+    db.execute("SET statement_timeout_ms = 30").unwrap();
+    let err = db
+        .execute(
+            "SELECT * FROM ITERATE((SELECT 0 \"x\"), (SELECT x + 1 FROM iterate), \
+             (SELECT x FROM iterate WHERE x >= 5000000))",
+        )
+        .unwrap_err();
+    assert!(err.is_governed_abort(), "got: {err}");
+    db.execute("SET statement_timeout_ms = 0").unwrap();
+    db.execute("COMMIT").unwrap();
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(sum(&db).unwrap(), 56, "committed work survives, no more");
+}
+
+/// DDL + DML interleaving across checkpoint and replay: CREATE, INSERT,
+/// DROP, re-CREATE survive in order. Replay skips ops against dropped
+/// tables instead of failing.
+#[test]
+fn ddl_dml_interleaving_replays_in_order() {
+    let fault = FaultVfs::new();
+    let db = open(&fault);
+    db.execute("CREATE TABLE a (x BIGINT)").unwrap();
+    db.execute("INSERT INTO a VALUES (1)").unwrap();
+    db.execute("DROP TABLE a").unwrap();
+    db.execute("CREATE TABLE a (x BIGINT, y BIGINT)").unwrap();
+    db.execute("INSERT INTO a VALUES (7, 8)").unwrap();
+    drop(db);
+    let db = open(&fault);
+    let r = db.execute("SELECT x, y FROM a").unwrap();
+    assert_eq!(r.row_count(), 1);
+    assert_eq!(r.value(0, 0).unwrap(), Value::Int(7));
+    assert_eq!(r.value(0, 1).unwrap(), Value::Int(8));
+}
+
+/// Row-id stability across a checkpoint: deletes logged *after* the
+/// checkpoint must land on the same physical rows when replayed on top
+/// of the restored image.
+#[test]
+fn post_checkpoint_deletes_hit_the_right_rows() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    db.execute("DELETE FROM t WHERE x = 1").unwrap();
+    db.checkpoint().unwrap();
+    // These deletes replay against the checkpoint image's row ids.
+    db.execute("DELETE FROM t WHERE x = 2").unwrap();
+    db.execute("INSERT INTO t VALUES (9)").unwrap();
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(sum(&db).unwrap(), 12, "3 + 9 survive; 1 and 2 are deleted");
+}
+
+/// CSV ingestion is one atomic WAL record: after recovery the load is
+/// fully present.
+#[test]
+fn copy_csv_is_one_atomic_commit() {
+    let fault = FaultVfs::new();
+    let db = open(&fault);
+    db.execute("CREATE TABLE m (id BIGINT, v DOUBLE)").unwrap();
+    let csv = "id,v\n1,0.5\n2,1.5\n3,2.5\n";
+    let n = db
+        .copy_csv("m", csv, &hylite_core::CsvOptions::default())
+        .unwrap();
+    assert_eq!(n, 3);
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(db.recovery_report().unwrap().replayed_records, 2);
+    assert_eq!(
+        db.execute("SELECT count(*) FROM m")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        Value::Int(3)
+    );
+}
+
+/// The real-filesystem backend: a full write → close → reopen cycle on a
+/// temp dir, exercising `StdVfs` end to end (creation, append, fsync,
+/// atomic rename, truncate).
+#[test]
+fn std_vfs_roundtrip_on_a_real_directory() {
+    let dir = std::env::temp_dir().join(format!("hylite-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        db.checkpoint().unwrap();
+        db.execute("INSERT INTO t VALUES (4)").unwrap();
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(sum_path(&db), 10);
+        db.close().unwrap();
+    }
+    {
+        // After close() the WAL is empty; recovery is checkpoint-only.
+        let db = Database::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(sum_path(&db), 10);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    fn sum_path(db: &Database) -> i64 {
+        match db
+            .execute("SELECT sum(x) FROM t")
+            .unwrap()
+            .scalar()
+            .unwrap()
+        {
+            Value::Int(v) => v,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+/// Recovery metrics reach the shared registry, as the observability layer
+/// expects.
+#[test]
+fn durability_metrics_are_published() {
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    db.checkpoint().unwrap();
+    db.execute("INSERT INTO t VALUES (4)").unwrap();
+    let snapshot = db.metrics_snapshot().render_text();
+    for name in [
+        "wal.commits",
+        "wal.bytes_written",
+        "wal.fsyncs",
+        "checkpoint.count",
+        "checkpoint.bytes_written",
+    ] {
+        assert!(snapshot.contains(name), "missing {name} in:\n{snapshot}");
+    }
+    drop(db);
+    let db = open(&fault);
+    let snapshot = db.metrics_snapshot().render_text();
+    assert!(
+        snapshot.contains("recovery.replayed_records"),
+        "missing recovery metric in:\n{snapshot}"
+    );
+}
+
+/// The crash points the matrix iterates are exactly the ones the
+/// subsystem registers — adding a new point without extending the matrix
+/// fails here.
+#[test]
+fn crash_point_matrix_is_complete() {
+    assert_eq!(
+        CRASH_POINTS,
+        &[
+            CP_WAL_APPEND,
+            CP_WAL_AFTER_WRITE,
+            CP_WAL_PRE_FSYNC,
+            CP_WAL_POST_FSYNC,
+            "checkpoint.write",
+            "checkpoint.rename",
+            "checkpoint.after_rename",
+            "wal.truncate",
+        ]
+    );
+    // And every one of them has an expectation in the matrix.
+    for &p in CRASH_POINTS {
+        expected_sum_after(p);
+    }
+}
