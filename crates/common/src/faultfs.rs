@@ -75,6 +75,16 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     /// File size in bytes.
     fn len(&self, path: &Path) -> Result<u64>;
 
+    /// Fsync a *directory*: make its entries (file creations, renames)
+    /// durable. Creating and fsyncing a file is not enough on POSIX — a
+    /// power loss can still lose the directory entry, and the file with
+    /// it. Best-effort by default (in-memory backends model directory
+    /// entries as always durable).
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        let _ = dir;
+        Ok(())
+    }
+
     /// A named potential-crash location. Real backends do nothing;
     /// [`FaultVfs`] may simulate a crash here, after which every
     /// subsequent operation fails until [`FaultVfs::reboot`].
@@ -150,12 +160,17 @@ impl Vfs for StdVfs {
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
         std::fs::rename(from, to).map_err(|e| io_err("rename", from, e))?;
-        // A rename is only durable once the directory entry is synced;
-        // best-effort (some platforms refuse to open directories).
+        // A rename is only durable once the directory entry is synced.
         if let Some(dir) = to.parent() {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
+            self.sync_dir(dir)?;
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        // Best-effort: some platforms refuse to open directories.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
         }
         Ok(())
     }
@@ -496,6 +511,12 @@ impl Vfs for FaultVfs {
             .get(path)
             .map(|f| f.content.len() as u64)
             .ok_or_else(|| HyError::Storage(format!("stat: no file {}", path.display())))
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> Result<()> {
+        // Directory entries are modeled as always durable; only the
+        // crashed state matters.
+        self.state.lock().unwrap().check_alive()
     }
 
     fn crash_point(&self, name: &str) -> Result<()> {

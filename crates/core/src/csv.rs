@@ -77,30 +77,57 @@ impl Database {
                 Ok(Chunk::new(cols))
             })
             .collect();
-        let mut guard = t.write();
+        // The load is a write statement: take the database-wide writer
+        // gate so no other session's staged rows can be swept into (or
+        // destroyed by) this load's commit/rollback, and so WAL frame
+        // order matches physical append order.
+        let _gate = self.catalog().writer_gate().lock();
         let mut total = 0usize;
         let mut redo = Vec::new();
         let key = table.to_ascii_lowercase();
-        for chunk in chunks {
-            let chunk = chunk?;
-            total += chunk.len();
-            if self.is_durable() {
-                redo.push(hylite_storage::RedoOp::Insert {
-                    table: key.clone(),
-                    rows: chunk.clone(),
-                });
+        // Stage under a short-lived table guard. The guard must be
+        // released before the WAL commit lock is taken below — the
+        // checkpointer acquires the commit lock first and table locks
+        // second, so holding a table guard across the WAL append would
+        // invert the lock order and deadlock.
+        let staged = (|| -> Result<()> {
+            let mut guard = t.write();
+            for chunk in chunks {
+                let chunk = chunk?;
+                total += chunk.len();
+                if self.is_durable() {
+                    redo.push(hylite_storage::RedoOp::Insert {
+                        table: key.clone(),
+                        rows: chunk.clone(),
+                    });
+                }
+                guard.insert_chunk(chunk)?;
             }
-            guard.insert_chunk(chunk)?;
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            t.write().rollback();
+            return Err(e);
         }
         // The whole load is one WAL commit record: after a crash it is
-        // either fully replayed or absent, never half a file.
-        if let (Some(d), false) = (self.durability(), redo.is_empty()) {
-            if let Err(e) = d.log_commit(&redo) {
-                guard.rollback();
-                return Err(e);
+        // either fully replayed or absent, never half a file. Append and
+        // publish share one commit-mutex critical section so a concurrent
+        // checkpoint cannot truncate the logged-but-unpublished load.
+        match self.durability() {
+            Some(d) if !redo.is_empty() => {
+                d.with_commit_lock(|wal| match wal.log_commit(&redo) {
+                    Ok(_) => {
+                        t.write().commit();
+                        Ok(())
+                    }
+                    Err(e) => {
+                        t.write().rollback();
+                        Err(e)
+                    }
+                })?
             }
+            _ => t.write().commit(),
         }
-        guard.commit();
         Ok(total)
     }
 }

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use hylite_common::governor::{CancelToken, Governor};
 use hylite_common::telemetry::MetricsRegistry;
-use hylite_common::{Chunk, HyError, Result, Value};
+use hylite_common::{Chunk, HyError, Result, Schema, Value};
 use hylite_exec::{ExecContext, Executor};
 use hylite_expr::ScalarExpr;
 use hylite_planner::binder::{Binder, BoundStatement};
@@ -79,6 +79,13 @@ pub struct Session {
     /// record on COMMIT. Empty outside transactions (autocommit logs per
     /// statement) and when `durability` is `None`.
     redo: Vec<RedoOp>,
+    /// Whether this session holds the database's writer gate. Acquired
+    /// at the first table mutation of a statement (or transaction) and
+    /// held through publish/rollback, so at most one session ever has
+    /// staged (uncommitted) changes — the invariant `Table::commit` /
+    /// `Table::rollback` rely on — and WAL frame order matches physical
+    /// append order.
+    holds_gate: bool,
 }
 
 impl Session {
@@ -110,6 +117,27 @@ impl Session {
             governor: Arc::new(Governor::unlimited()),
             durability,
             redo: Vec::new(),
+            holds_gate: false,
+        }
+    }
+
+    /// Acquire the database-wide writer gate if this session doesn't
+    /// hold it yet. Must be called before the first table mutation of
+    /// any write statement.
+    fn begin_write(&mut self) {
+        if !self.holds_gate {
+            self.catalog.writer_gate().acquire();
+            self.holds_gate = true;
+        }
+    }
+
+    /// Release the writer gate at the end of a write statement — unless
+    /// a transaction is open, which keeps the gate until COMMIT/ROLLBACK
+    /// (single-writer transactions).
+    fn end_statement_write(&mut self) {
+        if self.holds_gate && self.tx.is_none() {
+            self.holds_gate = false;
+            self.catalog.writer_gate().release();
         }
     }
 
@@ -234,57 +262,34 @@ impl Session {
                 schema,
                 if_not_exists,
             } => {
-                if if_not_exists && self.catalog.has_table(&name) {
-                    return Ok(QueryResult::affected(0));
-                }
-                let key = name.to_ascii_lowercase();
-                self.catalog.create_table(&name, schema.clone())?;
-                // DDL is logged immediately as its own commit record (the
-                // catalog is not transactional); on WAL failure the create
-                // is undone so memory and log agree.
-                if let Some(d) = &self.durability {
-                    if let Err(e) = d.log_commit(&[RedoOp::CreateTable { name: key, schema }]) {
-                        let _ = self.catalog.drop_table(&name, true);
-                        return Err(e);
-                    }
-                }
-                Ok(QueryResult::affected(0))
+                let r = self.run_create_table(&name, schema, if_not_exists);
+                self.end_statement_write();
+                r
             }
             BoundStatement::DropTable { name, if_exists } => {
-                let key = name.to_ascii_lowercase();
-                let dropped = self.catalog.drop_table(&name, if_exists)?;
-                if let (Some(d), Some(table)) = (&self.durability, dropped) {
-                    if let Err(e) = d.log_commit(&[RedoOp::DropTable { name: key.clone() }]) {
-                        self.catalog.restore_table(table);
-                        return Err(e);
-                    }
-                }
-                self.own_tables.remove(&key);
-                Ok(QueryResult::affected(0))
+                let r = self.run_drop_table(&name, if_exists);
+                self.end_statement_write();
+                r
             }
             BoundStatement::Insert { table, source } => {
-                let plan = Optimizer::new().optimize(source)?;
-                let chunks = self.run_plan(&plan)?;
-                let types = plan.schema().types();
-                let data = Chunk::concat(&types, &chunks)?;
-                let n = data.len();
-                let t = self.catalog.get_table(&table)?;
-                t.write().insert_chunk(data.clone())?;
-                self.after_write(
-                    &table,
-                    vec![RedoOp::Insert {
-                        table: table.to_ascii_lowercase(),
-                        rows: data,
-                    }],
-                )?;
-                Ok(QueryResult::affected(n))
+                let r = self.run_insert(&table, source);
+                self.end_statement_write();
+                r
             }
             BoundStatement::Update {
                 table,
                 exprs,
                 filter,
-            } => self.run_update(&table, &exprs, filter.as_ref()),
-            BoundStatement::Delete { table, filter } => self.run_delete(&table, filter.as_ref()),
+            } => {
+                let r = self.run_update(&table, &exprs, filter.as_ref());
+                self.end_statement_write();
+                r
+            }
+            BoundStatement::Delete { table, filter } => {
+                let r = self.run_delete(&table, filter.as_ref());
+                self.end_statement_write();
+                r
+            }
             BoundStatement::Begin => {
                 if self.tx.is_some() {
                     return Err(HyError::Transaction(
@@ -298,25 +303,43 @@ impl Session {
             BoundStatement::Commit => match self.tx.take() {
                 Some(tx) => {
                     // The transaction's staged redo ops become one WAL
-                    // commit record; only after it is durable does the
-                    // in-memory commit publish the new state. A WAL failure
-                    // rolls the whole transaction back, so recovery can
-                    // never observe half a transaction.
+                    // commit record; the WAL append and the in-memory
+                    // publish share one commit-mutex critical section (see
+                    // `after_write`), so an acknowledged commit can never be
+                    // truncated away by a concurrent checkpoint. A WAL
+                    // failure rolls the whole transaction back, so recovery
+                    // can never observe half a transaction.
                     let ops = std::mem::take(&mut self.redo);
-                    if let Some(d) = &self.durability {
-                        if !ops.is_empty() {
-                            if let Err(e) = d.log_commit(&ops) {
-                                tx.rollback();
-                                self.own_tables.clear();
-                                self.metrics.counter("tx.rollback").inc();
-                                return Err(e);
-                            }
+                    let published = match &self.durability {
+                        Some(d) if !ops.is_empty() => {
+                            d.with_commit_lock(|wal| match wal.log_commit(&ops) {
+                                Ok(_) => {
+                                    tx.commit();
+                                    Ok(())
+                                }
+                                Err(e) => {
+                                    tx.rollback();
+                                    Err(e)
+                                }
+                            })
+                        }
+                        _ => {
+                            tx.commit();
+                            Ok(())
+                        }
+                    };
+                    self.own_tables.clear();
+                    self.end_statement_write();
+                    match published {
+                        Ok(()) => {
+                            self.metrics.counter("tx.commit").inc();
+                            Ok(QueryResult::affected(0))
+                        }
+                        Err(e) => {
+                            self.metrics.counter("tx.rollback").inc();
+                            Err(e)
                         }
                     }
-                    tx.commit();
-                    self.own_tables.clear();
-                    self.metrics.counter("tx.commit").inc();
-                    Ok(QueryResult::affected(0))
                 }
                 None => Err(HyError::Transaction("no transaction in progress".into())),
             },
@@ -325,6 +348,7 @@ impl Session {
                     tx.rollback();
                     self.redo.clear();
                     self.own_tables.clear();
+                    self.end_statement_write();
                     self.metrics.counter("tx.rollback").inc();
                     Ok(QueryResult::affected(0))
                 }
@@ -464,6 +488,10 @@ impl Session {
         exprs: &[ScalarExpr],
         filter: Option<&ScalarExpr>,
     ) -> Result<QueryResult> {
+        // The gate is taken before the scan so the positional row ids it
+        // produces cannot be shifted by a concurrent writer before the
+        // delete+append lands.
+        self.begin_write();
         let snapshot = self.table_snapshot(table)?;
         let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter, &self.governor)?;
         let mut ids = Vec::new();
@@ -507,6 +535,8 @@ impl Session {
     }
 
     fn run_delete(&mut self, table: &str, filter: Option<&ScalarExpr>) -> Result<QueryResult> {
+        // Gate before the scan: see `run_update` on row-id stability.
+        self.begin_write();
         let snapshot = self.table_snapshot(table)?;
         let hits = hylite_exec::scan::scan_with_row_ids(&snapshot, filter, &self.governor)?;
         let ids: Vec<usize> = hits.into_iter().flat_map(|(_, ids)| ids).collect();
@@ -544,24 +574,129 @@ impl Session {
                 }
             }
             None => {
-                if let Some(d) = &self.durability {
-                    if let Err(e) = d.log_commit(&ops) {
-                        t.write().rollback();
-                        return Err(e);
+                debug_assert!(self.holds_gate, "autocommit write without the writer gate");
+                match &self.durability {
+                    Some(d) => {
+                        // WAL append and in-memory publish happen inside one
+                        // commit-mutex critical section so a concurrent
+                        // checkpoint can never observe the log ahead of
+                        // memory (or vice versa) and truncate a logged but
+                        // unpublished commit away.
+                        d.with_commit_lock(|wal| match wal.log_commit(&ops) {
+                            Ok(_) => {
+                                t.write().commit();
+                                Ok(())
+                            }
+                            Err(e) => {
+                                t.write().rollback();
+                                Err(e)
+                            }
+                        })?;
                     }
+                    None => t.write().commit(),
                 }
-                t.write().commit();
             }
         }
         Ok(())
+    }
+
+    /// CREATE TABLE. DDL is logged immediately as its own commit record
+    /// (the catalog is not transactional); the catalog mutation and the
+    /// WAL append share one commit-mutex critical section so a concurrent
+    /// checkpoint never snapshots a created-but-unlogged (or logged-but-
+    /// uncreated) table, and on WAL failure the create is undone so memory
+    /// and log agree.
+    fn run_create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        if_not_exists: bool,
+    ) -> Result<QueryResult> {
+        self.begin_write();
+        if if_not_exists && self.catalog.has_table(name) {
+            return Ok(QueryResult::affected(0));
+        }
+        let key = name.to_ascii_lowercase();
+        let catalog = &self.catalog;
+        match &self.durability {
+            Some(d) => d.with_commit_lock(|wal| {
+                catalog.create_table(name, schema.clone())?;
+                if let Err(e) = wal.log_commit(&[RedoOp::CreateTable {
+                    name: key,
+                    schema: schema.clone(),
+                }]) {
+                    let _ = catalog.drop_table(name, true);
+                    return Err(e);
+                }
+                Ok(())
+            })?,
+            None => {
+                catalog.create_table(name, schema)?;
+            }
+        }
+        Ok(QueryResult::affected(0))
+    }
+
+    /// DROP TABLE. Same publish-under-commit-lock protocol as
+    /// [`Self::run_create_table`]; on WAL failure the dropped table is
+    /// restored unchanged.
+    fn run_drop_table(&mut self, name: &str, if_exists: bool) -> Result<QueryResult> {
+        self.begin_write();
+        let key = name.to_ascii_lowercase();
+        let catalog = &self.catalog;
+        match &self.durability {
+            Some(d) => d.with_commit_lock(|wal| {
+                let dropped = catalog.drop_table(name, if_exists)?;
+                if let Some(table) = dropped {
+                    if let Err(e) = wal.log_commit(&[RedoOp::DropTable { name: key.clone() }]) {
+                        catalog.restore_table(table);
+                        return Err(e);
+                    }
+                }
+                Ok(())
+            })?,
+            None => {
+                catalog.drop_table(name, if_exists)?;
+            }
+        }
+        self.own_tables.remove(&key);
+        Ok(QueryResult::affected(0))
+    }
+
+    /// INSERT ... VALUES / INSERT ... SELECT. The source plan runs *before*
+    /// the writer gate is taken (reads need no gate); the gate is held from
+    /// the staging append through publish so no other session's staged rows
+    /// can be swept into this commit.
+    fn run_insert(&mut self, table: &str, source: LogicalPlan) -> Result<QueryResult> {
+        let plan = Optimizer::new().optimize(source)?;
+        let chunks = self.run_plan(&plan)?;
+        let types = plan.schema().types();
+        let data = Chunk::concat(&types, &chunks)?;
+        let n = data.len();
+        self.begin_write();
+        let t = self.catalog.get_table(table)?;
+        t.write().insert_chunk(data.clone())?;
+        self.after_write(
+            table,
+            vec![RedoOp::Insert {
+                table: table.to_ascii_lowercase(),
+                rows: data,
+            }],
+        )?;
+        Ok(QueryResult::affected(n))
     }
 }
 
 impl Drop for Session {
     fn drop(&mut self) {
-        // An open transaction rolls back when the session ends.
+        // An open transaction rolls back when the session ends, and a held
+        // writer gate is released so other sessions can make progress.
         if let Some(tx) = self.tx.take() {
             tx.rollback();
+        }
+        if self.holds_gate {
+            self.holds_gate = false;
+            self.catalog.writer_gate().release();
         }
     }
 }

@@ -7,17 +7,26 @@ use hylite_common::{HyError, Result, Schema};
 use parking_lot::RwLock;
 
 use crate::table::{Table, TableRef};
+use crate::writer::WriterGate;
 
 /// Thread-safe table catalog. Table names are case-insensitive.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, TableRef>>,
+    /// Database-wide single-writer gate; every path that stages table
+    /// mutations (sessions, bulk loads) serializes on it.
+    writer_gate: WriterGate,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The database-wide writer gate (see [`WriterGate`]).
+    pub fn writer_gate(&self) -> &WriterGate {
+        &self.writer_gate
     }
 
     /// Create a table; errors if the name is taken.

@@ -229,6 +229,10 @@ pub fn publish_checkpoint(vfs: &dyn Vfs, dir: &Path, data: &[u8]) -> Result<()> 
     f.write_all(data)?;
     f.sync()?;
     drop(f);
+    // Make the tmp file's directory entry durable before the rename:
+    // some filesystems otherwise recover the rename with an empty or
+    // missing source file even though its data was fsynced.
+    vfs.sync_dir(dir)?;
     vfs.crash_point(CP_CKPT_RENAME)?;
     vfs.rename(&tmp, &dest)?;
     vfs.crash_point(CP_CKPT_AFTER_RENAME)?;

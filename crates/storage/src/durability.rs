@@ -2,12 +2,25 @@
 //! checkpoint procedure, shared by every session of a database.
 //!
 //! Locking: a single commit mutex serializes WAL appends *and* the whole
-//! checkpoint. While a checkpoint runs, commits stall (they queue on the
-//! mutex) but readers are completely unaffected — the checkpoint reads
-//! committed snapshots, which are `Arc`-stable by construction. This is
-//! the main-memory twist on the paper's design: the snapshot mechanism
-//! that isolates long analytical queries from OLTP writes is the same one
-//! that makes consistent checkpointing cheap.
+//! checkpoint. Crucially, commit *publication* — the promotion of a
+//! table's working state to its committed state — happens inside the
+//! same critical section as the WAL append (see
+//! [`Durability::with_commit_lock`]). That pairing is what makes
+//! checkpoints correct: a checkpoint holding the mutex can never observe
+//! an acknowledged commit that is in the WAL but not yet in memory (it
+//! would pick a `base_lsn` past the commit, snapshot memory without it,
+//! and truncate the commit's only durable record), nor memory state whose
+//! WAL frame hasn't been appended yet. While a checkpoint runs, commits
+//! stall (they queue on the mutex) but readers are completely
+//! unaffected — the checkpoint reads committed snapshots, which are
+//! `Arc`-stable by construction. This is the main-memory twist on the
+//! paper's design: the snapshot mechanism that isolates long analytical
+//! queries from OLTP writes is the same one that makes consistent
+//! checkpointing cheap.
+//!
+//! Lock order: the commit mutex is acquired *before* any table lock
+//! (publication and checkpoint snapshots take table locks inside it).
+//! No caller may wait on the commit mutex while holding a table lock.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -132,8 +145,26 @@ impl Durability {
 
     /// Log one commit's redo ops. When this returns `Ok`, the commit is
     /// durable per the configured [`SyncMode`] and may be acknowledged.
+    ///
+    /// Commit paths that also publish in-memory state must use
+    /// [`Durability::with_commit_lock`] instead, so the append and the
+    /// publish are atomic with respect to checkpoints.
     pub fn log_commit(&self, ops: &[RedoOp]) -> Result<u64> {
         self.wal.lock().log_commit(ops)
+    }
+
+    /// Run `f` while holding the commit mutex — the same lock
+    /// [`Durability::checkpoint`] holds for its whole duration. `f`
+    /// appends the commit's WAL frame via the provided [`WalWriter`] and
+    /// then performs the in-memory publish (or rollback, on append
+    /// failure) *before returning*, which guarantees a checkpoint never
+    /// runs between a commit's WAL append and its publication.
+    ///
+    /// `f` may take table locks; it must not re-enter the durability
+    /// engine (the commit mutex is not reentrant).
+    pub fn with_commit_lock<R>(&self, f: impl FnOnce(&mut WalWriter) -> Result<R>) -> Result<R> {
+        let mut wal = self.wal.lock();
+        f(&mut wal)
     }
 
     /// Force any group-commit buffered frames to disk.

@@ -22,6 +22,7 @@ pub mod snapshot;
 pub mod table;
 pub mod transaction;
 pub mod wal;
+pub mod writer;
 
 pub use catalog::Catalog;
 pub use checkpoint::CheckpointImage;
@@ -30,4 +31,5 @@ pub use recovery::RecoveryReport;
 pub use snapshot::{Morsel, TableSnapshot};
 pub use table::{Table, TableRef, SEGMENT_ROWS};
 pub use transaction::Transaction;
-pub use wal::{RedoOp, SyncMode};
+pub use wal::{RedoOp, SyncMode, WalWriter};
+pub use writer::{WriterGate, WriterGuard};

@@ -319,6 +319,12 @@ impl WalWriter {
             wire::put_u32(&mut header, WAL_VERSION);
             f.write_all(&header)?;
             f.sync()?;
+            // The file's *directory entry* must be durable too, or a
+            // power loss can vanish the whole WAL — fsynced frames and
+            // all — on a freshly created database.
+            if let Some(dir) = path.parent() {
+                vfs.sync_dir(dir)?;
+            }
             WAL_HEADER_LEN
         } else {
             existing
@@ -368,6 +374,7 @@ impl WalWriter {
         self.check_poisoned()?;
         let lsn = self.next_lsn;
         let frame = encode_commit_frame(lsn, ops);
+        let frame_start = self.buffer.len();
         self.buffer.extend_from_slice(&frame);
         self.buffered_commits += 1;
         let must_flush = match self.sync_mode {
@@ -375,7 +382,17 @@ impl WalWriter {
             SyncMode::Buffered => self.buffer.len() >= self.group_commit_bytes,
         };
         if must_flush {
-            self.flush()?;
+            if let Err(e) = self.flush() {
+                // This commit is about to be rejected and its in-memory
+                // effects rolled back: its frame must not linger in the
+                // buffer where a later retry would make it durable.
+                // Earlier buffered frames stay queued — those commits
+                // were already acknowledged (Buffered mode) and their
+                // effects are published in memory.
+                self.buffer.truncate(frame_start);
+                self.buffered_commits = self.buffered_commits.saturating_sub(1);
+                return Err(e);
+            }
         }
         // Advance only after a successful (or deferred) append so an LSN
         // never refers to a frame that was rolled back.
@@ -384,10 +401,13 @@ impl WalWriter {
         Ok(lsn)
     }
 
-    /// Write + fsync the group-commit buffer. On failure the file is
+    /// Write + fsync the group-commit buffer. On failure the *file* is
     /// rolled back to the last durable frame boundary (or poisoned if
-    /// even that fails) and the buffered commits are discarded — none of
-    /// them were acknowledged as durable.
+    /// even that fails), but the buffered frames are kept: in Buffered
+    /// mode they belong to already-acknowledged commits whose effects
+    /// are live in memory, so the next flush retries them rather than
+    /// silently widening the loss window to cover plain I/O errors.
+    /// Every failure is counted in `wal.flush_failures`.
     pub fn flush(&mut self) -> Result<()> {
         self.check_poisoned()?;
         if self.buffer.is_empty() {
@@ -396,11 +416,10 @@ impl WalWriter {
         match self.try_flush() {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.buffer.clear();
-                self.buffered_commits = 0;
+                self.metrics.counter("wal.flush_failures").inc();
                 // Without the rollback, a *later* successful fsync could
                 // make a partially written, never-acknowledged frame
-                // durable.
+                // durable behind the engine's back.
                 if self.vfs.truncate(&self.path, self.durable_len).is_err() {
                     self.poisoned = true;
                 }
@@ -568,6 +587,74 @@ mod tests {
         w.flush().unwrap();
         let scan = scan_wal(vfs.as_ref(), &path).unwrap();
         assert_eq!(scan.commits.len(), 1);
+    }
+
+    #[test]
+    fn buffered_flush_failure_retains_acked_frames() {
+        let (vfs, fault, path) = vfs_and_path();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut w = WalWriter::open(
+            Arc::clone(&vfs),
+            path.clone(),
+            SyncMode::Buffered,
+            1 << 20,
+            1,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        // Two acknowledged commits sit in the group-commit buffer.
+        let lsn1 = w.log_commit(&[insert_op(1)]).unwrap();
+        let lsn2 = w.log_commit(&[insert_op(2)]).unwrap();
+        fault.fail_fsyncs(1);
+        assert!(w.flush().is_err());
+        assert_eq!(metrics.counter("wal.flush_failures").get(), 1);
+        assert_eq!(
+            fault.file_len(&path).unwrap() as u64,
+            WAL_HEADER_LEN,
+            "failed flush rolled the file back to the durable boundary"
+        );
+        // The acked frames were NOT discarded: the next flush lands them.
+        w.flush().unwrap();
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(
+            scan.commits.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![lsn1, lsn2]
+        );
+        assert_eq!(scan.commits[0].1, vec![insert_op(1)]);
+        assert_eq!(scan.commits[1].1, vec![insert_op(2)]);
+    }
+
+    #[test]
+    fn buffered_rejected_commit_is_not_resurrected_by_retry() {
+        let (vfs, fault, path) = vfs_and_path();
+        // Threshold 1024: the small first commit stays buffered, the big
+        // second one trips a flush inside `log_commit`.
+        let mut w = WalWriter::open(
+            Arc::clone(&vfs),
+            path.clone(),
+            SyncMode::Buffered,
+            1024,
+            1,
+            Arc::new(MetricsRegistry::new()),
+        )
+        .unwrap();
+        w.log_commit(&[insert_op(1)]).unwrap();
+        let big = RedoOp::Insert {
+            table: "t".into(),
+            rows: Chunk::new(vec![ColumnVector::from_i64((0..256).collect())]),
+        };
+        fault.fail_fsyncs(1);
+        assert!(w.log_commit(&[big]).is_err(), "flush failure rejects it");
+        // The rejected commit's frame must be gone from the buffer: its
+        // in-memory effects were rolled back, so a successful retry must
+        // not make it durable behind the engine's back.
+        w.flush().unwrap();
+        let lsn3 = w.log_commit(&[insert_op(3)]).unwrap();
+        w.flush().unwrap();
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        let vals: Vec<_> = scan.commits.iter().map(|(_, ops)| ops.clone()).collect();
+        assert_eq!(vals, vec![vec![insert_op(1)], vec![insert_op(3)]]);
+        assert_eq!(lsn3, 2, "the rejected commit's LSN was reused");
     }
 
     #[test]
