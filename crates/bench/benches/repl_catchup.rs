@@ -1,0 +1,135 @@
+//! Replication catch-up: how fast a replica ingests a primary's history.
+//!
+//! Two paths matter operationally and are measured in isolation (no
+//! network — both sides run on in-memory [`FaultVfs`] files, so the
+//! numbers are the storage/apply cost a wire transport is layered on):
+//!
+//! * **stream apply** — a restarted replica replaying the primary's WAL
+//!   tail frame by frame through the redo path (CRC re-verify, local
+//!   fsync, table apply). This bounds how quickly a replica closes a
+//!   replication lag of N commits.
+//! * **bootstrap install** — snapshot encode on the primary plus the
+//!   replica's whole-state install. This bounds failover re-seeding and
+//!   the epoch-fence re-bootstrap after a primary restart.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hylite_common::faultfs::{FaultVfs, Vfs};
+use hylite_core::{Database, DurabilityOptions, ReplRole, ReplTail};
+
+fn open(fault: &FaultVfs, role: ReplRole) -> Database {
+    Database::open_with(
+        Arc::new(fault.clone()) as Arc<dyn Vfs>,
+        Path::new("data"),
+        DurabilityOptions {
+            role,
+            ..DurabilityOptions::default()
+        },
+    )
+    .expect("open durable database")
+}
+
+/// A primary whose WAL holds `commits` single-row frames.
+fn primary_with_commits(commits: usize) -> Database {
+    let db = open(&FaultVfs::new(), ReplRole::Primary);
+    db.execute("CREATE TABLE t (x BIGINT, s VARCHAR)")
+        .expect("ddl");
+    for i in 0..commits {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, 'row-{i}')"))
+            .expect("insert");
+    }
+    db
+}
+
+fn stream_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repl_stream_apply");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for commits in [200usize, 1_000] {
+        let primary = primary_with_commits(commits);
+        let durability = Arc::clone(primary.durability().expect("durable"));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(commits),
+            &commits,
+            |b, &commits| {
+                b.iter(|| {
+                    // A fresh replica replays the primary's entire WAL
+                    // (never checkpointed, so it is complete from LSN 1 —
+                    // no snapshot needed) through the redo apply path.
+                    let replica = open(&FaultVfs::new(), ReplRole::Replica);
+                    let gate = replica.catalog().writer_gate();
+                    let mut cursor = 1u64;
+                    let mut applied = 0usize;
+                    loop {
+                        let tail = durability.read_replication_tail(cursor, 64).expect("tail");
+                        let ReplTail::Frames { frames, .. } = tail else {
+                            panic!("unexpected tail state");
+                        };
+                        if frames.is_empty() {
+                            break;
+                        }
+                        let _g = gate.lock();
+                        for f in frames {
+                            replica
+                                .durability()
+                                .expect("durable")
+                                .apply_replicated_frame(replica.catalog(), f.lsn, f.crc, &f.payload)
+                                .expect("apply");
+                            cursor = f.lsn + 1;
+                            applied += 1;
+                        }
+                    }
+                    assert!(applied >= commits, "replayed {applied} of {commits}");
+                    replica
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bootstrap_install(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repl_bootstrap_install");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for rows in [10_000usize, 100_000] {
+        // One wide commit per 1k rows keeps setup fast; the snapshot cost
+        // depends on row volume, not commit count.
+        let primary = open(&FaultVfs::new(), ReplRole::Primary);
+        primary
+            .execute("CREATE TABLE t (x BIGINT, s VARCHAR)")
+            .expect("ddl");
+        for chunk in (0..rows).collect::<Vec<_>>().chunks(1_000) {
+            let values: Vec<String> = chunk.iter().map(|i| format!("({i}, 'row-{i}')")).collect();
+            primary
+                .execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+                .expect("insert");
+        }
+        let durability = Arc::clone(primary.durability().expect("durable"));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let (base, image) = durability
+                    .bootstrap_snapshot(primary.catalog())
+                    .expect("snapshot");
+                let replica = open(&FaultVfs::new(), ReplRole::Replica);
+                {
+                    let _g = replica.catalog().writer_gate().lock();
+                    replica
+                        .durability()
+                        .expect("durable")
+                        .install_bootstrap(replica.catalog(), 1, &image)
+                        .expect("install");
+                }
+                (base, replica)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stream_apply, bootstrap_install);
+criterion_main!(benches);

@@ -116,8 +116,9 @@ impl HyliteClient {
         self.last_error_code
     }
 
-    /// Retries performed so far by [`HyliteClient::connect_with_retry`]
-    /// and [`HyliteClient::query_with_retry`] on this client.
+    /// Retries performed so far by [`HyliteClient::connect_with_retry`],
+    /// [`HyliteClient::query_with_retry`], and
+    /// [`HyliteClient::query_streamed_with_retry`] on this client.
     pub fn retries(&self) -> u64 {
         self.retries
     }
@@ -215,6 +216,67 @@ impl HyliteClient {
     /// returned [`QueryStream`] early drains the remaining frames so the
     /// connection stays usable.
     pub fn query_streamed(&mut self, sql: &str) -> Result<QueryStream<'_>> {
+        let schema = self.begin_query(sql)?;
+        Ok(QueryStream {
+            client: self,
+            schema,
+            summary: None,
+            failed: false,
+        })
+    }
+
+    /// Like [`HyliteClient::query_streamed`], but retrying retryable
+    /// submission failures (admission rejections, governed aborts, broken
+    /// connections after a transparent reconnect) with bounded backoff +
+    /// jitter, counted under [`HyliteClient::retries`].
+    ///
+    /// Retries happen **only before any chunk has been delivered**: a
+    /// retryable error on `begin` re-submits the statement, but once the
+    /// stream is handed back, a mid-stream failure surfaces as an error —
+    /// silently re-running the statement there could deliver rows twice.
+    pub fn query_streamed_with_retry(
+        &mut self,
+        sql: &str,
+        policy: &RetryPolicy,
+    ) -> Result<QueryStream<'_>> {
+        let started = Instant::now();
+        let seed = jitter_seed() ^ self.secret;
+        let mut attempt = 0u32;
+        let schema = loop {
+            if self.broken {
+                let fresh = HyliteClient::connect(self.peer)?;
+                let retries = self.retries;
+                *self = fresh;
+                self.retries = retries;
+            }
+            match self.begin_query(sql) {
+                Ok(schema) => break schema,
+                Err(e) => {
+                    attempt += 1;
+                    let recoverable = retry::is_retryable(&e) || self.broken;
+                    if !recoverable || attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    let backoff = policy.jittered_backoff(attempt - 1, seed);
+                    if started.elapsed() + backoff > policy.deadline {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(backoff);
+                }
+            }
+        };
+        Ok(QueryStream {
+            client: self,
+            schema,
+            summary: None,
+            failed: false,
+        })
+    }
+
+    /// Submit `sql` and read through the `ResultSchema` frame; the frames
+    /// that follow on the connection are the result's data chunks.
+    fn begin_query(&mut self, sql: &str) -> Result<Schema> {
         if self.broken {
             return Err(HyError::Protocol(
                 "connection is in a failed protocol state; reconnect".into(),
@@ -225,12 +287,7 @@ impl HyliteClient {
             return Err(e);
         }
         match self.read() {
-            Ok(Frame::ResultSchema { schema }) => Ok(QueryStream {
-                client: self,
-                schema,
-                summary: None,
-                failed: false,
-            }),
+            Ok(Frame::ResultSchema { schema }) => Ok(schema),
             Ok(Frame::Error { code, message }) => {
                 let code = ErrorCode::from_u16(code);
                 self.last_error_code = Some(code);

@@ -42,6 +42,11 @@ pub enum HyError {
     /// (connection cap, statement queue full/timed out) or because it is
     /// shutting down. Retryable: the statement itself was never invalid.
     Unavailable(String),
+    /// The statement tried to write through a read-only replica. The
+    /// message names the primary that accepts writes. Retryable: the
+    /// same statement is valid against the primary (or against this node
+    /// after a promotion).
+    ReadOnly(String),
     /// A wire-protocol violation or transport failure between a client
     /// and the server (bad frame, version mismatch, broken connection).
     Protocol(String),
@@ -66,6 +71,7 @@ impl HyError {
             HyError::Timeout(_) => "timeout",
             HyError::BudgetExceeded(_) => "budget",
             HyError::Unavailable(_) => "unavailable",
+            HyError::ReadOnly(_) => "read_only",
             HyError::Protocol(_) => "protocol",
             HyError::Internal(_) => "internal",
         }
@@ -99,6 +105,7 @@ impl HyError {
             | HyError::Timeout(m)
             | HyError::BudgetExceeded(m)
             | HyError::Unavailable(m)
+            | HyError::ReadOnly(m)
             | HyError::Protocol(m)
             | HyError::Internal(m) => m,
         }
@@ -155,6 +162,7 @@ mod tests {
             HyError::Timeout(String::new()),
             HyError::BudgetExceeded(String::new()),
             HyError::Unavailable(String::new()),
+            HyError::ReadOnly(String::new()),
             HyError::Protocol(String::new()),
             HyError::Internal(String::new()),
         ];

@@ -100,6 +100,11 @@ pub enum ErrorCode {
     /// Wire-protocol violation (bad magic, unknown tag, short frame,
     /// version mismatch, transport failure).
     Protocol = 5003,
+    /// The statement tried to write on a read-only replica. Retryable in
+    /// the sense that the *system* can serve it — the message names the
+    /// primary the client should write to (or retry against after a
+    /// promotion).
+    ReadOnlyReplica = 5004,
 }
 
 impl ErrorCode {
@@ -128,6 +133,7 @@ impl ErrorCode {
             5001 => ErrorCode::QueueTimeout,
             5002 => ErrorCode::ShuttingDown,
             5003 => ErrorCode::Protocol,
+            5004 => ErrorCode::ReadOnlyReplica,
             _ => ErrorCode::Internal,
         }
     }
@@ -148,6 +154,7 @@ impl ErrorCode {
             HyError::Timeout(_) => ErrorCode::Timeout,
             HyError::BudgetExceeded(_) => ErrorCode::BudgetExceeded,
             HyError::Unavailable(_) => ErrorCode::Overloaded,
+            HyError::ReadOnly(_) => ErrorCode::ReadOnlyReplica,
             HyError::Protocol(_) => ErrorCode::Protocol,
             HyError::Internal(_) => ErrorCode::Internal,
         }
@@ -173,6 +180,7 @@ impl ErrorCode {
                 HyError::Unavailable(m)
             }
             ErrorCode::Protocol => HyError::Protocol(m),
+            ErrorCode::ReadOnlyReplica => HyError::ReadOnly(m),
             ErrorCode::Internal => HyError::Internal(m),
         }
     }
@@ -190,6 +198,7 @@ impl ErrorCode {
                 | ErrorCode::Overloaded
                 | ErrorCode::QueueTimeout
                 | ErrorCode::ShuttingDown
+                | ErrorCode::ReadOnlyReplica
         )
     }
 }
@@ -265,6 +274,59 @@ pub enum Frame {
     Shutdown,
     /// Client → server: close this connection cleanly.
     Terminate,
+    /// Replica → primary, first frame of a *replication* connection:
+    /// request the WAL stream starting after the replica's last durably
+    /// applied commit.
+    Replicate {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+        /// The primary-incarnation epoch the replica last bootstrapped
+        /// from, or `0` for a fresh replica with no local state. An epoch
+        /// the primary does not recognize as its own forces a
+        /// re-bootstrap instead of a silent fork.
+        epoch: u64,
+        /// LSN of the last commit the replica has durably applied
+        /// (`0` = none); streaming resumes at `last_lsn + 1`.
+        last_lsn: u64,
+    },
+    /// Primary → replica: handshake accepted; WAL frames follow.
+    ReplicateOk {
+        /// The primary's current incarnation epoch.
+        epoch: u64,
+        /// The next LSN the primary will stream (the replica is caught
+        /// up once it has applied everything below this).
+        next_lsn: u64,
+    },
+    /// Primary → replica: the requested LSN is no longer in the
+    /// primary's WAL (checkpoint truncation) or the epochs diverge; the
+    /// replica must discard local state and install this checkpoint
+    /// image before streaming resumes.
+    SnapshotOffer {
+        /// The primary's current incarnation epoch; the replica adopts it.
+        epoch: u64,
+        /// LSN the snapshot is consistent as of; streaming resumes here.
+        base_lsn: u64,
+        /// A complete checkpoint image in the on-disk checkpoint format.
+        data: Vec<u8>,
+    },
+    /// Primary → replica: one redo-WAL commit frame, shipped verbatim.
+    WalFrame {
+        /// The commit's log sequence number (must be exactly the
+        /// replica's next expected LSN — any gap is divergence).
+        lsn: u64,
+        /// CRC32 of `payload` exactly as stored in the primary's WAL;
+        /// the replica re-verifies before applying.
+        crc: u32,
+        /// The WAL frame payload (`[lsn][nops][ops...]`).
+        payload: Vec<u8>,
+    },
+    /// Replica → primary: everything up to and including `lsn` has been
+    /// durably applied on the replica. Advances the primary's
+    /// flow-control window.
+    ReplicaAck {
+        /// Highest durably applied LSN.
+        lsn: u64,
+    },
 }
 
 impl Frame {
@@ -299,6 +361,11 @@ impl Frame {
             Frame::CancelAck { .. } => 9,
             Frame::Shutdown => 10,
             Frame::Terminate => 11,
+            Frame::Replicate { .. } => 12,
+            Frame::ReplicateOk { .. } => 13,
+            Frame::SnapshotOffer { .. } => 14,
+            Frame::WalFrame { .. } => 15,
+            Frame::ReplicaAck { .. } => 16,
         }
     }
 }
@@ -478,6 +545,37 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::CancelAck { delivered } => buf.push(u8::from(*delivered)),
         Frame::Shutdown | Frame::Terminate => {}
+        Frame::Replicate {
+            version,
+            epoch,
+            last_lsn,
+        } => {
+            put_u32(&mut buf, STARTUP_MAGIC);
+            put_u32(&mut buf, *version);
+            put_u64(&mut buf, *epoch);
+            put_u64(&mut buf, *last_lsn);
+        }
+        Frame::ReplicateOk { epoch, next_lsn } => {
+            put_u64(&mut buf, *epoch);
+            put_u64(&mut buf, *next_lsn);
+        }
+        Frame::SnapshotOffer {
+            epoch,
+            base_lsn,
+            data,
+        } => {
+            put_u64(&mut buf, *epoch);
+            put_u64(&mut buf, *base_lsn);
+            put_u32(&mut buf, data.len() as u32);
+            buf.extend_from_slice(data);
+        }
+        Frame::WalFrame { lsn, crc, payload } => {
+            put_u64(&mut buf, *lsn);
+            put_u32(&mut buf, *crc);
+            put_u32(&mut buf, payload.len() as u32);
+            buf.extend_from_slice(payload);
+        }
+        Frame::ReplicaAck { lsn } => put_u64(&mut buf, *lsn),
     }
     let len = (buf.len() - 4) as u32;
     buf[0..4].copy_from_slice(&len.to_le_bytes());
@@ -718,6 +816,44 @@ pub fn decode_frame(tag: u8, body: &[u8]) -> Result<Frame> {
         },
         10 => Frame::Shutdown,
         11 => Frame::Terminate,
+        12 => {
+            let magic = r.u32()?;
+            if magic != STARTUP_MAGIC {
+                return Err(HyError::Protocol(format!(
+                    "bad replicate magic {magic:#010x} (not a HyLite replica?)"
+                )));
+            }
+            Frame::Replicate {
+                version: r.u32()?,
+                epoch: r.u64()?,
+                last_lsn: r.u64()?,
+            }
+        }
+        13 => Frame::ReplicateOk {
+            epoch: r.u64()?,
+            next_lsn: r.u64()?,
+        },
+        14 => {
+            let epoch = r.u64()?;
+            let base_lsn = r.u64()?;
+            let n = r.u32()? as usize;
+            Frame::SnapshotOffer {
+                epoch,
+                base_lsn,
+                data: r.take(n)?.to_vec(),
+            }
+        }
+        15 => {
+            let lsn = r.u64()?;
+            let crc = r.u32()?;
+            let n = r.u32()? as usize;
+            Frame::WalFrame {
+                lsn,
+                crc,
+                payload: r.take(n)?.to_vec(),
+            }
+        }
+        16 => Frame::ReplicaAck { lsn: r.u64()? },
         other => return Err(HyError::Protocol(format!("unknown frame tag {other}"))),
     };
     if r.pos != body.len() {
@@ -815,6 +951,48 @@ mod tests {
     }
 
     #[test]
+    fn replication_frames_roundtrip() {
+        roundtrip(Frame::Replicate {
+            version: PROTOCOL_VERSION,
+            epoch: 0xDEAD_BEEF_CAFE_F00D,
+            last_lsn: 41,
+        });
+        roundtrip(Frame::ReplicateOk {
+            epoch: 7,
+            next_lsn: 42,
+        });
+        roundtrip(Frame::SnapshotOffer {
+            epoch: u64::MAX,
+            base_lsn: 100,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Frame::SnapshotOffer {
+            epoch: 1,
+            base_lsn: 1,
+            data: Vec::new(),
+        });
+        roundtrip(Frame::WalFrame {
+            lsn: 9,
+            crc: 0x1234_5678,
+            payload: vec![0xAB; 37],
+        });
+        roundtrip(Frame::ReplicaAck { lsn: u64::MAX });
+    }
+
+    #[test]
+    fn replicate_frame_requires_magic() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 0xBAD_F00D);
+        put_u32(&mut bytes, PROTOCOL_VERSION);
+        put_u64(&mut bytes, 1);
+        put_u64(&mut bytes, 0);
+        assert!(matches!(
+            decode_frame(12, &bytes),
+            Err(HyError::Protocol(_))
+        ));
+    }
+
+    #[test]
     fn schema_roundtrip() {
         let schema = Schema::new(vec![
             Field::new("x", DataType::Int64).with_qualifier("t"),
@@ -893,6 +1071,7 @@ mod tests {
             (HyError::Timeout("m".into()), 3001),
             (HyError::BudgetExceeded("m".into()), 3002),
             (HyError::Unavailable("m".into()), 5000),
+            (HyError::ReadOnly("m".into()), 5004),
             (HyError::Protocol("m".into()), 5003),
             (HyError::Internal("m".into()), 4000),
         ];
@@ -914,6 +1093,7 @@ mod tests {
             ErrorCode::Overloaded,
             ErrorCode::QueueTimeout,
             ErrorCode::ShuttingDown,
+            ErrorCode::ReadOnlyReplica,
         ] {
             assert!(code.is_retryable(), "{code:?}");
         }

@@ -40,6 +40,11 @@ impl Database {
     /// report the 1-based line number. Quoted fields (`"a,b"` with `""`
     /// escapes) are supported.
     pub fn copy_csv(&self, table: &str, csv: &str, options: &CsvOptions) -> Result<usize> {
+        if self.is_replica() {
+            return Err(HyError::ReadOnly(
+                "this database is a read-only replica; bulk loads must go to the primary".into(),
+            ));
+        }
         let t = self.catalog().get_table(table)?;
         let schema = std::sync::Arc::clone(t.read().schema());
         let types = schema.types();

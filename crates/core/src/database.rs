@@ -89,11 +89,15 @@ impl Database {
             Durability::open(vfs, dir, options, Arc::clone(&metrics))?;
         let catalog = Arc::new(catalog);
         let durability = Arc::new(durability);
-        let default_session = Mutex::new(Session::with_durability(
+        let mut session = Session::with_durability(
             Arc::clone(&catalog),
             Arc::clone(&metrics),
             Some(Arc::clone(&durability)),
-        ));
+        );
+        if durability.role() == hylite_storage::ReplRole::Replica {
+            session.set_read_only("(unknown; this database is in replica mode)");
+        }
+        let default_session = Mutex::new(session);
         Ok(Database {
             catalog,
             metrics,
@@ -157,14 +161,30 @@ impl Database {
         self.metrics.snapshot()
     }
 
+    /// Whether this database was opened in the replica role (its data
+    /// directory follows a primary and must not take local writes).
+    pub fn is_replica(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(|d| d.role() == hylite_storage::ReplRole::Replica)
+    }
+
     /// Open a new session (reports into the shared metrics registry; on a
     /// durable database, the session's commits go through the WAL).
+    ///
+    /// Sessions on a replica-role database are born read-only; the server
+    /// overrides the generic redirect message with the actual primary
+    /// address via [`Session::set_read_only`].
     pub fn session(&self) -> Session {
-        Session::with_durability(
+        let mut session = Session::with_durability(
             Arc::clone(&self.catalog),
             Arc::clone(&self.metrics),
             self.durability.clone(),
-        )
+        );
+        if self.is_replica() {
+            session.set_read_only("(unknown; this database is in replica mode)");
+        }
+        session
     }
 
     /// Execute SQL on the database's default session (transactions on

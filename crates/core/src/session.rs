@@ -86,6 +86,10 @@ pub struct Session {
     /// `Table::rollback` rely on — and WAL frame order matches physical
     /// append order.
     holds_gate: bool,
+    /// When set, the session serves a read replica: every write
+    /// statement is rejected with [`HyError::ReadOnly`] naming this
+    /// primary address, before binding even runs.
+    read_only_primary: Option<String>,
 }
 
 impl Session {
@@ -118,7 +122,54 @@ impl Session {
             durability,
             redo: Vec::new(),
             holds_gate: false,
+            read_only_primary: None,
         }
+    }
+
+    /// Mark this session read-only on behalf of a replica following
+    /// `primary`. Write statements then fail with [`HyError::ReadOnly`]
+    /// (wire code `ReadOnlyReplica`, retryable) naming the primary, so a
+    /// client knows where to send the write — or to retry here after a
+    /// promotion.
+    pub fn set_read_only(&mut self, primary: impl Into<String>) {
+        self.read_only_primary = Some(primary.into());
+    }
+
+    /// The primary address writes are redirected to, if this session is
+    /// read-only.
+    pub fn read_only_primary(&self) -> Option<&str> {
+        self.read_only_primary.as_deref()
+    }
+
+    /// Whether `stmt` would mutate data or schema. `EXPLAIN ANALYZE`
+    /// executes its inner statement, so it counts as a write when the
+    /// inner statement does; plain `EXPLAIN` never executes anything.
+    fn statement_writes(stmt: &Statement) -> bool {
+        match stmt {
+            Statement::CreateTable { .. }
+            | Statement::DropTable { .. }
+            | Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. } => true,
+            Statement::Explain {
+                statement,
+                analyze: true,
+            } => Session::statement_writes(statement),
+            _ => false,
+        }
+    }
+
+    /// Reject `stmt` if the session is read-only and the statement
+    /// writes.
+    fn check_read_only(&self, stmt: &Statement) -> Result<()> {
+        if let Some(primary) = &self.read_only_primary {
+            if Session::statement_writes(stmt) {
+                return Err(HyError::ReadOnly(format!(
+                    "this server is a read-only replica; send writes to the primary at {primary}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Acquire the database-wide writer gate if this session doesn't
@@ -180,6 +231,7 @@ impl Session {
 
     /// Execute one parsed statement under a fresh per-statement governor.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        self.check_read_only(stmt)?;
         let started = Instant::now();
         self.governor = self.new_statement_governor();
         let governor = Arc::clone(&self.governor);

@@ -5,13 +5,21 @@
 //!               [--sync-mode commit|buffered] [--max-connections N]
 //!               [--max-active-statements N] [--queue-depth N]
 //!               [--queue-wait-ms MS] [--statement-timeout-ms MS]
-//!               [--memory-budget-mb MB] [--drain-timeout-ms MS] [--demo]
+//!               [--memory-budget-mb MB] [--drain-timeout-ms MS]
+//!               [--replica-of HOST:PORT] [--promote] [--demo]
 //! ```
 //!
 //! `--data-dir PATH` makes the database durable: recovery (checkpoint +
 //! WAL replay) runs before the listener binds, every commit is logged to
 //! the WAL before acknowledgement, and graceful shutdown takes a final
 //! checkpoint. Without it the database is purely in-memory.
+//!
+//! `--replica-of HOST:PORT` (requires `--data-dir`) starts a **read
+//! replica**: the data dir is opened in the replica role, the primary's
+//! WAL is streamed into it, and every session is read-only (writes get a
+//! retryable error naming the primary). `--promote` restarts a replica
+//! data dir as a writable primary under a fresh epoch — planned failover
+//! after the old primary is confirmed dead. See `docs/REPLICATION.md`.
 //!
 //! `--demo` preloads a small demo schema (`t(x BIGINT)`, `edges(src,
 //! dest)`) so a fresh server answers example queries immediately. The
@@ -22,14 +30,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use hylite_core::{Database, DurabilityOptions, SyncMode};
-use hylite_server::{Server, ServerConfig};
+use hylite_core::{Database, DurabilityOptions, ReplRole, SyncMode};
+use hylite_server::{Replica, ReplicaConfig, Server, ServerConfig};
 
 struct Cli {
     config: ServerConfig,
     demo: bool,
     data_dir: Option<String>,
     sync_mode: SyncMode,
+    replica_of: Option<String>,
+    promote: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -40,6 +50,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut demo = false;
     let mut data_dir = None;
     let mut sync_mode = SyncMode::Commit;
+    let mut replica_of = None;
+    let mut promote = false;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -98,24 +110,39 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("--sync-mode: '{other}' (commit|buffered)")),
                 }
             }
+            "--replica-of" => replica_of = Some(value(&mut i, arg)?),
+            "--promote" => promote = true,
             "--demo" => demo = true,
             "--help" | "-h" => {
                 return Err("usage: hylite-server [--addr HOST:PORT] [--data-dir PATH] \
                             [--sync-mode commit|buffered] [--max-connections N] \
                             [--max-active-statements N] [--queue-depth N] [--queue-wait-ms MS] \
                             [--statement-timeout-ms MS] [--memory-budget-mb MB] \
-                            [--drain-timeout-ms MS] [--demo]"
+                            [--drain-timeout-ms MS] [--replica-of HOST:PORT] [--promote] [--demo]"
                     .into())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
         i += 1;
     }
+    if replica_of.is_some() && data_dir.is_none() {
+        return Err("--replica-of requires --data-dir (the replica persists the stream)".into());
+    }
+    if replica_of.is_some() && promote {
+        return Err(
+            "--promote starts a *primary* from a replica data dir; drop --replica-of".into(),
+        );
+    }
+    if replica_of.is_some() && demo {
+        return Err("--demo writes; a replica is read-only".into());
+    }
     Ok(Cli {
         config,
         demo,
         data_dir,
         sync_mode,
+        replica_of,
+        promote,
     })
 }
 
@@ -147,6 +174,12 @@ fn main() -> ExitCode {
         Some(dir) => {
             let options = DurabilityOptions {
                 sync_mode: cli.sync_mode,
+                role: if cli.replica_of.is_some() {
+                    ReplRole::Replica
+                } else {
+                    ReplRole::Primary
+                },
+                promote: cli.promote,
                 ..DurabilityOptions::default()
             };
             let vfs = Arc::new(hylite_common::StdVfs) as Arc<dyn hylite_common::Vfs>;
@@ -167,6 +200,24 @@ fn main() -> ExitCode {
     };
     if cli.demo {
         load_demo(&db);
+    }
+    if let Some(primary) = cli.replica_of {
+        let handle = match Replica::start(db, cli.config, ReplicaConfig::new(primary.clone())) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("failed to start replica: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "hylite-server (replica of {primary}) listening on {}",
+            handle.local_addr()
+        );
+        // The serving side stops on a Shutdown frame or when catch-up
+        // fails permanently; either way, stop following and exit.
+        handle.join();
+        println!("hylite-server (replica) stopped");
+        return ExitCode::SUCCESS;
     }
     let handle = match Server::start(cli.config, db) {
         Ok(h) => h,

@@ -38,6 +38,26 @@ pub struct ServerConfig {
     /// Graceful-shutdown drain budget: in-flight statements get this long
     /// to finish before their cancel tokens fire.
     pub drain_timeout: Duration,
+    /// Set on a replica server: the primary's address, reported inside
+    /// the `ReadOnlyReplica` error every write statement receives so
+    /// clients know where to go. `None` on a primary.
+    pub read_only_primary: Option<String>,
+    /// Replication flow control: how many bytes of WAL frames may be in
+    /// flight to one replica before the primary stops sending and waits
+    /// for acks.
+    pub repl_max_unacked_bytes: u64,
+    /// How long a replica's ack may stall (while the window is full)
+    /// before the primary sheds the replica connection instead of
+    /// buffering forever. Commits on the primary never wait on replicas.
+    pub repl_ack_timeout: Duration,
+    /// How often the primary's replication streamer polls the WAL for
+    /// new frames when a replica is caught up.
+    pub repl_poll_interval: Duration,
+    /// Fault injection for tests: a statement whose SQL text equals this
+    /// string panics inside the execution path instead of running,
+    /// exercising per-statement panic isolation (the engine itself is
+    /// deliberately panic-free). Always `None` in production configs.
+    pub panic_on_sql: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +71,11 @@ impl Default for ServerConfig {
             statement_timeout_ms: 0,
             memory_budget_mb: 0,
             drain_timeout: Duration::from_secs(5),
+            read_only_primary: None,
+            repl_max_unacked_bytes: 8 * 1024 * 1024,
+            repl_ack_timeout: Duration::from_secs(10),
+            repl_poll_interval: Duration::from_millis(5),
+            panic_on_sql: None,
         }
     }
 }

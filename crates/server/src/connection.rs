@@ -27,6 +27,11 @@ pub(crate) fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     match first {
         Frame::Startup { version } => handle_startup(stream, shared, version),
         Frame::Cancel { session_id, secret } => handle_cancel(stream, &shared, session_id, secret),
+        Frame::Replicate {
+            version,
+            epoch,
+            last_lsn,
+        } => crate::replication::serve_replication(stream, shared, version, epoch, last_lsn),
         Frame::Shutdown => {
             shared.request_shutdown();
             let _ = wire::write_frame(
@@ -42,7 +47,7 @@ pub(crate) fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 &mut stream,
                 &Frame::error_with_code(
                     ErrorCode::Protocol,
-                    "expected Startup, Cancel, or Shutdown as the first frame",
+                    "expected Startup, Cancel, Replicate, or Shutdown as the first frame",
                 ),
             );
         }
@@ -108,6 +113,11 @@ fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
             "SET memory_budget_mb = {}",
             shared.config.memory_budget_mb
         ));
+    }
+    // On a replica the session is already read-only; replace the generic
+    // redirect message with the primary's actual address.
+    if let Some(primary) = &shared.config.read_only_primary {
+        session.set_read_only(primary.clone());
     }
 
     let session_id = shared.next_session_id();
@@ -183,12 +193,39 @@ fn query_loop(stream: &mut TcpStream, session: &mut Session, shared: &Shared, bu
                 };
                 busy.store(true, Ordering::Release);
                 let started = Instant::now();
-                let result = session.execute(&sql);
+                // Panic isolation: the engine is designed panic-free, but
+                // a panicking operator must cost exactly one connection,
+                // not the server. AssertUnwindSafe is sound here because
+                // a panicking session is never used again — the loop
+                // breaks and the session drops (rolling back its open
+                // transaction) right after.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if shared.config.panic_on_sql.as_deref() == Some(sql.as_str()) {
+                        panic!("injected fault for statement {sql:?}");
+                    }
+                    session.execute(&sql)
+                }));
                 busy.store(false, Ordering::Release);
                 // Execution is done (results are materialized); release the
                 // slot *before* writing any frame so that by the time the
                 // client sees completion the slot is observably free.
                 drop(permit);
+                let result = match result {
+                    Ok(r) => r,
+                    Err(panic) => {
+                        shared.metrics.counter("server.panics").inc();
+                        shared.metrics.counter("server.query_errors").inc();
+                        let msg = panic_message(&panic);
+                        let _ = wire::write_frame(
+                            stream,
+                            &Frame::error_with_code(
+                                ErrorCode::Internal,
+                                format!("statement panicked: {msg}"),
+                            ),
+                        );
+                        break; // session state is unknown; end this connection only
+                    }
+                };
                 let outcome = match result {
                     Ok(r) => stream_result(stream, &r, shared),
                     Err(e) => {
@@ -224,6 +261,17 @@ fn query_loop(stream: &mut TcpStream, session: &mut Session, shared: &Shared, bu
                 break;
             }
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 

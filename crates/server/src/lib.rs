@@ -27,6 +27,11 @@
 //! * **Graceful shutdown.** A drain deadline lets in-flight statements
 //!   finish, then cancels stragglers via their governor tokens, then
 //!   closes sockets and joins every thread.
+//! * **WAL-shipping replication.** A durable primary streams its redo
+//!   WAL verbatim to read replicas over the same frame protocol; a
+//!   replica ([`Replica::start`]) serves read-only sessions while
+//!   catching up, survives `kill -9` on either side, and sheds rather
+//!   than stalls when slow. See `docs/REPLICATION.md`.
 //!
 //! # Quickstart
 //!
@@ -49,8 +54,11 @@
 mod admission;
 mod config;
 mod connection;
+mod replica;
+mod replication;
 mod server;
 
 pub use admission::{Admission, Rejection, StatementPermit};
 pub use config::ServerConfig;
+pub use replica::{Replica, ReplicaConfig, ReplicaHandle, ReplicaStatus};
 pub use server::{Server, ServerHandle};

@@ -1,0 +1,404 @@
+//! The replica: follow a primary's WAL stream and serve read-only SQL.
+//!
+//! [`Replica::start`] wraps an ordinary [`Server`] (so replicas speak the
+//! full query protocol — sessions, cancel, admission control, metrics)
+//! around a database opened in the replica role, and runs an **apply
+//! loop** on its own thread:
+//!
+//! 1. connect to the primary and send `Replicate { epoch, last_lsn }`,
+//!    where `last_lsn` is the last commit the local WAL holds durably;
+//! 2. install a `SnapshotOffer` if the primary sends one (discarding all
+//!    local state — divergence is never streamed over), else resume from
+//!    `ReplicateOk`;
+//! 3. apply each `WalFrame` through the normal redo path — CRC
+//!    re-verified, LSN required to be exactly contiguous, fsynced into
+//!    the local WAL **before** the `ReplicaAck` goes back, so an acked
+//!    LSN survives a replica `kill -9`;
+//! 4. on any connection error, reconnect with the client crate's
+//!    jittered exponential backoff and resume from the new `last_lsn`.
+//!
+//! Failure philosophy: network faults are routine and retried forever;
+//! **local** faults (a poisoned WAL, a failed bootstrap install) mean the
+//! replica can no longer promise convergence, so it stops serving
+//! entirely (`ReplicaHandle::has_failed`) rather than answering queries
+//! from a state it cannot vouch for.
+//!
+//! Writes sent to a replica session are rejected before binding with the
+//! retryable [`ErrorCode::ReadOnlyReplica`](hylite_common::wire::ErrorCode)
+//! error, whose message names the primary's address.
+
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hylite_client::RetryPolicy;
+use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
+use hylite_common::{HyError, Result};
+use hylite_core::{Database, Durability};
+use parking_lot::Mutex;
+
+use crate::config::ServerConfig;
+use crate::server::{Server, ServerHandle};
+
+/// Tunables of the replica's apply loop.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Address of the primary to replicate from, e.g. `127.0.0.1:5433`.
+    pub primary_addr: String,
+    /// Backoff schedule for reconnecting to the primary. Unlike a client
+    /// statement retry the replica never gives up: `max_attempts` and
+    /// `deadline` are ignored, only the backoff curve is used.
+    pub retry: RetryPolicy,
+    /// Seed for deterministic backoff jitter (tests fix this).
+    pub backoff_seed: u64,
+    /// Take a local checkpoint once the replica's WAL grows past this
+    /// many durable bytes, so replica restarts recover from a recent
+    /// image instead of replaying the whole stream. `0` disables.
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl ReplicaConfig {
+    /// Defaults for a replica following `primary_addr`.
+    pub fn new(primary_addr: impl Into<String>) -> ReplicaConfig {
+        ReplicaConfig {
+            primary_addr: primary_addr.into(),
+            retry: RetryPolicy::default(),
+            backoff_seed: 0x005E_ED0F_5EED,
+            checkpoint_wal_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Shared, lock-free view of the apply loop's progress.
+#[derive(Debug, Default)]
+pub struct ReplicaStatus {
+    connected: AtomicBool,
+    last_applied_lsn: AtomicU64,
+    bootstraps: AtomicU64,
+    failed: AtomicBool,
+}
+
+impl ReplicaStatus {
+    /// Whether the apply loop currently holds a connection to the primary.
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::Acquire)
+    }
+
+    /// LSN of the last commit durably applied from the stream (`0` =
+    /// nothing yet this process lifetime).
+    pub fn last_applied_lsn(&self) -> u64 {
+        self.last_applied_lsn.load(Ordering::Acquire)
+    }
+
+    /// How many times this replica discarded local state for a primary
+    /// snapshot.
+    pub fn bootstraps(&self) -> u64 {
+        self.bootstraps.load(Ordering::Acquire)
+    }
+
+    /// True once the replica hit a local fault it cannot recover from
+    /// (it has stopped serving).
+    pub fn has_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+}
+
+/// The replica entry point; see the module docs.
+pub struct Replica;
+
+impl Replica {
+    /// Start serving `db` read-only while following the primary in
+    /// `config`. `db` must have been opened in the replica role
+    /// ([`DurabilityOptions::role`](hylite_core::DurabilityOptions)).
+    pub fn start(
+        db: Arc<Database>,
+        mut server_config: ServerConfig,
+        config: ReplicaConfig,
+    ) -> Result<ReplicaHandle> {
+        if !db.is_replica() {
+            return Err(HyError::Storage(
+                "Replica::start requires a database opened in the replica role \
+                 (DurabilityOptions { role: ReplRole::Replica, .. })"
+                    .into(),
+            ));
+        }
+        server_config.read_only_primary = Some(config.primary_addr.clone());
+        let server = Server::start(server_config, Arc::clone(&db))?;
+        let local_addr = server.local_addr();
+        let server_shared = server.shared();
+        let stop = Arc::new(AtomicBool::new(false));
+        let status = Arc::new(ReplicaStatus::default());
+        let current = Arc::new(Mutex::new(None::<TcpStream>));
+        let apply_thread = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let status = Arc::clone(&status);
+            let current = Arc::clone(&current);
+            std::thread::Builder::new()
+                .name("hylite-repl-apply".into())
+                .spawn(move || apply_loop(&db, &config, &stop, &status, &current, &server_shared))
+                .map_err(|e| HyError::Internal(format!("spawning apply loop failed: {e}")))?
+        };
+        Ok(ReplicaHandle {
+            server: Some(server),
+            stop,
+            status,
+            current,
+            apply_thread: Some(apply_thread),
+            local_addr,
+        })
+    }
+}
+
+/// Handle to a running replica: the serving side plus the apply loop.
+pub struct ReplicaHandle {
+    server: Option<ServerHandle>,
+    stop: Arc<AtomicBool>,
+    status: Arc<ReplicaStatus>,
+    current: Arc<Mutex<Option<TcpStream>>>,
+    apply_thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl ReplicaHandle {
+    /// The address read-only clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The apply loop's progress view.
+    pub fn status(&self) -> &Arc<ReplicaStatus> {
+        &self.status
+    }
+
+    /// Stop following the primary and shut the serving side down
+    /// gracefully (in-flight reads drain; a final local checkpoint is
+    /// taken).
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    /// Block until the serving side stops on its own (a client sent a
+    /// Shutdown frame, or catch-up failed permanently), then stop
+    /// following the primary. The `--replica-of` binary's main loop.
+    pub fn join(mut self) {
+        if let Some(server) = self.server.take() {
+            server.join();
+        }
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the apply loop's blocking read.
+        if let Some(s) = self.current.lock().as_ref() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.apply_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for ReplicaHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Why one streaming session ended.
+enum SessionEnd {
+    /// Shutdown was requested; exit the loop.
+    Stopped,
+    /// Connection-level failure: reconnect with backoff.
+    Disconnect,
+    /// Local storage failure or a fork the protocol cannot repair:
+    /// stop serving.
+    Fatal(HyError),
+}
+
+/// Reconnect-forever loop around [`stream_session`].
+fn apply_loop(
+    db: &Arc<Database>,
+    config: &ReplicaConfig,
+    stop: &AtomicBool,
+    status: &ReplicaStatus,
+    current: &Mutex<Option<TcpStream>>,
+    server_shared: &Arc<crate::server::Shared>,
+) {
+    let durability = Arc::clone(db.durability().expect("replica database is durable"));
+    let metrics = Arc::clone(db.metrics());
+    let mut retry: u32 = 0;
+    while !stop.load(Ordering::Acquire) {
+        let end = stream_session(db, &durability, config, stop, status, current, &mut retry);
+        status.connected.store(false, Ordering::Release);
+        current.lock().take();
+        match end {
+            SessionEnd::Stopped => break,
+            SessionEnd::Disconnect => {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                metrics.counter("repl.disconnects").inc();
+                // Capped exponential backoff with deterministic jitter;
+                // sliced so shutdown stays responsive.
+                let backoff = config
+                    .retry
+                    .jittered_backoff(retry.min(16), config.backoff_seed);
+                retry = retry.saturating_add(1);
+                let deadline = std::time::Instant::now() + backoff;
+                while std::time::Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            SessionEnd::Fatal(e) => {
+                // The local state can no longer be vouched for: refuse to
+                // serve rather than answer from a possibly-forked past.
+                metrics.counter("repl.fatal_errors").inc();
+                status.failed.store(true, Ordering::Release);
+                eprintln!("replica catch-up failed permanently, shutting down: {e}");
+                server_shared.request_shutdown();
+                break;
+            }
+        }
+    }
+}
+
+/// One connected streaming session: handshake, then apply frames until
+/// the connection drops or shutdown is requested.
+#[allow(clippy::too_many_arguments)]
+fn stream_session(
+    db: &Arc<Database>,
+    durability: &Arc<Durability>,
+    config: &ReplicaConfig,
+    stop: &AtomicBool,
+    status: &ReplicaStatus,
+    current: &Mutex<Option<TcpStream>>,
+    retry: &mut u32,
+) -> SessionEnd {
+    let mut stream = match TcpStream::connect(&config.primary_addr) {
+        Ok(s) => s,
+        Err(_) => return SessionEnd::Disconnect,
+    };
+    let _ = stream.set_nodelay(true);
+    match stream.try_clone() {
+        Ok(clone) => *current.lock() = Some(clone),
+        Err(_) => return SessionEnd::Disconnect,
+    }
+    // Resume point: the local WAL's next LSN minus one is the last commit
+    // that is durably ours. An un-bootstrapped replica sends epoch 0,
+    // which no primary ever mints, forcing a SnapshotOffer.
+    let handshake = Frame::Replicate {
+        version: PROTOCOL_VERSION,
+        epoch: durability.epoch(),
+        last_lsn: durability.next_lsn().saturating_sub(1),
+    };
+    if wire::write_frame(&mut stream, &handshake).is_err() {
+        return SessionEnd::Disconnect;
+    }
+    status.connected.store(true, Ordering::Release);
+    db.metrics().counter("repl.connects").inc();
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return SessionEnd::Stopped;
+        }
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => {
+                return if stop.load(Ordering::Acquire) {
+                    SessionEnd::Stopped
+                } else {
+                    SessionEnd::Disconnect
+                }
+            }
+        };
+        match frame {
+            Frame::ReplicateOk { .. } => {
+                // Resume accepted; frames follow from our own last_lsn+1.
+                *retry = 0;
+            }
+            Frame::SnapshotOffer {
+                epoch,
+                base_lsn,
+                data,
+            } => {
+                // Replace all local state under the writer gate so no
+                // read session observes the swap half-done.
+                let install = {
+                    let _gate = db.catalog().writer_gate().lock();
+                    durability.install_bootstrap(db.catalog(), epoch, &data)
+                };
+                if let Err(e) = install {
+                    return SessionEnd::Fatal(e);
+                }
+                *retry = 0;
+                status.bootstraps.fetch_add(1, Ordering::AcqRel);
+                status
+                    .last_applied_lsn
+                    .store(base_lsn.saturating_sub(1), Ordering::Release);
+                if wire::write_frame(
+                    &mut stream,
+                    &Frame::ReplicaAck {
+                        lsn: base_lsn.saturating_sub(1),
+                    },
+                )
+                .is_err()
+                {
+                    return SessionEnd::Disconnect;
+                }
+            }
+            Frame::WalFrame { lsn, crc, payload } => {
+                let applied = {
+                    let _gate = db.catalog().writer_gate().lock();
+                    durability.apply_replicated_frame(db.catalog(), lsn, crc, &payload)
+                };
+                if let Err(e) = applied {
+                    // A gap, CRC mismatch, or WAL write failure on *our*
+                    // side: never ack, never skip. The stream cannot be
+                    // trusted past this point.
+                    return SessionEnd::Fatal(e);
+                }
+                *retry = 0;
+                status.last_applied_lsn.store(lsn, Ordering::Release);
+                // The frame is fsynced (append_raw_frame always flushes)
+                // — only now may the ack promise durability.
+                if wire::write_frame(&mut stream, &Frame::ReplicaAck { lsn }).is_err() {
+                    return SessionEnd::Disconnect;
+                }
+                if config.checkpoint_wal_bytes > 0
+                    && durability.wal_durable_len() >= config.checkpoint_wal_bytes
+                {
+                    // Compact the local WAL; failure is non-fatal (the
+                    // WAL still covers everything).
+                    let _ = durability.checkpoint(db.catalog());
+                }
+            }
+            Frame::Error { code, message } => {
+                let code = ErrorCode::from_u16(code);
+                if code == ErrorCode::Protocol {
+                    // Version mismatch, a non-durable primary, or a
+                    // primary that is itself a replica: config errors no
+                    // amount of retrying fixes.
+                    return SessionEnd::Fatal(code.to_error(message));
+                }
+                // Everything else — shedding, draining, or a primary-side
+                // storage failure (e.g. its WAL poisoned by a crash) — is
+                // the *primary's* trouble, not a statement about our local
+                // state. Back off and reconnect; if the primary restarts,
+                // its fresh epoch fences us into a re-bootstrap anyway.
+                return SessionEnd::Disconnect;
+            }
+            other => {
+                return SessionEnd::Fatal(HyError::Protocol(format!(
+                    "unexpected frame in the replication stream: {other:?}"
+                )))
+            }
+        }
+    }
+}

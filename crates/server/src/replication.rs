@@ -1,0 +1,294 @@
+//! Primary-side WAL shipping: stream the redo log to read replicas.
+//!
+//! A replica opens an ordinary TCP connection and sends a `Replicate`
+//! frame instead of `Startup`. The primary answers with either
+//!
+//! * `ReplicateOk` — the replica's `(epoch, last_lsn)` resume point is
+//!   still covered by the local WAL; frames follow from `last_lsn + 1`; or
+//! * `SnapshotOffer` — the resume point is unusable (epoch mismatch after
+//!   a primary restart, WAL truncated by a checkpoint, or the replica is
+//!   *ahead* of this primary, i.e. a fork). The replica must discard its
+//!   local state and install the shipped checkpoint image first.
+//!
+//! After the handshake the primary streams `WalFrame`s **verbatim** —
+//! same payload bytes, same CRC as its own WAL — re-verifying each CRC as
+//! it reads them back from disk, so a torn or bit-flipped local log can
+//! never be forwarded as if it were intact.
+//!
+//! Flow control is a byte window over unacknowledged frames: a
+//! per-connection reader thread consumes `ReplicaAck` frames and advances
+//! the acked LSN; once `repl_max_unacked_bytes` of payload is in flight
+//! the streamer stops sending, and if the window stays full for
+//! `repl_ack_timeout` the replica is **shed** (typed `Overloaded` error,
+//! connection closed, `server.replicas_shed` metric) — commits on the
+//! primary never wait on a slow replica.
+
+use std::collections::VecDeque;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
+use hylite_common::Result;
+use hylite_core::{Durability, ReplTail};
+
+use crate::server::Shared;
+
+/// Frames fetched from the WAL per poll (bounds commit-lock hold time).
+const TAIL_BATCH_FRAMES: usize = 64;
+
+/// Entry point for a connection whose first frame was `Replicate`.
+pub(crate) fn serve_replication(
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    version: u32,
+    replica_epoch: u64,
+    last_lsn: u64,
+) {
+    if version != PROTOCOL_VERSION {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Protocol,
+                format!(
+                    "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                ),
+            ),
+        );
+        return;
+    }
+    if shared.is_draining() {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(ErrorCode::ShuttingDown, "server is shutting down"),
+        );
+        return;
+    }
+    let Some(durability) = shared.db.durability().cloned() else {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Protocol,
+                "replication requires a durable primary (start the server with --data-dir)",
+            ),
+        );
+        return;
+    };
+    if shared.db.is_replica() {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Protocol,
+                "this server is itself a replica; replicate from the primary",
+            ),
+        );
+        return;
+    }
+
+    // Replication connections count against the same connection cap as
+    // query sessions: admission control decides who gets a slot, never
+    // the commit path.
+    let live = shared.conn_count.fetch_add(1, Ordering::AcqRel) + 1;
+    if live > shared.config.max_connections {
+        shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+        shared.metrics.counter("server.connections_rejected").inc();
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Overloaded,
+                format!(
+                    "connection cap of {} reached",
+                    shared.config.max_connections
+                ),
+            ),
+        );
+        return;
+    }
+    shared.metrics.gauge("server.replicas_connected").add(1);
+    // Streaming uses its own pacing; the handshake timeout set by the
+    // dispatcher must not fire between polls.
+    let _ = stream.set_read_timeout(None);
+
+    if let Err(e) = stream_to_replica(&mut stream, &shared, &durability, replica_epoch, last_lsn) {
+        let _ = wire::write_frame(&mut stream, &Frame::error(&e));
+    }
+
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.metrics.gauge("server.replicas_connected").add(-1);
+    shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Handshake + streaming loop. Returns `Ok` on orderly exit (peer gone,
+/// drain, shed); `Err` only for faults worth reporting to the peer.
+fn stream_to_replica(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    durability: &Durability,
+    replica_epoch: u64,
+    last_lsn: u64,
+) -> Result<()> {
+    let epoch = durability.epoch();
+    let resume = last_lsn + 1;
+
+    // Decide the start point. A replica from a different incarnation
+    // (or one whose resume LSN we cannot serve) is re-bootstrapped; one
+    // we can resume gets ReplicateOk and the WAL tail.
+    let resumable = replica_epoch == epoch
+        && matches!(
+            durability.read_replication_tail(resume, 1)?,
+            ReplTail::Frames { .. }
+        );
+    let (mut cursor, mut acked) = if resumable {
+        wire::write_frame(
+            stream,
+            &Frame::ReplicateOk {
+                epoch,
+                next_lsn: durability.next_lsn(),
+            },
+        )?;
+        (resume, last_lsn)
+    } else {
+        send_bootstrap(stream, shared, durability, epoch)?
+    };
+
+    // Ack reader: a second thread consuming ReplicaAck frames from the
+    // same socket, publishing the high-water mark for the flow-control
+    // window. The socket shutdown at the end of streaming unblocks it.
+    let ack_lsn = Arc::new(AtomicU64::new(acked));
+    let mut ack_stream = stream
+        .try_clone()
+        .map_err(|e| hylite_common::HyError::Internal(format!("socket clone failed: {e}")))?;
+    let ack_thread = {
+        let ack_lsn = Arc::clone(&ack_lsn);
+        std::thread::Builder::new()
+            .name("hylite-repl-ack".into())
+            .spawn(move || {
+                while let Ok(Frame::ReplicaAck { lsn }) = wire::read_frame(&mut ack_stream) {
+                    ack_lsn.fetch_max(lsn, Ordering::AcqRel);
+                }
+            })
+            .map_err(|e| hylite_common::HyError::Internal(format!("spawn failed: {e}")))?
+    };
+
+    // (lsn, payload bytes) of sent-but-unacked frames, oldest first.
+    let mut in_flight: VecDeque<(u64, u64)> = VecDeque::new();
+    let mut unacked_bytes = 0u64;
+    let mut last_ack_progress = Instant::now();
+    let result = loop {
+        if shared.is_draining() {
+            break Ok(());
+        }
+        // Retire everything the replica has durably applied.
+        let a = ack_lsn.load(Ordering::Acquire);
+        if a > acked {
+            acked = a;
+            last_ack_progress = Instant::now();
+            while in_flight.front().is_some_and(|&(lsn, _)| lsn <= acked) {
+                let (_, bytes) = in_flight.pop_front().expect("front checked");
+                unacked_bytes = unacked_bytes.saturating_sub(bytes);
+            }
+        }
+        if unacked_bytes >= shared.config.repl_max_unacked_bytes {
+            if last_ack_progress.elapsed() >= shared.config.repl_ack_timeout {
+                // Slow replica: shed it rather than buffering without
+                // bound or stalling anything on the primary.
+                shared.metrics.counter("server.replicas_shed").inc();
+                break Err(hylite_common::HyError::Unavailable(format!(
+                    "replication ack window ({} bytes) stalled for {:?}; shedding replica",
+                    shared.config.repl_max_unacked_bytes, shared.config.repl_ack_timeout
+                )));
+            }
+            std::thread::sleep(shared.config.repl_poll_interval);
+            continue;
+        }
+        match durability.read_replication_tail(cursor, TAIL_BATCH_FRAMES)? {
+            ReplTail::Frames { frames, .. } => {
+                if frames.is_empty() {
+                    // Caught up; poll for new commits.
+                    std::thread::sleep(shared.config.repl_poll_interval);
+                    continue;
+                }
+                let mut write_failed = false;
+                for frame in frames {
+                    let bytes = frame.payload.len() as u64;
+                    let lsn = frame.lsn;
+                    if wire::write_frame(
+                        stream,
+                        &Frame::WalFrame {
+                            lsn,
+                            crc: frame.crc,
+                            payload: frame.payload,
+                        },
+                    )
+                    .is_err()
+                    {
+                        write_failed = true;
+                        break;
+                    }
+                    shared.metrics.counter("server.wal_frames_sent").inc();
+                    shared.metrics.counter("server.wal_bytes_sent").add(bytes);
+                    cursor = lsn + 1;
+                    in_flight.push_back((lsn, bytes));
+                    unacked_bytes += bytes;
+                }
+                if write_failed {
+                    break Ok(()); // peer went away
+                }
+            }
+            ReplTail::NeedSnapshot => {
+                // A local checkpoint truncated the frames the replica
+                // still needs; re-bootstrap in place. The replica
+                // handles SnapshotOffer at any point in the stream.
+                match send_bootstrap(stream, shared, durability, epoch) {
+                    Ok((c, a)) => {
+                        cursor = c;
+                        acked = a;
+                        ack_lsn.store(a, Ordering::Release);
+                        in_flight.clear();
+                        unacked_bytes = 0;
+                        last_ack_progress = Instant::now();
+                    }
+                    Err(_) => break Ok(()), // peer went away
+                }
+            }
+            ReplTail::Diverged { next_lsn } => {
+                // Same epoch but the replica claims commits this primary
+                // never made — a fork. Never stream over it.
+                break Err(hylite_common::HyError::Storage(format!(
+                    "replica resume lsn {cursor} is ahead of the primary's log (next lsn \
+                     {next_lsn}); diverged history, re-bootstrap required"
+                )));
+            }
+        }
+    };
+    // Wake and join the ack reader before the caller reports any error:
+    // its socket clone dies with this shutdown.
+    let _ = stream.shutdown(Shutdown::Read);
+    let _ = ack_thread.join();
+    result
+}
+
+/// Snapshot the committed state and offer it to the replica. Returns the
+/// `(cursor, acked)` pair streaming continues from.
+fn send_bootstrap(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    durability: &Durability,
+    epoch: u64,
+) -> Result<(u64, u64)> {
+    let (base_lsn, data) = durability.bootstrap_snapshot(shared.db.catalog())?;
+    wire::write_frame(
+        stream,
+        &Frame::SnapshotOffer {
+            epoch,
+            base_lsn,
+            data,
+        },
+    )?;
+    shared
+        .metrics
+        .counter("server.replica_bootstraps_sent")
+        .inc();
+    Ok((base_lsn, base_lsn.saturating_sub(1)))
+}

@@ -176,6 +176,12 @@ impl ServerHandle {
             let _ = t.join();
         }
     }
+
+    /// The shared server state (for the replica apply loop, which must be
+    /// able to stop the serving side when catch-up becomes unsafe).
+    pub(crate) fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
 }
 
 impl Drop for ServerHandle {

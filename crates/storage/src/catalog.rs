@@ -77,6 +77,14 @@ impl Catalog {
     pub fn table_names(&self) -> Vec<String> {
         self.tables.read().keys().cloned().collect()
     }
+
+    /// Drop every table at once. Used when a replica discards its local
+    /// state to install a bootstrap checkpoint from its primary; the
+    /// caller must hold the writer gate and the commit lock so no
+    /// session observes the catalog half-cleared.
+    pub fn clear(&self) {
+        self.tables.write().clear();
+    }
 }
 
 #[cfg(test)]

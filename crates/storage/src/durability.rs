@@ -26,18 +26,22 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use hylite_common::faultfs::Vfs;
-use hylite_common::{MetricsRegistry, Result};
+use hylite_common::{HyError, MetricsRegistry, Result};
 use parking_lot::Mutex;
 
 use crate::catalog::Catalog;
 use crate::checkpoint::{
-    encode_checkpoint, publish_checkpoint, CP_CKPT_AFTER_RENAME, CP_CKPT_RENAME, CP_CKPT_WRITE,
+    decode_checkpoint, encode_checkpoint, install_image, publish_checkpoint, CP_CKPT_AFTER_RENAME,
+    CP_CKPT_RENAME, CP_CKPT_WRITE,
 };
-use crate::recovery::{recover, RecoveryReport};
+use crate::recovery::{apply_op, recover, RecoveryReport};
+use crate::repl::{load_repl_state, next_epoch, store_repl_state, ReplRole, ReplState};
 use crate::wal::{
-    RedoOp, SyncMode, WalWriter, CP_WAL_AFTER_WRITE, CP_WAL_APPEND, CP_WAL_POST_FSYNC,
-    CP_WAL_PRE_FSYNC, CP_WAL_TRUNCATE, WAL_FILE,
+    decode_commit_payload, scan_wal_raw, RawFrame, RedoOp, SyncMode, WalWriter, CP_WAL_AFTER_WRITE,
+    CP_WAL_APPEND, CP_WAL_POST_FSYNC, CP_WAL_PRE_FSYNC, CP_WAL_TRUNCATE, WAL_FILE,
 };
 
 /// Every named crash point the durability code passes through, in rough
@@ -63,6 +67,16 @@ pub struct DurabilityOptions {
     /// Group-commit buffer threshold in bytes ([`SyncMode::Buffered`]
     /// only).
     pub group_commit_bytes: usize,
+    /// Role the directory opens under. A primary open mints a fresh
+    /// epoch (fencing every replica into a safety re-bootstrap after a
+    /// primary restart); a replica open preserves its epoch so catch-up
+    /// can resume from the last durably applied LSN.
+    pub role: ReplRole,
+    /// Allow opening a directory last used as a replica in the
+    /// [`ReplRole::Primary`] role (failover promotion). Without this, a
+    /// replica directory refuses to open as a primary — the fence
+    /// against accidentally writing to (and forking) a follower.
+    pub promote: bool,
 }
 
 impl Default for DurabilityOptions {
@@ -70,8 +84,34 @@ impl Default for DurabilityOptions {
         DurabilityOptions {
             sync_mode: SyncMode::Commit,
             group_commit_bytes: 256 * 1024,
+            role: ReplRole::Primary,
+            promote: false,
         }
     }
+}
+
+/// What [`Durability::read_replication_tail`] found for a replica's
+/// resume position.
+#[derive(Debug)]
+pub enum ReplTail {
+    /// The stream continues: zero or more frames starting exactly at the
+    /// requested LSN (empty when the replica is caught up).
+    Frames {
+        /// CRC-verified frames in LSN order.
+        frames: Vec<RawFrame>,
+        /// The primary's next LSN (the caught-up watermark).
+        next_lsn: u64,
+    },
+    /// The requested LSN was truncated by a checkpoint; the replica must
+    /// re-bootstrap from a snapshot.
+    NeedSnapshot,
+    /// The replica claims an LSN the primary has not issued yet: its
+    /// history forked from ours (e.g. it followed a different primary).
+    /// It must re-bootstrap.
+    Diverged {
+        /// The primary's next LSN, for the error message.
+        next_lsn: u64,
+    },
 }
 
 /// Outcome of one checkpoint.
@@ -95,6 +135,13 @@ pub struct Durability {
     dir: PathBuf,
     metrics: Arc<MetricsRegistry>,
     wal: Mutex<WalWriter>,
+    /// The directory's role this incarnation (fixed until restart —
+    /// promotion is restart-based).
+    role: ReplRole,
+    /// Current replication epoch. Mutated only by
+    /// [`Durability::install_bootstrap`] (a replica adopting its
+    /// primary's epoch).
+    epoch: AtomicU64,
 }
 
 impl Durability {
@@ -108,6 +155,43 @@ impl Durability {
         metrics: Arc<MetricsRegistry>,
     ) -> Result<(Durability, Catalog, RecoveryReport)> {
         let (catalog, report) = recover(&vfs, dir, &metrics)?;
+        let prior = load_repl_state(vfs.as_ref(), dir)?;
+        let epoch = match options.role {
+            ReplRole::Primary => {
+                if matches!(
+                    prior,
+                    Some(ReplState {
+                        role: ReplRole::Replica,
+                        ..
+                    })
+                ) && !options.promote
+                {
+                    return Err(HyError::Storage(format!(
+                        "{} was last used as a replica; opening it writable would fork \
+                         its history — pass --promote to take over as primary",
+                        dir.display()
+                    )));
+                }
+                // Every primary incarnation gets a fresh epoch. This
+                // deliberately fences replicas out after *any* primary
+                // restart: in Buffered mode the restart may have lost an
+                // acknowledged tail a replica already applied, and a
+                // resumed stream would fork silently. The cost is a
+                // conservative re-bootstrap after clean restarts too.
+                next_epoch(prior.map_or(0, |s| s.epoch))
+            }
+            // A replica keeps its epoch so it can prove its history is a
+            // prefix of its primary's and resume without a snapshot.
+            ReplRole::Replica => prior.map_or(0, |s| s.epoch),
+        };
+        store_repl_state(
+            vfs.as_ref(),
+            dir,
+            ReplState {
+                role: options.role,
+                epoch,
+            },
+        )?;
         let wal = WalWriter::open(
             Arc::clone(&vfs),
             dir.join(WAL_FILE),
@@ -122,6 +206,8 @@ impl Durability {
                 dir: dir.to_owned(),
                 metrics,
                 wal: Mutex::new(wal),
+                role: options.role,
+                epoch: AtomicU64::new(epoch),
             },
             catalog,
             report,
@@ -206,6 +292,139 @@ impl Durability {
     pub fn close(&self, catalog: &Catalog) -> Result<CheckpointStats> {
         self.checkpoint(catalog)
     }
+
+    // -- replication ------------------------------------------------------
+
+    /// The role this directory was opened under.
+    pub fn role(&self) -> ReplRole {
+        self.role
+    }
+
+    /// The current replication epoch (see [`crate::repl`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Bytes of the WAL known durable. Replicas use this as their
+    /// checkpoint-pressure signal.
+    pub fn wal_durable_len(&self) -> u64 {
+        self.wal.lock().durable_len()
+    }
+
+    /// The next LSN the local WAL will assign (one past the last durable
+    /// commit). A replica resumes replication at exactly this LSN.
+    pub fn next_lsn(&self) -> u64 {
+        self.wal.lock().next_lsn()
+    }
+
+    /// Read the WAL tail a replica resuming at `from_lsn` needs, at most
+    /// `max_frames` frames per call. Serves only durable (flushed)
+    /// frames; holds the commit lock for the duration so the tail is
+    /// always a consistent prefix of the log.
+    pub fn read_replication_tail(&self, from_lsn: u64, max_frames: usize) -> Result<ReplTail> {
+        let mut wal = self.wal.lock();
+        let next_lsn = wal.next_lsn();
+        if from_lsn > next_lsn {
+            return Ok(ReplTail::Diverged { next_lsn });
+        }
+        if from_lsn == next_lsn {
+            return Ok(ReplTail::Frames {
+                frames: Vec::new(),
+                next_lsn,
+            });
+        }
+        // The requested frames exist; make sure they are on disk (group
+        // commit may still be buffering them) and serve from the file,
+        // re-verifying each CRC on the way out.
+        wal.flush()?;
+        let frames = scan_wal_raw(self.vfs.as_ref(), &self.dir.join(WAL_FILE))?;
+        match frames.iter().position(|f| f.lsn == from_lsn) {
+            Some(i) => {
+                let upper = frames.len().min(i + max_frames.max(1));
+                Ok(ReplTail::Frames {
+                    frames: frames[i..upper].to_vec(),
+                    next_lsn,
+                })
+            }
+            // Truncated by a checkpoint: the history exists but not in
+            // log form any more.
+            None => Ok(ReplTail::NeedSnapshot),
+        }
+    }
+
+    /// Encode a bootstrap snapshot for a replica: a checkpoint image of
+    /// the current committed state, consistent as of the returned
+    /// `base_lsn`. Holds the commit lock while encoding (commits queue;
+    /// readers unaffected) and does **not** publish the image locally —
+    /// the primary's own checkpoint schedule is unchanged.
+    pub fn bootstrap_snapshot(&self, catalog: &Catalog) -> Result<(u64, Vec<u8>)> {
+        let mut wal = self.wal.lock();
+        wal.flush()?;
+        let base_lsn = wal.next_lsn();
+        let data = encode_checkpoint(catalog, base_lsn);
+        Ok((base_lsn, data))
+    }
+
+    /// Apply one replicated WAL frame: re-verify its CRC, require it to
+    /// continue the local log exactly (LSN gap ⇒ error, see
+    /// [`WalWriter::append_raw_frame`]), make it durable, then apply its
+    /// ops through the normal redo path — all inside the commit-lock
+    /// critical section, so a concurrent replica checkpoint observes the
+    /// append and the publish atomically. Returns the number of redo ops
+    /// applied.
+    pub fn apply_replicated_frame(
+        &self,
+        catalog: &Catalog,
+        lsn: u64,
+        crc: u32,
+        payload: &[u8],
+    ) -> Result<u64> {
+        // Decode before touching the file: a CRC-valid frame that fails
+        // to parse is corruption and must not become durable here.
+        let (payload_lsn, ops) = decode_commit_payload(payload)?;
+        if payload_lsn != lsn {
+            return Err(HyError::Storage(format!(
+                "replicated frame header lsn {lsn} disagrees with payload lsn {payload_lsn}"
+            )));
+        }
+        let mut wal = self.wal.lock();
+        wal.append_raw_frame(lsn, crc, payload)?;
+        let mut applied = 0u64;
+        for op in ops {
+            if apply_op(catalog, op) {
+                applied += 1;
+            }
+        }
+        self.metrics.counter("repl.frames_applied").inc();
+        Ok(applied)
+    }
+
+    /// Replace this replica's entire local state with a bootstrap
+    /// snapshot from its primary: publish the checkpoint image, reset
+    /// the WAL to restart at the image's base LSN, swap the catalog
+    /// contents, and durably adopt the primary's epoch. The caller must
+    /// hold the writer gate so no session observes the swap half-done.
+    pub fn install_bootstrap(&self, catalog: &Catalog, epoch: u64, data: &[u8]) -> Result<u64> {
+        let image = decode_checkpoint(data)?;
+        let base_lsn = image.base_lsn;
+        let mut wal = self.wal.lock();
+        publish_checkpoint(self.vfs.as_ref(), &self.dir, data)?;
+        wal.reset()?;
+        wal.set_next_lsn(base_lsn);
+        catalog.clear();
+        let rows = install_image(image, catalog)?;
+        store_repl_state(
+            self.vfs.as_ref(),
+            &self.dir,
+            ReplState {
+                role: self.role,
+                epoch,
+            },
+        )?;
+        self.epoch.store(epoch, Ordering::SeqCst);
+        self.metrics.counter("repl.bootstraps").inc();
+        Ok(rows)
+    }
 }
 
 #[cfg(test)]
@@ -275,5 +494,184 @@ mod tests {
         assert_eq!(CRASH_POINTS.len(), 8);
         let unique: std::collections::BTreeSet<_> = CRASH_POINTS.iter().collect();
         assert_eq!(unique.len(), CRASH_POINTS.len());
+    }
+
+    fn replica_options() -> DurabilityOptions {
+        DurabilityOptions {
+            role: ReplRole::Replica,
+            ..DurabilityOptions::default()
+        }
+    }
+
+    fn mirror_insert(catalog: &Catalog, v: i64) {
+        let t = catalog.get_table("t").unwrap();
+        let mut g = t.write();
+        g.insert_rows(&[vec![hylite_common::Value::Int(v)]])
+            .unwrap();
+        g.commit();
+    }
+
+    fn make_table(catalog: &Catalog) {
+        catalog
+            .create_table("t", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
+    }
+
+    #[test]
+    fn primary_open_mints_fresh_epoch_and_replica_open_keeps_it() {
+        let fault = FaultVfs::new();
+        let (d, _, _) = open_fault(&fault, DurabilityOptions::default());
+        let e1 = d.epoch();
+        assert_ne!(e1, 0);
+        assert_eq!(d.role(), ReplRole::Primary);
+        drop(d);
+        let (d, _, _) = open_fault(&fault, DurabilityOptions::default());
+        assert_ne!(d.epoch(), e1, "every primary incarnation is a new epoch");
+        drop(d);
+
+        let replica = FaultVfs::new();
+        let (r, _, _) = open_fault(&replica, replica_options());
+        assert_eq!(r.epoch(), 0, "fresh replica has no epoch");
+        assert_eq!(r.role(), ReplRole::Replica);
+        drop(r);
+        let (r, _, _) = open_fault(&replica, replica_options());
+        assert_eq!(r.epoch(), 0, "replica reopen preserves its epoch");
+    }
+
+    #[test]
+    fn replica_dir_refuses_primary_open_without_promote() {
+        let fault = FaultVfs::new();
+        let (r, _, _) = open_fault(&fault, replica_options());
+        drop(r);
+        let err = Durability::open(
+            Arc::new(fault.clone()) as Arc<dyn Vfs>,
+            &PathBuf::from("data"),
+            DurabilityOptions::default(),
+            Arc::new(MetricsRegistry::new()),
+        )
+        .unwrap_err();
+        assert!(err.message().contains("--promote"), "{err}");
+        // Promotion takes over with a fresh epoch.
+        let (p, _, _) = open_fault(
+            &fault,
+            DurabilityOptions {
+                promote: true,
+                ..DurabilityOptions::default()
+            },
+        );
+        assert_eq!(p.role(), ReplRole::Primary);
+        assert_ne!(p.epoch(), 0);
+    }
+
+    #[test]
+    fn replication_tail_serves_resume_points() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        make_table(&catalog);
+        d.log_commit(&[create()]).unwrap(); // lsn 1
+        d.log_commit(&[insert(1)]).unwrap(); // lsn 2
+        d.log_commit(&[insert(2)]).unwrap(); // lsn 3
+
+        // Caught-up replica gets an empty tail.
+        match d.read_replication_tail(4, 64).unwrap() {
+            ReplTail::Frames { frames, next_lsn } => {
+                assert!(frames.is_empty());
+                assert_eq!(next_lsn, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Mid-log resume gets exactly the missing suffix.
+        match d.read_replication_tail(2, 64).unwrap() {
+            ReplTail::Frames { frames, next_lsn } => {
+                assert_eq!(frames.iter().map(|f| f.lsn).collect::<Vec<_>>(), vec![2, 3]);
+                assert_eq!(next_lsn, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        // max_frames bounds the batch.
+        match d.read_replication_tail(1, 2).unwrap() {
+            ReplTail::Frames { frames, .. } => {
+                assert_eq!(frames.iter().map(|f| f.lsn).collect::<Vec<_>>(), vec![1, 2]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A replica ahead of the primary has forked.
+        assert!(matches!(
+            d.read_replication_tail(99, 64).unwrap(),
+            ReplTail::Diverged { next_lsn: 4 }
+        ));
+        // After a checkpoint truncates the WAL, old LSNs need a snapshot.
+        mirror_insert(&catalog, 1);
+        mirror_insert(&catalog, 2);
+        d.checkpoint(&catalog).unwrap();
+        assert!(matches!(
+            d.read_replication_tail(2, 64).unwrap(),
+            ReplTail::NeedSnapshot
+        ));
+    }
+
+    #[test]
+    fn bootstrap_roundtrip_applies_frames_after_snapshot() {
+        // Primary: two committed rows, then a snapshot, then one more row.
+        let primary = FaultVfs::new();
+        let (p, pcat, _) = open_fault(&primary, DurabilityOptions::default());
+        make_table(&pcat);
+        p.log_commit(&[create()]).unwrap();
+        p.log_commit(&[insert(1)]).unwrap();
+        mirror_insert(&pcat, 1);
+        let (base_lsn, snapshot) = p.bootstrap_snapshot(&pcat).unwrap();
+        assert_eq!(base_lsn, 3);
+        p.log_commit(&[insert(2)]).unwrap(); // lsn 3
+        mirror_insert(&pcat, 2);
+
+        // Replica: install the snapshot, then apply the tail.
+        let replica = FaultVfs::new();
+        let (r, rcat, _) = open_fault(&replica, replica_options());
+        let rows = r.install_bootstrap(&rcat, p.epoch(), &snapshot).unwrap();
+        assert_eq!(rows, 1);
+        assert_eq!(r.epoch(), p.epoch(), "replica adopted the primary's epoch");
+        let tail = match p.read_replication_tail(base_lsn, 64).unwrap() {
+            ReplTail::Frames { frames, .. } => frames,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tail.len(), 1);
+        for f in &tail {
+            r.apply_replicated_frame(&rcat, f.lsn, f.crc, &f.payload)
+                .unwrap();
+        }
+        let t = rcat.get_table("t").unwrap();
+        assert_eq!(t.read().committed_live_rows(), 2);
+
+        // A replica restart resumes from its durable LSN, not a snapshot.
+        drop(r);
+        let (r, rcat, report) = open_fault(&replica, replica_options());
+        assert_eq!(r.epoch(), p.epoch(), "epoch survives the restart");
+        assert_eq!(report.next_lsn, 4);
+        assert_eq!(
+            rcat.get_table("t").unwrap().read().committed_live_rows(),
+            2,
+            "checkpoint + applied frame both recovered"
+        );
+    }
+
+    #[test]
+    fn applied_frame_with_wrong_payload_lsn_is_rejected() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        make_table(&catalog);
+        let frame = crate::wal::encode_commit_frame(1, &[insert(1)]);
+        let payload = frame[8..].to_vec();
+        let crc = hylite_common::crc32(&payload);
+        // Header lsn 2 vs payload lsn 1: refused before anything lands.
+        assert!(d
+            .apply_replicated_frame(&catalog, 2, crc, &payload)
+            .is_err());
+        assert_eq!(
+            d.read_replication_tail(1, 64).ok().map(|t| match t {
+                ReplTail::Frames { frames, .. } => frames.len(),
+                _ => usize::MAX,
+            }),
+            Some(0)
+        );
     }
 }

@@ -18,6 +18,7 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod durability;
 pub mod recovery;
+pub mod repl;
 pub mod snapshot;
 pub mod table;
 pub mod transaction;
@@ -26,10 +27,11 @@ pub mod writer;
 
 pub use catalog::Catalog;
 pub use checkpoint::CheckpointImage;
-pub use durability::{CheckpointStats, Durability, DurabilityOptions, CRASH_POINTS};
+pub use durability::{CheckpointStats, Durability, DurabilityOptions, ReplTail, CRASH_POINTS};
 pub use recovery::RecoveryReport;
+pub use repl::{ReplRole, ReplState};
 pub use snapshot::{Morsel, TableSnapshot};
 pub use table::{Table, TableRef, SEGMENT_ROWS};
 pub use transaction::Transaction;
-pub use wal::{RedoOp, SyncMode, WalWriter};
+pub use wal::{RawFrame, RedoOp, SyncMode, WalWriter};
 pub use writer::{WriterGate, WriterGuard};

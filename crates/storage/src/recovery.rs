@@ -48,6 +48,13 @@ pub struct RecoveryReport {
     pub skipped_ops: u64,
     /// Bytes of torn/corrupt WAL tail discarded.
     pub discarded_bytes: u64,
+    /// Set when a CRC-valid frame did not continue the replay LSN
+    /// sequence (`(expected, found)`); the WAL was truncated at the last
+    /// contiguous frame. Replication reuses this check: a gap means the
+    /// log forked, and replaying past it would silently diverge.
+    pub lsn_gap: Option<(u64, u64)>,
+    /// CRC-valid commit records dropped by the LSN-gap truncation.
+    pub gap_dropped_records: u64,
     /// Highest LSN whose effects are visible after recovery.
     pub recovered_lsn: u64,
     /// The LSN the next commit will receive.
@@ -57,19 +64,28 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// One-line human-readable summary (the server logs this).
     pub fn summary(&self) -> String {
+        let gap = match self.lsn_gap {
+            Some((expected, found)) => format!(
+                ", lsn gap at {found} (expected {expected}): {} records dropped",
+                self.gap_dropped_records
+            ),
+            None => String::new(),
+        };
         format!(
-            "recovered to lsn {} ({} checkpoint rows, {} wal records replayed, {} ops skipped, {} torn bytes discarded)",
+            "recovered to lsn {} ({} checkpoint rows, {} wal records replayed, {} ops skipped, {} torn bytes discarded{gap})",
             self.recovered_lsn,
             self.checkpoint_rows,
             self.replayed_records,
             self.skipped_ops,
-            self.discarded_bytes
+            self.discarded_bytes,
         )
     }
 }
 
-/// Apply one redo op; returns `false` if it had to be skipped.
-fn apply_op(catalog: &Catalog, op: RedoOp) -> bool {
+/// Apply one redo op; returns `false` if it had to be skipped. The
+/// replication apply path reuses this so replicated frames go through
+/// exactly the redo machinery recovery uses.
+pub(crate) fn apply_op(catalog: &Catalog, op: RedoOp) -> bool {
     match op {
         RedoOp::CreateTable { name, schema } => catalog.create_table(&name, schema).is_ok(),
         RedoOp::DropTable { name } => catalog.drop_table(&name, true).is_ok(),
@@ -133,10 +149,45 @@ pub fn recover(
     }
 
     let wal_path = dir.join(WAL_FILE);
-    let scan = scan_wal(vfs.as_ref(), &wal_path)?;
+    let mut scan = scan_wal(vfs.as_ref(), &wal_path)?;
     if scan.discarded_bytes > 0 {
         vfs.truncate(&wal_path, scan.valid_len)?;
         report.discarded_bytes = scan.discarded_bytes;
+    }
+    // LSN-gap check: the frames recovery will replay (lsn >= base_lsn)
+    // must form a contiguous sequence starting at the checkpoint's base
+    // LSN. CRC catches torn and bit-flipped frames but not a *missing*
+    // frame (e.g. a hole left by mixing WAL files from different
+    // histories); replaying past a hole would silently produce a state
+    // no primary ever had, so the log is cut at the last contiguous
+    // frame instead.
+    let mut prev_replayed: Option<u64> = None;
+    let mut cut: Option<(usize, u64, u64)> = None;
+    for (i, (lsn, _)) in scan.commits.iter().enumerate() {
+        if *lsn < report.base_lsn {
+            continue; // inside the checkpoint; never replayed
+        }
+        let expected = match prev_replayed {
+            Some(p) => p + 1,
+            None => report.base_lsn.max(1),
+        };
+        if *lsn != expected {
+            cut = Some((i, expected, *lsn));
+            break;
+        }
+        prev_replayed = Some(*lsn);
+    }
+    if let Some((i, expected, found)) = cut {
+        let keep_len = if i == 0 {
+            crate::wal::WAL_HEADER_LEN
+        } else {
+            scan.frame_ends[i - 1]
+        };
+        report.lsn_gap = Some((expected, found));
+        report.gap_dropped_records = (scan.commits.len() - i) as u64;
+        report.discarded_bytes += scan.valid_len - keep_len;
+        vfs.truncate(&wal_path, keep_len)?;
+        scan.commits.truncate(i);
     }
     let mut last_lsn = 0u64;
     for (lsn, ops) in scan.commits {
@@ -317,6 +368,69 @@ mod tests {
         let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
         assert!(!catalog.has_table("t"));
         assert_eq!(report.skipped_ops, 1);
+    }
+
+    #[test]
+    fn lsn_gap_truncates_at_last_contiguous_frame() {
+        let (vfs, fault, dir) = setup();
+        let mut w = wal(&vfs, &dir, 1);
+        w.log_commit(&[RedoOp::CreateTable {
+            name: "t".into(),
+            schema: schema(),
+        }])
+        .unwrap();
+        w.log_commit(&[insert("t", 1)]).unwrap(); // lsn 2
+        let wal_path = dir.join(WAL_FILE);
+        let good_len = fault.file_len(&wal_path).unwrap() as u64;
+        // A CRC-valid frame that skips lsn 3 entirely: a forked history,
+        // not a torn tail.
+        let mut w = wal(&vfs, &dir, 4);
+        w.log_commit(&[insert("t", 99)]).unwrap(); // lsn 4 — gap!
+        w.log_commit(&[insert("t", 100)]).unwrap(); // lsn 5 — dropped too
+        let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        assert_eq!(report.lsn_gap, Some((3, 4)));
+        assert_eq!(report.gap_dropped_records, 2);
+        assert_eq!(report.replayed_records, 2);
+        assert!(report.discarded_bytes > 0);
+        assert_eq!(
+            fault.file_len(&wal_path).unwrap() as u64,
+            good_len,
+            "file truncated at the last contiguous frame"
+        );
+        assert_eq!(
+            catalog.get_table("t").unwrap().read().committed_live_rows(),
+            1,
+            "post-gap frames were not applied"
+        );
+        assert!(report.summary().contains("lsn gap"));
+        // A second recovery of the repaired file is clean.
+        let (_, report2) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        assert_eq!(report2.lsn_gap, None);
+        assert_eq!(report2.next_lsn, 3);
+    }
+
+    #[test]
+    fn lsn_jump_up_to_base_lsn_is_not_a_gap() {
+        // The crash-between-checkpoint-publish-and-truncate shape: frames
+        // below base_lsn may end anywhere, and replay starts exactly at
+        // base_lsn. That jump is legal; only holes in the *replayed*
+        // sequence are divergence.
+        let (vfs, _, dir) = setup();
+        let catalog = Catalog::new();
+        let t = catalog.create_table("t", schema()).unwrap();
+        {
+            let mut g = t.write();
+            g.insert_rows(&[vec![Value::Int(10)]]).unwrap();
+            g.commit();
+        }
+        publish_checkpoint(vfs.as_ref(), &dir, &encode_checkpoint(&catalog, 5)).unwrap();
+        let mut w = wal(&vfs, &dir, 1);
+        w.log_commit(&[insert("t", 999)]).unwrap(); // lsn 1 — pre-checkpoint
+        let mut w = wal(&vfs, &dir, 5);
+        w.log_commit(&[insert("t", 20)]).unwrap(); // lsn 5 == base_lsn
+        let (_, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        assert_eq!(report.lsn_gap, None);
+        assert_eq!(report.replayed_records, 1);
     }
 
     #[test]

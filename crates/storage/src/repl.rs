@@ -1,0 +1,226 @@
+//! Replication identity: the persisted role + epoch of a data directory.
+//!
+//! Replication needs a cheap way to answer "is this replica's history a
+//! prefix of this primary's history?". CRCs catch torn frames and the
+//! LSN-gap check catches holes, but neither catches the *fork* case: a
+//! primary crashes losing its buffered WAL tail, restarts, and re-issues
+//! the same LSNs for different commits. A replica that had applied the
+//! lost tail would then resume mid-fork and silently diverge.
+//!
+//! The guard is an **epoch**: a random nonzero token minted every time a
+//! data directory is opened as a primary. The epoch identifies one
+//! *incarnation* of a primary's history. A replica remembers the epoch it
+//! bootstrapped from and presents it when it reconnects; any mismatch —
+//! including the conservative false positives from a clean primary
+//! restart — forces a re-bootstrap from a fresh checkpoint instead of a
+//! resume. Epochs are compared for equality only, never ordered.
+//!
+//! Role is persisted alongside the epoch as a fence against accidental
+//! split-brain: a directory last opened as a replica refuses to open as a
+//! primary unless promotion is requested explicitly.
+//!
+//! On-disk layout of `replstate.hylite`:
+//!
+//! ```text
+//! [u32 magic "HYRP"] [u32 version] [u8 role] [u64 epoch] [u32 crc32]
+//! ```
+//!
+//! written with the same tmp + fsync + atomic-rename discipline as the
+//! checkpoint, so a crash mid-write leaves the previous state intact.
+
+use std::path::Path;
+use std::time::SystemTime;
+
+use hylite_common::faultfs::Vfs;
+use hylite_common::wire::{self, ByteReader};
+use hylite_common::{crc32, HyError, Result};
+
+/// Magic number opening the replication state file (`"HYRP"`).
+pub const REPL_STATE_MAGIC: u32 = 0x4859_5250;
+/// Replication state format version.
+pub const REPL_STATE_VERSION: u32 = 1;
+/// File name of the replication state inside the data directory.
+pub const REPL_STATE_FILE: &str = "replstate.hylite";
+/// Scratch name the state is written to before the atomic rename.
+pub const REPL_STATE_TMP_FILE: &str = "replstate.tmp";
+
+/// Whether a data directory serves writes or follows a primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Accepts writes and streams its WAL to replicas.
+    Primary,
+    /// Read-only; applies a primary's WAL stream.
+    Replica,
+}
+
+impl ReplRole {
+    fn as_u8(self) -> u8 {
+        match self {
+            ReplRole::Primary => 1,
+            ReplRole::Replica => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ReplRole> {
+        match v {
+            1 => Ok(ReplRole::Primary),
+            2 => Ok(ReplRole::Replica),
+            other => Err(HyError::Storage(format!(
+                "replication state has unknown role tag {other}"
+            ))),
+        }
+    }
+}
+
+/// The persisted replication identity of a data directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplState {
+    /// Last role the directory was opened under.
+    pub role: ReplRole,
+    /// The primary-incarnation epoch this directory's history belongs
+    /// to. `0` on a replica means "never bootstrapped" and always forces
+    /// a snapshot.
+    pub epoch: u64,
+}
+
+/// Mint a fresh nonzero epoch, mixing wall-clock entropy with the
+/// previous epoch so even two opens in the same clock tick differ.
+pub fn next_epoch(prev: u64) -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut e = splitmix64(nanos ^ prev.rotate_left(32));
+    if e == 0 {
+        e = 1; // 0 is reserved for "never bootstrapped"
+    }
+    e
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Load the replication state of a data directory, `None` if the
+/// directory predates replication (or is fresh). A present-but-corrupt
+/// state file is a hard error: guessing a role or epoch could serve
+/// forked data.
+pub fn load_repl_state(vfs: &dyn Vfs, dir: &Path) -> Result<Option<ReplState>> {
+    let path = dir.join(REPL_STATE_FILE);
+    if !vfs.exists(&path) {
+        return Ok(None);
+    }
+    let bytes = vfs.read(&path)?;
+    let mut r = ByteReader::new(&bytes);
+    let (magic, version) = (r.u32()?, r.u32()?);
+    if magic != REPL_STATE_MAGIC {
+        return Err(HyError::Storage(format!(
+            "{} is not a HyLite replication state file (magic {magic:#010x})",
+            path.display()
+        )));
+    }
+    if version != REPL_STATE_VERSION {
+        return Err(HyError::Storage(format!(
+            "replication state version {version} not supported (this build reads {REPL_STATE_VERSION})"
+        )));
+    }
+    let role = r.u8()?;
+    let epoch = r.u64()?;
+    let crc = r.u32()?;
+    if !r.is_empty() {
+        return Err(HyError::Storage(
+            "replication state file has trailing bytes".into(),
+        ));
+    }
+    if crc32(&bytes[8..17]) != crc {
+        return Err(HyError::Storage(
+            "replication state file failed its CRC check".into(),
+        ));
+    }
+    Ok(Some(ReplState {
+        role: ReplRole::from_u8(role)?,
+        epoch,
+    }))
+}
+
+/// Durably persist the replication state: tmp file, fsync, directory
+/// sync, atomic rename.
+pub fn store_repl_state(vfs: &dyn Vfs, dir: &Path, state: ReplState) -> Result<()> {
+    let mut buf = Vec::with_capacity(21);
+    wire::put_u32(&mut buf, REPL_STATE_MAGIC);
+    wire::put_u32(&mut buf, REPL_STATE_VERSION);
+    buf.push(state.role.as_u8());
+    wire::put_u64(&mut buf, state.epoch);
+    let crc = crc32(&buf[8..17]);
+    wire::put_u32(&mut buf, crc);
+
+    let tmp = dir.join(REPL_STATE_TMP_FILE);
+    let path = dir.join(REPL_STATE_FILE);
+    {
+        let mut f = vfs.create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync()?;
+    }
+    vfs.sync_dir(dir)?;
+    vfs.rename(&tmp, &path)?;
+    vfs.sync_dir(dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hylite_common::FaultVfs;
+    use std::path::PathBuf;
+
+    #[test]
+    fn state_roundtrips() {
+        let fault = FaultVfs::new();
+        let dir = PathBuf::from("data");
+        fault.create_dir_all(&dir).unwrap();
+        assert_eq!(load_repl_state(&fault, &dir).unwrap(), None);
+        let state = ReplState {
+            role: ReplRole::Replica,
+            epoch: 0xABCD_EF01_2345_6789,
+        };
+        store_repl_state(&fault, &dir, state).unwrap();
+        assert_eq!(load_repl_state(&fault, &dir).unwrap(), Some(state));
+        // Overwrite with a new role/epoch.
+        let promoted = ReplState {
+            role: ReplRole::Primary,
+            epoch: 7,
+        };
+        store_repl_state(&fault, &dir, promoted).unwrap();
+        assert_eq!(load_repl_state(&fault, &dir).unwrap(), Some(promoted));
+    }
+
+    #[test]
+    fn corrupt_state_is_fatal() {
+        let fault = FaultVfs::new();
+        let dir = PathBuf::from("data");
+        fault.create_dir_all(&dir).unwrap();
+        store_repl_state(
+            &fault,
+            &dir,
+            ReplState {
+                role: ReplRole::Primary,
+                epoch: 42,
+            },
+        )
+        .unwrap();
+        fault.corrupt(&dir.join(REPL_STATE_FILE), 12, 0x10).unwrap();
+        assert!(load_repl_state(&fault, &dir).is_err());
+    }
+
+    #[test]
+    fn epochs_are_nonzero_and_vary() {
+        let a = next_epoch(0);
+        let b = next_epoch(a);
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b, "mixing in the previous epoch breaks clock ties");
+    }
+}

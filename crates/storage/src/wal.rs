@@ -183,7 +183,10 @@ pub fn encode_commit_frame(lsn: u64, ops: &[RedoOp]) -> Vec<u8> {
     frame
 }
 
-fn decode_commit_payload(payload: &[u8]) -> Result<(u64, Vec<RedoOp>)> {
+/// Decode a commit-frame payload (`[u64 lsn][u32 nops][ops...]`) into its
+/// LSN and redo ops. Replication uses this on replica-received frames;
+/// recovery uses it on frames scanned from disk.
+pub fn decode_commit_payload(payload: &[u8]) -> Result<(u64, Vec<RedoOp>)> {
     let mut r = ByteReader::new(payload);
     let lsn = r.u64()?;
     let nops = r.u32()? as usize;
@@ -205,11 +208,75 @@ fn decode_commit_payload(payload: &[u8]) -> Result<(u64, Vec<RedoOp>)> {
 pub struct WalScan {
     /// Valid commits in LSN order, `(lsn, ops)`.
     pub commits: Vec<(u64, Vec<RedoOp>)>,
+    /// Byte offset of the first byte *after* each commit's frame,
+    /// parallel to `commits`. Recovery uses these to truncate the file
+    /// at an exact frame boundary when it rejects a later frame (e.g. an
+    /// LSN gap).
+    pub frame_ends: Vec<u64>,
     /// Byte length of the valid prefix (header + valid frames). The file
     /// should be truncated to this length before appending again.
     pub valid_len: u64,
     /// Bytes past the valid prefix (torn/corrupt tail).
     pub discarded_bytes: u64,
+}
+
+/// One CRC-verified WAL frame in raw (undecoded) form: what replication
+/// ships to replicas. `payload` is the exact bytes the CRC covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawFrame {
+    /// The commit's log sequence number.
+    pub lsn: u64,
+    /// CRC32 of `payload` as stored in the file.
+    pub crc: u32,
+    /// The frame payload (`[lsn][nops][ops...]`).
+    pub payload: Vec<u8>,
+}
+
+/// Scan a WAL file into raw CRC-verified frames without decoding ops,
+/// stopping at the first torn or corrupt frame (same tail rules as
+/// [`scan_wal`]). The LSN is peeked from the payload head; a CRC-valid
+/// frame too short to carry an LSN is real corruption and errors out.
+pub fn scan_wal_raw(vfs: &dyn Vfs, path: &Path) -> Result<Vec<RawFrame>> {
+    let mut frames = Vec::new();
+    if !vfs.exists(path) {
+        return Ok(frames);
+    }
+    let bytes = vfs.read(path)?;
+    if (bytes.len() as u64) < WAL_HEADER_LEN {
+        return Ok(frames);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != WAL_MAGIC {
+        return Err(HyError::Storage(format!(
+            "{} is not a HyLite WAL (magic {magic:#010x})",
+            path.display()
+        )));
+    }
+    let mut pos = WAL_HEADER_LEN as usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len == 0 || len as u64 > MAX_FRAME_BYTES as u64 || pos + 8 + len > bytes.len() {
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        if payload.len() < 8 {
+            return Err(HyError::Storage(
+                "WAL frame too short to carry an LSN".into(),
+            ));
+        }
+        let lsn = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+        frames.push(RawFrame {
+            lsn,
+            crc,
+            payload: payload.to_vec(),
+        });
+        pos += 8 + len;
+    }
+    Ok(frames)
 }
 
 /// Scan a WAL file, stopping at the first torn or corrupt frame.
@@ -257,6 +324,7 @@ pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan> {
         let (lsn, ops) = decode_commit_payload(payload)?;
         scan.commits.push((lsn, ops));
         pos += 8 + len;
+        scan.frame_ends.push(pos as u64);
     }
     scan.valid_len = pos as u64;
     scan.discarded_bytes = bytes.len() as u64 - scan.valid_len;
@@ -353,9 +421,61 @@ impl WalWriter {
         self.next_lsn
     }
 
+    /// Override the next LSN. Only valid on an empty (just-reset) WAL:
+    /// a replica installing a bootstrap checkpoint restarts its log at
+    /// the snapshot's base LSN.
+    pub fn set_next_lsn(&mut self, lsn: u64) {
+        debug_assert!(self.buffer.is_empty(), "set_next_lsn on a dirty WAL");
+        self.next_lsn = lsn.max(1);
+    }
+
     /// The configured sync mode.
     pub fn sync_mode(&self) -> SyncMode {
         self.sync_mode
+    }
+
+    /// Bytes of the file known durable (written + fsynced). Replicas use
+    /// this as a cheap checkpoint-pressure signal.
+    pub fn durable_len(&self) -> u64 {
+        self.durable_len
+    }
+
+    /// Append a WAL frame received verbatim from a replication primary.
+    ///
+    /// The frame keeps the primary's LSN so the replica's WAL is
+    /// byte-compatible with the primary's and catch-up can resume from
+    /// `next_lsn - 1` after any crash. `lsn` must be exactly the next
+    /// expected LSN — a gap means the stream diverged and the caller
+    /// must re-bootstrap instead of applying a forked history. The frame
+    /// is written *and fsynced* before this returns `Ok` regardless of
+    /// sync mode: a replica only acknowledges durably applied LSNs.
+    pub fn append_raw_frame(&mut self, lsn: u64, crc: u32, payload: &[u8]) -> Result<()> {
+        self.check_poisoned()?;
+        if crc32(payload) != crc {
+            return Err(HyError::Storage(format!(
+                "replicated frame lsn {lsn} failed its CRC check"
+            )));
+        }
+        if lsn != self.next_lsn {
+            return Err(HyError::Storage(format!(
+                "replicated frame lsn {lsn} does not continue the local WAL \
+                 (expected {}): stream diverged",
+                self.next_lsn
+            )));
+        }
+        let frame_start = self.buffer.len();
+        wire::put_u32(&mut self.buffer, payload.len() as u32);
+        wire::put_u32(&mut self.buffer, crc);
+        self.buffer.extend_from_slice(payload);
+        self.buffered_commits += 1;
+        if let Err(e) = self.flush() {
+            self.buffer.truncate(frame_start);
+            self.buffered_commits = self.buffered_commits.saturating_sub(1);
+            return Err(e);
+        }
+        self.next_lsn = lsn + 1;
+        self.metrics.counter("wal.commits").inc();
+        Ok(())
     }
 
     fn check_poisoned(&self) -> Result<()> {
@@ -669,6 +789,81 @@ mod tests {
         let scan = scan_wal(vfs.as_ref(), &path).unwrap();
         assert_eq!(scan.commits.len(), 1);
         assert_eq!(scan.commits[0].1, vec![insert_op(2)]);
+    }
+
+    #[test]
+    fn raw_scan_matches_decoded_scan() {
+        let (vfs, _, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        let lsn1 = w.log_commit(&[insert_op(1)]).unwrap();
+        let lsn2 = w.log_commit(&[insert_op(2)]).unwrap();
+        let raw = scan_wal_raw(vfs.as_ref(), &path).unwrap();
+        assert_eq!(raw.len(), 2);
+        assert_eq!(raw[0].lsn, lsn1);
+        assert_eq!(raw[1].lsn, lsn2);
+        for f in &raw {
+            assert_eq!(crc32(&f.payload), f.crc);
+            let (lsn, ops) = decode_commit_payload(&f.payload).unwrap();
+            assert_eq!(lsn, f.lsn);
+            assert_eq!(ops.len(), 1);
+        }
+    }
+
+    #[test]
+    fn raw_frames_replayed_verbatim_reproduce_the_wal() {
+        let (vfs, _, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        w.log_commit(&[insert_op(1)]).unwrap();
+        w.log_commit(&[insert_op(2), insert_op(3)]).unwrap();
+        let frames = scan_wal_raw(vfs.as_ref(), &path).unwrap();
+        let primary_bytes = vfs.read(&path).unwrap();
+
+        // "Replica": apply the raw frames into a fresh WAL.
+        let replica = FaultVfs::new();
+        let rvfs: Arc<dyn Vfs> = Arc::new(replica.clone());
+        let rpath = PathBuf::from("replica-wal.hylite");
+        let mut rw = writer(Arc::clone(&rvfs), rpath.clone(), SyncMode::Commit);
+        for f in &frames {
+            rw.append_raw_frame(f.lsn, f.crc, &f.payload).unwrap();
+        }
+        assert_eq!(rw.next_lsn(), w.next_lsn());
+        assert_eq!(rvfs.read(&rpath).unwrap(), primary_bytes, "byte-identical");
+    }
+
+    #[test]
+    fn raw_append_rejects_gaps_and_bad_crc() {
+        let (vfs, _, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        let frame1 = encode_commit_frame(1, &[insert_op(1)]);
+        let frame3 = encode_commit_frame(3, &[insert_op(3)]);
+        let payload1 = frame1[8..].to_vec();
+        let payload3 = frame3[8..].to_vec();
+        // Bad CRC is rejected before anything touches the file.
+        assert!(w
+            .append_raw_frame(1, crc32(&payload1) ^ 1, &payload1)
+            .is_err());
+        w.append_raw_frame(1, crc32(&payload1), &payload1).unwrap();
+        // LSN 3 after LSN 1 is a gap: divergence, not appendable.
+        let err = w
+            .append_raw_frame(3, crc32(&payload3), &payload3)
+            .unwrap_err();
+        assert!(err.message().contains("diverged"), "{err}");
+        assert_eq!(w.next_lsn(), 2, "rejected frame did not advance the LSN");
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(scan.commits.len(), 1);
+    }
+
+    #[test]
+    fn scan_reports_frame_end_offsets() {
+        let (vfs, fault, path) = vfs_and_path();
+        let mut w = writer(Arc::clone(&vfs), path.clone(), SyncMode::Commit);
+        w.log_commit(&[insert_op(1)]).unwrap();
+        let after_first = fault.file_len(&path).unwrap() as u64;
+        w.log_commit(&[insert_op(2)]).unwrap();
+        let after_second = fault.file_len(&path).unwrap() as u64;
+        let scan = scan_wal(vfs.as_ref(), &path).unwrap();
+        assert_eq!(scan.frame_ends, vec![after_first, after_second]);
+        assert_eq!(scan.valid_len, after_second);
     }
 
     #[test]

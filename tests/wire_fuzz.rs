@@ -70,6 +70,26 @@ fn corpus() -> Vec<Frame> {
         Frame::CancelAck { delivered: true },
         Frame::Shutdown,
         Frame::Terminate,
+        Frame::Replicate {
+            version: PROTOCOL_VERSION,
+            epoch: 0xFEED_F00D_DEAD_BEEF,
+            last_lsn: 41,
+        },
+        Frame::ReplicateOk {
+            epoch: 0xFEED_F00D_DEAD_BEEF,
+            next_lsn: 42,
+        },
+        Frame::SnapshotOffer {
+            epoch: 1,
+            base_lsn: 7,
+            data: vec![0x48, 0x59, 0x43, 0x4B, 0x00, 0xFF, 0x7F],
+        },
+        Frame::WalFrame {
+            lsn: 9,
+            crc: 0xC0FF_EE00,
+            payload: vec![9, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0],
+        },
+        Frame::ReplicaAck { lsn: u64::MAX },
     ]
 }
 
@@ -189,6 +209,46 @@ fn mutated_chunks_preserve_row_count_claims_or_error() {
         mutated[idx] = mutated[idx].wrapping_add(0x55);
         must_not_panic(&mutated);
     }
+}
+
+#[test]
+fn replication_frames_with_lying_inner_lengths_error_cleanly() {
+    // SnapshotOffer and WalFrame carry their own inner byte-length
+    // fields; a length claiming more than the body holds must error,
+    // never over-read or over-allocate.
+    let offer = wire::encode_frame(&Frame::SnapshotOffer {
+        epoch: 1,
+        base_lsn: 7,
+        data: vec![1, 2, 3, 4],
+    });
+    // Layout: [frame len u32][tag u8][epoch u64][base_lsn u64][data len u32]...
+    let mut lying = offer.clone();
+    lying[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut cursor = &lying[..];
+    assert!(wire::read_frame(&mut cursor).is_err());
+
+    let wal = wire::encode_frame(&Frame::WalFrame {
+        lsn: 9,
+        crc: 0xC0FF_EE00,
+        payload: vec![1, 2, 3, 4],
+    });
+    // Layout: [frame len u32][tag u8][lsn u64][crc u32][payload len u32]...
+    let mut lying = wal.clone();
+    lying[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut cursor = &lying[..];
+    assert!(wire::read_frame(&mut cursor).is_err());
+
+    // A Replicate frame with a corrupted magic must be rejected (it
+    // guards the replication handshake against misrouted frames).
+    let mut replicate = wire::encode_frame(&Frame::Replicate {
+        version: PROTOCOL_VERSION,
+        epoch: 1,
+        last_lsn: 0,
+    });
+    replicate[5] ^= 0xFF; // first magic byte, after [len u32][tag u8]
+    let mut cursor = &replicate[..];
+    let err = wire::read_frame(&mut cursor).unwrap_err();
+    assert_eq!(err.stage(), "protocol", "{err}");
 }
 
 #[test]
