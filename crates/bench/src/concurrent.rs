@@ -78,6 +78,13 @@ pub struct ConcurrentReport {
     /// Client-side retries (admission rejections, reconnects) absorbed by
     /// the retry policy — `client.retries` in the report.
     pub retries: u64,
+    /// Statements captured in `hylite.slow_queries` during the storm (the
+    /// server runs with `slow_query_ms = 1`, so most analytics statements
+    /// qualify).
+    pub slow_queries: u64,
+    /// `max(lag_bytes)` over `hylite.replication` at the end of the storm
+    /// (0 when no replica is attached, as in the default workload).
+    pub repl_lag_bytes: u64,
     /// The config that produced this report.
     pub config: ConcurrentConfig,
 }
@@ -135,6 +142,10 @@ impl ConcurrentReport {
             self.errors,
             self.retries,
             self.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "observability: {} slow queries logged, repl lag {} bytes\n",
+            self.slow_queries, self.repl_lag_bytes
         ));
         out
     }
@@ -214,6 +225,9 @@ pub fn run(config: ConcurrentConfig) -> Result<ConcurrentReport> {
         },
         statement_queue_depth: config.clients * 2,
         queue_wait: Duration::from_secs(60),
+        // Log (nearly) every statement so the report can count what the
+        // slow-query ring captured under load.
+        slow_query_ms: 1,
         ..ServerConfig::ephemeral()
     };
     let handle = Server::start(server_config, db)?;
@@ -254,6 +268,9 @@ pub fn run(config: ConcurrentConfig) -> Result<ConcurrentReport> {
             .map_err(|_| hylite_common::HyError::Internal("client thread panicked".into()))??;
     }
     let wall = started.elapsed();
+    // Observability columns: ask the server itself, over the same wire
+    // protocol, what its system views saw during the storm.
+    let (slow_queries, repl_lag_bytes) = observe(addr);
     handle.shutdown();
 
     let completed = samples.iter().filter(|s| s.ok).count();
@@ -265,8 +282,37 @@ pub fn run(config: ConcurrentConfig) -> Result<ConcurrentReport> {
         completed,
         errors,
         retries,
+        slow_queries,
+        repl_lag_bytes,
         config,
     })
+}
+
+/// Query the post-storm `hylite.slow_queries` count and the maximum
+/// `hylite.replication` lag. Best-effort: a failure reports zeros rather
+/// than failing the benchmark.
+fn observe(addr: std::net::SocketAddr) -> (u64, u64) {
+    let as_u64 = |v: hylite_common::Value| match v {
+        hylite_common::Value::Int(i) => i.max(0) as u64,
+        _ => 0,
+    };
+    let Ok(mut client) = HyliteClient::connect(addr) else {
+        return (0, 0);
+    };
+    let slow = client
+        .query("SELECT count(*) FROM hylite.slow_queries")
+        .ok()
+        .and_then(|r| r.value(0, 0).ok())
+        .map(&as_u64)
+        .unwrap_or(0);
+    let lag = client
+        .query("SELECT max(r.lag_bytes) FROM hylite.replication r")
+        .ok()
+        .and_then(|r| r.value(0, 0).ok())
+        .map(&as_u64)
+        .unwrap_or(0);
+    let _ = client.close();
+    (slow, lag)
 }
 
 #[cfg(test)]
@@ -292,6 +338,9 @@ mod tests {
         assert!(rendered.contains("p95"), "{rendered}");
         assert!(rendered.contains("kmeans"), "{rendered}");
         assert!(rendered.contains("throughput"), "{rendered}");
+        assert!(rendered.contains("observability:"), "{rendered}");
+        // No replica is attached, so the lag column reports zero.
+        assert_eq!(report.repl_lag_bytes, 0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!
 //! In the REPL, statements end with `;` (possibly spanning lines);
 //! `\q` quits, `\cancelinfo` prints the session id/secret usable with an
-//! out-of-band cancel connection.
+//! out-of-band cancel connection, `\metrics` dumps the server's metrics
+//! (`hylite.metrics`), and `\lag` shows replication progress
+//! (`hylite.replication`).
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -94,7 +96,7 @@ fn run_one(client: &mut HyliteClient, sql: &str) -> bool {
 
 fn repl(client: &mut HyliteClient) {
     println!("hylite-cli connected (session {})", client.session_id());
-    println!("statements end with ';' — \\q quits");
+    println!("statements end with ';' — \\q quits, \\? lists meta-commands");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
@@ -120,6 +122,23 @@ fn repl(client: &mut HyliteClient) {
                 "\\cancelinfo" => {
                     let h = client.cancel_handle();
                     println!("{h:?}");
+                    continue;
+                }
+                // Meta-commands over the system views: plain SQL under the
+                // hood, so they work against any server (including replicas).
+                "\\metrics" => {
+                    run_one(client, "SELECT * FROM hylite.metrics");
+                    continue;
+                }
+                "\\lag" => {
+                    run_one(client, "SELECT * FROM hylite.replication");
+                    continue;
+                }
+                "\\help" | "\\?" => {
+                    println!(
+                        "\\q quit  \\cancelinfo cancel credentials  \
+                         \\metrics server metrics  \\lag replication status"
+                    );
                     continue;
                 }
                 _ => {}

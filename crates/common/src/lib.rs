@@ -21,6 +21,7 @@ pub mod faultfs;
 pub mod governor;
 pub mod row;
 pub mod schema;
+pub mod sysview;
 pub mod telemetry;
 pub mod types;
 pub mod value;
@@ -35,6 +36,9 @@ pub use faultfs::{CrashSpec, FaultVfs, KeepUnsynced, StdVfs, Vfs, VfsFile};
 pub use governor::{CancelToken, Governor, MemoryBudget, Reservation};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};
+pub use sysview::{
+    SlowQueryEntry, SlowQueryLog, SystemView, SystemViewHub, SystemViewProvider, SYSTEM_SCHEMA,
+};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, OpSpan, ProfileBuilder, QueryProfile};
 pub use types::DataType;
 pub use value::Value;

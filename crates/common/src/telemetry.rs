@@ -10,8 +10,13 @@
 //!   op, so instrumentation is safe to leave on in benchmarks.
 //! * **Histograms are log₂-bucketed.** Sixty-five buckets cover the full
 //!   `u64` range, which is plenty of resolution for latencies and row
-//!   counts while keeping `record` branch-free. Quantiles are estimated
-//!   from bucket midpoints.
+//!   counts while keeping `record` branch-free. Quantiles report the
+//!   *upper bound* of the bucket holding the q-th sample, so a reported
+//!   p99 never understates the true p99 (conservative for alerting).
+//! * **Metric names are `subsystem.metric`.** Every name is a dotted
+//!   path of at least two non-empty `[a-z0-9_]` segments (`query.executed`,
+//!   `repl.lag_bytes`); debug builds assert the convention at intern time
+//!   so drift is caught by the test suite, not by a broken dashboard.
 //! * **Profiles merge by plan node.** A [`ProfileBuilder`] span is keyed
 //!   by the plan node's id; when the same node executes repeatedly (the
 //!   body of an `ITERATE`, the build side probed per chunk) the
@@ -140,13 +145,16 @@ impl Histogram {
             min: if count == 0 { 0 } else { min },
             max: self.max.load(Ordering::Relaxed),
             p50: quantile_from_buckets(&buckets, count, 0.50),
+            p95: quantile_from_buckets(&buckets, count, 0.95),
             p99: quantile_from_buckets(&buckets, count, 0.99),
         }
     }
 }
 
-/// Estimate a quantile as the midpoint of the bucket holding the q-th
-/// sample. Log buckets make this exact to within a factor of ~1.5.
+/// Estimate a quantile as the *upper bound* of the bucket holding the
+/// q-th sample. With log₂ buckets the estimate is within 2× of the true
+/// quantile and never below it, so reported tail latencies are
+/// conservative rather than flattering.
 fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
@@ -159,9 +167,7 @@ fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
             if i == 0 {
                 return 0;
             }
-            let lo = 1u64 << (i - 1);
-            let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
-            return lo + (hi - lo) / 2;
+            return if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
         }
     }
     0
@@ -178,9 +184,11 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest recorded sample (0 when empty).
     pub max: u64,
-    /// Estimated median (bucket midpoint).
+    /// Estimated median (bucket upper bound).
     pub p50: u64,
-    /// Estimated 99th percentile (bucket midpoint).
+    /// Estimated 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// Estimated 99th percentile (bucket upper bound).
     pub p99: u64,
 }
 
@@ -211,8 +219,29 @@ pub struct MetricsRegistry {
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
+/// Whether `name` follows the `subsystem.metric` convention: at least two
+/// dot-separated segments, each a non-empty run of `[a-z0-9_]`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut segments = 0;
+    for segment in name.split('.') {
+        if segment.is_empty()
+            || !segment
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
 /// Get-or-insert a named instrument in one of the registry's maps.
 fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    debug_assert!(
+        valid_metric_name(name),
+        "metric name '{name}' violates the subsystem.metric convention"
+    );
     if let Some(found) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
         return Arc::clone(found);
     }
@@ -307,8 +336,8 @@ impl MetricsSnapshot {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "histogram {name} count={} sum={} min={} p50~{} p99~{} max={}",
-                h.count, h.sum, h.min, h.p50, h.p99, h.max
+                "histogram {name} count={} sum={} min={} p50~{} p95~{} p99~{} max={}",
+                h.count, h.sum, h.min, h.p50, h.p95, h.p99, h.max
             );
         }
         out
@@ -333,13 +362,54 @@ impl MetricsSnapshot {
                 (
                     k,
                     format!(
-                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
-                        h.count, h.sum, h.min, h.max, h.p50, h.p99
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
                     ),
                 )
             }),
         );
         out.push_str("}}");
+        out
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). Dotted names are prefixed with `hylite_` and
+    /// mangled to `[a-zA-Z0-9_]` (`repl.lag_bytes` → `hylite_repl_lag_bytes`);
+    /// histograms are exposed as summaries with `quantile` labels plus
+    /// `_sum`/`_count` series.
+    pub fn render_prometheus(&self) -> String {
+        fn mangle(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 7);
+            out.push_str("hylite_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = mangle(name);
+            let _ = writeln!(out, "# TYPE {m} counter");
+            let _ = writeln!(out, "{m} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let m = mangle(name);
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            let _ = writeln!(out, "{m} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let m = mangle(name);
+            let _ = writeln!(out, "# TYPE {m} summary");
+            let _ = writeln!(out, "{m}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{m}{{quantile=\"0.95\"}} {}", h.p95);
+            let _ = writeln!(out, "{m}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{m}_sum {}", h.sum);
+            let _ = writeln!(out, "{m}_count {}", h.count);
+        }
         out
     }
 }
@@ -605,11 +675,71 @@ mod tests {
         assert_eq!(s.sum, 3106);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 1000);
-        // p50 falls in the bucket of 3 (values sorted: 0,1,2,3,...).
-        assert!(s.p50 >= 2 && s.p50 <= 3, "p50={}", s.p50);
-        // p99 lands in the 512..1023 bucket.
-        assert!(s.p99 >= 512 && s.p99 <= 1023, "p99={}", s.p99);
+        // Quantiles report the upper bound of the covering bucket: the
+        // 4th sample (3) lives in bucket [2,3], the tail samples (1000)
+        // in bucket [512,1023].
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.p95, 1023);
+        assert_eq!(s.p99, 1023);
         assert!((s.mean() - 3106.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_pin_known_distributions() {
+        // All samples identical: every quantile is that bucket's bound.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p95, s.p99), (1023, 1023, 1023));
+
+        // Uniform powers of two: each value its own bucket, so the
+        // quantile walk is exact. 100 samples = 10 per bucket.
+        let h = Histogram::default();
+        for exp in 0..10u32 {
+            for _ in 0..10 {
+                h.record(1u64 << exp); // buckets [1,1], [2,3], ... [512,1023]
+            }
+        }
+        let s = h.snapshot();
+        // rank(p50) = 50 → 5th bucket (values 16..31) → upper bound 31.
+        assert_eq!(s.p50, 31);
+        // rank(p95) = 95 → 10th bucket (512..1023) → 1023.
+        assert_eq!(s.p95, 1023);
+        assert_eq!(s.p99, 1023);
+
+        // A single zero sample sits in the dedicated zero bucket.
+        let h = Histogram::default();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
+
+        // Quantiles never under-report: skewed distribution, 99 fast
+        // samples (true p50/p95/p99 = 10) and one slow outlier.
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p50, 15, "bucket [8,15] upper bound, >= true 10");
+        assert_eq!(s.p95, 15);
+        assert_eq!(s.p99, 15, "rank 99 of 100 still in the fast bucket");
+        assert_eq!(s.max, 1_000_000, "the outlier shows up as max");
+    }
+
+    #[test]
+    fn metric_name_convention() {
+        assert!(valid_metric_name("query.executed"));
+        assert!(valid_metric_name("repl.lag_bytes"));
+        assert!(valid_metric_name("a.b.c_2"));
+        assert!(!valid_metric_name("single"));
+        assert!(!valid_metric_name("Upper.case"));
+        assert!(!valid_metric_name("trailing.dot."));
+        assert!(!valid_metric_name(".leading"));
+        assert!(!valid_metric_name("spa ce.x"));
+        assert!(!valid_metric_name(""));
     }
 
     #[test]
@@ -623,6 +753,7 @@ mod tests {
                 min: 0,
                 max: 0,
                 p50: 0,
+                p95: 0,
                 p99: 0
             }
         );
@@ -632,18 +763,42 @@ mod tests {
     fn snapshot_renders_text_and_json() {
         let reg = MetricsRegistry::new();
         reg.counter("a.b").add(2);
-        reg.gauge("c").set(-1);
-        reg.histogram("h").record(7);
+        reg.gauge("pool.free").set(-1);
+        reg.histogram("op.us").record(7);
         let snap = reg.snapshot();
         let text = snap.render_text();
         assert!(text.contains("counter   a.b = 2"));
-        assert!(text.contains("gauge     c = -1"));
-        assert!(text.contains("histogram h count=1"));
+        assert!(text.contains("gauge     pool.free = -1"));
+        assert!(text.contains("histogram op.us count=1"));
         let json = snap.render_json();
         assert!(json.contains("\"a.b\":2"));
-        assert!(json.contains("\"c\":-1"));
+        assert!(json.contains("\"pool.free\":-1"));
         assert!(json.contains("\"count\":1"));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn snapshot_renders_prometheus_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter("repl.connects").add(3);
+        reg.gauge("repl.lag_bytes").set(0);
+        reg.histogram("query.wall_us").record(100);
+        let prom = reg.snapshot().render_prometheus();
+        assert!(prom.contains("# TYPE hylite_repl_connects counter"));
+        assert!(prom.contains("hylite_repl_connects 3"));
+        assert!(prom.contains("# TYPE hylite_repl_lag_bytes gauge"));
+        assert!(prom.contains("hylite_repl_lag_bytes 0"));
+        assert!(prom.contains("# TYPE hylite_query_wall_us summary"));
+        assert!(prom.contains("hylite_query_wall_us{quantile=\"0.95\"} 127"));
+        assert!(prom.contains("hylite_query_wall_us_sum 100"));
+        assert!(prom.contains("hylite_query_wall_us_count 1"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            assert!(parts.next().unwrap().starts_with("hylite_"), "{line}");
+            assert!(parts.next().unwrap().parse::<i64>().is_ok(), "{line}");
+            assert!(parts.next().is_none(), "{line}");
+        }
     }
 
     #[test]

@@ -1,16 +1,151 @@
 //! The database handle.
 
+use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 use hylite_common::faultfs::{StdVfs, Vfs};
+use hylite_common::sysview::{SlowQueryLog, SystemView, SystemViewHub, SystemViewProvider};
 use hylite_common::telemetry::{MetricsRegistry, MetricsSnapshot};
-use hylite_common::Result;
-use hylite_storage::{Catalog, CheckpointStats, Durability, DurabilityOptions, RecoveryReport};
+use hylite_common::{Result, Value};
+use hylite_storage::{
+    Catalog, CheckpointStats, Durability, DurabilityOptions, RecoveryReport, ReplRole, SyncMode,
+};
 use parking_lot::Mutex;
 
 use crate::result::QueryResult;
-use crate::session::Session;
+use crate::session::{Session, SessionStat};
+
+/// Weak registry of per-session counters, keyed by engine session id.
+/// Dead entries (closed sessions) are pruned on every touch.
+type SessionStats = Arc<Mutex<BTreeMap<u64, Weak<SessionStat>>>>;
+
+/// The database core's [`SystemViewProvider`]: contributes the metrics,
+/// WAL, sessions, and slow-query views. Connection- and replication-level
+/// views are contributed by the server layer, which registers its own
+/// providers on the same hub.
+struct CoreViews {
+    metrics: Arc<MetricsRegistry>,
+    durability: Option<Arc<Durability>>,
+    session_stats: SessionStats,
+    slow_log: Arc<SlowQueryLog>,
+}
+
+impl CoreViews {
+    fn metrics_rows(&self) -> Vec<Vec<Value>> {
+        let snap = self.metrics.snapshot();
+        let mut rows =
+            Vec::with_capacity(snap.counters.len() + snap.gauges.len() + snap.histograms.len());
+        for (name, v) in &snap.counters {
+            let mut row = vec![
+                Value::from("counter"),
+                Value::from(name.as_str()),
+                Value::Int(*v as i64),
+            ];
+            row.extend(std::iter::repeat_n(Value::Null, 7));
+            rows.push(row);
+        }
+        for (name, v) in &snap.gauges {
+            let mut row = vec![
+                Value::from("gauge"),
+                Value::from(name.as_str()),
+                Value::Int(*v),
+            ];
+            row.extend(std::iter::repeat_n(Value::Null, 7));
+            rows.push(row);
+        }
+        for (name, h) in &snap.histograms {
+            rows.push(vec![
+                Value::from("histogram"),
+                Value::from(name.as_str()),
+                Value::Null,
+                Value::Int(h.count as i64),
+                Value::Int(h.sum as i64),
+                Value::Int(h.min as i64),
+                Value::Int(h.p50 as i64),
+                Value::Int(h.p95 as i64),
+                Value::Int(h.p99 as i64),
+                Value::Int(h.max as i64),
+            ]);
+        }
+        rows
+    }
+
+    fn wal_row(&self) -> Vec<Value> {
+        match &self.durability {
+            Some(d) => vec![
+                Value::from(match d.role() {
+                    ReplRole::Primary => "primary",
+                    ReplRole::Replica => "replica",
+                }),
+                Value::Int(d.epoch() as i64),
+                Value::Int(d.next_lsn() as i64),
+                Value::Int(d.wal_durable_len() as i64),
+                Value::from(match d.sync_mode() {
+                    SyncMode::Commit => "commit",
+                    SyncMode::Buffered => "buffered",
+                }),
+            ],
+            None => vec![
+                Value::from("memory"),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::from("none"),
+            ],
+        }
+    }
+
+    fn session_rows(&self) -> Vec<Vec<Value>> {
+        let mut stats = self.session_stats.lock();
+        stats.retain(|_, w| w.strong_count() > 0);
+        stats
+            .values()
+            .filter_map(Weak::upgrade)
+            .map(|s| {
+                vec![
+                    Value::Int(s.id() as i64),
+                    Value::Int(s.statements() as i64),
+                    Value::Int(s.errors() as i64),
+                    Value::Bool(s.in_transaction()),
+                    Value::Int(s.last_trace_id() as i64),
+                    Value::Int(s.age_seconds() as i64),
+                ]
+            })
+            .collect()
+    }
+
+    fn slow_rows(&self) -> Vec<Vec<Value>> {
+        self.slow_log
+            .entries()
+            .into_iter()
+            .map(|e| {
+                vec![
+                    Value::Int(e.trace_id as i64),
+                    Value::Int(e.session_id as i64),
+                    Value::from(e.sql.as_str()),
+                    Value::Int(e.wall_us as i64),
+                    Value::Int(e.rows as i64),
+                    Value::from(e.verdict.as_str()),
+                    Value::from(e.plan.as_str()),
+                ]
+            })
+            .collect()
+    }
+}
+
+impl SystemViewProvider for CoreViews {
+    fn system_view_rows(&self, view: SystemView) -> Option<Vec<Vec<Value>>> {
+        match view {
+            SystemView::Metrics => Some(self.metrics_rows()),
+            SystemView::Wal => Some(vec![self.wal_row()]),
+            SystemView::Sessions => Some(self.session_rows()),
+            SystemView::SlowQueries => Some(self.slow_rows()),
+            SystemView::Connections | SystemView::Replication => None,
+        }
+    }
+}
 
 /// An in-memory HyLite database.
 ///
@@ -40,6 +175,17 @@ pub struct Database {
     durability: Option<Arc<Durability>>,
     recovery: Option<RecoveryReport>,
     default_session: Mutex<Session>,
+    /// Hub behind the `hylite.*` system views; server layers register
+    /// additional providers (connections, replication streams) here.
+    sysviews: Arc<SystemViewHub>,
+    /// Shared slow-query ring (`hylite.slow_queries`).
+    slow_log: Arc<SlowQueryLog>,
+    /// Weak per-session counters (`hylite.sessions`).
+    session_stats: SessionStats,
+    /// Next engine session id (the default session takes id 1).
+    next_session_id: AtomicU64,
+    /// Strong handle keeping the core provider registered on the hub.
+    _core_views: Arc<CoreViews>,
 }
 
 impl Database {
@@ -48,16 +194,54 @@ impl Database {
     pub fn new() -> Database {
         let catalog = Arc::new(Catalog::new());
         let metrics = Arc::new(MetricsRegistry::new());
-        let default_session = Mutex::new(Session::with_metrics(
+        Database::assemble(catalog, metrics, None, None)
+    }
+
+    /// Wire the observability plane (system-view hub, slow-query log,
+    /// session registry) and the default session around an opened engine.
+    fn assemble(
+        catalog: Arc<Catalog>,
+        metrics: Arc<MetricsRegistry>,
+        durability: Option<Arc<Durability>>,
+        recovery: Option<RecoveryReport>,
+    ) -> Database {
+        let sysviews = Arc::new(SystemViewHub::new());
+        let slow_log = Arc::new(SlowQueryLog::default());
+        let session_stats: SessionStats = Arc::new(Mutex::new(BTreeMap::new()));
+        let core_views = Arc::new(CoreViews {
+            metrics: Arc::clone(&metrics),
+            durability: durability.clone(),
+            session_stats: Arc::clone(&session_stats),
+            slow_log: Arc::clone(&slow_log),
+        });
+        sysviews.register(Arc::downgrade(&core_views) as Weak<dyn SystemViewProvider>);
+
+        let stat = Arc::new(SessionStat::new(1));
+        session_stats.lock().insert(1, Arc::downgrade(&stat));
+        let mut session = Session::with_durability(
             Arc::clone(&catalog),
             Arc::clone(&metrics),
-        ));
+            durability.clone(),
+        )
+        .with_observability(stat, Arc::clone(&sysviews), Arc::clone(&slow_log));
+        if durability
+            .as_ref()
+            .is_some_and(|d| d.role() == ReplRole::Replica)
+        {
+            session.set_read_only("(unknown; this database is in replica mode)");
+        }
+
         Database {
             catalog,
             metrics,
-            durability: None,
-            recovery: None,
-            default_session,
+            durability,
+            recovery,
+            default_session: Mutex::new(session),
+            sysviews,
+            slow_log,
+            session_stats,
+            next_session_id: AtomicU64::new(2),
+            _core_views: core_views,
         }
     }
 
@@ -89,22 +273,12 @@ impl Database {
             Durability::open(vfs, dir, options, Arc::clone(&metrics))?;
         let catalog = Arc::new(catalog);
         let durability = Arc::new(durability);
-        let mut session = Session::with_durability(
-            Arc::clone(&catalog),
-            Arc::clone(&metrics),
-            Some(Arc::clone(&durability)),
-        );
-        if durability.role() == hylite_storage::ReplRole::Replica {
-            session.set_read_only("(unknown; this database is in replica mode)");
-        }
-        let default_session = Mutex::new(session);
-        Ok(Database {
+        Ok(Database::assemble(
             catalog,
             metrics,
-            durability: Some(durability),
-            recovery: Some(report),
-            default_session,
-        })
+            Some(durability),
+            Some(report),
+        ))
     }
 
     /// Whether this database persists commits to disk.
@@ -176,15 +350,36 @@ impl Database {
     /// overrides the generic redirect message with the actual primary
     /// address via [`Session::set_read_only`].
     pub fn session(&self) -> Session {
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let stat = Arc::new(SessionStat::new(id));
+        {
+            let mut stats = self.session_stats.lock();
+            stats.retain(|_, w| w.strong_count() > 0);
+            stats.insert(id, Arc::downgrade(&stat));
+        }
         let mut session = Session::with_durability(
             Arc::clone(&self.catalog),
             Arc::clone(&self.metrics),
             self.durability.clone(),
-        );
+        )
+        .with_observability(stat, Arc::clone(&self.sysviews), Arc::clone(&self.slow_log));
         if self.is_replica() {
             session.set_read_only("(unknown; this database is in replica mode)");
         }
         session
+    }
+
+    /// The hub behind the `hylite.*` system views. Server layers register
+    /// their own [`SystemViewProvider`]s (connections, replication
+    /// streams) on it; the hub holds providers weakly, so dropping the
+    /// provider unregisters it.
+    pub fn system_views(&self) -> &Arc<SystemViewHub> {
+        &self.sysviews
+    }
+
+    /// The shared slow-query ring buffer backing `hylite.slow_queries`.
+    pub fn slow_query_log(&self) -> &Arc<SlowQueryLog> {
+        &self.slow_log
     }
 
     /// Execute SQL on the database's default session (transactions on
@@ -590,6 +785,80 @@ mod tests {
         assert!(!db.is_durable());
         assert!(db.checkpoint().is_err());
         assert!(db.close().unwrap().is_none());
+    }
+
+    #[test]
+    fn system_views_answer_plain_sql() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+
+        // Metrics: the inserts above bumped counters, so rows exist.
+        let r = db
+            .execute("SELECT count(*) FROM hylite.metrics WHERE kind = 'counter'")
+            .unwrap();
+        assert!(matches!(r.scalar().unwrap(), Value::Int(n) if n > 0));
+
+        // WAL: an in-memory database reports the 'memory' pseudo-role.
+        let r = db
+            .execute("SELECT role, sync_mode FROM hylite.wal")
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.value(0, 0).unwrap(), Value::from("memory"));
+        assert_eq!(r.value(0, 1).unwrap(), Value::from("none"));
+
+        // Sessions: at least the default session (id 1) is registered,
+        // and its statement counter moves.
+        let r = db
+            .execute("SELECT statements FROM hylite.sessions WHERE session_id = 1")
+            .unwrap();
+        assert!(matches!(r.scalar().unwrap(), Value::Int(n) if n >= 3));
+
+        // A second session shows up and vanishes when dropped.
+        let mut s2 = db.session();
+        s2.execute("SELECT 1").unwrap();
+        let count = |db: &Database| {
+            db.execute("SELECT count(*) FROM hylite.sessions")
+                .unwrap()
+                .scalar()
+                .unwrap()
+        };
+        assert_eq!(count(&db), Value::Int(2));
+        drop(s2);
+        assert_eq!(count(&db), Value::Int(1));
+    }
+
+    #[test]
+    fn slow_query_log_captures_and_traces() {
+        let db = Database::new();
+        db.execute("SET slow_query_ms = 1").unwrap();
+        // An ITERATE loop with enough rounds comfortably exceeds 1ms.
+        db.execute(
+            "SELECT * FROM ITERATE ((SELECT 0 \"x\"), (SELECT x+1 FROM iterate), \
+             (SELECT x FROM iterate WHERE x >= 50000))",
+        )
+        .unwrap();
+        let entries = db.slow_query_log().entries();
+        assert!(!entries.is_empty(), "slow query was not captured");
+        let e = entries.last().unwrap();
+        assert_eq!(e.session_id, 1);
+        assert_eq!(e.verdict, "ok");
+        assert!(e.sql.contains("ITERATE"), "{}", e.sql);
+        assert!(e.wall_us >= 1000, "wall_us={}", e.wall_us);
+        assert!(e.plan.contains("Iterate"), "plan: {}", e.plan);
+        // Trace anatomy: session id in the high bits.
+        assert_eq!(e.trace_id >> 20, 1);
+
+        // The ring is queryable through SQL, on the same database.
+        let r = db
+            .execute("SELECT count(*) FROM hylite.slow_queries")
+            .unwrap();
+        assert!(matches!(r.scalar().unwrap(), Value::Int(n) if n >= 1));
+
+        // EXPLAIN ANALYZE prints the same trace id scheme.
+        let r = db.execute("EXPLAIN ANALYZE SELECT 1").unwrap();
+        let text = r.to_table_string();
+        assert!(text.contains("trace="), "{text}");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Sessions: statement execution with single-writer transactions.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hylite_common::governor::{CancelToken, Governor};
+use hylite_common::sysview::{SlowQueryEntry, SlowQueryLog, SystemViewHub};
 use hylite_common::telemetry::MetricsRegistry;
 use hylite_common::{Chunk, HyError, Result, Schema, Value};
 use hylite_exec::{ExecContext, Executor};
@@ -22,12 +24,87 @@ use crate::result::QueryResult;
 /// |------------------------|---------|-------------------------------------------|
 /// | `statement_timeout_ms` | `0`     | Per-statement wall-clock cap; `0` = none  |
 /// | `memory_budget_mb`     | `0`     | Per-statement memory cap; `0` = unlimited |
+/// | `slow_query_ms`        | `0`     | Capture statements at least this slow into `hylite.slow_queries`; `0` = off |
+/// | `slow_query_log_size`  | `128`   | Capacity of the shared slow-query ring    |
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionSettings {
     /// Statement timeout in milliseconds; `0` disables the deadline.
     pub statement_timeout_ms: u64,
     /// Per-statement memory budget in mebibytes; `0` means unlimited.
     pub memory_budget_mb: u64,
+    /// Slow-query capture threshold in milliseconds; `0` disables capture.
+    pub slow_query_ms: u64,
+}
+
+/// Shared, lock-free observability counters for one session, surfaced by
+/// the `hylite.sessions` system view. The owning database keeps only a
+/// weak handle in its session registry while the session itself holds the
+/// strong one, so a closed session disappears from the view on its own.
+#[derive(Debug)]
+pub struct SessionStat {
+    id: u64,
+    statements: AtomicU64,
+    errors: AtomicU64,
+    in_transaction: AtomicBool,
+    last_trace_id: AtomicU64,
+    created: Instant,
+}
+
+impl SessionStat {
+    /// Fresh counters for engine session `id` (id `0` = a bare session
+    /// created outside any [`crate::Database`]).
+    pub fn new(id: u64) -> SessionStat {
+        SessionStat {
+            id,
+            statements: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_transaction: AtomicBool::new(false),
+            last_trace_id: AtomicU64::new(0),
+            created: Instant::now(),
+        }
+    }
+
+    /// The engine session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Statements executed so far (including failed ones).
+    pub fn statements(&self) -> u64 {
+        self.statements.load(Ordering::Relaxed)
+    }
+
+    /// Statements that ended in an error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Whether a transaction was open after the last statement.
+    pub fn in_transaction(&self) -> bool {
+        self.in_transaction.load(Ordering::Relaxed)
+    }
+
+    /// Trace id of the session's most recent statement.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the session was opened.
+    pub fn age_seconds(&self) -> u64 {
+        self.created.elapsed().as_secs()
+    }
+
+    fn set_last_trace(&self, trace: u64) {
+        self.last_trace_id.store(trace, Ordering::Relaxed);
+    }
+
+    fn record_statement(&self, failed: bool, in_tx: bool) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.in_transaction.store(in_tx, Ordering::Relaxed);
+    }
 }
 
 /// One client session. Holds the transaction state; queries read their
@@ -90,6 +167,19 @@ pub struct Session {
     /// statement is rejected with [`HyError::ReadOnly`] naming this
     /// primary address, before binding even runs.
     read_only_primary: Option<String>,
+    /// Observability counters shared with the database's session
+    /// registry (`hylite.sessions`). Bare sessions get a private id-0
+    /// stat that nothing else observes.
+    stat: Arc<SessionStat>,
+    /// The database-wide slow-query ring (`hylite.slow_queries`);
+    /// `None` for bare sessions, which then never capture.
+    slow_log: Option<Arc<SlowQueryLog>>,
+    /// System-view hub threaded into executors so `hylite.*` scans see
+    /// live engine state; `None` for bare sessions.
+    sysviews: Option<Arc<SystemViewHub>>,
+    /// Monotonic per-session statement counter; the low 20 bits of every
+    /// trace id minted by this session.
+    trace_seq: u64,
 }
 
 impl Session {
@@ -123,7 +213,43 @@ impl Session {
             redo: Vec::new(),
             holds_gate: false,
             read_only_primary: None,
+            stat: Arc::new(SessionStat::new(0)),
+            slow_log: None,
+            sysviews: None,
+            trace_seq: 0,
         }
+    }
+
+    /// Attach the database's observability plane: a registered
+    /// [`SessionStat`], the system-view hub (so this session's queries can
+    /// scan `hylite.*`), and the shared slow-query ring.
+    pub fn with_observability(
+        mut self,
+        stat: Arc<SessionStat>,
+        sysviews: Arc<SystemViewHub>,
+        slow_log: Arc<SlowQueryLog>,
+    ) -> Session {
+        self.stat = stat;
+        self.sysviews = Some(sysviews);
+        self.slow_log = Some(slow_log);
+        self
+    }
+
+    /// The engine session id (`0` for bare sessions).
+    pub fn id(&self) -> u64 {
+        self.stat.id()
+    }
+
+    /// Trace id of the most recently executed statement. The same id is
+    /// printed by `EXPLAIN ANALYZE` and recorded in `hylite.slow_queries`,
+    /// tying a wire request to its plan and its slow-log entry.
+    pub fn last_trace_id(&self) -> u64 {
+        self.stat.last_trace_id()
+    }
+
+    /// This session's shared observability counters.
+    pub fn stat(&self) -> &Arc<SessionStat> {
+        &self.stat
     }
 
     /// Mark this session read-only on behalf of a replica following
@@ -224,24 +350,53 @@ impl Session {
         }
         let mut last = None;
         for stmt in &statements {
-            last = Some(self.execute_statement(stmt)?);
+            last = Some(self.execute_traced(stmt, Some(sql))?);
         }
         Ok(last.expect("non-empty checked"))
     }
 
     /// Execute one parsed statement under a fresh per-statement governor.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        self.execute_traced(stmt, None)
+    }
+
+    /// Mint the next trace id: session id in the high bits, a per-session
+    /// statement sequence in the low 20. Recorded in [`SessionStat`]
+    /// *before* execution so `EXPLAIN ANALYZE` can print it.
+    fn next_trace_id(&mut self) -> u64 {
+        self.trace_seq = self.trace_seq.wrapping_add(1);
+        let trace = (self.stat.id() << 20) | (self.trace_seq & 0xF_FFFF);
+        self.stat.set_last_trace(trace);
+        trace
+    }
+
+    /// The statement-execution spine: governor setup, trace-id minting,
+    /// metrics, session counters, and slow-query capture. `sql` is the
+    /// original text when known (it is recorded in the slow-query log).
+    fn execute_traced(&mut self, stmt: &Statement, sql: Option<&str>) -> Result<QueryResult> {
         self.check_read_only(stmt)?;
         let started = Instant::now();
+        let trace_id = self.next_trace_id();
         self.governor = self.new_statement_governor();
         let governor = Arc::clone(&self.governor);
+        // Capture the optimizer input up front when slow-query logging is
+        // armed: by the time we know the statement was slow, the bound
+        // plan has been consumed.
+        let capture = self.slow_log.is_some() && self.settings.slow_query_ms > 0;
+        let mut plan_text = String::new();
         let result = Binder::new(&self.catalog)
             .bind_statement(stmt)
-            .and_then(|bound| self.execute_bound(bound));
+            .and_then(|bound| {
+                if capture {
+                    if let BoundStatement::Query(plan) = &bound {
+                        plan_text = plan.explain();
+                    }
+                }
+                self.execute_bound(bound)
+            });
         self.governor = Arc::new(Governor::unlimited());
-        self.metrics
-            .histogram("query.wall_us")
-            .record(started.elapsed().as_micros() as u64);
+        let wall_us = started.elapsed().as_micros() as u64;
+        self.metrics.histogram("query.wall_us").record(wall_us);
         let peak = governor.budget().peak();
         if peak > 0 {
             self.metrics
@@ -254,8 +409,11 @@ impl Session {
                 .counter("governor.denied_reservations")
                 .add(denied);
         }
-        match &result {
-            Ok(_) => self.metrics.counter("query.executed").inc(),
+        let verdict = match &result {
+            Ok(_) => {
+                self.metrics.counter("query.executed").inc();
+                "ok"
+            }
             Err(e) => {
                 self.metrics.counter("query.failed").inc();
                 match e {
@@ -264,15 +422,40 @@ impl Session {
                         // clear the sticky token now that it has fired.
                         self.cancel.reset();
                         self.metrics.counter("query.cancelled").inc();
+                        "cancelled"
                     }
                     HyError::Timeout(_) => {
                         self.metrics.counter("query.timed_out").inc();
+                        "timeout"
                     }
                     HyError::BudgetExceeded(_) => {
                         self.metrics.counter("query.budget_exceeded").inc();
+                        "budget_exceeded"
                     }
-                    _ => {}
+                    _ => "error",
                 }
+            }
+        };
+        self.stat
+            .record_statement(result.is_err(), self.tx.is_some());
+        if capture && wall_us >= self.settings.slow_query_ms.saturating_mul(1000) {
+            let rows = result
+                .as_ref()
+                .map(|r| r.row_count().max(r.rows_affected) as u64)
+                .unwrap_or(0);
+            if let Some(log) = &self.slow_log {
+                log.push(SlowQueryEntry {
+                    trace_id,
+                    session_id: self.stat.id(),
+                    sql: match sql {
+                        Some(text) => text.to_owned(),
+                        None => format!("{stmt:?}"),
+                    },
+                    wall_us,
+                    rows,
+                    verdict: verdict.to_owned(),
+                    plan: std::mem::take(&mut plan_text),
+                });
             }
         }
         result
@@ -296,10 +479,21 @@ impl Session {
         match name {
             "statement_timeout_ms" => self.settings.statement_timeout_ms = value,
             "memory_budget_mb" => self.settings.memory_budget_mb = value,
+            "slow_query_ms" => self.settings.slow_query_ms = value,
+            "slow_query_log_size" => match &self.slow_log {
+                Some(log) => log.set_capacity(value as usize),
+                None => {
+                    return Err(HyError::Bind(
+                        "slow_query_log_size needs a database-backed session \
+                         (bare sessions have no slow-query log)"
+                            .into(),
+                    ))
+                }
+            },
             other => {
                 return Err(HyError::Bind(format!(
-                    "unknown session setting '{other}' \
-                     (available: statement_timeout_ms, memory_budget_mb)"
+                    "unknown session setting '{other}' (available: statement_timeout_ms, \
+                     memory_budget_mb, slow_query_ms, slow_query_log_size)"
                 )))
             }
         }
@@ -493,11 +687,12 @@ impl Session {
             .map(str::to_owned)
             .collect();
         lines.push(format!(
-            "Execution: total={:.3}ms rows={} iterations={} peak_working_rows={}",
+            "Execution: total={:.3}ms rows={} iterations={} peak_working_rows={} trace={}",
             total_wall.as_secs_f64() * 1e3,
             total_rows,
             exec_stats.iterations,
             exec_stats.peak_working_rows,
+            self.stat.last_trace_id(),
         ));
         let mut qr = QueryResult::text("plan", lines);
         qr.stats = exec_stats;
@@ -518,10 +713,14 @@ impl Session {
     }
 
     fn exec_context(&self) -> ExecContext {
-        ExecContext::new(Arc::clone(&self.catalog))
+        let mut ctx = ExecContext::new(Arc::clone(&self.catalog))
             .with_own_tables(self.own_tables.iter().cloned())
             .with_metrics(Arc::clone(&self.metrics))
-            .with_governor(Arc::clone(&self.governor))
+            .with_governor(Arc::clone(&self.governor));
+        if let Some(hub) = &self.sysviews {
+            ctx = ctx.with_system_views(Arc::clone(hub));
+        }
+        ctx
     }
 
     fn table_snapshot(&self, table: &str) -> Result<hylite_storage::TableSnapshot> {

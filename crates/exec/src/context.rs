@@ -4,8 +4,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use hylite_common::governor::Governor;
+use hylite_common::sysview::{SystemView, SystemViewHub};
 use hylite_common::telemetry::{MetricsRegistry, ProfileBuilder, QueryProfile};
-use hylite_common::{Chunk, HyError, Result};
+use hylite_common::{Chunk, HyError, Result, Value};
 use hylite_storage::{Catalog, TableSnapshot};
 
 /// Runtime statistics of one query execution, used by EXPLAIN-style
@@ -60,6 +61,9 @@ pub struct ExecContext {
     ///
     /// [`Executor::execute`]: crate::Executor::execute
     mem_frames: Vec<u64>,
+    /// System-view hub for `hylite.*` scans. `None` outside a database
+    /// session (bare contexts in tests); scans then return no rows.
+    sysviews: Option<Arc<SystemViewHub>>,
 }
 
 impl ExecContext {
@@ -74,6 +78,23 @@ impl ExecContext {
             profile: None,
             governor: Arc::new(Governor::unlimited()),
             mem_frames: Vec::new(),
+            sysviews: None,
+        }
+    }
+
+    /// Attach the database's system-view hub so `hylite.*` scans see
+    /// live engine state.
+    pub fn with_system_views(mut self, hub: Arc<SystemViewHub>) -> ExecContext {
+        self.sysviews = Some(hub);
+        self
+    }
+
+    /// Materialize a system view's rows from every registered provider
+    /// (empty without a hub).
+    pub fn scan_system_view(&self, view: SystemView) -> Vec<Vec<Value>> {
+        match &self.sysviews {
+            Some(hub) => hub.scan(view),
+            None => Vec::new(),
         }
     }
 

@@ -88,6 +88,11 @@ impl Executor {
                 let types = schema.types();
                 Ok(vec![Chunk::from_rows(&types, rows)?])
             }
+            LogicalPlan::SystemScan { view, schema } => {
+                let rows = self.ctx.scan_system_view(*view);
+                let types = schema.types();
+                Ok(vec![Chunk::from_rows(&types, &rows)?])
+            }
             LogicalPlan::Empty { .. } => Ok(vec![Chunk::zero_column(1)]),
             LogicalPlan::WorkingTable { name, .. } => {
                 let rel = self.ctx.read_working(name)?;

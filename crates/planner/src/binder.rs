@@ -814,6 +814,21 @@ impl<'a> Binder<'a> {
                         return Ok((plan.clone(), scope));
                     }
                 }
+                // The virtual `hylite` schema of system views.
+                if let Some(view) = hylite_common::SystemView::from_name(name) {
+                    // Unaliased, `SELECT metrics.name FROM hylite.metrics`
+                    // should work, so the default qualifier is the short
+                    // view name rather than the dotted one.
+                    let qualifier = alias
+                        .as_deref()
+                        .unwrap_or_else(|| view.name().rsplit('.').next().unwrap_or(name));
+                    let scope = Arc::new(view.schema().with_qualifier(qualifier));
+                    let plan = LogicalPlan::SystemScan {
+                        view,
+                        schema: Arc::clone(&scope),
+                    };
+                    return Ok((plan, scope));
+                }
                 let t = self.catalog.get_table(name)?;
                 let table_schema = Arc::clone(t.read().schema());
                 let scope = Arc::new(table_schema.with_qualifier(qualifier));

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use hylite_common::{DataType, Field, Schema, SchemaRef, Value};
+use hylite_common::{DataType, Field, Schema, SchemaRef, SystemView, Value};
 use hylite_expr::{AggregateFunction, BoundLambda, ScalarExpr};
 
 /// Join kinds supported by the engine.
@@ -57,6 +57,14 @@ pub enum LogicalPlan {
         /// Filter over the *projected* columns, applied inside the scan.
         filter: Option<ScalarExpr>,
         /// Output schema (projected, requalified).
+        schema: SchemaRef,
+    },
+    /// Scan of a read-only `hylite.*` system view (virtual relation
+    /// materialized at execution time from live engine state).
+    SystemScan {
+        /// Which system view.
+        view: SystemView,
+        /// Output schema (qualified).
         schema: SchemaRef,
     },
     /// Literal rows.
@@ -251,6 +259,7 @@ impl LogicalPlan {
     pub fn schema(&self) -> SchemaRef {
         match self {
             LogicalPlan::TableScan { schema, .. }
+            | LogicalPlan::SystemScan { schema, .. }
             | LogicalPlan::Values { schema, .. }
             | LogicalPlan::Empty { schema }
             | LogicalPlan::Project { schema, .. }
@@ -284,6 +293,7 @@ impl LogicalPlan {
     pub fn op_name(&self) -> &'static str {
         match self {
             LogicalPlan::TableScan { .. } => "TableScan",
+            LogicalPlan::SystemScan { .. } => "SystemScan",
             LogicalPlan::Values { .. } => "Values",
             LogicalPlan::Empty { .. } => "Empty",
             LogicalPlan::Filter { .. } => "Filter",
@@ -310,6 +320,7 @@ impl LogicalPlan {
     pub fn children(&self) -> Vec<&LogicalPlan> {
         match self {
             LogicalPlan::TableScan { .. }
+            | LogicalPlan::SystemScan { .. }
             | LogicalPlan::Values { .. }
             | LogicalPlan::Empty { .. }
             | LogicalPlan::WorkingTable { .. } => vec![],
@@ -436,6 +447,9 @@ impl LogicalPlan {
             }
             LogicalPlan::WorkingTable { name, .. } => {
                 out.push_str(&format!(" name={name}"));
+            }
+            LogicalPlan::SystemScan { view, .. } => {
+                out.push_str(&format!(" view={}", view.name()));
             }
             _ => {}
         }

@@ -229,6 +229,7 @@ fn map_children(
             schema,
         },
         leaf @ (LogicalPlan::TableScan { .. }
+        | LogicalPlan::SystemScan { .. }
         | LogicalPlan::Values { .. }
         | LogicalPlan::Empty { .. }
         | LogicalPlan::WorkingTable { .. }) => leaf,

@@ -29,6 +29,10 @@ pub fn estimate_rows(plan: &LogicalPlan, table_rows: &dyn Fn(&str) -> usize) -> 
             }
         }
         LogicalPlan::Values { rows, .. } => rows.len() as f64,
+        // System views are tiny virtual relations (one row per metric /
+        // connection / replica); a small constant keeps them off the
+        // build side of nothing important.
+        LogicalPlan::SystemScan { .. } => 16.0,
         LogicalPlan::Empty { .. } => 1.0,
         LogicalPlan::Filter { input, .. } => estimate_rows(input, table_rows) * FILTER_SELECTIVITY,
         LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {

@@ -6,8 +6,14 @@
 //!               [--max-active-statements N] [--queue-depth N]
 //!               [--queue-wait-ms MS] [--statement-timeout-ms MS]
 //!               [--memory-budget-mb MB] [--drain-timeout-ms MS]
+//!               [--slow-query-ms MS] [--metrics-addr HOST:PORT]
 //!               [--replica-of HOST:PORT] [--promote] [--demo]
 //! ```
+//!
+//! `--metrics-addr HOST:PORT` serves the engine's metrics in Prometheus
+//! text format at `GET /metrics`; `--slow-query-ms MS` makes every
+//! session log statements slower than MS to `hylite.slow_queries`. See
+//! `docs/OBSERVABILITY.md`.
 //!
 //! `--data-dir PATH` makes the database durable: recovery (checkpoint +
 //! WAL replay) runs before the listener binds, every commit is logged to
@@ -95,6 +101,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("{arg}: {e}"))?
             }
+            "--slow-query-ms" => {
+                config.slow_query_ms = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--metrics-addr" => config.metrics_addr = Some(value(&mut i, arg)?),
             "--drain-timeout-ms" => {
                 config.drain_timeout = Duration::from_millis(
                     value(&mut i, arg)?
@@ -118,7 +130,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                             [--sync-mode commit|buffered] [--max-connections N] \
                             [--max-active-statements N] [--queue-depth N] [--queue-wait-ms MS] \
                             [--statement-timeout-ms MS] [--memory-budget-mb MB] \
-                            [--drain-timeout-ms MS] [--replica-of HOST:PORT] [--promote] [--demo]"
+                            [--drain-timeout-ms MS] [--slow-query-ms MS] \
+                            [--metrics-addr HOST:PORT] [--replica-of HOST:PORT] [--promote] \
+                            [--demo]"
                     .into())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -213,6 +227,9 @@ fn main() -> ExitCode {
             "hylite-server (replica of {primary}) listening on {}",
             handle.local_addr()
         );
+        if let Some(m) = handle.metrics_addr() {
+            println!("metrics on http://{m}/metrics");
+        }
         // The serving side stops on a Shutdown frame or when catch-up
         // fails permanently; either way, stop following and exit.
         handle.join();
@@ -227,6 +244,9 @@ fn main() -> ExitCode {
         }
     };
     println!("hylite-server listening on {}", handle.local_addr());
+    if let Some(m) = handle.metrics_addr() {
+        println!("metrics on http://{m}/metrics");
+    }
     handle.join();
     println!("hylite-server stopped");
     ExitCode::SUCCESS

@@ -35,6 +35,14 @@ pub struct ServerConfig {
     /// Default per-session `memory_budget_mb`, same override semantics.
     /// `0` disables the default.
     pub memory_budget_mb: u64,
+    /// Default per-session `slow_query_ms`, same override semantics:
+    /// statements at least this slow are captured into
+    /// `hylite.slow_queries`. `0` disables the default.
+    pub slow_query_ms: u64,
+    /// When set, serve Prometheus text-format metrics over plain HTTP at
+    /// this address (`GET /metrics`), e.g. `127.0.0.1:9187`. `None`
+    /// disables the exposition endpoint.
+    pub metrics_addr: Option<String>,
     /// Graceful-shutdown drain budget: in-flight statements get this long
     /// to finish before their cancel tokens fire.
     pub drain_timeout: Duration,
@@ -70,6 +78,8 @@ impl Default for ServerConfig {
             queue_wait: Duration::from_secs(5),
             statement_timeout_ms: 0,
             memory_budget_mb: 0,
+            slow_query_ms: 0,
+            metrics_addr: None,
             drain_timeout: Duration::from_secs(5),
             read_only_primary: None,
             repl_max_unacked_bytes: 8 * 1024 * 1024,

@@ -114,13 +114,22 @@ fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
             shared.config.memory_budget_mb
         ));
     }
+    if shared.config.slow_query_ms > 0 {
+        let _ = session.execute(&format!(
+            "SET slow_query_ms = {}",
+            shared.config.slow_query_ms
+        ));
+    }
     // On a replica the session is already read-only; replace the generic
     // redirect message with the primary's actual address.
     if let Some(primary) = &shared.config.read_only_primary {
         session.set_read_only(primary.clone());
     }
 
-    let session_id = shared.next_session_id();
+    // The wire session id IS the engine session id, so `hylite.sessions`,
+    // `hylite.connections`, slow-log entries, and trace ids all line up
+    // with what the client was told at startup.
+    let session_id = session.id();
     let secret = shared.new_secret(session_id);
     let busy = Arc::new(AtomicBool::new(false));
     let entry_stream = match stream.try_clone() {
@@ -134,6 +143,10 @@ fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
             return;
         }
     };
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".into());
     // Register before StartupOk so a Cancel racing right behind the
     // handshake already finds the session.
     shared.sessions.lock().insert(
@@ -143,6 +156,7 @@ fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
             cancel: session.cancel_handle(),
             stream: entry_stream,
             busy: Arc::clone(&busy),
+            peer,
         },
     );
     let ok = wire::write_frame(

@@ -54,6 +54,7 @@
 mod admission;
 mod config;
 mod connection;
+mod metrics_http;
 mod replica;
 mod replication;
 mod server;

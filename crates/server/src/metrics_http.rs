@@ -1,0 +1,127 @@
+//! Dependency-free Prometheus exposition endpoint.
+//!
+//! When [`ServerConfig::metrics_addr`](crate::ServerConfig) is set, a tiny
+//! single-threaded HTTP/1.0 listener answers `GET /metrics` with the
+//! engine's full metrics snapshot rendered in Prometheus text format
+//! 0.0.4 ([`MetricsSnapshot::render_prometheus`]). There is deliberately
+//! no HTTP library: the protocol subset a scraper needs — one request
+//! line, a blank line, one response — is a few dozen lines, matching the
+//! repo's zero-dependency rule for everything below the server.
+//!
+//! The listener polls with a nonblocking accept so it can observe the
+//! server's shutdown flag; replication lag gauges are refreshed on every
+//! scrape so `hylite_repl_lag_bytes` is current without a background
+//! refresher thread.
+//!
+//! [`MetricsSnapshot::render_prometheus`]:
+//! hylite_common::telemetry::MetricsSnapshot::render_prometheus
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hylite_common::{HyError, Result};
+
+use crate::server::Shared;
+
+/// How long a scraper may take to send its request line.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle to the exposition listener: bound address + serving thread.
+pub(crate) struct MetricsListener {
+    /// The bound address (resolves port-0 requests).
+    pub local_addr: SocketAddr,
+    /// The serving thread; exits once the server requests shutdown.
+    pub thread: JoinHandle<()>,
+}
+
+/// Bind `addr` and serve `GET /metrics` until the server shuts down.
+pub(crate) fn serve(addr: &str, shared: Arc<Shared>) -> Result<MetricsListener> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| HyError::Unavailable(format!("bind metrics addr {addr} failed: {e}")))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| HyError::Internal(format!("metrics local_addr failed: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| HyError::Internal(format!("metrics set_nonblocking failed: {e}")))?;
+    let thread = std::thread::Builder::new()
+        .name("hylite-metrics".into())
+        .spawn(move || listen_loop(listener, shared))
+        .map_err(|e| HyError::Internal(format!("spawning metrics listener failed: {e}")))?;
+    Ok(MetricsListener { local_addr, thread })
+}
+
+fn listen_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown_requested.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Scrapes are cheap and rare (seconds apart); serve them
+                // inline rather than spawning per request.
+                let _ = answer(stream, &shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Read one request head and answer it. Anything that is not
+/// `GET /metrics` gets a 404; a malformed head gets a 400.
+fn answer(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nonblocking(false);
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    // Read until the end of the request head (CRLFCRLF) or the buffer
+    // limit; scrapers send no body.
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            String::from("only GET is supported\n"),
+        )
+    } else if path == "/metrics" {
+        // Lag gauges are computed, not event-driven: refresh them so the
+        // scrape reflects the stream state right now.
+        shared.refresh_repl_gauges();
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.db.metrics_snapshot().render_prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain",
+            String::from("try /metrics\n"),
+        )
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

@@ -31,11 +31,12 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 use hylite_client::RetryPolicy;
+use hylite_common::sysview::{SystemView, SystemViewProvider};
 use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
-use hylite_common::{HyError, Result};
+use hylite_common::{HyError, Result, Value};
 use hylite_core::{Database, Durability};
 use parking_lot::Mutex;
 
@@ -78,6 +79,16 @@ pub struct ReplicaStatus {
     last_applied_lsn: AtomicU64,
     bootstraps: AtomicU64,
     failed: AtomicBool,
+    /// Unix seconds of the last applied frame or installed snapshot
+    /// (`0` = nothing applied this process lifetime).
+    last_apply_unix: AtomicU64,
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 impl ReplicaStatus {
@@ -102,6 +113,59 @@ impl ReplicaStatus {
     /// (it has stopped serving).
     pub fn has_failed(&self) -> bool {
         self.failed.load(Ordering::Acquire)
+    }
+
+    /// Seconds since the stream last made durable progress, or `None` if
+    /// nothing has been applied this process lifetime. A caught-up
+    /// replica's staleness keeps growing while the primary is idle — it
+    /// measures *stream silence*, not divergence.
+    pub fn staleness_seconds(&self) -> Option<u64> {
+        let last = self.last_apply_unix.load(Ordering::Acquire);
+        (last > 0).then(|| unix_now().saturating_sub(last))
+    }
+
+    fn mark_applied(&self, lsn: u64) {
+        self.last_applied_lsn.store(lsn, Ordering::Release);
+        self.last_apply_unix.store(unix_now(), Ordering::Release);
+    }
+}
+
+/// The replica's [`SystemViewProvider`]: contributes this node's single
+/// self-row to `hylite.replication` (the primary's provider contributes
+/// the per-stream rows on the other side of the wire).
+struct ReplicaViews {
+    status: Arc<ReplicaStatus>,
+    durability: Arc<Durability>,
+    primary_addr: String,
+}
+
+impl SystemViewProvider for ReplicaViews {
+    fn system_view_rows(&self, view: SystemView) -> Option<Vec<Vec<Value>>> {
+        if view != SystemView::Replication {
+            return None;
+        }
+        let state = if self.status.has_failed() {
+            "failed"
+        } else if self.status.is_connected() {
+            "streaming"
+        } else {
+            "disconnected"
+        };
+        Some(vec![vec![
+            Value::from("replica"),
+            Value::from(self.primary_addr.as_str()),
+            Value::from(state),
+            Value::Int(self.durability.epoch() as i64),
+            Value::Null, // sent_lsn is the primary's side of the ledger
+            Value::Int(self.status.last_applied_lsn() as i64),
+            Value::Null, // lag in frames/bytes is only known on the primary
+            Value::Null,
+            Value::Int(self.status.bootstraps() as i64),
+            match self.status.staleness_seconds() {
+                Some(s) => Value::Int(s as i64),
+                None => Value::Null,
+            },
+        ]])
     }
 }
 
@@ -131,6 +195,15 @@ impl Replica {
         let stop = Arc::new(AtomicBool::new(false));
         let status = Arc::new(ReplicaStatus::default());
         let current = Arc::new(Mutex::new(None::<TcpStream>));
+        // This node's self-row in `hylite.replication`; the hub holds it
+        // weakly, the handle keeps it alive for the replica's lifetime.
+        let views = Arc::new(ReplicaViews {
+            status: Arc::clone(&status),
+            durability: Arc::clone(db.durability().expect("replica database is durable")),
+            primary_addr: config.primary_addr.clone(),
+        });
+        db.system_views()
+            .register(Arc::downgrade(&views) as std::sync::Weak<dyn SystemViewProvider>);
         let apply_thread = {
             let db = Arc::clone(&db);
             let stop = Arc::clone(&stop);
@@ -148,6 +221,7 @@ impl Replica {
             current,
             apply_thread: Some(apply_thread),
             local_addr,
+            _views: views,
         })
     }
 }
@@ -160,6 +234,8 @@ pub struct ReplicaHandle {
     current: Arc<Mutex<Option<TcpStream>>>,
     apply_thread: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
+    /// Keeps this node's `hylite.replication` self-row registered.
+    _views: Arc<ReplicaViews>,
 }
 
 impl ReplicaHandle {
@@ -171,6 +247,11 @@ impl ReplicaHandle {
     /// The apply loop's progress view.
     pub fn status(&self) -> &Arc<ReplicaStatus> {
         &self.status
+    }
+
+    /// Address of the Prometheus exposition endpoint, when configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().and_then(|s| s.metrics_addr())
     }
 
     /// Stop following the primary and shut the serving side down
@@ -339,9 +420,10 @@ fn stream_session(
                 }
                 *retry = 0;
                 status.bootstraps.fetch_add(1, Ordering::AcqRel);
-                status
-                    .last_applied_lsn
-                    .store(base_lsn.saturating_sub(1), Ordering::Release);
+                status.mark_applied(base_lsn.saturating_sub(1));
+                db.metrics()
+                    .gauge("repl.applied_lsn")
+                    .set(base_lsn.saturating_sub(1) as i64);
                 if wire::write_frame(
                     &mut stream,
                     &Frame::ReplicaAck {
@@ -365,7 +447,8 @@ fn stream_session(
                     return SessionEnd::Fatal(e);
                 }
                 *retry = 0;
-                status.last_applied_lsn.store(lsn, Ordering::Release);
+                status.mark_applied(lsn);
+                db.metrics().gauge("repl.applied_lsn").set(lsn as i64);
                 // The frame is fsynced (append_raw_frame always flushes)
                 // — only now may the ack promise durability.
                 if wire::write_frame(&mut stream, &Frame::ReplicaAck { lsn }).is_err() {

@@ -33,7 +33,7 @@ use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
 use hylite_common::Result;
 use hylite_core::{Durability, ReplTail};
 
-use crate::server::Shared;
+use crate::server::{ReplStreamStats, Shared};
 
 /// Frames fetched from the WAL per poll (bounds commit-lock hold time).
 const TAIL_BATCH_FRAMES: usize = 64;
@@ -110,10 +110,26 @@ pub(crate) fn serve_replication(
     // dispatcher must not fire between polls.
     let _ = stream.set_read_timeout(None);
 
-    if let Err(e) = stream_to_replica(&mut stream, &shared, &durability, replica_epoch, last_lsn) {
+    // Publish this stream's progress for `hylite.replication` and the
+    // repl.lag_* gauges; unregistered again on any exit path.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    let (stream_id, stats) = shared.register_repl_stream(peer);
+
+    if let Err(e) = stream_to_replica(
+        &mut stream,
+        &shared,
+        &durability,
+        replica_epoch,
+        last_lsn,
+        &stats,
+    ) {
         let _ = wire::write_frame(&mut stream, &Frame::error(&e));
     }
 
+    shared.unregister_repl_stream(stream_id);
     let _ = stream.shutdown(Shutdown::Both);
     shared.metrics.gauge("server.replicas_connected").add(-1);
     shared.conn_count.fetch_sub(1, Ordering::AcqRel);
@@ -127,8 +143,10 @@ fn stream_to_replica(
     durability: &Durability,
     replica_epoch: u64,
     last_lsn: u64,
+    stats: &ReplStreamStats,
 ) -> Result<()> {
     let epoch = durability.epoch();
+    stats.epoch.store(epoch, Ordering::Release);
     let resume = last_lsn + 1;
 
     // Decide the start point. A replica from a different incarnation
@@ -149,8 +167,14 @@ fn stream_to_replica(
         )?;
         (resume, last_lsn)
     } else {
-        send_bootstrap(stream, shared, durability, epoch)?
+        let start = send_bootstrap(stream, shared, durability, epoch)?;
+        stats.bootstraps.fetch_add(1, Ordering::AcqRel);
+        start
     };
+    stats
+        .sent_lsn
+        .store(cursor.saturating_sub(1), Ordering::Release);
+    stats.acked_lsn.store(acked, Ordering::Release);
 
     // Ack reader: a second thread consuming ReplicaAck frames from the
     // same socket, publishing the high-water mark for the flow-control
@@ -188,6 +212,8 @@ fn stream_to_replica(
                 let (_, bytes) = in_flight.pop_front().expect("front checked");
                 unacked_bytes = unacked_bytes.saturating_sub(bytes);
             }
+            stats.acked_lsn.store(acked, Ordering::Release);
+            stats.unacked_bytes.store(unacked_bytes, Ordering::Release);
         }
         if unacked_bytes >= shared.config.repl_max_unacked_bytes {
             if last_ack_progress.elapsed() >= shared.config.repl_ack_timeout {
@@ -231,6 +257,8 @@ fn stream_to_replica(
                     cursor = lsn + 1;
                     in_flight.push_back((lsn, bytes));
                     unacked_bytes += bytes;
+                    stats.sent_lsn.store(lsn, Ordering::Release);
+                    stats.unacked_bytes.store(unacked_bytes, Ordering::Release);
                 }
                 if write_failed {
                     break Ok(()); // peer went away
@@ -248,6 +276,10 @@ fn stream_to_replica(
                         in_flight.clear();
                         unacked_bytes = 0;
                         last_ack_progress = Instant::now();
+                        stats.bootstraps.fetch_add(1, Ordering::AcqRel);
+                        stats.sent_lsn.store(c.saturating_sub(1), Ordering::Release);
+                        stats.acked_lsn.store(a, Ordering::Release);
+                        stats.unacked_bytes.store(0, Ordering::Release);
                     }
                     Err(_) => break Ok(()), // peer went away
                 }

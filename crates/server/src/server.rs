@@ -8,8 +8,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
 use hylite_common::governor::CancelToken;
+use hylite_common::sysview::{SystemView, SystemViewProvider};
 use hylite_common::telemetry::MetricsRegistry;
-use hylite_common::{HyError, Result};
+use hylite_common::{HyError, Result, Value};
 use hylite_core::Database;
 use parking_lot::Mutex;
 
@@ -27,6 +28,26 @@ pub(crate) struct SessionEntry {
     pub stream: TcpStream,
     /// True while a statement is executing / streaming its result.
     pub busy: Arc<AtomicBool>,
+    /// Remote peer address, surfaced by `hylite.connections`.
+    pub peer: String,
+}
+
+/// Live progress of one primary→replica WAL stream, published by the
+/// streamer thread and read by `hylite.replication` and the lag gauges.
+#[derive(Debug, Default)]
+pub(crate) struct ReplStreamStats {
+    /// Remote peer address of the replica connection.
+    pub peer: Mutex<String>,
+    /// Primary epoch the stream is serving.
+    pub epoch: AtomicU64,
+    /// Highest LSN written to the socket.
+    pub sent_lsn: AtomicU64,
+    /// Highest LSN the replica has durably acknowledged.
+    pub acked_lsn: AtomicU64,
+    /// Payload bytes sent but not yet acknowledged (flow-control window).
+    pub unacked_bytes: AtomicU64,
+    /// Snapshot bootstraps shipped over this stream.
+    pub bootstraps: AtomicU64,
 }
 
 /// State shared by the accept loop and every connection thread.
@@ -46,7 +67,9 @@ pub(crate) struct Shared {
     pub conn_count: AtomicUsize,
     /// Connection thread handles, joined during shutdown.
     pub conn_threads: Mutex<Vec<JoinHandle<()>>>,
-    next_session_id: AtomicU64,
+    /// Live primary→replica streams by stream id.
+    pub repl_streams: Mutex<HashMap<u64, Arc<ReplStreamStats>>>,
+    next_repl_stream_id: AtomicU64,
 }
 
 impl Shared {
@@ -61,16 +84,98 @@ impl Shared {
         splitmix64(nanos ^ session_id.rotate_left(32) ^ (self as *const Shared as usize as u64))
     }
 
-    pub fn next_session_id(&self) -> u64 {
-        self.next_session_id.fetch_add(1, Ordering::Relaxed)
-    }
-
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
     }
 
     pub fn request_shutdown(&self) {
         self.shutdown_requested.store(true, Ordering::Release);
+    }
+
+    /// Register a new primary→replica stream; returns its id and stats
+    /// handle (the streamer thread updates the stats in place).
+    pub fn register_repl_stream(&self, peer: String) -> (u64, Arc<ReplStreamStats>) {
+        let id = self.next_repl_stream_id.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::new(ReplStreamStats::default());
+        *stats.peer.lock() = peer;
+        self.repl_streams.lock().insert(id, Arc::clone(&stats));
+        (id, stats)
+    }
+
+    /// Remove a finished stream from the registry.
+    pub fn unregister_repl_stream(&self, id: u64) {
+        self.repl_streams.lock().remove(&id);
+        self.refresh_repl_gauges();
+    }
+
+    /// Recompute the primary-side replication lag gauges from the live
+    /// streams: `repl.lag_bytes` is the total unacknowledged payload,
+    /// `repl.lag_frames` the worst per-replica LSN distance. Registered
+    /// at zero on startup so the metric names exist even with no replica
+    /// attached. Called on every scrape and stream-state change.
+    pub fn refresh_repl_gauges(&self) {
+        let next_lsn = self.db.durability().map(|d| d.next_lsn()).unwrap_or(1);
+        let mut lag_bytes = 0u64;
+        let mut lag_frames = 0u64;
+        for stats in self.repl_streams.lock().values() {
+            lag_bytes += stats.unacked_bytes.load(Ordering::Acquire);
+            let acked = stats.acked_lsn.load(Ordering::Acquire);
+            lag_frames = lag_frames.max(next_lsn.saturating_sub(1).saturating_sub(acked));
+        }
+        self.metrics.gauge("repl.lag_bytes").set(lag_bytes as i64);
+        self.metrics.gauge("repl.lag_frames").set(lag_frames as i64);
+    }
+}
+
+impl SystemViewProvider for Shared {
+    fn system_view_rows(&self, view: SystemView) -> Option<Vec<Vec<Value>>> {
+        match view {
+            SystemView::Connections => Some(
+                self.sessions
+                    .lock()
+                    .iter()
+                    .map(|(id, entry)| {
+                        vec![
+                            Value::Int(*id as i64),
+                            Value::from(entry.peer.as_str()),
+                            Value::from(if entry.busy.load(Ordering::Acquire) {
+                                "busy"
+                            } else {
+                                "idle"
+                            }),
+                        ]
+                    })
+                    .collect(),
+            ),
+            SystemView::Replication => {
+                // Primary-side rows only; a replica's self-row comes from
+                // the provider its `Replica` handle registers.
+                self.refresh_repl_gauges();
+                let next_lsn = self.db.durability().map(|d| d.next_lsn()).unwrap_or(1);
+                Some(
+                    self.repl_streams
+                        .lock()
+                        .values()
+                        .map(|s| {
+                            let acked = s.acked_lsn.load(Ordering::Acquire);
+                            vec![
+                                Value::from("primary"),
+                                Value::from(s.peer.lock().as_str()),
+                                Value::from("streaming"),
+                                Value::Int(s.epoch.load(Ordering::Acquire) as i64),
+                                Value::Int(s.sent_lsn.load(Ordering::Acquire) as i64),
+                                Value::Int(acked as i64),
+                                Value::Int(next_lsn.saturating_sub(1).saturating_sub(acked) as i64),
+                                Value::Int(s.unacked_bytes.load(Ordering::Acquire) as i64),
+                                Value::Int(s.bootstraps.load(Ordering::Acquire) as i64),
+                                Value::Null,
+                            ]
+                        })
+                        .collect(),
+                )
+            }
+            _ => None,
+        }
     }
 }
 
@@ -117,8 +222,23 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             conn_count: AtomicUsize::new(0),
             conn_threads: Mutex::new(Vec::new()),
-            next_session_id: AtomicU64::new(1),
+            repl_streams: Mutex::new(HashMap::new()),
+            next_repl_stream_id: AtomicU64::new(1),
         });
+        // Register the lag gauges at zero so `hylite_repl_lag_bytes` is
+        // always present in a scrape, replica attached or not, and plug
+        // the server into the database's system-view hub (connections,
+        // primary-side replication rows).
+        shared.metrics.gauge("repl.lag_bytes").set(0);
+        shared.metrics.gauge("repl.lag_frames").set(0);
+        shared
+            .db
+            .system_views()
+            .register(Arc::downgrade(&shared) as std::sync::Weak<dyn SystemViewProvider>);
+        let metrics_listener = match &shared.config.metrics_addr {
+            Some(addr) => Some(crate::metrics_http::serve(addr, Arc::clone(&shared))?),
+            None => None,
+        };
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("hylite-accept".into())
@@ -128,6 +248,7 @@ impl Server {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
+            metrics_listener,
         })
     }
 }
@@ -137,12 +258,19 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_listener: Option<crate::metrics_http::MetricsListener>,
 }
 
 impl ServerHandle {
     /// The bound listen address (resolves port `0` requests).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound Prometheus exposition address, when
+    /// [`ServerConfig::metrics_addr`](crate::ServerConfig) was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().map(|m| m.local_addr)
     }
 
     /// The metrics registry the server reports into (shared with the
@@ -174,6 +302,11 @@ impl ServerHandle {
     fn join_accept(&mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // The exposition listener polls `shutdown_requested` and exits on
+        // its own once it is set (which it is by the time we get here).
+        if let Some(m) = self.metrics_listener.take() {
+            let _ = m.thread.join();
         }
     }
 

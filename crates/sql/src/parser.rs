@@ -592,11 +592,17 @@ impl Parser {
         }
         // ITERATE is a keyword-free identifier in our lexer? No — it's an
         // ordinary identifier; check for the table-function names.
-        let name = self.expect_ident()?;
+        let mut name = self.expect_ident()?;
         if self.peek() == &Token::Symbol("(") && is_table_function(&name) {
             let func = self.table_function(&name)?;
             let alias = self.table_alias()?;
             return Ok(TableRef::TableFunction { func, alias });
+        }
+        // Qualified name (`schema.table`) — used by the `hylite.*`
+        // system views; the binder resolves the dotted name as a whole.
+        if self.eat_symbol(".") {
+            let rest = self.expect_ident()?;
+            name = format!("{name}.{rest}");
         }
         let alias = self.table_alias()?;
         Ok(TableRef::Table { name, alias })

@@ -1,0 +1,483 @@
+//! The observability plane end to end: `hylite.*` system views queried
+//! over the wire, slow-query capture, trace-id propagation, replication
+//! lag as SQL, and the Prometheus exposition endpoint.
+//!
+//! The view schemas asserted here are a **stable interface** (documented
+//! in `docs/OBSERVABILITY.md`): renaming or reordering a column is a
+//! breaking change and must fail these tests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hylite_client::HyliteClient;
+use hylite_common::faultfs::{FaultVfs, Vfs};
+use hylite_common::Value;
+use hylite_core::{Database, DurabilityOptions, ReplRole};
+use hylite_server::{Replica, ReplicaConfig, Server, ServerConfig};
+
+fn start_memory_server(db: Database) -> hylite_server::ServerHandle {
+    Server::start(ServerConfig::ephemeral(), Arc::new(db)).expect("start server")
+}
+
+fn column_names(result: &hylite_client::RemoteResult) -> Vec<String> {
+    result
+        .schema
+        .fields()
+        .iter()
+        .map(|f| f.name.clone())
+        .collect()
+}
+
+fn as_int(v: Value) -> i64 {
+    match v {
+        Value::Int(i) => i,
+        other => panic!("expected Int, got {other:?}"),
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+// ---------------------------------------------------------------------
+// Schema stability: the column names and order of every view are pinned.
+// ---------------------------------------------------------------------
+
+#[test]
+fn system_view_schemas_are_stable_over_the_wire() {
+    let handle = start_memory_server(Database::new());
+    let mut client = HyliteClient::connect(handle.local_addr()).unwrap();
+
+    let expected: &[(&str, &[&str])] = &[
+        (
+            "hylite.metrics",
+            &[
+                "kind", "name", "value", "count", "sum", "min", "p50", "p95", "p99", "max",
+            ],
+        ),
+        ("hylite.connections", &["session_id", "peer", "state"]),
+        (
+            "hylite.replication",
+            &[
+                "role",
+                "peer",
+                "state",
+                "epoch",
+                "sent_lsn",
+                "acked_lsn",
+                "lag_frames",
+                "lag_bytes",
+                "bootstraps",
+                "staleness_seconds",
+            ],
+        ),
+        (
+            "hylite.wal",
+            &["role", "epoch", "next_lsn", "durable_bytes", "sync_mode"],
+        ),
+        (
+            "hylite.sessions",
+            &[
+                "session_id",
+                "statements",
+                "errors",
+                "in_transaction",
+                "last_trace_id",
+                "age_seconds",
+            ],
+        ),
+        (
+            "hylite.slow_queries",
+            &[
+                "trace_id",
+                "session_id",
+                "sql",
+                "wall_us",
+                "rows",
+                "verdict",
+                "plan",
+            ],
+        ),
+    ];
+    for (view, columns) in expected {
+        let r = client.query(&format!("SELECT * FROM {view}")).unwrap();
+        assert_eq!(
+            column_names(&r),
+            columns.to_vec(),
+            "schema of {view} is a stable interface"
+        );
+    }
+
+    // The views are plain relations to the planner: projection, filters,
+    // and aggregates compose with them.
+    let r = client
+        .query("SELECT count(*) FROM hylite.metrics m WHERE m.kind = 'counter'")
+        .unwrap();
+    assert!(as_int(r.scalar().unwrap()) > 0, "counters exist");
+
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Connections and sessions: wire sessions appear while connected and
+// vanish when they disconnect; the wire session id IS the engine id.
+// ---------------------------------------------------------------------
+
+#[test]
+fn connections_and_sessions_views_track_wire_sessions() {
+    let handle = start_memory_server(Database::new());
+    let mut a = HyliteClient::connect(handle.local_addr()).unwrap();
+    let b = HyliteClient::connect(handle.local_addr()).unwrap();
+    let (id_a, id_b) = (a.session_id(), b.session_id());
+    assert_ne!(id_a, id_b);
+
+    let conn_ids = |client: &mut HyliteClient| -> Vec<i64> {
+        let r = client
+            .query("SELECT c.session_id FROM hylite.connections c")
+            .unwrap();
+        (0..r.row_count())
+            .map(|i| as_int(r.value(i, 0).unwrap()))
+            .collect()
+    };
+    let ids = conn_ids(&mut a);
+    assert!(ids.contains(&(id_a as i64)), "{ids:?}");
+    assert!(ids.contains(&(id_b as i64)), "{ids:?}");
+
+    // The sessions view shows the same ids with per-session counters.
+    let r = a
+        .query(&format!(
+            "SELECT s.statements FROM hylite.sessions s WHERE s.session_id = {id_b}"
+        ))
+        .unwrap();
+    assert_eq!(r.row_count(), 1, "session {id_b} visible");
+
+    // Disconnect b: its connection row is gone (its session stat follows
+    // once the session drops).
+    b.close().unwrap();
+    wait_until("connection row to vanish", Duration::from_secs(5), || {
+        !conn_ids(&mut a).contains(&(id_b as i64))
+    });
+
+    client_close(a);
+    handle.shutdown();
+}
+
+fn client_close(c: HyliteClient) {
+    let _ = c.close();
+}
+
+// ---------------------------------------------------------------------
+// Slow-query log: capture over the wire, ring eviction via SET.
+// ---------------------------------------------------------------------
+
+#[test]
+fn slow_query_ring_captures_and_evicts_over_the_wire() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    let handle = start_memory_server(db);
+    let mut client = HyliteClient::connect(handle.local_addr()).unwrap();
+
+    client.query("SET slow_query_ms = 1").unwrap();
+    client.query("SET slow_query_log_size = 2").unwrap();
+
+    // Three distinguishable slow statements (an ITERATE to 20k is far
+    // beyond 1ms); the ring holds two, so the first must be evicted.
+    for marker in [777001, 777002, 777003] {
+        client
+            .query(&format!(
+                "SELECT count(*) FROM ITERATE((SELECT 0 \"x\"), (SELECT x + 1 FROM iterate), \
+                 (SELECT x FROM iterate WHERE x >= 20000)) WHERE 1 = {marker} - {}",
+                marker - 1
+            ))
+            .unwrap();
+    }
+
+    let r = client
+        .query("SELECT q.sql, q.verdict, q.trace_id FROM hylite.slow_queries q")
+        .unwrap();
+    assert_eq!(r.row_count(), 2, "ring capacity 2 evicts the oldest");
+    let sqls: Vec<String> = (0..2)
+        .map(|i| match r.value(i, 0).unwrap() {
+            Value::Str(s) => s,
+            other => panic!("sql column must be text, got {other:?}"),
+        })
+        .collect();
+    assert!(sqls[0].contains("777002"), "{sqls:?}");
+    assert!(sqls[1].contains("777003"), "{sqls:?}");
+    for i in 0..2 {
+        assert_eq!(r.value(i, 1).unwrap(), Value::from("ok"));
+        let trace = as_int(r.value(i, 2).unwrap()) as u64;
+        assert_eq!(
+            trace >> 20,
+            client.session_id(),
+            "trace ids embed the issuing session"
+        );
+    }
+
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Trace ids: EXPLAIN ANALYZE prints the same id the sessions view holds.
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_ids_propagate_from_explain_analyze_to_the_sessions_view() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    let handle = start_memory_server(db);
+    let mut subject = HyliteClient::connect(handle.local_addr()).unwrap();
+    let mut observer = HyliteClient::connect(handle.local_addr()).unwrap();
+
+    let text = subject
+        .query("EXPLAIN ANALYZE SELECT sum(x) FROM t")
+        .unwrap()
+        .to_table_string();
+    let trace: u64 = text
+        .split("trace=")
+        .nth(1)
+        .and_then(|rest| {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no trace id in: {text}"));
+    assert_eq!(
+        trace >> 20,
+        subject.session_id(),
+        "trace ids embed the session id"
+    );
+
+    // Asked from a *different* session (a same-session query would mint
+    // its own trace first), the sessions view reports exactly that id.
+    let r = observer
+        .query(&format!(
+            "SELECT s.last_trace_id FROM hylite.sessions s WHERE s.session_id = {}",
+            subject.session_id()
+        ))
+        .unwrap();
+    assert_eq!(as_int(r.scalar().unwrap()) as u64, trace);
+
+    // The next statement on the subject session advances its trace.
+    subject.query("SELECT 1").unwrap();
+    let r = observer
+        .query(&format!(
+            "SELECT s.last_trace_id FROM hylite.sessions s WHERE s.session_id = {}",
+            subject.session_id()
+        ))
+        .unwrap();
+    assert_eq!(as_int(r.scalar().unwrap()) as u64, trace + 1);
+
+    subject.close().unwrap();
+    observer.close().unwrap();
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Replication observability, end to end: a live primary/replica pair
+// reports progress through plain SQL on both sides, and the lag
+// converges to zero.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replication_view_reports_acked_lsn_and_lag_converges_to_zero() {
+    let data_dir = PathBuf::from("data");
+    let pf = FaultVfs::new();
+    let primary = Arc::new(
+        Database::open_with(
+            Arc::new(pf.clone()) as Arc<dyn Vfs>,
+            &data_dir,
+            DurabilityOptions::default(),
+        )
+        .unwrap(),
+    );
+    primary.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    for v in 1..=5 {
+        primary
+            .execute(&format!("INSERT INTO t VALUES ({v})"))
+            .unwrap();
+    }
+    let p_config = ServerConfig {
+        repl_poll_interval: Duration::from_millis(1),
+        ..ServerConfig::ephemeral()
+    };
+    let p_handle = Server::start(p_config.clone(), Arc::clone(&primary)).unwrap();
+    let primary_addr = p_handle.local_addr().to_string();
+
+    // Before any replica attaches, the primary's replication view is
+    // empty — and still queryable.
+    let mut p_client = HyliteClient::connect(p_handle.local_addr()).unwrap();
+    let r = p_client
+        .query("SELECT count(*) FROM hylite.replication")
+        .unwrap();
+    assert_eq!(as_int(r.scalar().unwrap()), 0);
+
+    let rf = FaultVfs::new();
+    let replica_db = Arc::new(
+        Database::open_with(
+            Arc::new(rf.clone()) as Arc<dyn Vfs>,
+            &data_dir,
+            DurabilityOptions {
+                role: ReplRole::Replica,
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    let replica = Replica::start(
+        Arc::clone(&replica_db),
+        p_config,
+        ReplicaConfig::new(&primary_addr),
+    )
+    .unwrap();
+
+    // The acceptance criterion: on the live primary, the view reports a
+    // nonzero acked LSN and the lag converges to 0.
+    let mut last = (0i64, i64::MAX);
+    wait_until("lag to converge to zero", Duration::from_secs(10), || {
+        let r = p_client
+            .query(
+                "SELECT r.acked_lsn, r.lag_frames, r.state FROM hylite.replication r \
+                 WHERE r.role = 'primary'",
+            )
+            .unwrap();
+        if r.row_count() != 1 {
+            return false;
+        }
+        last = (
+            as_int(r.value(0, 0).unwrap()),
+            as_int(r.value(0, 1).unwrap()),
+        );
+        assert_eq!(r.value(0, 2).unwrap(), Value::from("streaming"));
+        last.0 > 0 && last.1 == 0
+    });
+    assert!(last.0 > 0, "acked lsn stayed zero: {last:?}");
+
+    // New commits drive the acked LSN forward, and it converges again.
+    let acked_before = last.0;
+    for v in 6..=10 {
+        primary
+            .execute(&format!("INSERT INTO t VALUES ({v})"))
+            .unwrap();
+    }
+    wait_until("new commits to be acked", Duration::from_secs(10), || {
+        let r = p_client
+            .query(
+                "SELECT r.acked_lsn, r.lag_frames FROM hylite.replication r \
+                 WHERE r.role = 'primary'",
+            )
+            .unwrap();
+        r.row_count() == 1
+            && as_int(r.value(0, 0).unwrap()) >= acked_before + 5
+            && as_int(r.value(0, 1).unwrap()) == 0
+    });
+
+    // The same progress is visible as gauges on the primary.
+    assert_eq!(primary.metrics().gauge("repl.lag_bytes").get(), 0);
+
+    // A read-only replica session can query every system view; its
+    // replication self-row reports the apply progress.
+    let mut r_client = HyliteClient::connect(replica.local_addr()).unwrap();
+    let r = r_client
+        .query(
+            "SELECT r.role, r.state, r.acked_lsn, r.staleness_seconds \
+             FROM hylite.replication r",
+        )
+        .unwrap();
+    assert_eq!(r.row_count(), 1, "the replica reports exactly itself");
+    assert_eq!(r.value(0, 0).unwrap(), Value::from("replica"));
+    assert_eq!(r.value(0, 1).unwrap(), Value::from("streaming"));
+    assert!(as_int(r.value(0, 2).unwrap()) > 0, "applied lsn visible");
+    assert!(
+        matches!(r.value(0, 3).unwrap(), Value::Int(_)),
+        "staleness known once frames applied"
+    );
+    let r = r_client.query("SELECT w.role FROM hylite.wal w").unwrap();
+    assert_eq!(r.value(0, 0).unwrap(), Value::from("replica"));
+    assert!(
+        as_int(
+            r_client
+                .query("SELECT count(*) FROM hylite.metrics")
+                .unwrap()
+                .scalar()
+                .unwrap()
+        ) > 0,
+        "metrics view readable on a read-only session"
+    );
+
+    r_client.close().unwrap();
+    p_client.close().unwrap();
+    replica.shutdown();
+    p_handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// The Prometheus endpoint: text format 0.0.4, lag gauges always present.
+// ---------------------------------------------------------------------
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    db.execute("SELECT sum(x) FROM t").unwrap();
+    let config = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::ephemeral()
+    };
+    let handle = Server::start(config, Arc::new(db)).unwrap();
+    let addr = handle.metrics_addr().expect("metrics listener bound");
+
+    let http_get = |path: &str| -> String {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(format!("GET {path} HTTP/1.0\r\nHost: hylite\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        sock.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let response = http_get("/metrics");
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    // Spot-check the format: TYPE lines, mangled counter names, and the
+    // replication gauges that must be present even with no replica.
+    assert!(
+        body.contains("# TYPE hylite_query_executed counter"),
+        "{body}"
+    );
+    assert!(body.contains("hylite_query_executed 3"), "{body}");
+    assert!(
+        body.contains("# TYPE hylite_repl_lag_bytes gauge"),
+        "{body}"
+    );
+    assert!(body.contains("hylite_repl_lag_bytes 0"), "{body}");
+    assert!(body.contains("quantile=\"0.99\""), "{body}");
+    // Every line is either a comment or `name[{labels}] value`.
+    for line in body.lines() {
+        assert!(
+            line.starts_with('#') || line.split_whitespace().count() == 2,
+            "malformed exposition line: {line:?}"
+        );
+    }
+
+    // Unknown paths 404; the scrape endpoint is GET-only.
+    assert!(http_get("/nope").starts_with("HTTP/1.0 404"), "404 path");
+
+    handle.shutdown();
+}
