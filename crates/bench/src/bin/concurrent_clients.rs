@@ -5,14 +5,31 @@
 //! cargo run --release -p hylite-bench --bin concurrent-clients -- \
 //!     --clients 32 --statements 12 --tuples 20000
 //! ```
+//!
+//! With `--replicas N` the run becomes a **routed fleet**: a durable
+//! primary plus N WAL-streaming replicas, every client speaking through
+//! the query router, reported as a read-throughput scaling curve against
+//! the single-node baseline:
+//!
+//! ```sh
+//! cargo run --release -p hylite-bench --bin concurrent-clients -- \
+//!     --replicas 3 --consistency session
+//! cargo run --release -p hylite-bench --bin concurrent-clients -- \
+//!     --replicas 2 --smoke          # CI-sized, seconds not minutes
+//! ```
 
 use hylite_bench::concurrent::{run, ConcurrentConfig};
+use hylite_bench::fleet::{run_fleet, FleetConfig};
 use hylite_bench::report::render_csv;
+use hylite_client::Consistency;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ConcurrentConfig::default();
     let mut csv = false;
+    let mut replicas = 0usize;
+    let mut consistency = Consistency::Session;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
@@ -31,10 +48,51 @@ fn main() {
             "--clusters" => config.clusters = take(&mut i),
             "--edges" => config.edges = take(&mut i),
             "--max-active" => config.max_active = take(&mut i),
+            "--replicas" => replicas = take(&mut i),
+            "--consistency" => {
+                i += 1;
+                consistency = match args.get(i).map(String::as_str) {
+                    Some("session") => Consistency::Session,
+                    Some("any-replica") => Consistency::AnyReplica,
+                    other => panic!("--consistency must be session|any-replica, got {other:?}"),
+                };
+            }
+            "--smoke" => smoke = true,
             "--csv" => csv = true,
             other => panic!("unknown argument '{other}'"),
         }
         i += 1;
+    }
+    if replicas > 0 {
+        let mut fleet_config = if smoke {
+            FleetConfig::smoke()
+        } else {
+            FleetConfig {
+                base: config,
+                ..FleetConfig::default()
+            }
+        };
+        fleet_config.replicas = replicas;
+        fleet_config.consistency = consistency;
+        match run_fleet(fleet_config) {
+            Ok(report) => print!("{}", report.render()),
+            Err(e) => {
+                eprintln!("concurrent-clients fleet failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if smoke {
+        config = ConcurrentConfig {
+            clients: 4,
+            statements_per_client: 6,
+            tuples: 500,
+            dims: 2,
+            clusters: 2,
+            edges: 200,
+            max_active: 0,
+        };
     }
     match run(config) {
         Ok(report) => {

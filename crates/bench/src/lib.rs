@@ -9,12 +9,16 @@
 //! * [`systems`] — one timed runner per (algorithm × system);
 //! * [`report`] — gnuplot-ish text rendering of figure series;
 //! * [`concurrent`] — the `concurrent-clients` serving workload: N wire
-//!   connections with a mixed SQL + analytics statement stream.
+//!   connections with a mixed SQL + analytics statement stream;
+//! * [`fleet`] — the router-fronted variant: 1 durable primary + N
+//!   WAL-streaming replicas behind `HyliteRouter`, measuring the
+//!   read-throughput scaling curve vs the single node.
 //!
 //! `cargo bench` runs Criterion versions at reduced scale; the `figures`
 //! binary sweeps the full grids (`--scale` controls dataset sizes).
 
 pub mod concurrent;
+pub mod fleet;
 pub mod queries;
 pub mod report;
 pub mod systems;

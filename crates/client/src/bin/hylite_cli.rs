@@ -4,22 +4,36 @@
 //! hylite-cli [--addr 127.0.0.1:5433]              # REPL
 //! hylite-cli --execute "SELECT 1 + 1"             # one statement, print, exit
 //! hylite-cli --shutdown                           # graceful server shutdown
+//! hylite-cli --addr P --replicas R1,R2            # routed: reads spread over replicas
 //! ```
+//!
+//! With `--replicas`, the CLI speaks through [`HyliteRouter`]: writes go
+//! to `--addr` (the primary), reads round-robin across the replicas
+//! under the chosen `--consistency` mode (`session`, the default,
+//! guarantees read-your-own-writes; `any-replica` allows bounded
+//! staleness), and a dead primary triggers automatic promotion of the
+//! most caught-up replica unless `--no-failover` is given.
 //!
 //! In the REPL, statements end with `;` (possibly spanning lines);
 //! `\q` quits, `\cancelinfo` prints the session id/secret usable with an
 //! out-of-band cancel connection, `\metrics` dumps the server's metrics
-//! (`hylite.metrics`), and `\lag` shows replication progress
-//! (`hylite.replication`).
+//! (`hylite.metrics`), `\lag` shows replication progress
+//! (`hylite.replication`), and `\route` shows where the router sent the
+//! last statement plus its fleet counters.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use hylite_client::{request_shutdown, HyliteClient};
+use hylite_client::{
+    request_shutdown, Consistency, HyliteClient, HyliteRouter, RemoteResult, RouterConfig,
+};
 
 struct Args {
     addr: String,
+    replicas: Vec<String>,
+    consistency: Consistency,
+    no_failover: bool,
     execute: Option<String>,
     shutdown: bool,
 }
@@ -27,6 +41,9 @@ struct Args {
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
         addr: "127.0.0.1:5433".into(),
+        replicas: Vec::new(),
+        consistency: Consistency::Session,
+        no_failover: false,
         execute: None,
         shutdown: false,
     };
@@ -40,6 +57,29 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .cloned()
                     .ok_or_else(|| "--addr requires a value".to_string())?;
             }
+            "--replicas" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--replicas requires HOST:PORT[,HOST:PORT...]".to_string())?;
+                parsed
+                    .replicas
+                    .extend(list.split(',').filter(|s| !s.is_empty()).map(String::from));
+            }
+            "--consistency" => {
+                i += 1;
+                parsed.consistency = match args.get(i).map(String::as_str) {
+                    Some("session") => Consistency::Session,
+                    Some("any-replica") => Consistency::AnyReplica,
+                    other => {
+                        return Err(format!(
+                            "--consistency must be 'session' or 'any-replica', got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--no-failover" => parsed.no_failover = true,
             "--execute" | "-e" => {
                 i += 1;
                 parsed.execute = Some(
@@ -51,7 +91,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--shutdown" => parsed.shutdown = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: hylite-cli [--addr HOST:PORT] [--execute SQL] [--shutdown]".into(),
+                    "usage: hylite-cli [--addr HOST:PORT] [--replicas HOST:PORT,...] \
+                     [--consistency session|any-replica] [--no-failover] \
+                     [--execute SQL] [--shutdown]"
+                        .into(),
                 )
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -61,9 +104,31 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     Ok(parsed)
 }
 
-fn run_one(client: &mut HyliteClient, sql: &str) -> bool {
+/// One connection, direct or routed — the REPL doesn't care which.
+enum Conn {
+    Single(HyliteClient),
+    Routed(Box<HyliteRouter>),
+}
+
+impl Conn {
+    fn query(&mut self, sql: &str) -> hylite_common::Result<RemoteResult> {
+        match self {
+            Conn::Single(c) => c.query(sql),
+            Conn::Routed(r) => r.query(sql),
+        }
+    }
+
+    fn error_code(&self) -> Option<u16> {
+        match self {
+            Conn::Single(c) => c.last_error_code().map(|c| c.as_u16()),
+            Conn::Routed(_) => None,
+        }
+    }
+}
+
+fn run_one(conn: &mut Conn, sql: &str) -> bool {
     let started = Instant::now();
-    match client.query(sql) {
+    match conn.query(sql) {
         Ok(result) => {
             let elapsed = started.elapsed();
             if !result.schema.is_empty() {
@@ -85,8 +150,8 @@ fn run_one(client: &mut HyliteClient, sql: &str) -> bool {
             true
         }
         Err(e) => {
-            match client.last_error_code() {
-                Some(code) => eprintln!("error [{}]: {e}", code.as_u16()),
+            match conn.error_code() {
+                Some(code) => eprintln!("error [{code}]: {e}"),
                 None => eprintln!("error: {e}"),
             }
             false
@@ -94,8 +159,59 @@ fn run_one(client: &mut HyliteClient, sql: &str) -> bool {
     }
 }
 
-fn repl(client: &mut HyliteClient) {
-    println!("hylite-cli connected (session {})", client.session_id());
+/// `\lag` — replication progress, with a friendly message when the
+/// server has nothing to report (pre-standalone-row servers).
+fn show_lag(conn: &mut Conn) {
+    match conn.query("SELECT * FROM hylite.replication") {
+        Ok(result) if result.row_count() == 0 => println!("no replication configured"),
+        Ok(result) => {
+            print!("{}", result.to_table_string());
+            println!("({} rows)", result.row_count());
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn show_route(conn: &Conn) {
+    match conn {
+        Conn::Single(_) => println!("not routed (single connection; use --replicas)"),
+        Conn::Routed(r) => {
+            match r.last_route() {
+                Some(route) => println!("last statement: {route}"),
+                None => println!("no statement routed yet"),
+            }
+            println!(
+                "primary {}  replicas [{}]  consistency {}",
+                r.primary_addr(),
+                r.replica_addrs().join(", "),
+                r.consistency()
+            );
+            let s = r.stats();
+            println!(
+                "writes {}  replica reads {}  primary reads {} ({} fallbacks)  \
+                 probes {}  ejections {}  failovers {}",
+                s.writes,
+                s.reads_replica,
+                s.reads_primary,
+                s.primary_fallbacks,
+                s.probes,
+                s.ejections,
+                s.failovers
+            );
+        }
+    }
+}
+
+fn repl(conn: &mut Conn) {
+    match conn {
+        Conn::Single(c) => println!("hylite-cli connected (session {})", c.session_id()),
+        Conn::Routed(r) => println!(
+            "hylite-cli routed: primary {}, {} replica(s), {} consistency",
+            r.primary_addr(),
+            r.replica_addrs().len(),
+            r.consistency()
+        ),
+    }
     println!("statements end with ';' — \\q quits, \\? lists meta-commands");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -120,24 +236,33 @@ fn repl(client: &mut HyliteClient) {
                 "" => continue,
                 "\\q" | "exit" | "quit" => break,
                 "\\cancelinfo" => {
-                    let h = client.cancel_handle();
-                    println!("{h:?}");
+                    match conn {
+                        Conn::Single(c) => println!("{:?}", c.cancel_handle()),
+                        Conn::Routed(_) => {
+                            println!("\\cancelinfo is per-connection; not available when routed")
+                        }
+                    }
                     continue;
                 }
                 // Meta-commands over the system views: plain SQL under the
                 // hood, so they work against any server (including replicas).
                 "\\metrics" => {
-                    run_one(client, "SELECT * FROM hylite.metrics");
+                    run_one(conn, "SELECT * FROM hylite.metrics");
                     continue;
                 }
                 "\\lag" => {
-                    run_one(client, "SELECT * FROM hylite.replication");
+                    show_lag(conn);
+                    continue;
+                }
+                "\\route" => {
+                    show_route(conn);
                     continue;
                 }
                 "\\help" | "\\?" => {
                     println!(
                         "\\q quit  \\cancelinfo cancel credentials  \
-                         \\metrics server metrics  \\lag replication status"
+                         \\metrics server metrics  \\lag replication status  \
+                         \\route router status"
                     );
                     continue;
                 }
@@ -147,7 +272,7 @@ fn repl(client: &mut HyliteClient) {
         buffer.push_str(&line);
         if trimmed.ends_with(';') {
             let sql = std::mem::take(&mut buffer);
-            run_one(client, sql.trim().trim_end_matches(';'));
+            run_one(conn, sql.trim().trim_end_matches(';'));
         }
     }
 }
@@ -173,26 +298,45 @@ fn main() -> ExitCode {
             }
         };
     }
-    let mut client = match HyliteClient::connect(&args.addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("connect to {} failed: {e}", args.addr);
-            return ExitCode::FAILURE;
+    let mut conn = if args.replicas.is_empty() {
+        match HyliteClient::connect(&args.addr) {
+            Ok(c) => Conn::Single(c),
+            Err(e) => {
+                eprintln!("connect to {} failed: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let config = RouterConfig::new(&args.addr)
+            .replicas(args.replicas.clone())
+            .consistency(args.consistency)
+            .auto_failover(!args.no_failover);
+        match HyliteRouter::connect(config) {
+            Ok(r) => Conn::Routed(Box::new(r)),
+            Err(e) => {
+                eprintln!("router connect to {} failed: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
         }
     };
     let code = match args.execute {
         Some(sql) => {
-            if run_one(&mut client, &sql) {
+            if run_one(&mut conn, &sql) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
             }
         }
         None => {
-            repl(&mut client);
+            repl(&mut conn);
             ExitCode::SUCCESS
         }
     };
-    let _ = client.close();
+    match conn {
+        Conn::Single(c) => {
+            let _ = c.close();
+        }
+        Conn::Routed(r) => r.close(),
+    }
     code
 }

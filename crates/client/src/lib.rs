@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod retry;
+pub mod router;
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant, SystemTime};
@@ -38,6 +39,7 @@ use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
 use hylite_common::{Chunk, HyError, Result, Row, Schema, Value};
 
 pub use retry::{is_retryable, RetryPolicy};
+pub use router::{Consistency, HyliteRouter, Route, RouterConfig, RouterStats};
 
 /// A blocking connection to a `hylite-server`.
 #[derive(Debug)]
@@ -209,6 +211,7 @@ impl HyliteClient {
             schema,
             chunks,
             rows_affected: summary.rows_affected,
+            lsn: summary.lsn,
         })
     }
 
@@ -363,6 +366,11 @@ pub struct Summary {
     pub rows_affected: u64,
     /// Total result rows streamed.
     pub total_rows: u64,
+    /// The serving node's durable LSN at completion: the commit
+    /// watermark on a primary, the applied LSN on a replica, `0` when
+    /// the node is non-durable (or predates the field). Routers use
+    /// this as a session-consistency token.
+    pub lsn: u64,
 }
 
 /// An in-flight streamed result. Yields chunks as they arrive; after
@@ -391,10 +399,12 @@ impl QueryStream<'_> {
             Ok(Frame::CommandComplete {
                 rows_affected,
                 total_rows,
+                lsn,
             }) => {
                 self.summary = Some(Summary {
                     rows_affected,
                     total_rows,
+                    lsn,
                 });
                 Ok(None)
             }
@@ -436,10 +446,12 @@ impl Drop for QueryStream<'_> {
                 Ok(Frame::CommandComplete {
                     rows_affected,
                     total_rows,
+                    lsn,
                 }) => {
                     self.summary = Some(Summary {
                         rows_affected,
                         total_rows,
+                        lsn,
                     });
                 }
                 Ok(Frame::Error { code, .. }) => {
@@ -468,6 +480,9 @@ pub struct RemoteResult {
     pub chunks: Vec<Chunk>,
     /// Rows inserted/updated/deleted by DML.
     pub rows_affected: u64,
+    /// The serving node's durable LSN at completion (see
+    /// [`Summary::lsn`]); `0` on non-durable servers.
+    pub lsn: u64,
 }
 
 impl RemoteResult {
@@ -574,6 +589,42 @@ pub fn request_shutdown(addr: impl ToSocketAddrs) -> Result<()> {
     }
 }
 
+/// Connect to a replica at `addr` and promote it to primary in place.
+/// Returns the promoted node's fresh `(epoch, durable_lsn)`. Idempotent
+/// on a node that is already a primary.
+pub fn request_promote(addr: impl ToSocketAddrs) -> Result<(u64, u64)> {
+    let mut stream = connect_any(addr)?;
+    wire::write_frame(&mut stream, &Frame::Promote)?;
+    match wire::read_frame(&mut stream)? {
+        Frame::PromoteOk { epoch, lsn } => Ok((epoch, lsn)),
+        Frame::Error { code, message } => Err(ErrorCode::from_u16(code).to_error(message)),
+        other => Err(HyError::Protocol(format!(
+            "expected PromoteOk, got {other:?}"
+        ))),
+    }
+}
+
+/// Connect to a replica at `addr` and re-point it at a new primary
+/// (`primary_addr`). The replica abandons its current stream and
+/// reconnects; epoch fencing makes it re-bootstrap if its history
+/// diverged from the new primary's.
+pub fn request_repoint(addr: impl ToSocketAddrs, primary_addr: &str) -> Result<()> {
+    let mut stream = connect_any(addr)?;
+    wire::write_frame(
+        &mut stream,
+        &Frame::Repoint {
+            primary_addr: primary_addr.to_string(),
+        },
+    )?;
+    match wire::read_frame(&mut stream)? {
+        Frame::CommandComplete { .. } => Ok(()),
+        Frame::Error { code, message } => Err(ErrorCode::from_u16(code).to_error(message)),
+        other => Err(HyError::Protocol(format!(
+            "expected CommandComplete, got {other:?}"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +638,7 @@ mod tests {
                 Chunk::new(vec![ColumnVector::from_i64(vec![3])]),
             ],
             rows_affected: 0,
+            lsn: 0,
         }
     }
 
@@ -609,6 +661,7 @@ mod tests {
             schema: Schema::new(vec![Field::new("x", DataType::Int64)]),
             chunks: vec![Chunk::new(vec![ColumnVector::from_i64(vec![7])])],
             rows_affected: 0,
+            lsn: 0,
         };
         assert_eq!(one.scalar().unwrap(), Value::Int(7));
     }

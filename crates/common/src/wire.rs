@@ -248,6 +248,13 @@ pub enum Frame {
         rows_affected: u64,
         /// Total result rows streamed in the preceding chunks.
         total_rows: u64,
+        /// The node's highest durable LSN when the statement completed
+        /// (`0` on a non-durable server). On a primary this is the commit
+        /// watermark; on a replica it is the last durably *applied* LSN.
+        /// Routers compare the two to decide whether a replica has caught
+        /// up with a session's writes ("read your own writes"). Absent in
+        /// protocol-v1 frames from older servers; decoded as `0` then.
+        lsn: u64,
     },
     /// Server → client: the statement (or handshake) failed.
     Error {
@@ -327,6 +334,30 @@ pub enum Frame {
         /// Highest durably applied LSN.
         lsn: u64,
     },
+    /// Client → server, first frame of an *admin* connection: promote
+    /// this replica to a writable primary in place (mint a fresh epoch,
+    /// stop following the old primary, start accepting writes). A no-op
+    /// on a server that is already a primary.
+    Promote,
+    /// Server → client: answer to [`Frame::Promote`].
+    PromoteOk {
+        /// The (possibly fresh) primary incarnation epoch after the
+        /// promotion took effect.
+        epoch: u64,
+        /// The node's highest durable LSN at promotion time.
+        lsn: u64,
+    },
+    /// Client → server, first frame of an *admin* connection: tell a
+    /// replica to follow a different primary (after a failover). The
+    /// replica redirects its apply loop; epoch fencing at the new
+    /// primary decides whether it can resume the stream or must
+    /// re-bootstrap — a stale fork is never served. Acknowledged with a
+    /// [`Frame::CommandComplete`], or [`Frame::Error`] if this server is
+    /// not a replica.
+    Repoint {
+        /// `host:port` of the new primary to follow.
+        primary_addr: String,
+    },
 }
 
 impl Frame {
@@ -366,6 +397,9 @@ impl Frame {
             Frame::SnapshotOffer { .. } => 14,
             Frame::WalFrame { .. } => 15,
             Frame::ReplicaAck { .. } => 16,
+            Frame::Promote => 17,
+            Frame::PromoteOk { .. } => 18,
+            Frame::Repoint { .. } => 19,
         }
     }
 }
@@ -530,9 +564,11 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::CommandComplete {
             rows_affected,
             total_rows,
+            lsn,
         } => {
             put_u64(&mut buf, *rows_affected);
             put_u64(&mut buf, *total_rows);
+            put_u64(&mut buf, *lsn);
         }
         Frame::Error { code, message } => {
             put_u16(&mut buf, *code);
@@ -576,6 +612,17 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             buf.extend_from_slice(payload);
         }
         Frame::ReplicaAck { lsn } => put_u64(&mut buf, *lsn),
+        Frame::Promote => {
+            put_u32(&mut buf, STARTUP_MAGIC);
+        }
+        Frame::PromoteOk { epoch, lsn } => {
+            put_u64(&mut buf, *epoch);
+            put_u64(&mut buf, *lsn);
+        }
+        Frame::Repoint { primary_addr } => {
+            put_u32(&mut buf, STARTUP_MAGIC);
+            put_str(&mut buf, primary_addr);
+        }
     }
     let len = (buf.len() - 4) as u32;
     buf[0..4].copy_from_slice(&len.to_le_bytes());
@@ -794,6 +841,9 @@ pub fn decode_frame(tag: u8, body: &[u8]) -> Result<Frame> {
         6 => Frame::CommandComplete {
             rows_affected: r.u64()?,
             total_rows: r.u64()?,
+            // Protocol-v1 servers predating the router omit the trailing
+            // LSN; decode it as 0 ("unknown") so old frames still parse.
+            lsn: if r.is_empty() { 0 } else { r.u64()? },
         },
         7 => Frame::Error {
             code: r.u16()?,
@@ -854,6 +904,30 @@ pub fn decode_frame(tag: u8, body: &[u8]) -> Result<Frame> {
             }
         }
         16 => Frame::ReplicaAck { lsn: r.u64()? },
+        17 => {
+            let magic = r.u32()?;
+            if magic != STARTUP_MAGIC {
+                return Err(HyError::Protocol(format!(
+                    "bad promote magic {magic:#010x} (not a HyLite client?)"
+                )));
+            }
+            Frame::Promote
+        }
+        18 => Frame::PromoteOk {
+            epoch: r.u64()?,
+            lsn: r.u64()?,
+        },
+        19 => {
+            let magic = r.u32()?;
+            if magic != STARTUP_MAGIC {
+                return Err(HyError::Protocol(format!(
+                    "bad repoint magic {magic:#010x} (not a HyLite client?)"
+                )));
+            }
+            Frame::Repoint {
+                primary_addr: r.str()?,
+            }
+        }
         other => return Err(HyError::Protocol(format!("unknown frame tag {other}"))),
     };
     if r.pos != body.len() {
@@ -936,6 +1010,7 @@ mod tests {
         roundtrip(Frame::CommandComplete {
             rows_affected: 7,
             total_rows: 123,
+            lsn: 99,
         });
         roundtrip(Frame::Error {
             code: ErrorCode::Overloaded.as_u16(),
@@ -977,6 +1052,53 @@ mod tests {
             payload: vec![0xAB; 37],
         });
         roundtrip(Frame::ReplicaAck { lsn: u64::MAX });
+    }
+
+    #[test]
+    fn admin_frames_roundtrip() {
+        roundtrip(Frame::Promote);
+        roundtrip(Frame::PromoteOk {
+            epoch: 0xFEED_FACE,
+            lsn: 41,
+        });
+        roundtrip(Frame::Repoint {
+            primary_addr: "10.0.0.7:5433".into(),
+        });
+    }
+
+    #[test]
+    fn admin_frames_require_magic() {
+        assert!(matches!(
+            decode_frame(17, &0xBADC0DEu32.to_le_bytes()),
+            Err(HyError::Protocol(_))
+        ));
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 0xBADC0DE);
+        put_str(&mut bytes, "x:1");
+        assert!(matches!(
+            decode_frame(19, &bytes),
+            Err(HyError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn command_complete_without_lsn_still_decodes() {
+        // A protocol-v1 frame from a server predating the router carries
+        // only rows_affected + total_rows; the missing LSN reads as 0.
+        let mut body = Vec::new();
+        put_u64(&mut body, 7);
+        put_u64(&mut body, 123);
+        assert_eq!(
+            decode_frame(6, &body).unwrap(),
+            Frame::CommandComplete {
+                rows_affected: 7,
+                total_rows: 123,
+                lsn: 0,
+            }
+        );
+        // But a partial trailing LSN is still a protocol error.
+        body.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(decode_frame(6, &body), Err(HyError::Protocol(_))));
     }
 
     #[test]

@@ -39,17 +39,113 @@ pub(crate) fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 &Frame::CommandComplete {
                     rows_affected: 0,
                     total_rows: 0,
+                    lsn: durable_lsn(&shared),
                 },
             );
         }
+        Frame::Promote => handle_promote(stream, &shared),
+        Frame::Repoint { primary_addr } => handle_repoint(stream, &shared, &primary_addr),
         _ => {
             let _ = wire::write_frame(
                 &mut stream,
                 &Frame::error_with_code(
                     ErrorCode::Protocol,
-                    "expected Startup, Cancel, Replicate, or Shutdown as the first frame",
+                    "expected Startup, Cancel, Replicate, Shutdown, Promote, or Repoint \
+                     as the first frame",
                 ),
             );
+        }
+    }
+}
+
+/// This node's highest durable LSN (`0` on a non-durable server).
+fn durable_lsn(shared: &Shared) -> u64 {
+    shared
+        .db
+        .durability()
+        .map(|d| d.next_lsn().saturating_sub(1))
+        .unwrap_or(0)
+}
+
+/// Admin frame: promote this replica to a writable primary in place.
+/// Idempotent on a node that already serves writes.
+fn handle_promote(mut stream: TcpStream, shared: &Shared) {
+    if !shared.db.is_replica() {
+        let Some(durability) = shared.db.durability() else {
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::error_with_code(
+                    ErrorCode::Protocol,
+                    "promotion requires a durable server (start it with --data-dir)",
+                ),
+            );
+            return;
+        };
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::PromoteOk {
+                epoch: durability.epoch(),
+                lsn: durable_lsn(shared),
+            },
+        );
+        return;
+    }
+    let Some(control) = shared.failover_control() else {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Internal,
+                "this replica has no failover control registered",
+            ),
+        );
+        return;
+    };
+    match control.promote() {
+        Ok(epoch) => {
+            shared.metrics.counter("server.promotions").inc();
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::PromoteOk {
+                    epoch,
+                    lsn: durable_lsn(shared),
+                },
+            );
+        }
+        Err(e) => {
+            let _ = wire::write_frame(&mut stream, &Frame::error(&e));
+        }
+    }
+}
+
+/// Admin frame: tell this replica to follow a different primary.
+fn handle_repoint(mut stream: TcpStream, shared: &Shared, primary_addr: &str) {
+    let control = match shared.failover_control() {
+        Some(c) if shared.db.is_replica() => c,
+        _ => {
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::error_with_code(
+                    ErrorCode::Protocol,
+                    "Repoint targets a replica; this server is not one",
+                ),
+            );
+            return;
+        }
+    };
+    match control.repoint(primary_addr) {
+        Ok(()) => {
+            shared.metrics.counter("server.repoints").inc();
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::CommandComplete {
+                    rows_affected: 0,
+                    total_rows: 0,
+                    lsn: durable_lsn(shared),
+                },
+            );
+        }
+        Err(e) => {
+            let _ = wire::write_frame(&mut stream, &Frame::error(&e));
         }
     }
 }
@@ -121,9 +217,10 @@ fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
         ));
     }
     // On a replica the session is already read-only; replace the generic
-    // redirect message with the primary's actual address.
-    if let Some(primary) = &shared.config.read_only_primary {
-        session.set_read_only(primary.clone());
+    // redirect message with the primary's actual address. Runtime state,
+    // not config: a promotion clears it and a repoint rewrites it.
+    if let Some(primary) = shared.read_only_primary() {
+        session.set_read_only(primary);
     }
 
     // The wire session id IS the engine session id, so `hylite.sessions`,
@@ -310,6 +407,9 @@ fn stream_result(stream: &mut TcpStream, result: &QueryResult, shared: &Shared) 
         &Frame::CommandComplete {
             rows_affected: result.rows_affected as u64,
             total_rows: rows,
+            // The durable watermark travels with every completion so a
+            // router can track each node's applied LSN for free.
+            lsn: durable_lsn(shared),
         },
     )?;
     shared.metrics.counter("server.rows_sent").add(rows);

@@ -28,10 +28,10 @@
 //! error, whose message names the primary's address.
 
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use hylite_client::RetryPolicy;
 use hylite_common::sysview::{SystemView, SystemViewProvider};
@@ -41,7 +41,7 @@ use hylite_core::{Database, Durability};
 use parking_lot::Mutex;
 
 use crate::config::ServerConfig;
-use crate::server::{Server, ServerHandle};
+use crate::server::{FailoverControl, Server, ServerHandle, Shared};
 
 /// Tunables of the replica's apply loop.
 #[derive(Debug, Clone)]
@@ -130,19 +130,120 @@ impl ReplicaStatus {
     }
 }
 
+/// Control surface shared by the apply loop, the [`ReplicaHandle`], and
+/// the failover hooks the embedded server's admin frames call into.
+struct ApplyControl {
+    /// Stop the apply loop (shutdown or in-place promotion).
+    stop: AtomicBool,
+    /// True while the apply loop is running; a promotion waits for it to
+    /// clear before flipping the role, so no replicated frame can land
+    /// after the flip.
+    running: AtomicBool,
+    /// The primary currently being followed. A `Repoint` rewrites it;
+    /// the loop re-reads it on every (re)connect.
+    primary_addr: Mutex<String>,
+    /// Bumped on every repoint so a loop stuck in reconnect backoff
+    /// abandons the sleep and tries the new address immediately.
+    generation: AtomicU64,
+    /// Reconnect attempt counter for the backoff curve; reset on any
+    /// stream progress and on repoint.
+    retry: AtomicU32,
+    /// Socket of the current streaming session, for unblocking its
+    /// blocking read from the outside.
+    current: Mutex<Option<TcpStream>>,
+}
+
+impl ApplyControl {
+    fn kick_current(&self) {
+        if let Some(s) = self.current.lock().as_ref() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The [`FailoverControl`] a replica registers on its embedded server:
+/// translates the `Promote`/`Repoint` admin frames into apply-loop and
+/// durability operations.
+struct ReplicaFailover {
+    db: Arc<Database>,
+    control: Arc<ApplyControl>,
+    status: Arc<ReplicaStatus>,
+    shared: Arc<Shared>,
+}
+
+/// How long a promotion waits for the apply loop to wind down before
+/// giving up (it only has to finish applying at most one frame).
+const PROMOTE_STOP_DEADLINE: Duration = Duration::from_secs(10);
+
+impl FailoverControl for ReplicaFailover {
+    fn promote(&self) -> Result<u64> {
+        if self.status.has_failed() {
+            return Err(HyError::Storage(
+                "this replica hit a local fault and cannot vouch for its state; \
+                 promote a healthy node instead"
+                    .into(),
+            ));
+        }
+        // Stop following first: the apply loop must be fully out before
+        // the role flips, so no replicated frame lands on a primary.
+        self.control.stop.store(true, Ordering::Release);
+        self.control.kick_current();
+        let deadline = Instant::now() + PROMOTE_STOP_DEADLINE;
+        while self.control.running.load(Ordering::Acquire) {
+            if Instant::now() > deadline {
+                return Err(HyError::Internal(
+                    "the apply loop did not stop within the promotion deadline".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let durability = self
+            .db
+            .durability()
+            .expect("replica database is durable")
+            .clone();
+        let epoch = durability.promote_to_primary()?;
+        // New sessions are writable from here on; existing read-only
+        // sessions keep their redirect until the client reconnects.
+        self.shared.set_writable();
+        Ok(epoch)
+    }
+
+    fn repoint(&self, primary_addr: &str) -> Result<()> {
+        if self.control.stop.load(Ordering::Acquire) {
+            return Err(HyError::Unavailable(
+                "this node is no longer following a primary (stopped or promoted)".into(),
+            ));
+        }
+        *self.control.primary_addr.lock() = primary_addr.to_owned();
+        self.control.retry.store(0, Ordering::Release);
+        self.control.generation.fetch_add(1, Ordering::AcqRel);
+        self.shared.set_read_only_primary(primary_addr);
+        // Kill the current stream (if any) so the loop reconnects to the
+        // new address; epoch fencing there decides resume vs re-bootstrap.
+        self.control.kick_current();
+        Ok(())
+    }
+}
+
 /// The replica's [`SystemViewProvider`]: contributes this node's single
 /// self-row to `hylite.replication` (the primary's provider contributes
 /// the per-stream rows on the other side of the wire).
 struct ReplicaViews {
     status: Arc<ReplicaStatus>,
     durability: Arc<Durability>,
-    primary_addr: String,
+    control: Arc<ApplyControl>,
 }
 
 impl SystemViewProvider for ReplicaViews {
     fn system_view_rows(&self, view: SystemView) -> Option<Vec<Vec<Value>>> {
         if view != SystemView::Replication {
             return None;
+        }
+        if self.durability.role() != hylite_core::ReplRole::Replica {
+            // Promoted in place: the server's own provider reports the
+            // primary-side rows now; no stale self-row.
+            return Some(Vec::new());
         }
         let state = if self.status.has_failed() {
             "failed"
@@ -151,9 +252,10 @@ impl SystemViewProvider for ReplicaViews {
         } else {
             "disconnected"
         };
+        let primary_addr = self.control.primary_addr.lock().clone();
         Some(vec![vec![
             Value::from("replica"),
-            Value::from(self.primary_addr.as_str()),
+            Value::from(primary_addr.as_str()),
             Value::from(state),
             Value::Int(self.durability.epoch() as i64),
             Value::Null, // sent_lsn is the primary's side of the ledger
@@ -192,33 +294,46 @@ impl Replica {
         let server = Server::start(server_config, Arc::clone(&db))?;
         let local_addr = server.local_addr();
         let server_shared = server.shared();
-        let stop = Arc::new(AtomicBool::new(false));
         let status = Arc::new(ReplicaStatus::default());
-        let current = Arc::new(Mutex::new(None::<TcpStream>));
+        let control = Arc::new(ApplyControl {
+            stop: AtomicBool::new(false),
+            // Set before the thread spawns so a promotion arriving right
+            // after startup still waits for the loop to exit.
+            running: AtomicBool::new(true),
+            primary_addr: Mutex::new(config.primary_addr.clone()),
+            generation: AtomicU64::new(0),
+            retry: AtomicU32::new(0),
+            current: Mutex::new(None),
+        });
         // This node's self-row in `hylite.replication`; the hub holds it
         // weakly, the handle keeps it alive for the replica's lifetime.
         let views = Arc::new(ReplicaViews {
             status: Arc::clone(&status),
             durability: Arc::clone(db.durability().expect("replica database is durable")),
-            primary_addr: config.primary_addr.clone(),
+            control: Arc::clone(&control),
         });
         db.system_views()
             .register(Arc::downgrade(&views) as std::sync::Weak<dyn SystemViewProvider>);
+        // Wire the admin frames (Promote / Repoint) into this apply loop.
+        server_shared.set_failover_control(Arc::new(ReplicaFailover {
+            db: Arc::clone(&db),
+            control: Arc::clone(&control),
+            status: Arc::clone(&status),
+            shared: Arc::clone(&server_shared),
+        }));
         let apply_thread = {
             let db = Arc::clone(&db);
-            let stop = Arc::clone(&stop);
+            let control = Arc::clone(&control);
             let status = Arc::clone(&status);
-            let current = Arc::clone(&current);
             std::thread::Builder::new()
                 .name("hylite-repl-apply".into())
-                .spawn(move || apply_loop(&db, &config, &stop, &status, &current, &server_shared))
+                .spawn(move || apply_loop(&db, &config, &control, &status, &server_shared))
                 .map_err(|e| HyError::Internal(format!("spawning apply loop failed: {e}")))?
         };
         Ok(ReplicaHandle {
             server: Some(server),
-            stop,
+            control,
             status,
-            current,
             apply_thread: Some(apply_thread),
             local_addr,
             _views: views,
@@ -229,9 +344,8 @@ impl Replica {
 /// Handle to a running replica: the serving side plus the apply loop.
 pub struct ReplicaHandle {
     server: Option<ServerHandle>,
-    stop: Arc<AtomicBool>,
+    control: Arc<ApplyControl>,
     status: Arc<ReplicaStatus>,
-    current: Arc<Mutex<Option<TcpStream>>>,
     apply_thread: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
     /// Keeps this node's `hylite.replication` self-row registered.
@@ -272,11 +386,9 @@ impl ReplicaHandle {
     }
 
     fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.control.stop.store(true, Ordering::Release);
         // Unblock the apply loop's blocking read.
-        if let Some(s) = self.current.lock().as_ref() {
-            let _ = s.shutdown(Shutdown::Both);
-        }
+        self.control.kick_current();
         if let Some(t) = self.apply_thread.take() {
             let _ = t.join();
         }
@@ -307,33 +419,36 @@ enum SessionEnd {
 fn apply_loop(
     db: &Arc<Database>,
     config: &ReplicaConfig,
-    stop: &AtomicBool,
+    control: &ApplyControl,
     status: &ReplicaStatus,
-    current: &Mutex<Option<TcpStream>>,
     server_shared: &Arc<crate::server::Shared>,
 ) {
     let durability = Arc::clone(db.durability().expect("replica database is durable"));
     let metrics = Arc::clone(db.metrics());
-    let mut retry: u32 = 0;
-    while !stop.load(Ordering::Acquire) {
-        let end = stream_session(db, &durability, config, stop, status, current, &mut retry);
+    while !control.stop.load(Ordering::Acquire) {
+        let generation = control.generation.load(Ordering::Acquire);
+        let end = stream_session(db, &durability, config, control, status);
         status.connected.store(false, Ordering::Release);
-        current.lock().take();
+        control.current.lock().take();
         match end {
             SessionEnd::Stopped => break,
             SessionEnd::Disconnect => {
-                if stop.load(Ordering::Acquire) {
+                if control.stop.load(Ordering::Acquire) {
                     break;
                 }
                 metrics.counter("repl.disconnects").inc();
                 // Capped exponential backoff with deterministic jitter;
-                // sliced so shutdown stays responsive.
+                // sliced so shutdown stays responsive and a repoint (new
+                // generation) reconnects immediately.
+                let retry = control.retry.fetch_add(1, Ordering::AcqRel);
                 let backoff = config
                     .retry
                     .jittered_backoff(retry.min(16), config.backoff_seed);
-                retry = retry.saturating_add(1);
                 let deadline = std::time::Instant::now() + backoff;
-                while std::time::Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+                while std::time::Instant::now() < deadline
+                    && !control.stop.load(Ordering::Acquire)
+                    && control.generation.load(Ordering::Acquire) == generation
+                {
                     std::thread::sleep(Duration::from_millis(10));
                 }
             }
@@ -348,27 +463,26 @@ fn apply_loop(
             }
         }
     }
+    control.running.store(false, Ordering::Release);
 }
 
 /// One connected streaming session: handshake, then apply frames until
 /// the connection drops or shutdown is requested.
-#[allow(clippy::too_many_arguments)]
 fn stream_session(
     db: &Arc<Database>,
     durability: &Arc<Durability>,
     config: &ReplicaConfig,
-    stop: &AtomicBool,
+    control: &ApplyControl,
     status: &ReplicaStatus,
-    current: &Mutex<Option<TcpStream>>,
-    retry: &mut u32,
 ) -> SessionEnd {
-    let mut stream = match TcpStream::connect(&config.primary_addr) {
+    let primary_addr = control.primary_addr.lock().clone();
+    let mut stream = match TcpStream::connect(&primary_addr) {
         Ok(s) => s,
         Err(_) => return SessionEnd::Disconnect,
     };
     let _ = stream.set_nodelay(true);
     match stream.try_clone() {
-        Ok(clone) => *current.lock() = Some(clone),
+        Ok(clone) => *control.current.lock() = Some(clone),
         Err(_) => return SessionEnd::Disconnect,
     }
     // Resume point: the local WAL's next LSN minus one is the last commit
@@ -386,13 +500,13 @@ fn stream_session(
     db.metrics().counter("repl.connects").inc();
 
     loop {
-        if stop.load(Ordering::Acquire) {
+        if control.stop.load(Ordering::Acquire) {
             return SessionEnd::Stopped;
         }
         let frame = match wire::read_frame(&mut stream) {
             Ok(f) => f,
             Err(_) => {
-                return if stop.load(Ordering::Acquire) {
+                return if control.stop.load(Ordering::Acquire) {
                     SessionEnd::Stopped
                 } else {
                     SessionEnd::Disconnect
@@ -402,7 +516,7 @@ fn stream_session(
         match frame {
             Frame::ReplicateOk { .. } => {
                 // Resume accepted; frames follow from our own last_lsn+1.
-                *retry = 0;
+                control.retry.store(0, Ordering::Release);
             }
             Frame::SnapshotOffer {
                 epoch,
@@ -418,7 +532,7 @@ fn stream_session(
                 if let Err(e) = install {
                     return SessionEnd::Fatal(e);
                 }
-                *retry = 0;
+                control.retry.store(0, Ordering::Release);
                 status.bootstraps.fetch_add(1, Ordering::AcqRel);
                 status.mark_applied(base_lsn.saturating_sub(1));
                 db.metrics()
@@ -446,7 +560,7 @@ fn stream_session(
                     // trusted past this point.
                     return SessionEnd::Fatal(e);
                 }
-                *retry = 0;
+                control.retry.store(0, Ordering::Release);
                 status.mark_applied(lsn);
                 db.metrics().gauge("repl.applied_lsn").set(lsn as i64);
                 // The frame is fsynced (append_raw_frame always flushes)

@@ -38,6 +38,20 @@ use crate::server::{ReplStreamStats, Shared};
 /// Frames fetched from the WAL per poll (bounds commit-lock hold time).
 const TAIL_BATCH_FRAMES: usize = 64;
 
+/// Sleep out the configured poll interval in small slices, waking early
+/// when the server starts draining — shutdown must never wait out a
+/// long `repl_poll_interval`.
+fn poll_sleep(shared: &Shared) {
+    let deadline = Instant::now() + shared.config.repl_poll_interval;
+    while !shared.is_draining() {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(std::time::Duration::from_millis(20)));
+    }
+}
+
 /// Entry point for a connection whose first frame was `Replicate`.
 pub(crate) fn serve_replication(
     mut stream: TcpStream,
@@ -225,14 +239,14 @@ fn stream_to_replica(
                     shared.config.repl_max_unacked_bytes, shared.config.repl_ack_timeout
                 )));
             }
-            std::thread::sleep(shared.config.repl_poll_interval);
+            poll_sleep(shared);
             continue;
         }
         match durability.read_replication_tail(cursor, TAIL_BATCH_FRAMES)? {
             ReplTail::Frames { frames, .. } => {
                 if frames.is_empty() {
                     // Caught up; poll for new commits.
-                    std::thread::sleep(shared.config.repl_poll_interval);
+                    poll_sleep(shared);
                     continue;
                 }
                 let mut write_failed = false;

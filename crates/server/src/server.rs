@@ -50,6 +50,17 @@ pub(crate) struct ReplStreamStats {
     pub bootstraps: AtomicU64,
 }
 
+/// Failover hooks a replica registers on its embedded server, so the
+/// admin wire frames (`Promote`, `Repoint`) can drive the apply loop
+/// without restarting the process.
+pub(crate) trait FailoverControl: Send + Sync {
+    /// Stop following the primary and flip this node to a writable
+    /// primary in place; returns the fresh epoch.
+    fn promote(&self) -> Result<u64>;
+    /// Start following a different primary address.
+    fn repoint(&self, primary_addr: &str) -> Result<()>;
+}
+
 /// State shared by the accept loop and every connection thread.
 pub(crate) struct Shared {
     pub db: Arc<Database>,
@@ -70,6 +81,14 @@ pub(crate) struct Shared {
     /// Live primary→replica streams by stream id.
     pub repl_streams: Mutex<HashMap<u64, Arc<ReplStreamStats>>>,
     next_repl_stream_id: AtomicU64,
+    /// Runtime read-only redirect: `Some(primary_addr)` while this node
+    /// follows a primary, cleared by an in-place promotion. Seeded from
+    /// [`ServerConfig::read_only_primary`]; new sessions consult this,
+    /// not the config, so a promotion takes effect without a restart.
+    read_only_primary: Mutex<Option<String>>,
+    /// Registered by [`crate::Replica`] so admin frames can promote /
+    /// repoint the apply loop.
+    failover: Mutex<Option<Arc<dyn FailoverControl>>>,
 }
 
 impl Shared {
@@ -90,6 +109,34 @@ impl Shared {
 
     pub fn request_shutdown(&self) {
         self.shutdown_requested.store(true, Ordering::Release);
+    }
+
+    /// The primary address new sessions should be redirected to for
+    /// writes, `None` once this node serves writes itself.
+    pub fn read_only_primary(&self) -> Option<String> {
+        self.read_only_primary.lock().clone()
+    }
+
+    /// Redirect writes to a (new) primary address — a repointed replica.
+    pub fn set_read_only_primary(&self, primary_addr: &str) {
+        *self.read_only_primary.lock() = Some(primary_addr.to_owned());
+    }
+
+    /// Clear the read-only redirect — this node was promoted and now
+    /// accepts writes. Sessions opened before the promotion stay
+    /// read-only; clients reconnect (the router does this on failover).
+    pub fn set_writable(&self) {
+        self.read_only_primary.lock().take();
+    }
+
+    /// Install the failover hooks (called by `Replica::start`).
+    pub fn set_failover_control(&self, control: Arc<dyn FailoverControl>) {
+        *self.failover.lock() = Some(control);
+    }
+
+    /// The registered failover hooks, if this server fronts a replica.
+    pub fn failover_control(&self) -> Option<Arc<dyn FailoverControl>> {
+        self.failover.lock().clone()
     }
 
     /// Register a new primary→replica stream; returns its id and stats
@@ -152,9 +199,27 @@ impl SystemViewProvider for Shared {
                 // the provider its `Replica` handle registers.
                 self.refresh_repl_gauges();
                 let next_lsn = self.db.durability().map(|d| d.next_lsn()).unwrap_or(1);
+                let streams = self.repl_streams.lock();
+                // A standalone node — not following a primary, no replica
+                // attached — reports one explicit row instead of an empty
+                // table, so `\lag` never renders silence as an answer.
+                if streams.is_empty() && !self.db.is_replica() {
+                    let epoch = self.db.durability().map(|d| d.epoch()).unwrap_or(0);
+                    return Some(vec![vec![
+                        Value::from("standalone"),
+                        Value::Null,
+                        Value::from("no replication configured"),
+                        Value::Int(epoch as i64),
+                        Value::Null,
+                        Value::Null,
+                        Value::Null,
+                        Value::Null,
+                        Value::Null,
+                        Value::Null,
+                    ]]);
+                }
                 Some(
-                    self.repl_streams
-                        .lock()
+                    streams
                         .values()
                         .map(|s| {
                             let acked = s.acked_lsn.load(Ordering::Acquire);
@@ -224,7 +289,10 @@ impl Server {
             conn_threads: Mutex::new(Vec::new()),
             repl_streams: Mutex::new(HashMap::new()),
             next_repl_stream_id: AtomicU64::new(1),
+            read_only_primary: Mutex::new(None),
+            failover: Mutex::new(None),
         });
+        *shared.read_only_primary.lock() = shared.config.read_only_primary.clone();
         // Register the lag gauges at zero so `hylite_repl_lag_bytes` is
         // always present in a scrape, replica attached or not, and plug
         // the server into the database's system-view hub (connections,

@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use hylite_common::faultfs::Vfs;
 use hylite_common::{HyError, MetricsRegistry, Result};
@@ -135,9 +135,11 @@ pub struct Durability {
     dir: PathBuf,
     metrics: Arc<MetricsRegistry>,
     wal: Mutex<WalWriter>,
-    /// The directory's role this incarnation (fixed until restart —
-    /// promotion is restart-based).
-    role: ReplRole,
+    /// The directory's current role, as [`ReplRole::as_u8`]. Flips from
+    /// replica to primary exactly once per incarnation, via
+    /// [`Durability::promote_to_primary`] (in-place failover) — never the
+    /// other way.
+    role: AtomicU8,
     /// Current replication epoch. Mutated only by
     /// [`Durability::install_bootstrap`] (a replica adopting its
     /// primary's epoch).
@@ -206,7 +208,7 @@ impl Durability {
                 dir: dir.to_owned(),
                 metrics,
                 wal: Mutex::new(wal),
-                role: options.role,
+                role: AtomicU8::new(options.role.as_u8()),
                 epoch: AtomicU64::new(epoch),
             },
             catalog,
@@ -295,9 +297,45 @@ impl Durability {
 
     // -- replication ------------------------------------------------------
 
-    /// The role this directory was opened under.
+    /// The directory's current role. Starts as the role it was opened
+    /// under; an in-place [`Durability::promote_to_primary`] flips a
+    /// replica to primary without a restart.
     pub fn role(&self) -> ReplRole {
-        self.role
+        match self.role.load(Ordering::SeqCst) {
+            1 => ReplRole::Primary,
+            _ => ReplRole::Replica,
+        }
+    }
+
+    /// Promote this replica to a writable primary **in place**: mint a
+    /// fresh epoch, durably persist the new role + epoch in
+    /// `replstate.hylite`, and flip [`Durability::role`]. The fresh epoch
+    /// fences everything that followed the *old* primary — any replica
+    /// repointed here presents a foreign epoch and is re-bootstrapped
+    /// instead of resuming over a potential fork.
+    ///
+    /// The caller must have stopped the apply loop first: no replicated
+    /// frame may land after the flip. Holds the commit lock so the flip
+    /// serializes against commits and checkpoints. Idempotent on a node
+    /// that is already a primary (returns the current epoch unchanged).
+    pub fn promote_to_primary(&self) -> Result<u64> {
+        let _wal = self.wal.lock();
+        if self.role() == ReplRole::Primary {
+            return Ok(self.epoch());
+        }
+        let epoch = next_epoch(self.epoch());
+        store_repl_state(
+            self.vfs.as_ref(),
+            &self.dir,
+            ReplState {
+                role: ReplRole::Primary,
+                epoch,
+            },
+        )?;
+        self.epoch.store(epoch, Ordering::SeqCst);
+        self.role.store(ReplRole::Primary.as_u8(), Ordering::SeqCst);
+        self.metrics.counter("repl.promotions").inc();
+        Ok(epoch)
     }
 
     /// The current replication epoch (see [`crate::repl`]).
@@ -417,7 +455,7 @@ impl Durability {
             self.vfs.as_ref(),
             &self.dir,
             ReplState {
-                role: self.role,
+                role: self.role(),
                 epoch,
             },
         )?;
@@ -561,6 +599,31 @@ mod tests {
         );
         assert_eq!(p.role(), ReplRole::Primary);
         assert_ne!(p.epoch(), 0);
+    }
+
+    #[test]
+    fn in_place_promotion_flips_role_and_mints_fresh_epoch_durably() {
+        let fault = FaultVfs::new();
+        let (r, rcat, _) = open_fault(&fault, replica_options());
+        // Give the replica a nonzero epoch as a bootstrap would.
+        make_table(&rcat);
+        let (p, pcat, _) = open_fault(&FaultVfs::new(), DurabilityOptions::default());
+        make_table(&pcat);
+        let (_, snap) = p.bootstrap_snapshot(&pcat).unwrap();
+        r.install_bootstrap(&rcat, p.epoch(), &snap).unwrap();
+        let old_epoch = r.epoch();
+        assert_eq!(r.role(), ReplRole::Replica);
+
+        let epoch = r.promote_to_primary().unwrap();
+        assert_eq!(r.role(), ReplRole::Primary);
+        assert_ne!(epoch, 0);
+        assert_ne!(epoch, old_epoch, "promotion fences the old incarnation");
+        // Idempotent on a primary: same epoch back, no re-mint.
+        assert_eq!(r.promote_to_primary().unwrap(), epoch);
+        // The flip is durable: a plain primary reopen needs no --promote.
+        drop(r);
+        let (reopened, _, _) = open_fault(&fault, DurabilityOptions::default());
+        assert_eq!(reopened.role(), ReplRole::Primary);
     }
 
     #[test]

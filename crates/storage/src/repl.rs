@@ -54,7 +54,7 @@ pub enum ReplRole {
 }
 
 impl ReplRole {
-    fn as_u8(self) -> u8 {
+    pub(crate) fn as_u8(self) -> u8 {
         match self {
             ReplRole::Primary => 1,
             ReplRole::Replica => 2,

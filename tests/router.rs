@@ -1,0 +1,470 @@
+//! The replica-fleet query router, end to end over real TCP: session
+//! consistency under injected replication lag, rotation health when a
+//! replica dies mid-stream, and router-driven promotion when the primary
+//! goes away.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hylite_client::{
+    request_promote, request_repoint, Consistency, HyliteClient, HyliteRouter, RetryPolicy, Route,
+    RouterConfig,
+};
+use hylite_common::faultfs::{FaultVfs, Vfs};
+use hylite_common::Value;
+use hylite_core::{Database, DurabilityOptions, ReplRole};
+use hylite_server::{Replica, ReplicaConfig, ReplicaHandle, Server, ServerConfig};
+
+fn data_dir() -> PathBuf {
+    PathBuf::from("data")
+}
+
+fn open_primary(fault: &FaultVfs) -> Arc<Database> {
+    Arc::new(
+        Database::open_with(
+            Arc::new(fault.clone()) as Arc<dyn Vfs>,
+            &data_dir(),
+            DurabilityOptions::default(),
+        )
+        .expect("open primary database"),
+    )
+}
+
+fn open_replica_db() -> Arc<Database> {
+    Arc::new(
+        Database::open_with(
+            Arc::new(FaultVfs::new()) as Arc<dyn Vfs>,
+            &data_dir(),
+            DurabilityOptions {
+                role: ReplRole::Replica,
+                ..DurabilityOptions::default()
+            },
+        )
+        .expect("open replica database"),
+    )
+}
+
+/// Replication ships new WAL frames within a millisecond.
+fn fast_server_config() -> ServerConfig {
+    ServerConfig {
+        repl_poll_interval: Duration::from_millis(1),
+        drain_timeout: Duration::from_millis(500),
+        ..ServerConfig::ephemeral()
+    }
+}
+
+/// Injected lag: the primary only polls for new WAL frames to ship every
+/// ten minutes, so anything committed after a replica attaches stays
+/// invisible on it for the whole test.
+fn lagging_server_config() -> ServerConfig {
+    ServerConfig {
+        repl_poll_interval: Duration::from_secs(600),
+        drain_timeout: Duration::from_millis(500),
+        ..ServerConfig::ephemeral()
+    }
+}
+
+fn fast_replica_config(primary_addr: impl Into<String>) -> ReplicaConfig {
+    let mut config = ReplicaConfig::new(primary_addr);
+    config.retry = RetryPolicy {
+        initial_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(50),
+        ..RetryPolicy::default()
+    };
+    config
+}
+
+fn start_replica(server_config: ServerConfig, primary_addr: &str) -> ReplicaHandle {
+    Replica::start(
+        open_replica_db(),
+        server_config,
+        fast_replica_config(primary_addr),
+    )
+    .expect("start replica")
+}
+
+/// A router that gives up on a dead node within milliseconds instead of
+/// the default 30-second deadline.
+fn fast_router_config(primary_addr: &str) -> RouterConfig {
+    RouterConfig::new(primary_addr)
+        .retry(RetryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            deadline: Duration::from_secs(2),
+        })
+        .probe_interval(Duration::from_millis(1))
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Poll a node until a `SELECT 1` on it reports an applied LSN at or
+/// past `target` (the LSN piggybacked on every CommandComplete).
+fn wait_caught_up(addr: std::net::SocketAddr, target: u64) {
+    wait_until(
+        &format!("{addr} to reach lsn {target}"),
+        Duration::from_secs(20),
+        || {
+            let Ok(mut c) = HyliteClient::connect(addr) else {
+                return false;
+            };
+            let caught_up = c.query("SELECT 1").map(|r| r.lsn >= target);
+            let _ = c.close();
+            caught_up.unwrap_or(false)
+        },
+    );
+}
+
+fn as_int(v: Value) -> i64 {
+    match v {
+        Value::Int(i) => i,
+        other => panic!("expected Int, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session consistency: read-your-own-writes under injected lag.
+// ---------------------------------------------------------------------
+
+#[test]
+fn read_your_writes_survives_injected_replica_lag() {
+    let primary = open_primary(&FaultVfs::new());
+    primary.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    let p_handle = Server::start(lagging_server_config(), Arc::clone(&primary)).unwrap();
+    let p_addr = p_handle.local_addr().to_string();
+    let replica = start_replica(lagging_server_config(), &p_addr);
+
+    // The replica bootstraps from a snapshot, so the (pre-attach) empty
+    // table is visible; wait until it serves.
+    wait_until("replica to serve", Duration::from_secs(20), || {
+        let Ok(mut c) = HyliteClient::connect(replica.local_addr()) else {
+            return false;
+        };
+        let ok = c.query("SELECT count(*) FROM t").is_ok();
+        let _ = c.close();
+        ok
+    });
+
+    let mut router = HyliteRouter::connect(
+        fast_router_config(&p_addr)
+            .replica(replica.local_addr().to_string())
+            .consistency(Consistency::Session),
+    )
+    .unwrap();
+
+    // Write, then read *immediately*. The replica cannot have applied
+    // the write (the primary ships new frames every ten minutes), so
+    // session consistency must route the read to the primary — and the
+    // row must be visible.
+    router.query("INSERT INTO t VALUES (42)").unwrap();
+    assert!(router.last_write_lsn() > 0, "write recorded a token");
+    let r = router.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(as_int(r.value(0, 0).unwrap()), 1, "read your own write");
+    match router.last_route().unwrap() {
+        Route::Primary(addr) => assert_eq!(addr, &p_addr),
+        other => panic!("lagging replica served a session read: {other:?}"),
+    }
+    let stats = *router.stats();
+    assert!(stats.probes >= 1, "freshness was probed: {stats:?}");
+    assert!(stats.primary_fallbacks >= 1, "fallback counted: {stats:?}");
+
+    // The same read through an any-replica router is allowed to be
+    // stale — and deterministically is, given the injected lag.
+    let mut loose = HyliteRouter::connect(
+        fast_router_config(&p_addr)
+            .replica(replica.local_addr().to_string())
+            .consistency(Consistency::AnyReplica),
+    )
+    .unwrap();
+    let r = loose.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(
+        as_int(r.value(0, 0).unwrap()),
+        0,
+        "any-replica mode trades freshness for scale-out"
+    );
+    assert!(
+        matches!(loose.last_route().unwrap(), Route::Replica(_)),
+        "served by the lagging replica"
+    );
+
+    loose.close();
+    router.close();
+    replica.shutdown();
+    p_handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Rotation health: a replica dying mid-rotation costs one ejection, not
+// an error surfaced to the caller.
+// ---------------------------------------------------------------------
+
+#[test]
+fn reads_survive_replica_death_via_ejection_and_retry() {
+    let primary = open_primary(&FaultVfs::new());
+    primary.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    primary.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let p_handle = Server::start(fast_server_config(), Arc::clone(&primary)).unwrap();
+    let p_addr = p_handle.local_addr().to_string();
+    let doomed = start_replica(fast_server_config(), &p_addr);
+    let healthy = start_replica(fast_server_config(), &p_addr);
+
+    let mut probe = HyliteClient::connect(p_handle.local_addr()).unwrap();
+    let target = probe.query("SELECT 1").unwrap().lsn;
+    probe.close().unwrap();
+    wait_caught_up(doomed.local_addr(), target);
+    wait_caught_up(healthy.local_addr(), target);
+
+    let healthy_addr = healthy.local_addr().to_string();
+    let mut router = HyliteRouter::connect(
+        fast_router_config(&p_addr)
+            .replica(doomed.local_addr().to_string())
+            .replica(healthy_addr.clone())
+            .consistency(Consistency::Session),
+    )
+    .unwrap();
+
+    // Warm the rotation: both replicas serve.
+    for _ in 0..4 {
+        router.query("SELECT count(*) FROM t").unwrap();
+    }
+    assert_eq!(router.stats().reads_replica, 4);
+
+    // Kill one replica; every subsequent read must still succeed — the
+    // router ejects the dead node and retries on the healthy one.
+    doomed.shutdown();
+    let mut healthy_served = 0;
+    for _ in 0..6 {
+        let r = router.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(as_int(r.value(0, 0).unwrap()), 2);
+        if router.last_route() == Some(&Route::Replica(healthy_addr.clone())) {
+            healthy_served += 1;
+        }
+    }
+    let stats = *router.stats();
+    assert!(stats.ejections >= 1, "dead replica was ejected: {stats:?}");
+    assert!(
+        healthy_served >= 3,
+        "healthy replica picked up the rotation ({healthy_served} of 6): {stats:?}"
+    );
+    assert_eq!(stats.failovers, 0, "the primary never went away");
+
+    router.close();
+    healthy.shutdown();
+    p_handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Failover: the router drives promotion + re-pointing when the primary
+// dies, and the session keeps reading its own writes afterwards.
+// ---------------------------------------------------------------------
+
+#[test]
+fn router_promotes_a_replica_when_the_primary_dies() {
+    let primary = open_primary(&FaultVfs::new());
+    primary.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    let p_handle = Server::start(fast_server_config(), Arc::clone(&primary)).unwrap();
+    let p_addr = p_handle.local_addr().to_string();
+    let replica_a = start_replica(fast_server_config(), &p_addr);
+    let replica_b = start_replica(fast_server_config(), &p_addr);
+    let fleet: Vec<String> = vec![
+        replica_a.local_addr().to_string(),
+        replica_b.local_addr().to_string(),
+    ];
+
+    let mut router = HyliteRouter::connect(
+        fast_router_config(&p_addr)
+            .replicas(fleet.clone())
+            .consistency(Consistency::Session),
+    )
+    .unwrap();
+    router.query("INSERT INTO t VALUES (1)").unwrap();
+    router.query("INSERT INTO t VALUES (2)").unwrap();
+    let token = router.last_write_lsn();
+    wait_caught_up(replica_a.local_addr(), token);
+    wait_caught_up(replica_b.local_addr(), token);
+
+    // Kill the primary. The next write must succeed anyway: the router
+    // promotes the most caught-up replica and re-points the other.
+    p_handle.shutdown();
+    router.query("INSERT INTO t VALUES (3)").unwrap();
+
+    assert_eq!(router.stats().failovers, 1);
+    let new_primary = router.primary_addr().to_string();
+    assert!(
+        fleet.contains(&new_primary),
+        "promoted one of the replicas, got {new_primary}"
+    );
+    let survivors: Vec<String> = router
+        .replica_addrs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(survivors.len(), 1, "the other replica stays a replica");
+    assert_ne!(survivors[0], new_primary);
+
+    // Read-your-writes still holds across the failover: all three rows.
+    let r = router.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(as_int(r.value(0, 0).unwrap()), 3);
+
+    // The promoted node reports itself as a primary now; once the
+    // re-pointed replica re-attaches (epoch fencing forces it through a
+    // fresh bootstrap), the new primary streams to it and the survivor
+    // converges on the post-failover history.
+    let survivor_addr: std::net::SocketAddr = survivors[0].parse().unwrap();
+    wait_until(
+        "survivor to follow the new primary",
+        Duration::from_secs(20),
+        || {
+            let Ok(mut c) = HyliteClient::connect(survivor_addr) else {
+                return false;
+            };
+            let converged = c
+                .query("SELECT count(*) FROM t")
+                .map(|r| as_int(r.value(0, 0).unwrap()) == 3);
+            let _ = c.close();
+            converged.unwrap_or(false)
+        },
+    );
+    let mut c = HyliteClient::connect(new_primary.as_str()).unwrap();
+    let r = c
+        .query("SELECT r.role, r.state FROM hylite.replication r")
+        .unwrap();
+    assert!(r.row_count() >= 1);
+    assert_eq!(r.value(0, 0).unwrap(), Value::from("primary"));
+    c.close().unwrap();
+
+    router.close();
+    replica_a.shutdown();
+    replica_b.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Routing rules observable at the wire level.
+// ---------------------------------------------------------------------
+
+#[test]
+fn transactions_pin_to_the_primary_and_round_robin_spreads_reads() {
+    let primary = open_primary(&FaultVfs::new());
+    primary.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    primary.execute("INSERT INTO t VALUES (7)").unwrap();
+    let p_handle = Server::start(fast_server_config(), Arc::clone(&primary)).unwrap();
+    let p_addr = p_handle.local_addr().to_string();
+    let replica_a = start_replica(fast_server_config(), &p_addr);
+    let replica_b = start_replica(fast_server_config(), &p_addr);
+
+    let mut probe = HyliteClient::connect(p_handle.local_addr()).unwrap();
+    let target = probe.query("SELECT 1").unwrap().lsn;
+    probe.close().unwrap();
+    wait_caught_up(replica_a.local_addr(), target);
+    wait_caught_up(replica_b.local_addr(), target);
+
+    let mut router = HyliteRouter::connect(
+        fast_router_config(&p_addr)
+            .replica(replica_a.local_addr().to_string())
+            .replica(replica_b.local_addr().to_string())
+            .consistency(Consistency::AnyReplica),
+    )
+    .unwrap();
+
+    // Round robin: four reads touch both replicas.
+    let mut served = std::collections::BTreeSet::new();
+    for _ in 0..4 {
+        router.query("SELECT count(*) FROM t").unwrap();
+        if let Some(Route::Replica(addr)) = router.last_route() {
+            served.insert(addr.clone());
+        }
+    }
+    assert_eq!(router.stats().reads_replica, 4);
+    assert_eq!(served.len(), 2, "both replicas served: {served:?}");
+
+    // Inside BEGIN..COMMIT even pure reads pin to the primary.
+    router.query("BEGIN").unwrap();
+    router.query("INSERT INTO t VALUES (8)").unwrap();
+    let r = router.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(as_int(r.value(0, 0).unwrap()), 2);
+    assert!(
+        matches!(router.last_route().unwrap(), Route::Primary(_)),
+        "in-transaction read stayed on the primary"
+    );
+    router.query("COMMIT").unwrap();
+    assert!(router.last_write_lsn() > 0, "COMMIT advanced the token");
+
+    // System views are node-local, so the router sends them to the
+    // primary even though they parse as plain reads.
+    router
+        .query("SELECT count(*) FROM hylite.replication")
+        .unwrap();
+    assert!(matches!(router.last_route().unwrap(), Route::Primary(_)));
+
+    router.close();
+    replica_a.shutdown();
+    replica_b.shutdown();
+    p_handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Admin frames: promote is idempotent on a primary, guarded elsewhere.
+// ---------------------------------------------------------------------
+
+#[test]
+fn promote_and_repoint_guardrails() {
+    // A durable primary: Promote is an idempotent no-op answering its
+    // current epoch; Repoint is refused (it is not a replica).
+    let primary = open_primary(&FaultVfs::new());
+    let p_handle = Server::start(fast_server_config(), Arc::clone(&primary)).unwrap();
+    let addr = p_handle.local_addr().to_string();
+    let (epoch, _lsn) = request_promote(addr.as_str()).unwrap();
+    assert_ne!(epoch, 0);
+    let (epoch2, _) = request_promote(addr.as_str()).unwrap();
+    assert_eq!(epoch, epoch2, "promoting a primary mints no new epoch");
+    let err = request_repoint(addr.as_str(), "127.0.0.1:1").unwrap_err();
+    assert!(
+        err.to_string().contains("not"),
+        "repoint refused on a primary: {err}"
+    );
+    p_handle.shutdown();
+
+    // A non-durable server cannot be promoted at all.
+    let ephemeral = Arc::new(Database::new());
+    let e_handle = Server::start(fast_server_config(), ephemeral).unwrap();
+    let err = request_promote(e_handle.local_addr()).unwrap_err();
+    assert!(
+        err.to_string().contains("durable"),
+        "promotion requires durability: {err}"
+    );
+    e_handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// The standalone pin: `hylite.replication` on a server with no
+// replication configured says so instead of returning an empty table.
+// ---------------------------------------------------------------------
+
+#[test]
+fn standalone_server_reports_no_replication_configured() {
+    let db = Arc::new(Database::new());
+    let handle = Server::start(ServerConfig::ephemeral(), db).unwrap();
+    let mut client = HyliteClient::connect(handle.local_addr()).unwrap();
+    let r = client
+        .query("SELECT r.role, r.peer, r.state FROM hylite.replication r")
+        .unwrap();
+    assert_eq!(r.row_count(), 1);
+    assert_eq!(r.value(0, 0).unwrap(), Value::from("standalone"));
+    assert_eq!(r.value(0, 1).unwrap(), Value::Null);
+    assert_eq!(
+        r.value(0, 2).unwrap(),
+        Value::from("no replication configured")
+    );
+    client.close().unwrap();
+    handle.shutdown();
+}

@@ -318,13 +318,19 @@ fn replication_view_reports_acked_lsn_and_lag_converges_to_zero() {
     let p_handle = Server::start(p_config.clone(), Arc::clone(&primary)).unwrap();
     let primary_addr = p_handle.local_addr().to_string();
 
-    // Before any replica attaches, the primary's replication view is
-    // empty — and still queryable.
+    // Before any replica attaches, the primary's replication view
+    // reports one self-describing "standalone" row instead of an empty
+    // (and easily misread) table.
     let mut p_client = HyliteClient::connect(p_handle.local_addr()).unwrap();
     let r = p_client
-        .query("SELECT count(*) FROM hylite.replication")
+        .query("SELECT r.role, r.state FROM hylite.replication r")
         .unwrap();
-    assert_eq!(as_int(r.scalar().unwrap()), 0);
+    assert_eq!(r.row_count(), 1);
+    assert_eq!(r.value(0, 0).unwrap(), Value::from("standalone"));
+    assert_eq!(
+        r.value(0, 1).unwrap(),
+        Value::from("no replication configured")
+    );
 
     let rf = FaultVfs::new();
     let replica_db = Arc::new(

@@ -58,6 +58,7 @@ fn corpus() -> Vec<Frame> {
         Frame::CommandComplete {
             rows_affected: 3,
             total_rows: 3,
+            lsn: 17,
         },
         Frame::Error {
             code: 7,
@@ -90,6 +91,14 @@ fn corpus() -> Vec<Frame> {
             payload: vec![9, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0],
         },
         Frame::ReplicaAck { lsn: u64::MAX },
+        Frame::Promote,
+        Frame::PromoteOk {
+            epoch: 0xFEED_FACE,
+            lsn: 41,
+        },
+        Frame::Repoint {
+            primary_addr: "10.0.0.7:5433".into(),
+        },
     ]
 }
 
