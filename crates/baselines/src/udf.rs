@@ -22,7 +22,7 @@ pub fn scan_with_udf(catalog: &Catalog, table: &str, udf: &mut RowUdf<'_>) -> Re
     let t = catalog.get_table(table)?;
     let snapshot = t.read().committed_snapshot();
     let mut rows = 0usize;
-    for chunk in snapshot.live_chunks() {
+    for chunk in snapshot.live_chunks()? {
         for i in 0..chunk.len() {
             // Per-tuple materialization into boxed values — the cost of a
             // black box the engine cannot fuse with the scan.
@@ -46,7 +46,7 @@ fn replace_table(catalog: &Catalog, name: &str, schema: Schema, rows: &[Vec<Valu
 fn read_table_rows(catalog: &Catalog, name: &str) -> Result<Vec<Row>> {
     let t = catalog.get_table(name)?;
     let snapshot = t.read().committed_snapshot();
-    Ok(snapshot.live_chunks().flat_map(|c| c.rows()).collect())
+    Ok(snapshot.live_chunks()?.iter().flat_map(|c| c.rows()).collect())
 }
 
 /// k-Means as a UDF package: per-iteration, an assignment UDF scans the

@@ -1,0 +1,192 @@
+//! Checkpoint and segment-encode costs: what sealing compressed column
+//! segments buys and what it costs.
+//!
+//! Three questions, three measurements:
+//!
+//! * **segment encode** — raw throughput of [`encode_segment`] per data
+//!   shape, with the compression ratio each shape achieves. This is the
+//!   dominant cost of a full checkpoint.
+//! * **full vs incremental** — a one-shot report comparing the first
+//!   checkpoint of a table (seals everything) against the second after a
+//!   100-row delta (seals one segment) and a no-op third (seals none).
+//!   The incremental-checkpoint property is asserted, not assumed.
+//! * **steady-state latency** — criterion-timed incremental and no-op
+//!   checkpoints, the costs a live system pays repeatedly.
+//!
+//! Shape of the printed report (columns are stable for scripting):
+//!
+//! ```text
+//! checkpoint-report: encode shape=dict_strings rows=65536 raw_kb=... disk_kb=... ratio_pct=...
+//! checkpoint-report: phase=full      segments=... disk_kb=... ratio_pct=... ms=...
+//! checkpoint-report: phase=delta100  segments=1   disk_kb=... ratio_pct=... ms=...
+//! checkpoint-report: phase=noop      segments=0   disk_kb=0   ms=...
+//! ```
+
+use std::path::Path;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hylite_common::faultfs::{FaultVfs, Vfs};
+use hylite_common::{Chunk, ColumnVector, DataType, Value};
+use hylite_core::{Database, DurabilityOptions};
+use hylite_storage::segment::encode_segment;
+use hylite_storage::SEGMENT_ROWS;
+
+fn open(fault: &FaultVfs) -> Database {
+    Database::open_with(
+        Arc::new(fault.clone()) as Arc<dyn Vfs>,
+        Path::new("data"),
+        DurabilityOptions::default(),
+    )
+    .expect("open durable database")
+}
+
+/// One segment's worth of rows in each shape the encoder distinguishes.
+fn shapes() -> Vec<(&'static str, Chunk)> {
+    let n = SEGMENT_ROWS;
+    vec![
+        // Monotonic ids: FOR bitpacking's best case.
+        (
+            "sorted_ints",
+            Chunk::new(vec![ColumnVector::from_i64((0..n as i64).collect())]),
+        ),
+        // Long runs: RLE's best case.
+        (
+            "runny_ints",
+            Chunk::new(vec![ColumnVector::from_i64(
+                (0..n as i64).map(|i| i / 1024).collect(),
+            )]),
+        ),
+        // Low-cardinality strings: dictionary encoding's best case.
+        (
+            "dict_strings",
+            Chunk::new(vec![ColumnVector::from_values(
+                DataType::Varchar,
+                &(0..n)
+                    .map(|i| Value::from(format!("tag-{}", i % 97).as_str()))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("varchar column")]),
+        ),
+        // Unique strings: the incompressible worst case (plain encoding).
+        (
+            "unique_strings",
+            Chunk::new(vec![ColumnVector::from_values(
+                DataType::Varchar,
+                &(0..n)
+                    .map(|i| Value::from(format!("row-{i:08}-{:016x}", (i as u64) * 0x9E3779B9).as_str()))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("varchar column")]),
+        ),
+    ]
+}
+
+fn segment_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_encode");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (shape, chunk) in shapes() {
+        let raw = chunk.heap_bytes();
+        let encoded = encode_segment(1, &chunk).expect("encode").len();
+        println!(
+            "checkpoint-report: encode shape={shape} rows={} raw_kb={} disk_kb={} ratio_pct={}",
+            chunk.len(),
+            raw / 1024,
+            encoded / 1024,
+            raw * 100 / encoded
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(shape), &chunk, |b, chunk| {
+            b.iter(|| encode_segment(1, chunk).expect("encode"));
+        });
+    }
+    group.finish();
+}
+
+/// Load `rows` rows of (id, id*2, 'name-<id%97>') in 1000-row batches —
+/// the same workload the storage integration tests seal.
+fn load(db: &Database, start: usize, rows: usize) {
+    let mut i = start;
+    while i < start + rows {
+        let batch = (start + rows - i).min(1000);
+        let values: Vec<String> = (i..i + batch)
+            .map(|k| format!("({k}, {}, 'name-{}')", k * 2, k % 97))
+            .collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", values.join(",")))
+            .expect("insert");
+        i += batch;
+    }
+}
+
+fn report_phase(phase: &str, stats: &hylite_core::CheckpointStats) {
+    let ratio = if stats.segment_bytes > 0 {
+        (stats.sealed_raw_bytes * 100 / stats.segment_bytes).to_string()
+    } else {
+        "-".into()
+    };
+    println!(
+        "checkpoint-report: phase={phase:<9} segments={} disk_kb={} ratio_pct={ratio} ms={}",
+        stats.segments_sealed,
+        stats.segment_bytes / 1024,
+        stats.duration_ms
+    );
+}
+
+fn checkpoint(c: &mut Criterion) {
+    let rows = 100_000usize;
+    let db = open(&FaultVfs::new());
+    db.execute("CREATE TABLE big (id BIGINT, v BIGINT, name VARCHAR)")
+        .expect("ddl");
+    load(&db, 0, rows);
+
+    // One-shot full-vs-incremental comparison with the property asserted:
+    // the delta checkpoint must reuse the sealed prefix.
+    let full = db.checkpoint().expect("full checkpoint");
+    assert!(full.segments_sealed > 1, "full checkpoint sealed nothing");
+    report_phase("full", &full);
+
+    load(&db, rows, 100);
+    let delta = db.checkpoint().expect("incremental checkpoint");
+    assert_eq!(delta.segments_sealed, 1, "delta resealed the world");
+    assert!(
+        delta.segment_bytes * 10 < full.segment_bytes,
+        "incremental checkpoint not incremental: {} vs {} bytes",
+        delta.segment_bytes,
+        full.segment_bytes
+    );
+    report_phase("delta100", &delta);
+
+    let noop = db.checkpoint().expect("noop checkpoint");
+    assert_eq!(noop.segments_sealed, 0, "noop checkpoint sealed data");
+    report_phase("noop", &noop);
+
+    // Steady-state latencies under criterion. The delta bench grows the
+    // table by 100 rows per iteration; every iteration seals exactly the
+    // delta, which is the invariant being timed.
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut next = rows + 100;
+    group.bench_function(BenchmarkId::new("incremental_delta", 100), |b| {
+        b.iter(|| {
+            load(&db, next, 100);
+            next += 100;
+            let stats = db.checkpoint().expect("checkpoint");
+            assert_eq!(stats.segments_sealed, 1);
+            stats
+        });
+    });
+    group.bench_function("noop", |b| {
+        b.iter(|| {
+            let stats = db.checkpoint().expect("checkpoint");
+            assert_eq!(stats.segments_sealed, 0);
+            stats
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, segment_encode, checkpoint);
+criterion_main!(benches);

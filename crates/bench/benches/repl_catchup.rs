@@ -110,6 +110,25 @@ fn bootstrap_install(c: &mut Criterion) {
                 .expect("insert");
         }
         let durability = Arc::clone(primary.durability().expect("durable"));
+        // The bootstrap image now carries sealed segment files, so its
+        // size reflects segment compression, not raw heap bytes. Report
+        // the shipped-bundle columns once per parameter.
+        let (_, image) = durability
+            .bootstrap_snapshot(primary.catalog())
+            .expect("snapshot");
+        let logical: u64 = primary
+            .catalog()
+            .table_names()
+            .iter()
+            .filter_map(|n| primary.catalog().get_table(n).ok())
+            .map(|t| t.read().segment_storage().3)
+            .sum();
+        println!(
+            "bootstrap-report: rows={rows} bundle_kb={} sealed_raw_kb={} ratio_pct={}",
+            image.len() / 1024,
+            logical / 1024,
+            logical * 100 / image.len().max(1) as u64
+        );
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
             b.iter(|| {
                 let (base, image) = durability

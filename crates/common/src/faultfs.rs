@@ -59,6 +59,33 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     /// Read the entire file.
     fn read(&self, path: &Path) -> Result<Vec<u8>>;
 
+    /// Read `len` bytes starting at `offset`. Errors if the range runs
+    /// past the end of the file — segment readers use this to pull one
+    /// block without touching the rest of the file.
+    fn read_range(&self, path: &Path, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let data = self.read(path)?;
+        let start = usize::try_from(offset)
+            .map_err(|_| HyError::Storage(format!("read_range: bad offset {offset}")))?;
+        let n = usize::try_from(len)
+            .map_err(|_| HyError::Storage(format!("read_range: bad len {len}")))?;
+        let end = start.checked_add(n).filter(|&e| e <= data.len()).ok_or_else(|| {
+            HyError::Storage(format!(
+                "read_range: [{offset}, {offset}+{len}) past end of {} ({} bytes)",
+                path.display(),
+                data.len()
+            ))
+        })?;
+        Ok(data[start..end].to_vec())
+    }
+
+    /// File names (not full paths) of the direct children of `dir`.
+    /// Missing directories list as empty. Used by segment garbage
+    /// collection to find orphaned files.
+    fn list_dir(&self, dir: &Path) -> Result<Vec<String>> {
+        let _ = dir;
+        Ok(Vec::new())
+    }
+
     /// Whether `path` exists.
     fn exists(&self, path: &Path) -> bool;
 
@@ -152,6 +179,39 @@ impl Vfs for StdVfs {
 
     fn read(&self, path: &Path) -> Result<Vec<u8>> {
         std::fs::read(path).map_err(|e| io_err("read", path, e))
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: u64) -> Result<Vec<u8>> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
+        let size = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
+        if !offset.checked_add(len).is_some_and(|end| end <= size) {
+            return Err(HyError::Storage(format!(
+                "read_range: [{offset}, {offset}+{len}) past end of {} ({size} bytes)",
+                path.display()
+            )));
+        }
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("seek", path, e))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)
+            .map_err(|e| io_err("read_range", path, e))?;
+        Ok(buf)
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<String>> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err("read_dir", dir, e)),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read_dir", dir, e))?;
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
     }
 
     fn exists(&self, path: &Path) -> bool {
@@ -465,6 +525,41 @@ impl Vfs for FaultVfs {
             .ok_or_else(|| HyError::Storage(format!("read: no file {}", path.display())))
     }
 
+    fn read_range(&self, path: &Path, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let s = self.state.lock().unwrap();
+        s.check_alive()?;
+        let file = s
+            .files
+            .get(path)
+            .ok_or_else(|| HyError::Storage(format!("read: no file {}", path.display())))?;
+        let start = offset as usize;
+        let end = start
+            .checked_add(len as usize)
+            .filter(|&e| e <= file.content.len())
+            .ok_or_else(|| {
+                HyError::Storage(format!(
+                    "read_range: [{offset}, {offset}+{len}) past end of {} ({} bytes)",
+                    path.display(),
+                    file.content.len()
+                ))
+            })?;
+        Ok(file.content[start..end].to_vec())
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<String>> {
+        let s = self.state.lock().unwrap();
+        s.check_alive()?;
+        let mut names = Vec::new();
+        for path in s.files.keys() {
+            if path.parent() == Some(dir) {
+                if let Some(name) = path.file_name() {
+                    names.push(name.to_string_lossy().into_owned());
+                }
+            }
+        }
+        Ok(names)
+    }
+
     fn exists(&self, path: &Path) -> bool {
         let s = self.state.lock().unwrap();
         !s.crashed && s.files.contains_key(path)
@@ -626,6 +721,22 @@ mod tests {
     }
 
     #[test]
+    fn read_range_and_list_dir() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.create(&p("segments/seg_1")).unwrap();
+        f.write_all(b"hello world").unwrap();
+        drop(f);
+        vfs.create(&p("segments/seg_2")).unwrap();
+        vfs.create(&p("other/seg_3")).unwrap();
+        assert_eq!(vfs.read_range(&p("segments/seg_1"), 6, 5).unwrap(), b"world");
+        assert!(vfs.read_range(&p("segments/seg_1"), 6, 6).is_err());
+        assert!(vfs.read_range(&p("segments/seg_1"), u64::MAX, 1).is_err());
+        let names = vfs.list_dir(&p("segments")).unwrap();
+        assert_eq!(names, vec!["seg_1".to_string(), "seg_2".to_string()]);
+        assert!(vfs.list_dir(&p("missing")).unwrap().is_empty());
+    }
+
+    #[test]
     fn std_vfs_roundtrip() {
         let dir = std::env::temp_dir().join(format!("hylite-vfs-test-{}", std::process::id()));
         let vfs = StdVfs;
@@ -637,6 +748,9 @@ mod tests {
         drop(f);
         assert_eq!(vfs.read(&file).unwrap(), b"hello");
         assert_eq!(vfs.len(&file).unwrap(), 5);
+        assert_eq!(vfs.read_range(&file, 1, 3).unwrap(), b"ell");
+        assert!(vfs.read_range(&file, 4, 2).is_err());
+        assert_eq!(vfs.list_dir(&dir).unwrap(), vec!["probe".to_string()]);
         vfs.truncate(&file, 2).unwrap();
         assert_eq!(vfs.read(&file).unwrap(), b"he");
         let renamed = dir.join("probe2");

@@ -45,16 +45,20 @@ pub enum SystemView {
     Sessions,
     /// The bounded slow-query ring buffer (`SET slow_query_ms`).
     SlowQueries,
+    /// Per-table segment storage: on-disk bytes, compression ratio, and
+    /// the shared buffer pool's hit rate.
+    Storage,
 }
 
 /// All views, in catalog order.
-pub const ALL_SYSTEM_VIEWS: [SystemView; 6] = [
+pub const ALL_SYSTEM_VIEWS: [SystemView; 7] = [
     SystemView::Metrics,
     SystemView::Connections,
     SystemView::Replication,
     SystemView::Wal,
     SystemView::Sessions,
     SystemView::SlowQueries,
+    SystemView::Storage,
 ];
 
 impl SystemView {
@@ -67,6 +71,7 @@ impl SystemView {
             "hylite.wal" => Some(SystemView::Wal),
             "hylite.sessions" => Some(SystemView::Sessions),
             "hylite.slow_queries" => Some(SystemView::SlowQueries),
+            "hylite.storage" => Some(SystemView::Storage),
             _ => None,
         }
     }
@@ -80,6 +85,7 @@ impl SystemView {
             SystemView::Wal => "hylite.wal",
             SystemView::Sessions => "hylite.sessions",
             SystemView::SlowQueries => "hylite.slow_queries",
+            SystemView::Storage => "hylite.storage",
         }
     }
 
@@ -140,6 +146,15 @@ impl SystemView {
                 Field::new("rows", Int64),
                 Field::new("verdict", Varchar),
                 Field::new("plan", Varchar),
+            ],
+            SystemView::Storage => vec![
+                Field::new("table_name", Varchar),
+                Field::new("segments", Int64),
+                Field::new("disk_segments", Int64),
+                Field::new("on_disk_bytes", Int64),
+                Field::new("logical_bytes", Int64),
+                Field::new("compression_ratio_pct", Int64),
+                Field::new("pool_hit_rate_pct", Int64),
             ],
         };
         Schema::new(fields)

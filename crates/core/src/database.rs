@@ -26,6 +26,7 @@ type SessionStats = Arc<Mutex<BTreeMap<u64, Weak<SessionStat>>>>;
 /// views are contributed by the server layer, which registers its own
 /// providers on the same hub.
 struct CoreViews {
+    catalog: Arc<Catalog>,
     metrics: Arc<MetricsRegistry>,
     durability: Option<Arc<Durability>>,
     session_stats: SessionStats,
@@ -116,6 +117,40 @@ impl CoreViews {
             .collect()
     }
 
+    fn storage_rows(&self) -> Vec<Vec<Value>> {
+        // One pool serves every table; its hit rate repeats per row so
+        // the view stays flat (joins against it stay trivial). In-memory
+        // databases have no pool and report NULL.
+        let pool_pct = match &self.durability {
+            Some(d) => Value::Int((d.buffer_pool().stats().hit_rate() * 100.0).round() as i64),
+            None => Value::Null,
+        };
+        let mut names = self.catalog.table_names();
+        names.sort_unstable();
+        names
+            .into_iter()
+            .filter_map(|name| self.catalog.get_table(&name).ok().map(|t| (name, t)))
+            .map(|(name, t)| {
+                let (segments, disk_segments, disk_bytes, raw_bytes) =
+                    t.read().segment_storage();
+                let ratio = if disk_bytes > 0 {
+                    Value::Int((raw_bytes * 100 / disk_bytes) as i64)
+                } else {
+                    Value::Null
+                };
+                vec![
+                    Value::from(name.as_str()),
+                    Value::Int(segments as i64),
+                    Value::Int(disk_segments as i64),
+                    Value::Int(disk_bytes as i64),
+                    Value::Int(raw_bytes as i64),
+                    ratio,
+                    pool_pct.clone(),
+                ]
+            })
+            .collect()
+    }
+
     fn slow_rows(&self) -> Vec<Vec<Value>> {
         self.slow_log
             .entries()
@@ -142,6 +177,7 @@ impl SystemViewProvider for CoreViews {
             SystemView::Wal => Some(vec![self.wal_row()]),
             SystemView::Sessions => Some(self.session_rows()),
             SystemView::SlowQueries => Some(self.slow_rows()),
+            SystemView::Storage => Some(self.storage_rows()),
             SystemView::Connections | SystemView::Replication => None,
         }
     }
@@ -209,6 +245,7 @@ impl Database {
         let slow_log = Arc::new(SlowQueryLog::default());
         let session_stats: SessionStats = Arc::new(Mutex::new(BTreeMap::new()));
         let core_views = Arc::new(CoreViews {
+            catalog: Arc::clone(&catalog),
             metrics: Arc::clone(&metrics),
             durability: durability.clone(),
             session_stats: Arc::clone(&session_stats),

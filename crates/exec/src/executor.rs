@@ -82,7 +82,20 @@ impl Executor {
             } => {
                 let snapshot = self.ctx.snapshot(table)?;
                 let governor = Arc::clone(self.ctx.governor());
-                scan::scan(&snapshot, projection.as_deref(), filter.as_ref(), &governor)
+                let (chunks, pruning) =
+                    scan::scan_pruned(&snapshot, projection.as_deref(), filter.as_ref(), &governor)?;
+                if self.ctx.profiling() {
+                    self.ctx.profile_note("blocks_scanned", pruning.blocks_scanned);
+                    self.ctx.profile_note("blocks_pruned", pruning.blocks_pruned);
+                }
+                {
+                    let m = self.ctx.metrics();
+                    m.counter("scan.blocks_scanned")
+                        .add(pruning.blocks_scanned as u64);
+                    m.counter("scan.blocks_pruned")
+                        .add(pruning.blocks_pruned as u64);
+                }
+                Ok(chunks)
             }
             LogicalPlan::Values { schema, rows } => {
                 let types = schema.types();

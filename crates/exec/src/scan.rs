@@ -2,13 +2,78 @@
 
 use hylite_common::governor::Governor;
 use hylite_common::{Chunk, Result, CHUNK_ROWS};
-use hylite_expr::ScalarExpr;
-use hylite_storage::TableSnapshot;
+use hylite_expr::{BinaryOp, ScalarExpr};
+use hylite_storage::{ScanPruning, TableSnapshot, ZoneRange};
 use rayon::prelude::*;
 
 /// Rows per scan morsel. A multiple of the execution chunk size so each
 /// parallel task produces a handful of chunks.
 pub const MORSEL_ROWS: usize = 32 * CHUNK_ROWS;
+
+/// Collect the zone-map ranges implied by a pushed-down filter: every
+/// conjunct of the form `col <cmp> literal` (either orientation) becomes
+/// a [`ZoneRange`] on the underlying table column. Disjunctions, NULL
+/// literals and computed operands contribute nothing, keeping pruning
+/// conservative — the filter itself still runs over every surviving row.
+///
+/// The filter is evaluated against the *projected* chunk, so its column
+/// indexes are translated through `projection` back into table columns
+/// (the space zone maps live in).
+pub fn extract_zone_ranges(filter: &ScalarExpr, projection: Option<&[usize]>) -> Vec<ZoneRange> {
+    let mut out = Vec::new();
+    collect_ranges(filter, projection, &mut out);
+    out
+}
+
+fn collect_ranges(expr: &ScalarExpr, projection: Option<&[usize]>, out: &mut Vec<ZoneRange>) {
+    let ScalarExpr::Binary {
+        op, left, right, ..
+    } = expr
+    else {
+        return;
+    };
+    match op {
+        BinaryOp::And => {
+            collect_ranges(left, projection, out);
+            collect_ranges(right, projection, out);
+        }
+        BinaryOp::Eq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+            let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Column { index, .. }, ScalarExpr::Literal(v)) => (*index, v, *op),
+                (ScalarExpr::Literal(v), ScalarExpr::Column { index, .. }) => {
+                    (*index, v, flip(*op))
+                }
+                _ => return,
+            };
+            // `col <cmp> NULL` is never true; leave that to the filter.
+            if lit.is_null() {
+                return;
+            }
+            let col = projection.map_or(col, |p| p[col]);
+            let (lower, upper) = match op {
+                BinaryOp::Eq => (Some((lit.clone(), true)), Some((lit.clone(), true))),
+                BinaryOp::Lt => (None, Some((lit.clone(), false))),
+                BinaryOp::LtEq => (None, Some((lit.clone(), true))),
+                BinaryOp::Gt => (Some((lit.clone(), false)), None),
+                BinaryOp::GtEq => (Some((lit.clone(), true)), None),
+                _ => unreachable!("comparison operators only"),
+            };
+            out.push(ZoneRange { col, lower, upper });
+        }
+        _ => {}
+    }
+}
+
+/// Mirror a comparison for the `literal <cmp> col` orientation.
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
 
 /// Scan a snapshot in parallel, applying the scan-local column projection
 /// and pushed-down filter inside each morsel task (pipeline fusion).
@@ -22,12 +87,24 @@ pub fn scan(
     filter: Option<&ScalarExpr>,
     governor: &Governor,
 ) -> Result<Vec<Chunk>> {
-    let morsels = snapshot.morsels(MORSEL_ROWS);
+    scan_pruned(snapshot, projection, filter, governor).map(|(chunks, _)| chunks)
+}
+
+/// [`scan`], additionally reporting how many disk blocks the zone maps
+/// let the scan skip (for EXPLAIN ANALYZE and the scan telemetry).
+pub fn scan_pruned(
+    snapshot: &TableSnapshot,
+    projection: Option<&[usize]>,
+    filter: Option<&ScalarExpr>,
+    governor: &Governor,
+) -> Result<(Vec<Chunk>, ScanPruning)> {
+    let ranges = filter.map_or_else(Vec::new, |f| extract_zone_ranges(f, projection));
+    let (morsels, pruning) = snapshot.pruned_morsels(MORSEL_ROWS, &ranges);
     let results: Vec<Result<Vec<Chunk>>> = morsels
         .par_iter()
         .map(|m| {
             governor.check()?;
-            let (chunk, _ids) = snapshot.read_morsel(m);
+            let (chunk, _ids) = snapshot.read_morsel(m)?;
             if chunk.is_empty() {
                 return Ok(vec![]);
             }
@@ -50,7 +127,7 @@ pub fn scan(
     for r in results {
         out.extend(r?);
     }
-    Ok(out)
+    Ok((out, pruning))
 }
 
 /// Scan returning both surviving chunks and their global row ids
@@ -64,7 +141,7 @@ pub fn scan_with_row_ids(
     let mut out = Vec::new();
     for m in snapshot.morsels(MORSEL_ROWS) {
         governor.check()?;
-        let (chunk, ids) = snapshot.read_morsel(&m);
+        let (chunk, ids) = snapshot.read_morsel(&m)?;
         if chunk.is_empty() {
             continue;
         }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hylite-server [--addr 127.0.0.1:5433] [--data-dir PATH]
-//!               [--sync-mode commit|buffered] [--max-connections N]
+//!               [--sync-mode commit|buffered] [--buffer-pool-mb MB]
+//!               [--max-connections N]
 //!               [--max-active-statements N] [--queue-depth N]
 //!               [--queue-wait-ms MS] [--statement-timeout-ms MS]
 //!               [--memory-budget-mb MB] [--drain-timeout-ms MS]
@@ -19,6 +20,11 @@
 //! WAL replay) runs before the listener binds, every commit is logged to
 //! the WAL before acknowledgement, and graceful shutdown takes a final
 //! checkpoint. Without it the database is purely in-memory.
+//!
+//! `--buffer-pool-mb MB` caps the block cache in front of checkpointed
+//! column segments (default 64). Cold data past the cap is re-read from
+//! disk on demand, so a durable database can serve tables larger than
+//! the cap — see `docs/STORAGE.md`.
 //!
 //! `--replica-of HOST:PORT` (requires `--data-dir`) starts a **read
 //! replica**: the data dir is opened in the replica role, the primary's
@@ -44,6 +50,7 @@ struct Cli {
     demo: bool,
     data_dir: Option<String>,
     sync_mode: SyncMode,
+    buffer_pool_mb: usize,
     replica_of: Option<String>,
     promote: bool,
 }
@@ -56,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut demo = false;
     let mut data_dir = None;
     let mut sync_mode = SyncMode::Commit;
+    let mut buffer_pool_mb = 64usize;
     let mut replica_of = None;
     let mut promote = false;
     let mut i = 0;
@@ -122,12 +130,21 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("--sync-mode: '{other}' (commit|buffered)")),
                 }
             }
+            "--buffer-pool-mb" => {
+                buffer_pool_mb = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?;
+                if buffer_pool_mb == 0 {
+                    return Err("--buffer-pool-mb must be at least 1".into());
+                }
+            }
             "--replica-of" => replica_of = Some(value(&mut i, arg)?),
             "--promote" => promote = true,
             "--demo" => demo = true,
             "--help" | "-h" => {
                 return Err("usage: hylite-server [--addr HOST:PORT] [--data-dir PATH] \
-                            [--sync-mode commit|buffered] [--max-connections N] \
+                            [--sync-mode commit|buffered] [--buffer-pool-mb MB] \
+                            [--max-connections N] \
                             [--max-active-statements N] [--queue-depth N] [--queue-wait-ms MS] \
                             [--statement-timeout-ms MS] [--memory-budget-mb MB] \
                             [--drain-timeout-ms MS] [--slow-query-ms MS] \
@@ -155,6 +172,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         demo,
         data_dir,
         sync_mode,
+        buffer_pool_mb,
         replica_of,
         promote,
     })
@@ -188,6 +206,7 @@ fn main() -> ExitCode {
         Some(dir) => {
             let options = DurabilityOptions {
                 sync_mode: cli.sync_mode,
+                buffer_pool_bytes: cli.buffer_pool_mb * 1024 * 1024,
                 role: if cli.replica_of.is_some() {
                     ReplRole::Replica
                 } else {

@@ -1,53 +1,68 @@
-//! Checkpoints: a columnar snapshot of every table + the catalog, written
-//! atomically so the WAL can be truncated.
+//! Checkpoints: a small *manifest* naming the sealed segment files that
+//! hold every table's committed state, published atomically so the WAL
+//! can be truncated.
 //!
-//! ## On-disk layout
+//! ## Manifest layout (v2)
 //!
 //! ```text
 //! [u32 magic "HYCK"] [u32 version] [u64 base_lsn]
 //! [u32 ntables]
 //! per table:
 //!     [str name] [schema]
-//!     [u32 nsegments] [chunk ...]        -- physical segments, in order
+//!     [u32 nsegments] [(u64 segment_id, u64 rows) ...]   -- in row-id order
 //!     [u64 row_limit]                    -- committed row horizon
 //!     [u64 ndeleted] [u64 row_id ...]    -- committed delete marks
 //! [u32 crc32(everything above)]
 //! ```
 //!
-//! Segments are serialized exactly as they sit in memory — *including*
+//! Row data lives in the segment files the manifest points at (see
+//! [`crate::segment`]); the manifest itself is a few hundred bytes. That
+//! makes checkpoints *incremental*: a checkpoint seals only rows that are
+//! not yet in a sealed segment — segments already on disk are simply
+//! re-listed by id — so a small delta costs a small write regardless of
+//! database size. (v1 serialized every committed row into one monolithic
+//! file on every checkpoint; this build is pre-1.0 and reads only v2.)
+//!
+//! Segments are sealed exactly as the rows sit in memory — *including*
 //! delete-marked rows — because global row ids are positional: dropping
 //! dead rows here would renumber the survivors and break any later WAL
 //! `Delete` frame that refers to them. Space reclamation stays where it
-//! already lives (`Table::compact`, which is itself a logged event in the
-//! sense that it only runs on quiescent tables).
+//! already lives (`Table::compact`).
 //!
 //! ## Publish protocol
 //!
-//! The checkpointer writes `checkpoint.tmp`, fsyncs it, atomically
+//! The checkpointer writes all new segment files and fsyncs them and the
+//! segment directory, then writes `checkpoint.tmp`, fsyncs it, atomically
 //! renames it over `checkpoint.hylite`, and only then truncates the WAL.
 //! Every step is crash-safe:
 //!
-//! * crash before the rename — the old checkpoint + full WAL still
-//!   recover everything; the leftover tmp file is deleted on open.
-//! * crash after the rename, before the WAL truncate — the new
-//!   checkpoint carries `base_lsn`, and recovery skips WAL frames below
-//!   it, so nothing is replayed twice.
+//! * crash while writing segments — the old manifest never references
+//!   the new files; recovery deletes them as orphans.
+//! * crash before the rename — the old manifest + full WAL still recover
+//!   everything; the leftover tmp file is deleted on open.
+//! * crash after the rename, before the WAL truncate — the new manifest
+//!   carries `base_lsn`, and recovery skips WAL frames below it, so
+//!   nothing is replayed twice.
 //!
-//! The checkpoint carries `base_lsn` = the LSN the *next* commit would
-//! get; every commit with `lsn < base_lsn` is inside the snapshot.
+//! The manifest carries `base_lsn` = the LSN the *next* commit would
+//! get; every commit with `lsn < base_lsn` is inside the checkpoint.
 
 use std::path::Path;
 
 use hylite_common::faultfs::Vfs;
 use hylite_common::wire::{self, ByteReader};
-use hylite_common::{crc32, Chunk, HyError, Result, Schema};
+use hylite_common::{crc32, HyError, Result, Schema};
+use parking_lot::RwLock;
 
 use crate::catalog::Catalog;
+use crate::segment::SegmentStore;
+use crate::snapshot::SegmentHandle;
+use crate::table::Table;
 
-/// Magic number opening a checkpoint file (`"HYCK"`).
+/// Magic number opening a checkpoint manifest (`"HYCK"`).
 pub const CHECKPOINT_MAGIC: u32 = 0x4859_434B;
-/// Checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Checkpoint format version (v2 = segment manifest).
+pub const CHECKPOINT_VERSION: u32 = 2;
 /// File name of the current checkpoint inside the data directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.hylite";
 /// Scratch name the checkpoint is written to before the atomic rename.
@@ -59,67 +74,64 @@ pub const CP_CKPT_WRITE: &str = "checkpoint.write";
 pub const CP_CKPT_RENAME: &str = "checkpoint.rename";
 /// Crash point: checkpoint published, WAL not yet truncated.
 pub const CP_CKPT_AFTER_RENAME: &str = "checkpoint.after_rename";
+/// Crash point: before each new segment file is written (some of the
+/// checkpoint's segments may exist on disk, the manifest does not).
+pub const CP_SEG_WRITE: &str = "checkpoint.segment_write";
 
-/// Decoded checkpoint, ready to install into a fresh catalog.
+/// Decoded checkpoint manifest, ready to install into a fresh catalog.
 #[derive(Debug)]
 pub struct CheckpointImage {
     /// WAL frames with `lsn < base_lsn` are contained in this image.
     pub base_lsn: u64,
-    /// Per-table physical state.
-    pub tables: Vec<TableImage>,
+    /// Per-table manifests.
+    pub tables: Vec<TableManifest>,
 }
 
 /// One table inside a [`CheckpointImage`].
 #[derive(Debug)]
-pub struct TableImage {
+pub struct TableManifest {
     /// Table name.
     pub name: String,
     /// Column definitions.
     pub schema: Schema,
-    /// Physical segments in row-id order (deleted rows included).
-    pub segments: Vec<Chunk>,
-    /// Committed row horizon; must equal the summed segment lengths.
+    /// `(segment id, rows)` in row-id order (deleted rows included).
+    pub segments: Vec<(u64, u64)>,
+    /// Committed row horizon; must equal the summed segment rows.
     pub row_limit: u64,
     /// Global row ids carrying a committed delete mark.
     pub deleted: Vec<u64>,
 }
 
-/// Serialize the committed state of every table. `base_lsn` is the LSN
-/// the next commit will receive; the caller must hold the commit lock so
-/// no commit lands between choosing `base_lsn` and reading the
-/// snapshots.
-pub fn encode_checkpoint(catalog: &Catalog, base_lsn: u64) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(4096);
+impl CheckpointImage {
+    /// Every segment id any table references.
+    pub fn referenced_segments(&self) -> std::collections::HashSet<u64> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.segments.iter().map(|&(id, _)| id))
+            .collect()
+    }
+}
+
+/// Serialize a manifest. `base_lsn` is the LSN the next commit will
+/// receive; the caller must hold the commit lock so no commit lands
+/// between choosing `base_lsn` and sealing the snapshots.
+pub fn encode_manifest(base_lsn: u64, tables: &[TableManifest]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(512);
     wire::put_u32(&mut buf, CHECKPOINT_MAGIC);
     wire::put_u32(&mut buf, CHECKPOINT_VERSION);
     wire::put_u64(&mut buf, base_lsn);
-    let names = catalog.table_names();
-    let snapshots: Vec<_> = names
-        .iter()
-        .filter_map(|n| {
-            let t = catalog.get_table(n).ok()?;
-            let snap = t.read().committed_snapshot();
-            Some((n.clone(), snap))
-        })
-        .collect();
-    wire::put_u32(&mut buf, snapshots.len() as u32);
-    for (name, snap) in &snapshots {
-        wire::put_str(&mut buf, name);
-        wire::put_schema(&mut buf, snap.schema());
-        wire::put_u32(&mut buf, snap.segment_count() as u32);
-        for seg in snap.segments() {
-            wire::put_chunk(&mut buf, seg);
+    wire::put_u32(&mut buf, tables.len() as u32);
+    for t in tables {
+        wire::put_str(&mut buf, &t.name);
+        wire::put_schema(&mut buf, &t.schema);
+        wire::put_u32(&mut buf, t.segments.len() as u32);
+        for &(id, rows) in &t.segments {
+            wire::put_u64(&mut buf, id);
+            wire::put_u64(&mut buf, rows);
         }
-        let row_limit = snap.visible_rows() as u64;
-        wire::put_u64(&mut buf, row_limit);
-        let deleted: Vec<u64> = snap
-            .deleted()
-            .iter_ones()
-            .take_while(|&i| (i as u64) < row_limit)
-            .map(|i| i as u64)
-            .collect();
-        wire::put_u64(&mut buf, deleted.len() as u64);
-        for id in deleted {
+        wire::put_u64(&mut buf, t.row_limit);
+        wire::put_u64(&mut buf, t.deleted.len() as u64);
+        for &id in &t.deleted {
             wire::put_u64(&mut buf, id);
         }
     }
@@ -128,14 +140,13 @@ pub fn encode_checkpoint(catalog: &Catalog, base_lsn: u64) -> Vec<u8> {
     buf
 }
 
-/// Parse and verify a checkpoint file's bytes. Any inconsistency — bad
-/// magic, bad CRC, truncation — is a hard error: unlike a torn WAL tail,
-/// a damaged checkpoint means real data loss and must not be papered
-/// over.
-pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage> {
-    if bytes.len() < 20 {
+/// Parse and verify a manifest's bytes. Any inconsistency — bad magic,
+/// bad CRC, truncation — is a hard error: unlike a torn WAL tail, a
+/// damaged checkpoint means real data loss and must not be papered over.
+pub fn decode_manifest(bytes: &[u8]) -> Result<CheckpointImage> {
+    if bytes.len() < 24 {
         return Err(HyError::Storage(format!(
-            "checkpoint file is {} bytes — too short to be valid",
+            "checkpoint manifest is {} bytes — too short to be valid",
             bytes.len()
         )));
     }
@@ -143,7 +154,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage> {
     let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
     if crc32(body) != stored {
         return Err(HyError::Storage(
-            "checkpoint file failed its CRC check (corrupted)".into(),
+            "checkpoint manifest failed its CRC check (corrupted)".into(),
         ));
     }
     let mut r = ByteReader::new(body);
@@ -166,9 +177,11 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage> {
         let name = r.str()?;
         let schema = r.schema()?;
         let nsegs = r.u32()? as usize;
-        let mut segments = Vec::with_capacity(nsegs.min(1024));
+        let mut segments = Vec::with_capacity(nsegs.min(r.remaining() / 16));
         for _ in 0..nsegs {
-            segments.push(r.chunk()?);
+            let id = r.u64()?;
+            let rows = r.u64()?;
+            segments.push((id, rows));
         }
         let row_limit = r.u64()?;
         let ndel = r.u64()? as usize;
@@ -176,7 +189,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage> {
         for _ in 0..ndel {
             deleted.push(r.u64()?);
         }
-        tables.push(TableImage {
+        tables.push(TableManifest {
             name,
             schema,
             segments,
@@ -186,41 +199,151 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage> {
     }
     if !r.is_empty() {
         return Err(HyError::Storage(
-            "checkpoint file has trailing bytes".into(),
+            "checkpoint manifest has trailing bytes".into(),
         ));
     }
     Ok(CheckpointImage { base_lsn, tables })
 }
 
-/// Rebuild tables from an image into `catalog` (expected empty). Returns
-/// the number of rows restored (deleted rows included).
-pub fn install_image(image: CheckpointImage, catalog: &Catalog) -> Result<u64> {
+/// Rebuild tables from a manifest into `catalog` (expected empty),
+/// opening each referenced segment through `store` — headers only, no
+/// row data is loaded. Returns the number of rows restored (deleted rows
+/// included).
+pub fn install_manifest(
+    image: CheckpointImage,
+    catalog: &Catalog,
+    store: &std::sync::Arc<SegmentStore>,
+) -> Result<u64> {
     let mut rows = 0u64;
     for t in image.tables {
-        let table = catalog.create_table(&t.name, t.schema)?;
-        let mut guard = table.write();
-        let mut restored = 0u64;
-        for seg in t.segments {
-            restored += guard.insert_chunk(seg)? as u64;
+        let mut handles = Vec::with_capacity(t.segments.len());
+        for &(id, seg_rows) in &t.segments {
+            let seg = store.open_segment(id)?;
+            if seg.rows() as u64 != seg_rows {
+                return Err(HyError::Storage(format!(
+                    "checkpoint table '{}': segment {id} holds {} rows but the \
+                     manifest declares {seg_rows}",
+                    t.name,
+                    seg.rows()
+                )));
+            }
+            handles.push(SegmentHandle::Disk(seg));
         }
-        if restored != t.row_limit {
-            return Err(HyError::Storage(format!(
-                "checkpoint table '{}' declares {} rows but carries {restored}",
-                guard.name(),
-                t.row_limit
-            )));
-        }
-        let ids: Vec<usize> = t.deleted.iter().map(|&i| i as usize).collect();
-        guard.delete_rows(&ids)?;
-        guard.commit();
-        rows += restored;
+        let row_limit = usize::try_from(t.row_limit).map_err(|_| {
+            HyError::Storage(format!(
+                "checkpoint table '{}': row limit {} too large",
+                t.name, t.row_limit
+            ))
+        })?;
+        let table = Table::from_parts(&t.name, t.schema, handles, row_limit, &t.deleted)?;
+        catalog.restore_table(std::sync::Arc::new(RwLock::new(table)));
+        rows += t.row_limit;
     }
     Ok(rows)
 }
 
-/// Write checkpoint bytes durably: temp file, fsync, atomic rename. The
-/// WAL truncation that completes the checkpoint is the caller's job (it
-/// owns the WAL writer).
+/// Magic number opening a bootstrap bundle (`"HYBS"`).
+pub const BOOTSTRAP_MAGIC: u32 = 0x4859_4253;
+/// Bootstrap bundle format version.
+pub const BOOTSTRAP_VERSION: u32 = 1;
+
+/// Pack a manifest plus the segment files it references into one blob —
+/// the replica-bootstrap payload (ships over the existing single-blob
+/// `SnapshotOffer` wire frame).
+///
+/// ```text
+/// [u32 magic "HYBS"] [u32 version]
+/// [u32 nsegs] per segment: [u64 id] [u64 len] [file bytes]
+/// [u64 manifest_len] [manifest bytes]
+/// [u32 crc32(everything above)]
+/// ```
+pub fn encode_bootstrap_bundle(segments: &[(u64, Vec<u8>)], manifest: &[u8]) -> Vec<u8> {
+    let total: usize = segments.iter().map(|(_, b)| b.len() + 16).sum();
+    let mut buf = Vec::with_capacity(total + manifest.len() + 32);
+    wire::put_u32(&mut buf, BOOTSTRAP_MAGIC);
+    wire::put_u32(&mut buf, BOOTSTRAP_VERSION);
+    wire::put_u32(&mut buf, segments.len() as u32);
+    for (id, bytes) in segments {
+        wire::put_u64(&mut buf, *id);
+        wire::put_u64(&mut buf, bytes.len() as u64);
+        buf.extend_from_slice(bytes);
+    }
+    wire::put_u64(&mut buf, manifest.len() as u64);
+    buf.extend_from_slice(manifest);
+    let crc = crc32(&buf);
+    wire::put_u32(&mut buf, crc);
+    buf
+}
+
+/// Unpack a bootstrap bundle into `(segment files, manifest bytes)`.
+/// Lengths are bounds-checked against the actual blob before any
+/// allocation; the CRC covers the whole bundle.
+pub fn decode_bootstrap_bundle(bytes: &[u8]) -> Result<(Vec<(u64, Vec<u8>)>, Vec<u8>)> {
+    if bytes.len() < 28 {
+        return Err(HyError::Storage(format!(
+            "bootstrap bundle is {} bytes — too short to be valid",
+            bytes.len()
+        )));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(HyError::Storage(
+            "bootstrap bundle failed its CRC check (corrupted)".into(),
+        ));
+    }
+    let mut r = ByteReader::new(body);
+    let magic = r.u32()?;
+    if magic != BOOTSTRAP_MAGIC {
+        return Err(HyError::Storage(format!(
+            "not a HyLite bootstrap bundle (magic {magic:#010x})"
+        )));
+    }
+    let version = r.u32()?;
+    if version != BOOTSTRAP_VERSION {
+        return Err(HyError::Storage(format!(
+            "bootstrap bundle version {version} not supported (this build reads {BOOTSTRAP_VERSION})"
+        )));
+    }
+    let nsegs = r.u32()? as usize;
+    let mut segments = Vec::with_capacity(nsegs.min(4096));
+    for _ in 0..nsegs {
+        let id = r.u64()?;
+        let len = r.u64()?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&n| n <= r.remaining())
+            .ok_or_else(|| {
+                HyError::Storage(format!(
+                    "bootstrap bundle declares a {len}-byte segment with {} bytes left",
+                    r.remaining()
+                ))
+            })?;
+        segments.push((id, r.take(len)?.to_vec()));
+    }
+    let mlen = r.u64()?;
+    let mlen = usize::try_from(mlen)
+        .ok()
+        .filter(|&n| n <= r.remaining())
+        .ok_or_else(|| {
+            HyError::Storage(format!(
+                "bootstrap bundle declares a {mlen}-byte manifest with {} bytes left",
+                r.remaining()
+            ))
+        })?;
+    let manifest = r.take(mlen)?.to_vec();
+    if !r.is_empty() {
+        return Err(HyError::Storage(
+            "bootstrap bundle has trailing bytes".into(),
+        ));
+    }
+    Ok((segments, manifest))
+}
+
+/// Write manifest bytes durably: temp file, fsync, atomic rename. The
+/// segment files the manifest references must already be durable (the
+/// sealing pass syncs them and their directory). The WAL truncation that
+/// completes the checkpoint is the caller's job (it owns the WAL writer).
 pub fn publish_checkpoint(vfs: &dyn Vfs, dir: &Path, data: &[u8]) -> Result<()> {
     let tmp = dir.join(CHECKPOINT_TMP_FILE);
     let dest = dir.join(CHECKPOINT_FILE);
@@ -242,7 +365,11 @@ pub fn publish_checkpoint(vfs: &dyn Vfs, dir: &Path, data: &[u8]) -> Result<()> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::BufferPool;
+    use hylite_common::telemetry::MetricsRegistry;
     use hylite_common::{DataType, FaultVfs, Field, Value};
+    use std::path::PathBuf;
+    use std::sync::Arc;
 
     fn catalog_with_data() -> Catalog {
         let cat = Catalog::new();
@@ -270,14 +397,58 @@ mod tests {
         cat
     }
 
+    fn test_store(vfs: &FaultVfs) -> Arc<SegmentStore> {
+        SegmentStore::open(
+            Arc::new(vfs.clone()),
+            &PathBuf::from("data"),
+            Arc::new(BufferPool::new(1 << 24, &MetricsRegistry::new())),
+        )
+        .unwrap()
+    }
+
+    /// Seal every table of `cat` into `store` and return the manifests —
+    /// a miniature of what `Durability::checkpoint` does.
+    fn seal_catalog(cat: &Catalog, store: &Arc<SegmentStore>) -> Vec<TableManifest> {
+        let mut tables = Vec::new();
+        for name in cat.table_names() {
+            let t = cat.get_table(&name).unwrap();
+            let snap = t.read().committed_snapshot();
+            let mut segments = Vec::new();
+            for seg in snap.segments() {
+                let chunk = seg.to_chunk().unwrap();
+                let id = store.alloc_id();
+                store.write_segment(id, &chunk).unwrap();
+                segments.push((id, chunk.len() as u64));
+            }
+            let row_limit = snap.visible_rows() as u64;
+            let deleted: Vec<u64> = snap
+                .deleted()
+                .iter_ones()
+                .take_while(|&i| (i as u64) < row_limit)
+                .map(|i| i as u64)
+                .collect();
+            tables.push(TableManifest {
+                name,
+                schema: snap.schema().as_ref().clone(),
+                segments,
+                row_limit,
+                deleted,
+            });
+        }
+        tables
+    }
+
     #[test]
     fn encode_install_roundtrip() {
+        let vfs = FaultVfs::new();
+        let store = test_store(&vfs);
         let cat = catalog_with_data();
-        let bytes = encode_checkpoint(&cat, 42);
-        let image = decode_checkpoint(&bytes).unwrap();
+        let tables = seal_catalog(&cat, &store);
+        let bytes = encode_manifest(42, &tables);
+        let image = decode_manifest(&bytes).unwrap();
         assert_eq!(image.base_lsn, 42);
         let restored = Catalog::new();
-        let rows = install_image(image, &restored).unwrap();
+        let rows = install_manifest(image, &restored, &store).unwrap();
         assert_eq!(rows, 3, "physical rows include the deleted one");
         assert_eq!(restored.table_names(), vec!["empty", "t"]);
         let t = restored.get_table("t").unwrap();
@@ -289,26 +460,62 @@ mod tests {
     }
 
     #[test]
-    fn uncommitted_rows_stay_out() {
+    fn manifest_is_small_regardless_of_rows() {
+        let vfs = FaultVfs::new();
+        let store = test_store(&vfs);
+        let cat = Catalog::new();
+        let t = cat
+            .create_table("big", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
+        {
+            let mut g = t.write();
+            let rows: Vec<Vec<Value>> = (0..10_000).map(|i| vec![Value::Int(i)]).collect();
+            g.insert_rows(&rows).unwrap();
+            g.commit();
+        }
+        let tables = seal_catalog(&cat, &store);
+        let bytes = encode_manifest(1, &tables);
+        assert!(
+            bytes.len() < 256,
+            "manifest is {} bytes — it must not scale with row count",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn rows_mismatch_is_rejected_at_install() {
+        let vfs = FaultVfs::new();
+        let store = test_store(&vfs);
         let cat = catalog_with_data();
-        let t = cat.get_table("t").unwrap();
-        t.write()
-            .insert_rows(&[vec![Value::Int(99), Value::from("x")]])
-            .unwrap(); // no commit
-        let bytes = encode_checkpoint(&cat, 1);
-        let image = decode_checkpoint(&bytes).unwrap();
-        assert_eq!(image.tables.iter().map(|t| t.row_limit).sum::<u64>(), 3);
+        let mut tables = seal_catalog(&cat, &store);
+        for t in &mut tables {
+            for seg in &mut t.segments {
+                seg.1 += 1; // lie about the row count
+            }
+        }
+        let image = decode_manifest(&encode_manifest(1, &tables)).unwrap();
+        assert!(install_manifest(image, &Catalog::new(), &store).is_err());
     }
 
     #[test]
     fn corruption_is_a_hard_error() {
-        let cat = catalog_with_data();
-        let mut bytes = encode_checkpoint(&cat, 1);
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x01;
-        assert!(decode_checkpoint(&bytes).is_err());
-        assert!(decode_checkpoint(&[1, 2, 3]).is_err());
-        assert!(decode_checkpoint(&[]).is_err());
+        let bytes = encode_manifest(1, &[]);
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(decode_manifest(&bad).is_err());
+        assert!(decode_manifest(&[1, 2, 3]).is_err());
+        assert!(decode_manifest(&[]).is_err());
+        // v1 monolithic checkpoints are not readable by this build.
+        let mut v1 = Vec::new();
+        wire::put_u32(&mut v1, CHECKPOINT_MAGIC);
+        wire::put_u32(&mut v1, 1);
+        wire::put_u64(&mut v1, 7);
+        wire::put_u32(&mut v1, 0);
+        let crc = crc32(&v1);
+        wire::put_u32(&mut v1, crc);
+        let err = decode_manifest(&v1).unwrap_err();
+        assert!(err.message().contains("version"), "{err}");
     }
 
     #[test]

@@ -34,10 +34,14 @@ use parking_lot::Mutex;
 
 use crate::catalog::Catalog;
 use crate::checkpoint::{
-    decode_checkpoint, encode_checkpoint, install_image, publish_checkpoint, CP_CKPT_AFTER_RENAME,
-    CP_CKPT_RENAME, CP_CKPT_WRITE,
+    decode_bootstrap_bundle, decode_manifest, encode_bootstrap_bundle, encode_manifest,
+    install_manifest, publish_checkpoint, TableManifest, CP_CKPT_AFTER_RENAME, CP_CKPT_RENAME,
+    CP_CKPT_WRITE, CP_SEG_WRITE,
 };
+use crate::pool::BufferPool;
 use crate::recovery::{apply_op, recover, RecoveryReport};
+use crate::segment::{rebrand_segment_bytes, SegmentStore};
+use crate::snapshot::SegmentHandle;
 use crate::repl::{load_repl_state, next_epoch, store_repl_state, ReplRole, ReplState};
 use crate::wal::{
     decode_commit_payload, scan_wal_raw, RawFrame, RedoOp, SyncMode, WalWriter, CP_WAL_AFTER_WRITE,
@@ -53,6 +57,7 @@ pub const CRASH_POINTS: &[&str] = &[
     CP_WAL_AFTER_WRITE,
     CP_WAL_PRE_FSYNC,
     CP_WAL_POST_FSYNC,
+    CP_SEG_WRITE,
     CP_CKPT_WRITE,
     CP_CKPT_RENAME,
     CP_CKPT_AFTER_RENAME,
@@ -77,6 +82,10 @@ pub struct DurabilityOptions {
     /// replica directory refuses to open as a primary — the fence
     /// against accidentally writing to (and forking) a follower.
     pub promote: bool,
+    /// Byte cap of the buffer pool caching decoded segment blocks. Data
+    /// beyond this stays on disk and is read block-by-block on demand —
+    /// the larger-than-RAM knob (`--buffer-pool-mb` on the server).
+    pub buffer_pool_bytes: usize,
 }
 
 impl Default for DurabilityOptions {
@@ -86,6 +95,7 @@ impl Default for DurabilityOptions {
             group_commit_bytes: 256 * 1024,
             role: ReplRole::Primary,
             promote: false,
+            buffer_pool_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -119,12 +129,19 @@ pub enum ReplTail {
 pub struct CheckpointStats {
     /// Tables captured.
     pub tables: usize,
-    /// Bytes of the published checkpoint file.
+    /// Bytes of the published manifest file.
     pub bytes: u64,
     /// The checkpoint's base LSN.
     pub base_lsn: u64,
     /// Wall-clock duration in milliseconds.
     pub duration_ms: u64,
+    /// Segment files newly sealed by this checkpoint. Zero when nothing
+    /// changed since the last one — the incremental-checkpoint property.
+    pub segments_sealed: usize,
+    /// Bytes of the newly sealed segment files (compressed, on disk).
+    pub segment_bytes: u64,
+    /// Uncompressed bytes of the rows sealed into new segments.
+    pub sealed_raw_bytes: u64,
 }
 
 /// The per-database durability engine. Cheap to share (`Arc` it); all
@@ -144,6 +161,8 @@ pub struct Durability {
     /// [`Durability::install_bootstrap`] (a replica adopting its
     /// primary's epoch).
     epoch: AtomicU64,
+    /// The sealed-segment store (files + id allocation + buffer pool).
+    store: Arc<SegmentStore>,
 }
 
 impl Durability {
@@ -156,7 +175,9 @@ impl Durability {
         options: DurabilityOptions,
         metrics: Arc<MetricsRegistry>,
     ) -> Result<(Durability, Catalog, RecoveryReport)> {
-        let (catalog, report) = recover(&vfs, dir, &metrics)?;
+        let pool = Arc::new(BufferPool::new(options.buffer_pool_bytes, &metrics));
+        let store = SegmentStore::open(Arc::clone(&vfs), dir, pool)?;
+        let (catalog, report) = recover(&vfs, dir, &store, &metrics)?;
         let prior = load_repl_state(vfs.as_ref(), dir)?;
         let epoch = match options.role {
             ReplRole::Primary => {
@@ -210,6 +231,7 @@ impl Durability {
                 wal: Mutex::new(wal),
                 role: AtomicU8::new(options.role.as_u8()),
                 epoch: AtomicU64::new(epoch),
+                store,
             },
             catalog,
             report,
@@ -219,6 +241,16 @@ impl Durability {
     /// The injectable filesystem this database runs on.
     pub fn vfs(&self) -> &Arc<dyn Vfs> {
         &self.vfs
+    }
+
+    /// The sealed-segment store.
+    pub fn segment_store(&self) -> &Arc<SegmentStore> {
+        &self.store
+    }
+
+    /// The block cache in front of sealed segments.
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        self.store.pool()
     }
 
     /// The data directory.
@@ -260,24 +292,119 @@ impl Durability {
         self.wal.lock().flush()
     }
 
-    /// Take a checkpoint: flush the WAL, snapshot every table at the
-    /// current LSN, publish atomically, then truncate the WAL. Holds the
-    /// commit lock throughout (readers unaffected).
+    /// Take a checkpoint: flush the WAL, seal every table's not-yet-sealed
+    /// committed rows into new segment files, publish the manifest
+    /// atomically, then truncate the WAL. Holds the commit lock
+    /// throughout (readers unaffected). Incremental by construction:
+    /// segments sealed by earlier checkpoints are re-listed by id, not
+    /// rewritten.
     pub fn checkpoint(&self, catalog: &Catalog) -> Result<CheckpointStats> {
-        let started = Instant::now();
         let mut wal = self.wal.lock();
+        self.checkpoint_locked(catalog, &mut wal)
+    }
+
+    fn checkpoint_locked(
+        &self,
+        catalog: &Catalog,
+        wal: &mut WalWriter,
+    ) -> Result<CheckpointStats> {
+        let started = Instant::now();
         // Buffered frames must hit the disk first: if the checkpoint then
         // fails part-way, the WAL still covers those commits.
         wal.flush()?;
         let base_lsn = wal.next_lsn();
-        let data = encode_checkpoint(catalog, base_lsn);
+
+        // Seal phase: for each table, reuse the already-sealed prefix and
+        // freeze the resident committed tail into new segment files.
+        let mut manifests: Vec<TableManifest> = Vec::new();
+        let mut swaps: Vec<(crate::table::TableRef, Vec<SegmentHandle>)> = Vec::new();
+        let mut segments_sealed = 0usize;
+        let mut segment_bytes = 0u64;
+        let mut sealed_raw_bytes = 0u64;
+        for name in catalog.table_names() {
+            let Ok(table) = catalog.get_table(&name) else {
+                continue;
+            };
+            let snap = table.read().committed_snapshot();
+            let mut handles: Vec<SegmentHandle> = Vec::new();
+            let mut seg_list: Vec<(u64, u64)> = Vec::new();
+            let mut resident: Vec<hylite_common::Chunk> = Vec::new();
+            for seg in snap.segments() {
+                match seg {
+                    // Already sealed and immutable: re-list, zero I/O.
+                    SegmentHandle::Disk(d) if resident.is_empty() => {
+                        seg_list.push((d.id(), d.rows() as u64));
+                        handles.push(seg.clone());
+                    }
+                    // Anything after the first resident segment gets
+                    // resealed with it (keeps the disk-prefix invariant).
+                    other => resident.push(other.to_chunk()?),
+                }
+            }
+            if !resident.is_empty() {
+                let types = snap.schema().types();
+                let delta = hylite_common::Chunk::concat(&types, &resident)?;
+                let mut offset = 0;
+                while offset < delta.len() {
+                    let take = (delta.len() - offset).min(crate::SEGMENT_ROWS);
+                    let chunk = delta.slice(offset, take);
+                    self.vfs.crash_point(CP_SEG_WRITE)?;
+                    let id = self.store.alloc_id();
+                    let written = self.store.write_segment(id, &chunk)?;
+                    segments_sealed += 1;
+                    segment_bytes += written;
+                    sealed_raw_bytes += chunk.heap_bytes() as u64;
+                    seg_list.push((id, take as u64));
+                    handles.push(SegmentHandle::Disk(self.store.open_segment(id)?));
+                    offset += take;
+                }
+            }
+            let row_limit = snap.visible_rows() as u64;
+            let deleted: Vec<u64> = snap
+                .deleted()
+                .iter_ones()
+                .take_while(|&i| (i as u64) < row_limit)
+                .map(|i| i as u64)
+                .collect();
+            manifests.push(TableManifest {
+                name,
+                schema: snap.schema().as_ref().clone(),
+                segments: seg_list,
+                row_limit,
+                deleted,
+            });
+            swaps.push((table, handles));
+        }
+        if segments_sealed > 0 {
+            self.store.sync_dir()?;
+        }
+
+        let data = encode_manifest(base_lsn, &manifests);
         publish_checkpoint(self.vfs.as_ref(), &self.dir, &data)?;
+
+        // The manifest is live: swap each table's committed prefix to the
+        // sealed handles so resident memory is released, then collect
+        // segment files no manifest references any more. Both are safe
+        // under the commit lock — the swapped data is bit-identical and
+        // open snapshots hold their own handles (GC spares live files).
+        for (table, handles) in swaps {
+            table.write().swap_sealed_prefix(handles)?;
+        }
+        let referenced: std::collections::HashSet<u64> = manifests
+            .iter()
+            .flat_map(|t| t.segments.iter().map(|&(id, _)| id))
+            .collect();
+        self.store.gc(&referenced)?;
+
         wal.reset()?;
         let stats = CheckpointStats {
-            tables: catalog.table_names().len(),
+            tables: manifests.len(),
             bytes: data.len() as u64,
             base_lsn,
             duration_ms: started.elapsed().as_millis() as u64,
+            segments_sealed,
+            segment_bytes,
+            sealed_raw_bytes,
         };
         self.metrics
             .histogram("checkpoint.duration_ms")
@@ -285,7 +412,16 @@ impl Durability {
         self.metrics.counter("checkpoint.count").inc();
         self.metrics
             .counter("checkpoint.bytes_written")
-            .add(stats.bytes);
+            .add(stats.bytes + stats.segment_bytes);
+        self.metrics
+            .counter("checkpoint.segments_sealed")
+            .add(segments_sealed as u64);
+        self.metrics
+            .counter("checkpoint.segment_bytes_written")
+            .add(segment_bytes);
+        self.metrics
+            .gauge("storage.disk_bytes")
+            .set(self.store.disk_bytes()? as i64);
         Ok(stats)
     }
 
@@ -390,17 +526,25 @@ impl Durability {
         }
     }
 
-    /// Encode a bootstrap snapshot for a replica: a checkpoint image of
-    /// the current committed state, consistent as of the returned
-    /// `base_lsn`. Holds the commit lock while encoding (commits queue;
-    /// readers unaffected) and does **not** publish the image locally —
-    /// the primary's own checkpoint schedule is unchanged.
+    /// Encode a bootstrap snapshot for a replica: run a local checkpoint
+    /// (sealing any resident delta — segment files are the shipping
+    /// format), then bundle the manifest plus every referenced segment
+    /// file. Holds the commit lock throughout (commits queue; readers
+    /// unaffected). As a side effect the primary gets a fresh checkpoint,
+    /// which only advances its own recovery position.
     pub fn bootstrap_snapshot(&self, catalog: &Catalog) -> Result<(u64, Vec<u8>)> {
         let mut wal = self.wal.lock();
-        wal.flush()?;
-        let base_lsn = wal.next_lsn();
-        let data = encode_checkpoint(catalog, base_lsn);
-        Ok((base_lsn, data))
+        let stats = self.checkpoint_locked(catalog, &mut wal)?;
+        let base_lsn = stats.base_lsn;
+        let manifest = self.vfs.read(&self.dir.join(crate::checkpoint::CHECKPOINT_FILE))?;
+        let image = decode_manifest(&manifest)?;
+        let mut ids: Vec<u64> = image.referenced_segments().into_iter().collect();
+        ids.sort_unstable();
+        let mut files = Vec::with_capacity(ids.len());
+        for id in ids {
+            files.push((id, self.store.read_file(id)?));
+        }
+        Ok((base_lsn, encode_bootstrap_bundle(&files, &manifest)))
     }
 
     /// Apply one replicated WAL frame: re-verify its CRC, require it to
@@ -438,19 +582,48 @@ impl Durability {
     }
 
     /// Replace this replica's entire local state with a bootstrap
-    /// snapshot from its primary: publish the checkpoint image, reset
-    /// the WAL to restart at the image's base LSN, swap the catalog
+    /// bundle from its primary: write the shipped segment files under
+    /// locally allocated ids (a fresh id can never collide with the
+    /// replica's own files; a crash mid-install leaves only orphans the
+    /// next recovery deletes), publish the remapped manifest, reset the
+    /// WAL to restart at the bundle's base LSN, swap the catalog
     /// contents, and durably adopt the primary's epoch. The caller must
     /// hold the writer gate so no session observes the swap half-done.
     pub fn install_bootstrap(&self, catalog: &Catalog, epoch: u64, data: &[u8]) -> Result<u64> {
-        let image = decode_checkpoint(data)?;
+        let (files, manifest) = decode_bootstrap_bundle(data)?;
+        let mut image = decode_manifest(&manifest)?;
         let base_lsn = image.base_lsn;
         let mut wal = self.wal.lock();
-        publish_checkpoint(self.vfs.as_ref(), &self.dir, data)?;
+        let mut remap = std::collections::HashMap::with_capacity(files.len());
+        for (shipped_id, mut bytes) in files {
+            let local_id = self.store.alloc_id();
+            rebrand_segment_bytes(&mut bytes, local_id)?;
+            self.store.write_validated(local_id, &bytes)?;
+            remap.insert(shipped_id, local_id);
+        }
+        for t in &mut image.tables {
+            for seg in &mut t.segments {
+                seg.0 = *remap.get(&seg.0).ok_or_else(|| {
+                    HyError::Storage(format!(
+                        "bootstrap manifest references segment {} the bundle does not ship",
+                        seg.0
+                    ))
+                })?;
+            }
+        }
+        self.store.sync_dir()?;
+        let local_manifest = encode_manifest(
+            base_lsn,
+            &image.tables,
+        );
+        publish_checkpoint(self.vfs.as_ref(), &self.dir, &local_manifest)?;
         wal.reset()?;
         wal.set_next_lsn(base_lsn);
         catalog.clear();
-        let rows = install_image(image, catalog)?;
+        let referenced = image.referenced_segments();
+        let rows = install_manifest(image, catalog, &self.store)?;
+        // The replica's pre-bootstrap segment files are garbage now.
+        self.store.gc(&referenced)?;
         store_repl_state(
             self.vfs.as_ref(),
             &self.dir,
@@ -529,7 +702,7 @@ mod tests {
 
     #[test]
     fn crash_points_list_is_exhaustive_and_ordered() {
-        assert_eq!(CRASH_POINTS.len(), 8);
+        assert_eq!(CRASH_POINTS.len(), 9);
         let unique: std::collections::BTreeSet<_> = CRASH_POINTS.iter().collect();
         assert_eq!(unique.len(), CRASH_POINTS.len());
     }

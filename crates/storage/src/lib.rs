@@ -17,8 +17,10 @@
 pub mod catalog;
 pub mod checkpoint;
 pub mod durability;
+pub mod pool;
 pub mod recovery;
 pub mod repl;
+pub mod segment;
 pub mod snapshot;
 pub mod table;
 pub mod transaction;
@@ -28,9 +30,13 @@ pub mod writer;
 pub use catalog::Catalog;
 pub use checkpoint::CheckpointImage;
 pub use durability::{CheckpointStats, Durability, DurabilityOptions, ReplTail, CRASH_POINTS};
+pub use pool::{BufferPool, PoolStats};
 pub use recovery::RecoveryReport;
+pub use segment::{
+    DiskSegment, SegmentStore, ZoneRange, BLOCK_ROWS, SEGMENT_DIR,
+};
 pub use repl::{ReplRole, ReplState};
-pub use snapshot::{Morsel, TableSnapshot};
+pub use snapshot::{Morsel, ScanPruning, SegmentHandle, TableSnapshot};
 pub use table::{Table, TableRef, SEGMENT_ROWS};
 pub use transaction::Transaction;
 pub use wal::{RawFrame, RedoOp, SyncMode, WalWriter};

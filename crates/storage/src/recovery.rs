@@ -26,7 +26,8 @@ use hylite_common::faultfs::Vfs;
 use hylite_common::{MetricsRegistry, Result};
 
 use crate::catalog::Catalog;
-use crate::checkpoint::{decode_checkpoint, install_image, CHECKPOINT_FILE, CHECKPOINT_TMP_FILE};
+use crate::checkpoint::{decode_manifest, install_manifest, CHECKPOINT_FILE, CHECKPOINT_TMP_FILE};
+use crate::segment::SegmentStore;
 use crate::wal::{scan_wal, RedoOp, WAL_FILE};
 
 /// What recovery found and did; surfaced by `Database::open` and printed
@@ -48,6 +49,9 @@ pub struct RecoveryReport {
     pub skipped_ops: u64,
     /// Bytes of torn/corrupt WAL tail discarded.
     pub discarded_bytes: u64,
+    /// Segment files deleted because no manifest references them (debris
+    /// of a checkpoint or bootstrap interrupted by a crash).
+    pub orphan_segments_removed: u64,
     /// Set when a CRC-valid frame did not continue the replay LSN
     /// sequence (`(expected, found)`); the WAL was truncated at the last
     /// contiguous frame. Replication reuses this check: a gap means the
@@ -124,10 +128,13 @@ pub(crate) fn apply_op(catalog: &Catalog, op: RedoOp) -> bool {
 
 /// Run recovery against a data directory: returns the rebuilt catalog
 /// and a report. The WAL file is left repaired (truncated to its valid
-/// prefix) and ready for appending.
+/// prefix) and ready for appending. Segment files the manifest does not
+/// reference (half-written checkpoints, aborted bootstraps) are deleted;
+/// the id allocator resumes past every surviving file.
 pub fn recover(
     vfs: &Arc<dyn Vfs>,
     dir: &Path,
+    store: &Arc<SegmentStore>,
     metrics: &MetricsRegistry,
 ) -> Result<(Catalog, RecoveryReport)> {
     vfs.create_dir_all(dir)?;
@@ -140,13 +147,21 @@ pub fn recover(
     }
 
     let ckpt_path = dir.join(CHECKPOINT_FILE);
+    let mut referenced = std::collections::HashSet::new();
     if vfs.exists(&ckpt_path) {
         let bytes = vfs.read(&ckpt_path)?;
-        let image = decode_checkpoint(&bytes)?;
+        let image = decode_manifest(&bytes)?;
         report.base_lsn = image.base_lsn;
-        report.checkpoint_rows = install_image(image, &catalog)?;
+        referenced = image.referenced_segments();
+        report.checkpoint_rows = install_manifest(image, &catalog, store)?;
         report.checkpoint_loaded = true;
     }
+    // Orphan collection: a crash between segment writes and the manifest
+    // rename leaves files no manifest references. Safe to delete — the
+    // published manifest is the only root.
+    let orphans = store.gc(&referenced)?;
+    report.orphan_segments_removed = orphans.len() as u64;
+    store.refresh_next_id()?;
 
     let wal_path = dir.join(WAL_FILE);
     let mut scan = scan_wal(vfs.as_ref(), &wal_path)?;
@@ -219,18 +234,62 @@ pub fn recover(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checkpoint::{encode_checkpoint, publish_checkpoint};
+    use crate::checkpoint::{encode_manifest, publish_checkpoint, TableManifest};
+    use crate::pool::BufferPool;
     use crate::wal::{SyncMode, WalWriter};
     use hylite_common::{Chunk, ColumnVector, DataType, FaultVfs, Field, Schema, Value};
     use std::path::PathBuf;
 
-    fn setup() -> (Arc<dyn Vfs>, FaultVfs, PathBuf) {
+    fn setup() -> (Arc<dyn Vfs>, FaultVfs, PathBuf, Arc<SegmentStore>) {
         let fault = FaultVfs::new();
-        (
-            Arc::new(fault.clone()) as Arc<dyn Vfs>,
-            fault,
-            PathBuf::from("data"),
+        let vfs = Arc::new(fault.clone()) as Arc<dyn Vfs>;
+        let dir = PathBuf::from("data");
+        let store = SegmentStore::open(
+            Arc::clone(&vfs),
+            &dir,
+            std::sync::Arc::new(BufferPool::new(1 << 24, &MetricsRegistry::new())),
         )
+        .unwrap();
+        (vfs, fault, dir, store)
+    }
+
+    /// Seal `catalog` into `store` and publish a manifest at `base_lsn` —
+    /// the unit-test stand-in for `Durability::checkpoint`.
+    fn publish_manifest(
+        vfs: &Arc<dyn Vfs>,
+        dir: &Path,
+        store: &Arc<SegmentStore>,
+        catalog: &Catalog,
+        base_lsn: u64,
+    ) {
+        let mut tables = Vec::new();
+        for name in catalog.table_names() {
+            let t = catalog.get_table(&name).unwrap();
+            let snap = t.read().committed_snapshot();
+            let mut segments = Vec::new();
+            for seg in snap.segments() {
+                let chunk = seg.to_chunk().unwrap();
+                let id = store.alloc_id();
+                store.write_segment(id, &chunk).unwrap();
+                segments.push((id, chunk.len() as u64));
+            }
+            let row_limit = snap.visible_rows() as u64;
+            let deleted: Vec<u64> = snap
+                .deleted()
+                .iter_ones()
+                .take_while(|&i| (i as u64) < row_limit)
+                .map(|i| i as u64)
+                .collect();
+            tables.push(TableManifest {
+                name,
+                schema: snap.schema().as_ref().clone(),
+                segments,
+                row_limit,
+                deleted,
+            });
+        }
+        store.sync_dir().unwrap();
+        publish_checkpoint(vfs.as_ref(), dir, &encode_manifest(base_lsn, &tables)).unwrap();
     }
 
     fn schema() -> Schema {
@@ -258,8 +317,8 @@ mod tests {
 
     #[test]
     fn empty_dir_recovers_empty() {
-        let (vfs, _, dir) = setup();
-        let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (vfs, _, dir, store) = setup();
+        let (catalog, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert!(catalog.table_names().is_empty());
         assert!(!report.checkpoint_loaded);
         assert_eq!(report.next_lsn, 1);
@@ -267,7 +326,7 @@ mod tests {
 
     #[test]
     fn wal_only_replay() {
-        let (vfs, _, dir) = setup();
+        let (vfs, _, dir, store) = setup();
         let mut w = wal(&vfs, &dir, 1);
         w.log_commit(&[RedoOp::CreateTable {
             name: "t".into(),
@@ -280,7 +339,7 @@ mod tests {
             row_ids: vec![0],
         }])
         .unwrap();
-        let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (catalog, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert_eq!(report.replayed_records, 3);
         assert_eq!(report.replayed_ops, 4);
         assert_eq!(report.next_lsn, 4);
@@ -290,7 +349,7 @@ mod tests {
 
     #[test]
     fn checkpoint_plus_wal_tail() {
-        let (vfs, _, dir) = setup();
+        let (vfs, _, dir, store) = setup();
         // Build state, checkpoint it at base_lsn=5, then log more.
         let catalog = Catalog::new();
         let t = catalog.create_table("t", schema()).unwrap();
@@ -299,7 +358,7 @@ mod tests {
             g.insert_rows(&[vec![Value::Int(10)]]).unwrap();
             g.commit();
         }
-        publish_checkpoint(vfs.as_ref(), &dir, &encode_checkpoint(&catalog, 5)).unwrap();
+        publish_manifest(&vfs, &dir, &store, &catalog, 5);
         let mut w = wal(&vfs, &dir, 1);
         // Frames below base_lsn must be skipped (double-replay guard)...
         w.log_commit(&[insert("t", 999)]).unwrap(); // lsn 1 — pre-checkpoint
@@ -307,7 +366,7 @@ mod tests {
                                                     // as if commits 2..=4 were also checkpointed.
         let mut w = wal(&vfs, &dir, 5);
         w.log_commit(&[insert("t", 20)]).unwrap(); // lsn 5
-        let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (catalog, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert!(report.checkpoint_loaded);
         assert_eq!(report.base_lsn, 5);
         assert_eq!(report.replayed_records, 1);
@@ -317,6 +376,8 @@ mod tests {
             .read()
             .committed_snapshot()
             .live_chunks()
+            .unwrap()
+            .iter()
             .flat_map(|c| c.rows())
             .map(|r| r.int(0).unwrap())
             .collect();
@@ -325,7 +386,7 @@ mod tests {
 
     #[test]
     fn torn_tail_is_truncated_on_recovery() {
-        let (vfs, fault, dir) = setup();
+        let (vfs, fault, dir, store) = setup();
         let mut w = wal(&vfs, &dir, 1);
         w.log_commit(&[RedoOp::CreateTable {
             name: "t".into(),
@@ -337,7 +398,7 @@ mod tests {
         let good_len = fault.file_len(&wal_path).unwrap() as u64;
         let mut f = vfs.open_append(&wal_path).unwrap();
         f.write_all(&[0xAB; 13]).unwrap(); // torn garbage tail
-        let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (catalog, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert_eq!(report.discarded_bytes, 13);
         assert_eq!(report.replayed_records, 2);
         assert_eq!(
@@ -353,7 +414,7 @@ mod tests {
 
     #[test]
     fn orphaned_ops_are_skipped() {
-        let (vfs, _, dir) = setup();
+        let (vfs, _, dir, store) = setup();
         let mut w = wal(&vfs, &dir, 1);
         // DDL logs at execution, DML at commit: INSERT-then-DROP inside
         // one transaction yields Drop before Insert in the WAL.
@@ -365,14 +426,14 @@ mod tests {
         w.log_commit(&[RedoOp::DropTable { name: "t".into() }])
             .unwrap();
         w.log_commit(&[insert("t", 1)]).unwrap();
-        let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (catalog, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert!(!catalog.has_table("t"));
         assert_eq!(report.skipped_ops, 1);
     }
 
     #[test]
     fn lsn_gap_truncates_at_last_contiguous_frame() {
-        let (vfs, fault, dir) = setup();
+        let (vfs, fault, dir, store) = setup();
         let mut w = wal(&vfs, &dir, 1);
         w.log_commit(&[RedoOp::CreateTable {
             name: "t".into(),
@@ -387,7 +448,7 @@ mod tests {
         let mut w = wal(&vfs, &dir, 4);
         w.log_commit(&[insert("t", 99)]).unwrap(); // lsn 4 — gap!
         w.log_commit(&[insert("t", 100)]).unwrap(); // lsn 5 — dropped too
-        let (catalog, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (catalog, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert_eq!(report.lsn_gap, Some((3, 4)));
         assert_eq!(report.gap_dropped_records, 2);
         assert_eq!(report.replayed_records, 2);
@@ -404,7 +465,7 @@ mod tests {
         );
         assert!(report.summary().contains("lsn gap"));
         // A second recovery of the repaired file is clean.
-        let (_, report2) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (_, report2) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert_eq!(report2.lsn_gap, None);
         assert_eq!(report2.next_lsn, 3);
     }
@@ -415,7 +476,7 @@ mod tests {
         // below base_lsn may end anywhere, and replay starts exactly at
         // base_lsn. That jump is legal; only holes in the *replayed*
         // sequence are divergence.
-        let (vfs, _, dir) = setup();
+        let (vfs, _, dir, store) = setup();
         let catalog = Catalog::new();
         let t = catalog.create_table("t", schema()).unwrap();
         {
@@ -423,35 +484,35 @@ mod tests {
             g.insert_rows(&[vec![Value::Int(10)]]).unwrap();
             g.commit();
         }
-        publish_checkpoint(vfs.as_ref(), &dir, &encode_checkpoint(&catalog, 5)).unwrap();
+        publish_manifest(&vfs, &dir, &store, &catalog, 5);
         let mut w = wal(&vfs, &dir, 1);
         w.log_commit(&[insert("t", 999)]).unwrap(); // lsn 1 — pre-checkpoint
         let mut w = wal(&vfs, &dir, 5);
         w.log_commit(&[insert("t", 20)]).unwrap(); // lsn 5 == base_lsn
-        let (_, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (_, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert_eq!(report.lsn_gap, None);
         assert_eq!(report.replayed_records, 1);
     }
 
     #[test]
     fn leftover_tmp_checkpoint_is_removed() {
-        let (vfs, _, dir) = setup();
+        let (vfs, _, dir, store) = setup();
         let tmp = dir.join(CHECKPOINT_TMP_FILE);
         let mut f = vfs.create(&tmp).unwrap();
         f.write_all(b"half-written checkpoint").unwrap();
         drop(f);
-        let (_, report) = recover(&vfs, &dir, &MetricsRegistry::new()).unwrap();
+        let (_, report) = recover(&vfs, &dir, &store, &MetricsRegistry::new()).unwrap();
         assert!(!vfs.exists(&tmp));
         assert!(!report.checkpoint_loaded);
     }
 
     #[test]
     fn corrupt_checkpoint_is_fatal() {
-        let (vfs, fault, dir) = setup();
+        let (vfs, fault, dir, store) = setup();
         let catalog = Catalog::new();
         catalog.create_table("t", schema()).unwrap();
-        publish_checkpoint(vfs.as_ref(), &dir, &encode_checkpoint(&catalog, 1)).unwrap();
+        publish_manifest(&vfs, &dir, &store, &catalog, 1);
         fault.corrupt(&dir.join(CHECKPOINT_FILE), 10, 0x80).unwrap();
-        assert!(recover(&vfs, &dir, &MetricsRegistry::new()).is_err());
+        assert!(recover(&vfs, &dir, &store, &MetricsRegistry::new()).is_err());
     }
 }

@@ -2,17 +2,118 @@
 
 use std::sync::Arc;
 
-use hylite_common::{Bitmap, Chunk, Schema};
+use hylite_common::{Bitmap, Chunk, ColumnVector, HyError, Result, Schema};
+
+use crate::segment::{DiskSegment, ZoneRange, BLOCK_ROWS};
+
+/// One table segment: either resident in memory (the write path and
+/// not-yet-checkpointed data) or sealed on disk and read block-by-block
+/// through the buffer pool. A table is always a disk-backed prefix
+/// followed by a resident tail.
+#[derive(Debug, Clone)]
+pub enum SegmentHandle {
+    /// Rows held in memory.
+    Resident(Arc<Chunk>),
+    /// Rows in a sealed segment file.
+    Disk(Arc<DiskSegment>),
+}
+
+impl SegmentHandle {
+    /// Rows in this segment.
+    pub fn len(&self) -> usize {
+        match self {
+            SegmentHandle::Resident(c) => c.len(),
+            SegmentHandle::Disk(s) => s.rows(),
+        }
+    }
+
+    /// Whether the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the segment lives in memory.
+    pub fn is_resident(&self) -> bool {
+        matches!(self, SegmentHandle::Resident(_))
+    }
+
+    /// The disk segment, if sealed.
+    pub fn as_disk(&self) -> Option<&Arc<DiskSegment>> {
+        match self {
+            SegmentHandle::Resident(_) => None,
+            SegmentHandle::Disk(s) => Some(s),
+        }
+    }
+
+    /// Materialize rows `[offset, offset+len)`, optionally projected to
+    /// `cols`. Resident whole-segment reads are zero-copy (`Arc` clones);
+    /// disk reads go through the buffer pool.
+    pub fn read_rows(&self, offset: usize, len: usize, cols: Option<&[usize]>) -> Result<Chunk> {
+        match self {
+            SegmentHandle::Resident(chunk) => {
+                if offset + len > chunk.len() {
+                    return Err(HyError::Storage(format!(
+                        "segment read [{offset}, +{len}) out of range ({} rows)",
+                        chunk.len()
+                    )));
+                }
+                match cols {
+                    None => Ok(if offset == 0 && len == chunk.len() {
+                        chunk.as_ref().clone()
+                    } else {
+                        chunk.slice(offset, len)
+                    }),
+                    Some([]) => Ok(Chunk::zero_column(len)),
+                    Some(ids) => {
+                        let full = offset == 0 && len == chunk.len();
+                        let mut out: Vec<Arc<ColumnVector>> = Vec::with_capacity(ids.len());
+                        for &c in ids {
+                            if c >= chunk.num_columns() {
+                                return Err(HyError::Storage(format!(
+                                    "segment has no column {c}"
+                                )));
+                            }
+                            let col = &chunk.columns()[c];
+                            out.push(if full {
+                                Arc::clone(col)
+                            } else {
+                                Arc::new(col.slice(offset, len))
+                            });
+                        }
+                        Ok(Chunk::from_arc_columns(out))
+                    }
+                }
+            }
+            SegmentHandle::Disk(seg) => seg.read_rows(offset, len, cols),
+        }
+    }
+
+    /// Materialize the whole segment.
+    pub fn to_chunk(&self) -> Result<Chunk> {
+        self.read_rows(0, self.len(), None)
+    }
+}
+
+/// Block-skipping counters for one scan (EXPLAIN ANALYZE surface).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanPruning {
+    /// Blocks whose data the scan will read.
+    pub blocks_scanned: usize,
+    /// Blocks skipped because their zone maps exclude the predicate.
+    pub blocks_pruned: usize,
+}
 
 /// A consistent view of a table at a point in time.
 ///
-/// Holds `Arc`s to the segments it covers plus its own copy of the delete
-/// mask, so later table mutations (and even [`crate::Table::compact`])
-/// cannot disturb a running scan.
+/// Holds handles to the segments it covers plus its own copy of the
+/// delete mask, so later table mutations (and even
+/// [`crate::Table::compact`]) cannot disturb a running scan. Disk-backed
+/// segments stay open (their files survive GC) for the snapshot's
+/// lifetime.
 #[derive(Debug, Clone)]
 pub struct TableSnapshot {
     schema: Arc<Schema>,
-    segments: Vec<Arc<Chunk>>,
+    segments: Vec<SegmentHandle>,
     /// Visible row-id horizon; rows at or past this id are invisible even
     /// if the last covered segment extends further.
     row_limit: usize,
@@ -36,7 +137,7 @@ impl TableSnapshot {
     /// Build a snapshot (used by [`crate::Table`]).
     pub fn new(
         schema: Arc<Schema>,
-        segments: Vec<Arc<Chunk>>,
+        segments: Vec<SegmentHandle>,
         row_limit: usize,
         deleted: Bitmap,
     ) -> TableSnapshot {
@@ -54,7 +155,7 @@ impl TableSnapshot {
         let n = chunk.len();
         TableSnapshot {
             schema,
-            segments: vec![Arc::new(chunk)],
+            segments: vec![SegmentHandle::Resident(Arc::new(chunk))],
             row_limit: n,
             deleted: Bitmap::filled(n, false),
         }
@@ -70,10 +171,8 @@ impl TableSnapshot {
         self.segments.len()
     }
 
-    /// The covered segments in row-id order. Checkpointing serializes
-    /// these as-is (deleted rows included) so that global row ids — which
-    /// later WAL `Delete` frames refer to — survive a round-trip.
-    pub fn segments(&self) -> &[Arc<Chunk>] {
+    /// The covered segments in row-id order.
+    pub fn segments(&self) -> &[SegmentHandle] {
         &self.segments
     }
 
@@ -105,35 +204,103 @@ impl TableSnapshot {
     /// Split the snapshot into morsels of at most `morsel_rows` rows,
     /// respecting segment boundaries.
     pub fn morsels(&self, morsel_rows: usize) -> Vec<Morsel> {
+        self.pruned_morsels(morsel_rows, &[]).0
+    }
+
+    /// Split the snapshot into morsels, skipping disk blocks whose zone
+    /// maps prove no row can satisfy every range in `ranges` (ANDed).
+    /// Resident segments cannot be pruned (no zone maps) and count all
+    /// their blocks as scanned. With empty `ranges` this degenerates to
+    /// [`TableSnapshot::morsels`].
+    pub fn pruned_morsels(
+        &self,
+        morsel_rows: usize,
+        ranges: &[ZoneRange],
+    ) -> (Vec<Morsel>, ScanPruning) {
         assert!(morsel_rows > 0, "morsel size must be positive");
         let mut out = Vec::new();
+        let mut pruning = ScanPruning::default();
         let mut base = 0usize;
         for (si, seg) in self.segments.iter().enumerate() {
             if base >= self.row_limit {
                 break;
             }
             let seg_visible = seg.len().min(self.row_limit - base);
-            let mut offset = 0;
-            while offset < seg_visible {
-                let len = (seg_visible - offset).min(morsel_rows);
-                out.push(Morsel {
-                    segment: si,
-                    offset,
-                    len,
-                    base_row_id: base + offset,
-                });
-                offset += len;
+            let disk = match seg {
+                SegmentHandle::Disk(d) if !ranges.is_empty() => Some(d),
+                _ => None,
+            };
+            match disk {
+                None => {
+                    pruning.blocks_scanned += seg_visible.div_ceil(BLOCK_ROWS);
+                    push_morsels(&mut out, si, 0, seg_visible, base, morsel_rows);
+                }
+                Some(d) => {
+                    let meta = d.meta();
+                    // Walk blocks, merging contiguous survivors into runs
+                    // so morsels still amortize per-morsel overhead.
+                    let mut run_start: Option<usize> = None;
+                    let nblocks = meta.nblocks();
+                    for blk in 0..nblocks {
+                        let blk_start = blk * BLOCK_ROWS;
+                        if blk_start >= seg_visible {
+                            break;
+                        }
+                        let keep = ranges.iter().all(|r| {
+                            meta.blocks
+                                .get(r.col)
+                                .map(|col_blocks| col_blocks[blk].may_match(r))
+                                .unwrap_or(true)
+                        });
+                        if keep {
+                            pruning.blocks_scanned += 1;
+                            run_start.get_or_insert(blk_start);
+                        } else {
+                            pruning.blocks_pruned += 1;
+                            if let Some(start) = run_start.take() {
+                                push_morsels(
+                                    &mut out,
+                                    si,
+                                    start,
+                                    blk_start - start,
+                                    base + start,
+                                    morsel_rows,
+                                );
+                            }
+                        }
+                    }
+                    if let Some(start) = run_start.take() {
+                        push_morsels(
+                            &mut out,
+                            si,
+                            start,
+                            seg_visible - start,
+                            base + start,
+                            morsel_rows,
+                        );
+                    }
+                }
             }
             base += seg.len();
         }
-        out
+        (out, pruning)
     }
 
     /// Materialize a morsel as a chunk of *live* rows, together with the
     /// global row ids of those rows (needed by DELETE/UPDATE pipelines).
-    pub fn read_morsel(&self, m: &Morsel) -> (Chunk, Vec<usize>) {
+    pub fn read_morsel(&self, m: &Morsel) -> Result<(Chunk, Vec<usize>)> {
+        self.read_morsel_cols(m, None)
+    }
+
+    /// [`TableSnapshot::read_morsel`] projected to `cols` (`None` = all):
+    /// disk-backed segments then only load the projected columns' blocks.
+    pub fn read_morsel_cols(
+        &self,
+        m: &Morsel,
+        cols: Option<&[usize]>,
+    ) -> Result<(Chunk, Vec<usize>)> {
         let seg = &self.segments[m.segment];
-        // Fast path: nothing deleted in range — slice without gathering.
+        // Fast path: nothing deleted in range — read without gathering.
         let mut any_deleted = false;
         for i in 0..m.len {
             let rid = m.base_row_id + i;
@@ -143,39 +310,61 @@ impl TableSnapshot {
             }
         }
         if !any_deleted {
-            let chunk = if m.offset == 0 && m.len == seg.len() {
-                seg.as_ref().clone()
-            } else {
-                seg.slice(m.offset, m.len)
-            };
+            let chunk = seg.read_rows(m.offset, m.len, cols)?;
             let ids = (m.base_row_id..m.base_row_id + m.len).collect();
-            return (chunk, ids);
+            return Ok((chunk, ids));
         }
         let mut keep = Vec::with_capacity(m.len);
         let mut ids = Vec::with_capacity(m.len);
         for i in 0..m.len {
             let rid = m.base_row_id + i;
             if !(rid < self.deleted.len() && self.deleted.get(rid)) {
-                keep.push(m.offset + i);
+                keep.push(i);
                 ids.push(rid);
             }
         }
-        (seg.take(&keep), ids)
+        let chunk = seg.read_rows(m.offset, m.len, cols)?;
+        Ok((chunk.take(&keep), ids))
     }
 
-    /// Iterate all live rows as chunks (sequential scan).
-    pub fn live_chunks(&self) -> impl Iterator<Item = Chunk> + '_ {
-        self.morsels(crate::SEGMENT_ROWS)
-            .into_iter()
-            .map(move |m| self.read_morsel(&m).0)
-            .filter(|c| !c.is_empty())
+    /// All live rows as chunks (sequential scan).
+    pub fn live_chunks(&self) -> Result<Vec<Chunk>> {
+        let mut out = Vec::new();
+        for m in self.morsels(crate::SEGMENT_ROWS) {
+            let (chunk, _) = self.read_morsel(&m)?;
+            if !chunk.is_empty() {
+                out.push(chunk);
+            }
+        }
+        Ok(out)
     }
 
     /// Materialize the whole snapshot into one chunk.
-    pub fn to_chunk(&self) -> Chunk {
+    pub fn to_chunk(&self) -> Result<Chunk> {
         let types = self.schema.types();
-        let chunks: Vec<Chunk> = self.live_chunks().collect();
-        Chunk::concat(&types, &chunks).expect("snapshot chunks share the schema")
+        let chunks = self.live_chunks()?;
+        Chunk::concat(&types, &chunks)
+    }
+}
+
+fn push_morsels(
+    out: &mut Vec<Morsel>,
+    segment: usize,
+    start: usize,
+    len: usize,
+    base_row_id: usize,
+    morsel_rows: usize,
+) {
+    let mut offset = 0;
+    while offset < len {
+        let take = (len - offset).min(morsel_rows);
+        out.push(Morsel {
+            segment,
+            offset: start + offset,
+            len: take,
+            base_row_id: base_row_id + offset,
+        });
+        offset += take;
     }
 }
 
@@ -217,7 +406,7 @@ mod tests {
         let morsels = snap.morsels(6);
         let mut ids = Vec::new();
         for m in &morsels {
-            let (chunk, rids) = snap.read_morsel(m);
+            let (chunk, rids) = snap.read_morsel(m).unwrap();
             assert_eq!(chunk.len(), rids.len());
             ids.extend(rids);
         }
@@ -228,9 +417,31 @@ mod tests {
     fn to_chunk_materializes() {
         let t = table_with(5);
         let snap = t.snapshot();
-        let c = snap.to_chunk();
+        let c = snap.to_chunk().unwrap();
         assert_eq!(c.len(), 5);
         assert_eq!(c.column(0).as_i64().unwrap(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn projected_morsel_reads() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+            ]),
+        );
+        t.insert_rows(&[
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+        ])
+        .unwrap();
+        t.commit();
+        let snap = t.snapshot();
+        let morsels = snap.morsels(100);
+        let (chunk, _) = snap.read_morsel_cols(&morsels[0], Some(&[1])).unwrap();
+        assert_eq!(chunk.num_columns(), 1);
+        assert_eq!(chunk.column(0).as_i64().unwrap(), &[10, 20]);
     }
 
     #[test]
@@ -239,7 +450,7 @@ mod tests {
         let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
         let snap = TableSnapshot::from_chunk(schema, chunk);
         assert_eq!(snap.live_rows(), 2);
-        assert_eq!(snap.to_chunk().len(), 2);
+        assert_eq!(snap.to_chunk().unwrap().len(), 2);
     }
 
     #[test]
@@ -249,14 +460,12 @@ mod tests {
         // Build a snapshot with a shorter horizon manually.
         let snap = TableSnapshot::new(
             full.schema().clone(),
-            (0..full.segment_count())
-                .map(|i| Arc::clone(&full.segments[i]))
-                .collect(),
+            full.segments().to_vec(),
             4,
             full.deleted.clone(),
         );
         assert_eq!(snap.live_rows(), 4);
-        assert_eq!(snap.to_chunk().len(), 4);
+        assert_eq!(snap.to_chunk().unwrap().len(), 4);
         assert!(!snap.is_live(4));
         assert!(snap.is_live(3));
     }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use hylite_common::{Bitmap, Chunk, HyError, Result, Row, Schema, Value};
 use parking_lot::RwLock;
 
-use crate::snapshot::TableSnapshot;
+use crate::snapshot::{SegmentHandle, TableSnapshot};
 
 /// Maximum rows per sealed segment. Large enough that scans amortize
 /// per-segment overhead, small enough that parallel scans get plenty of
@@ -27,7 +27,7 @@ pub type TableRef = Arc<RwLock<Table>>;
 pub struct Table {
     name: String,
     schema: Arc<Schema>,
-    segments: Vec<Arc<Chunk>>,
+    segments: Vec<SegmentHandle>,
     total_len: usize,
     deleted: Bitmap,
     committed_len: usize,
@@ -117,7 +117,7 @@ impl Table {
             } else {
                 chunk.slice(offset, take)
             };
-            self.segments.push(Arc::new(segment));
+            self.segments.push(SegmentHandle::Resident(Arc::new(segment)));
             offset += take;
         }
         self.total_len += n;
@@ -186,7 +186,10 @@ impl Table {
         let mut offset = 0;
         for seg in &self.segments {
             if id < offset + seg.len() {
-                return Ok(seg.row(id - offset));
+                return match seg {
+                    SegmentHandle::Resident(chunk) => Ok(chunk.row(id - offset)),
+                    SegmentHandle::Disk(d) => Ok(d.read_rows(id - offset, 1, None)?.row(0)),
+                };
             }
             offset += seg.len();
         }
@@ -217,7 +220,7 @@ impl Table {
             if covered >= self.committed_len {
                 break;
             }
-            segs.push(Arc::clone(seg));
+            segs.push(seg.clone());
             covered += seg.len();
         }
         TableSnapshot::new(
@@ -260,27 +263,117 @@ impl Table {
 
     /// Rewrite the table without deleted rows and with full segments.
     /// Invalidates global row ids (snapshots taken before remain valid —
-    /// they hold their own `Arc`s).
-    pub fn compact(&mut self) {
+    /// they hold their own handles). Disk-backed segments are pulled back
+    /// into memory; the next checkpoint re-seals them.
+    pub fn compact(&mut self) -> Result<()> {
         let snap = self.snapshot();
         let types = self.schema.types();
-        let mut fresh: Vec<Chunk> = Vec::new();
-        for chunk in snap.live_chunks() {
-            fresh.push(chunk);
-        }
-        let all = Chunk::concat(&types, &fresh).expect("compaction preserves types");
+        let fresh = snap.live_chunks()?;
+        let all = Chunk::concat(&types, &fresh)?;
         self.segments.clear();
         self.total_len = 0;
         self.deleted = Bitmap::new();
-        self.insert_chunk(all).expect("compaction re-insert");
+        self.insert_chunk(all)?;
         self.commit();
+        Ok(())
+    }
+
+    /// Build a table directly from recovered parts (checkpoint-manifest
+    /// install). The handles become the committed state; their total row
+    /// count must equal `row_limit`.
+    pub fn from_parts(
+        name: impl Into<String>,
+        schema: Schema,
+        segments: Vec<SegmentHandle>,
+        row_limit: usize,
+        deleted_ids: &[u64],
+    ) -> Result<Table> {
+        let name = name.into();
+        let total: usize = segments.iter().map(SegmentHandle::len).sum();
+        if total != row_limit {
+            return Err(HyError::Storage(format!(
+                "table '{name}': segments hold {total} rows but the manifest declares {row_limit}"
+            )));
+        }
+        let mut deleted = Bitmap::filled(total, false);
+        for &id in deleted_ids {
+            let id = usize::try_from(id)
+                .ok()
+                .filter(|&i| i < total)
+                .ok_or_else(|| {
+                    HyError::Storage(format!(
+                        "table '{name}': deleted row id {id} out of range ({total} rows)"
+                    ))
+                })?;
+            deleted.set(id, true);
+        }
+        Ok(Table {
+            name,
+            schema: Arc::new(schema),
+            segments,
+            total_len: total,
+            deleted: deleted.clone(),
+            committed_len: total,
+            committed_deleted: deleted,
+            version: 1,
+        })
+    }
+
+    /// Replace the committed prefix of the segment list with `sealed`
+    /// (typically disk-backed handles a checkpoint just wrote). The new
+    /// handles must cover exactly `committed_len` rows; uncommitted tail
+    /// segments are preserved. Data is unchanged — only its backing moves
+    /// — so `version` is not bumped and open snapshots stay valid.
+    pub fn swap_sealed_prefix(&mut self, sealed: Vec<SegmentHandle>) -> Result<()> {
+        let sealed_rows: usize = sealed.iter().map(SegmentHandle::len).sum();
+        if sealed_rows != self.committed_len {
+            return Err(HyError::Internal(format!(
+                "sealed segments cover {sealed_rows} rows but table '{}' has {} committed",
+                self.name, self.committed_len
+            )));
+        }
+        let mut covered = 0;
+        let mut keep_from = 0;
+        for seg in &self.segments {
+            if covered >= self.committed_len {
+                break;
+            }
+            covered += seg.len();
+            keep_from += 1;
+        }
+        debug_assert_eq!(covered, self.committed_len);
+        let tail = self.segments.split_off(keep_from);
+        self.segments = sealed;
+        self.segments.extend(tail);
+        Ok(())
+    }
+
+    /// (total segments, disk-backed segments, on-disk bytes, uncompressed
+    /// bytes of the disk-backed segments) — the `hylite.storage` view.
+    pub fn segment_storage(&self) -> (usize, usize, u64, u64) {
+        let mut disk = 0usize;
+        let mut disk_bytes = 0u64;
+        let mut raw_bytes = 0u64;
+        for seg in &self.segments {
+            if let SegmentHandle::Disk(d) = seg {
+                disk += 1;
+                disk_bytes += d.meta().file_len;
+                raw_bytes += d.meta().raw_bytes;
+            }
+        }
+        (self.segments.len(), disk, disk_bytes, raw_bytes)
     }
 
     /// Approximate heap footprint of live data in bytes (statistics for
-    /// the optimizer and the memory-ablation experiment).
+    /// the optimizer and the memory-ablation experiment). Disk-backed
+    /// segments count nothing here — that is the larger-than-RAM point;
+    /// their cached blocks are charged to the buffer pool instead.
     pub fn approx_bytes(&self) -> usize {
         let mut bytes = 0;
         for seg in &self.segments {
+            let SegmentHandle::Resident(seg) = seg else {
+                continue;
+            };
             for col in seg.columns() {
                 bytes += match &**col {
                     hylite_common::ColumnVector::Int64 { data, .. } => data.len() * 8,
@@ -320,7 +413,7 @@ mod tests {
         assert_eq!(t.live_rows(), 2);
         let snap = t.snapshot();
         assert_eq!(snap.live_rows(), 2);
-        let chunks: Vec<_> = snap.live_chunks().collect();
+        let chunks: Vec<_> = snap.live_chunks().unwrap();
         let total: usize = chunks.iter().map(Chunk::len).sum();
         assert_eq!(total, 2);
     }
@@ -364,7 +457,7 @@ mod tests {
         assert_eq!(t.delete_rows(&[1]).unwrap(), 0, "idempotent");
         assert_eq!(t.live_rows(), 2);
         let snap = t.snapshot();
-        let all: Vec<Row> = snap.live_chunks().flat_map(|c| c.rows()).collect();
+        let all: Vec<Row> = snap.live_chunks().unwrap().iter().flat_map(|c| c.rows()).collect();
         let ids: Vec<i64> = all.iter().map(|r| r.int(0).unwrap()).collect();
         assert_eq!(ids, vec![1, 3]);
     }
@@ -379,6 +472,8 @@ mod tests {
         let snap = t.snapshot();
         let mut vs: Vec<f64> = snap
             .live_chunks()
+            .unwrap()
+            .iter()
             .flat_map(|c| c.rows())
             .map(|r| r.float(1).unwrap())
             .collect();
@@ -400,6 +495,8 @@ mod tests {
         let ids: Vec<i64> = t
             .snapshot()
             .live_chunks()
+            .unwrap()
+            .iter()
             .flat_map(|c| c.rows())
             .map(|r| r.int(0).unwrap())
             .collect();
@@ -421,6 +518,8 @@ mod tests {
         assert_eq!(own.live_rows(), 1);
         let id = own
             .live_chunks()
+            .unwrap()
+            .iter()
             .flat_map(|c| c.rows())
             .map(|r| r.int(0).unwrap())
             .next()
@@ -448,12 +547,14 @@ mod tests {
         t.commit();
         t.delete_rows(&[0, 2]).unwrap();
         t.commit();
-        t.compact();
+        t.compact().unwrap();
         assert_eq!(t.total_rows(), 1);
         assert_eq!(t.live_rows(), 1);
         let ids: Vec<i64> = t
             .snapshot()
             .live_chunks()
+            .unwrap()
+            .iter()
             .flat_map(|c| c.rows())
             .map(|r| r.int(0).unwrap())
             .collect();

@@ -48,6 +48,8 @@ struct Model {
 fn live_values(t: &Table) -> Vec<i64> {
     t.snapshot()
         .live_chunks()
+        .unwrap()
+        .iter()
         .flat_map(|c| c.column(0).as_i64().unwrap().to_vec())
         .collect()
 }
@@ -55,6 +57,8 @@ fn live_values(t: &Table) -> Vec<i64> {
 fn committed_values(t: &Table) -> Vec<i64> {
     t.committed_snapshot()
         .live_chunks()
+        .unwrap()
+        .iter()
         .flat_map(|c| c.column(0).as_i64().unwrap().to_vec())
         .collect()
 }
@@ -63,7 +67,7 @@ fn live_row_ids(t: &Table, pred: impl Fn(i64) -> bool) -> Vec<usize> {
     let snap = t.snapshot();
     let mut ids = Vec::new();
     for m in snap.morsels(1024) {
-        let (chunk, rids) = snap.read_morsel(&m);
+        let (chunk, rids) = snap.read_morsel(&m).unwrap();
         let vals = chunk.column(0).as_i64().unwrap();
         for (v, rid) in vals.iter().zip(rids) {
             if pred(*v) {
@@ -102,7 +106,7 @@ fn table_matches_reference_model() {
                         // rows move to the end with payload + 1000.
                         let snap = table.snapshot();
                         let mut moved = Vec::new();
-                        for chunk in snap.live_chunks() {
+                        for chunk in snap.live_chunks().unwrap() {
                             for &v in chunk.column(0).as_i64().unwrap() {
                                 if v.rem_euclid(7) == *k {
                                     moved.push(v + 1000);
@@ -142,7 +146,7 @@ fn table_matches_reference_model() {
         // Compaction must preserve the live working state exactly.
         table.commit();
         model.committed = model.working.clone();
-        table.compact();
+        table.compact().unwrap();
         assert_eq!(live_values(&table), model.working);
     }
 }

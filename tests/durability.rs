@@ -71,9 +71,8 @@ fn expected_sum_after(point: &str) -> i64 {
         "wal.post_fsync" => 106,
         // Checkpoint-path crashes happen after the commit workload
         // completed; every acknowledged commit must survive, exactly once.
-        "checkpoint.write" | "checkpoint.rename" | "checkpoint.after_rename" | "wal.truncate" => {
-            106
-        }
+        "checkpoint.segment_write" | "checkpoint.write" | "checkpoint.rename"
+        | "checkpoint.after_rename" | "wal.truncate" => 106,
         other => panic!("crash point {other} not in the matrix — extend expected_sum_after"),
     }
 }
@@ -493,6 +492,7 @@ fn crash_point_matrix_is_complete() {
             CP_WAL_AFTER_WRITE,
             CP_WAL_PRE_FSYNC,
             CP_WAL_POST_FSYNC,
+            "checkpoint.segment_write",
             "checkpoint.write",
             "checkpoint.rename",
             "checkpoint.after_rename",
