@@ -46,7 +46,11 @@ fn replace_table(catalog: &Catalog, name: &str, schema: Schema, rows: &[Vec<Valu
 fn read_table_rows(catalog: &Catalog, name: &str) -> Result<Vec<Row>> {
     let t = catalog.get_table(name)?;
     let snapshot = t.read().committed_snapshot();
-    Ok(snapshot.live_chunks()?.iter().flat_map(|c| c.rows()).collect())
+    Ok(snapshot
+        .live_chunks()?
+        .iter()
+        .flat_map(|c| c.rows())
+        .collect())
 }
 
 /// k-Means as a UDF package: per-iteration, an assignment UDF scans the

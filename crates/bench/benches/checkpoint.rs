@@ -74,7 +74,9 @@ fn shapes() -> Vec<(&'static str, Chunk)> {
             Chunk::new(vec![ColumnVector::from_values(
                 DataType::Varchar,
                 &(0..n)
-                    .map(|i| Value::from(format!("row-{i:08}-{:016x}", (i as u64) * 0x9E3779B9).as_str()))
+                    .map(|i| {
+                        Value::from(format!("row-{i:08}-{:016x}", (i as u64) * 0x9E3779B9).as_str())
+                    })
                     .collect::<Vec<_>>(),
             )
             .expect("varchar column")]),
@@ -120,11 +122,9 @@ fn load(db: &Database, start: usize, rows: usize) {
 }
 
 fn report_phase(phase: &str, stats: &hylite_core::CheckpointStats) {
-    let ratio = if stats.segment_bytes > 0 {
-        (stats.sealed_raw_bytes * 100 / stats.segment_bytes).to_string()
-    } else {
-        "-".into()
-    };
+    let ratio = (stats.sealed_raw_bytes * 100)
+        .checked_div(stats.segment_bytes)
+        .map_or_else(|| "-".into(), |r| r.to_string());
     println!(
         "checkpoint-report: phase={phase:<9} segments={} disk_kb={} ratio_pct={ratio} ms={}",
         stats.segments_sealed,

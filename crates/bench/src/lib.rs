@@ -17,6 +17,7 @@
 //! `cargo bench` runs Criterion versions at reduced scale; the `figures`
 //! binary sweeps the full grids (`--scale` controls dataset sizes).
 
+pub mod chaos;
 pub mod concurrent;
 pub mod fleet;
 pub mod queries;

@@ -32,11 +32,12 @@
 pub mod retry;
 pub mod router;
 
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::{Duration, Instant, SystemTime};
 
+use hylite_common::faultnet::NP_CLIENT_CONNECT;
 use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
-use hylite_common::{Chunk, HyError, Result, Row, Schema, Value};
+use hylite_common::{Chunk, HyError, NetHandle, NetStream, Result, Row, Schema, Value};
 
 pub use retry::{is_retryable, RetryPolicy};
 pub use router::{Consistency, HyliteRouter, Route, RouterConfig, RouterStats};
@@ -44,7 +45,8 @@ pub use router::{Consistency, HyliteRouter, Route, RouterConfig, RouterStats};
 /// A blocking connection to a `hylite-server`.
 #[derive(Debug)]
 pub struct HyliteClient {
-    stream: TcpStream,
+    stream: NetStream,
+    net: NetHandle,
     peer: SocketAddr,
     session_id: u64,
     secret: u64,
@@ -60,12 +62,20 @@ pub struct HyliteClient {
 impl HyliteClient {
     /// Connect and perform the Startup handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<HyliteClient> {
-        let stream = connect_any(addr)?;
+        HyliteClient::connect_via(&NetHandle::default(), addr)
+    }
+
+    /// Like [`HyliteClient::connect`], but routing the socket through the
+    /// given [`NetHandle`] (the `client.connect` fault point), so tests
+    /// and the chaos harness can inject transport faults.
+    pub fn connect_via(net: &NetHandle, addr: impl ToSocketAddrs) -> Result<HyliteClient> {
+        let stream = connect_any(net, addr)?;
         let peer = stream
             .peer_addr()
             .map_err(|e| HyError::Protocol(format!("peer_addr failed: {e}")))?;
         let mut client = HyliteClient {
             stream,
+            net: net.clone(),
             peer,
             session_id: 0,
             secret: 0,
@@ -107,6 +117,7 @@ impl HyliteClient {
     /// another thread via a separate connection.
     pub fn cancel_handle(&self) -> CancelHandle {
         CancelHandle {
+            net: self.net.clone(),
             addr: self.peer,
             session_id: self.session_id,
             secret: self.secret,
@@ -132,23 +143,36 @@ impl HyliteClient {
         addr: impl ToSocketAddrs + Clone,
         policy: &RetryPolicy,
     ) -> Result<HyliteClient> {
+        HyliteClient::connect_with_retry_via(&NetHandle::default(), addr, policy)
+    }
+
+    /// [`HyliteClient::connect_with_retry`] through a caller-supplied
+    /// [`NetHandle`].
+    pub fn connect_with_retry_via(
+        net: &NetHandle,
+        addr: impl ToSocketAddrs + Clone,
+        policy: &RetryPolicy,
+    ) -> Result<HyliteClient> {
         let started = Instant::now();
         let seed = jitter_seed();
         let mut attempt = 0u32;
         loop {
-            match HyliteClient::connect(addr.clone()) {
+            match HyliteClient::connect_via(net, addr.clone()) {
                 Ok(mut client) => {
                     client.retries += u64::from(attempt);
                     return Ok(client);
                 }
                 Err(e) => {
                     attempt += 1;
-                    if !retry::is_retryable(&e) || attempt >= policy.max_attempts {
+                    if !retry::is_retryable(&e) {
                         return Err(e);
+                    }
+                    if attempt >= policy.max_attempts {
+                        return Err(retry::with_attempts(e, attempt));
                     }
                     let backoff = policy.jittered_backoff(attempt - 1, seed);
                     if started.elapsed() + backoff > policy.deadline {
-                        return Err(e);
+                        return Err(retry::with_attempts(e, attempt));
                     }
                     std::thread::sleep(backoff);
                 }
@@ -172,7 +196,8 @@ impl HyliteClient {
             // A broken protocol state never heals on its own: reconnect
             // first so the attempt below is meaningful.
             if self.broken {
-                let fresh = HyliteClient::connect(self.peer)?;
+                let net = self.net.clone();
+                let fresh = HyliteClient::connect_via(&net, self.peer)?;
                 let retries = self.retries;
                 *self = fresh;
                 self.retries = retries;
@@ -182,12 +207,15 @@ impl HyliteClient {
                 Err(e) => {
                     attempt += 1;
                     let recoverable = retry::is_retryable(&e) || self.broken;
-                    if !recoverable || attempt >= policy.max_attempts {
+                    if !recoverable {
                         return Err(e);
+                    }
+                    if attempt >= policy.max_attempts {
+                        return Err(retry::with_attempts(e, attempt));
                     }
                     let backoff = policy.jittered_backoff(attempt - 1, seed);
                     if started.elapsed() + backoff > policy.deadline {
-                        return Err(e);
+                        return Err(retry::with_attempts(e, attempt));
                     }
                     self.retries += 1;
                     std::thread::sleep(backoff);
@@ -247,7 +275,8 @@ impl HyliteClient {
         let mut attempt = 0u32;
         let schema = loop {
             if self.broken {
-                let fresh = HyliteClient::connect(self.peer)?;
+                let net = self.net.clone();
+                let fresh = HyliteClient::connect_via(&net, self.peer)?;
                 let retries = self.retries;
                 *self = fresh;
                 self.retries = retries;
@@ -257,12 +286,15 @@ impl HyliteClient {
                 Err(e) => {
                     attempt += 1;
                     let recoverable = retry::is_retryable(&e) || self.broken;
-                    if !recoverable || attempt >= policy.max_attempts {
+                    if !recoverable {
                         return Err(e);
+                    }
+                    if attempt >= policy.max_attempts {
+                        return Err(retry::with_attempts(e, attempt));
                     }
                     let backoff = policy.jittered_backoff(attempt - 1, seed);
                     if started.elapsed() + backoff > policy.deadline {
-                        return Err(e);
+                        return Err(retry::with_attempts(e, attempt));
                     }
                     self.retries += 1;
                     std::thread::sleep(backoff);
@@ -341,14 +373,14 @@ fn jitter_seed() -> u64 {
     retry::splitmix64(nanos)
 }
 
-fn connect_any(addr: impl ToSocketAddrs) -> Result<TcpStream> {
+fn connect_any(net: &NetHandle, addr: impl ToSocketAddrs) -> Result<NetStream> {
     let addrs: Vec<SocketAddr> = addr
         .to_socket_addrs()
         .map_err(|e| HyError::Protocol(format!("address resolution failed: {e}")))?
         .collect();
     let mut last = None;
     for a in &addrs {
-        match TcpStream::connect_timeout(a, Duration::from_secs(10)) {
+        match net.connect_timeout(NP_CLIENT_CONNECT, a, Duration::from_secs(10)) {
             Ok(s) => return Ok(s),
             Err(e) => last = Some(e),
         }
@@ -545,6 +577,7 @@ impl RemoteResult {
 /// connection cap). Cloneable and `Send`: hand it to a watchdog thread.
 #[derive(Debug, Clone)]
 pub struct CancelHandle {
+    net: NetHandle,
     addr: SocketAddr,
     session_id: u64,
     secret: u64,
@@ -555,7 +588,9 @@ impl CancelHandle {
     /// and fired its cancel token (the statement aborts at its next
     /// governor check point — within one morsel or algorithm iteration).
     pub fn cancel(&self) -> Result<bool> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))
+        let mut stream = self
+            .net
+            .connect_timeout(NP_CLIENT_CONNECT, &self.addr, Duration::from_secs(10))
             .map_err(|e| HyError::Unavailable(format!("cancel connect failed: {e}")))?;
         wire::write_frame(
             &mut stream,
@@ -577,7 +612,7 @@ impl CancelHandle {
 /// Connect to `addr` and request a graceful server shutdown without
 /// establishing a query session (used by `hylite-cli --shutdown`).
 pub fn request_shutdown(addr: impl ToSocketAddrs) -> Result<()> {
-    let mut stream = connect_any(addr)?;
+    let mut stream = connect_any(&NetHandle::default(), addr)?;
     wire::write_frame(&mut stream, &Frame::Shutdown)?;
     // The server acknowledges with CommandComplete before draining.
     match wire::read_frame(&mut stream) {
@@ -593,7 +628,12 @@ pub fn request_shutdown(addr: impl ToSocketAddrs) -> Result<()> {
 /// Returns the promoted node's fresh `(epoch, durable_lsn)`. Idempotent
 /// on a node that is already a primary.
 pub fn request_promote(addr: impl ToSocketAddrs) -> Result<(u64, u64)> {
-    let mut stream = connect_any(addr)?;
+    request_promote_via(&NetHandle::default(), addr)
+}
+
+/// [`request_promote`] through a caller-supplied [`NetHandle`].
+pub fn request_promote_via(net: &NetHandle, addr: impl ToSocketAddrs) -> Result<(u64, u64)> {
+    let mut stream = connect_any(net, addr)?;
     wire::write_frame(&mut stream, &Frame::Promote)?;
     match wire::read_frame(&mut stream)? {
         Frame::PromoteOk { epoch, lsn } => Ok((epoch, lsn)),
@@ -609,7 +649,16 @@ pub fn request_promote(addr: impl ToSocketAddrs) -> Result<(u64, u64)> {
 /// reconnects; epoch fencing makes it re-bootstrap if its history
 /// diverged from the new primary's.
 pub fn request_repoint(addr: impl ToSocketAddrs, primary_addr: &str) -> Result<()> {
-    let mut stream = connect_any(addr)?;
+    request_repoint_via(&NetHandle::default(), addr, primary_addr)
+}
+
+/// [`request_repoint`] through a caller-supplied [`NetHandle`].
+pub fn request_repoint_via(
+    net: &NetHandle,
+    addr: impl ToSocketAddrs,
+    primary_addr: &str,
+) -> Result<()> {
+    let mut stream = connect_any(net, addr)?;
     wire::write_frame(
         &mut stream,
         &Frame::Repoint {

@@ -71,7 +71,8 @@ impl RetryPolicy {
 
 /// True when the failure is worth retrying: the server shed the work
 /// without judging the SQL invalid (admission rejection, shutdown,
-/// governed abort) or the connection could not be established.
+/// governed abort, disk-pressure degraded mode) or the connection could
+/// not be established.
 pub fn is_retryable(e: &HyError) -> bool {
     matches!(
         e,
@@ -79,7 +80,36 @@ pub fn is_retryable(e: &HyError) -> bool {
             | HyError::Cancelled(_)
             | HyError::Timeout(_)
             | HyError::BudgetExceeded(_)
+            | HyError::DiskFull(_)
     )
+}
+
+/// Annotate the error a retry loop gives up with, with how many attempts
+/// were made — the variant (and therefore the wire error code and
+/// retryability) is preserved, only the message grows a suffix, so a
+/// caller reading "after 5 attempts" knows the budget was spent rather
+/// than the first try failing.
+pub fn with_attempts(e: HyError, attempts: u32) -> HyError {
+    let annotate = |m: String| format!("{m} (after {attempts} attempts)");
+    match e {
+        HyError::Parse(m) => HyError::Parse(annotate(m)),
+        HyError::Bind(m) => HyError::Bind(annotate(m)),
+        HyError::Plan(m) => HyError::Plan(annotate(m)),
+        HyError::Execution(m) => HyError::Execution(annotate(m)),
+        HyError::Storage(m) => HyError::Storage(annotate(m)),
+        HyError::Catalog(m) => HyError::Catalog(annotate(m)),
+        HyError::Type(m) => HyError::Type(annotate(m)),
+        HyError::Analytics(m) => HyError::Analytics(annotate(m)),
+        HyError::Transaction(m) => HyError::Transaction(annotate(m)),
+        HyError::Cancelled(m) => HyError::Cancelled(annotate(m)),
+        HyError::Timeout(m) => HyError::Timeout(annotate(m)),
+        HyError::BudgetExceeded(m) => HyError::BudgetExceeded(annotate(m)),
+        HyError::Unavailable(m) => HyError::Unavailable(annotate(m)),
+        HyError::ReadOnly(m) => HyError::ReadOnly(annotate(m)),
+        HyError::DiskFull(m) => HyError::DiskFull(annotate(m)),
+        HyError::Protocol(m) => HyError::Protocol(annotate(m)),
+        HyError::Internal(m) => HyError::Internal(annotate(m)),
+    }
 }
 
 /// SplitMix64: tiny, seedable, good-enough mixing for jitter (no `rand`

@@ -66,7 +66,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use hylite_common::{HyError, Result};
+use hylite_common::{HyError, NetHandle, Result};
 use hylite_sql::{parse_sql, Statement};
 
 use crate::{jitter_seed, HyliteClient, RemoteResult, RetryPolicy};
@@ -112,6 +112,10 @@ pub struct RouterConfig {
     /// Drive promotion + re-pointing automatically when the primary is
     /// unreachable (instead of surfacing the error to the caller).
     pub auto_failover: bool,
+    /// Transport used for every outbound connection (queries, probes,
+    /// promote/repoint). Defaults to the real network; tests and the
+    /// chaos harness install a `FaultNet` here.
+    pub net: NetHandle,
 }
 
 impl RouterConfig {
@@ -126,6 +130,7 @@ impl RouterConfig {
             retry: RetryPolicy::default(),
             probe_interval: Duration::from_millis(25),
             auto_failover: true,
+            net: NetHandle::default(),
         }
     }
 
@@ -166,6 +171,12 @@ impl RouterConfig {
     /// Enable or disable automatic failover.
     pub fn auto_failover(mut self, on: bool) -> RouterConfig {
         self.auto_failover = on;
+        self
+    }
+
+    /// Route every outbound connection through the given [`NetHandle`].
+    pub fn net(mut self, net: NetHandle) -> RouterConfig {
+        self.net = net;
         self
     }
 }
@@ -470,8 +481,11 @@ impl HyliteRouter {
         if self.primary.is_some() {
             return Ok(());
         }
-        let mut client =
-            HyliteClient::connect_with_retry(self.primary_addr.as_str(), &self.config.retry)?;
+        let mut client = HyliteClient::connect_with_retry_via(
+            &self.config.net,
+            self.primary_addr.as_str(),
+            &self.config.retry,
+        )?;
         for (name, value) in &self.set_knobs {
             client.query(&format!("SET {name} = {value}"))?;
         }
@@ -616,7 +630,7 @@ impl HyliteRouter {
                 )));
             }
         }
-        match HyliteClient::connect(self.replicas[i].addr.as_str()) {
+        match HyliteClient::connect_via(&self.config.net, self.replicas[i].addr.as_str()) {
             Ok(mut client) => {
                 for (name, value) in &self.set_knobs {
                     let _ = client.query(&format!("SET {name} = {value}"));
@@ -726,7 +740,7 @@ impl HyliteRouter {
             ))
         })?;
         let new_primary = self.replicas[idx].addr.clone();
-        crate::request_promote(new_primary.as_str())?;
+        crate::request_promote_via(&self.config.net, new_primary.as_str())?;
         self.replicas.remove(idx);
         self.primary_addr = new_primary.clone();
         if self.rr >= self.replicas.len() {
@@ -736,7 +750,7 @@ impl HyliteRouter {
         // ejected — it will be retried when its backoff expires.
         for i in 0..self.replicas.len() {
             let addr = self.replicas[i].addr.clone();
-            if crate::request_repoint(addr.as_str(), &new_primary).is_err() {
+            if crate::request_repoint_via(&self.config.net, addr.as_str(), &new_primary).is_err() {
                 self.eject(i);
             } else {
                 // The old session (if any) still redirects writes to the

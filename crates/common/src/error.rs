@@ -47,6 +47,11 @@ pub enum HyError {
     /// same statement is valid against the primary (or against this node
     /// after a promotion).
     ReadOnly(String),
+    /// The node's disk is full (ENOSPC on a WAL append or segment seal):
+    /// it is serving reads in degraded mode and rejecting writes until
+    /// space frees. Retryable — a background probe resumes write service
+    /// automatically once the disk has room again.
+    DiskFull(String),
     /// A wire-protocol violation or transport failure between a client
     /// and the server (bad frame, version mismatch, broken connection).
     Protocol(String),
@@ -72,6 +77,7 @@ impl HyError {
             HyError::BudgetExceeded(_) => "budget",
             HyError::Unavailable(_) => "unavailable",
             HyError::ReadOnly(_) => "read_only",
+            HyError::DiskFull(_) => "disk_full",
             HyError::Protocol(_) => "protocol",
             HyError::Internal(_) => "internal",
         }
@@ -106,6 +112,7 @@ impl HyError {
             | HyError::BudgetExceeded(m)
             | HyError::Unavailable(m)
             | HyError::ReadOnly(m)
+            | HyError::DiskFull(m)
             | HyError::Protocol(m)
             | HyError::Internal(m) => m,
         }
@@ -163,6 +170,7 @@ mod tests {
             HyError::BudgetExceeded(String::new()),
             HyError::Unavailable(String::new()),
             HyError::ReadOnly(String::new()),
+            HyError::DiskFull(String::new()),
             HyError::Protocol(String::new()),
             HyError::Internal(String::new()),
         ];

@@ -68,13 +68,16 @@ pub trait Vfs: Send + Sync + fmt::Debug {
             .map_err(|_| HyError::Storage(format!("read_range: bad offset {offset}")))?;
         let n = usize::try_from(len)
             .map_err(|_| HyError::Storage(format!("read_range: bad len {len}")))?;
-        let end = start.checked_add(n).filter(|&e| e <= data.len()).ok_or_else(|| {
-            HyError::Storage(format!(
-                "read_range: [{offset}, {offset}+{len}) past end of {} ({} bytes)",
-                path.display(),
-                data.len()
-            ))
-        })?;
+        let end = start
+            .checked_add(n)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| {
+                HyError::Storage(format!(
+                    "read_range: [{offset}, {offset}+{len}) past end of {} ({} bytes)",
+                    path.display(),
+                    data.len()
+                ))
+            })?;
         Ok(data[start..end].to_vec())
     }
 
@@ -122,7 +125,20 @@ pub trait Vfs: Send + Sync + fmt::Debug {
 }
 
 fn io_err(op: &str, path: &Path, e: std::io::Error) -> HyError {
+    // ENOSPC is its own typed error so the durability layer can flip the
+    // node into read-only degraded mode instead of treating a full disk
+    // like corruption.
+    if e.raw_os_error() == Some(28) || e.kind() == std::io::ErrorKind::StorageFull {
+        return HyError::DiskFull(format!("{op} {} failed: {e}", path.display()));
+    }
     HyError::Storage(format!("{op} {} failed: {e}", path.display()))
+}
+
+fn disk_full_err(op: &str, path: &Path) -> HyError {
+    HyError::DiskFull(format!(
+        "{op} {} failed: no space left on device (injected)",
+        path.display()
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -185,7 +201,7 @@ impl Vfs for StdVfs {
         use std::io::{Read as _, Seek as _, SeekFrom};
         let mut file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
         let size = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
-        if !offset.checked_add(len).is_some_and(|end| end <= size) {
+        if offset.checked_add(len).is_none_or(|end| end > size) {
             return Err(HyError::Storage(format!(
                 "read_range: [{offset}, {offset}+{len}) past end of {} ({size} bytes)",
                 path.display()
@@ -322,6 +338,11 @@ struct FaultState {
     /// Arrival counters per crash point name.
     hits: BTreeMap<String, usize>,
     crashed: bool,
+    /// Simulated ENOSPC: while set, anything that grows the filesystem
+    /// (create, write, fsync) fails with [`HyError::DiskFull`], while
+    /// reads, truncates, and removes keep working — matching a real full
+    /// disk, where space can still be *freed*.
+    disk_full: bool,
 }
 
 impl FaultState {
@@ -377,6 +398,18 @@ impl FaultVfs {
     /// Fail the next `n` fsyncs with an I/O error (data stays unsynced).
     pub fn fail_fsyncs(&self, n: usize) {
         self.state.lock().unwrap().fail_fsyncs = n;
+    }
+
+    /// Toggle simulated disk exhaustion. While on, `create`, `write_all`,
+    /// and `sync` fail with [`HyError::DiskFull`]; reads, truncates, and
+    /// removes still succeed (freeing space works on a full disk).
+    pub fn set_disk_full(&self, full: bool) {
+        self.state.lock().unwrap().disk_full = full;
+    }
+
+    /// Whether simulated disk exhaustion is currently on.
+    pub fn disk_full(&self) -> bool {
+        self.state.lock().unwrap().disk_full
     }
 
     /// Whether a scripted crash has fired.
@@ -456,6 +489,9 @@ impl VfsFile for FaultFile {
     fn write_all(&mut self, data: &[u8]) -> Result<()> {
         let mut s = self.state.lock().unwrap();
         s.check_alive()?;
+        if s.disk_full {
+            return Err(disk_full_err("write", &self.path));
+        }
         match s.files.get_mut(&self.path) {
             Some(f) => {
                 f.content.extend_from_slice(data);
@@ -471,6 +507,9 @@ impl VfsFile for FaultFile {
     fn sync(&mut self) -> Result<()> {
         let mut s = self.state.lock().unwrap();
         s.check_alive()?;
+        if s.disk_full {
+            return Err(disk_full_err("fsync", &self.path));
+        }
         if s.fail_fsyncs > 0 {
             s.fail_fsyncs -= 1;
             return Err(HyError::Storage(format!(
@@ -499,6 +538,9 @@ impl Vfs for FaultVfs {
     fn create(&self, path: &Path) -> Result<Box<dyn VfsFile>> {
         let mut s = self.state.lock().unwrap();
         s.check_alive()?;
+        if s.disk_full {
+            return Err(disk_full_err("create", path));
+        }
         s.files.insert(path.to_owned(), MemFile::default());
         Ok(Box::new(FaultFile {
             state: Arc::clone(&self.state),
@@ -710,6 +752,27 @@ mod tests {
     }
 
     #[test]
+    fn disk_full_blocks_growth_but_not_frees() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.create(&p("wal")).unwrap();
+        f.write_all(b"settled").unwrap();
+        f.sync().unwrap();
+        vfs.set_disk_full(true);
+        // Growth paths fail with the typed DiskFull error...
+        assert!(matches!(f.write_all(b"more"), Err(HyError::DiskFull(_))));
+        assert!(matches!(f.sync(), Err(HyError::DiskFull(_))));
+        assert!(matches!(vfs.create(&p("seg")), Err(HyError::DiskFull(_))));
+        // ...while reads, truncates, and removes still work.
+        assert_eq!(vfs.read(&p("wal")).unwrap(), b"settled");
+        vfs.truncate(&p("wal"), 3).unwrap();
+        assert_eq!(vfs.read(&p("wal")).unwrap(), b"set");
+        vfs.set_disk_full(false);
+        f.write_all(b"tled").unwrap();
+        f.sync().unwrap();
+        assert_eq!(vfs.read(&p("wal")).unwrap(), b"settled");
+    }
+
+    #[test]
     fn rename_is_atomic_and_durable() {
         let vfs = FaultVfs::new();
         let mut f = vfs.create(&p("tmp")).unwrap();
@@ -728,7 +791,10 @@ mod tests {
         drop(f);
         vfs.create(&p("segments/seg_2")).unwrap();
         vfs.create(&p("other/seg_3")).unwrap();
-        assert_eq!(vfs.read_range(&p("segments/seg_1"), 6, 5).unwrap(), b"world");
+        assert_eq!(
+            vfs.read_range(&p("segments/seg_1"), 6, 5).unwrap(),
+            b"world"
+        );
         assert!(vfs.read_range(&p("segments/seg_1"), 6, 6).is_err());
         assert!(vfs.read_range(&p("segments/seg_1"), u64::MAX, 1).is_err());
         let names = vfs.list_dir(&p("segments")).unwrap();

@@ -1,0 +1,684 @@
+//! Injectable network I/O: the wire twin of [`crate::faultfs`].
+//!
+//! Every socket the system owns — the server accept loop, the
+//! replication streamer, the replica apply loop, and the client/router
+//! transports — goes through the [`NetVfs`] trait, which has two
+//! implementations:
+//!
+//! * [`StdNet`] — the real thing: plain `TcpStream` connects and a
+//!   zero-overhead stream wrapper.
+//! * [`FaultNet`] — a deterministic, seeded fault injector. Faults are
+//!   armed per *fault point* (a name like `"repl.apply"` identifying
+//!   which socket family they hit) and include connect refusal,
+//!   mid-frame connection reset after a byte budget, asymmetric
+//!   partition, added latency with seeded jitter, slow-read throttling,
+//!   and short writes.
+//!
+//! The transports call [`NetHandle::connect_timeout`] /
+//! [`NetHandle::wrap`] at registered fault points; on [`StdNet`] these
+//! are free, on [`FaultNet`] they are the trigger mechanism. Faults are
+//! modeled as deterministic *errors*, never silent hangs: an op crossing
+//! a partition fails immediately with a typed `io::Error`, so tests and
+//! the chaos harness stay time-bounded. Healing ([`FaultNet::heal`])
+//! restores normal service; existing broken streams stay broken (their
+//! callers reconnect), exactly like a real partition healing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Fault point: the server's accept loop wrapping every inbound client
+/// connection.
+pub const NP_SERVER_ACCEPT: &str = "server.accept";
+/// Fault point: the primary-side replication streamer (an accepted
+/// connection re-scoped once the Replicate handshake identifies it).
+pub const NP_REPL_STREAM: &str = "repl.stream";
+/// Fault point: the replica apply loop's outbound connection to its
+/// primary.
+pub const NP_REPL_APPLY: &str = "repl.apply";
+/// Fault point: client and router outbound connections.
+pub const NP_CLIENT_CONNECT: &str = "client.connect";
+
+/// Every registered network fault point. The chaos harness iterates this
+/// list; adding a fault point without registering it here means the
+/// harness never exercises it.
+pub const NET_FAULT_POINTS: &[&str] = &[
+    NP_SERVER_ACCEPT,
+    NP_REPL_STREAM,
+    NP_REPL_APPLY,
+    NP_CLIENT_CONNECT,
+];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The network operations the transports need, small enough to fake
+/// deterministically. All methods are fault-point-scoped: the `point`
+/// names which socket family the call belongs to.
+pub trait NetVfs: Send + Sync + fmt::Debug {
+    /// Connect to `addr` within `timeout`, subject to any faults armed at
+    /// `point` (connect refusal, partition, latency).
+    fn connect_timeout(
+        &self,
+        point: &str,
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> io::Result<NetStream>;
+
+    /// Wrap an already-established stream (e.g. one the accept loop
+    /// produced) so subsequent reads/writes pass through the faults armed
+    /// at `point`.
+    fn wrap(&self, point: &str, stream: TcpStream) -> NetStream;
+}
+
+/// Cheap, clonable handle to a [`NetVfs`] — the field every transport
+/// config carries. Defaults to [`StdNet`] (no injection, no overhead).
+#[derive(Clone, Debug)]
+pub struct NetHandle(Arc<dyn NetVfs>);
+
+impl Default for NetHandle {
+    fn default() -> NetHandle {
+        NetHandle(Arc::new(StdNet))
+    }
+}
+
+impl NetHandle {
+    /// Wrap a [`NetVfs`] implementation.
+    pub fn new(net: impl NetVfs + 'static) -> NetHandle {
+        NetHandle(Arc::new(net))
+    }
+
+    /// See [`NetVfs::connect_timeout`].
+    pub fn connect_timeout(
+        &self,
+        point: &str,
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> io::Result<NetStream> {
+        self.0.connect_timeout(point, addr, timeout)
+    }
+
+    /// Resolve `addr` and try each candidate with `timeout`, returning
+    /// the first stream that connects (the `&str`-address convenience
+    /// used by the replica apply loop and admin one-shots).
+    pub fn connect(&self, point: &str, addr: &str, timeout: Duration) -> io::Result<NetStream> {
+        let mut last = None;
+        for a in addr.to_socket_addrs()? {
+            match self.0.connect_timeout(point, &a, timeout) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: no addresses"))
+        }))
+    }
+
+    /// See [`NetVfs::wrap`].
+    pub fn wrap(&self, point: &str, stream: TcpStream) -> NetStream {
+        self.0.wrap(point, stream)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StdNet — the real network
+// ---------------------------------------------------------------------------
+
+/// [`NetVfs`] backed by plain `std::net` with no fault injection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdNet;
+
+impl NetVfs for StdNet {
+    fn connect_timeout(
+        &self,
+        point: &str,
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> io::Result<NetStream> {
+        let inner = TcpStream::connect_timeout(addr, timeout)?;
+        Ok(self.wrap(point, inner))
+    }
+
+    fn wrap(&self, point: &str, stream: TcpStream) -> NetStream {
+        NetStream {
+            inner: stream,
+            point: point.to_owned(),
+            state: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultNet — deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// Faults armed at one fault point. All slots compose: a point can have
+/// latency *and* a reset budget at once.
+#[derive(Debug, Default, Clone)]
+struct PointFaults {
+    /// Refuse the next N connect attempts with `ConnectionRefused`.
+    refuse_connects: usize,
+    /// After this many more bytes cross the point's streams (reads and
+    /// writes combined), fail the op with `ConnectionReset`, shut the
+    /// socket down so the peer sees it too, and disarm. One-shot.
+    reset_after: Option<u64>,
+    /// Reads (inbound) at this point fail deterministically.
+    partition_inbound: bool,
+    /// Writes and connects (outbound) at this point fail.
+    partition_outbound: bool,
+    /// Sleep `base` plus seeded jitter up to `jitter` before every op.
+    latency: Option<(Duration, Duration)>,
+    /// Serve at most this many bytes per read call.
+    slow_read_max: Option<usize>,
+    /// Accept at most this many bytes per write call (exercises the
+    /// callers' `write_all` looping).
+    short_write_max: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct NetState {
+    rng: u64,
+    points: BTreeMap<String, PointFaults>,
+    /// Connect/wrap arrivals per point (test inspection).
+    hits: BTreeMap<String, usize>,
+}
+
+/// Deterministic, seeded [`NetVfs`] with scriptable faults. Clone-cheap
+/// (`Arc` inside): hand one instance to the servers/clients under test
+/// and keep a handle to script faults and heal.
+#[derive(Debug, Clone, Default)]
+pub struct FaultNet {
+    state: Arc<Mutex<NetState>>,
+}
+
+impl FaultNet {
+    /// A fault-free injector whose latency jitter derives from `seed`.
+    pub fn new(seed: u64) -> FaultNet {
+        FaultNet {
+            state: Arc::new(Mutex::new(NetState {
+                rng: seed,
+                ..NetState::default()
+            })),
+        }
+    }
+
+    fn with_point(&self, point: &str, f: impl FnOnce(&mut PointFaults)) {
+        let mut s = self.state.lock().unwrap();
+        f(s.points.entry(point.to_owned()).or_default());
+    }
+
+    /// Refuse the next `n` connect attempts at `point`.
+    pub fn refuse_connects(&self, point: &str, n: usize) {
+        self.with_point(point, |p| p.refuse_connects = n);
+    }
+
+    /// Reset (mid-frame, if a frame happens to straddle the budget) the
+    /// point's traffic after `bytes` more bytes cross it. One-shot: the
+    /// fault disarms when it fires, so reconnects succeed.
+    pub fn reset_after(&self, point: &str, bytes: u64) {
+        self.with_point(point, |p| p.reset_after = Some(bytes));
+    }
+
+    /// Partition the point: `inbound` blocks reads, `outbound` blocks
+    /// writes and connects. Blocked ops fail deterministically (no
+    /// hangs). Asymmetric partitions set only one direction.
+    pub fn partition(&self, point: &str, inbound: bool, outbound: bool) {
+        self.with_point(point, |p| {
+            p.partition_inbound = inbound;
+            p.partition_outbound = outbound;
+        });
+    }
+
+    /// Add `base` + seeded jitter in `[0, jitter)` of latency to every
+    /// op at the point.
+    pub fn latency(&self, point: &str, base: Duration, jitter: Duration) {
+        self.with_point(point, |p| p.latency = Some((base, jitter)));
+    }
+
+    /// Throttle reads at the point to at most `max` bytes per call.
+    pub fn slow_reads(&self, point: &str, max: usize) {
+        self.with_point(point, |p| p.slow_read_max = Some(max.max(1)));
+    }
+
+    /// Truncate writes at the point to at most `max` bytes per call.
+    pub fn short_writes(&self, point: &str, max: usize) {
+        self.with_point(point, |p| p.short_write_max = Some(max.max(1)));
+    }
+
+    /// Clear every fault at `point`. Streams already broken by a reset
+    /// stay broken (their owners reconnect); new ops flow normally.
+    pub fn heal(&self, point: &str) {
+        let mut s = self.state.lock().unwrap();
+        s.points.remove(point);
+    }
+
+    /// Clear every fault at every point.
+    pub fn heal_all(&self) {
+        self.state.lock().unwrap().points.clear();
+    }
+
+    /// How many connects/wraps have arrived at `point`.
+    pub fn hits(&self, point: &str) -> usize {
+        self.state
+            .lock()
+            .unwrap()
+            .hits
+            .get(point)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Decide what happens to one read/write of `want` bytes at `point`.
+    fn plan_op(&self, point: &str, want: usize, read: bool) -> OpPlan {
+        let mut s = self.state.lock().unwrap();
+        let mut sleep = None;
+        if let Some((base, jitter)) = s.points.get(point).and_then(|p| p.latency) {
+            let j = if jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                let nanos = jitter.as_nanos().max(1) as u64;
+                Duration::from_nanos(splitmix64(&mut s.rng) % nanos)
+            };
+            sleep = Some(base + j);
+        }
+        // Re-borrow mutably for the budget bookkeeping.
+        let Some(p) = s.points.get_mut(point) else {
+            return OpPlan {
+                sleep,
+                limit: want,
+                error: None,
+            };
+        };
+        if read && p.partition_inbound {
+            return OpPlan {
+                sleep,
+                limit: 0,
+                error: Some(partition_error(point, "inbound")),
+            };
+        }
+        if !read && p.partition_outbound {
+            return OpPlan {
+                sleep,
+                limit: 0,
+                error: Some(partition_error(point, "outbound")),
+            };
+        }
+        let mut limit = want;
+        if read {
+            if let Some(max) = p.slow_read_max {
+                limit = limit.min(max);
+            }
+        } else if let Some(max) = p.short_write_max {
+            limit = limit.min(max);
+        }
+        if let Some(budget) = p.reset_after {
+            if (limit as u64) >= budget {
+                // Budget exhausted by this op: fire the reset and disarm.
+                p.reset_after = None;
+                return OpPlan {
+                    sleep,
+                    limit: 0,
+                    error: Some(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        format!("injected connection reset at '{point}'"),
+                    )),
+                };
+            }
+            p.reset_after = Some(budget - limit as u64);
+        }
+        OpPlan {
+            sleep,
+            limit,
+            error: None,
+        }
+    }
+}
+
+fn partition_error(point: &str, direction: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        format!("injected {direction} partition at '{point}'"),
+    )
+}
+
+struct OpPlan {
+    sleep: Option<Duration>,
+    limit: usize,
+    error: Option<io::Error>,
+}
+
+impl NetVfs for FaultNet {
+    fn connect_timeout(
+        &self,
+        point: &str,
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> io::Result<NetStream> {
+        let sleep = {
+            let mut s = self.state.lock().unwrap();
+            *s.hits.entry(point.to_owned()).or_insert(0) += 1;
+            let mut sleep = None;
+            if let Some((base, jitter)) = s.points.get(point).and_then(|p| p.latency) {
+                let j = if jitter.is_zero() {
+                    Duration::ZERO
+                } else {
+                    let nanos = jitter.as_nanos().max(1) as u64;
+                    Duration::from_nanos(splitmix64(&mut s.rng) % nanos)
+                };
+                sleep = Some(base + j);
+            }
+            if let Some(p) = s.points.get_mut(point) {
+                if p.refuse_connects > 0 {
+                    p.refuse_connects -= 1;
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        format!("injected connect refusal at '{point}'"),
+                    ));
+                }
+                if p.partition_outbound {
+                    return Err(partition_error(point, "outbound"));
+                }
+            }
+            sleep
+        };
+        if let Some(d) = sleep {
+            std::thread::sleep(d);
+        }
+        let inner = TcpStream::connect_timeout(addr, timeout)?;
+        // Hits were already counted above; build directly so wrap() does
+        // not double-count this arrival.
+        Ok(NetStream {
+            inner,
+            point: point.to_owned(),
+            state: Some(self.clone()),
+        })
+    }
+
+    fn wrap(&self, point: &str, stream: TcpStream) -> NetStream {
+        {
+            let mut s = self.state.lock().unwrap();
+            *s.hits.entry(point.to_owned()).or_insert(0) += 1;
+        }
+        NetStream {
+            inner: stream,
+            point: point.to_owned(),
+            state: Some(self.clone()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NetStream — the stream wrapper every transport speaks
+// ---------------------------------------------------------------------------
+
+/// A `TcpStream` wrapped with an (optional) fault injector. With no
+/// injector ([`StdNet`]) reads and writes delegate directly; with one
+/// ([`FaultNet`]) every op consults the faults armed at the stream's
+/// fault point first.
+#[derive(Debug)]
+pub struct NetStream {
+    inner: TcpStream,
+    point: String,
+    state: Option<FaultNet>,
+}
+
+impl NetStream {
+    /// The fault point this stream reports to.
+    pub fn point(&self) -> &str {
+        &self.point
+    }
+
+    /// Clone the stream: both handles share the socket and the fault
+    /// state (as with `TcpStream::try_clone`).
+    pub fn try_clone(&self) -> io::Result<NetStream> {
+        Ok(NetStream {
+            inner: self.inner.try_clone()?,
+            point: self.point.clone(),
+            state: self.state.clone(),
+        })
+    }
+
+    /// Re-scope the stream to a different fault point (the replication
+    /// streamer does this once a Replicate handshake identifies an
+    /// accepted connection as a replica's).
+    pub fn rescope(&mut self, point: &str) {
+        self.point = point.to_owned();
+        if let Some(net) = &self.state {
+            let mut s = net.state.lock().unwrap();
+            *s.hits.entry(point.to_owned()).or_insert(0) += 1;
+        }
+    }
+
+    /// A raw clone of the underlying socket, bypassing fault injection.
+    /// The server drain path keeps one per session purely to `shutdown`
+    /// sockets at exit — injecting faults there would let a scripted
+    /// partition block shutdown.
+    pub fn raw_try_clone(&self) -> io::Result<TcpStream> {
+        self.inner.try_clone()
+    }
+
+    /// See [`TcpStream::set_read_timeout`].
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    /// See [`TcpStream::set_write_timeout`].
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(dur)
+    }
+
+    /// See [`TcpStream::set_nodelay`].
+    pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+
+    /// See [`TcpStream::shutdown`].
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+
+    /// See [`TcpStream::peer_addr`].
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// See [`TcpStream::local_addr`].
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    fn apply_plan(&mut self, want: usize, read: bool) -> io::Result<usize> {
+        let Some(net) = &self.state else {
+            return Ok(want);
+        };
+        let plan = net.plan_op(&self.point, want, read);
+        if let Some(d) = plan.sleep {
+            std::thread::sleep(d);
+        }
+        if let Some(e) = plan.error {
+            if e.kind() == io::ErrorKind::ConnectionReset {
+                // Make the reset visible to the peer too.
+                let _ = self.inner.shutdown(Shutdown::Both);
+            }
+            return Err(e);
+        }
+        Ok(plan.limit)
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        let limit = self.apply_plan(buf.len(), true)?;
+        self.inner.read(&mut buf[..limit])
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let limit = self.apply_plan(buf.len(), false)?;
+        self.inner.write(&buf[..limit])
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair(net: &FaultNet, point: &str) -> (NetStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = net
+            .connect_timeout(point, &addr, Duration::from_secs(5))
+            .unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn std_net_is_a_passthrough() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut c = StdNet
+            .connect_timeout("p", &addr, Duration::from_secs(5))
+            .unwrap();
+        let (mut s, _) = listener.accept().unwrap();
+        c.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn connect_refusal_is_counted_down() {
+        let net = FaultNet::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        net.refuse_connects("p", 2);
+        for _ in 0..2 {
+            let err = net
+                .connect_timeout("p", &addr, Duration::from_secs(5))
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        }
+        assert!(net
+            .connect_timeout("p", &addr, Duration::from_secs(5))
+            .is_ok());
+        assert_eq!(net.hits("p"), 3);
+    }
+
+    #[test]
+    fn reset_fires_once_midstream_then_disarms() {
+        let net = FaultNet::new(2);
+        let (mut c, mut s) = pair(&net, "p");
+        net.reset_after("p", 6);
+        c.write_all(b"abcd").unwrap(); // budget 6 -> 2
+        let err = c.write_all(b"efgh").unwrap_err(); // 4 >= 2: reset
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The peer sees the shutdown (EOF after the 4 delivered bytes).
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"abcd");
+        // Disarmed: a fresh stream at the same point flows freely.
+        let (mut c2, mut s2) = pair(&net, "p");
+        c2.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        s2.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn partition_is_asymmetric_and_heals() {
+        let net = FaultNet::new(3);
+        let (mut c, mut s) = pair(&net, "p");
+        net.partition("p", true, false); // inbound blocked, outbound open
+        c.write_all(b"out").unwrap();
+        let mut buf = [0u8; 3];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"out");
+        s.write_all(b"inn").unwrap();
+        let err = c.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Outbound partition refuses connects too.
+        net.partition("p", false, true);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(net
+            .connect_timeout("p", &addr, Duration::from_secs(5))
+            .is_err());
+        // Healing restores both directions on the surviving stream.
+        net.heal("p");
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"inn");
+    }
+
+    #[test]
+    fn slow_reads_and_short_writes_throttle_not_break() {
+        let net = FaultNet::new(4);
+        let (mut c, mut s) = pair(&net, "p");
+        net.short_writes("p", 2);
+        net.slow_reads("p", 3);
+        // write_all loops over the short writes; read_exact over the
+        // slow reads — the payload still arrives intact.
+        let (mut cc, mut sc) = (c.try_clone().unwrap(), s.try_clone().unwrap());
+        let writer = std::thread::spawn(move || cc.write_all(b"0123456789").unwrap());
+        let mut buf = [0u8; 10];
+        sc.read_exact(&mut buf).unwrap();
+        writer.join().unwrap();
+        assert_eq!(&buf, b"0123456789");
+        // The throttle caps a single raw read.
+        s.write_all(b"abcdef").unwrap();
+        let n = c.read(&mut buf).unwrap();
+        assert!(n <= 3, "slow read served {n} bytes");
+    }
+
+    #[test]
+    fn latency_is_deterministic_per_seed() {
+        let a = FaultNet::new(7);
+        let b = FaultNet::new(7);
+        for net in [&a, &b] {
+            net.latency("p", Duration::from_millis(1), Duration::from_millis(2));
+        }
+        let plan_a = a.plan_op("p", 16, true).sleep.unwrap();
+        let plan_b = b.plan_op("p", 16, true).sleep.unwrap();
+        assert_eq!(plan_a, plan_b, "same seed, same jitter");
+        assert!(plan_a >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn rescope_reports_to_the_new_point() {
+        let net = FaultNet::new(5);
+        let (mut c, mut s) = pair(&net, "server.accept");
+        net.partition("repl.stream", true, true);
+        c.write_all(b"ok").unwrap(); // accept-point is clean
+        let mut buf = [0u8; 2];
+        s.read_exact(&mut buf).unwrap();
+        c.rescope("repl.stream");
+        assert!(c.write_all(b"xx").is_err(), "now under the repl partition");
+        assert!(net.hits("repl.stream") >= 1);
+    }
+
+    #[test]
+    fn net_fault_points_are_distinct() {
+        let unique: std::collections::BTreeSet<_> = NET_FAULT_POINTS.iter().collect();
+        assert_eq!(unique.len(), NET_FAULT_POINTS.len());
+    }
+}

@@ -18,6 +18,7 @@ pub mod column;
 pub mod crc32;
 pub mod error;
 pub mod faultfs;
+pub mod faultnet;
 pub mod governor;
 pub mod row;
 pub mod schema;
@@ -33,6 +34,7 @@ pub use column::ColumnVector;
 pub use crc32::crc32;
 pub use error::{HyError, Result};
 pub use faultfs::{CrashSpec, FaultVfs, KeepUnsynced, StdVfs, Vfs, VfsFile};
+pub use faultnet::{FaultNet, NetHandle, NetStream, NetVfs, StdNet};
 pub use governor::{CancelToken, Governor, MemoryBudget, Reservation};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};

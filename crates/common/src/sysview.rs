@@ -122,6 +122,9 @@ impl SystemView {
                 Field::new("lag_bytes", Int64),
                 Field::new("bootstraps", Int64),
                 Field::new("staleness_seconds", Int64),
+                Field::new("node_state", Varchar),
+                Field::new("reconnects", Int64),
+                Field::new("rebootstraps", Int64),
             ],
             SystemView::Wal => vec![
                 Field::new("role", Varchar),

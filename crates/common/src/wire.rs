@@ -58,9 +58,10 @@ pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
 /// | 5xxx  | Server-side admission control / transport      | see below |
 ///
 /// Within 5xxx, [`Overloaded`](ErrorCode::Overloaded),
-/// [`QueueTimeout`](ErrorCode::QueueTimeout) and
-/// [`ShuttingDown`](ErrorCode::ShuttingDown) are retryable (the statement
-/// was never started); [`Protocol`](ErrorCode::Protocol) is not.
+/// [`QueueTimeout`](ErrorCode::QueueTimeout),
+/// [`ShuttingDown`](ErrorCode::ShuttingDown) and
+/// [`DiskFull`](ErrorCode::DiskFull) are retryable (the statement was
+/// never started); [`Protocol`](ErrorCode::Protocol) is not.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u16)]
 pub enum ErrorCode {
@@ -105,6 +106,10 @@ pub enum ErrorCode {
     /// primary the client should write to (or retry against after a
     /// promotion).
     ReadOnlyReplica = 5004,
+    /// The node's disk is full: it serves reads in degraded mode and
+    /// rejects writes until space frees. Retryable — write service
+    /// resumes automatically once the background space probe succeeds.
+    DiskFull = 5005,
 }
 
 impl ErrorCode {
@@ -134,6 +139,7 @@ impl ErrorCode {
             5002 => ErrorCode::ShuttingDown,
             5003 => ErrorCode::Protocol,
             5004 => ErrorCode::ReadOnlyReplica,
+            5005 => ErrorCode::DiskFull,
             _ => ErrorCode::Internal,
         }
     }
@@ -155,6 +161,7 @@ impl ErrorCode {
             HyError::BudgetExceeded(_) => ErrorCode::BudgetExceeded,
             HyError::Unavailable(_) => ErrorCode::Overloaded,
             HyError::ReadOnly(_) => ErrorCode::ReadOnlyReplica,
+            HyError::DiskFull(_) => ErrorCode::DiskFull,
             HyError::Protocol(_) => ErrorCode::Protocol,
             HyError::Internal(_) => ErrorCode::Internal,
         }
@@ -181,6 +188,7 @@ impl ErrorCode {
             }
             ErrorCode::Protocol => HyError::Protocol(m),
             ErrorCode::ReadOnlyReplica => HyError::ReadOnly(m),
+            ErrorCode::DiskFull => HyError::DiskFull(m),
             ErrorCode::Internal => HyError::Internal(m),
         }
     }
@@ -199,6 +207,7 @@ impl ErrorCode {
                 | ErrorCode::QueueTimeout
                 | ErrorCode::ShuttingDown
                 | ErrorCode::ReadOnlyReplica
+                | ErrorCode::DiskFull
         )
     }
 }
@@ -1194,6 +1203,7 @@ mod tests {
             (HyError::BudgetExceeded("m".into()), 3002),
             (HyError::Unavailable("m".into()), 5000),
             (HyError::ReadOnly("m".into()), 5004),
+            (HyError::DiskFull("m".into()), 5005),
             (HyError::Protocol("m".into()), 5003),
             (HyError::Internal("m".into()), 4000),
         ];
@@ -1216,6 +1226,7 @@ mod tests {
             ErrorCode::QueueTimeout,
             ErrorCode::ShuttingDown,
             ErrorCode::ReadOnlyReplica,
+            ErrorCode::DiskFull,
         ] {
             assert!(code.is_retryable(), "{code:?}");
         }

@@ -131,13 +131,10 @@ impl CoreViews {
             .into_iter()
             .filter_map(|name| self.catalog.get_table(&name).ok().map(|t| (name, t)))
             .map(|(name, t)| {
-                let (segments, disk_segments, disk_bytes, raw_bytes) =
-                    t.read().segment_storage();
-                let ratio = if disk_bytes > 0 {
-                    Value::Int((raw_bytes * 100 / disk_bytes) as i64)
-                } else {
-                    Value::Null
-                };
+                let (segments, disk_segments, disk_bytes, raw_bytes) = t.read().segment_storage();
+                let ratio = (raw_bytes * 100)
+                    .checked_div(disk_bytes)
+                    .map_or(Value::Null, |r| Value::Int(r as i64));
                 vec![
                     Value::from(name.as_str()),
                     Value::Int(segments as i64),

@@ -82,11 +82,17 @@ impl Executor {
             } => {
                 let snapshot = self.ctx.snapshot(table)?;
                 let governor = Arc::clone(self.ctx.governor());
-                let (chunks, pruning) =
-                    scan::scan_pruned(&snapshot, projection.as_deref(), filter.as_ref(), &governor)?;
+                let (chunks, pruning) = scan::scan_pruned(
+                    &snapshot,
+                    projection.as_deref(),
+                    filter.as_ref(),
+                    &governor,
+                )?;
                 if self.ctx.profiling() {
-                    self.ctx.profile_note("blocks_scanned", pruning.blocks_scanned);
-                    self.ctx.profile_note("blocks_pruned", pruning.blocks_pruned);
+                    self.ctx
+                        .profile_note("blocks_scanned", pruning.blocks_scanned);
+                    self.ctx
+                        .profile_note("blocks_pruned", pruning.blocks_pruned);
                 }
                 {
                     let m = self.ctx.metrics();

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use hylite_common::NetHandle;
+
 /// Tunables of a [`Server`](crate::Server).
 ///
 /// The admission-control knobs bound three separate resources:
@@ -66,6 +68,11 @@ pub struct ServerConfig {
     /// exercising per-statement panic isolation (the engine itself is
     /// deliberately panic-free). Always `None` in production configs.
     pub panic_on_sql: Option<String>,
+    /// Transport wrapper applied to every accepted socket (the
+    /// `server.accept` fault point, re-scoped to `repl.stream` for
+    /// replication connections). Defaults to the real network; tests and
+    /// the chaos harness install a `FaultNet` here.
+    pub net: NetHandle,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +93,7 @@ impl Default for ServerConfig {
             repl_ack_timeout: Duration::from_secs(10),
             repl_poll_interval: Duration::from_millis(5),
             panic_on_sql: None,
+            net: NetHandle::default(),
         }
     }
 }

@@ -1,13 +1,12 @@
 //! Per-connection protocol handling: handshake, query loop, result
 //! streaming, out-of-band cancel.
 
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
-use hylite_common::{Result, CHUNK_ROWS};
+use hylite_common::{NetStream, Result, CHUNK_ROWS};
 use hylite_core::{QueryResult, Session};
 
 use crate::server::{SessionEntry, Shared};
@@ -17,7 +16,7 @@ use crate::server::{SessionEntry, Shared};
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Entry point of a connection thread: dispatch on the first frame.
-pub(crate) fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+pub(crate) fn serve_connection(mut stream: NetStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
     let first = match wire::read_frame(&mut stream) {
@@ -69,7 +68,7 @@ fn durable_lsn(shared: &Shared) -> u64 {
 
 /// Admin frame: promote this replica to a writable primary in place.
 /// Idempotent on a node that already serves writes.
-fn handle_promote(mut stream: TcpStream, shared: &Shared) {
+fn handle_promote(mut stream: NetStream, shared: &Shared) {
     if !shared.db.is_replica() {
         let Some(durability) = shared.db.durability() else {
             let _ = wire::write_frame(
@@ -118,7 +117,7 @@ fn handle_promote(mut stream: TcpStream, shared: &Shared) {
 }
 
 /// Admin frame: tell this replica to follow a different primary.
-fn handle_repoint(mut stream: TcpStream, shared: &Shared, primary_addr: &str) {
+fn handle_repoint(mut stream: NetStream, shared: &Shared, primary_addr: &str) {
     let control = match shared.failover_control() {
         Some(c) if shared.db.is_replica() => c,
         _ => {
@@ -150,7 +149,7 @@ fn handle_repoint(mut stream: TcpStream, shared: &Shared, primary_addr: &str) {
     }
 }
 
-fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
+fn handle_startup(mut stream: NetStream, shared: Arc<Shared>, version: u32) {
     if version != PROTOCOL_VERSION {
         let _ = wire::write_frame(
             &mut stream,
@@ -229,7 +228,10 @@ fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
     let session_id = session.id();
     let secret = shared.new_secret(session_id);
     let busy = Arc::new(AtomicBool::new(false));
-    let entry_stream = match stream.try_clone() {
+    // The drain path only ever calls `shutdown` on this handle; a raw
+    // clone bypasses fault injection so a scripted partition can never
+    // block server shutdown.
+    let entry_stream = match stream.raw_try_clone() {
         Ok(s) => s,
         Err(e) => {
             release(&shared);
@@ -275,7 +277,7 @@ fn handle_startup(mut stream: TcpStream, shared: Arc<Shared>, version: u32) {
 
 /// Serve Query frames until the peer disconnects, terminates, or the
 /// server drains.
-fn query_loop(stream: &mut TcpStream, session: &mut Session, shared: &Shared, busy: &AtomicBool) {
+fn query_loop(stream: &mut NetStream, session: &mut Session, shared: &Shared, busy: &AtomicBool) {
     // A read error means disconnect, malformed frame, or the drain closing
     // the socket — all of them end the session.
     while let Ok(frame) = wire::read_frame(stream) {
@@ -388,7 +390,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 
 /// Stream one result: schema, then each chunk as soon as it is sliced
 /// off (bounded server-side memory), then completion.
-fn stream_result(stream: &mut TcpStream, result: &QueryResult, shared: &Shared) -> Result<()> {
+fn stream_result(stream: &mut NetStream, result: &QueryResult, shared: &Shared) -> Result<()> {
     let mut bytes = wire::write_frame(
         stream,
         &Frame::ResultSchema {
@@ -423,7 +425,7 @@ fn stream_result(stream: &mut TcpStream, result: &QueryResult, shared: &Shared) 
 
 /// Out-of-band cancel: deliver if the (session, secret) pair matches a
 /// registered session, then answer and close.
-fn handle_cancel(mut stream: TcpStream, shared: &Shared, session_id: u64, secret: u64) {
+fn handle_cancel(mut stream: NetStream, shared: &Shared, session_id: u64, secret: u64) {
     let delivered = {
         let sessions = shared.sessions.lock();
         match sessions.get(&session_id) {

@@ -34,9 +34,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
 use hylite_client::RetryPolicy;
+use hylite_common::faultnet::NP_REPL_APPLY;
 use hylite_common::sysview::{SystemView, SystemViewProvider};
 use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
-use hylite_common::{HyError, Result, Value};
+use hylite_common::{HyError, NetHandle, Result, Value};
 use hylite_core::{Database, Durability};
 use parking_lot::Mutex;
 
@@ -58,6 +59,9 @@ pub struct ReplicaConfig {
     /// many durable bytes, so replica restarts recover from a recent
     /// image instead of replaying the whole stream. `0` disables.
     pub checkpoint_wal_bytes: u64,
+    /// Transport for the apply loop's outbound connection to the primary
+    /// (the `repl.apply` fault point). Defaults to the real network.
+    pub net: NetHandle,
 }
 
 impl ReplicaConfig {
@@ -68,6 +72,7 @@ impl ReplicaConfig {
             retry: RetryPolicy::default(),
             backoff_seed: 0x005E_ED0F_5EED,
             checkpoint_wal_bytes: 8 * 1024 * 1024,
+            net: NetHandle::default(),
         }
     }
 }
@@ -233,6 +238,7 @@ struct ReplicaViews {
     status: Arc<ReplicaStatus>,
     durability: Arc<Durability>,
     control: Arc<ApplyControl>,
+    metrics: Arc<hylite_common::MetricsRegistry>,
 }
 
 impl SystemViewProvider for ReplicaViews {
@@ -267,6 +273,9 @@ impl SystemViewProvider for ReplicaViews {
                 Some(s) => Value::Int(s as i64),
                 None => Value::Null,
             },
+            Value::from(self.durability.node_state()),
+            Value::Int(self.metrics.counter("repl.reconnects").get() as i64),
+            Value::Int(self.metrics.counter("repl.rebootstraps").get() as i64),
         ]])
     }
 }
@@ -307,10 +316,15 @@ impl Replica {
         });
         // This node's self-row in `hylite.replication`; the hub holds it
         // weakly, the handle keeps it alive for the replica's lifetime.
+        // Touch the churn counters so they exist in a scrape (and in
+        // `hylite.metrics`) from the first connect, not the first fault.
+        db.metrics().counter("repl.reconnects").add(0);
+        db.metrics().counter("repl.rebootstraps").add(0);
         let views = Arc::new(ReplicaViews {
             status: Arc::clone(&status),
             durability: Arc::clone(db.durability().expect("replica database is durable")),
             control: Arc::clone(&control),
+            metrics: Arc::clone(db.metrics()),
         });
         db.system_views()
             .register(Arc::downgrade(&views) as std::sync::Weak<dyn SystemViewProvider>);
@@ -425,9 +439,17 @@ fn apply_loop(
 ) {
     let durability = Arc::clone(db.durability().expect("replica database is durable"));
     let metrics = Arc::clone(db.metrics());
+    let mut ever_connected = false;
     while !control.stop.load(Ordering::Acquire) {
         let generation = control.generation.load(Ordering::Acquire);
-        let end = stream_session(db, &durability, config, control, status);
+        let end = stream_session(
+            db,
+            &durability,
+            config,
+            control,
+            status,
+            &mut ever_connected,
+        );
         status.connected.store(false, Ordering::Release);
         control.current.lock().take();
         match end {
@@ -474,14 +496,20 @@ fn stream_session(
     config: &ReplicaConfig,
     control: &ApplyControl,
     status: &ReplicaStatus,
+    ever_connected: &mut bool,
 ) -> SessionEnd {
     let primary_addr = control.primary_addr.lock().clone();
-    let mut stream = match TcpStream::connect(&primary_addr) {
+    let mut stream = match config
+        .net
+        .connect(NP_REPL_APPLY, &primary_addr, Duration::from_secs(10))
+    {
         Ok(s) => s,
         Err(_) => return SessionEnd::Disconnect,
     };
     let _ = stream.set_nodelay(true);
-    match stream.try_clone() {
+    // The kick path only ever calls `shutdown`: keep a raw clone so a
+    // scripted partition can never block promotion or shutdown.
+    match stream.raw_try_clone() {
         Ok(clone) => *control.current.lock() = Some(clone),
         Err(_) => return SessionEnd::Disconnect,
     }
@@ -498,6 +526,11 @@ fn stream_session(
     }
     status.connected.store(true, Ordering::Release);
     db.metrics().counter("repl.connects").inc();
+    if *ever_connected {
+        // Re-established after a drop: the churn signal `\lag` watches.
+        db.metrics().counter("repl.reconnects").inc();
+    }
+    *ever_connected = true;
 
     loop {
         if control.stop.load(Ordering::Acquire) {
@@ -533,7 +566,12 @@ fn stream_session(
                     return SessionEnd::Fatal(e);
                 }
                 control.retry.store(0, Ordering::Release);
-                status.bootstraps.fetch_add(1, Ordering::AcqRel);
+                let prior = status.bootstraps.fetch_add(1, Ordering::AcqRel);
+                if prior > 0 {
+                    // Any bootstrap after the first means fencing or WAL
+                    // truncation forced a full re-seed.
+                    db.metrics().counter("repl.rebootstraps").inc();
+                }
                 status.mark_applied(base_lsn.saturating_sub(1));
                 db.metrics()
                     .gauge("repl.applied_lsn")
@@ -555,6 +593,13 @@ fn stream_session(
                     durability.apply_replicated_frame(db.catalog(), lsn, crc, &payload)
                 };
                 if let Err(e) = applied {
+                    if matches!(e, HyError::DiskFull(_)) {
+                        // A full local disk is transient, not a fork: the
+                        // frame was never acked, so once space frees (the
+                        // probe un-degrades the node) the stream resumes
+                        // from the same LSN. Back off and reconnect.
+                        return SessionEnd::Disconnect;
+                    }
                     // A gap, CRC mismatch, or WAL write failure on *our*
                     // side: never ack, never skip. The stream cannot be
                     // trusted past this point.

@@ -24,13 +24,14 @@
 //! primary never wait on a slow replica.
 
 use std::collections::VecDeque;
-use std::net::{Shutdown, TcpStream};
+use std::net::Shutdown;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use hylite_common::faultnet::NP_REPL_STREAM;
 use hylite_common::wire::{self, ErrorCode, Frame, PROTOCOL_VERSION};
-use hylite_common::Result;
+use hylite_common::{NetStream, Result};
 use hylite_core::{Durability, ReplTail};
 
 use crate::server::{ReplStreamStats, Shared};
@@ -54,12 +55,15 @@ fn poll_sleep(shared: &Shared) {
 
 /// Entry point for a connection whose first frame was `Replicate`.
 pub(crate) fn serve_replication(
-    mut stream: TcpStream,
+    mut stream: NetStream,
     shared: Arc<Shared>,
     version: u32,
     replica_epoch: u64,
     last_lsn: u64,
 ) {
+    // The Replicate handshake identified this accepted connection as a
+    // replica's: report to the streamer's own fault point from here on.
+    stream.rescope(NP_REPL_STREAM);
     if version != PROTOCOL_VERSION {
         let _ = wire::write_frame(
             &mut stream,
@@ -152,7 +156,7 @@ pub(crate) fn serve_replication(
 /// Handshake + streaming loop. Returns `Ok` on orderly exit (peer gone,
 /// drain, shed); `Err` only for faults worth reporting to the peer.
 fn stream_to_replica(
-    stream: &mut TcpStream,
+    stream: &mut NetStream,
     shared: &Shared,
     durability: &Durability,
     replica_epoch: u64,
@@ -318,7 +322,7 @@ fn stream_to_replica(
 /// Snapshot the committed state and offer it to the replica. Returns the
 /// `(cursor, acked)` pair streaming continues from.
 fn send_bootstrap(
-    stream: &mut TcpStream,
+    stream: &mut NetStream,
     shared: &Shared,
     durability: &Durability,
     epoch: u64,

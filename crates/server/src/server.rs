@@ -203,6 +203,7 @@ impl SystemViewProvider for Shared {
                 // A standalone node — not following a primary, no replica
                 // attached — reports one explicit row instead of an empty
                 // table, so `\lag` never renders silence as an answer.
+                let node_state = self.db.durability().map(|d| d.node_state()).unwrap_or("ok");
                 if streams.is_empty() && !self.db.is_replica() {
                     let epoch = self.db.durability().map(|d| d.epoch()).unwrap_or(0);
                     return Some(vec![vec![
@@ -214,6 +215,9 @@ impl SystemViewProvider for Shared {
                         Value::Null,
                         Value::Null,
                         Value::Null,
+                        Value::Null,
+                        Value::Null,
+                        Value::from(node_state),
                         Value::Null,
                         Value::Null,
                     ]]);
@@ -233,6 +237,9 @@ impl SystemViewProvider for Shared {
                                 Value::Int(next_lsn.saturating_sub(1).saturating_sub(acked) as i64),
                                 Value::Int(s.unacked_bytes.load(Ordering::Acquire) as i64),
                                 Value::Int(s.bootstraps.load(Ordering::Acquire) as i64),
+                                Value::Null,
+                                Value::from(node_state),
+                                Value::Null,
                                 Value::Null,
                             ]
                         })
@@ -307,6 +314,20 @@ impl Server {
             Some(addr) => Some(crate::metrics_http::serve(addr, Arc::clone(&shared))?),
             None => None,
         };
+        // Disk-pressure probe: on a durable database, periodically ask the
+        // durability layer to leave read-only degraded mode once space
+        // frees up, so an ENOSPC node resumes writes without a restart.
+        let probe_thread = if shared.db.durability().is_some() {
+            let probe_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("hylite-space-probe".into())
+                    .spawn(move || disk_pressure_probe(probe_shared))
+                    .map_err(|e| HyError::Internal(format!("spawning space probe failed: {e}")))?,
+            )
+        } else {
+            None
+        };
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("hylite-accept".into())
@@ -316,6 +337,7 @@ impl Server {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
+            probe_thread,
             metrics_listener,
         })
     }
@@ -326,6 +348,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    probe_thread: Option<JoinHandle<()>>,
     metrics_listener: Option<crate::metrics_http::MetricsListener>,
 }
 
@@ -371,6 +394,9 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.probe_thread.take() {
+            let _ = t.join();
+        }
         // The exposition listener polls `shutdown_requested` and exits on
         // its own once it is set (which it is by the time we get here).
         if let Some(m) = self.metrics_listener.take() {
@@ -394,6 +420,25 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Poll `Durability::try_resume_writes` until shutdown: the path out of
+/// read-only degraded mode after a disk-full episode. Cheap when the node
+/// is healthy (one atomic load per tick).
+fn disk_pressure_probe(shared: Arc<Shared>) {
+    while !shared.shutdown_requested.load(Ordering::Acquire) {
+        if let Some(d) = shared.db.durability() {
+            match d.try_resume_writes() {
+                Ok(true) => {
+                    shared.metrics.counter("server.degraded_recoveries").inc();
+                    eprintln!("disk pressure cleared: writes re-enabled");
+                }
+                Ok(false) => {}
+                Err(e) => eprintln!("space probe failed: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
 /// Poll-accept until shutdown is requested, then drain.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
@@ -403,6 +448,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.metrics.counter("server.connections_accepted").inc();
+                // Every inbound socket passes the `server.accept` fault
+                // point; replication connections re-scope themselves to
+                // `repl.stream` after the handshake.
+                let stream = shared
+                    .config
+                    .net
+                    .wrap(hylite_common::faultnet::NP_SERVER_ACCEPT, stream);
                 let conn_shared = Arc::clone(&shared);
                 let spawned = std::thread::Builder::new()
                     .name("hylite-conn".into())

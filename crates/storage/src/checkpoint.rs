@@ -275,10 +275,14 @@ pub fn encode_bootstrap_bundle(segments: &[(u64, Vec<u8>)], manifest: &[u8]) -> 
     buf
 }
 
+/// A decoded bootstrap bundle: the `(segment id, bytes)` files plus the
+/// manifest bytes.
+pub type BootstrapBundle = (Vec<(u64, Vec<u8>)>, Vec<u8>);
+
 /// Unpack a bootstrap bundle into `(segment files, manifest bytes)`.
 /// Lengths are bounds-checked against the actual blob before any
 /// allocation; the CRC covers the whole bundle.
-pub fn decode_bootstrap_bundle(bytes: &[u8]) -> Result<(Vec<(u64, Vec<u8>)>, Vec<u8>)> {
+pub fn decode_bootstrap_bundle(bytes: &[u8]) -> Result<BootstrapBundle> {
     if bytes.len() < 28 {
         return Err(HyError::Storage(format!(
             "bootstrap bundle is {} bytes — too short to be valid",

@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 use hylite_common::faultfs::Vfs;
 use hylite_common::{HyError, MetricsRegistry, Result};
@@ -40,9 +40,9 @@ use crate::checkpoint::{
 };
 use crate::pool::BufferPool;
 use crate::recovery::{apply_op, recover, RecoveryReport};
+use crate::repl::{load_repl_state, next_epoch, store_repl_state, ReplRole, ReplState};
 use crate::segment::{rebrand_segment_bytes, SegmentStore};
 use crate::snapshot::SegmentHandle;
-use crate::repl::{load_repl_state, next_epoch, store_repl_state, ReplRole, ReplState};
 use crate::wal::{
     decode_commit_payload, scan_wal_raw, RawFrame, RedoOp, SyncMode, WalWriter, CP_WAL_AFTER_WRITE,
     CP_WAL_APPEND, CP_WAL_POST_FSYNC, CP_WAL_PRE_FSYNC, CP_WAL_TRUNCATE, WAL_FILE,
@@ -163,6 +163,13 @@ pub struct Durability {
     epoch: AtomicU64,
     /// The sealed-segment store (files + id allocation + buffer pool).
     store: Arc<SegmentStore>,
+    /// Read-only degraded mode: set when a WAL append or segment seal
+    /// hits `ENOSPC` ([`HyError::DiskFull`]). While set, every write is
+    /// rejected up front with a retryable `DiskFull` error; reads,
+    /// replication streaming, and system views are unaffected. Cleared by
+    /// [`Durability::try_resume_writes`] once a space probe succeeds —
+    /// no restart needed.
+    degraded: AtomicBool,
 }
 
 impl Durability {
@@ -232,6 +239,7 @@ impl Durability {
                 role: AtomicU8::new(options.role.as_u8()),
                 epoch: AtomicU64::new(epoch),
                 store,
+                degraded: AtomicBool::new(false),
             },
             catalog,
             report,
@@ -270,7 +278,80 @@ impl Durability {
     /// [`Durability::with_commit_lock`] instead, so the append and the
     /// publish are atomic with respect to checkpoints.
     pub fn log_commit(&self, ops: &[RedoOp]) -> Result<u64> {
-        self.wal.lock().log_commit(ops)
+        let r = {
+            let mut wal = self.wal.lock();
+            wal.set_degraded(self.degraded());
+            wal.log_commit(ops)
+        };
+        if let Err(e) = &r {
+            self.note_write_error(e);
+        }
+        r
+    }
+
+    /// Whether the node is in read-only degraded mode after `ENOSPC`.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// `"ok"` or `"degraded"` — the `node_state` column of
+    /// `hylite.replication`.
+    pub fn node_state(&self) -> &'static str {
+        if self.degraded() {
+            "degraded"
+        } else {
+            "ok"
+        }
+    }
+
+    /// Inspect a write-path error: `DiskFull` flips the node into
+    /// degraded mode (idempotent).
+    fn note_write_error(&self, e: &HyError) {
+        if matches!(e, HyError::DiskFull(_)) {
+            self.metrics.counter("disk.full_errors").inc();
+            if !self.degraded.swap(true, Ordering::SeqCst) {
+                self.metrics.gauge("node.degraded").set(1);
+            }
+        }
+    }
+
+    /// Attempt to leave degraded mode: probe the data directory for free
+    /// space (write + fsync + remove a small scratch file), repair the
+    /// WAL writer if the failure poisoned it, and land any buffered
+    /// frames. Returns `Ok(true)` when writes were re-enabled,
+    /// `Ok(false)` when the node was not degraded or the disk is still
+    /// full. The server calls this from a background probe loop so a
+    /// degraded node resumes without a restart.
+    pub fn try_resume_writes(&self) -> Result<bool> {
+        if !self.degraded() {
+            return Ok(false);
+        }
+        let probe = self.dir.join(".space_probe");
+        let probe_result = (|| -> Result<()> {
+            let mut f = self.vfs.create(&probe)?;
+            f.write_all(&[0u8; 8192])?;
+            f.sync()?;
+            Ok(())
+        })();
+        if self.vfs.exists(&probe) {
+            let _ = self.vfs.remove(&probe);
+        }
+        if probe_result.is_err() {
+            return Ok(false);
+        }
+        let mut wal = self.wal.lock();
+        wal.try_unpoison()?;
+        if let Err(e) = wal.flush() {
+            // Space came back but the WAL still cannot land its buffered
+            // frames — stay degraded and let the next probe retry.
+            self.note_write_error(&e);
+            return Ok(false);
+        }
+        self.degraded.store(false, Ordering::SeqCst);
+        wal.set_degraded(false);
+        self.metrics.gauge("node.degraded").set(0);
+        self.metrics.counter("disk.recoveries").inc();
+        Ok(true)
     }
 
     /// Run `f` while holding the commit mutex — the same lock
@@ -282,14 +363,31 @@ impl Durability {
     ///
     /// `f` may take table locks; it must not re-enter the durability
     /// engine (the commit mutex is not reentrant).
+    ///
+    /// While the node is degraded the rejection comes from inside
+    /// `wal.log_commit`, *not* from this method — `f` always runs, so its
+    /// rollback arm can discard the commit's staged in-memory rows. (An
+    /// early return here once leaked a rejected insert's staged rows into
+    /// the next successful commit's publish.)
     pub fn with_commit_lock<R>(&self, f: impl FnOnce(&mut WalWriter) -> Result<R>) -> Result<R> {
-        let mut wal = self.wal.lock();
-        f(&mut wal)
+        let r = {
+            let mut wal = self.wal.lock();
+            wal.set_degraded(self.degraded());
+            f(&mut wal)
+        };
+        if let Err(e) = &r {
+            self.note_write_error(e);
+        }
+        r
     }
 
     /// Force any group-commit buffered frames to disk.
     pub fn flush(&self) -> Result<()> {
-        self.wal.lock().flush()
+        let r = self.wal.lock().flush();
+        if let Err(e) = &r {
+            self.note_write_error(e);
+        }
+        r
     }
 
     /// Take a checkpoint: flush the WAL, seal every table's not-yet-sealed
@@ -300,14 +398,16 @@ impl Durability {
     /// rewritten.
     pub fn checkpoint(&self, catalog: &Catalog) -> Result<CheckpointStats> {
         let mut wal = self.wal.lock();
-        self.checkpoint_locked(catalog, &mut wal)
+        let r = self.checkpoint_locked(catalog, &mut wal);
+        if let Err(e) = &r {
+            // A segment seal hitting ENOSPC degrades the node just like a
+            // failed WAL append would.
+            self.note_write_error(e);
+        }
+        r
     }
 
-    fn checkpoint_locked(
-        &self,
-        catalog: &Catalog,
-        wal: &mut WalWriter,
-    ) -> Result<CheckpointStats> {
+    fn checkpoint_locked(&self, catalog: &Catalog, wal: &mut WalWriter) -> Result<CheckpointStats> {
         let started = Instant::now();
         // Buffered frames must hit the disk first: if the checkpoint then
         // fails part-way, the WAL still covers those commits.
@@ -536,7 +636,9 @@ impl Durability {
         let mut wal = self.wal.lock();
         let stats = self.checkpoint_locked(catalog, &mut wal)?;
         let base_lsn = stats.base_lsn;
-        let manifest = self.vfs.read(&self.dir.join(crate::checkpoint::CHECKPOINT_FILE))?;
+        let manifest = self
+            .vfs
+            .read(&self.dir.join(crate::checkpoint::CHECKPOINT_FILE))?;
         let image = decode_manifest(&manifest)?;
         let mut ids: Vec<u64> = image.referenced_segments().into_iter().collect();
         ids.sort_unstable();
@@ -570,7 +672,12 @@ impl Durability {
             )));
         }
         let mut wal = self.wal.lock();
-        wal.append_raw_frame(lsn, crc, payload)?;
+        if let Err(e) = wal.append_raw_frame(lsn, crc, payload) {
+            // A replica with a full disk degrades too: it keeps serving
+            // reads but stops acknowledging frames it cannot persist.
+            self.note_write_error(&e);
+            return Err(e);
+        }
         let mut applied = 0u64;
         for op in ops {
             if apply_op(catalog, op) {
@@ -612,10 +719,7 @@ impl Durability {
             }
         }
         self.store.sync_dir()?;
-        let local_manifest = encode_manifest(
-            base_lsn,
-            &image.tables,
-        );
+        let local_manifest = encode_manifest(base_lsn, &image.tables);
         publish_checkpoint(self.vfs.as_ref(), &self.dir, &local_manifest)?;
         wal.reset()?;
         wal.set_next_lsn(base_lsn);
@@ -888,6 +992,62 @@ mod tests {
             2,
             "checkpoint + applied frame both recovered"
         );
+    }
+
+    #[test]
+    fn disk_full_degrades_node_and_probe_resumes_writes() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        make_table(&catalog);
+        d.log_commit(&[create()]).unwrap();
+        assert!(!d.try_resume_writes().unwrap(), "healthy node: no-op");
+
+        fault.set_disk_full(true);
+        let err = d.log_commit(&[insert(1)]).unwrap_err();
+        assert!(matches!(err, HyError::DiskFull(_)), "{err}");
+        assert!(d.degraded());
+        assert_eq!(d.node_state(), "degraded");
+
+        // Later writes are rejected up front, same typed error.
+        let err = d.log_commit(&[insert(2)]).unwrap_err();
+        assert!(matches!(err, HyError::DiskFull(_)), "{err}");
+        // Replication reads of the durable log still serve.
+        match d.read_replication_tail(1, 64).unwrap() {
+            ReplTail::Frames { frames, .. } => assert_eq!(frames.len(), 1),
+            other => panic!("{other:?}"),
+        }
+
+        // The probe fails while the disk is still full...
+        assert!(!d.try_resume_writes().unwrap());
+        assert!(d.degraded());
+        // ...and succeeds once space frees: writes resume, no restart.
+        fault.set_disk_full(false);
+        assert!(d.try_resume_writes().unwrap());
+        assert_eq!(d.node_state(), "ok");
+        d.log_commit(&[insert(3)]).unwrap();
+        match d.read_replication_tail(1, 64).unwrap() {
+            ReplTail::Frames { frames, .. } => assert_eq!(frames.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn segment_seal_enospc_degrades_via_checkpoint() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        make_table(&catalog);
+        d.log_commit(&[create()]).unwrap();
+        d.log_commit(&[insert(1)]).unwrap();
+        mirror_insert(&catalog, 1);
+        fault.set_disk_full(true);
+        let err = d.checkpoint(&catalog).unwrap_err();
+        assert!(matches!(err, HyError::DiskFull(_)), "{err}");
+        assert!(d.degraded());
+        fault.set_disk_full(false);
+        assert!(d.try_resume_writes().unwrap());
+        // The interrupted checkpoint retries cleanly.
+        let stats = d.checkpoint(&catalog).unwrap();
+        assert_eq!(stats.tables, 1);
     }
 
     #[test]

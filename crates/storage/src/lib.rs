@@ -32,10 +32,8 @@ pub use checkpoint::CheckpointImage;
 pub use durability::{CheckpointStats, Durability, DurabilityOptions, ReplTail, CRASH_POINTS};
 pub use pool::{BufferPool, PoolStats};
 pub use recovery::RecoveryReport;
-pub use segment::{
-    DiskSegment, SegmentStore, ZoneRange, BLOCK_ROWS, SEGMENT_DIR,
-};
 pub use repl::{ReplRole, ReplState};
+pub use segment::{DiskSegment, SegmentStore, ZoneRange, BLOCK_ROWS, SEGMENT_DIR};
 pub use snapshot::{Morsel, ScanPruning, SegmentHandle, TableSnapshot};
 pub use table::{Table, TableRef, SEGMENT_ROWS};
 pub use transaction::Transaction;

@@ -246,7 +246,11 @@ fn pack_bits(values: impl Iterator<Item = u64>, width: u32, out: &mut Vec<u8>) {
     let mut acc: u64 = 0;
     let mut nbits: u32 = 0;
     for v in values {
-        let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+        let v = if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        };
         acc |= v << nbits;
         nbits += width;
         while nbits >= 8 {
@@ -310,7 +314,7 @@ fn put_bitmap_bits(buf: &mut Vec<u8>, len: usize, get: impl Fn(usize) -> bool) {
             byte = 0;
         }
     }
-    if len % 8 != 0 {
+    if !len.is_multiple_of(8) {
         buf.push(byte);
     }
 }
@@ -505,8 +509,7 @@ fn encode_int_data(data: &[i64], payload: &mut Vec<u8>) -> u8 {
         wire::put_u64(payload, phys_min as u64);
         payload.push(for_width as u8);
         pack_bits(
-            data.iter()
-                .map(|&v| (v as i128 - phys_min as i128) as u64),
+            data.iter().map(|&v| (v as i128 - phys_min as i128) as u64),
             for_width,
             payload,
         );
@@ -546,11 +549,7 @@ fn encode_str_data(data: &[String], payload: &mut Vec<u8>) -> u8 {
             wire::put_str(payload, s);
         }
         payload.push(width as u8);
-        pack_bits(
-            data.iter().map(|s| dict[s.as_str()] as u64),
-            width,
-            payload,
-        );
+        pack_bits(data.iter().map(|s| dict[s.as_str()] as u64), width, payload);
         encoding::DICT_STR
     } else {
         for s in data {
@@ -607,7 +606,8 @@ pub fn encode_segment(id: u64, chunk: &Chunk) -> Result<Vec<u8>> {
         offset += b.body.len() as u64;
     }
     debug_assert_eq!(header.len(), header_len);
-    let mut out = Vec::with_capacity(16 + header_len + blocks.iter().map(|b| b.body.len()).sum::<usize>());
+    let mut out =
+        Vec::with_capacity(16 + header_len + blocks.iter().map(|b| b.body.len()).sum::<usize>());
     wire::put_u32(&mut out, SEGMENT_MAGIC);
     wire::put_u32(&mut out, SEGMENT_VERSION);
     wire::put_u32(&mut out, header_len as u32);
@@ -680,7 +680,7 @@ pub fn decode_segment_meta(prelude: &[u8], header: &[u8], file_len: u64) -> Resu
         )));
     }
     let mut blocks = Vec::with_capacity(ncols);
-    for c in 0..ncols {
+    for (c, dtype) in dtypes.iter().enumerate() {
         let mut col_blocks = Vec::with_capacity(nblocks);
         for b in 0..nblocks {
             let offset = r.u64()?;
@@ -708,7 +708,7 @@ pub fn decode_segment_meta(prelude: &[u8], header: &[u8], file_len: u64) -> Resu
                     "segment block ({c},{b}) at [{offset}, +{len}) exceeds file of {file_len} bytes"
                 )));
             }
-            let enc_ok = match dtypes[c] {
+            let enc_ok = match dtype {
                 DataType::Int64 => {
                     matches!(enc, encoding::PLAIN | encoding::RLE_INT | encoding::FOR_INT)
                 }
@@ -717,8 +717,7 @@ pub fn decode_segment_meta(prelude: &[u8], header: &[u8], file_len: u64) -> Resu
             };
             if !enc_ok {
                 return Err(HyError::Storage(format!(
-                    "segment block ({c},{b}) has encoding {enc} invalid for {}",
-                    dtypes[c]
+                    "segment block ({c},{b}) has encoding {enc} invalid for {dtype}"
                 )));
             }
             if null_count > brows {
@@ -739,9 +738,7 @@ pub fn decode_segment_meta(prelude: &[u8], header: &[u8], file_len: u64) -> Resu
         blocks.push(col_blocks);
     }
     if !r.is_empty() {
-        return Err(HyError::Storage(
-            "segment header has trailing bytes".into(),
-        ));
+        return Err(HyError::Storage("segment header has trailing bytes".into()));
     }
     Ok(SegmentMeta {
         id,
@@ -810,7 +807,11 @@ pub fn decode_block(dtype: DataType, meta: &BlockMeta, body: &[u8]) -> Result<Co
     let mut r = ByteReader::new(payload);
     let validity = match r.u8()? {
         0 => None,
-        1 => Some(read_bitmap_bits(&mut r, rows)?.into_iter().collect::<Bitmap>()),
+        1 => Some(
+            read_bitmap_bits(&mut r, rows)?
+                .into_iter()
+                .collect::<Bitmap>(),
+        ),
         other => {
             return Err(HyError::Storage(format!(
                 "segment block has invalid validity flag {other}"
@@ -841,7 +842,12 @@ pub fn decode_block(dtype: DataType, meta: &BlockMeta, body: &[u8]) -> Result<Co
             for _ in 0..nruns {
                 let value = r.u64()? as i64;
                 let count = r.u32()? as usize;
-                if data.len().checked_add(count).map(|t| t > rows).unwrap_or(true) {
+                if data
+                    .len()
+                    .checked_add(count)
+                    .map(|t| t > rows)
+                    .unwrap_or(true)
+                {
                     return Err(HyError::Storage(
                         "segment RLE block runs exceed the declared row count".into(),
                     ));
@@ -993,7 +999,9 @@ impl DiskSegment {
         let meta = bm.clone();
         let dtype = self.meta.dtypes[col];
         self.pool.get_or_load(key, || {
-            let body = self.vfs.read_range(&self.path, meta.offset, meta.len as u64)?;
+            let body = self
+                .vfs
+                .read_range(&self.path, meta.offset, meta.len as u64)?;
             Ok(Arc::new(decode_block(dtype, &meta, &body)?))
         })
     }
@@ -1258,8 +1266,8 @@ impl SegmentStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hylite_common::FaultVfs;
     use hylite_common::telemetry::MetricsRegistry;
+    use hylite_common::FaultVfs;
 
     fn chunk_all_types(rows: usize) -> Chunk {
         let ints: Vec<i64> = (0..rows as i64).map(|i| i / 7).collect();
@@ -1270,7 +1278,8 @@ mod tests {
             if i % 11 == 0 {
                 strs.push_null();
             } else {
-                strs.push_value(&Value::from(format!("cat_{}", i % 5))).unwrap();
+                strs.push_value(&Value::from(format!("cat_{}", i % 5)))
+                    .unwrap();
             }
         }
         Chunk::new(vec![
@@ -1284,12 +1293,7 @@ mod tests {
     fn store() -> (FaultVfs, Arc<SegmentStore>) {
         let vfs = FaultVfs::new();
         let pool = Arc::new(BufferPool::new(1 << 24, &MetricsRegistry::new()));
-        let store = SegmentStore::open(
-            Arc::new(vfs.clone()),
-            Path::new("data"),
-            pool,
-        )
-        .unwrap();
+        let store = SegmentStore::open(Arc::new(vfs.clone()), Path::new("data"), pool).unwrap();
         (vfs, store)
     }
 
@@ -1459,9 +1463,7 @@ mod tests {
         store.write_segment(id, &chunk).unwrap();
         let seg = store.open_segment(id).unwrap();
         // A range straddling a block boundary, one projected column.
-        let part = seg
-            .read_rows(BLOCK_ROWS - 50, 100, Some(&[0]))
-            .unwrap();
+        let part = seg.read_rows(BLOCK_ROWS - 50, 100, Some(&[0])).unwrap();
         assert_eq!(part.num_columns(), 1);
         assert_eq!(part.len(), 100);
         for i in 0..100 {

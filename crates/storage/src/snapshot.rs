@@ -69,9 +69,7 @@ impl SegmentHandle {
                         let mut out: Vec<Arc<ColumnVector>> = Vec::with_capacity(ids.len());
                         for &c in ids {
                             if c >= chunk.num_columns() {
-                                return Err(HyError::Storage(format!(
-                                    "segment has no column {c}"
-                                )));
+                                return Err(HyError::Storage(format!("segment has no column {c}")));
                             }
                             let col = &chunk.columns()[c];
                             out.push(if full {

@@ -117,7 +117,8 @@ impl Table {
             } else {
                 chunk.slice(offset, take)
             };
-            self.segments.push(SegmentHandle::Resident(Arc::new(segment)));
+            self.segments
+                .push(SegmentHandle::Resident(Arc::new(segment)));
             offset += take;
         }
         self.total_len += n;
@@ -457,7 +458,12 @@ mod tests {
         assert_eq!(t.delete_rows(&[1]).unwrap(), 0, "idempotent");
         assert_eq!(t.live_rows(), 2);
         let snap = t.snapshot();
-        let all: Vec<Row> = snap.live_chunks().unwrap().iter().flat_map(|c| c.rows()).collect();
+        let all: Vec<Row> = snap
+            .live_chunks()
+            .unwrap()
+            .iter()
+            .flat_map(|c| c.rows())
+            .collect();
         let ids: Vec<i64> = all.iter().map(|r| r.int(0).unwrap()).collect();
         assert_eq!(ids, vec![1, 3]);
     }

@@ -96,7 +96,13 @@ mod tests {
         tx.rollback();
         assert_eq!(t.read().live_rows(), 1);
         assert_eq!(
-            t.read().snapshot().to_chunk().unwrap().column(0).as_i64().unwrap(),
+            t.read()
+                .snapshot()
+                .to_chunk()
+                .unwrap()
+                .column(0)
+                .as_i64()
+                .unwrap(),
             &[1]
         );
     }

@@ -347,6 +347,13 @@ pub struct WalWriter {
     durable_len: u64,
     next_lsn: u64,
     poisoned: bool,
+    /// Set by [`Durability`] while the node is in read-only degraded
+    /// mode: `log_commit` rejects before touching the buffer, but only
+    /// *after* the caller's closure has entered — so the caller's
+    /// rollback arm runs and staged in-memory rows are discarded. A
+    /// rejection outside the closure would leak them into the next
+    /// commit's publish.
+    degraded: bool,
     metrics: Arc<MetricsRegistry>,
 }
 
@@ -412,6 +419,7 @@ impl WalWriter {
             durable_len,
             next_lsn: next_lsn.max(1),
             poisoned: false,
+            degraded: false,
             metrics,
         })
     }
@@ -487,10 +495,50 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Whether a failed rollback has poisoned the writer.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Retry the rollback that poisoned the writer: truncate the file to
+    /// the last durable frame boundary and reopen the append handle. Safe
+    /// because recovery never trusts bytes past a valid frame boundary —
+    /// this merely completes the cleanup the failure interrupted. The
+    /// group-commit buffer is kept: in Buffered mode it holds frames of
+    /// already-acknowledged commits, which the next flush retries. Called
+    /// by the disk-pressure probe once space frees up; a no-op when the
+    /// writer is healthy.
+    pub fn try_unpoison(&mut self) -> Result<()> {
+        if !self.poisoned {
+            return Ok(());
+        }
+        self.vfs.truncate(&self.path, self.durable_len)?;
+        self.file = self.vfs.open_append(&self.path)?;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Flip the degraded-mode write rejection (see the `degraded` field).
+    /// Owned by [`Durability`], which mirrors its node-level flag into the
+    /// writer under the commit lock.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
     /// Log one commit. In [`SyncMode::Commit`] the frame is durable when
     /// this returns `Ok`; in [`SyncMode::Buffered`] it is at least in the
     /// group-commit buffer. Returns the commit's LSN.
     pub fn log_commit(&mut self, ops: &[RedoOp]) -> Result<u64> {
+        if self.degraded {
+            // Reject up front, before the frame touches the buffer. The
+            // error is the same retryable DiskFull (5005) the original
+            // failure produced, so clients see one consistent code.
+            return Err(HyError::DiskFull(
+                "node is in read-only degraded mode (disk full); \
+                 writes resume automatically once space frees"
+                    .into(),
+            ));
+        }
         self.check_poisoned()?;
         let lsn = self.next_lsn;
         let frame = encode_commit_frame(lsn, ops);

@@ -37,7 +37,7 @@ fn corpus() -> Vec<Vec<u8>> {
     let runny: Vec<i64> = (0..1000)
         .map(|i| if i < 500 { 42 } else { 1 << 40 })
         .collect();
-    let chunks = vec![
+    let chunks = [
         Chunk::new(vec![
             ColumnVector::from_i64((0..100).map(|i| i * 1_000_003).collect()),
             ColumnVector::from_f64((0..100).map(|i| i as f64 * 0.5).collect()),
@@ -187,7 +187,11 @@ fn out_of_range_dictionary_index_is_rejected() {
     let mut bytes = encode_segment(7, &chunk).unwrap();
     let meta = validate_segment_bytes(&bytes).unwrap();
     let bm = &meta.blocks[0][0];
-    assert_eq!(bm.encoding, encoding::DICT_STR, "test premise: dict-encoded");
+    assert_eq!(
+        bm.encoding,
+        encoding::DICT_STR,
+        "test premise: dict-encoded"
+    );
     let (off, len) = (bm.offset as usize, bm.len as usize);
     // Packed indexes are the tail of the payload; blasting the last 8
     // pre-CRC bytes corrupts indexes without touching the dictionary.
@@ -247,7 +251,9 @@ fn wrong_magic_and_version_are_rejected() {
     let bytes = corpus().remove(0);
     let mut wrong_magic = bytes.clone();
     wrong_magic[0] ^= 0xFF;
-    let err = validate_segment_bytes(&wrong_magic).unwrap_err().to_string();
+    let err = validate_segment_bytes(&wrong_magic)
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("magic"), "{err}");
 
     let mut wrong_version = bytes;

@@ -71,8 +71,11 @@ fn expected_sum_after(point: &str) -> i64 {
         "wal.post_fsync" => 106,
         // Checkpoint-path crashes happen after the commit workload
         // completed; every acknowledged commit must survive, exactly once.
-        "checkpoint.segment_write" | "checkpoint.write" | "checkpoint.rename"
-        | "checkpoint.after_rename" | "wal.truncate" => 106,
+        "checkpoint.segment_write"
+        | "checkpoint.write"
+        | "checkpoint.rename"
+        | "checkpoint.after_rename"
+        | "wal.truncate" => 106,
         other => panic!("crash point {other} not in the matrix — extend expected_sum_after"),
     }
 }
@@ -654,4 +657,103 @@ fn failed_commit_rolls_back_only_its_own_session() {
     drop(db);
     let db = open(&fault);
     assert_eq!(sum(&db).unwrap(), 100);
+}
+
+// ---------------------------------------------------------------------
+// Disk pressure: ENOSPC degrades the node to read-only, and writes
+// resume — without a restart — once space frees.
+// ---------------------------------------------------------------------
+
+#[test]
+fn disk_full_degrades_to_read_only_and_probe_resumes_writes() {
+    use hylite_common::wire::ErrorCode;
+
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    fault.set_disk_full(true);
+
+    // The write fails with the typed, retryable DiskFull error (5005).
+    let err = db.execute("INSERT INTO t VALUES (100)").unwrap_err();
+    assert_eq!(ErrorCode::from_error(&err), ErrorCode::DiskFull, "{err}");
+    assert!(ErrorCode::DiskFull.is_retryable());
+    assert_eq!(ErrorCode::DiskFull.as_u16(), 5005);
+
+    // The node is degraded: reads keep serving, writes are rejected up
+    // front with the same code.
+    let d = db.durability().unwrap();
+    assert_eq!(d.node_state(), "degraded");
+    assert_eq!(sum(&db).unwrap(), 6, "reads unaffected");
+    let err = db.execute("INSERT INTO t VALUES (101)").unwrap_err();
+    assert_eq!(ErrorCode::from_error(&err), ErrorCode::DiskFull);
+
+    // While the disk is still full the probe refuses to resume.
+    assert!(!d.try_resume_writes().unwrap());
+
+    // Space frees: the probe re-enables writes in place.
+    fault.set_disk_full(false);
+    assert!(d.try_resume_writes().unwrap());
+    assert_eq!(d.node_state(), "ok");
+    db.execute("INSERT INTO t VALUES (7)").unwrap();
+    assert_eq!(sum(&db).unwrap(), 13);
+
+    // Everything acknowledged — before and after the episode — survives
+    // a restart; nothing from the rejected writes leaked in.
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(sum(&db).unwrap(), 13);
+}
+
+/// A crash between sealing segment files and publishing the manifest
+/// leaves orphaned `segments/seg_*` files no manifest references.
+/// Recovery's GC must delete them — and must not touch live data.
+#[test]
+fn orphan_segments_from_a_checkpoint_crash_are_garbage_collected() {
+    use hylite_storage::checkpoint::CP_SEG_WRITE;
+
+    let fault = FaultVfs::new();
+    let db = seed(&fault);
+    // A second table so the checkpoint seals more than one segment: the
+    // crash at the *second* seal leaves the first segment file durable
+    // but unreferenced (the manifest publish never ran).
+    db.execute("CREATE TABLE u (y BIGINT)").unwrap();
+    db.execute("INSERT INTO u VALUES (10)").unwrap();
+    fault.arm_crash(CrashSpec {
+        point: CP_SEG_WRITE.into(),
+        hit: 2,
+        keep: KeepUnsynced::All,
+    });
+    assert!(
+        db.checkpoint().is_err(),
+        "checkpoint crashes at second seal"
+    );
+    assert!(fault.crashed());
+    drop(db);
+
+    fault.reboot();
+    let segments_dir = data_dir().join("segments");
+    let before = fault.list_dir(&segments_dir).unwrap().len();
+    assert!(
+        before >= 1,
+        "the crash left at least one sealed file behind"
+    );
+    let db = open(&fault);
+    let report = db.recovery_report().unwrap();
+    assert!(
+        report.orphan_segments_removed >= 1,
+        "recovery deleted the unreferenced segment files: {report:?}"
+    );
+    // Data is exactly the acknowledged commits, from the WAL.
+    assert_eq!(sum(&db).unwrap(), 6);
+    assert_eq!(
+        db.execute("SELECT sum(y) FROM u")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        Value::Int(10)
+    );
+    // And the next checkpoint + restart still work on the cleaned store.
+    db.checkpoint().unwrap();
+    drop(db);
+    let db = open(&fault);
+    assert_eq!(sum(&db).unwrap(), 6);
 }

@@ -90,7 +90,10 @@ fn larger_than_pool_table_restarts_byte_identical() {
         .unwrap();
     assert_eq!(r.row_count(), 1);
     let disk_segments = r.value(0, 1).unwrap();
-    assert!(matches!(disk_segments, Value::Int(n) if n > 0), "{disk_segments:?}");
+    assert!(
+        matches!(disk_segments, Value::Int(n) if n > 0),
+        "{disk_segments:?}"
+    );
     let on_disk = r.value(0, 2).unwrap().as_int().unwrap();
     let logical = r.value(0, 3).unwrap().as_int().unwrap();
     assert!(on_disk > 0);
@@ -150,7 +153,10 @@ fn explain_analyze_counts_pruned_blocks() {
                 .and_then(|d| d.parse().ok())
         })
         .unwrap_or_else(|| panic!("no blocks_pruned note in: {text}"));
-    assert!(pruned >= 8, "expected most blocks pruned, got {pruned}: {text}");
+    assert!(
+        pruned >= 8,
+        "expected most blocks pruned, got {pruned}: {text}"
+    );
 
     // Pruning must not change answers: compare against an unprunable
     // predicate form of the same question.

@@ -79,6 +79,9 @@ fn system_view_schemas_are_stable_over_the_wire() {
                 "lag_bytes",
                 "bootstraps",
                 "staleness_seconds",
+                "node_state",
+                "reconnects",
+                "rebootstraps",
             ],
         ),
         (

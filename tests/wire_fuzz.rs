@@ -273,3 +273,62 @@ fn valid_corpus_roundtrips_unchanged() {
         assert_eq!(format!("{decoded:?}"), format!("{frame:?}"));
     }
 }
+
+#[test]
+fn admin_frames_reject_magic_corruption_before_any_state_change() {
+    // Promote (tag 17) and Repoint (tag 19) are the PR-8 admin verbs —
+    // the frames that flip a replica writable or redirect a fleet. Both
+    // carry the startup magic as a guard against misrouted frames; every
+    // corruption of that magic must come back as a typed protocol error
+    // from the *decoder*, so no connection or replica state machine ever
+    // sees the frame.
+    // Layout: [len u32][tag u8][magic u32]...
+    for frame in [
+        Frame::Promote,
+        Frame::Repoint {
+            primary_addr: "10.0.0.7:5433".into(),
+        },
+    ] {
+        let bytes = wire::encode_frame(&frame);
+        for magic_byte in 5..9 {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[magic_byte] ^= 1 << bit;
+                let mut cursor = &mutated[..];
+                let err = wire::read_frame(&mut cursor).unwrap_err();
+                assert_eq!(err.stage(), "protocol", "{err}");
+                assert!(err.to_string().contains("magic"), "{err}");
+            }
+        }
+    }
+
+    // PromoteOk (tag 18) has no magic — it is only ever parsed as the
+    // answer to a Promote the client itself sent. Its mutations must
+    // still decode or error cleanly; a truncated epoch must error.
+    let ok = wire::encode_frame(&Frame::PromoteOk {
+        epoch: 0xFEED_FACE,
+        lsn: 41,
+    });
+    for cut in 0..ok.len() {
+        must_not_panic(&ok[..cut]);
+    }
+
+    // Trailing garbage after a well-formed admin frame is a framing
+    // violation, not ignorable padding.
+    for frame in [
+        Frame::Promote,
+        Frame::PromoteOk { epoch: 1, lsn: 2 },
+        Frame::Repoint {
+            primary_addr: "p:1".into(),
+        },
+    ] {
+        let mut bytes = wire::encode_frame(&frame);
+        bytes.push(0x00);
+        let len = (bytes.len() - 4) as u32;
+        bytes[0..4].copy_from_slice(&len.to_le_bytes());
+        let mut cursor = &bytes[..];
+        let err = wire::read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.stage(), "protocol", "{err}");
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}
