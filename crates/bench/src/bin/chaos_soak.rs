@@ -48,6 +48,7 @@ fn main() {
                     .unwrap_or_else(|e| panic!("{flag}: {e}"))
             }
             "--no-failover" => config.failover_finale = false,
+            "--no-backup" => config.backup_round = false,
             "--smoke" => {
                 let seed = config.seed;
                 config = ChaosConfig {
@@ -56,15 +57,20 @@ fn main() {
                 };
             }
             other => panic!(
-                "unknown flag {other} (expected --seed, --rounds, --writes, --no-failover, --smoke)"
+                "unknown flag {other} (expected --seed, --rounds, --writes, --no-failover, \
+                 --no-backup, --smoke)"
             ),
         }
         i += 1;
     }
 
     println!(
-        "chaos-soak: seed {:#x}, {} rounds × {} writes, failover finale: {}",
-        config.seed, config.rounds, config.writes_per_round, config.failover_finale
+        "chaos-soak: seed {:#x}, {} rounds × {} writes, backup round: {}, failover finale: {}",
+        config.seed,
+        config.rounds,
+        config.writes_per_round,
+        config.backup_round,
+        config.failover_finale
     );
     match run_soak(&config) {
         Ok(report) => {

@@ -24,7 +24,7 @@
 //! cargo run --release -p hylite-bench --bin chaos-soak -- --seed 0x5EED50AC
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,7 +35,7 @@ use hylite_common::faultnet::{
 };
 use hylite_common::wire::ErrorCode;
 use hylite_common::{HyError, NetHandle, Result, Value};
-use hylite_core::{Database, DurabilityOptions, ReplRole};
+use hylite_core::{restore_backup, Database, DurabilityOptions, ReplRole};
 use hylite_server::{Replica, ReplicaConfig, ReplicaHandle, Server, ServerConfig, ServerHandle};
 
 /// One soak run's knobs.
@@ -50,6 +50,11 @@ pub struct ChaosConfig {
     /// End the soak by killing the primary and requiring the router to
     /// promote a replica without losing the session's writes.
     pub failover_finale: bool,
+    /// Take an online backup of the primary mid-soak (with a concurrent
+    /// writer racing the cut), keep writing, checkpoint away the live
+    /// WAL, then point-in-time restore from backup + archive and verify
+    /// the restored table exactly.
+    pub backup_round: bool,
 }
 
 impl Default for ChaosConfig {
@@ -59,6 +64,7 @@ impl Default for ChaosConfig {
             rounds: 6,
             writes_per_round: 8,
             failover_finale: true,
+            backup_round: true,
         }
     }
 }
@@ -127,6 +133,12 @@ fn open_node(fault: &FaultVfs, role: ReplRole) -> Result<Arc<Database>> {
         &data_dir(),
         DurabilityOptions {
             role,
+            // The primary archives its WAL so the backup round can
+            // point-in-time restore past the live WAL's truncation.
+            archive_dir: match role {
+                ReplRole::Primary => Some(PathBuf::from("archive")),
+                _ => None,
+            },
             ..DurabilityOptions::default()
         },
     )?))
@@ -440,8 +452,18 @@ pub fn run_soak(config: &ChaosConfig) -> Result<ChaosReport> {
         rounds.push(outcome);
     }
 
+    let mut next_round = config.rounds;
+    if config.backup_round {
+        let outcome = run_backup_restore_round(next_round, config, &mut fleet, &mut soak)?;
+        next_round += 1;
+        soak.check_session_read(&mut fleet)?;
+        soak.check_single_writable(&fleet)?;
+        soak.check_convergence(&fleet)?;
+        rounds.push(outcome);
+    }
+
     if config.failover_finale {
-        let outcome = run_failover_finale(config, &mut fleet, &mut soak)?;
+        let outcome = run_failover_finale(next_round, config, &mut fleet, &mut soak)?;
         rounds.push(outcome);
     }
 
@@ -561,6 +583,7 @@ fn run_round(
 /// replica and keep the session's writes readable, then hold the
 /// split-brain and convergence invariants on the surviving pair.
 fn run_failover_finale(
+    round: usize,
     config: &ChaosConfig,
     fleet: &mut Fleet,
     soak: &mut Soak,
@@ -608,11 +631,183 @@ fn run_failover_finale(
     soak.check_convergence(fleet)?;
 
     Ok(RoundOutcome {
-        round: config.rounds,
+        round,
         fault: "primary killed, router-driven promotion",
         acked: config.writes_per_round,
         rejected: 0,
     })
+}
+
+/// The backup round: an online full backup races a concurrent writer,
+/// the soak keeps writing past the cut, a checkpoint truncates (and
+/// archives) the live WAL, and a point-in-time restore from backup +
+/// archive must reproduce the pinned ledger exactly — under a fresh
+/// replication epoch, so the restored node can never rejoin the old
+/// fleet's timeline.
+fn run_backup_restore_round(
+    round: usize,
+    config: &ChaosConfig,
+    fleet: &mut Fleet,
+    soak: &mut Soak,
+) -> Result<RoundOutcome> {
+    let seed = soak.seed;
+    let durability = Arc::clone(
+        fleet
+            .primary_db
+            .durability()
+            .ok_or_else(|| violation(seed, "chaos primary is not durable"))?,
+    );
+    let vfs = Arc::new(fleet.primary_fault.clone()) as Arc<dyn Vfs>;
+
+    // Snapshot the ledger, then race a direct writer against the backup
+    // cut: the backup must capture the pre-cut rows plus a *prefix* of
+    // the writer's values — a consistent cut, never a hole.
+    let pre_count = soak.ledger_count();
+    let pre_sum = soak.ledger_sum();
+    let writer_values: Vec<i64> = (0..config.writes_per_round)
+        .map(|_| soak.fresh_value())
+        .collect();
+    let writer_db = Arc::clone(&fleet.primary_db);
+    let thread_values = writer_values.clone();
+    let writer = std::thread::spawn(move || -> Result<()> {
+        for v in thread_values {
+            writer_db.execute(&format!("INSERT INTO t VALUES ({v})"))?;
+        }
+        Ok(())
+    });
+    let full = durability
+        .backup(Path::new("backup_full"), None, true)
+        .map_err(|e| violation(seed, format!("online backup failed: {e}")))?;
+    writer
+        .join()
+        .map_err(|_| violation(seed, "concurrent writer panicked"))?
+        .map_err(|e| violation(seed, format!("concurrent write failed: {e}")))?;
+    soak.ledger.extend(&writer_values);
+    if !full.verified {
+        return Err(violation(seed, "backup VERIFY did not run"));
+    }
+
+    // Restore the cut into a fresh dir and check it is a prefix.
+    let cut = restore_backup(
+        &vfs,
+        Path::new("backup_full"),
+        None,
+        Path::new("restore_cut"),
+        None,
+    )
+    .map_err(|e| violation(seed, format!("restore of the backup cut failed: {e}")))?;
+    if cut.restored_lsn != full.backup_lsn {
+        return Err(violation(
+            seed,
+            format!(
+                "restore replayed to lsn {}, backup pinned lsn {}",
+                cut.restored_lsn, full.backup_lsn
+            ),
+        ));
+    }
+    {
+        let restored = Database::open_with(
+            Arc::clone(&vfs),
+            Path::new("restore_cut"),
+            DurabilityOptions::default(),
+        )
+        .map_err(|e| violation(seed, format!("restored cut did not open: {e}")))?;
+        let (count, sum) = count_and_sum(seed, &restored)?;
+        let prefix = count - pre_count;
+        let want_sum = pre_sum
+            + writer_values
+                .iter()
+                .take(prefix.max(0) as usize)
+                .sum::<i64>();
+        if prefix < 0 || prefix > writer_values.len() as i64 || sum != want_sum {
+            return Err(violation(
+                seed,
+                format!(
+                    "backup cut is not a consistent prefix: count={count} sum={sum}, \
+                     pre count={pre_count} sum={pre_sum}, {} writer values",
+                    writer_values.len()
+                ),
+            ));
+        }
+        if restored.durability().map(|d| d.epoch()) == Some(durability.epoch()) {
+            return Err(violation(
+                seed,
+                "restored node kept the old replication epoch (would rejoin the old fleet)",
+            ));
+        }
+    }
+
+    // Keep writing through the router, pin an exact point-in-time
+    // target, checkpoint so the live WAL is truncated into the archive,
+    // then write more: the target is now reachable only via the backup
+    // chain plus archived WAL.
+    let mut acked = 0;
+    while acked < config.writes_per_round {
+        soak.write_until_acked(fleet)?;
+        acked += 1;
+    }
+    soak.check_session_read(fleet)?;
+    let target_lsn = durability.next_lsn().saturating_sub(1);
+    let target_count = soak.ledger_count();
+    let target_sum = soak.ledger_sum();
+    fleet
+        .primary_db
+        .checkpoint()
+        .map_err(|e| violation(seed, format!("checkpoint after the pin failed: {e}")))?;
+    soak.write_until_acked(fleet)?;
+    acked += 1;
+
+    let pitr = restore_backup(
+        &vfs,
+        Path::new("backup_full"),
+        Some(Path::new("archive")),
+        Path::new("restore_pitr"),
+        Some(target_lsn),
+    )
+    .map_err(|e| violation(seed, format!("point-in-time restore failed: {e}")))?;
+    if pitr.restored_lsn != target_lsn {
+        return Err(violation(
+            seed,
+            format!(
+                "PITR stopped at lsn {}, target was {target_lsn}",
+                pitr.restored_lsn
+            ),
+        ));
+    }
+    {
+        let restored = Database::open_with(
+            Arc::clone(&vfs),
+            Path::new("restore_pitr"),
+            DurabilityOptions::default(),
+        )
+        .map_err(|e| violation(seed, format!("PITR restore did not open: {e}")))?;
+        let (count, sum) = count_and_sum(seed, &restored)?;
+        if count != target_count || sum != target_sum {
+            return Err(violation(
+                seed,
+                format!(
+                    "PITR table mismatch: count={count} sum={sum}, \
+                     pinned count={target_count} sum={target_sum}"
+                ),
+            ));
+        }
+    }
+
+    Ok(RoundOutcome {
+        round,
+        fault: "online backup + archived-WAL PITR, restore verified",
+        acked,
+        rejected: 0,
+    })
+}
+
+/// `count(*), sum(x)` of table `t` on a standalone restored node.
+fn count_and_sum(seed: u64, db: &Database) -> Result<(i64, i64)> {
+    let r = db.execute("SELECT count(*), sum(x) FROM t")?;
+    match (r.value(0, 0)?, r.value(0, 1)?) {
+        (Value::Int(count), Value::Int(sum)) => Ok((count, sum)),
+        other => Err(violation(seed, format!("count/sum returned {other:?}"))),
+    }
 }
 
 #[cfg(test)]

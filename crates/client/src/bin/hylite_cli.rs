@@ -4,6 +4,7 @@
 //! hylite-cli [--addr 127.0.0.1:5433]              # REPL
 //! hylite-cli --execute "SELECT 1 + 1"             # one statement, print, exit
 //! hylite-cli --shutdown                           # graceful server shutdown
+//! hylite-cli --backup DIR [--backup-base B] [--verify]  # online backup
 //! hylite-cli --addr P --replicas R1,R2            # routed: reads spread over replicas
 //! ```
 //!
@@ -26,7 +27,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hylite_client::{
-    request_shutdown, Consistency, HyliteClient, HyliteRouter, RemoteResult, RouterConfig,
+    request_backup, request_shutdown, Consistency, HyliteClient, HyliteRouter, RemoteResult,
+    RouterConfig,
 };
 
 struct Args {
@@ -36,6 +38,9 @@ struct Args {
     no_failover: bool,
     execute: Option<String>,
     shutdown: bool,
+    backup: Option<String>,
+    backup_base: Option<String>,
+    verify: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -46,6 +51,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         no_failover: false,
         execute: None,
         shutdown: false,
+        backup: None,
+        backup_base: None,
+        verify: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -89,11 +97,28 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 );
             }
             "--shutdown" => parsed.shutdown = true,
+            "--backup" => {
+                i += 1;
+                parsed.backup = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--backup requires a server-side directory".to_string())?,
+                );
+            }
+            "--backup-base" => {
+                i += 1;
+                parsed.backup_base =
+                    Some(args.get(i).cloned().ok_or_else(|| {
+                        "--backup-base requires a server-side directory".to_string()
+                    })?);
+            }
+            "--verify" => parsed.verify = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: hylite-cli [--addr HOST:PORT] [--replicas HOST:PORT,...] \
                      [--consistency session|any-replica] [--no-failover] \
-                     [--execute SQL] [--shutdown]"
+                     [--execute SQL] [--shutdown] \
+                     [--backup DIR [--backup-base DIR] [--verify]]"
                         .into(),
                 )
             }
@@ -258,12 +283,45 @@ fn repl(conn: &mut Conn) {
                     show_route(conn);
                     continue;
                 }
+                "\\backups" => {
+                    run_one(conn, "SELECT * FROM hylite.backups");
+                    continue;
+                }
                 "\\help" | "\\?" => {
                     println!(
                         "\\q quit  \\cancelinfo cancel credentials  \
                          \\metrics server metrics  \\lag replication status  \
-                         \\route router status"
+                         \\route router status  \\backup DIR [FROM BASE] [VERIFY] online backup  \
+                         \\backups last backup + archive state"
                     );
+                    continue;
+                }
+                cmd if cmd.starts_with("\\backup ") => {
+                    // `\backup DIR [FROM BASE] [VERIFY]` — sugar over the
+                    // BACKUP SQL statement, so it works routed or direct.
+                    let mut rest: Vec<&str> = cmd["\\backup ".len()..].split_whitespace().collect();
+                    let verify = rest
+                        .last()
+                        .is_some_and(|w| w.eq_ignore_ascii_case("verify"));
+                    if verify {
+                        rest.pop();
+                    }
+                    let sql = match rest.as_slice() {
+                        [dir] => Some(format!("BACKUP TO '{dir}'")),
+                        [dir, from, base] if from.eq_ignore_ascii_case("from") => {
+                            Some(format!("BACKUP TO '{dir}' FROM '{base}'"))
+                        }
+                        _ => None,
+                    };
+                    match sql {
+                        Some(mut sql) => {
+                            if verify {
+                                sql.push_str(" VERIFY");
+                            }
+                            run_one(conn, &sql);
+                        }
+                        None => eprintln!("usage: \\backup DIR [FROM BASE] [VERIFY]"),
+                    }
                     continue;
                 }
                 _ => {}
@@ -294,6 +352,21 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("shutdown failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(dir) = &args.backup {
+        return match request_backup(&args.addr, dir, args.backup_base.as_deref(), args.verify) {
+            Ok(report) => {
+                println!(
+                    "backup complete: lsn {}, {} segments copied, {} bytes",
+                    report.lsn, report.segments, report.bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("backup failed: {e}");
                 ExitCode::FAILURE
             }
         };

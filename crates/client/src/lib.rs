@@ -674,6 +674,63 @@ pub fn request_repoint_via(
     }
 }
 
+/// What a server-side backup reported back over the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct BackupReport {
+    /// Highest LSN the backup contains.
+    pub lsn: u64,
+    /// Segment files physically copied.
+    pub segments: u64,
+    /// Bytes copied.
+    pub bytes: u64,
+}
+
+/// Connect to `addr` and take an online backup into `dir` (a path on the
+/// *server's* filesystem). `base` makes it incremental against an earlier
+/// backup; `verify` re-reads every copied file before completion.
+pub fn request_backup(
+    addr: impl ToSocketAddrs,
+    dir: &str,
+    base: Option<&str>,
+    verify: bool,
+) -> Result<BackupReport> {
+    request_backup_via(&NetHandle::default(), addr, dir, base, verify)
+}
+
+/// [`request_backup`] through a caller-supplied [`NetHandle`].
+pub fn request_backup_via(
+    net: &NetHandle,
+    addr: impl ToSocketAddrs,
+    dir: &str,
+    base: Option<&str>,
+    verify: bool,
+) -> Result<BackupReport> {
+    let mut stream = connect_any(net, addr)?;
+    wire::write_frame(
+        &mut stream,
+        &Frame::Backup {
+            dir: dir.to_string(),
+            base: base.map(str::to_string),
+            verify,
+        },
+    )?;
+    match wire::read_frame(&mut stream)? {
+        Frame::BackupOk {
+            lsn,
+            segments,
+            bytes,
+        } => Ok(BackupReport {
+            lsn,
+            segments,
+            bytes,
+        }),
+        Frame::Error { code, message } => Err(ErrorCode::from_u16(code).to_error(message)),
+        other => Err(HyError::Protocol(format!(
+            "expected BackupOk, got {other:?}"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,10 +48,13 @@ pub enum SystemView {
     /// Per-table segment storage: on-disk bytes, compression ratio, and
     /// the shared buffer pool's hit rate.
     Storage,
+    /// Backup and WAL-archive state: the last completed backup plus the
+    /// archive watermark/lag on this node.
+    Backups,
 }
 
 /// All views, in catalog order.
-pub const ALL_SYSTEM_VIEWS: [SystemView; 7] = [
+pub const ALL_SYSTEM_VIEWS: [SystemView; 8] = [
     SystemView::Metrics,
     SystemView::Connections,
     SystemView::Replication,
@@ -59,6 +62,7 @@ pub const ALL_SYSTEM_VIEWS: [SystemView; 7] = [
     SystemView::Sessions,
     SystemView::SlowQueries,
     SystemView::Storage,
+    SystemView::Backups,
 ];
 
 impl SystemView {
@@ -72,6 +76,7 @@ impl SystemView {
             "hylite.sessions" => Some(SystemView::Sessions),
             "hylite.slow_queries" => Some(SystemView::SlowQueries),
             "hylite.storage" => Some(SystemView::Storage),
+            "hylite.backups" => Some(SystemView::Backups),
             _ => None,
         }
     }
@@ -86,6 +91,7 @@ impl SystemView {
             SystemView::Sessions => "hylite.sessions",
             SystemView::SlowQueries => "hylite.slow_queries",
             SystemView::Storage => "hylite.storage",
+            SystemView::Backups => "hylite.backups",
         }
     }
 
@@ -158,6 +164,17 @@ impl SystemView {
                 Field::new("logical_bytes", Int64),
                 Field::new("compression_ratio_pct", Int64),
                 Field::new("pool_hit_rate_pct", Int64),
+            ],
+            SystemView::Backups => vec![
+                Field::new("last_backup_unix_ms", Int64),
+                Field::new("dest", Varchar),
+                Field::new("backup_lsn", Int64),
+                Field::new("bytes", Int64),
+                Field::new("segments", Int64),
+                Field::new("verified", Bool),
+                Field::new("incremental", Bool),
+                Field::new("archive_watermark_lsn", Int64),
+                Field::new("archive_lag_frames", Int64),
             ],
         };
         Schema::new(fields)

@@ -367,6 +367,26 @@ pub enum Frame {
         /// `host:port` of the new primary to follow.
         primary_addr: String,
     },
+    /// Client → server, first frame of an *admin* connection: take an
+    /// online backup into a directory on the server's filesystem.
+    /// Answered with [`Frame::BackupOk`] or [`Frame::Error`].
+    Backup {
+        /// Destination directory (server-side path).
+        dir: String,
+        /// Optional incremental base backup directory (server-side path).
+        base: Option<String>,
+        /// Re-read every copied file before completion.
+        verify: bool,
+    },
+    /// Server → client: answer to [`Frame::Backup`].
+    BackupOk {
+        /// Highest LSN the backup contains.
+        lsn: u64,
+        /// Segment files physically copied.
+        segments: u64,
+        /// Bytes copied.
+        bytes: u64,
+    },
 }
 
 impl Frame {
@@ -409,6 +429,8 @@ impl Frame {
             Frame::Promote => 17,
             Frame::PromoteOk { .. } => 18,
             Frame::Repoint { .. } => 19,
+            Frame::Backup { .. } => 20,
+            Frame::BackupOk { .. } => 21,
         }
     }
 }
@@ -631,6 +653,27 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Repoint { primary_addr } => {
             put_u32(&mut buf, STARTUP_MAGIC);
             put_str(&mut buf, primary_addr);
+        }
+        Frame::Backup { dir, base, verify } => {
+            put_u32(&mut buf, STARTUP_MAGIC);
+            put_str(&mut buf, dir);
+            match base {
+                Some(b) => {
+                    buf.push(1);
+                    put_str(&mut buf, b);
+                }
+                None => buf.push(0),
+            }
+            buf.push(u8::from(*verify));
+        }
+        Frame::BackupOk {
+            lsn,
+            segments,
+            bytes,
+        } => {
+            put_u64(&mut buf, *lsn);
+            put_u64(&mut buf, *segments);
+            put_u64(&mut buf, *bytes);
         }
     }
     let len = (buf.len() - 4) as u32;
@@ -937,6 +980,35 @@ pub fn decode_frame(tag: u8, body: &[u8]) -> Result<Frame> {
                 primary_addr: r.str()?,
             }
         }
+        20 => {
+            let magic = r.u32()?;
+            if magic != STARTUP_MAGIC {
+                return Err(HyError::Protocol(format!(
+                    "bad backup magic {magic:#010x} (not a HyLite client?)"
+                )));
+            }
+            let dir = r.str()?;
+            let base = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                other => {
+                    return Err(HyError::Protocol(format!("bad backup base flag {other}")));
+                }
+            };
+            let verify = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(HyError::Protocol(format!("bad backup verify flag {other}")));
+                }
+            };
+            Frame::Backup { dir, base, verify }
+        }
+        21 => Frame::BackupOk {
+            lsn: r.u64()?,
+            segments: r.u64()?,
+            bytes: r.u64()?,
+        },
         other => return Err(HyError::Protocol(format!("unknown frame tag {other}"))),
     };
     if r.pos != body.len() {
@@ -1073,6 +1145,21 @@ mod tests {
         roundtrip(Frame::Repoint {
             primary_addr: "10.0.0.7:5433".into(),
         });
+        roundtrip(Frame::Backup {
+            dir: "/backups/nightly".into(),
+            base: None,
+            verify: false,
+        });
+        roundtrip(Frame::Backup {
+            dir: "/backups/inc-17".into(),
+            base: Some("/backups/nightly".into()),
+            verify: true,
+        });
+        roundtrip(Frame::BackupOk {
+            lsn: u64::MAX,
+            segments: 12,
+            bytes: 0xDEAD_BEEF,
+        });
     }
 
     #[test]
@@ -1086,6 +1173,38 @@ mod tests {
         put_str(&mut bytes, "x:1");
         assert!(matches!(
             decode_frame(19, &bytes),
+            Err(HyError::Protocol(_))
+        ));
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 0xBADC0DE);
+        put_str(&mut bytes, "/b");
+        bytes.push(0);
+        bytes.push(0);
+        assert!(matches!(
+            decode_frame(20, &bytes),
+            Err(HyError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn backup_frame_rejects_bad_flags() {
+        // base flag must be 0/1; verify flag must be 0/1.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, STARTUP_MAGIC);
+        put_str(&mut bytes, "/b");
+        bytes.push(7);
+        bytes.push(0);
+        assert!(matches!(
+            decode_frame(20, &bytes),
+            Err(HyError::Protocol(_))
+        ));
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, STARTUP_MAGIC);
+        put_str(&mut bytes, "/b");
+        bytes.push(0);
+        bytes.push(9);
+        assert!(matches!(
+            decode_frame(20, &bytes),
             Err(HyError::Protocol(_))
         ));
     }

@@ -148,6 +148,44 @@ impl CoreViews {
             .collect()
     }
 
+    fn backups_rows(&self) -> Vec<Vec<Value>> {
+        let Some(d) = &self.durability else {
+            return Vec::new();
+        };
+        let (watermark, lag) = match d.archive_watermark() {
+            Some(w) => (
+                Value::Int(w as i64),
+                Value::Int((d.next_lsn().saturating_sub(1).saturating_sub(w)) as i64),
+            ),
+            None => (Value::Null, Value::Null),
+        };
+        match d.last_backup() {
+            Some(b) => vec![vec![
+                Value::Int(b.at_unix_ms as i64),
+                Value::from(b.dest.as_str()),
+                Value::Int(b.lsn as i64),
+                Value::Int(b.bytes as i64),
+                Value::Int(b.segments as i64),
+                Value::Bool(b.verified),
+                Value::Bool(b.incremental),
+                watermark,
+                lag,
+            ]],
+            // No backup yet: still surface the archive state.
+            None => vec![vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                watermark,
+                lag,
+            ]],
+        }
+    }
+
     fn slow_rows(&self) -> Vec<Vec<Value>> {
         self.slow_log
             .entries()
@@ -175,6 +213,7 @@ impl SystemViewProvider for CoreViews {
             SystemView::Sessions => Some(self.session_rows()),
             SystemView::SlowQueries => Some(self.slow_rows()),
             SystemView::Storage => Some(self.storage_rows()),
+            SystemView::Backups => Some(self.backups_rows()),
             SystemView::Connections | SystemView::Replication => None,
         }
     }

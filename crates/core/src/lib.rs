@@ -17,8 +17,8 @@ pub use session::{Session, SessionSettings};
 // Durability surface, re-exported so embedders and the server do not need
 // a direct hylite-storage dependency to open a durable database.
 pub use hylite_storage::{
-    CheckpointStats, Durability, DurabilityOptions, RawFrame, RecoveryReport, ReplRole, ReplState,
-    ReplTail, SyncMode, CRASH_POINTS,
+    restore_backup, BackupSummary, CheckpointStats, Durability, DurabilityOptions, RawFrame,
+    RecoveryReport, ReplRole, ReplState, ReplTail, RestoreSummary, SyncMode, CRASH_POINTS,
 };
 
 // Compile-time thread-safety contract: a network server shares one

@@ -602,7 +602,42 @@ impl Session {
             },
             BoundStatement::Set { name, value } => self.apply_setting(&name, value),
             BoundStatement::Explain { statement, analyze } => self.run_explain(*statement, analyze),
+            BoundStatement::Backup { dir, base, verify } => {
+                self.run_backup(&dir, base.as_deref(), verify)
+            }
         }
+    }
+
+    /// `BACKUP TO 'dir' [FROM 'base'] [VERIFY]`: online backup through the
+    /// durability engine. Allowed on replicas (a backup is a read), but
+    /// meaningless without a data directory.
+    fn run_backup(&mut self, dir: &str, base: Option<&str>, verify: bool) -> Result<QueryResult> {
+        let Some(d) = &self.durability else {
+            return Err(HyError::Storage(
+                "BACKUP requires a durable database (start the server with --data-dir)".into(),
+            ));
+        };
+        let summary = d.backup(
+            std::path::Path::new(dir),
+            base.map(std::path::Path::new),
+            verify,
+        )?;
+        Ok(QueryResult::text(
+            "backup",
+            vec![format!(
+                "backed up to {} (lsn {}, {} segments copied, {} bytes{}{})",
+                summary.dest.display(),
+                summary.backup_lsn,
+                summary.segments_copied,
+                summary.bytes,
+                if summary.incremental {
+                    ", incremental"
+                } else {
+                    ""
+                },
+                if summary.verified { ", verified" } else { "" },
+            )],
+        ))
     }
 
     /// EXPLAIN / EXPLAIN ANALYZE. The plain form annotates each plan node

@@ -98,6 +98,16 @@ pub enum BoundStatement {
         /// Whether to execute it and report actual operator statistics.
         analyze: bool,
     },
+    /// `BACKUP TO 'dir' [FROM 'base'] [VERIFY]` — executed by the session
+    /// layer against the database's durability engine.
+    Backup {
+        /// Destination directory.
+        dir: String,
+        /// Optional incremental base backup directory.
+        base: Option<String>,
+        /// Whether to re-read every copied file before completion.
+        verify: bool,
+    },
 }
 
 /// Name-resolution and lowering context.
@@ -193,6 +203,18 @@ impl<'a> Binder<'a> {
                 statement: Box::new(self.bind_statement(statement)?),
                 analyze: *analyze,
             }),
+            Statement::Backup { dir, base, verify } => {
+                if dir.is_empty() {
+                    return Err(HyError::Bind(
+                        "BACKUP TO: destination directory must not be empty".into(),
+                    ));
+                }
+                Ok(BoundStatement::Backup {
+                    dir: dir.clone(),
+                    base: base.clone(),
+                    verify: *verify,
+                })
+            }
         }
     }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hylite-server [--addr 127.0.0.1:5433] [--data-dir PATH]
+//!               [--archive-dir PATH] [--restore-from PATH] [--to-lsn N]
 //!               [--sync-mode commit|buffered] [--buffer-pool-mb MB]
 //!               [--max-connections N]
 //!               [--max-active-statements N] [--queue-depth N]
@@ -20,6 +21,17 @@
 //! WAL replay) runs before the listener binds, every commit is logged to
 //! the WAL before acknowledgement, and graceful shutdown takes a final
 //! checkpoint. Without it the database is purely in-memory.
+//!
+//! `--archive-dir PATH` (requires `--data-dir`) turns on continuous WAL
+//! archiving: every checkpoint copies the WAL frames it is about to
+//! truncate into CRC-verified span files under PATH before the WAL is
+//! reset. Archiving failures are reported via metrics but never block
+//! commits. `--restore-from PATH` restores an online backup (see
+//! `BACKUP TO` and `hylite-cli --backup`) into `--data-dir` before
+//! opening it — optionally replaying archived WAL up to `--to-lsn N`
+//! for point-in-time recovery. The restored node starts under a fresh
+//! replication epoch, so stale replicas of the old timeline refuse to
+//! follow it. See `docs/BACKUP.md`.
 //!
 //! `--buffer-pool-mb MB` caps the block cache in front of checkpointed
 //! column segments (default 64). Cold data past the cap is re-read from
@@ -49,6 +61,9 @@ struct Cli {
     config: ServerConfig,
     demo: bool,
     data_dir: Option<String>,
+    archive_dir: Option<String>,
+    restore_from: Option<String>,
+    to_lsn: Option<u64>,
     sync_mode: SyncMode,
     buffer_pool_mb: usize,
     replica_of: Option<String>,
@@ -62,6 +77,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     };
     let mut demo = false;
     let mut data_dir = None;
+    let mut archive_dir = None;
+    let mut restore_from = None;
+    let mut to_lsn = None;
     let mut sync_mode = SyncMode::Commit;
     let mut buffer_pool_mb = 64usize;
     let mut replica_of = None;
@@ -123,6 +141,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 )
             }
             "--data-dir" => data_dir = Some(value(&mut i, arg)?),
+            "--archive-dir" => archive_dir = Some(value(&mut i, arg)?),
+            "--restore-from" => restore_from = Some(value(&mut i, arg)?),
+            "--to-lsn" => {
+                to_lsn = Some(
+                    value(&mut i, arg)?
+                        .parse::<u64>()
+                        .map_err(|e| format!("{arg}: {e}"))?,
+                )
+            }
             "--sync-mode" => {
                 sync_mode = match value(&mut i, arg)?.as_str() {
                     "commit" => SyncMode::Commit,
@@ -143,6 +170,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--demo" => demo = true,
             "--help" | "-h" => {
                 return Err("usage: hylite-server [--addr HOST:PORT] [--data-dir PATH] \
+                            [--archive-dir PATH] [--restore-from PATH] [--to-lsn N] \
                             [--sync-mode commit|buffered] [--buffer-pool-mb MB] \
                             [--max-connections N] \
                             [--max-active-statements N] [--queue-depth N] [--queue-wait-ms MS] \
@@ -159,6 +187,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if replica_of.is_some() && data_dir.is_none() {
         return Err("--replica-of requires --data-dir (the replica persists the stream)".into());
     }
+    if archive_dir.is_some() && data_dir.is_none() {
+        return Err("--archive-dir requires --data-dir (there is no WAL to archive)".into());
+    }
+    if restore_from.is_some() && data_dir.is_none() {
+        return Err("--restore-from requires --data-dir (the restore target)".into());
+    }
+    if to_lsn.is_some() && restore_from.is_none() {
+        return Err("--to-lsn requires --restore-from (it bounds the restore replay)".into());
+    }
+    if restore_from.is_some() && replica_of.is_some() {
+        return Err(
+            "--restore-from starts a fresh-epoch primary; a replica follows its own primary".into(),
+        );
+    }
     if replica_of.is_some() && promote {
         return Err(
             "--promote starts a *primary* from a replica data dir; drop --replica-of".into(),
@@ -171,6 +213,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         config,
         demo,
         data_dir,
+        archive_dir,
+        restore_from,
+        to_lsn,
         sync_mode,
         buffer_pool_mb,
         replica_of,
@@ -204,6 +249,22 @@ fn main() -> ExitCode {
     // can observe a partially recovered database.
     let db = match &cli.data_dir {
         Some(dir) => {
+            let vfs = Arc::new(hylite_common::StdVfs) as Arc<dyn hylite_common::Vfs>;
+            if let Some(backup) = &cli.restore_from {
+                match hylite_core::restore_backup(
+                    &vfs,
+                    std::path::Path::new(backup),
+                    cli.archive_dir.as_deref().map(std::path::Path::new),
+                    std::path::Path::new(dir),
+                    cli.to_lsn,
+                ) {
+                    Ok(summary) => println!("restored {dir} from {backup}: {}", summary.summary()),
+                    Err(e) => {
+                        eprintln!("failed to restore '{backup}' into '{dir}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             let options = DurabilityOptions {
                 sync_mode: cli.sync_mode,
                 buffer_pool_bytes: cli.buffer_pool_mb * 1024 * 1024,
@@ -213,9 +274,9 @@ fn main() -> ExitCode {
                     ReplRole::Primary
                 },
                 promote: cli.promote,
+                archive_dir: cli.archive_dir.as_ref().map(std::path::PathBuf::from),
                 ..DurabilityOptions::default()
             };
-            let vfs = Arc::new(hylite_common::StdVfs) as Arc<dyn hylite_common::Vfs>;
             match Database::open_with(vfs, std::path::Path::new(dir), options) {
                 Ok(db) => {
                     if let Some(report) = db.recovery_report() {

@@ -44,13 +44,14 @@ pub(crate) fn serve_connection(mut stream: NetStream, shared: Arc<Shared>) {
         }
         Frame::Promote => handle_promote(stream, &shared),
         Frame::Repoint { primary_addr } => handle_repoint(stream, &shared, &primary_addr),
+        Frame::Backup { dir, base, verify } => handle_backup(stream, &shared, &dir, base, verify),
         _ => {
             let _ = wire::write_frame(
                 &mut stream,
                 &Frame::error_with_code(
                     ErrorCode::Protocol,
-                    "expected Startup, Cancel, Replicate, Shutdown, Promote, or Repoint \
-                     as the first frame",
+                    "expected Startup, Cancel, Replicate, Shutdown, Promote, Repoint, or \
+                     Backup as the first frame",
                 ),
             );
         }
@@ -140,6 +141,51 @@ fn handle_repoint(mut stream: NetStream, shared: &Shared, primary_addr: &str) {
                     rows_affected: 0,
                     total_rows: 0,
                     lsn: durable_lsn(shared),
+                },
+            );
+        }
+        Err(e) => {
+            let _ = wire::write_frame(&mut stream, &Frame::error(&e));
+        }
+    }
+}
+
+/// Admin frame: take an online backup into a server-side directory.
+/// Works on primaries and replicas alike (a backup is a read); the copy
+/// runs outside the commit lock, so writes proceed while it streams.
+fn handle_backup(
+    mut stream: NetStream,
+    shared: &Shared,
+    dir: &str,
+    base: Option<String>,
+    verify: bool,
+) {
+    let Some(durability) = shared.db.durability() else {
+        let _ = wire::write_frame(
+            &mut stream,
+            &Frame::error_with_code(
+                ErrorCode::Protocol,
+                "backup requires a durable server (start it with --data-dir)",
+            ),
+        );
+        return;
+    };
+    // A backup copies every sealed segment; don't let the handshake
+    // timeout kill a long copy mid-stream.
+    let _ = stream.set_read_timeout(None);
+    match durability.backup(
+        std::path::Path::new(dir),
+        base.as_deref().map(std::path::Path::new),
+        verify,
+    ) {
+        Ok(summary) => {
+            shared.metrics.counter("server.backups").inc();
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::BackupOk {
+                    lsn: summary.backup_lsn,
+                    segments: summary.segments_copied,
+                    bytes: summary.bytes,
                 },
             );
         }

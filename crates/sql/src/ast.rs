@@ -77,6 +77,18 @@ pub enum Statement {
         /// Whether `ANALYZE` was given.
         analyze: bool,
     },
+    /// `BACKUP TO 'dir' [FROM 'base'] [VERIFY]` — online backup of the
+    /// database into a directory; `FROM` makes it incremental against an
+    /// earlier backup, `VERIFY` re-reads every copied file before the
+    /// backup is marked complete.
+    Backup {
+        /// Destination directory.
+        dir: String,
+        /// Optional incremental base backup directory.
+        base: Option<String>,
+        /// Whether `VERIFY` was given.
+        verify: bool,
+    },
 }
 
 /// A query: optional CTEs around a set expression, plus ordering/limits.

@@ -153,6 +153,7 @@ impl Parser {
                 Ok(Statement::Rollback)
             }
             Token::Keyword(Keyword::Set) => self.set_statement(),
+            Token::Keyword(Keyword::Backup) => self.backup(),
             Token::Keyword(Keyword::Explain) => {
                 self.bump();
                 let analyze = self.eat_keyword(Keyword::Analyze);
@@ -162,6 +163,41 @@ impl Parser {
                 })
             }
             other => Err(HyError::Parse(format!("unexpected token {other}"))),
+        }
+    }
+
+    /// `BACKUP TO 'dir' [FROM 'base'] [VERIFY]`. `TO` and `VERIFY` are
+    /// not reserved words — they arrive as identifiers.
+    fn backup(&mut self) -> Result<Statement> {
+        self.expect_keyword(Keyword::Backup)?;
+        match self.bump() {
+            Token::Ident(ref s) if s == "to" => {}
+            other => {
+                return Err(HyError::Parse(format!("expected TO, found {other}")));
+            }
+        }
+        let dir = self.expect_string("backup destination")?;
+        let base = if self.eat_keyword(Keyword::From) {
+            Some(self.expect_string("incremental base")?)
+        } else {
+            None
+        };
+        let verify = match self.peek() {
+            Token::Ident(s) if s == "verify" => {
+                self.bump();
+                true
+            }
+            _ => false,
+        };
+        Ok(Statement::Backup { dir, base, verify })
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Token::Str(s) => Ok(s),
+            other => Err(HyError::Parse(format!(
+                "expected a quoted {what}, found {other}"
+            ))),
         }
     }
 
@@ -1301,5 +1337,28 @@ mod tests {
             panic!()
         };
         assert!(matches!(&sel.from[0], TableRef::Subquery { alias: Some(a), .. } if a == "sub"));
+    }
+
+    #[test]
+    fn backup_statement_forms() {
+        assert_eq!(
+            parse_statement("BACKUP TO '/tmp/b0'").unwrap(),
+            Statement::Backup {
+                dir: "/tmp/b0".into(),
+                base: None,
+                verify: false,
+            }
+        );
+        assert_eq!(
+            parse_statement("backup to '/tmp/b1' from '/tmp/b0' verify").unwrap(),
+            Statement::Backup {
+                dir: "/tmp/b1".into(),
+                base: Some("/tmp/b0".into()),
+                verify: true,
+            }
+        );
+        assert!(parse_statement("BACKUP '/tmp/b0'").is_err());
+        assert!(parse_statement("BACKUP TO").is_err());
+        assert!(parse_statement("BACKUP TO '/x' FROM").is_err());
     }
 }

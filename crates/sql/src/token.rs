@@ -68,6 +68,7 @@ pub enum Keyword {
     If,
     Exists,
     Lambda,
+    Backup,
 }
 
 impl Keyword {
@@ -132,6 +133,7 @@ impl Keyword {
             "IF" => If,
             "EXISTS" => Exists,
             "LAMBDA" => Lambda,
+            "BACKUP" => Backup,
             _ => return None,
         })
     }

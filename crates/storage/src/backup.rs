@@ -1,0 +1,596 @@
+//! Online backups and point-in-time restore.
+//!
+//! A backup is a directory that pins one consistent moment of the
+//! database — `(manifest, base_lsn, backup_lsn, epoch)` — captured while
+//! holding the commit lock for only as long as it takes to read the
+//! manifest and the durable WAL prefix into memory. Segment files are
+//! copied *outside* any lock: they are immutable once sealed, and if a
+//! concurrent checkpoint GCs one mid-copy the caller simply re-pins and
+//! retries.
+//!
+//! ## Backup directory layout
+//!
+//! ```text
+//! <backup-dir>/
+//!     segments/seg_*.hyseg   -- CRC-validated copies of sealed segments
+//!     checkpoint.hylite      -- manifest copy (absent pre-first-checkpoint)
+//!     wal.hylite             -- durable WAL prefix at pin time
+//!     backup.hylite          -- metadata ("HYBK"), written LAST
+//! ```
+//!
+//! The metadata file is the commit record: it is published tmp → fsync →
+//! rename only after every other file is durable, so a directory without
+//! a valid `backup.hylite` is an interrupted backup and restore refuses
+//! it. The [`CP_BACKUP_SEG_COPY`] crash point fires before each segment
+//! copy to prove exactly that in the crash matrix.
+//!
+//! ## Incremental chains
+//!
+//! `BACKUP TO 'dir' FROM 'base'` copies only segment ids absent from the
+//! base backup's chain and records the base path in its metadata.
+//! Restore resolves the chain child → parent, reading each segment from
+//! the nearest backup that holds it, so chains must stay at their
+//! recorded paths. Chains only make sense against backups of the *same*
+//! data directory (segment ids are per-directory).
+//!
+//! ## Restore
+//!
+//! [`restore_backup`] materialises a fresh data directory: validated
+//! segment copies + the manifest + a rebuilt WAL holding the contiguous
+//! frames from `base_lsn` up to the target LSN, merged from the backup's
+//! WAL copy and any archive spans (see [`crate::archive`]). Replication
+//! state is deliberately *not* restored — the first primary open of the
+//! restored directory mints a fresh epoch, so a restored node can never
+//! splice into its old fleet.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hylite_common::faultfs::Vfs;
+use hylite_common::wire::{self, ByteReader};
+use hylite_common::{crc32, HyError, Result};
+
+use crate::archive::read_archived_frames;
+use crate::checkpoint::{decode_manifest, CHECKPOINT_FILE};
+use crate::segment::{segment_file_name, validate_segment_bytes, SegmentStore, SEGMENT_DIR};
+use crate::wal::{scan_wal_raw, RawFrame, WAL_FILE, WAL_MAGIC, WAL_VERSION};
+
+/// Magic number opening a backup metadata file (`"HYBK"`).
+pub const BACKUP_MAGIC: u32 = 0x4859_424B;
+/// Backup metadata format version.
+pub const BACKUP_VERSION: u32 = 1;
+/// Metadata file name — its presence marks a *completed* backup.
+pub const BACKUP_META_FILE: &str = "backup.hylite";
+/// Crash point: before each segment file is copied into the backup.
+pub const CP_BACKUP_SEG_COPY: &str = "backup.segment_copy";
+/// Error-message marker for a segment GC'd mid-copy; the caller re-pins
+/// and retries on it.
+pub const SEGMENT_VANISHED: &str = "vanished during backup";
+/// Longest incremental chain restore will follow (cycle guard).
+const MAX_CHAIN_DEPTH: usize = 64;
+
+/// Metadata sealing a completed backup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackupMeta {
+    /// The pinned manifest's base LSN (0 when no checkpoint existed).
+    pub base_lsn: u64,
+    /// Highest LSN whose effects the backup contains (manifest + WAL copy).
+    pub backup_lsn: u64,
+    /// The source node's epoch at pin time (informational: restore mints
+    /// a fresh one).
+    pub epoch: u64,
+    /// Whether the `--verify` full rescan ran before this was written.
+    pub verified: bool,
+    /// Path of the incremental base backup, if any.
+    pub base: Option<String>,
+    /// Segment ids physically copied into this backup.
+    pub copied_segments: Vec<u64>,
+    /// Referenced segment ids held by the base chain instead.
+    pub base_segments: Vec<u64>,
+    /// Bytes copied into this backup (segments + WAL + manifest).
+    pub bytes: u64,
+}
+
+/// Serialize backup metadata (CRC-framed like every HyLite file).
+pub fn encode_backup_meta(meta: &BackupMeta) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    wire::put_u32(&mut buf, BACKUP_MAGIC);
+    wire::put_u32(&mut buf, BACKUP_VERSION);
+    wire::put_u64(&mut buf, meta.base_lsn);
+    wire::put_u64(&mut buf, meta.backup_lsn);
+    wire::put_u64(&mut buf, meta.epoch);
+    buf.push(u8::from(meta.verified));
+    match &meta.base {
+        Some(base) => {
+            buf.push(1);
+            wire::put_str(&mut buf, base);
+        }
+        None => buf.push(0),
+    }
+    wire::put_u32(&mut buf, meta.copied_segments.len() as u32);
+    for &id in &meta.copied_segments {
+        wire::put_u64(&mut buf, id);
+    }
+    wire::put_u32(&mut buf, meta.base_segments.len() as u32);
+    for &id in &meta.base_segments {
+        wire::put_u64(&mut buf, id);
+    }
+    wire::put_u64(&mut buf, meta.bytes);
+    let crc = crc32(&buf);
+    wire::put_u32(&mut buf, crc);
+    buf
+}
+
+/// Parse and verify backup metadata. Any damage is a hard error: a
+/// backup that cannot prove what it contains must not be restored.
+pub fn decode_backup_meta(bytes: &[u8]) -> Result<BackupMeta> {
+    if bytes.len() < 16 {
+        return Err(HyError::Storage(format!(
+            "backup metadata is {} bytes — too short to be valid",
+            bytes.len()
+        )));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(HyError::Storage(
+            "backup metadata failed its CRC check (corrupted)".into(),
+        ));
+    }
+    let mut r = ByteReader::new(body);
+    let magic = r.u32()?;
+    if magic != BACKUP_MAGIC {
+        return Err(HyError::Storage(format!(
+            "not a HyLite backup (magic {magic:#010x})"
+        )));
+    }
+    let version = r.u32()?;
+    if version != BACKUP_VERSION {
+        return Err(HyError::Storage(format!(
+            "backup version {version} not supported (this build reads {BACKUP_VERSION})"
+        )));
+    }
+    let base_lsn = r.u64()?;
+    let backup_lsn = r.u64()?;
+    let epoch = r.u64()?;
+    let verified = r.u8()? != 0;
+    let base = if r.u8()? != 0 { Some(r.str()?) } else { None };
+    let ncopied = r.u32()? as usize;
+    let mut copied_segments = Vec::with_capacity(ncopied.min(r.remaining() / 8));
+    for _ in 0..ncopied {
+        copied_segments.push(r.u64()?);
+    }
+    let nbase = r.u32()? as usize;
+    let mut base_segments = Vec::with_capacity(nbase.min(r.remaining() / 8));
+    for _ in 0..nbase {
+        base_segments.push(r.u64()?);
+    }
+    let bytes_copied = r.u64()?;
+    if !r.is_empty() {
+        return Err(HyError::Storage(
+            "backup metadata has trailing bytes".into(),
+        ));
+    }
+    Ok(BackupMeta {
+        base_lsn,
+        backup_lsn,
+        epoch,
+        verified,
+        base,
+        copied_segments,
+        base_segments,
+        bytes: bytes_copied,
+    })
+}
+
+/// Read and decode a backup directory's metadata. A directory without
+/// one is an interrupted (or foreign) backup and is refused.
+pub fn read_backup_meta(vfs: &dyn Vfs, dir: &Path) -> Result<BackupMeta> {
+    let path = dir.join(BACKUP_META_FILE);
+    if !vfs.exists(&path) {
+        return Err(HyError::Storage(format!(
+            "{} is not a completed backup: {BACKUP_META_FILE} is missing \
+             (the backup was interrupted or never finished)",
+            dir.display()
+        )));
+    }
+    decode_backup_meta(&vfs.read(&path)?)
+}
+
+/// The consistent moment a backup captures, read under the commit lock.
+#[derive(Debug)]
+pub struct BackupPin {
+    /// `checkpoint.hylite` bytes at pin time (`None` pre-first-checkpoint).
+    pub manifest: Option<Vec<u8>>,
+    /// The durable WAL prefix at pin time (header included).
+    pub wal: Vec<u8>,
+    /// Highest LSN the pin covers (`next_lsn - 1`).
+    pub backup_lsn: u64,
+    /// Source node epoch at pin time.
+    pub epoch: u64,
+}
+
+/// What a completed backup did; surfaced through SQL, the wire frame,
+/// and the `hylite.backups` system view.
+#[derive(Debug, Clone)]
+pub struct BackupSummary {
+    /// Where the backup was written.
+    pub dest: PathBuf,
+    /// The pinned manifest's base LSN.
+    pub base_lsn: u64,
+    /// Highest LSN the backup contains.
+    pub backup_lsn: u64,
+    /// Segment files physically copied (incremental backups copy fewer).
+    pub segments_copied: u64,
+    /// Bytes copied (segments + WAL + manifest).
+    pub bytes: u64,
+    /// Whether the full verify rescan ran.
+    pub verified: bool,
+    /// Whether this backup rides on an incremental base.
+    pub incremental: bool,
+}
+
+/// Resolve an incremental chain child → parent, starting at (and
+/// including) `dir`. Metadata of every link is validated on the way.
+pub fn resolve_chain(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(PathBuf, BackupMeta)>> {
+    let mut chain = Vec::new();
+    let mut cur = dir.to_path_buf();
+    loop {
+        if chain.len() >= MAX_CHAIN_DEPTH {
+            return Err(HyError::Storage(format!(
+                "backup chain from {} exceeds {MAX_CHAIN_DEPTH} links (cycle?)",
+                dir.display()
+            )));
+        }
+        let meta = read_backup_meta(vfs, &cur)?;
+        let base = meta.base.clone();
+        chain.push((cur, meta));
+        match base {
+            Some(b) => cur = PathBuf::from(b),
+            None => return Ok(chain),
+        }
+    }
+}
+
+/// Write a pinned backup to `dest`. Segment copies are CRC-validated on
+/// read; `verify` re-scans every file from `dest` before the metadata is
+/// published. A segment GC'd between pin and copy fails with a
+/// [`SEGMENT_VANISHED`] error the caller retries with a fresh pin.
+pub fn write_backup(
+    vfs: &Arc<dyn Vfs>,
+    store: &Arc<SegmentStore>,
+    dest: &Path,
+    base: Option<&Path>,
+    verify: bool,
+    pin: BackupPin,
+) -> Result<BackupSummary> {
+    if vfs.exists(&dest.join(BACKUP_META_FILE)) {
+        return Err(HyError::Storage(format!(
+            "{} is already a completed backup; refusing to overwrite",
+            dest.display()
+        )));
+    }
+    let (base_lsn, referenced) = match &pin.manifest {
+        Some(bytes) => {
+            let image = decode_manifest(bytes)?;
+            let mut ids: Vec<u64> = image.referenced_segments().into_iter().collect();
+            ids.sort_unstable();
+            (image.base_lsn, ids)
+        }
+        None => (0, Vec::new()),
+    };
+    // Incremental: segment ids the base chain already holds need no copy.
+    let held: std::collections::HashSet<u64> = match base {
+        Some(b) => resolve_chain(vfs.as_ref(), b)?
+            .iter()
+            .flat_map(|(_, m)| m.copied_segments.iter().copied())
+            .collect(),
+        None => Default::default(),
+    };
+    let seg_dir = dest.join(SEGMENT_DIR);
+    vfs.create_dir_all(&seg_dir)?;
+    let mut copied_segments = Vec::new();
+    let mut base_segments = Vec::new();
+    let mut bytes_copied = 0u64;
+    for &id in &referenced {
+        if held.contains(&id) {
+            base_segments.push(id);
+            continue;
+        }
+        vfs.crash_point(CP_BACKUP_SEG_COPY)?;
+        let bytes = store.read_file(id).map_err(|e| {
+            HyError::Storage(format!(
+                "segment {id} {SEGMENT_VANISHED} (checkpoint GC raced the copy): {e}"
+            ))
+        })?;
+        let meta = validate_segment_bytes(&bytes)?;
+        if meta.id != id {
+            return Err(HyError::Storage(format!(
+                "segment file for id {id} declares id {} — store corrupted",
+                meta.id
+            )));
+        }
+        let mut f = vfs.create(&seg_dir.join(segment_file_name(id)))?;
+        f.write_all(&bytes)?;
+        f.sync()?;
+        bytes_copied += bytes.len() as u64;
+        copied_segments.push(id);
+    }
+    vfs.sync_dir(&seg_dir)?;
+    if let Some(manifest) = &pin.manifest {
+        let mut f = vfs.create(&dest.join(CHECKPOINT_FILE))?;
+        f.write_all(manifest)?;
+        f.sync()?;
+        bytes_copied += manifest.len() as u64;
+    }
+    let mut f = vfs.create(&dest.join(WAL_FILE))?;
+    f.write_all(&pin.wal)?;
+    f.sync()?;
+    bytes_copied += pin.wal.len() as u64;
+    vfs.sync_dir(dest)?;
+
+    if verify {
+        verify_backup_files(vfs.as_ref(), dest, &copied_segments)?;
+    }
+
+    let meta = BackupMeta {
+        base_lsn,
+        backup_lsn: pin.backup_lsn,
+        epoch: pin.epoch,
+        verified: verify,
+        base: base.map(|b| b.display().to_string()),
+        copied_segments,
+        base_segments,
+        bytes: bytes_copied,
+    };
+    let encoded = encode_backup_meta(&meta);
+    let tmp = dest.join(format!("{BACKUP_META_FILE}.tmp"));
+    let mut f = vfs.create(&tmp)?;
+    f.write_all(&encoded)?;
+    f.sync()?;
+    drop(f);
+    vfs.sync_dir(dest)?;
+    vfs.rename(&tmp, &dest.join(BACKUP_META_FILE))?;
+    vfs.sync_dir(dest)?;
+    Ok(BackupSummary {
+        dest: dest.to_path_buf(),
+        base_lsn,
+        backup_lsn: meta.backup_lsn,
+        segments_copied: meta.copied_segments.len() as u64,
+        bytes: meta.bytes,
+        verified: verify,
+        incremental: meta.base.is_some(),
+    })
+}
+
+/// Full verify rescan: every copied segment re-read from the backup and
+/// CRC-validated, the manifest re-decoded, the WAL copy re-scanned.
+fn verify_backup_files(vfs: &dyn Vfs, dest: &Path, copied: &[u64]) -> Result<()> {
+    for &id in copied {
+        let bytes = vfs.read(&dest.join(SEGMENT_DIR).join(segment_file_name(id)))?;
+        let meta = validate_segment_bytes(&bytes)?;
+        if meta.id != id {
+            return Err(HyError::Storage(format!(
+                "backup verify: segment copy {id} declares id {}",
+                meta.id
+            )));
+        }
+    }
+    let ckpt = dest.join(CHECKPOINT_FILE);
+    if vfs.exists(&ckpt) {
+        decode_manifest(&vfs.read(&ckpt)?)?;
+    }
+    scan_wal_raw(vfs, &dest.join(WAL_FILE))?;
+    Ok(())
+}
+
+/// What a restore materialised.
+#[derive(Debug, Clone)]
+pub struct RestoreSummary {
+    /// The restored manifest's base LSN.
+    pub base_lsn: u64,
+    /// Highest LSN the restored WAL replays to (the PITR target).
+    pub restored_lsn: u64,
+    /// Segment files materialised into the new data directory.
+    pub segments: u64,
+    /// WAL frames written into the new data directory.
+    pub wal_frames: u64,
+    /// Bytes written in total.
+    pub bytes: u64,
+}
+
+impl RestoreSummary {
+    /// One-line human-readable summary (the server logs this).
+    pub fn summary(&self) -> String {
+        format!(
+            "restored to lsn {} ({} segments, {} wal frames, {} bytes; manifest base lsn {})",
+            self.restored_lsn, self.segments, self.wal_frames, self.bytes, self.base_lsn
+        )
+    }
+}
+
+/// Materialise `backup_dir` (plus `archive_dir` spans, if given) into a
+/// fresh `dest_dir`, cut strictly at `to_lsn` (or the highest contiguous
+/// LSN available). The result is a normal data directory the existing
+/// recovery path opens; replication state is not carried over, so the
+/// first primary open mints a fresh epoch.
+pub fn restore_backup(
+    vfs: &Arc<dyn Vfs>,
+    backup_dir: &Path,
+    archive_dir: Option<&Path>,
+    dest_dir: &Path,
+    to_lsn: Option<u64>,
+) -> Result<RestoreSummary> {
+    let chain = resolve_chain(vfs.as_ref(), backup_dir)?;
+    // `list_dir` is empty for a missing directory (and FaultVfs tracks
+    // only files, so exists() on the dir itself would always miss).
+    if !vfs.list_dir(dest_dir)?.is_empty() {
+        return Err(HyError::Storage(format!(
+            "restore target {} is not empty; refusing to overwrite",
+            dest_dir.display()
+        )));
+    }
+    let dest_segs = dest_dir.join(SEGMENT_DIR);
+    vfs.create_dir_all(&dest_segs)?;
+
+    let mut bytes_written = 0u64;
+    let ckpt_src = backup_dir.join(CHECKPOINT_FILE);
+    let (base_lsn, referenced) = if vfs.exists(&ckpt_src) {
+        let bytes = vfs.read(&ckpt_src)?;
+        let image = decode_manifest(&bytes)?;
+        let mut ids: Vec<u64> = image.referenced_segments().into_iter().collect();
+        ids.sort_unstable();
+        let mut f = vfs.create(&dest_dir.join(CHECKPOINT_FILE))?;
+        f.write_all(&bytes)?;
+        f.sync()?;
+        bytes_written += bytes.len() as u64;
+        (image.base_lsn, ids)
+    } else {
+        (0, Vec::new())
+    };
+
+    // Copy every referenced segment from the nearest chain link holding it.
+    for &id in &referenced {
+        let name = segment_file_name(id);
+        let src = chain
+            .iter()
+            .find(|(_, m)| m.copied_segments.contains(&id))
+            .map(|(dir, _)| dir.join(SEGMENT_DIR).join(&name))
+            .ok_or_else(|| {
+                HyError::Storage(format!(
+                    "backup chain from {} holds no copy of segment {id}",
+                    backup_dir.display()
+                ))
+            })?;
+        let bytes = vfs.read(&src)?;
+        let seg_meta = validate_segment_bytes(&bytes)?;
+        if seg_meta.id != id {
+            return Err(HyError::Storage(format!(
+                "backup segment copy {id} declares id {} — backup corrupted",
+                seg_meta.id
+            )));
+        }
+        let mut f = vfs.create(&dest_segs.join(&name))?;
+        f.write_all(&bytes)?;
+        f.sync()?;
+        bytes_written += bytes.len() as u64;
+    }
+    vfs.sync_dir(&dest_segs)?;
+
+    // Merge the commit history: the backup's WAL copy plus every archive
+    // span. Same-LSN frames are identical by construction (both are
+    // CRC-verified copies of the primary's log).
+    let mut frames: BTreeMap<u64, RawFrame> = BTreeMap::new();
+    for f in scan_wal_raw(vfs.as_ref(), &backup_dir.join(WAL_FILE))? {
+        frames.insert(f.lsn, f);
+    }
+    if let Some(adir) = archive_dir {
+        for (lsn, f) in read_archived_frames(vfs.as_ref(), adir)? {
+            frames.insert(lsn, f);
+        }
+    }
+
+    // The manifest already contains every commit below base_lsn; replay
+    // starts there. Walk the contiguous run to find what is reachable.
+    let start = base_lsn.max(1);
+    let mut highest = start - 1;
+    while frames.contains_key(&(highest + 1)) {
+        highest += 1;
+    }
+    let target = match to_lsn {
+        Some(t) => {
+            if t + 1 < start {
+                return Err(HyError::Storage(format!(
+                    "cannot restore to lsn {t}: the backup's checkpoint already \
+                     contains every commit below lsn {base_lsn}; use an older base backup"
+                )));
+            }
+            if t > highest {
+                return Err(HyError::Storage(format!(
+                    "cannot restore to lsn {t}: backup + archive only reach lsn {highest} \
+                     contiguously"
+                )));
+            }
+            t
+        }
+        None => highest,
+    };
+
+    let mut wal_bytes = Vec::new();
+    wire::put_u32(&mut wal_bytes, WAL_MAGIC);
+    wire::put_u32(&mut wal_bytes, WAL_VERSION);
+    let mut wal_frames = 0u64;
+    // `start..=target` is empty when target == start - 1 (pure-checkpoint
+    // restore): the WAL is just its header.
+    for lsn in start..=target {
+        let f = &frames[&lsn];
+        wire::put_u32(&mut wal_bytes, f.payload.len() as u32);
+        wire::put_u32(&mut wal_bytes, f.crc);
+        wal_bytes.extend_from_slice(&f.payload);
+        wal_frames += 1;
+    }
+    let mut f = vfs.create(&dest_dir.join(WAL_FILE))?;
+    f.write_all(&wal_bytes)?;
+    f.sync()?;
+    bytes_written += wal_bytes.len() as u64;
+    vfs.sync_dir(dest_dir)?;
+
+    Ok(RestoreSummary {
+        base_lsn,
+        restored_lsn: target,
+        segments: referenced.len() as u64,
+        wal_frames,
+        bytes: bytes_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> BackupMeta {
+        BackupMeta {
+            base_lsn: 7,
+            backup_lsn: 12,
+            epoch: 3,
+            verified: true,
+            base: Some("backups/full".into()),
+            copied_segments: vec![4, 9],
+            base_segments: vec![1, 2],
+            bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn meta_roundtrips() {
+        let m = meta();
+        assert_eq!(decode_backup_meta(&encode_backup_meta(&m)).unwrap(), m);
+        let mut no_base = m;
+        no_base.base = None;
+        assert_eq!(
+            decode_backup_meta(&encode_backup_meta(&no_base)).unwrap(),
+            no_base
+        );
+    }
+
+    #[test]
+    fn meta_corruption_is_a_hard_error() {
+        let bytes = encode_backup_meta(&meta());
+        let mut bad = bytes.clone();
+        bad[10] ^= 0x04;
+        assert!(decode_backup_meta(&bad).is_err());
+        assert!(decode_backup_meta(&bytes[..bytes.len() - 2]).is_err());
+        assert!(decode_backup_meta(&[]).is_err());
+        let mut trailing = bytes;
+        trailing.insert(trailing.len() - 4, 0);
+        assert!(decode_backup_meta(&trailing).is_err());
+    }
+
+    #[test]
+    fn missing_meta_marks_an_incomplete_backup() {
+        let fault = hylite_common::FaultVfs::new();
+        let err = read_backup_meta(&fault, Path::new("backups/half")).unwrap_err();
+        assert!(err.message().contains("not a completed backup"), "{err}");
+    }
+}

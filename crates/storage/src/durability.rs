@@ -24,7 +24,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
@@ -32,11 +32,13 @@ use hylite_common::faultfs::Vfs;
 use hylite_common::{HyError, MetricsRegistry, Result};
 use parking_lot::Mutex;
 
+use crate::archive::{WalArchive, CP_ARCHIVE_ROTATE};
+use crate::backup::{write_backup, BackupPin, BackupSummary, CP_BACKUP_SEG_COPY, SEGMENT_VANISHED};
 use crate::catalog::Catalog;
 use crate::checkpoint::{
     decode_bootstrap_bundle, decode_manifest, encode_bootstrap_bundle, encode_manifest,
-    install_manifest, publish_checkpoint, TableManifest, CP_CKPT_AFTER_RENAME, CP_CKPT_RENAME,
-    CP_CKPT_WRITE, CP_SEG_WRITE,
+    install_manifest, publish_checkpoint, TableManifest, CHECKPOINT_FILE, CP_CKPT_AFTER_RENAME,
+    CP_CKPT_RENAME, CP_CKPT_WRITE, CP_SEG_WRITE,
 };
 use crate::pool::BufferPool;
 use crate::recovery::{apply_op, recover, RecoveryReport};
@@ -49,9 +51,10 @@ use crate::wal::{
 };
 
 /// Every named crash point the durability code passes through, in rough
-/// chronological order of a commit followed by a checkpoint. The
-/// crash-point matrix test iterates this list; adding a crash point
-/// without registering it here means it never gets tested.
+/// chronological order of a commit followed by a checkpoint (then the
+/// backup/archive paths). The crash-point matrix test iterates this
+/// list; adding a crash point without registering it here means it never
+/// gets tested.
 pub const CRASH_POINTS: &[&str] = &[
     CP_WAL_APPEND,
     CP_WAL_AFTER_WRITE,
@@ -62,6 +65,8 @@ pub const CRASH_POINTS: &[&str] = &[
     CP_CKPT_RENAME,
     CP_CKPT_AFTER_RENAME,
     CP_WAL_TRUNCATE,
+    CP_BACKUP_SEG_COPY,
+    CP_ARCHIVE_ROTATE,
 ];
 
 /// Tunables for the durability subsystem.
@@ -86,6 +91,16 @@ pub struct DurabilityOptions {
     /// beyond this stays on disk and is read block-by-block on demand —
     /// the larger-than-RAM knob (`--buffer-pool-mb` on the server).
     pub buffer_pool_bytes: usize,
+    /// Continuous WAL archiving: when set, every checkpoint first copies
+    /// the WAL frames it is about to truncate into this directory (see
+    /// [`crate::archive`]). An archive failure warns (`archive.failures`)
+    /// and defers the truncation — it never blocks commits.
+    pub archive_dir: Option<PathBuf>,
+    /// Checkpoint-time compaction threshold: a quiescent table whose
+    /// committed rows are dead beyond this fraction gets rewritten
+    /// without its dead rows (old segment files GC'd). Set above 1.0 to
+    /// disable.
+    pub compact_dead_fraction: f64,
 }
 
 impl Default for DurabilityOptions {
@@ -96,6 +111,8 @@ impl Default for DurabilityOptions {
             role: ReplRole::Primary,
             promote: false,
             buffer_pool_bytes: 64 * 1024 * 1024,
+            archive_dir: None,
+            compact_dead_fraction: 0.3,
         }
     }
 }
@@ -170,6 +187,32 @@ pub struct Durability {
     /// [`Durability::try_resume_writes`] once a space probe succeeds —
     /// no restart needed.
     degraded: AtomicBool,
+    /// Continuous WAL archive (`--archive-dir`), if configured. Touched
+    /// only under the commit lock (checkpoints) so a `Mutex` suffices.
+    archive: Mutex<Option<WalArchive>>,
+    /// The most recent completed backup, for the `hylite.backups` view.
+    last_backup: Mutex<Option<LastBackup>>,
+    /// Checkpoint-time compaction threshold (see [`DurabilityOptions`]).
+    compact_dead_fraction: f64,
+}
+
+/// Record of the last completed backup (the `hylite.backups` row).
+#[derive(Debug, Clone)]
+pub struct LastBackup {
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    pub at_unix_ms: u64,
+    /// Destination directory.
+    pub dest: String,
+    /// Highest LSN the backup contains.
+    pub lsn: u64,
+    /// Bytes copied.
+    pub bytes: u64,
+    /// Segment files copied.
+    pub segments: u64,
+    /// Whether the full verify rescan ran.
+    pub verified: bool,
+    /// Whether the backup was incremental against a base.
+    pub incremental: bool,
 }
 
 impl Durability {
@@ -230,6 +273,19 @@ impl Durability {
             report.next_lsn,
             Arc::clone(&metrics),
         )?;
+        let archive = match &options.archive_dir {
+            Some(adir) => Some(WalArchive::open(
+                Arc::clone(&vfs),
+                adir.clone(),
+                Arc::clone(&metrics),
+            )?),
+            None => None,
+        };
+        if let Some(a) = &archive {
+            metrics
+                .gauge("wal.archive_lag_frames")
+                .set((report.next_lsn.saturating_sub(1)).saturating_sub(a.watermark()) as i64);
+        }
         Ok((
             Durability {
                 vfs,
@@ -240,6 +296,9 @@ impl Durability {
                 epoch: AtomicU64::new(epoch),
                 store,
                 degraded: AtomicBool::new(false),
+                archive: Mutex::new(archive),
+                last_backup: Mutex::new(None),
+                compact_dead_fraction: options.compact_dead_fraction,
             },
             catalog,
             report,
@@ -496,7 +555,12 @@ impl Durability {
             .collect();
         self.store.gc(&referenced)?;
 
-        wal.reset()?;
+        // Compaction pass: quiescent tables past the dead-row threshold
+        // get rewritten without their dead rows (each publishes its own
+        // refreshed manifest at the same base_lsn).
+        self.maybe_compact_tables(catalog, base_lsn)?;
+
+        self.rotate_wal(wal)?;
         let stats = CheckpointStats {
             tables: manifests.len(),
             bytes: data.len() as u64,
@@ -525,10 +589,235 @@ impl Durability {
         Ok(stats)
     }
 
+    /// Checkpoint-time compaction. A quiescent table (no staged rows, no
+    /// staged deletes) whose committed dead-row fraction exceeds the
+    /// threshold gets its live rows rewritten into fresh segments and a
+    /// refreshed manifest published at the *same* `base_lsn` (the commit
+    /// lock is held, so no commit can land in between). The table's write
+    /// lock is held from the quiescence re-check through the in-memory
+    /// install: everything fallible (segment writes, manifest publish)
+    /// happens first, and only after the manifest is durably the truth
+    /// does the infallible [`Table::install_compacted`] renumber rows in
+    /// memory. A failure before the publish leaves only orphan segment
+    /// files, which the next recovery or GC sweeps.
+    fn maybe_compact_tables(&self, catalog: &Catalog, base_lsn: u64) -> Result<usize> {
+        if self.compact_dead_fraction > 1.0 {
+            return Ok(0);
+        }
+        let mut compacted = 0usize;
+        for name in catalog.table_names() {
+            let Ok(table) = catalog.get_table(&name) else {
+                continue;
+            };
+            {
+                let g = table.read();
+                if !g.is_quiescent() || g.dead_fraction() < self.compact_dead_fraction {
+                    continue;
+                }
+            }
+            let mut g = table.write();
+            // Re-check under the write lock: a transaction may have
+            // staged rows between the peek and here.
+            if !g.is_quiescent() || g.dead_fraction() < self.compact_dead_fraction {
+                continue;
+            }
+            let snap = g.committed_snapshot();
+            let dead_rows = snap.deleted().iter_ones().count() as u64;
+            let types = snap.schema().types();
+            let live = snap.live_chunks()?;
+            let all = hylite_common::Chunk::concat(&types, &live)?;
+            let mut handles: Vec<SegmentHandle> = Vec::new();
+            let mut seg_list: Vec<(u64, u64)> = Vec::new();
+            let mut offset = 0;
+            while offset < all.len() {
+                let take = (all.len() - offset).min(crate::SEGMENT_ROWS);
+                let chunk = all.slice(offset, take);
+                let id = self.store.alloc_id();
+                self.store.write_segment(id, &chunk)?;
+                seg_list.push((id, take as u64));
+                handles.push(SegmentHandle::Disk(self.store.open_segment(id)?));
+                offset += take;
+            }
+            self.store.sync_dir()?;
+
+            // Refreshed manifest: the compacted layout for this table,
+            // the just-sealed committed state (all disk-backed after the
+            // seal phase) for every other.
+            let mut manifests: Vec<TableManifest> = Vec::new();
+            for other in catalog.table_names() {
+                if other == name {
+                    manifests.push(TableManifest {
+                        name: name.clone(),
+                        schema: snap.schema().as_ref().clone(),
+                        segments: seg_list.clone(),
+                        row_limit: all.len() as u64,
+                        deleted: Vec::new(),
+                    });
+                    continue;
+                }
+                let Ok(t) = catalog.get_table(&other) else {
+                    continue;
+                };
+                let osnap = t.read().committed_snapshot();
+                let row_limit = osnap.visible_rows() as u64;
+                let mut segs: Vec<(u64, u64)> = Vec::new();
+                for seg in osnap.segments() {
+                    match seg {
+                        SegmentHandle::Disk(d) => segs.push((d.id(), d.rows() as u64)),
+                        SegmentHandle::Resident(_) => {
+                            return Err(HyError::Internal(format!(
+                                "table '{other}' has resident committed rows after the seal phase"
+                            )));
+                        }
+                    }
+                }
+                let deleted: Vec<u64> = osnap
+                    .deleted()
+                    .iter_ones()
+                    .take_while(|&i| (i as u64) < row_limit)
+                    .map(|i| i as u64)
+                    .collect();
+                manifests.push(TableManifest {
+                    name: other,
+                    schema: osnap.schema().as_ref().clone(),
+                    segments: segs,
+                    row_limit,
+                    deleted,
+                });
+            }
+            let data = encode_manifest(base_lsn, &manifests);
+            publish_checkpoint(self.vfs.as_ref(), &self.dir, &data)?;
+
+            // The compacted manifest is the durable truth; switch memory
+            // over (infallible) and drop the old segment files.
+            g.install_compacted(handles);
+            drop(g);
+            let referenced: std::collections::HashSet<u64> = manifests
+                .iter()
+                .flat_map(|t| t.segments.iter().map(|&(id, _)| id))
+                .collect();
+            self.store.gc(&referenced)?;
+            self.metrics.counter("compaction.count").inc();
+            self.metrics
+                .counter("compaction.rows_dropped")
+                .add(dead_rows);
+            compacted += 1;
+        }
+        Ok(compacted)
+    }
+
+    /// Complete the checkpoint by truncating the WAL — after first
+    /// copying the frames it would destroy into the archive, when one is
+    /// configured. Archive trouble is recorded and *deferred*, never
+    /// propagated: the WAL is kept (recovery skips frames below
+    /// `base_lsn`, so the longer WAL is only a replay cost) and the next
+    /// checkpoint retries the whole span.
+    fn rotate_wal(&self, wal: &mut WalWriter) -> Result<()> {
+        let mut guard = self.archive.lock();
+        if let Some(archive) = guard.as_mut() {
+            let frames = scan_wal_raw(self.vfs.as_ref(), &self.dir.join(WAL_FILE))?;
+            match archive.archive_frames(&frames) {
+                Ok(_) => {
+                    self.metrics.gauge("wal.archive_lag_frames").set(0);
+                }
+                Err(e) => {
+                    self.metrics.counter("archive.failures").inc();
+                    let lag = wal
+                        .next_lsn()
+                        .saturating_sub(1)
+                        .saturating_sub(archive.watermark());
+                    self.metrics.gauge("wal.archive_lag_frames").set(lag as i64);
+                    // Deliberately non-fatal: commits must never block on
+                    // the archive. If the vfs itself is failing, the
+                    // checkpoint's next I/O will surface it.
+                    let _ = e;
+                    return Ok(());
+                }
+            }
+        }
+        wal.reset()
+    }
+
     /// Graceful shutdown: one final checkpoint (which also flushes any
     /// buffered commits).
     pub fn close(&self, catalog: &Catalog) -> Result<CheckpointStats> {
         self.checkpoint(catalog)
+    }
+
+    // -- backup -----------------------------------------------------------
+
+    /// Online backup into `dest`. The commit lock is held only long
+    /// enough to pin a consistent `(manifest bytes, WAL bytes, lsn,
+    /// epoch)` tuple; the bulk copy runs outside it, so commits proceed
+    /// while segment files stream out. A checkpoint can GC a pinned
+    /// segment mid-copy — that surfaces as a "vanished" error and the
+    /// whole backup re-pins and retries (bounded).
+    pub fn backup(&self, dest: &Path, base: Option<&Path>, verify: bool) -> Result<BackupSummary> {
+        const ATTEMPTS: usize = 3;
+        let mut last_err: Option<HyError> = None;
+        for _ in 0..ATTEMPTS {
+            let pin = {
+                let mut wal = self.wal.lock();
+                wal.flush()?;
+                let manifest_path = self.dir.join(CHECKPOINT_FILE);
+                let manifest = if self.vfs.exists(&manifest_path) {
+                    Some(self.vfs.read(&manifest_path)?)
+                } else {
+                    None
+                };
+                let mut wal_bytes = self.vfs.read(&self.dir.join(WAL_FILE))?;
+                wal_bytes.truncate(wal.durable_len() as usize);
+                BackupPin {
+                    manifest,
+                    wal: wal_bytes,
+                    backup_lsn: wal.next_lsn().saturating_sub(1),
+                    epoch: self.epoch(),
+                }
+            };
+            match write_backup(&self.vfs, &self.store, dest, base, verify, pin) {
+                Ok(summary) => {
+                    self.metrics.counter("backup.count").inc();
+                    self.metrics.counter("backup.bytes").add(summary.bytes);
+                    self.metrics
+                        .gauge("backup.last_lsn")
+                        .set(summary.backup_lsn as i64);
+                    let at_unix_ms = SystemTime::now()
+                        .duration_since(SystemTime::UNIX_EPOCH)
+                        .map(|d| d.as_millis() as u64)
+                        .unwrap_or(0);
+                    *self.last_backup.lock() = Some(LastBackup {
+                        at_unix_ms,
+                        dest: summary.dest.display().to_string(),
+                        lsn: summary.backup_lsn,
+                        bytes: summary.bytes,
+                        segments: summary.segments_copied,
+                        verified: summary.verified,
+                        incremental: summary.incremental,
+                    });
+                    return Ok(summary);
+                }
+                Err(e) if e.message().contains(SEGMENT_VANISHED) => {
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            HyError::Internal("backup retry loop exited without an error".into())
+        }))
+    }
+
+    /// The most recent completed backup, if any (the `hylite.backups`
+    /// system-view row).
+    pub fn last_backup(&self) -> Option<LastBackup> {
+        self.last_backup.lock().clone()
+    }
+
+    /// The archive watermark (highest archived LSN), or `None` when no
+    /// archive is configured.
+    pub fn archive_watermark(&self) -> Option<u64> {
+        self.archive.lock().as_ref().map(WalArchive::watermark)
     }
 
     // -- replication ------------------------------------------------------
@@ -806,9 +1095,197 @@ mod tests {
 
     #[test]
     fn crash_points_list_is_exhaustive_and_ordered() {
-        assert_eq!(CRASH_POINTS.len(), 9);
+        assert_eq!(CRASH_POINTS.len(), 11);
         let unique: std::collections::BTreeSet<_> = CRASH_POINTS.iter().collect();
         assert_eq!(unique.len(), CRASH_POINTS.len());
+    }
+
+    /// Commit a row durably *and* mirror it into the in-memory table, the
+    /// way a real transaction's publication step does.
+    fn committed_insert(d: &Durability, catalog: &Catalog, v: i64) -> u64 {
+        let lsn = d.log_commit(&[insert(v)]).unwrap();
+        mirror_insert(catalog, v);
+        lsn
+    }
+
+    #[test]
+    fn checkpoint_archives_wal_and_watermark_tracks_truncations() {
+        let fault = FaultVfs::new();
+        let options = DurabilityOptions {
+            archive_dir: Some(PathBuf::from("arch")),
+            ..DurabilityOptions::default()
+        };
+        let (d, catalog, _) = open_fault(&fault, options.clone());
+        d.log_commit(&[create()]).unwrap();
+        make_table(&catalog);
+        committed_insert(&d, &catalog, 1);
+        committed_insert(&d, &catalog, 2);
+        d.checkpoint(&catalog).unwrap();
+        assert_eq!(d.archive_watermark(), Some(3));
+        committed_insert(&d, &catalog, 3);
+        d.checkpoint(&catalog).unwrap();
+        assert_eq!(d.archive_watermark(), Some(4));
+        // Every truncated frame survives in the archive, contiguously.
+        let frames = crate::archive::read_archived_frames(&fault, Path::new("arch")).unwrap();
+        assert_eq!(frames.keys().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        // The watermark is durable across reopen.
+        drop(d);
+        let (d, _, _) = open_fault(&fault, options);
+        assert_eq!(d.archive_watermark(), Some(4));
+    }
+
+    #[test]
+    fn checkpoint_compacts_dead_heavy_quiescent_tables() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        d.log_commit(&[create()]).unwrap();
+        make_table(&catalog);
+        for v in 0..10 {
+            committed_insert(&d, &catalog, v);
+        }
+        d.checkpoint(&catalog).unwrap();
+        // Kill 6 of 10 rows: dead fraction 0.6 >= the default 0.3.
+        let dead: Vec<usize> = (0..6).collect();
+        d.log_commit(&[RedoOp::Delete {
+            table: "t".into(),
+            row_ids: dead.iter().map(|&i| i as u64).collect(),
+        }])
+        .unwrap();
+        {
+            let t = catalog.get_table("t").unwrap();
+            let mut g = t.write();
+            g.delete_rows(&dead).unwrap();
+            g.commit();
+        }
+        d.checkpoint(&catalog).unwrap();
+        {
+            let t = catalog.get_table("t").unwrap();
+            let g = t.read();
+            assert_eq!(g.committed_live_rows(), 4);
+            // Compaction physically dropped the dead rows.
+            assert_eq!(g.dead_fraction(), 0.0);
+        }
+        // The compacted manifest is what recovery loads.
+        drop(d);
+        let (_, catalog, report) = open_fault(&fault, DurabilityOptions::default());
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.checkpoint_rows, 4);
+        let t = catalog.get_table("t").unwrap();
+        assert_eq!(t.read().committed_live_rows(), 4);
+        assert_eq!(t.read().dead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn compaction_skips_tables_with_staged_rows() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        d.log_commit(&[create()]).unwrap();
+        make_table(&catalog);
+        for v in 0..4 {
+            committed_insert(&d, &catalog, v);
+        }
+        d.log_commit(&[RedoOp::Delete {
+            table: "t".into(),
+            row_ids: vec![0, 1, 2],
+        }])
+        .unwrap();
+        {
+            let t = catalog.get_table("t").unwrap();
+            let mut g = t.write();
+            g.delete_rows(&[0, 1, 2]).unwrap();
+            g.commit();
+            // Stage (but do not commit) a row: the table is not quiescent.
+            g.insert_rows(&[vec![hylite_common::Value::Int(99)]])
+                .unwrap();
+        }
+        d.checkpoint(&catalog).unwrap();
+        let t = catalog.get_table("t").unwrap();
+        // Dead rows are still present — compaction must not renumber rows
+        // underneath an in-flight transaction.
+        assert!(t.read().dead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn backup_restore_roundtrip_with_pitr_cut() {
+        let fault = FaultVfs::new();
+        let options = DurabilityOptions {
+            archive_dir: Some(PathBuf::from("arch")),
+            ..DurabilityOptions::default()
+        };
+        let (d, catalog, _) = open_fault(&fault, options);
+        d.log_commit(&[create()]).unwrap();
+        make_table(&catalog);
+        committed_insert(&d, &catalog, 1);
+        committed_insert(&d, &catalog, 2);
+        d.checkpoint(&catalog).unwrap();
+        committed_insert(&d, &catalog, 3);
+        let summary = d.backup(Path::new("bkp"), None, true).unwrap();
+        assert!(summary.verified);
+        assert!(!summary.incremental);
+        assert_eq!(summary.backup_lsn, 4);
+        assert_eq!(d.last_backup().unwrap().lsn, 4);
+        // Traffic continues after the backup; a checkpoint archives it.
+        let stop_lsn = committed_insert(&d, &catalog, 4);
+        committed_insert(&d, &catalog, 5);
+        d.checkpoint(&catalog).unwrap();
+
+        // PITR: restore to just after value 4 landed, dropping value 5.
+        let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+        crate::backup::restore_backup(
+            &vfs,
+            Path::new("bkp"),
+            Some(Path::new("arch")),
+            Path::new("restored"),
+            Some(stop_lsn),
+        )
+        .unwrap();
+        let (d2, catalog2, report) = Durability::open(
+            Arc::clone(&vfs),
+            &PathBuf::from("restored"),
+            DurabilityOptions::default(),
+            Arc::new(MetricsRegistry::new()),
+        )
+        .unwrap();
+        assert!(report.checkpoint_loaded);
+        let t = catalog2.get_table("t").unwrap();
+        assert_eq!(t.read().committed_live_rows(), 4); // values 1..=4
+                                                       // The restored node is re-epoched: it must not splice into the
+                                                       // old fleet's replication timeline.
+        assert!(d2.epoch() != d.epoch());
+    }
+
+    #[test]
+    fn incremental_backup_copies_only_new_segments() {
+        let fault = FaultVfs::new();
+        let (d, catalog, _) = open_fault(&fault, DurabilityOptions::default());
+        d.log_commit(&[create()]).unwrap();
+        make_table(&catalog);
+        committed_insert(&d, &catalog, 1);
+        d.checkpoint(&catalog).unwrap();
+        let full = d.backup(Path::new("b0"), None, false).unwrap();
+        assert_eq!(full.segments_copied, 1);
+        // No new sealed segments: the incremental copies zero files.
+        let inc = d
+            .backup(Path::new("b1"), Some(Path::new("b0")), false)
+            .unwrap();
+        assert!(inc.incremental);
+        assert_eq!(inc.segments_copied, 0);
+        assert!(inc.bytes < full.bytes);
+        // A restore from the incremental pulls segments through the chain.
+        let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+        let restored =
+            crate::backup::restore_backup(&vfs, Path::new("b1"), None, Path::new("restored"), None)
+                .unwrap();
+        assert_eq!(restored.segments, 1);
+        let (_, catalog2, _) = Durability::open(
+            vfs,
+            &PathBuf::from("restored"),
+            DurabilityOptions::default(),
+            Arc::new(MetricsRegistry::new()),
+        )
+        .unwrap();
+        let t = catalog2.get_table("t").unwrap();
+        assert_eq!(t.read().committed_live_rows(), 1);
     }
 
     fn replica_options() -> DurabilityOptions {

@@ -14,6 +14,8 @@
 //! * [`Catalog`] — name → table map.
 //! * [`Transaction`] — undo-based rollback over the touched tables.
 
+pub mod archive;
+pub mod backup;
 pub mod catalog;
 pub mod checkpoint;
 pub mod durability;
@@ -27,6 +29,8 @@ pub mod transaction;
 pub mod wal;
 pub mod writer;
 
+pub use archive::WalArchive;
+pub use backup::{restore_backup, BackupMeta, BackupSummary, RestoreSummary};
 pub use catalog::Catalog;
 pub use checkpoint::CheckpointImage;
 pub use durability::{CheckpointStats, Durability, DurabilityOptions, ReplTail, CRASH_POINTS};

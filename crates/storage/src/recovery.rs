@@ -168,6 +168,7 @@ pub fn recover(
     if scan.discarded_bytes > 0 {
         vfs.truncate(&wal_path, scan.valid_len)?;
         report.discarded_bytes = scan.discarded_bytes;
+        metrics.counter("recovery.torn_frames").inc();
     }
     // LSN-gap check: the frames recovery will replay (lsn >= base_lsn)
     // must form a contiguous sequence starting at the checkpoint's base

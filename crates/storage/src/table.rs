@@ -279,6 +279,45 @@ impl Table {
         Ok(())
     }
 
+    /// Fraction of committed rows carrying a committed delete mark
+    /// (0.0 on an empty table) — the checkpoint-time compaction trigger.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.committed_len == 0 {
+            return 0.0;
+        }
+        let dead = self
+            .committed_deleted
+            .iter_ones()
+            .take_while(|&i| i < self.committed_len)
+            .count();
+        dead as f64 / self.committed_len as f64
+    }
+
+    /// Whether the working and committed states agree exactly — no
+    /// in-flight transaction has staged rows or deletes here. Only a
+    /// quiescent table may be compacted: compaction renumbers global row
+    /// ids, and an open transaction addresses rows by the old ids.
+    pub fn is_quiescent(&self) -> bool {
+        self.total_len == self.committed_len && self.deleted == self.committed_deleted
+    }
+
+    /// Install a compacted layout: `segments` hold exactly the previous
+    /// committed live rows, renumbered densely with no delete marks. The
+    /// caller must hold the write lock from verifying quiescence through
+    /// this call. Infallible by design — the checkpoint publishes the
+    /// compacted manifest first and must then be able to make memory
+    /// agree. Open snapshots keep reading their own (old) handles.
+    pub fn install_compacted(&mut self, segments: Vec<SegmentHandle>) {
+        debug_assert!(self.is_quiescent(), "compacting a non-quiescent table");
+        let total: usize = segments.iter().map(SegmentHandle::len).sum();
+        self.segments = segments;
+        self.total_len = total;
+        self.deleted = Bitmap::filled(total, false);
+        self.committed_len = total;
+        self.committed_deleted = self.deleted.clone();
+        self.version += 1;
+    }
+
     /// Build a table directly from recovered parts (checkpoint-manifest
     /// install). The handles become the committed state; their total row
     /// count must equal `row_limit`.

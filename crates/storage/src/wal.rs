@@ -519,7 +519,8 @@ impl WalWriter {
     }
 
     /// Flip the degraded-mode write rejection (see the `degraded` field).
-    /// Owned by [`Durability`], which mirrors its node-level flag into the
+    /// Owned by [`crate::durability::Durability`], which mirrors its
+    /// node-level flag into the
     /// writer under the commit lock.
     pub fn set_degraded(&mut self, degraded: bool) {
         self.degraded = degraded;

@@ -15,6 +15,8 @@ use std::sync::Arc;
 use hylite_common::faultfs::{CrashSpec, FaultVfs, KeepUnsynced, Vfs};
 use hylite_common::Value;
 use hylite_core::{Database, DurabilityOptions, SyncMode, CRASH_POINTS};
+use hylite_storage::archive::CP_ARCHIVE_ROTATE;
+use hylite_storage::backup::CP_BACKUP_SEG_COPY;
 use hylite_storage::wal::{
     CP_WAL_AFTER_WRITE, CP_WAL_APPEND, CP_WAL_POST_FSYNC, CP_WAL_PRE_FSYNC, WAL_FILE,
 };
@@ -76,6 +78,11 @@ fn expected_sum_after(point: &str) -> i64 {
         | "checkpoint.rename"
         | "checkpoint.after_rename"
         | "wal.truncate" => 106,
+        // A crash inside a backup's segment copy aborts the backup but
+        // never touches the live data dir; a crash inside the archive
+        // span rotation happens after the checkpoint published, so the
+        // commit survives and the torn span is invisible after reboot.
+        "backup.segment_copy" | "archive.rotate" => 106,
         other => panic!("crash point {other} not in the matrix — extend expected_sum_after"),
     }
 }
@@ -89,17 +96,41 @@ fn expected_sum_after(point: &str) -> i64 {
 fn crash_point_matrix_recovers_exactly_the_acknowledged_commits() {
     for &point in CRASH_POINTS {
         let fault = FaultVfs::new();
-        let db = seed(&fault);
+        let mut db = seed(&fault);
+        if point == CP_ARCHIVE_ROTATE {
+            // Archiving only runs when an archive dir is configured.
+            drop(db);
+            db = open_with(
+                &fault,
+                DurabilityOptions {
+                    archive_dir: Some(PathBuf::from("archive")),
+                    ..DurabilityOptions::default()
+                },
+            );
+        }
 
         fault.arm_crash(CrashSpec::first(point));
-        if point.starts_with("wal.") && point != "wal.truncate" {
+        if point == CP_BACKUP_SEG_COPY {
+            // Backup-path point: commit and checkpoint first (a backup
+            // copies sealed segments), then crash inside the copy. The
+            // live database is untouched.
+            db.execute("INSERT INTO t VALUES (100)").unwrap();
+            db.checkpoint().unwrap();
+            let err = db.durability().expect("durable database").backup(
+                &PathBuf::from("backup"),
+                None,
+                false,
+            );
+            assert!(err.is_err(), "{point}: backup should fail at the crash");
+        } else if point.starts_with("wal.") && point != "wal.truncate" {
             // Commit-path points: crash inside the WAL append of x=100.
             let err = db.execute("INSERT INTO t VALUES (100)");
             assert!(err.is_err(), "{point}: commit should fail at the crash");
         } else {
             // Checkpoint-path points (incl. wal.truncate, which only runs
-            // as the checkpoint's last step): commit x=100 first, then
-            // crash inside the checkpoint.
+            // as the checkpoint's last step, and archive.rotate, which
+            // runs just before it): commit x=100 first, then crash inside
+            // the checkpoint.
             db.execute("INSERT INTO t VALUES (100)").unwrap();
             let err = db.checkpoint();
             assert!(err.is_err(), "{point}: checkpoint should fail at the crash");
@@ -500,6 +531,8 @@ fn crash_point_matrix_is_complete() {
             "checkpoint.rename",
             "checkpoint.after_rename",
             "wal.truncate",
+            CP_BACKUP_SEG_COPY,
+            CP_ARCHIVE_ROTATE,
         ]
     );
     // And every one of them has an expectation in the matrix.

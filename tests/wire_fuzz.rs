@@ -99,6 +99,21 @@ fn corpus() -> Vec<Frame> {
         Frame::Repoint {
             primary_addr: "10.0.0.7:5433".into(),
         },
+        Frame::Backup {
+            dir: "/backups/nightly".into(),
+            base: Some("/backups/weekly".into()),
+            verify: true,
+        },
+        Frame::Backup {
+            dir: "b".into(),
+            base: None,
+            verify: false,
+        },
+        Frame::BackupOk {
+            lsn: u64::MAX,
+            segments: 12,
+            bytes: 0xDEAD_BEEF,
+        },
     ]
 }
 
@@ -288,6 +303,11 @@ fn admin_frames_reject_magic_corruption_before_any_state_change() {
         Frame::Repoint {
             primary_addr: "10.0.0.7:5433".into(),
         },
+        Frame::Backup {
+            dir: "/backups/nightly".into(),
+            base: None,
+            verify: false,
+        },
     ] {
         let bytes = wire::encode_frame(&frame);
         for magic_byte in 5..9 {
@@ -320,6 +340,16 @@ fn admin_frames_reject_magic_corruption_before_any_state_change() {
         Frame::PromoteOk { epoch: 1, lsn: 2 },
         Frame::Repoint {
             primary_addr: "p:1".into(),
+        },
+        Frame::Backup {
+            dir: "b".into(),
+            base: Some("a".into()),
+            verify: true,
+        },
+        Frame::BackupOk {
+            lsn: 3,
+            segments: 2,
+            bytes: 1,
         },
     ] {
         let mut bytes = wire::encode_frame(&frame);
